@@ -1,0 +1,19 @@
+"""Ablation: Eqn (15) optimal budget split vs the uniform eps/2 split on
+the Figure 2(b) workload (DESIGN.md Section 5)."""
+
+from conftest import record
+
+from repro.datasets import adult_capital_loss_dataset
+from repro.experiments import budget_split_ablation
+
+
+def test_ablation_budget_split(benchmark, bench_scale):
+    db = adult_capital_loss_dataset(bench_scale.adult_n, rng=bench_scale.seed)
+    table = benchmark.pedantic(
+        lambda: budget_split_ablation(db, 100, bench_scale), rounds=1, iterations=1
+    )
+    record(table, "ablation_budget_split")
+
+    # the optimal split should not lose to uniform beyond noise, anywhere
+    for eps in bench_scale.epsilons:
+        assert table.value("optimal", eps) <= table.value("uniform", eps) * 1.5

@@ -1,0 +1,22 @@
+"""Ablation: H-tree fan-out sweep for the OH mechanism (DESIGN.md
+Section 5).  The paper fixes f=16; this shows the error surface around it."""
+
+from conftest import record
+
+from repro.datasets import adult_capital_loss_dataset
+from repro.experiments import fanout_ablation
+
+
+def test_ablation_fanout(benchmark, bench_scale):
+    db = adult_capital_loss_dataset(bench_scale.adult_n, rng=bench_scale.seed)
+    table = benchmark.pedantic(
+        lambda: fanout_ablation(db, 100, epsilon=0.5, scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record(table, "ablation_fanout")
+
+    errs = {int(p.x): p.mean for p in table.points}
+    assert set(errs) == {2, 4, 8, 16, 32}
+    # the paper's f=16 choice should be within a small factor of the best
+    assert errs[16] <= min(errs.values()) * 2.5

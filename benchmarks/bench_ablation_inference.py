@@ -1,0 +1,19 @@
+"""Ablation: constrained inference on vs off for the OH mechanism
+(DESIGN.md Section 5). The paper applies Hay-style boosting to the ordered
+mechanism; this quantifies what it buys on the hybrid tree."""
+
+from conftest import record
+
+from repro.datasets import adult_capital_loss_dataset
+from repro.experiments import inference_ablation
+
+
+def test_ablation_inference(benchmark, bench_scale):
+    db = adult_capital_loss_dataset(bench_scale.adult_n, rng=bench_scale.seed)
+    table = benchmark.pedantic(
+        lambda: inference_ablation(db, 100, bench_scale), rounds=1, iterations=1
+    )
+    record(table, "ablation_inference")
+
+    for eps in bench_scale.epsilons:
+        assert table.value("inference", eps) <= table.value("raw", eps)

@@ -1,0 +1,25 @@
+"""Ablation: per-iteration budget share between q_size and q_sum in
+private k-means (DESIGN.md Section 5).  The paper does not prescribe a
+split; this maps the sensitivity of the result to that choice."""
+
+from conftest import record
+
+from repro import Policy
+from repro.datasets import gaussian_clusters_dataset
+from repro.experiments import kmeans_budget_ablation
+
+
+def test_ablation_kmeans_budget(benchmark, bench_scale):
+    db = gaussian_clusters_dataset(rng=bench_scale.seed)
+    policy = Policy.distance_threshold(db.domain, 0.5)
+    table = benchmark.pedantic(
+        lambda: kmeans_budget_ablation(db, policy, epsilon=0.5, scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record(table, "ablation_kmeans_budget")
+
+    ratios = {p.x: p.mean for p in table.points}
+    assert len(ratios) == 5
+    # every split should stay within a sane band of the best one
+    assert max(ratios.values()) <= min(ratios.values()) * 10

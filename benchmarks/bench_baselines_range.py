@@ -1,0 +1,65 @@
+"""Differentially-private baseline comparison for range queries: the
+hierarchical mechanism (uniform and geometric budgets), the Haar wavelet
+mechanism, and — for contrast — the ordered mechanism at its line-graph
+policy, all on the Figure 2(b) workload.
+
+This is the paper's Section 7.2 literature context made executable: all
+DP baselines land in the same O(log^3 |T|/eps^2) family, while the
+Blowfish line-graph release sits orders of magnitude below all of them.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro import Policy
+from repro.analysis import random_range_queries, true_range_answers
+from repro.core.rng import ensure_rng, spawn
+from repro.datasets import adult_capital_loss_dataset
+from repro.experiments.results import ResultTable
+from repro.mechanisms import (
+    HierarchicalMechanism,
+    OrderedMechanism,
+    WaveletMechanism,
+)
+
+
+def _run(bench_scale):
+    db = adult_capital_loss_dataset(bench_scale.adult_n, rng=bench_scale.seed)
+    rng = ensure_rng(bench_scale.seed)
+    los, his = random_range_queries(db.domain.size, bench_scale.n_range_queries, rng)
+    truth = true_range_answers(db.cumulative_histogram(), los, his)
+    dp = Policy.differential_privacy(db.domain)
+    line = Policy.line(db.domain)
+    table = ResultTable("DP baselines vs the Blowfish line policy", y_label="range query MSE")
+    mechanisms = {
+        "hierarchical/uniform": lambda eps: HierarchicalMechanism(dp, eps, fanout=16),
+        "hierarchical/geometric": lambda eps: HierarchicalMechanism(
+            dp, eps, fanout=16, budget="geometric"
+        ),
+        "wavelet": lambda eps: WaveletMechanism(dp, eps),
+        "ordered@line": lambda eps: OrderedMechanism(line, eps),
+    }
+    for name, factory in mechanisms.items():
+        for eps in bench_scale.epsilons:
+            mech = factory(eps)
+            errs = []
+            for trial_rng in spawn(rng, bench_scale.trials):
+                rel = mech.release(db, rng=trial_rng)
+                errs.append(float(np.mean((rel.ranges(los, his) - truth) ** 2)))
+            errs = np.asarray(errs)
+            table.add(name, eps, errs.mean(), np.percentile(errs, 25), np.percentile(errs, 75))
+    return table
+
+
+def test_baselines_range(benchmark, bench_scale):
+    table = benchmark.pedantic(lambda: _run(bench_scale), rounds=1, iterations=1)
+    record(table, "baselines_range")
+
+    for eps in bench_scale.epsilons:
+        hier = table.value("hierarchical/uniform", eps)
+        wave = table.value("wavelet", eps)
+        line = table.value("ordered@line", eps)
+        # the DP baselines are one family ...
+        assert 0.05 < hier / wave < 20
+        # ... and the Blowfish line release beats them all by a wide margin
+        assert line < 0.05 * min(hier, wave)

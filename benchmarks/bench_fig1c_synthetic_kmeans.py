@@ -1,0 +1,24 @@
+"""Figure 1(c): k-means on the 4-D synthetic dataset under G^{L1,theta}.
+
+Paper's claims checked: with n=1000 and four dimensions the Laplace ratio
+is far from 1 at small epsilon, while tight thresholds stay close to the
+non-private objective.
+"""
+
+from conftest import record
+
+from repro.experiments.figure1 import SYNTHETIC_THETAS, figure_1c
+
+
+def test_fig1c_synthetic_kmeans(benchmark, bench_scale):
+    table = benchmark.pedantic(lambda: figure_1c(bench_scale), rounds=1, iterations=1)
+    record(table, "fig1c_synthetic_kmeans")
+
+    eps_lo = min(bench_scale.epsilons)
+    laplace_lo = table.value("laplace", eps_lo)
+    best_blowfish = min(
+        table.value(f"blowfish|{theta:g}", eps_lo) for theta in SYNTHETIC_THETAS
+    )
+    assert best_blowfish < laplace_lo
+    # the small, high-dimensional dataset is where Laplace hurts most
+    assert laplace_lo > 1.5

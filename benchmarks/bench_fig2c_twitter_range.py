@@ -1,0 +1,25 @@
+"""Figure 2(c): range-query MSE vs epsilon on twitter latitude.
+
+Paper's claims checked: same monotone-in-theta ordering as Figure 2(b) on
+the 400-cell latitude domain, with theta=5km (one cell) matching the
+ordered mechanism.
+"""
+
+from conftest import record
+
+from repro.analysis import ordered_range_error_bound
+from repro.experiments.figure2 import figure_2c
+
+
+def test_fig2c_twitter_range(benchmark, bench_scale):
+    table = benchmark.pedantic(lambda: figure_2c(bench_scale), rounds=1, iterations=1)
+    record(table, "fig2c_twitter_range")
+
+    eps_hi = max(bench_scale.epsilons)
+    full = table.value("theta=full domain", eps_hi)
+    km500 = table.value("theta=500km", eps_hi)
+    km50 = table.value("theta=50km", eps_hi)
+    km5 = table.value("theta=5km", eps_hi)
+    assert full > km500 > km50 > km5
+    assert full / km5 > 20
+    assert km5 <= ordered_range_error_bound(eps_hi) * 1.5

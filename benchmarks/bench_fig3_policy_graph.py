@@ -1,0 +1,58 @@
+"""Figure 3 / Examples 8.1-8.3: the policy graph worked example.
+
+Regenerates the paper's 2x2x3 construction exactly — sparsity of the
+A1xA2 marginal w.r.t. the complete secret graph, the policy graph with a
+complete 4-vertex query sub-digraph plus the lone (v+, v-) edge, alpha=4,
+xi=1, and S(h, P) = 8 — and validates the sensitivity against exhaustive
+neighbor enumeration on a smaller sibling instance.
+"""
+
+from conftest import record
+
+from repro import Attribute, Database, Domain, Policy
+from repro.constraints import MarginalConstraintSet, PolicyGraph, is_sparse
+from repro.constraints.marginals import marginal_queries
+from repro.core.graphs import FullDomainGraph
+from repro.core.sensitivity import brute_force_sensitivity
+from repro.experiments.results import ResultTable
+
+
+def _figure3_quantities():
+    domain = Domain(
+        [
+            Attribute("A1", ["a1", "a2"]),
+            Attribute("A2", ["b1", "b2"]),
+            Attribute("A3", ["c1", "c2", "c3"]),
+        ]
+    )
+    queries = marginal_queries(domain, ["A1", "A2"])
+    sparse = is_sparse(queries, FullDomainGraph(domain))
+    pg = PolicyGraph(FullDomainGraph(domain), queries)
+    return sparse, pg.alpha(), pg.xi(), pg.sensitivity_bound()
+
+
+def test_fig3_policy_graph(benchmark):
+    sparse, alpha, xi, bound = benchmark.pedantic(
+        _figure3_quantities, rounds=1, iterations=1
+    )
+    table = ResultTable("Figure 3 policy graph", x_label="quantity", y_label="value")
+    table.add("alpha", 0, alpha, alpha, alpha)
+    table.add("xi", 1, xi, xi, xi)
+    table.add("S(h,P)", 2, bound, bound, bound)
+    record(table, "fig3_policy_graph")
+
+    assert sparse
+    assert alpha == 4
+    assert xi == 1
+    assert bound == 8.0
+
+
+def test_fig3_brute_force_validation():
+    """2x2 sibling of Example 8.3, small enough for exact enumeration."""
+    domain = Domain([Attribute("A1", ["a1", "a2"]), Attribute("A2", ["b1", "b2"])])
+    db = Database.from_values(domain, [("a1", "b1"), ("a1", "b2"), ("a2", "b1")])
+    cs = MarginalConstraintSet(domain, [["A1"]], db)
+    policy = Policy.full_domain(domain, cs)
+    exact = brute_force_sensitivity(lambda d: d.histogram(), policy, 3)
+    pg = PolicyGraph(policy.graph, [c.query for c in cs])
+    assert exact == pg.sensitivity_bound() == 4.0

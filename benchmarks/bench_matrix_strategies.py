@@ -1,0 +1,59 @@
+"""Analytic strategy comparison via the matrix-mechanism view.
+
+Exact expected mean range-query errors (no sampling) for the strategies
+behind every mechanism in the library, under differential privacy and
+under the Blowfish line policy — the Section 7 separation computed in
+closed form, including the identity/tree crossover in |T|.
+"""
+
+from conftest import record
+
+from repro import Domain, Policy
+from repro.analysis.matrix import (
+    haar_strategy,
+    hierarchical_strategy,
+    identity_strategy,
+    mean_range_query_error,
+    prefix_strategy,
+)
+from repro.experiments.results import ResultTable
+
+
+def _run():
+    eps = 0.5
+    table = ResultTable(
+        "Exact mean range error by strategy (matrix mechanism, eps=0.5)",
+        x_label="domain size",
+        y_label="mean squared error",
+    )
+    for size in (32, 128, 512):
+        line = Policy.line(Domain.integers("v", size)).graph
+        entries = {
+            "identity (DP)": mean_range_query_error(identity_strategy(size), size, eps),
+            "hierarchical f=2 (DP)": mean_range_query_error(
+                hierarchical_strategy(size, 2), size, eps
+            ),
+            "haar (DP)": mean_range_query_error(haar_strategy(size), size, eps),
+            "prefix (DP)": mean_range_query_error(prefix_strategy(size), size, eps),
+            "prefix (Blowfish line)": mean_range_query_error(
+                prefix_strategy(size), size, eps, graph=line
+            ),
+        }
+        for name, err in entries.items():
+            table.add(name, size, err, err, err)
+    return table
+
+
+def test_matrix_strategies(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(table, "matrix_strategies")
+
+    for size in (32, 128, 512):
+        blowfish = table.value("prefix (Blowfish line)", size)
+        for dp in ("identity (DP)", "hierarchical f=2 (DP)", "haar (DP)", "prefix (DP)"):
+            assert blowfish < 0.25 * table.value(dp, size), (size, dp)
+    # the DP prefix strategy is hopeless (sensitivity |T|-1) ...
+    assert table.value("prefix (DP)", 512) > table.value("hierarchical f=2 (DP)", 512)
+    # ... and the identity/tree crossover lands where the theory says
+    assert table.value("identity (DP)", 32) < table.value("hierarchical f=2 (DP)", 32)
+    assert table.value("identity (DP)", 512) > table.value("hierarchical f=2 (DP)", 512)

@@ -1,0 +1,71 @@
+"""Spatial range counting on the twitter grid: the quadtree baseline
+(Cormode et al. [5], cited in Section 7.2) vs the partitioned-secrets
+free release.
+
+Claims checked: the quadtree with constrained inference beats its raw
+variant; under the singleton-partition policy (the paper's
+partition|120000) rectangle counts are exact.
+"""
+
+import numpy as np
+import pytest
+from conftest import record
+
+from repro import Partition, Policy
+from repro.core.rng import ensure_rng, spawn
+from repro.datasets import twitter_dataset
+from repro.experiments.results import ResultTable
+from repro.mechanisms import QuadtreeMechanism, ReleasedGrid
+
+
+def _random_rectangles(rng, n, n_rows, n_cols):
+    r = np.sort(rng.integers(0, n_rows, size=(n, 2)), axis=1)
+    c = np.sort(rng.integers(0, n_cols, size=(n, 2)), axis=1)
+    return np.column_stack([r[:, 0], r[:, 1], c[:, 0], c[:, 1]])
+
+
+def _run(bench_scale):
+    db = twitter_dataset(bench_scale.twitter_n, rng=bench_scale.seed)
+    n_rows, n_cols = db.domain.shape
+    rng = ensure_rng(bench_scale.seed)
+    rects = _random_rectangles(
+        rng, min(bench_scale.n_range_queries, 1000), n_rows, n_cols
+    )
+    grid = np.zeros((n_rows, n_cols))
+    np.add.at(grid, (db.indices // n_cols, db.indices % n_cols), 1.0)
+    truth = ReleasedGrid(grid).rectangles(rects)
+
+    table = ResultTable("Spatial quadtree on twitter", y_label="rectangle MSE")
+    dp = Policy.differential_privacy(db.domain)
+    for eps in bench_scale.epsilons:
+        for label, consistent in (
+            ("quadtree/inference", True),
+            ("quadtree/raw", False),
+        ):
+            mech = QuadtreeMechanism(dp, eps, consistent=consistent)
+            errs = []
+            for trial_rng in spawn(rng, max(3, bench_scale.trials // 2)):
+                rel = mech.release(db, rng=trial_rng)
+                errs.append(float(np.mean((rel.rectangles(rects) - truth) ** 2)))
+            errs = np.asarray(errs)
+            table.add(
+                label, eps, errs.mean(), np.percentile(errs, 25), np.percentile(errs, 75)
+            )
+    # the free release under singleton-partition secrets (zero sensitivity)
+    free = QuadtreeMechanism(Policy.partitioned(Partition.singletons(db.domain)), 1.0)
+    rel = free.release(db, rng=0)
+    err = float(np.mean((rel.rectangles(rects) - truth) ** 2))
+    for eps in bench_scale.epsilons:
+        table.add("partition|120000", eps, err, err, err)
+    return table
+
+
+def test_spatial_quadtree(benchmark, bench_scale):
+    table = benchmark.pedantic(lambda: _run(bench_scale), rounds=1, iterations=1)
+    record(table, "spatial_quadtree")
+
+    for eps in bench_scale.epsilons:
+        assert table.value("quadtree/inference", eps) <= table.value(
+            "quadtree/raw", eps
+        )
+        assert table.value("partition|120000", eps) == pytest.approx(0.0, abs=1e-12)

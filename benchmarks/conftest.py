@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one figure (or analytic claim) of the
+paper.  Each benchmark
+
+* runs the experiment once inside ``pytest-benchmark`` (the timing is the
+  cost of regenerating that figure at the configured scale),
+* writes the measured series to ``benchmarks/results/<name>.csv``,
+* prints the series table (visible with ``pytest -s`` or in the benchmark
+  summary output), and
+* asserts the paper's *qualitative* claims — who wins, roughly by how much,
+  where the crossovers fall.
+
+``REPRO_FULL=1`` switches to the paper's full scale (50 trials, 10 epsilon
+values, full datasets); the default scale finishes the whole suite in a few
+minutes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import default_scale
+from repro.experiments.results import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The experiment scale for every benchmark (env-switchable)."""
+    return default_scale()
+
+
+def record(table: ResultTable, name: str) -> ResultTable:
+    """Persist and display a result table; returns it for assertions."""
+    table.to_csv(RESULTS_DIR / f"{name}.csv")
+    print()
+    print(table.format_text())
+    return table

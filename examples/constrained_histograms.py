@@ -1,0 +1,81 @@
+"""Constrained histograms: releasing data an adversary already partially
+knows (the paper's Section 8).
+
+A hospital already published its per-department patient counts (a marginal).
+Releasing a differentially-private full histogram calibrated to the usual
+sensitivity 2 now *under-protects*: the adversary can combine the noisy
+counts with the known marginal and average away the noise (the Section 3.2
+attack).  Blowfish prices the constraint in: the policy graph yields
+S(h, P) = 2*size(C), and the demo below audits both calibrations against
+the exact constrained neighbor set.
+
+Run:  python examples/constrained_histograms.py
+"""
+
+import numpy as np
+
+from repro import Attribute, Database, Domain, Policy
+from repro.constraints import (
+    MarginalConstraintSet,
+    PolicyGraph,
+    is_sparse,
+    marginal_queries,
+)
+from repro.core.audit import laplace_realized_epsilon
+from repro.mechanisms import ConstrainedHistogramMechanism
+
+
+def main() -> None:
+    domain = Domain(
+        [
+            Attribute("department", ["cardio", "neuro"]),
+            Attribute("outcome", ["recovered", "readmitted"]),
+        ]
+    )
+    db = Database.from_values(
+        domain,
+        [
+            ("cardio", "recovered"),
+            ("cardio", "recovered"),
+            ("cardio", "readmitted"),
+            ("neuro", "recovered"),
+        ],
+    )
+    constraints = MarginalConstraintSet(domain, [["department"]], db)
+    policy = Policy.full_domain(domain, constraints)
+    print("published knowledge: per-department counts "
+          f"{dict(zip(['cardio', 'neuro'], [3, 1]))}")
+
+    # -- the policy graph machinery -------------------------------------------------
+    queries = marginal_queries(domain, ["department"])
+    print(f"constraint queries sparse w.r.t. K? {is_sparse(queries, policy.graph)}")
+    pg = PolicyGraph(policy.graph, queries)
+    print(
+        f"policy graph: alpha={pg.alpha()}, xi={pg.xi()} "
+        f"-> S(h, P) = {pg.sensitivity_bound():.0f}  (Theorem 8.4: 2*size(C) = 4)\n"
+    )
+
+    epsilon = 0.5
+    mech = ConstrainedHistogramMechanism(policy, epsilon)
+    released = mech.release(db, rng=0)
+    print(f"released histogram (Lap({mech.scale:.0f}) per cell):")
+    for idx, est in enumerate(released):
+        print(f"  {domain.value_of(idx)}: {est:6.2f}   (true {int(db.histogram()[idx])})")
+
+    # -- audit both calibrations against the exact neighbor set ---------------------
+    print("\nprivacy audit over the exact constrained neighbor set N(P):")
+    realized = laplace_realized_epsilon(
+        lambda d: d.histogram(), policy, mech.scale, n=db.n
+    )
+    print(f"  Blowfish calibration (scale {mech.scale:.0f}): realized eps = "
+          f"{realized:.3f}  (target {epsilon})")
+    naive_scale = 2.0 / epsilon
+    leaked = laplace_realized_epsilon(
+        lambda d: d.histogram(), policy, naive_scale, n=db.n
+    )
+    print(f"  naive DP calibration (scale {naive_scale:.0f}):    realized eps = "
+          f"{leaked:.3f}  <- the Section 3.2 leak")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Location privacy: k-means over geotagged data under distance-threshold
+policies (the paper's Section 6 motivation).
+
+A location-based service wants cluster centers of its users' positions.
+Differential privacy must hide *which coast* you are on; a Blowfish
+``G^{L1,theta}`` policy only promises that points within ``theta`` km are
+indistinguishable — "the adversary may learn I'm in Seattle, but not which
+block" — and buys an order of magnitude of clustering accuracy back.
+
+Run:  python examples/location_privacy.py
+"""
+
+import numpy as np
+
+from repro import Policy
+from repro.core.sensitivity import ksum_sensitivity
+from repro.datasets import twitter_dataset
+from repro.experiments import quick_scale, twitter_partition
+from repro.mechanisms import PrivateKMeans, lloyd_kmeans
+from repro.mechanisms.kmeans import _init_centroids
+
+
+def main() -> None:
+    db = twitter_dataset(n=30_000, rng=0)
+    points = db.points()
+    print(f"synthetic western-US tweets: {db.n} points on a 400x300 5km grid\n")
+
+    epsilon, k, iters, trials = 0.4, 4, 10, 8
+    policies = {
+        "differential privacy": Policy.differential_privacy(db.domain),
+        "blowfish theta=1000km": Policy.distance_threshold(db.domain, 1000.0),
+        "blowfish theta=100km": Policy.distance_threshold(db.domain, 100.0),
+        "partitioned (grid cells)": Policy.partitioned(twitter_partition(120000)),
+    }
+
+    print(f"{'policy':28s} {'S(q_sum)':>10s} {'objective ratio':>16s}")
+    rng = np.random.default_rng(1)
+    for label, policy in policies.items():
+        mech = PrivateKMeans(policy, epsilon, k=k, iterations=iters)
+        ratios = []
+        for _ in range(trials):
+            init = _init_centroids(points, k, rng)
+            base = lloyd_kmeans(points, k, iters, rng=rng, init_centroids=init)
+            result = mech.release(db, rng=rng, init_centroids=init)
+            ratios.append(result.objective / base.objective)
+        print(
+            f"{label:28s} {ksum_sensitivity(policy):10.0f} "
+            f"{np.mean(ratios):16.3f}"
+        )
+
+    print(
+        "\nratio 1.0 = as good as non-private k-means."
+        "\nNote the partitioned policy: the histogram of grid cells has zero"
+        "\nsensitivity, so clustering is exact — the paper's partition|120000."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: Blowfish policies in five minutes.
+
+Walks through the core loop of the library: build a domain and a database,
+pick a policy (differential privacy is just the complete-graph policy),
+calibrate the Laplace mechanism to the policy-specific sensitivity, and
+watch the noise shrink as the policy weakens — then see what a policy
+*costs* via the graph-distance guarantee of Eqn (9).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Database, Domain, HistogramQuery, Policy
+from repro.core.sensitivity import cumulative_histogram_sensitivity
+from repro.mechanisms import LaplaceMechanism, OrderedMechanism
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # -- a salary-bucket domain and a synthetic workforce ------------------------
+    domain = Domain.integers("salary_bucket", 100)
+    db = Database.from_indices(
+        domain, np.clip(rng.normal(45, 18, size=5_000), 0, 99).astype(int)
+    )
+    print(f"database: {db.n} individuals over {domain.size} salary buckets\n")
+
+    # -- policies are the tuning knob ---------------------------------------------
+    policies = {
+        "differential privacy (complete graph)": Policy.differential_privacy(domain),
+        "distance threshold theta=10": Policy.distance_threshold(domain, 10),
+        "line graph (adjacent buckets)": Policy.line(domain),
+    }
+
+    epsilon = 0.5
+    print(f"cumulative-histogram sensitivity at epsilon={epsilon}:")
+    for label, policy in policies.items():
+        sens = cumulative_histogram_sensitivity(policy)
+        print(f"  {label:42s} S(S_T, P) = {sens:6.0f}  -> Lap({sens / epsilon:.0f})")
+    print()
+
+    # -- the histogram itself doesn't care (Section 5) ... ----------------------
+    hist_mech = LaplaceMechanism(
+        policies["line graph (adjacent buckets)"], epsilon, HistogramQuery(domain)
+    )
+    print(
+        "per-cell histogram noise is the same under every policy with an edge: "
+        f"Lap({hist_mech.scale:.0f})\n"
+    )
+
+    # -- ... but the ordered mechanism exploits the line graph (Section 7.1) ----
+    released = OrderedMechanism(Policy.line(domain), epsilon).release(db, rng=rng)
+    lo, hi = 40, 60
+    true = db.range_count(lo, hi)
+    est = released.range(lo, hi)
+    print(f"range query 'buckets {lo}-{hi}':")
+    print(f"  true count   = {true}")
+    print(f"  private est. = {est:.1f}   (error bound 4/eps^2 = {4 / epsilon**2:.0f})")
+    print(f"  median bucket estimate: {released.quantile(0.5)}\n")
+
+    # -- what the weaker policy costs: Eqn (9) -----------------------------------
+    line = Policy.line(domain)
+    print("indistinguishability degrades with graph distance (Eqn 9):")
+    for gap in (1, 10, 50):
+        d = line.graph.graph_distance(0, gap)
+        print(
+            f"  buckets 0 vs {gap:3d}: an attacker's max odds ratio is "
+            f"exp({epsilon:.1f} * {d:.0f}) = e^{epsilon * d:.1f}"
+        )
+    print(
+        "\nadjacent buckets stay protected at full strength; far-apart buckets"
+        "\nare deliberately sacrificed — that is the policy trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The Section 3.2 reconstruction attack, end to end.
+
+A table has one attribute with values r_1..r_k; the pairwise sums
+c(r_i) + c(r_{i+1}) were published long ago.  A data curator now releases
+all k counts with plain differential privacy (Lap(2/eps) per count).  The
+adversary telescopes the public sums into k independent estimators of every
+count and averages: variance drops from 2(2/eps)^2 to 2(2/eps)^2/k, and the
+table is reconstructed almost exactly.
+
+Blowfish's fix (Section 8): the constraints make the counts correlated, the
+policy graph prices that in (S(h, P) grows with the chain), and the same
+attack gains nothing.
+
+Run:  python examples/reconstruction_attack.py
+"""
+
+import numpy as np
+
+from repro.analysis.attacks import attack_variance, chain_constraint_attack, chain_sums
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    k, eps = 16, 0.5
+    counts = rng.integers(20, 80, k).astype(np.float64)
+    sums = chain_sums(counts)  # the public auxiliary knowledge
+    print(f"k = {k} counts; published pairwise sums; eps = {eps}\n")
+
+    trials = 2000
+
+    def mse_of_attack(scale: float) -> tuple[float, float]:
+        naive_err, attack_err = [], []
+        for t in range(trials):
+            local = np.random.default_rng(t)
+            noisy = counts + local.laplace(0, scale, k)
+            naive_err.append(np.mean((noisy - counts) ** 2))
+            attack_err.append(
+                np.mean((chain_constraint_attack(noisy, sums) - counts) ** 2)
+            )
+        return float(np.mean(naive_err)), float(np.mean(attack_err))
+
+    dp_scale = 2.0 / eps
+    naive, attacked = mse_of_attack(dp_scale)
+    print("differential privacy calibration (Lap(2/eps) per count):")
+    print(f"  per-count MSE as released:    {naive:8.1f}")
+    theory = (2 * dp_scale**2) / attack_variance(k, eps)
+    print(f"  per-count MSE after attack:   {attacked:8.1f}   "
+          f"<- ~{naive / attacked:.0f}x breach (theory: k = {theory:.0f}x)")
+
+    blowfish_scale = (2.0 * k) / eps  # the chain couples all k counts
+    naive_b, attacked_b = mse_of_attack(blowfish_scale)
+    print("\nBlowfish calibration (noise priced to the constrained S(h, P)):")
+    print(f"  per-count MSE as released:    {naive_b:8.1f}")
+    print(f"  per-count MSE after attack:   {attacked_b:8.1f}   "
+          "<- averaging gains nothing beyond the nominal guarantee")
+    print(
+        f"\nafter the attack, the Blowfish release still carries "
+        f"{attacked_b / attacked:.0f}x more uncertainty than the broken DP one —"
+        "\nexactly the privacy the constraints were silently destroying."
+    )
+
+
+if __name__ == "__main__":
+    main()

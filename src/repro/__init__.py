@@ -1,0 +1,80 @@
+"""Blowfish privacy — a reproduction of He, Machanavajjhala & Ding,
+"Blowfish Privacy: Tuning Privacy-Utility Trade-offs using Policies"
+(SIGMOD 2014).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Domain, Database, Policy
+    from repro.mechanisms import LaplaceMechanism, OrderedMechanism
+
+    domain = Domain.integers("age", 100)
+    db = Database.from_values(domain, rng.integers(0, 100, size=1000))
+
+    # Differential privacy is the complete-graph Blowfish policy ...
+    dp = Policy.differential_privacy(domain)
+    # ... while a line-graph policy protects adjacent ages only and lets the
+    # ordered mechanism answer every range query with O(1/eps^2) error.
+    line = Policy.line(domain)
+    cdf = OrderedMechanism(line, epsilon=0.5).release(db, rng=0)
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every figure.
+"""
+
+from .core import (
+    Attribute,
+    Constraint,
+    ConstraintSet,
+    CountQuery,
+    CumulativeHistogramQuery,
+    Database,
+    Domain,
+    HistogramQuery,
+    KMeansSumQuery,
+    LinearQuery,
+    Partition,
+    Policy,
+    PrivacyAccountant,
+    Query,
+    RangeQuery,
+    ensure_rng,
+)
+from .core.graphs import (
+    AttributeGraph,
+    DiscriminativeGraph,
+    DistanceThresholdGraph,
+    ExplicitGraph,
+    FullDomainGraph,
+    LineGraph,
+    PartitionGraph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "Domain",
+    "Database",
+    "Partition",
+    "Policy",
+    "PrivacyAccountant",
+    "Query",
+    "HistogramQuery",
+    "CumulativeHistogramQuery",
+    "RangeQuery",
+    "LinearQuery",
+    "KMeansSumQuery",
+    "CountQuery",
+    "Constraint",
+    "ConstraintSet",
+    "DiscriminativeGraph",
+    "FullDomainGraph",
+    "AttributeGraph",
+    "PartitionGraph",
+    "DistanceThresholdGraph",
+    "LineGraph",
+    "ExplicitGraph",
+    "ensure_rng",
+    "__version__",
+]

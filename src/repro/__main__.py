@@ -1,0 +1,16 @@
+"""``python -m repro`` — regenerate every experiment and print the report.
+
+Equivalent to ``python -m repro.experiments.runner``; accepts an optional
+output directory (default ``experiment_results``) and honours
+``REPRO_FULL=1`` for paper-scale runs.
+"""
+
+import sys
+
+from .experiments.runner import run_all
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else "experiment_results"
+    for table in run_all(target):
+        print(table.format_text())
+        print()

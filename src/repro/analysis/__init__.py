@@ -1,0 +1,73 @@
+"""Error metrics and the paper's analytic error formulas."""
+
+from .attacks import attack_variance, chain_constraint_attack, chain_sums
+from .matrix import (
+    all_ranges_gram,
+    all_ranges_workload,
+    expected_workload_error,
+    haar_strategy,
+    hierarchical_strategy,
+    identity_strategy,
+    mean_range_query_error,
+    prefix_strategy,
+    prefix_workload,
+    strategy_sensitivity,
+)
+from .cdf import (
+    KDNode,
+    build_kd_index,
+    equi_depth_histogram,
+    estimate_quantile,
+    estimate_quantiles,
+    released_size,
+)
+from .bounds import (
+    hierarchical_range_error_estimate,
+    laplace_cell_variance,
+    laplace_histogram_total_error,
+    oh_error_constants,
+    oh_expected_range_error,
+    optimal_budget_split,
+    ordered_range_error_bound,
+    svd_lower_bound_indicative,
+)
+from .error import (
+    mean_squared_error,
+    random_range_queries,
+    summarize_trials,
+    true_range_answers,
+)
+
+__all__ = [
+    "mean_squared_error",
+    "random_range_queries",
+    "true_range_answers",
+    "summarize_trials",
+    "laplace_histogram_total_error",
+    "laplace_cell_variance",
+    "ordered_range_error_bound",
+    "hierarchical_range_error_estimate",
+    "svd_lower_bound_indicative",
+    "oh_error_constants",
+    "oh_expected_range_error",
+    "optimal_budget_split",
+    "estimate_quantile",
+    "estimate_quantiles",
+    "equi_depth_histogram",
+    "KDNode",
+    "build_kd_index",
+    "released_size",
+    "chain_constraint_attack",
+    "chain_sums",
+    "attack_variance",
+    "identity_strategy",
+    "prefix_strategy",
+    "hierarchical_strategy",
+    "haar_strategy",
+    "prefix_workload",
+    "all_ranges_workload",
+    "all_ranges_gram",
+    "strategy_sensitivity",
+    "expected_workload_error",
+    "mean_range_query_error",
+]

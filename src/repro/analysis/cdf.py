@@ -1,0 +1,163 @@
+"""Applications of a privately released CDF (paper Section 7.1).
+
+"Releasing the CDF has many applications including computing quantiles and
+histograms, answering range queries and constructing indexes (e.g. k-d
+tree)" — this module implements those applications as pure post-processing
+over any released range-answering structure (ordered mechanism, ordered
+hierarchical, hierarchical, wavelet): no additional privacy cost.
+
+All functions accept any object exposing ``prefix(j) -> float`` and a
+``size`` attribute (``ReleasedCumulativeHistogram`` exposes ``prefix`` and
+``domain_size``; an adapter below normalizes that difference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "released_size",
+    "estimate_quantile",
+    "estimate_quantiles",
+    "equi_depth_histogram",
+    "KDNode",
+    "build_kd_index",
+]
+
+
+def released_size(released) -> int:
+    """Domain size of a released structure (duck-typed across mechanisms)."""
+    if hasattr(released, "size"):
+        return int(released.size)
+    if hasattr(released, "domain_size"):
+        return int(released.domain_size)
+    raise TypeError("released object exposes neither size nor domain_size")
+
+
+def _prefix_array(released) -> np.ndarray:
+    size = released_size(released)
+    return np.array([released.prefix(j) for j in range(size)], dtype=np.float64)
+
+
+def estimate_quantile(released, q: float, total: float | None = None) -> int:
+    """Smallest domain index whose estimated CDF reaches ``q``.
+
+    ``total`` defaults to the released structure's full-domain prefix (for
+    the paper's mechanisms that is the public cardinality ``n``).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    size = released_size(released)
+    if total is None:
+        total = released.prefix(size - 1)
+    if total <= 0:
+        raise ValueError("total count must be positive")
+    target = q * total
+    lo, hi = 0, size - 1
+    # binary search over the (post-inference monotone) prefix estimates
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if released.prefix(mid) < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def estimate_quantiles(released, qs, total: float | None = None) -> list[int]:
+    """Vector version of :func:`estimate_quantile`."""
+    return [estimate_quantile(released, q, total=total) for q in qs]
+
+
+def equi_depth_histogram(released, n_buckets: int, total: float | None = None):
+    """Equi-depth bucket boundaries and estimated per-bucket counts.
+
+    Buckets are ``[edge_i, edge_{i+1})`` with edges at the ``i/n_buckets``
+    quantiles; the first edge is 0 and the last is the domain size.  The
+    private-index literature builds exactly this from a noisy CDF.
+    """
+    if n_buckets < 1:
+        raise ValueError("need at least one bucket")
+    size = released_size(released)
+    edges = [0]
+    for i in range(1, n_buckets):
+        edge = estimate_quantile(released, i / n_buckets, total=total) + 1
+        edges.append(max(edge, edges[-1]))
+    edges.append(size)
+    counts = []
+    for a, b in zip(edges[:-1], edges[1:]):
+        if a >= b:
+            counts.append(0.0)
+        else:
+            left = released.prefix(a - 1) if a > 0 else 0.0
+            counts.append(float(released.prefix(b - 1) - left))
+    return edges, counts
+
+
+@dataclass
+class KDNode:
+    """A node of the 1-D k-d (median-split) index built from a private CDF."""
+
+    lo: int
+    hi: int
+    count: float
+    split: int | None = None
+    left: "KDNode | None" = None
+    right: "KDNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def leaves(self) -> list["KDNode"]:
+        if self.is_leaf:
+            return [self]
+        return self.left.leaves() + self.right.leaves()
+
+
+def build_kd_index(released, max_depth: int, min_count: float = 1.0) -> KDNode:
+    """Recursive median-split index over the released CDF (Section 7.1's
+    "constructing indexes (e.g. k-d tree)").
+
+    Each node covers an index interval; internal nodes split at the
+    estimated median of their interval's mass.  Splitting stops at
+    ``max_depth``, on single-cell intervals, or when the estimated interval
+    count falls below ``min_count``.
+    """
+    if max_depth < 0:
+        raise ValueError("max_depth must be non-negative")
+    size = released_size(released)
+
+    def interval_count(lo: int, hi: int) -> float:
+        left = released.prefix(lo - 1) if lo > 0 else 0.0
+        return float(released.prefix(hi) - left)
+
+    def build(lo: int, hi: int, depth: int) -> KDNode:
+        count = interval_count(lo, hi)
+        node = KDNode(lo, hi, count)
+        if depth >= max_depth or lo >= hi or count < max(min_count, 2.0):
+            return node
+        # median of the interval's mass
+        base = released.prefix(lo - 1) if lo > 0 else 0.0
+        target = base + count / 2.0
+        a, b = lo, hi - 1
+        while a < b:
+            mid = (a + b) // 2
+            if released.prefix(mid) < target:
+                a = mid + 1
+            else:
+                b = mid
+        split = min(max(a, lo), hi - 1)
+        node.split = split
+        node.left = build(lo, split, depth + 1)
+        node.right = build(split + 1, hi, depth + 1)
+        return node
+
+    return build(0, size - 1, 0)

@@ -1,0 +1,55 @@
+"""Error metrics and workload generators for the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import ensure_rng
+
+__all__ = [
+    "mean_squared_error",
+    "random_range_queries",
+    "true_range_answers",
+    "summarize_trials",
+]
+
+
+def mean_squared_error(true: np.ndarray, estimate: np.ndarray) -> float:
+    """Mean squared error across components (Definition 2.4 normalized by
+    the number of queries, matching the paper's Figure 2 y-axis)."""
+    true = np.asarray(true, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if true.shape != estimate.shape:
+        raise ValueError("shape mismatch")
+    return float(np.mean((true - estimate) ** 2))
+
+
+def random_range_queries(
+    domain_size: int,
+    n_queries: int,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n_queries`` uniform random ranges ``[lo, hi]`` with ``lo <= hi``."""
+    rng = ensure_rng(rng)
+    a = rng.integers(0, domain_size, size=n_queries)
+    b = rng.integers(0, domain_size, size=n_queries)
+    return np.minimum(a, b), np.maximum(a, b)
+
+
+def true_range_answers(
+    cumulative: np.ndarray, los: np.ndarray, his: np.ndarray
+) -> np.ndarray:
+    """Exact range counts from a cumulative histogram."""
+    left = np.where(los > 0, cumulative[np.maximum(los - 1, 0)], 0.0)
+    return cumulative[his] - left
+
+
+def summarize_trials(values: np.ndarray) -> dict[str, float]:
+    """Mean and quartiles across repeated trials (the paper's error bars)."""
+    values = np.asarray(values, dtype=np.float64)
+    return {
+        "mean": float(values.mean()),
+        "q25": float(np.percentile(values, 25)),
+        "q75": float(np.percentile(values, 75)),
+        "trials": int(values.size),
+    }

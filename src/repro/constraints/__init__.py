@@ -1,0 +1,52 @@
+"""Auxiliary-knowledge machinery (paper Section 8): count-query constraints,
+lift/lower sparsity analysis, marginals, rectangle range constraints, the
+policy graph with its Theorem 8.2 sensitivity bound, and the closed-form
+applications of Theorems 8.4-8.6."""
+
+from .applications import (
+    constrained_histogram_sensitivity,
+    disjoint_marginals_attribute_sensitivity,
+    grid_distance_threshold_sensitivity,
+    marginal_full_domain_sensitivity,
+)
+from .count import (
+    is_sparse,
+    lifted_queries,
+    lowered_queries,
+    sparsity_violations,
+    support_matrix,
+)
+from .marginals import MarginalConstraintSet, marginal_counts, marginal_queries
+from .policy_graph import V_MINUS, V_PLUS, PolicyGraph
+from .ranges import (
+    Rectangle,
+    max_component_size,
+    rectangle_distance,
+    rectangle_graph,
+    rectangle_query,
+    rectangles_disjoint,
+)
+
+__all__ = [
+    "is_sparse",
+    "sparsity_violations",
+    "lifted_queries",
+    "lowered_queries",
+    "support_matrix",
+    "marginal_queries",
+    "marginal_counts",
+    "MarginalConstraintSet",
+    "PolicyGraph",
+    "V_PLUS",
+    "V_MINUS",
+    "Rectangle",
+    "rectangle_query",
+    "rectangles_disjoint",
+    "rectangle_distance",
+    "rectangle_graph",
+    "max_component_size",
+    "marginal_full_domain_sensitivity",
+    "disjoint_marginals_attribute_sensitivity",
+    "grid_distance_threshold_sensitivity",
+    "constrained_histogram_sensitivity",
+]

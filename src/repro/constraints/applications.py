@@ -1,0 +1,114 @@
+"""Closed-form constrained sensitivities (Section 8.2) and the dispatcher
+used by the constrained-histogram mechanism.
+
+The three applications the paper works out:
+
+* **Theorem 8.4** — one marginal ``C`` (proper attribute subset), full-domain
+  secrets: ``S(h, P) = 2 size(C)``.
+* **Theorem 8.5** — disjoint marginals ``C_1..C_p`` (each a proper subset),
+  attribute secrets: ``S(h, P) = 2 max_i size(C_i)``.
+* **Theorem 8.6** — disjoint rectangle range counts, distance-threshold
+  secrets on a grid: ``S(h, P) <= 2 (maxcomp(Q) + 1)``, with equality when
+  no constraint is a point query.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.domain import Domain
+from ..core.graphs import AttributeGraph, DistanceThresholdGraph, FullDomainGraph
+from ..core.policy import Policy
+from .marginals import MarginalConstraintSet
+from .policy_graph import PolicyGraph
+from .ranges import Rectangle, max_component_size, rectangle_graph, rectangles_disjoint
+
+__all__ = [
+    "marginal_full_domain_sensitivity",
+    "disjoint_marginals_attribute_sensitivity",
+    "grid_distance_threshold_sensitivity",
+    "constrained_histogram_sensitivity",
+]
+
+
+def marginal_full_domain_sensitivity(domain: Domain, attrs: Sequence[str]) -> float:
+    """Theorem 8.4: ``S(h, P) = 2 size(C)`` for one known marginal ``C``
+    with ``[C]`` a proper attribute subset, under full-domain secrets."""
+    attrs = list(attrs)
+    if set(attrs) == {a.name for a in domain.attributes}:
+        raise ValueError("Theorem 8.4 requires [C] to be a proper attribute subset")
+    size = 1
+    for a in attrs:
+        size *= len(domain.attribute(a))
+    return 2.0 * size
+
+
+def disjoint_marginals_attribute_sensitivity(
+    domain: Domain, marginal_attrs: Sequence[Sequence[str]]
+) -> float:
+    """Theorem 8.5: ``S(h, P) = 2 max_i size(C_i)`` for disjoint marginals
+    under attribute secrets."""
+    seen: set[str] = set()
+    sizes = []
+    all_names = {a.name for a in domain.attributes}
+    for attrs in marginal_attrs:
+        attrs = list(attrs)
+        if set(attrs) == all_names:
+            raise ValueError("each marginal must be a proper attribute subset")
+        size = 1
+        for a in attrs:
+            if a in seen:
+                raise ValueError(f"attribute {a!r} in two marginals; must be disjoint")
+            seen.add(a)
+            size *= len(domain.attribute(a))
+        sizes.append(size)
+    if not sizes:
+        raise ValueError("need at least one marginal")
+    return 2.0 * max(sizes)
+
+
+def grid_distance_threshold_sensitivity(
+    rects: Sequence[Rectangle], theta: float, p: float = 1.0
+) -> float:
+    """Theorem 8.6: ``2 (maxcomp(Q) + 1)`` for disjoint rectangle counts
+    under ``S^{d,theta}`` secrets (an upper bound if some rectangle is a
+    point query, exact otherwise)."""
+    if not rects:
+        raise ValueError("need at least one rectangle")
+    if not rectangles_disjoint(rects):
+        raise ValueError("Theorem 8.6 requires pairwise disjoint rectangles")
+    comp = max_component_size(rectangle_graph(rects, theta, p=p))
+    return 2.0 * (comp + 1)
+
+
+def constrained_histogram_sensitivity(policy: Policy) -> float:
+    """``S(h, P)`` for a constrained policy, preferring closed forms.
+
+    Dispatch order:
+
+    1. :class:`MarginalConstraintSet` + full-domain secrets + one marginal
+       -> Theorem 8.4;
+    2. :class:`MarginalConstraintSet` + attribute secrets -> Theorem 8.5;
+    3. anything else -> build the policy graph (requires sparsity) and
+       return the Theorem 8.2 bound ``2 max(alpha, xi)``.
+
+    Unconstrained policies fall back to the Section 5 value (2 when the
+    graph has any edge).
+    """
+    if policy.unconstrained:
+        from ..core.sensitivity import histogram_sensitivity
+
+        return histogram_sensitivity(policy)
+    constraints = policy.constraints
+    graph = policy.graph
+    if isinstance(constraints, MarginalConstraintSet):
+        if isinstance(graph, FullDomainGraph) and len(constraints.marginal_attrs) == 1:
+            return marginal_full_domain_sensitivity(
+                policy.domain, constraints.marginal_attrs[0]
+            )
+        if isinstance(graph, AttributeGraph):
+            return disjoint_marginals_attribute_sensitivity(
+                policy.domain, constraints.marginal_attrs
+            )
+    pg = PolicyGraph(graph, [c.query for c in constraints])
+    return pg.sensitivity_bound()

@@ -1,0 +1,99 @@
+"""Count-query constraints: lift/lower analysis and sparsity (Section 8.1).
+
+Definition 8.1: a directed value change ``x -> y`` *lifts* ``q_phi`` iff
+``!phi(x) & phi(y)`` and *lowers* it iff ``phi(x) & !phi(y)``.
+
+Definition 8.2: auxiliary knowledge ``Q`` is *sparse* w.r.t. the secret
+graph ``G`` iff every edge lifts at most one query and lowers at most one
+query.  Sparsity is what makes the policy graph (Definition 8.3) a faithful
+summary of how constrained neighbors can differ, and hence what makes
+``S(h, P)`` computable (the general problem is NP-hard, Theorem 8.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.graphs import DiscriminativeGraph, FullDomainGraph
+from ..core.queries import CountQuery
+
+__all__ = [
+    "lifted_queries",
+    "lowered_queries",
+    "is_sparse",
+    "sparsity_violations",
+    "support_matrix",
+]
+
+# Edge-enumeration guard for sparsity checks on implicit graphs.
+MAX_EDGE_SCAN = 5_000_000
+
+
+def support_matrix(queries: Sequence[CountQuery]) -> np.ndarray:
+    """``(|Q|, |T|)`` boolean matrix: row ``q`` is ``q``'s support mask."""
+    if not queries:
+        raise ValueError("need at least one query")
+    return np.stack([q.mask for q in queries])
+
+
+def lifted_queries(queries: Sequence[CountQuery], x: int, y: int) -> list[int]:
+    """Indices of queries lifted by the directed change ``x -> y``."""
+    return [i for i, q in enumerate(queries) if q.lifted_by(x, y)]
+
+
+def lowered_queries(queries: Sequence[CountQuery], x: int, y: int) -> list[int]:
+    """Indices of queries lowered by the directed change ``x -> y``."""
+    return [i for i, q in enumerate(queries) if q.lowered_by(x, y)]
+
+
+def _full_domain_lift_counts(masks: np.ndarray) -> np.ndarray:
+    """``L[x, y]`` = number of queries lifted by ``x -> y`` (dense)."""
+    m = masks.astype(np.int64)
+    return (1 - m).T @ m
+
+
+def sparsity_violations(
+    queries: Sequence[CountQuery],
+    graph: DiscriminativeGraph,
+    max_report: int = 10,
+) -> list[tuple[int, int, int, int]]:
+    """Edges violating Definition 8.2, as ``(x, y, n_lifted, n_lowered)``.
+
+    Empty list means ``Q`` is sparse w.r.t. ``G``.  Checks both directions
+    of every edge (lift in one direction is lower in the other, so one
+    direction suffices for the counts, reported canonically with ``x < y``).
+    """
+    masks = support_matrix(queries)
+    out: list[tuple[int, int, int, int]] = []
+    size = graph.domain.size
+    if isinstance(graph, FullDomainGraph):
+        if size * size > MAX_EDGE_SCAN:
+            raise ValueError("domain too large for a full-domain sparsity scan")
+        lifts = _full_domain_lift_counts(masks)
+        bad = np.argwhere((lifts > 1))
+        for x, y in bad:
+            if x == y:
+                continue
+            out.append((int(min(x, y)), int(max(x, y)), int(lifts[x, y]), int(lifts[y, x])))
+            if len(out) >= max_report:
+                return out
+        return out
+    scanned = 0
+    for x, y in graph.edges():
+        scanned += 1
+        if scanned > MAX_EDGE_SCAN:
+            raise ValueError("too many edges for a sparsity scan")
+        n_lift = int(np.count_nonzero(~masks[:, x] & masks[:, y]))
+        n_lower = int(np.count_nonzero(masks[:, x] & ~masks[:, y]))
+        if n_lift > 1 or n_lower > 1:
+            out.append((x, y, n_lift, n_lower))
+            if len(out) >= max_report:
+                return out
+    return out
+
+
+def is_sparse(queries: Sequence[CountQuery], graph: DiscriminativeGraph) -> bool:
+    """Definition 8.2: every edge lifts <= 1 query and lowers <= 1 query."""
+    return not sparsity_violations(queries, graph, max_report=1)

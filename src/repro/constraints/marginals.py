@@ -1,0 +1,111 @@
+"""Marginal (cuboid) constraints (Definition 8.4).
+
+A ``d``-dimensional marginal ``C`` over attributes ``[C]`` is the GROUP BY
+count table on those attributes; publishing it equals publishing the set of
+count queries ``C^q`` — one per cell of the projected domain — with
+``size(C) = prod_{A in [C]} |A|`` queries in total.
+
+Marginals over a *proper* attribute subset are always sparse w.r.t. both
+the full-domain and attribute secret graphs: a tuple lives in exactly one
+cell of the marginal, so a change lifts (at most) the destination cell's
+query and lowers the source cell's.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.database import Database
+from ..core.domain import Domain
+from ..core.queries import Constraint, ConstraintSet, CountQuery
+
+__all__ = ["marginal_queries", "marginal_counts", "MarginalConstraintSet"]
+
+
+def _cell_mask(domain: Domain, positions: list[int], cell_ranks: tuple[int, ...]) -> np.ndarray:
+    ranks = domain.ranks_table()
+    mask = np.ones(domain.size, dtype=bool)
+    for pos, cell_rank in zip(positions, cell_ranks):
+        mask &= ranks[:, pos] == cell_rank
+    return mask
+
+
+def marginal_queries(domain: Domain, attrs: Sequence[str]) -> list[CountQuery]:
+    """The count-query set ``C^q`` of the marginal on ``attrs``.
+
+    One query per combination of attribute values, in row-major order of the
+    projected domain; ``len(result) == size(C)``.
+    """
+    attrs = list(attrs)
+    if not attrs:
+        raise ValueError("a marginal needs at least one attribute")
+    if len(set(attrs)) != len(attrs):
+        raise ValueError("duplicate attributes in marginal")
+    positions = [domain.attribute_position(a) for a in attrs]
+    axes = [range(len(domain.attributes[p])) for p in positions]
+    queries = []
+    for cell_ranks in itertools.product(*axes):
+        label = ",".join(
+            f"{a}={domain.attributes[p][r]!r}"
+            for a, p, r in zip(attrs, positions, cell_ranks)
+        )
+        mask = _cell_mask(domain, positions, cell_ranks)
+        queries.append(CountQuery.from_mask(domain, mask, name=f"marginal[{label}]"))
+    return queries
+
+
+def marginal_counts(db: Database, attrs: Sequence[str]) -> np.ndarray:
+    """The marginal's cell counts on ``db`` (row-major projected order)."""
+    queries = marginal_queries(db.domain, attrs)
+    return np.array([int(q(db)[0]) for q in queries])
+
+
+class MarginalConstraintSet(ConstraintSet):
+    """A :class:`ConstraintSet` publishing one or more *disjoint* marginals.
+
+    Retains which attributes form each marginal, so
+    :mod:`repro.constraints.applications` can apply the closed-form
+    sensitivities of Theorems 8.4/8.5 instead of searching the policy graph.
+    """
+
+    def __init__(self, domain: Domain, marginal_attrs: Sequence[Sequence[str]], db: Database):
+        attrs_tuple = tuple(tuple(a) for a in marginal_attrs)
+        seen: set[str] = set()
+        for attrs in attrs_tuple:
+            for a in attrs:
+                if a in seen:
+                    raise ValueError(
+                        f"attribute {a!r} appears in two marginals; Theorem 8.5 "
+                        "requires disjoint marginals"
+                    )
+                seen.add(a)
+        all_names = {a.name for a in domain.attributes}
+        for attrs in attrs_tuple:
+            if set(attrs) == all_names:
+                raise ValueError(
+                    "a marginal over all attributes fixes the histogram exactly; "
+                    "Theorems 8.4/8.5 require proper subsets"
+                )
+        constraints = []
+        for attrs in attrs_tuple:
+            for q in marginal_queries(domain, attrs):
+                constraints.append(Constraint(q, int(q(db)[0])))
+        super().__init__(constraints)
+        self.domain = domain
+        self.marginal_attrs = attrs_tuple
+
+    def sizes(self) -> list[int]:
+        """``size(C_i)`` for each marginal."""
+        out = []
+        for attrs in self.marginal_attrs:
+            size = 1
+            for a in attrs:
+                size *= len(self.domain.attribute(a))
+            out.append(size)
+        return out
+
+    def __repr__(self) -> str:
+        return f"MarginalConstraintSet({[list(a) for a in self.marginal_attrs]})"

@@ -1,0 +1,135 @@
+"""Core Blowfish framework: domains, databases, secret graphs, policies,
+neighbors, sensitivity, composition and the privacy definition itself
+(paper Sections 2-5)."""
+
+from .audit import distinguishability_profile, laplace_realized_epsilon
+from .composition import (
+    PrivacyAccountant,
+    constraint_is_critical,
+    critical_edges,
+    parallel_epsilon,
+    sequential_epsilon,
+    supports_parallel_composition,
+)
+from .database import Database
+from .definition import DiscreteMechanism, realized_epsilon, satisfies_blowfish
+from .domain import Attribute, Domain
+from .graphs import (
+    AttributeGraph,
+    DiscriminativeGraph,
+    DistanceThresholdGraph,
+    EdgelessGraph,
+    ExplicitGraph,
+    FullDomainGraph,
+    LineGraph,
+    PartitionGraph,
+)
+from .individual import (
+    IndividualPolicy,
+    IndividualRandomizedResponse,
+    constraint_affects_group,
+    supports_parallel_composition_individual,
+)
+from .neighbors import (
+    are_neighbors,
+    are_neighbors_unconstrained,
+    discriminative_pairs,
+    enumerate_databases,
+    neighbor_pairs,
+    tuple_delta,
+    unconstrained_neighbors,
+)
+from .policy import Policy
+from .pufferfish import (
+    point_mass_prior,
+    product_prior_worlds,
+    pufferfish_realized_epsilon,
+)
+from .queries import (
+    Constraint,
+    ConstraintSet,
+    CountQuery,
+    CumulativeHistogramQuery,
+    HistogramQuery,
+    KMeansSumQuery,
+    LinearQuery,
+    Partition,
+    Query,
+    RangeQuery,
+)
+from .rng import ensure_rng, spawn
+from .unbounded import BOTTOM, BottomAugmentedGraph, presence_database, with_bottom
+from .sensitivity import (
+    brute_force_sensitivity,
+    count_query_sensitivity,
+    cumulative_histogram_sensitivity,
+    histogram_sensitivity,
+    ksum_sensitivity,
+    linear_query_sensitivity,
+    range_query_sensitivity,
+    sensitivity,
+)
+
+__all__ = [
+    "Attribute",
+    "Domain",
+    "Database",
+    "Partition",
+    "Query",
+    "HistogramQuery",
+    "CumulativeHistogramQuery",
+    "RangeQuery",
+    "LinearQuery",
+    "KMeansSumQuery",
+    "CountQuery",
+    "Constraint",
+    "ConstraintSet",
+    "DiscriminativeGraph",
+    "FullDomainGraph",
+    "AttributeGraph",
+    "PartitionGraph",
+    "DistanceThresholdGraph",
+    "LineGraph",
+    "ExplicitGraph",
+    "Policy",
+    "discriminative_pairs",
+    "tuple_delta",
+    "unconstrained_neighbors",
+    "are_neighbors_unconstrained",
+    "are_neighbors",
+    "enumerate_databases",
+    "neighbor_pairs",
+    "sensitivity",
+    "histogram_sensitivity",
+    "cumulative_histogram_sensitivity",
+    "ksum_sensitivity",
+    "linear_query_sensitivity",
+    "range_query_sensitivity",
+    "count_query_sensitivity",
+    "brute_force_sensitivity",
+    "sequential_epsilon",
+    "parallel_epsilon",
+    "supports_parallel_composition",
+    "critical_edges",
+    "constraint_is_critical",
+    "PrivacyAccountant",
+    "DiscreteMechanism",
+    "realized_epsilon",
+    "satisfies_blowfish",
+    "laplace_realized_epsilon",
+    "distinguishability_profile",
+    "pufferfish_realized_epsilon",
+    "product_prior_worlds",
+    "point_mass_prior",
+    "EdgelessGraph",
+    "IndividualPolicy",
+    "IndividualRandomizedResponse",
+    "constraint_affects_group",
+    "supports_parallel_composition_individual",
+    "BOTTOM",
+    "with_bottom",
+    "BottomAugmentedGraph",
+    "presence_database",
+    "ensure_rng",
+    "spawn",
+]

@@ -1,0 +1,221 @@
+"""Composition of Blowfish-private computations (paper Section 4.1).
+
+* **Sequential composition** (Theorem 4.1): epsilons add across mechanisms
+  run on the same data under the same policy.
+* **Parallel composition with cardinality constraint** (Theorem 4.2): for
+  unconstrained policies, mechanisms run on disjoint sets of individuals
+  cost ``max_i eps_i``.
+* **Parallel composition with general constraints** (Theorem 4.3): also
+  needs the constraints to decompose into disjoint subsets, each *affecting*
+  only its own group — where a constraint ``q`` affects a group iff some
+  secret pair critical to ``q`` (``crit(q)``) pertains to an id in the
+  group.
+
+For count-query constraints, ``crit(q)`` has a crisp characterization used
+throughout Section 8: a secret pair ``(x, y)`` is critical to ``q_phi`` iff
+changing a tuple from ``x`` to ``y`` changes the count, i.e. the pair lifts
+or lowers ``q_phi`` (Definition 8.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from .graphs import DiscriminativeGraph, FullDomainGraph, PartitionGraph
+from .policy import Policy
+from .queries import CountQuery
+
+__all__ = [
+    "critical_edges",
+    "constraint_is_critical",
+    "sequential_epsilon",
+    "parallel_epsilon",
+    "supports_parallel_composition",
+    "PrivacyAccountant",
+]
+
+
+def critical_edges(query: CountQuery, graph: DiscriminativeGraph) -> frozenset:
+    """``crit(q)`` restricted to graph edges: the discriminative value pairs
+    whose change alters ``q``'s answer.  Small domains only."""
+    out = set()
+    for i, j in graph.edges():
+        if query.mask[i] != query.mask[j]:
+            out.add((i, j))
+    return frozenset(out)
+
+
+def constraint_is_critical(query: CountQuery, graph: DiscriminativeGraph) -> bool:
+    """Whether ``crit(q)`` is non-empty, with fast paths for implicit graphs.
+
+    ``crit(q) = 0`` is the paper's Section 4.1 example: count constraints
+    aligned with the graph's connected components cost nothing in parallel
+    composition.
+    """
+    mask = query.mask
+    if isinstance(graph, FullDomainGraph):
+        return bool(mask.any() and not mask.all())
+    if isinstance(graph, PartitionGraph):
+        import numpy as np
+
+        for b in range(graph.partition.n_blocks):
+            members = graph.partition.block_members(b)
+            if members.size > 1 and len(np.unique(mask[members])) > 1:
+                return True
+        return False
+    for i, j in graph.edges():
+        if mask[i] != mask[j]:
+            return True
+    return False
+
+
+def sequential_epsilon(epsilons: Sequence[float]) -> float:
+    """Total budget of a sequence of Blowfish mechanisms (Theorem 4.1)."""
+    if any(e < 0 for e in epsilons):
+        raise ValueError("epsilons must be non-negative")
+    return float(sum(epsilons))
+
+
+def supports_parallel_composition(
+    policy: Policy,
+    id_groups: Sequence[Sequence[int]],
+    constraint_groups: Sequence[Sequence[CountQuery]] | None = None,
+) -> bool:
+    """Check the hypotheses of Theorems 4.2/4.3 for mechanisms run on
+    ``D ∩ S_1, ..., D ∩ S_p``.
+
+    * id groups must be pairwise disjoint;
+    * unconstrained policies then compose in parallel unconditionally
+      (Theorem 4.2);
+    * constrained policies additionally need the constraints to split into
+      per-group subsets such that every constraint with a non-empty
+      ``crit(q)`` is assigned to the *single* group it affects.  Because
+      this library follows the paper in using uniform secrets (the same
+      discriminative pairs for every individual), a constraint with
+      non-empty ``crit(q)`` affects every non-empty group, so the check
+      passes only when each such constraint's group is the sole non-empty
+      one — in practice, when every constraint has ``crit(q) = 0``
+      (the Section 4.1 closing example).
+    """
+    seen: set[int] = set()
+    for group in id_groups:
+        for i in group:
+            if i in seen:
+                return False
+            seen.add(i)
+    if policy.unconstrained:
+        return True
+    queries = [c.query for c in policy.constraints]
+    if constraint_groups is None:
+        # no assignment offered: valid iff no constraint is critical
+        return not any(constraint_is_critical(q, policy.graph) for q in queries)
+    assigned: list[CountQuery] = [q for grp in constraint_groups for q in grp]
+    if len(assigned) != len(queries) or {id(q) for q in assigned} != {id(q) for q in queries}:
+        return False
+    nonempty = [bool(len(g)) for g in id_groups]
+    for gi, grp in enumerate(constraint_groups):
+        for q in grp:
+            if not constraint_is_critical(q, policy.graph):
+                continue
+            # q affects every non-empty group (uniform secrets); it may only
+            # affect its own
+            others = [ne for gj, ne in enumerate(nonempty) if gj != gi]
+            if any(others):
+                return False
+    return True
+
+
+def parallel_epsilon(
+    policy: Policy,
+    epsilons: Sequence[float],
+    id_groups: Sequence[Sequence[int]],
+    constraint_groups: Sequence[Sequence[CountQuery]] | None = None,
+) -> float:
+    """Budget of mechanisms on disjoint id groups: ``max_i eps_i``.
+
+    Raises when the Theorem 4.2/4.3 hypotheses don't hold (the paper's
+    male/female marginal example shows parallel composition genuinely fails
+    there).
+    """
+    if len(epsilons) != len(id_groups):
+        raise ValueError("one epsilon per id group required")
+    if not supports_parallel_composition(policy, id_groups, constraint_groups):
+        raise ValueError(
+            "parallel composition hypotheses not met for this policy/grouping"
+        )
+    return float(max(epsilons, default=0.0))
+
+
+@dataclass
+class _Spend:
+    label: str
+    epsilon: float
+    ids: frozenset[int] | None
+
+
+class PrivacyAccountant:
+    """Tracks the cumulative Blowfish budget of a release session.
+
+    Mechanisms call :meth:`spend` (optionally scoping the spend to a set of
+    individual ids); :meth:`total` applies sequential composition across
+    scopes and parallel composition within groups of disjoint-scope spends
+    when the policy allows it.
+    """
+
+    def __init__(self, policy: Policy, budget: float | None = None):
+        if budget is not None and budget <= 0:
+            raise ValueError("budget must be positive")
+        self.policy = policy
+        self.budget = budget
+        self._spends: list[_Spend] = []
+
+    def spend(self, epsilon: float, label: str = "", ids: Sequence[int] | None = None) -> None:
+        """Record a mechanism run costing ``epsilon`` (on ``ids`` if given)."""
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        new_total = self.sequential_total() + epsilon
+        if self.budget is not None and new_total > self.budget + 1e-12:
+            raise RuntimeError(
+                f"budget exhausted: spending {epsilon} would bring the total to "
+                f"{new_total:.6g} > {self.budget}"
+            )
+        self._spends.append(
+            _Spend(label, float(epsilon), frozenset(ids) if ids is not None else None)
+        )
+
+    def sequential_total(self) -> float:
+        """Worst-case total: plain sequential composition (Theorem 4.1)."""
+        return sequential_epsilon([s.epsilon for s in self._spends])
+
+    def parallel_aware_total(self) -> float:
+        """Total with parallel composition applied to disjoint-scope spends.
+
+        Spends with ``ids = None`` touch everyone and always add.  Scoped
+        spends whose id sets are pairwise disjoint cost their max, provided
+        the policy supports parallel composition (unconstrained, or all
+        constraints non-critical).
+        """
+        global_spend = sum(s.epsilon for s in self._spends if s.ids is None)
+        scoped = [s for s in self._spends if s.ids is not None]
+        if not scoped:
+            return global_spend
+        groups = [list(s.ids) for s in scoped]
+        if supports_parallel_composition(self.policy, groups):
+            return global_spend + max(s.epsilon for s in scoped)
+        return global_spend + sum(s.epsilon for s in scoped)
+
+    def remaining(self) -> float:
+        if self.budget is None:
+            raise ValueError("no budget was set")
+        return self.budget - self.sequential_total()
+
+    @property
+    def spends(self) -> list[tuple[str, float]]:
+        return [(s.label, s.epsilon) for s in self._spends]
+
+    def __repr__(self) -> str:
+        return (
+            f"PrivacyAccountant(spent={self.sequential_total():.4g}, "
+            f"budget={self.budget}, entries={len(self._spends)})"
+        )

@@ -1,0 +1,399 @@
+"""Attribute and domain model (paper Section 2).
+
+A dataset ``D`` holds ``n`` tuples drawn from a domain
+``T = A1 x A2 x ... x Am`` built as the cross product of ``m`` categorical
+attributes.  Internally every domain point is addressed by a single integer
+*index* in ``[0, |T|)`` using mixed-radix encoding: the index of value
+``(v1, ..., vm)`` is ``sum_i rank_i(v_i) * radix_i``.  All histograms, secret
+graphs and mechanisms in this library speak indices; the :class:`Domain`
+translates between indices and user-facing value tuples.
+
+Two convenience shapes cover the paper's experiments:
+
+* :meth:`Domain.ordered` -- a one-attribute domain with a total order
+  (capital-loss in Figure 2(b), latitude in Figure 2(c));
+* :meth:`Domain.grid` -- the integer grid ``[m]^k`` used for geographic
+  data (Section 8.2.3) and the twitter dataset (400 x 300 cells).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Attribute", "Domain"]
+
+
+class Attribute:
+    """A named, finite, ordered set of values.
+
+    The order of ``values`` is meaningful: it defines the ranks used in
+    mixed-radix index encoding, and for numeric attributes it should be the
+    natural numeric order (distance-threshold graphs and cumulative
+    histograms rely on it).
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"Disease"`` or ``"latitude"``.
+    values:
+        The attribute's value set.  Values must be hashable and unique.
+    """
+
+    __slots__ = ("name", "values", "_rank", "_is_numeric")
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        values = tuple(values)
+        if not values:
+            raise ValueError(f"attribute {name!r} must have at least one value")
+        rank = {v: i for i, v in enumerate(values)}
+        if len(rank) != len(values):
+            raise ValueError(f"attribute {name!r} has duplicate values")
+        self.name = name
+        self.values = values
+        self._rank = rank
+        self._is_numeric = all(
+            isinstance(v, (int, float, np.integer, np.floating)) for v in values
+        )
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.values[rank]
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._rank
+
+    def __repr__(self) -> str:
+        if len(self.values) > 6:
+            shown = ", ".join(map(repr, self.values[:3]))
+            return f"Attribute({self.name!r}, [{shown}, ... {len(self.values)} values])"
+        return f"Attribute({self.name!r}, {list(self.values)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Attribute)
+            and self.name == other.name
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.values))
+
+    # -- ranks and distances ------------------------------------------------------
+    def rank(self, value: Any) -> int:
+        """Position of ``value`` in this attribute's ordering."""
+        try:
+            return self._rank[value]
+        except KeyError:
+            raise KeyError(f"{value!r} is not a value of attribute {self.name!r}") from None
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether all values are real numbers (ints, floats, numpy scalars)."""
+        return self._is_numeric
+
+    def distance(self, a: Any, b: Any) -> float:
+        """Distance between two attribute values.
+
+        Numeric attributes use ``|a - b|``; categorical attributes use the
+        discrete metric (0 if equal, 1 otherwise).  This is the per-attribute
+        term of the domain's L1 metric, and the quantity the paper denotes
+        ``|A|`` ("maximum distance between two elements in A") is its
+        :attr:`span`.
+        """
+        if a == b:
+            return 0.0
+        if self.is_numeric:
+            return float(abs(a - b))
+        return 1.0
+
+    @property
+    def span(self) -> float:
+        """Maximum pairwise :meth:`distance` over this attribute (``|A|``)."""
+        if len(self.values) == 1:
+            return 0.0
+        if self.is_numeric:
+            return float(max(self.values) - min(self.values))
+        return 1.0
+
+
+class Domain:
+    """Cross product of attributes; the universe ``T`` of tuple values.
+
+    Every point in the domain is identified by a mixed-radix integer index.
+    The last attribute varies fastest (row-major order), so for a 1-D
+    ordered domain the index order coincides with the value order.
+    """
+
+    __slots__ = ("attributes", "_radices", "size")
+
+    # Above this many cells, dense per-cell materialization (``iter_values``,
+    # explicit graph construction, dense value tables) is refused to protect
+    # the caller from accidental blow-ups; histograms may still be dense.
+    MAX_ENUMERABLE = 1 << 22
+
+    def __init__(self, attributes: Sequence[Attribute]):
+        attributes = tuple(attributes)
+        if not attributes:
+            raise ValueError("a domain needs at least one attribute")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names: {names}")
+        self.attributes = attributes
+        size = 1
+        radices = []
+        for attr in reversed(attributes):
+            radices.append(size)
+            size *= len(attr)
+        self._radices = tuple(reversed(radices))
+        self.size = size
+
+    # -- constructors ---------------------------------------------------------------
+    @classmethod
+    def ordered(cls, name: str, values: Sequence[Any]) -> "Domain":
+        """One-attribute domain with a total ordering (Definition 7.1's ``T``)."""
+        return cls([Attribute(name, values)])
+
+    @classmethod
+    def integers(cls, name: str, size: int) -> "Domain":
+        """Ordered domain ``{0, 1, ..., size-1}``."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        return cls.ordered(name, range(size))
+
+    @classmethod
+    def grid(cls, shape: Sequence[int], names: Sequence[str] | None = None) -> "Domain":
+        """The integer grid ``[m1] x ... x [mk]`` (paper Section 8.2.3).
+
+        Each axis ``i`` is the numeric attribute ``{0, ..., shape[i]-1}``.
+        """
+        shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"grid shape must be positive, got {shape}")
+        if names is None:
+            names = [f"x{i}" for i in range(len(shape))]
+        if len(names) != len(shape):
+            raise ValueError("names must match shape length")
+        return cls([Attribute(n, range(s)) for n, s in zip(names, shape)])
+
+    @classmethod
+    def uniform_grid(
+        cls,
+        shape: Sequence[int],
+        spacings: Sequence[float],
+        names: Sequence[str] | None = None,
+        origins: Sequence[float] | None = None,
+    ) -> "Domain":
+        """A grid whose axis ``i`` holds the numeric values
+        ``origin_i + j * spacing_i`` for ``j in [0, shape_i)``.
+
+        This is the representation used for physical domains where L1
+        distances are meaningful in real units (e.g. the twitter grid in km,
+        Sections 6.1 and 7.3).
+        """
+        shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"grid shape must be positive, got {shape}")
+        if len(spacings) != len(shape):
+            raise ValueError("spacings must match shape length")
+        if names is None:
+            names = [f"x{i}" for i in range(len(shape))]
+        if origins is None:
+            origins = [0.0] * len(shape)
+        attrs = []
+        for name, s, spacing, origin in zip(names, shape, spacings, origins):
+            if spacing <= 0:
+                raise ValueError("spacings must be positive")
+            values = [float(origin) + j * float(spacing) for j in range(s)]
+            attrs.append(Attribute(name, values))
+        return cls(attrs)
+
+    # -- shape ------------------------------------------------------------------
+    @property
+    def n_attributes(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(len(a) for a in self.attributes)
+
+    @property
+    def is_ordered(self) -> bool:
+        """True for 1-attribute domains, where index order is a total order."""
+        return len(self.attributes) == 1
+
+    def attribute(self, name: str) -> Attribute:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise KeyError(f"no attribute named {name!r}")
+
+    def attribute_position(self, name: str) -> int:
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        raise KeyError(f"no attribute named {name!r}")
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(a.name for a in self.attributes)
+        return f"Domain({attrs}; size={self.size})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Domain) and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    # -- index <-> value translation ----------------------------------------------
+    def index_of(self, value: Sequence[Any] | Any) -> int:
+        """Mixed-radix index of a value tuple (or bare value for 1-D domains)."""
+        if self.is_ordered and not isinstance(value, (tuple, list)):
+            value = (value,)
+        if len(value) != len(self.attributes):
+            raise ValueError(
+                f"value has {len(value)} components, domain has {len(self.attributes)}"
+            )
+        idx = 0
+        for attr, radix, v in zip(self.attributes, self._radices, value):
+            idx += attr.rank(v) * radix
+        return idx
+
+    def value_of(self, index: int) -> tuple:
+        """Inverse of :meth:`index_of`."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range for domain of size {self.size}")
+        out = []
+        for attr, radix in zip(self.attributes, self._radices):
+            rank, index = divmod(index, radix)
+            out.append(attr[rank])
+        return tuple(out)
+
+    def ranks_of(self, index: int) -> tuple[int, ...]:
+        """Per-attribute ranks of the domain point ``index``."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range for domain of size {self.size}")
+        out = []
+        for radix in self._radices:
+            rank, index = divmod(index, radix)
+            out.append(rank)
+        return tuple(out)
+
+    def index_of_ranks(self, ranks: Sequence[int]) -> int:
+        """Inverse of :meth:`ranks_of`."""
+        if len(ranks) != len(self._radices):
+            raise ValueError("rank vector length mismatch")
+        idx = 0
+        for rank, radix, attr in zip(ranks, self._radices, self.attributes):
+            if not 0 <= rank < len(attr):
+                raise IndexError(f"rank {rank} out of range for attribute {attr.name!r}")
+            idx += rank * radix
+        return idx
+
+    def iter_values(self) -> Iterator[tuple]:
+        """Iterate all value tuples in index order (small domains only)."""
+        self._check_enumerable("iter_values")
+        return itertools.product(*(a.values for a in self.attributes))
+
+    def iter_indices(self) -> Iterator[int]:
+        self._check_enumerable("iter_indices")
+        return iter(range(self.size))
+
+    def _check_enumerable(self, op: str) -> None:
+        if self.size > self.MAX_ENUMERABLE:
+            raise ValueError(
+                f"domain of size {self.size} is too large for {op} "
+                f"(limit {self.MAX_ENUMERABLE})"
+            )
+
+    # -- vectorized rank/value tables (used by mechanisms) ---------------------------
+    def ranks_table(self) -> np.ndarray:
+        """``(size, m)`` int array: row ``i`` is ``ranks_of(i)``.  Small domains."""
+        self._check_enumerable("ranks_table")
+        idx = np.arange(self.size, dtype=np.int64)
+        cols = []
+        for radix, attr in zip(self._radices, self.attributes):
+            cols.append((idx // radix) % len(attr))
+        return np.stack(cols, axis=1)
+
+    def numeric_table(self) -> np.ndarray:
+        """``(size, m)`` float array of numeric attribute values.  Small domains.
+
+        Requires every attribute to be numeric; used by k-means and the
+        distance-threshold graphs.
+        """
+        self._check_enumerable("numeric_table")
+        for attr in self.attributes:
+            if not attr.is_numeric:
+                raise TypeError(f"attribute {attr.name!r} is not numeric")
+        ranks = self.ranks_table()
+        out = np.empty(ranks.shape, dtype=np.float64)
+        for j, attr in enumerate(self.attributes):
+            vals = np.asarray(attr.values, dtype=np.float64)
+            out[:, j] = vals[ranks[:, j]]
+        return out
+
+    def numeric_values(self, indices: np.ndarray) -> np.ndarray:
+        """Numeric value rows for an array of domain indices (any domain size)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out = np.empty((indices.shape[0], self.n_attributes), dtype=np.float64)
+        rest = indices
+        for j, (radix, attr) in enumerate(zip(self._radices, self.attributes)):
+            if not attr.is_numeric:
+                raise TypeError(f"attribute {attr.name!r} is not numeric")
+            ranks = (rest // radix) % len(attr)
+            vals = np.asarray(attr.values, dtype=np.float64)
+            out[:, j] = vals[ranks]
+        return out
+
+    # -- metric structure -----------------------------------------------------------
+    def l1_distance(self, i: int, j: int) -> float:
+        """L1 (Manhattan) distance between two domain points given by index.
+
+        Numeric attributes contribute ``|a - b|``; categorical attributes
+        contribute the discrete metric.  This is the ``d(.)`` used throughout
+        Sections 6-7 of the paper.
+        """
+        xi, xj = self.value_of(i), self.value_of(j)
+        return sum(a.distance(u, v) for a, u, v in zip(self.attributes, xi, xj))
+
+    def hamming_distance(self, i: int, j: int) -> int:
+        """Number of attributes on which two domain points differ."""
+        ri, rj = self.ranks_of(i), self.ranks_of(j)
+        return sum(1 for a, b in zip(ri, rj) if a != b)
+
+    def diameter(self) -> float:
+        """``d(T)``: the largest L1 distance between two domain points.
+
+        Equal to the sum of attribute spans because L1 separates per
+        coordinate.
+        """
+        return float(sum(a.span for a in self.attributes))
+
+    def project(self, names: Sequence[str]) -> "Domain":
+        """Sub-domain on a subset of attributes (used by marginals)."""
+        return Domain([self.attribute(n) for n in names])
+
+    # -- ordered-domain helpers -------------------------------------------------------
+    def require_ordered(self) -> Attribute:
+        """Return the single attribute of an ordered domain, or raise."""
+        if not self.is_ordered:
+            raise TypeError(
+                "this operation requires a 1-attribute (totally ordered) domain; "
+                f"got {self!r}"
+            )
+        return self.attributes[0]
+
+    def value_gap(self, i: int, j: int) -> float:
+        """Numeric distance between positions ``i`` and ``j`` of an ordered domain."""
+        attr = self.require_ordered()
+        return attr.distance(attr[i], attr[j])

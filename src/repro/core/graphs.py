@@ -1,0 +1,510 @@
+"""Discriminative secret graphs (paper Section 3.1).
+
+A policy's sensitive information is a graph ``G = (V, E)`` with ``V = T``:
+an edge ``(x, y)`` means the adversary must not distinguish whether any
+individual's tuple is ``x`` or ``y``.  The paper's concrete families, all
+implemented here:
+
+* :class:`FullDomainGraph`   -- complete graph ``K`` (=> differential privacy);
+* :class:`AttributeGraph`    -- ``G^attr``: edge iff exactly one attribute differs;
+* :class:`PartitionGraph`    -- ``G^P``: union of cliques, one per block;
+* :class:`DistanceThresholdGraph` -- ``G^{d,theta}``: edge iff ``d(x,y) <= theta``;
+* :class:`LineGraph`         -- ``G^{d,1}`` on an ordered domain (Section 7.1);
+* :class:`ExplicitGraph`     -- arbitrary networkx-backed graph (tests, Section 8).
+
+Graphs over large domains are *implicit*: edges are never materialized, and
+each class answers the handful of structural questions the sensitivity
+calculators need (``max_edge_l1``, ``max_edge_index_gap``, hop distances)
+analytically.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+import networkx as nx
+import numpy as np
+
+from .domain import Domain
+from .queries import Partition
+
+__all__ = [
+    "DiscriminativeGraph",
+    "FullDomainGraph",
+    "AttributeGraph",
+    "PartitionGraph",
+    "DistanceThresholdGraph",
+    "LineGraph",
+    "EdgelessGraph",
+    "ExplicitGraph",
+]
+
+_INF = float("inf")
+
+
+class DiscriminativeGraph(ABC):
+    """Common interface for discriminative secret graphs."""
+
+    def __init__(self, domain: Domain):
+        self.domain = domain
+
+    # -- structure ---------------------------------------------------------------
+    @abstractmethod
+    def has_edge(self, i: int, j: int) -> bool:
+        """Whether ``(x_i, x_j)`` is a discriminative pair."""
+
+    @abstractmethod
+    def neighbors_of(self, i: int) -> Iterator[int]:
+        """All ``j`` with an edge to ``i`` (may be expensive on huge domains)."""
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """All edges ``(i, j)`` with ``i < j``.  Small domains only."""
+        self.domain._check_enumerable("edge enumeration")
+        for i in range(self.domain.size):
+            for j in self.neighbors_of(i):
+                if i < j:
+                    yield (i, j)
+
+    def has_any_edge(self) -> bool:
+        """Whether the graph has at least one edge."""
+        for i in range(min(self.domain.size, 4096)):
+            for _ in self.neighbors_of(i):
+                return True
+        return False
+
+    # -- metric structure ----------------------------------------------------------
+    def graph_distance(self, i: int, j: int) -> float:
+        """Hop distance ``d_G(x_i, x_j)``; ``inf`` if disconnected.
+
+        Controls the indistinguishability degradation in Eqn (9):
+        ``Pr[M(D1) in S] <= exp(eps * d_G(x, y)) Pr[M(D2) in S]``.
+
+        The default implementation runs BFS over :meth:`neighbors_of`, so
+        subclasses with closed forms override it.
+        """
+        if i == j:
+            return 0.0
+        self.domain._check_enumerable("BFS graph distance")
+        return _bfs_distance(self, i, j)
+
+    @abstractmethod
+    def max_edge_l1(self) -> float:
+        """Largest L1 distance ``d(x, y)`` across any edge.
+
+        ``q_sum``'s policy-specific sensitivity is twice this (Lemma 6.1).
+        """
+
+    def max_edge_index_gap(self) -> int:
+        """Largest ``|i - j|`` across any edge of an ordered domain.
+
+        This is the policy-specific sensitivity of the cumulative histogram
+        ``S_T`` (Section 7): changing one tuple across an edge perturbs
+        exactly that many prefix counts by one.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define an ordered-domain index gap"
+        )
+
+    # -- export ---------------------------------------------------------------------
+    def to_networkx(self) -> nx.Graph:
+        """Materialize as a networkx graph (small domains only)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.domain.size))
+        g.add_edges_from(self.edges())
+        return g
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(domain={self.domain!r})"
+
+
+def _bfs_distance(graph: DiscriminativeGraph, src: int, dst: int) -> float:
+    frontier = {src}
+    seen = {src}
+    hops = 0
+    while frontier:
+        hops += 1
+        nxt = set()
+        for u in frontier:
+            for v in graph.neighbors_of(u):
+                if v == dst:
+                    return float(hops)
+                if v not in seen:
+                    seen.add(v)
+                    nxt.add(v)
+        frontier = nxt
+    return _INF
+
+
+class FullDomainGraph(DiscriminativeGraph):
+    """``G^full``: the complete graph.  Blowfish with this graph and no
+    constraints is exactly epsilon-differential privacy (Section 4.2)."""
+
+    def has_edge(self, i: int, j: int) -> bool:
+        return i != j
+
+    def neighbors_of(self, i: int) -> Iterator[int]:
+        self.domain._check_enumerable("complete-graph neighbor iteration")
+        return (j for j in range(self.domain.size) if j != i)
+
+    def graph_distance(self, i: int, j: int) -> float:
+        return 0.0 if i == j else 1.0
+
+    def has_any_edge(self) -> bool:
+        return self.domain.size >= 2
+
+    def max_edge_l1(self) -> float:
+        return self.domain.diameter()
+
+    def max_edge_index_gap(self) -> int:
+        self.domain.require_ordered()
+        return self.domain.size - 1
+
+    @property
+    def is_complete(self) -> bool:
+        return True
+
+
+class AttributeGraph(DiscriminativeGraph):
+    """``G^attr``: edge iff the two values differ in exactly one attribute."""
+
+    def has_edge(self, i: int, j: int) -> bool:
+        return i != j and self.domain.hamming_distance(i, j) == 1
+
+    def neighbors_of(self, i: int) -> Iterator[int]:
+        ranks = self.domain.ranks_of(i)
+        for pos, (attr, radix) in enumerate(
+            zip(self.domain.attributes, self.domain._radices)
+        ):
+            base = i - ranks[pos] * radix
+            for r in range(len(attr)):
+                if r != ranks[pos]:
+                    yield base + r * radix
+
+    def graph_distance(self, i: int, j: int) -> float:
+        # one hop per differing attribute
+        return float(self.domain.hamming_distance(i, j))
+
+    def has_any_edge(self) -> bool:
+        return any(len(a) >= 2 for a in self.domain.attributes)
+
+    def max_edge_l1(self) -> float:
+        # an edge changes one attribute arbitrarily: max_A |A| (Lemma 6.1)
+        return max(a.span for a in self.domain.attributes)
+
+    def max_edge_index_gap(self) -> int:
+        self.domain.require_ordered()
+        # 1-D: every pair differs in "one attribute", so G^attr == G^full
+        return self.domain.size - 1
+
+
+class PartitionGraph(DiscriminativeGraph):
+    """``G^P``: a clique per partition block; blocks are mutually
+    distinguishable (``d_G = inf`` across blocks)."""
+
+    def __init__(self, partition: Partition):
+        super().__init__(partition.domain)
+        self.partition = partition
+
+    def has_edge(self, i: int, j: int) -> bool:
+        return i != j and self.partition.same_block(i, j)
+
+    def neighbors_of(self, i: int) -> Iterator[int]:
+        for j in self.partition.block_members(self.partition.block_of(i)):
+            if int(j) != i:
+                yield int(j)
+
+    def graph_distance(self, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        return 1.0 if self.partition.same_block(i, j) else _INF
+
+    def has_any_edge(self) -> bool:
+        return bool(self.partition.block_sizes().max(initial=0) > 1)
+
+    def max_edge_l1(self) -> float:
+        return self.partition.max_block_l1_diameter()
+
+    def max_edge_index_gap(self) -> int:
+        self.domain.require_ordered()
+        gap = 0
+        for b in range(self.partition.n_blocks):
+            members = self.partition.block_members(b)
+            if members.size > 1:
+                gap = max(gap, int(members.max() - members.min()))
+        return gap
+
+    def __repr__(self) -> str:
+        return f"PartitionGraph({self.partition!r})"
+
+
+class DistanceThresholdGraph(DiscriminativeGraph):
+    """``G^{d,theta}``: edge iff ``0 < d(x, y) <= theta`` under the domain's
+    L1 metric (Section 3.1, "Distance Threshold").
+
+    Hop distances have a closed form on uniformly spaced numeric domains
+    (every hop advances at most ``floor(theta/h) * h`` per the lattice
+    argument); other domains fall back to BFS when small enough.
+    """
+
+    def __init__(self, domain: Domain, theta: float):
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        super().__init__(domain)
+        self.theta = float(theta)
+        self._spacings = _uniform_spacings(domain)
+
+    def has_edge(self, i: int, j: int) -> bool:
+        if i == j:
+            return False
+        return self.domain.l1_distance(i, j) <= self.theta
+
+    def neighbors_of(self, i: int) -> Iterator[int]:
+        if self.domain.is_ordered:
+            yield from self._ordered_neighbors(i)
+            return
+        self.domain._check_enumerable("distance-threshold neighbor scan")
+        for j in range(self.domain.size):
+            if j != i and self.domain.l1_distance(i, j) <= self.theta:
+                yield j
+
+    def _ordered_neighbors(self, i: int) -> Iterator[int]:
+        attr = self.domain.attributes[0]
+        vi = attr[i]
+        j = i - 1
+        while j >= 0 and attr.distance(attr[j], vi) <= self.theta:
+            yield j
+            j -= 1
+        j = i + 1
+        while j < self.domain.size and attr.distance(attr[j], vi) <= self.theta:
+            yield j
+            j += 1
+
+    def graph_distance(self, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        if self.domain.is_ordered:
+            return self._ordered_hops(i, j)
+        if self._spacings is not None and len(set(self._spacings)) == 1:
+            # uniformly spaced grid with a single spacing h on every axis:
+            # each hop covers at most floor(theta/h)*h of L1 distance, and a
+            # monotone lattice path achieves it
+            h = self._spacings[0]
+            step = math.floor(self.theta / h + 1e-12) * h
+            if step <= 0:
+                return _INF
+            return float(math.ceil(self.domain.l1_distance(i, j) / step - 1e-12))
+        return super().graph_distance(i, j)
+
+    def has_any_edge(self) -> bool:
+        if self.domain.size < 2:
+            return False
+        if self.domain.is_ordered:
+            attr = self.domain.attributes[0]
+            if attr.is_numeric:
+                return any(
+                    attr.distance(attr[i + 1], attr[i]) <= self.theta
+                    for i in range(len(attr) - 1)
+                )
+        if self._spacings is not None:
+            # a uniformly spaced grid has an edge iff the smallest axis step
+            # fits under theta
+            return min(self._spacings) <= self.theta
+        return super().has_any_edge()
+
+    def _ordered_hops(self, i: int, j: int) -> float:
+        """Greedy hop count on a 1-D numeric domain (exact for interval graphs)."""
+        attr = self.domain.attributes[0]
+        if not attr.is_numeric:
+            raise TypeError("distance-threshold graphs need numeric attributes")
+        lo, hi = (i, j) if i < j else (j, i)
+        hops = 0
+        cur = lo
+        while cur < hi:
+            # farthest index reachable in one hop
+            nxt = cur
+            k = cur + 1
+            while k <= hi and attr.distance(attr[k], attr[cur]) <= self.theta:
+                nxt = k
+                k += 1
+            if nxt == cur:
+                return _INF
+            cur = nxt
+            hops += 1
+        return float(hops)
+
+    def max_edge_l1(self) -> float:
+        # every edge satisfies d <= theta by definition; theta itself is the
+        # calibration constant the paper uses (Lemma 6.1: sensitivity 2*theta)
+        return min(self.theta, self.domain.diameter())
+
+    def max_edge_index_gap(self) -> int:
+        attr = self.domain.require_ordered()
+        if not attr.is_numeric:
+            raise TypeError("distance-threshold graphs need numeric attributes")
+        # two-pointer scan: largest |i-j| with value distance <= theta
+        gap = 0
+        left = 0
+        for right in range(self.domain.size):
+            while attr.distance(attr[right], attr[left]) > self.theta:
+                left += 1
+            gap = max(gap, right - left)
+        return gap
+
+    def __repr__(self) -> str:
+        return f"DistanceThresholdGraph(theta={self.theta}, domain={self.domain!r})"
+
+
+class LineGraph(DistanceThresholdGraph):
+    """``G^{d,1}`` on an ordered domain: consecutive values are the secrets.
+
+    Implemented as a distance threshold equal to the largest consecutive
+    value gap, so that on non-unit-spaced domains the graph still links each
+    value to its immediate neighbors (and nothing else on unit-spaced ones).
+    """
+
+    def __init__(self, domain: Domain):
+        attr = domain.require_ordered()
+        if not attr.is_numeric:
+            # categorical ordered domain: use pure index adjacency
+            theta = 1.0
+        else:
+            gaps = [
+                attr.distance(attr[i + 1], attr[i]) for i in range(len(attr) - 1)
+            ]
+            theta = max(gaps) if gaps else 1.0
+        super().__init__(domain, theta)
+
+    def has_edge(self, i: int, j: int) -> bool:
+        return abs(i - j) == 1
+
+    def neighbors_of(self, i: int) -> Iterator[int]:
+        if i > 0:
+            yield i - 1
+        if i + 1 < self.domain.size:
+            yield i + 1
+
+    def graph_distance(self, i: int, j: int) -> float:
+        return float(abs(i - j))
+
+    def max_edge_l1(self) -> float:
+        attr = self.domain.attributes[0]
+        if not attr.is_numeric or len(attr) < 2:
+            return 1.0
+        return max(attr.distance(attr[i + 1], attr[i]) for i in range(len(attr) - 1))
+
+    def max_edge_index_gap(self) -> int:
+        return 1 if self.domain.size > 1 else 0
+
+    def __repr__(self) -> str:
+        return f"LineGraph(domain={self.domain!r})"
+
+
+class EdgelessGraph(DiscriminativeGraph):
+    """The empty secret graph: nothing is sensitive.
+
+    Models the paper's privacy-agnostic individual (Section 3.1): "an
+    individual who is privacy agnostic and does not mind disclosing his/her
+    value exactly by having no discriminative pair involving that
+    individual."  Every sensitivity under this graph is zero.
+    """
+
+    def has_edge(self, i: int, j: int) -> bool:
+        return False
+
+    def neighbors_of(self, i: int) -> Iterator[int]:
+        return iter(())
+
+    def graph_distance(self, i: int, j: int) -> float:
+        return 0.0 if i == j else _INF
+
+    def has_any_edge(self) -> bool:
+        return False
+
+    def max_edge_l1(self) -> float:
+        return 0.0
+
+    def max_edge_index_gap(self) -> int:
+        return 0
+
+
+class ExplicitGraph(DiscriminativeGraph):
+    """An arbitrary discriminative graph given edge-by-edge.
+
+    The workhorse for unit tests, brute-force validation and the Section 8
+    constructions, where exact control over the edge set matters more than
+    scale.
+    """
+
+    def __init__(self, domain: Domain, edges: Iterator[tuple[int, int]] | nx.Graph):
+        super().__init__(domain)
+        g = nx.Graph()
+        g.add_nodes_from(range(domain.size))
+        if isinstance(edges, nx.Graph):
+            g.add_edges_from(edges.edges())
+        else:
+            g.add_edges_from(edges)
+        for u, v in g.edges():
+            if not (0 <= u < domain.size and 0 <= v < domain.size):
+                raise ValueError(f"edge ({u}, {v}) outside domain")
+        g.remove_edges_from(nx.selfloop_edges(g))
+        self._g = g
+
+    def has_edge(self, i: int, j: int) -> bool:
+        return self._g.has_edge(i, j)
+
+    def neighbors_of(self, i: int) -> Iterator[int]:
+        return iter(self._g.neighbors(i))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for u, v in self._g.edges():
+            yield (min(u, v), max(u, v))
+
+    def graph_distance(self, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        try:
+            return float(nx.shortest_path_length(self._g, i, j))
+        except nx.NetworkXNoPath:
+            return _INF
+
+    def max_edge_l1(self) -> float:
+        best = 0.0
+        for u, v in self._g.edges():
+            best = max(best, self.domain.l1_distance(u, v))
+        return best
+
+    def max_edge_index_gap(self) -> int:
+        self.domain.require_ordered()
+        return max((abs(u - v) for u, v in self._g.edges()), default=0)
+
+    def to_networkx(self) -> nx.Graph:
+        return self._g.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplicitGraph({self._g.number_of_nodes()} nodes, "
+            f"{self._g.number_of_edges()} edges)"
+        )
+
+
+def _uniform_spacings(domain: Domain) -> tuple[float, ...] | None:
+    """Per-attribute uniform value spacing, or ``None`` if any attribute is
+    non-numeric or non-uniformly spaced."""
+    spacings = []
+    for attr in domain.attributes:
+        if not attr.is_numeric:
+            return None
+        if len(attr) == 1:
+            spacings.append(0.0)
+            continue
+        vals = np.asarray(attr.values, dtype=np.float64)
+        diffs = np.diff(vals)
+        if diffs.size == 0 or not np.allclose(diffs, diffs[0]):
+            return None
+        spacings.append(float(abs(diffs[0])))
+    positive = [s for s in spacings if s > 0]
+    if not positive:
+        return None
+    return tuple(positive)

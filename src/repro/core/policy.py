@@ -1,0 +1,123 @@
+"""Policies ``P = (T, G, I_Q)`` (paper Definition 3.1).
+
+A policy bundles the domain, the discriminative secret graph (what must be
+kept secret) and the publicly known constraints (what the adversary already
+knows).  Blowfish privacy (Definition 4.2) is differential privacy with the
+neighbor relation induced by the policy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .domain import Domain
+from .graphs import (
+    AttributeGraph,
+    DiscriminativeGraph,
+    DistanceThresholdGraph,
+    FullDomainGraph,
+    LineGraph,
+    PartitionGraph,
+)
+from .queries import ConstraintSet, Partition
+
+__all__ = ["Policy"]
+
+
+class Policy:
+    """A Blowfish policy ``P = (T, G, I_Q)``.
+
+    Parameters
+    ----------
+    domain:
+        The tuple domain ``T``.
+    graph:
+        The discriminative secret graph ``G``; edges are the pairs of values
+        the adversary must not distinguish.
+    constraints:
+        The publicly known knowledge ``Q`` (``None`` or empty means the
+        adversary only knows the cardinality ``n``, i.e. ``I_Q = I_n``).
+    """
+
+    __slots__ = ("domain", "graph", "constraints")
+
+    def __init__(
+        self,
+        domain: Domain,
+        graph: DiscriminativeGraph,
+        constraints: ConstraintSet | None = None,
+    ):
+        if graph.domain != domain:
+            raise ValueError("graph is over a different domain than the policy")
+        if constraints is not None and len(constraints) == 0:
+            constraints = None
+        if constraints is not None:
+            for c in constraints:
+                if c.query.domain != domain:
+                    raise ValueError("constraint query over a different domain")
+        self.domain = domain
+        self.graph = graph
+        self.constraints = constraints
+
+    # -- named constructors matching the paper's families -------------------------
+    @classmethod
+    def differential_privacy(cls, domain: Domain) -> "Policy":
+        """``(T, K, I_n)``: plain epsilon-differential privacy (Section 4.2)."""
+        return cls(domain, FullDomainGraph(domain))
+
+    @classmethod
+    def full_domain(cls, domain: Domain, constraints: ConstraintSet | None = None) -> "Policy":
+        """Full-domain secrets ``S^full_pairs`` (Eqn 4), optionally with constraints."""
+        return cls(domain, FullDomainGraph(domain), constraints)
+
+    @classmethod
+    def attribute(cls, domain: Domain, constraints: ConstraintSet | None = None) -> "Policy":
+        """Per-attribute secrets ``S^attr_pairs`` (Eqn 5)."""
+        return cls(domain, AttributeGraph(domain), constraints)
+
+    @classmethod
+    def partitioned(cls, partition: Partition, constraints: ConstraintSet | None = None) -> "Policy":
+        """Partitioned secrets ``S^P_pairs`` (Eqn 6)."""
+        return cls(partition.domain, PartitionGraph(partition), constraints)
+
+    @classmethod
+    def distance_threshold(
+        cls,
+        domain: Domain,
+        theta: float,
+        constraints: ConstraintSet | None = None,
+    ) -> "Policy":
+        """Distance-threshold secrets ``S^{d,theta}_pairs`` (Eqn 7), L1 metric."""
+        return cls(domain, DistanceThresholdGraph(domain, theta), constraints)
+
+    @classmethod
+    def line(cls, domain: Domain, constraints: ConstraintSet | None = None) -> "Policy":
+        """The line-graph policy of Section 7.1 (ordered domains, theta = 1)."""
+        return cls(domain, LineGraph(domain), constraints)
+
+    # -- structure ------------------------------------------------------------------
+    @property
+    def unconstrained(self) -> bool:
+        """True when ``I_Q = I_n`` (no auxiliary knowledge beyond cardinality)."""
+        return self.constraints is None
+
+    @property
+    def is_differential_privacy(self) -> bool:
+        """True when this policy is exactly epsilon-DP: complete graph, no Q."""
+        return self.unconstrained and isinstance(self.graph, FullDomainGraph)
+
+    def with_constraints(self, constraints: ConstraintSet | None) -> "Policy":
+        return Policy(self.domain, self.graph, constraints)
+
+    def without_constraints(self) -> "Policy":
+        return Policy(self.domain, self.graph, None)
+
+    def admits(self, db) -> bool:
+        """Whether ``D`` lies in ``I_Q`` (``D |- Q``)."""
+        if db.domain != self.domain:
+            return False
+        return self.constraints is None or self.constraints.satisfied_by(db)
+
+    def __repr__(self) -> str:
+        q = "I_n" if self.unconstrained else f"{len(self.constraints)} constraints"
+        return f"Policy({self.domain!r}, {self.graph!r}, {q})"

@@ -1,0 +1,456 @@
+"""Query abstractions: histograms, partitions, range, linear and count queries.
+
+These are the ``f : I_n -> R^d`` objects whose policy-specific sensitivity
+(Definition 5.1) the mechanisms calibrate noise to.  Each query is a callable
+``query(db) -> numpy array`` plus enough structure for the sensitivity
+calculators in :mod:`repro.core.sensitivity` to reason about it analytically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from .database import Database
+from .domain import Domain
+
+__all__ = [
+    "Partition",
+    "Query",
+    "HistogramQuery",
+    "CumulativeHistogramQuery",
+    "RangeQuery",
+    "LinearQuery",
+    "KMeansSumQuery",
+    "CountQuery",
+    "Constraint",
+    "ConstraintSet",
+]
+
+
+class Partition:
+    """A partition ``P = (P1, ..., Pk)`` of the domain into disjoint blocks.
+
+    Represented as a dense label array mapping each domain index to its block
+    id in ``[0, k)``.  Used both as a histogram granularity (``h_P``) and as
+    the structure behind partitioned sensitive information ``S^P_pairs``.
+    """
+
+    __slots__ = ("domain", "labels", "n_blocks")
+
+    def __init__(self, domain: Domain, labels: np.ndarray):
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (domain.size,):
+            raise ValueError(
+                f"labels must have shape ({domain.size},), got {labels.shape}"
+            )
+        if labels.size and labels.min() < 0:
+            raise ValueError("labels must be non-negative")
+        n_blocks = int(labels.max()) + 1 if labels.size else 0
+        # every block id in [0, n_blocks) must be used
+        used = np.unique(labels)
+        if used.size != n_blocks:
+            raise ValueError("block ids must be contiguous starting at 0")
+        self.domain = domain
+        self.labels = labels
+        self.labels.setflags(write=False)
+        self.n_blocks = n_blocks
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def from_blocks(cls, domain: Domain, blocks: Sequence[Sequence[int]]) -> "Partition":
+        """Build from explicit lists of domain indices (must cover the domain)."""
+        labels = np.full(domain.size, -1, dtype=np.int64)
+        for b, block in enumerate(blocks):
+            for idx in block:
+                if labels[idx] != -1:
+                    raise ValueError(f"domain index {idx} assigned to two blocks")
+                labels[idx] = b
+        if (labels == -1).any():
+            missing = int(np.count_nonzero(labels == -1))
+            raise ValueError(f"{missing} domain indices not covered by any block")
+        return cls(domain, labels)
+
+    @classmethod
+    def trivial(cls, domain: Domain) -> "Partition":
+        """Single block containing the whole domain."""
+        return cls(domain, np.zeros(domain.size, dtype=np.int64))
+
+    @classmethod
+    def singletons(cls, domain: Domain) -> "Partition":
+        """Every domain value in its own block (the complete histogram's P)."""
+        return cls(domain, np.arange(domain.size, dtype=np.int64))
+
+    @classmethod
+    def uniform_grid(cls, domain: Domain, cells_per_block: Sequence[int]) -> "Partition":
+        """Coarsen a grid domain into rectangular super-cells.
+
+        ``cells_per_block[i]`` is the number of original cells each block
+        spans along axis ``i``.  This is the construction behind Figure 1(f):
+        the 300x400 twitter grid uniformly divided into 10/100/1000/...
+        coarse cells.
+        """
+        shape = domain.shape
+        if len(cells_per_block) != len(shape):
+            raise ValueError("cells_per_block must match the domain dimensionality")
+        ranks = domain.ranks_table()
+        block_coords = []
+        n_blocks_axis = []
+        for axis, span in enumerate(cells_per_block):
+            if span <= 0:
+                raise ValueError("cells_per_block entries must be positive")
+            coord = ranks[:, axis] // span
+            block_coords.append(coord)
+            n_blocks_axis.append(int(coord.max()) + 1)
+        labels = np.zeros(domain.size, dtype=np.int64)
+        for coord, nb in zip(block_coords, n_blocks_axis):
+            labels = labels * nb + coord
+        # compress to contiguous ids (all are used by construction, but be safe)
+        _, labels = np.unique(labels, return_inverse=True)
+        return cls(domain, labels.astype(np.int64))
+
+    # -- block structure -----------------------------------------------------------
+    def block_of(self, index: int) -> int:
+        return int(self.labels[index])
+
+    def block_members(self, block: int) -> np.ndarray:
+        return np.flatnonzero(self.labels == block)
+
+    def block_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.n_blocks)
+
+    def same_block(self, i: int, j: int) -> bool:
+        return self.labels[i] == self.labels[j]
+
+    def is_refinement_of(self, coarser: "Partition") -> bool:
+        """True if every block of ``self`` lies inside one block of ``coarser``."""
+        if self.domain != coarser.domain:
+            raise ValueError("partitions over different domains")
+        for b in range(self.n_blocks):
+            members = self.block_members(b)
+            if np.unique(coarser.labels[members]).size > 1:
+                return False
+        return True
+
+    def block_l1_diameter(self, block: int, exact_limit: int = 2048) -> float:
+        """L1 diameter ``d(P_b)`` of one block.
+
+        Exact (pairwise) for blocks up to ``exact_limit`` members; larger
+        blocks use the per-attribute bounding-box diameter, which is exact
+        whenever the block is a product set (true for all grid coarsenings
+        used in the paper) and an upper bound otherwise.
+        """
+        members = self.block_members(block)
+        if members.size <= 1:
+            return 0.0
+        if members.size <= exact_limit:
+            best = 0.0
+            vals = [self.domain.value_of(int(i)) for i in members]
+            attrs = self.domain.attributes
+            for a in range(len(vals)):
+                for b in range(a + 1, len(vals)):
+                    d = sum(
+                        attr.distance(u, v)
+                        for attr, u, v in zip(attrs, vals[a], vals[b])
+                    )
+                    best = max(best, d)
+            return float(best)
+        # bounding box in rank space, converted to value distances per attribute
+        total = 0.0
+        rest = members.copy()
+        for radix, attr in zip(self.domain._radices, self.domain.attributes):
+            ranks = (rest // radix) % len(attr)
+            if attr.is_numeric:
+                vals = np.asarray(attr.values, dtype=np.float64)[ranks]
+                total += float(vals.max() - vals.min())
+            else:
+                total += 0.0 if np.unique(ranks).size == 1 else 1.0
+        return total
+
+    def max_block_l1_diameter(self) -> float:
+        """``max_P d(P)`` over all blocks — the quantity in Lemma 6.1 for G^P.
+
+        Vectorized per-block bounding boxes (grouped min/max per attribute):
+        O(|T| * m) regardless of the block count, exact for product-shaped
+        blocks (every grid coarsening in the paper) and an upper bound
+        otherwise — see :meth:`block_l1_diameter` for exact small blocks.
+        """
+        if self.n_blocks == 0:
+            return 0.0
+        total = np.zeros(self.n_blocks, dtype=np.float64)
+        rest = np.arange(self.domain.size, dtype=np.int64)
+        for radix, attr in zip(self.domain._radices, self.domain.attributes):
+            ranks = (rest // radix) % len(attr)
+            if attr.is_numeric:
+                vals = np.asarray(attr.values, dtype=np.float64)[ranks]
+                lo = np.full(self.n_blocks, np.inf)
+                hi = np.full(self.n_blocks, -np.inf)
+                np.minimum.at(lo, self.labels, vals)
+                np.maximum.at(hi, self.labels, vals)
+                total += hi - lo
+            else:
+                lo = np.full(self.n_blocks, np.iinfo(np.int64).max)
+                hi = np.full(self.n_blocks, -1)
+                np.minimum.at(lo, self.labels, ranks)
+                np.maximum.at(hi, self.labels, ranks)
+                total += (hi > lo).astype(np.float64)
+        return float(total.max())
+
+    def __repr__(self) -> str:
+        return f"Partition({self.n_blocks} blocks over {self.domain!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Partition)
+            and self.domain == other.domain
+            and np.array_equal(self.labels, other.labels)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.domain, self.labels.tobytes()))
+
+
+class Query:
+    """Base class for vector-valued queries ``f : I_n -> R^d``."""
+
+    name: str = "query"
+
+    def __call__(self, db: Database) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def output_dim(self) -> int:
+        raise NotImplementedError
+
+
+class HistogramQuery(Query):
+    """``h_P``: counts per partition block (Section 2).
+
+    With ``partition=None`` (or the singleton partition) this is the complete
+    histogram ``h``.
+    """
+
+    def __init__(self, domain: Domain, partition: Partition | None = None):
+        if partition is not None and partition.domain != domain:
+            raise ValueError("partition is over a different domain")
+        self.domain = domain
+        self.partition = partition
+        self.name = "histogram" if partition is None else f"histogram[{partition.n_blocks}]"
+
+    @property
+    def output_dim(self) -> int:
+        return self.domain.size if self.partition is None else self.partition.n_blocks
+
+    def __call__(self, db: Database) -> np.ndarray:
+        if db.domain != self.domain:
+            raise ValueError("database is over a different domain")
+        if self.partition is None:
+            return db.histogram()
+        labels = self.partition.labels[db.indices]
+        return np.bincount(labels, minlength=self.partition.n_blocks).astype(np.float64)
+
+
+class CumulativeHistogramQuery(Query):
+    """``S_T``: prefix sums of the complete histogram (Definition 7.1)."""
+
+    def __init__(self, domain: Domain):
+        domain.require_ordered()
+        self.domain = domain
+        self.name = "cumulative_histogram"
+
+    @property
+    def output_dim(self) -> int:
+        return self.domain.size
+
+    def __call__(self, db: Database) -> np.ndarray:
+        if db.domain != self.domain:
+            raise ValueError("database is over a different domain")
+        return db.cumulative_histogram()
+
+
+class RangeQuery(Query):
+    """``q[x_lo, x_hi]``: number of tuples in an index range (Definition 7.2)."""
+
+    def __init__(self, domain: Domain, lo: int, hi: int):
+        domain.require_ordered()
+        if not 0 <= lo <= hi < domain.size:
+            raise ValueError(f"invalid range [{lo}, {hi}] for domain size {domain.size}")
+        self.domain = domain
+        self.lo = lo
+        self.hi = hi
+        self.name = f"range[{lo},{hi}]"
+
+    @property
+    def output_dim(self) -> int:
+        return 1
+
+    def __call__(self, db: Database) -> np.ndarray:
+        return np.array([db.range_count(self.lo, self.hi)], dtype=np.float64)
+
+
+class LinearQuery(Query):
+    """``f_w(D) = sum_i w_i x_i`` over a numeric 1-D domain (Section 5 example)."""
+
+    def __init__(self, domain: Domain, weights: Sequence[float]):
+        attr = domain.require_ordered()
+        if not attr.is_numeric:
+            raise TypeError("linear queries need a numeric domain")
+        self.domain = domain
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.name = "linear"
+
+    @property
+    def output_dim(self) -> int:
+        return 1
+
+    def __call__(self, db: Database) -> np.ndarray:
+        if db.n != self.weights.size:
+            raise ValueError(
+                f"weight vector has length {self.weights.size} but database has {db.n} tuples"
+            )
+        values = db.points()[:, 0]
+        return np.array([float(self.weights @ values)], dtype=np.float64)
+
+
+class KMeansSumQuery(Query):
+    """``q_sum``: per-cluster coordinate sums given a cluster assignment (Section 6).
+
+    The assignment is a function of the current centroids, not of the data
+    owner's choosing, so its sensitivity is governed by how far one tuple can
+    move — ``2 * max_edge_l1(G)`` under a Blowfish policy (Lemma 6.1).
+    """
+
+    def __init__(self, domain: Domain, assign: Callable[[np.ndarray], np.ndarray], k: int):
+        self.domain = domain
+        self.assign = assign
+        self.k = k
+        self.name = f"kmeans_sum[k={k}]"
+
+    @property
+    def output_dim(self) -> int:
+        return self.k * self.domain.n_attributes
+
+    def __call__(self, db: Database) -> np.ndarray:
+        pts = db.points()
+        labels = self.assign(pts)
+        out = np.zeros((self.k, pts.shape[1]), dtype=np.float64)
+        np.add.at(out, labels, pts)
+        return out.reshape(-1)
+
+
+class CountQuery(Query):
+    """``q_phi``: number of tuples satisfying a predicate (Section 8.1).
+
+    The predicate is evaluated once per *domain cell* and cached as a boolean
+    mask, so membership tests (`lifts`/`lowers`, Definition 8.1) are O(1).
+    """
+
+    def __init__(
+        self,
+        domain: Domain,
+        predicate: Callable[[tuple], bool],
+        name: str = "count",
+    ):
+        domain._check_enumerable("CountQuery mask construction")
+        self.domain = domain
+        self.predicate = predicate
+        self.name = name
+        mask = np.fromiter(
+            (bool(predicate(v)) for v in domain.iter_values()),
+            dtype=bool,
+            count=domain.size,
+        )
+        mask.setflags(write=False)
+        self.mask = mask
+
+    @classmethod
+    def from_mask(cls, domain: Domain, mask: np.ndarray, name: str = "count") -> "CountQuery":
+        """Build directly from a boolean mask over domain indices."""
+        obj = cls.__new__(cls)
+        mask = np.asarray(mask, dtype=bool).copy()
+        if mask.shape != (domain.size,):
+            raise ValueError("mask shape must equal domain size")
+        mask.setflags(write=False)
+        obj.domain = domain
+        obj.predicate = lambda v: bool(mask[domain.index_of(v)])
+        obj.name = name
+        obj.mask = mask
+        return obj
+
+    @property
+    def output_dim(self) -> int:
+        return 1
+
+    def __call__(self, db: Database) -> np.ndarray:
+        return np.array([float(np.count_nonzero(self.mask[db.indices]))])
+
+    def holds_at(self, index: int) -> bool:
+        """Whether the predicate holds at domain cell ``index``."""
+        return bool(self.mask[index])
+
+    # -- Definition 8.1 -----------------------------------------------------------
+    def lifted_by(self, x: int, y: int) -> bool:
+        """True iff changing a tuple from ``x`` to ``y`` *lifts* this query."""
+        return (not self.mask[x]) and bool(self.mask[y])
+
+    def lowered_by(self, x: int, y: int) -> bool:
+        """True iff changing a tuple from ``x`` to ``y`` *lowers* this query."""
+        return bool(self.mask[x]) and not self.mask[y]
+
+    def __repr__(self) -> str:
+        return f"CountQuery({self.name!r}, |support|={int(self.mask.sum())})"
+
+
+class Constraint:
+    """A published (count query, answer) pair ``q_phi(D) = cnt`` (Eqn 16)."""
+
+    __slots__ = ("query", "value")
+
+    def __init__(self, query: CountQuery, value: int):
+        self.query = query
+        self.value = int(value)
+
+    def satisfied_by(self, db: Database) -> bool:
+        return int(self.query(db)[0]) == self.value
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.query.name} = {self.value})"
+
+
+class ConstraintSet:
+    """The auxiliary knowledge ``Q``: a conjunction of count constraints.
+
+    ``I_Q`` (the possible worlds) is the set of databases satisfying every
+    member.  The answers do not affect sensitivity analysis (Section 8.1),
+    so most of the machinery only looks at the queries.
+    """
+
+    def __init__(self, constraints: Sequence[Constraint]):
+        self.constraints = tuple(constraints)
+        if self.constraints:
+            domains = {c.query.domain for c in self.constraints}
+            if len(domains) > 1:
+                raise ValueError("constraints span multiple domains")
+
+    @classmethod
+    def from_database(cls, queries: Sequence[CountQuery], db: Database) -> "ConstraintSet":
+        """Publish the true answers of ``queries`` on ``db`` as constraints."""
+        return cls([Constraint(q, int(q(db)[0])) for q in queries])
+
+    @property
+    def queries(self) -> tuple[CountQuery, ...]:
+        return tuple(c.query for c in self.constraints)
+
+    def satisfied_by(self, db: Database) -> bool:
+        return all(c.satisfied_by(db) for c in self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet({[c.query.name for c in self.constraints]})"

@@ -1,0 +1,49 @@
+"""Random-number-generator plumbing shared by every randomized component.
+
+Every mechanism, dataset generator and experiment in this library takes an
+explicit source of randomness so that runs are reproducible bit-for-bit.
+The convention (borrowed from scikit-learn and modern numpy) is:
+
+* ``None``   -> a fresh, OS-seeded :class:`numpy.random.Generator`
+* ``int``    -> a deterministically seeded generator
+* Generator  -> used as-is (shared state with the caller)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream, or
+        an existing generator (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int or numpy Generator, got {type(seed)!r}")
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used by experiment harnesses to give each trial its own stream so that
+    trials are independent and individually reproducible.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,232 @@
+"""Policy-specific global sensitivity ``S(f, P)`` (paper Definition 5.1).
+
+``S(f, P) = max_{(D1,D2) in N(P)} ||f(D1) - f(D2)||_1`` — the calibration
+constant of the Laplace mechanism under a Blowfish policy (Theorem 5.1).
+
+Two layers:
+
+* analytic calculators for the query families the paper studies (complete
+  and partitioned histograms, cumulative histograms, k-means ``q_sum``,
+  linear queries, range queries), valid for *unconstrained* policies, where
+  neighbors differ in exactly one tuple across a graph edge;
+* an exact brute-force evaluator over enumerated neighbor pairs, used by the
+  test-suite to validate both the analytic layer and the Section 8 policy
+  graph bounds.
+
+Constrained policies route through
+:func:`repro.constraints.applications.constrained_histogram_sensitivity`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from .database import Database
+from .graphs import (
+    AttributeGraph,
+    DiscriminativeGraph,
+    DistanceThresholdGraph,
+    FullDomainGraph,
+    LineGraph,
+    PartitionGraph,
+)
+from .neighbors import neighbor_pairs
+from .policy import Policy
+from .queries import (
+    CountQuery,
+    CumulativeHistogramQuery,
+    HistogramQuery,
+    KMeansSumQuery,
+    LinearQuery,
+    Partition,
+    Query,
+    RangeQuery,
+)
+
+__all__ = [
+    "sensitivity",
+    "histogram_sensitivity",
+    "cumulative_histogram_sensitivity",
+    "ksum_sensitivity",
+    "linear_query_sensitivity",
+    "range_query_sensitivity",
+    "count_query_sensitivity",
+    "brute_force_sensitivity",
+]
+
+
+def _require_unconstrained(policy: Policy, what: str) -> None:
+    if not policy.unconstrained:
+        raise ValueError(
+            f"analytic {what} sensitivity requires an unconstrained policy; "
+            "use repro.constraints.applications for policies with constraints"
+        )
+
+
+def histogram_sensitivity(policy: Policy, partition: Partition | None = None) -> float:
+    """``S(h_P, P)`` for unconstrained policies.
+
+    Changing one tuple across an edge moves one unit of count between (at
+    most) two cells, so the sensitivity is 2 whenever some edge crosses two
+    blocks of the histogram partition, and 0 otherwise.  The notable zero
+    case is the paper's Section 5 observation: under partitioned secrets
+    ``G^P``, any histogram at partition ``P`` (or coarser) is free.
+    """
+    _require_unconstrained(policy, "histogram")
+    graph = policy.graph
+    if partition is None:
+        return 2.0 if graph.has_any_edge() else 0.0
+    if partition.n_blocks <= 1:
+        return 0.0
+    if isinstance(graph, PartitionGraph):
+        return 0.0 if graph.partition.is_refinement_of(partition) else 2.0
+    if isinstance(graph, (FullDomainGraph, AttributeGraph)):
+        # both graphs are connected, so any non-trivial partition is crossed
+        return 2.0
+    if isinstance(graph, LineGraph):
+        return 2.0 if _line_crosses(partition) else 0.0
+    if policy.domain.size <= policy.domain.MAX_ENUMERABLE:
+        labels = partition.labels
+        for i, j in graph.edges():
+            if labels[i] != labels[j]:
+                return 2.0
+        return 0.0
+    # conservative upper bound for huge, exotic graphs
+    return 2.0
+
+
+def _line_crosses(partition: Partition) -> bool:
+    labels = partition.labels
+    return bool(np.any(labels[1:] != labels[:-1]))
+
+
+def cumulative_histogram_sensitivity(policy: Policy) -> float:
+    """``S(S_T, P)``: how many prefix counts one edge-change can perturb.
+
+    Equal to the largest index gap across an edge: ``|T| - 1`` for the full
+    domain (differential privacy), 1 for the line graph (Section 7.1),
+    ``theta`` for ``G^{d,theta}`` on unit-spaced domains (Section 7.2).
+    """
+    _require_unconstrained(policy, "cumulative histogram")
+    policy.domain.require_ordered()
+    return float(policy.graph.max_edge_index_gap())
+
+
+def ksum_sensitivity(policy: Policy) -> float:
+    """``S(q_sum, P)`` for k-means (Lemma 6.1): ``2 * max_edge_l1(G)``.
+
+    The paper's accounting charges a change ``x -> y`` as moving ``d(x, y)``
+    of coordinate mass out of one cluster sum and into another, hence the
+    factor 2: ``2 d(T)`` for ``G^full``, ``2 max_A |A|`` for ``G^attr``,
+    ``2 theta`` for ``G^{d,theta}`` and ``2 max_P d(P)`` for ``G^P``.
+    """
+    _require_unconstrained(policy, "q_sum")
+    return 2.0 * policy.graph.max_edge_l1()
+
+
+def linear_query_sensitivity(policy: Policy, weights: Iterable[float]) -> float:
+    """``S(f_w, P)`` for ``f_w = sum_i w_i x_i`` (Section 5 example).
+
+    One tuple moving across an edge changes the sum by at most
+    ``|w_i| * d(x, y)``, so ``S = max_i |w_i| * max_edge_l1(G)`` —
+    ``(b - a) max_i w_i`` for the full domain, ``theta max_i |w_i|`` for
+    the distance-threshold graph.
+    """
+    _require_unconstrained(policy, "linear query")
+    policy.domain.require_ordered()
+    w = np.asarray(list(weights), dtype=np.float64)
+    if w.size == 0:
+        return 0.0
+    return float(np.abs(w).max()) * policy.graph.max_edge_l1()
+
+
+def range_query_sensitivity(policy: Policy, lo: int, hi: int) -> float:
+    """``S(q[x_lo, x_hi], P)``: 1 if some edge crosses the range boundary.
+
+    The full-domain range is constant (cardinality is public) and hence
+    free.
+    """
+    _require_unconstrained(policy, "range query")
+    policy.domain.require_ordered()
+    size = policy.domain.size
+    if lo == 0 and hi == size - 1:
+        return 0.0
+    graph = policy.graph
+    if isinstance(graph, (FullDomainGraph, AttributeGraph)):
+        return 1.0
+    if isinstance(graph, (LineGraph, DistanceThresholdGraph)):
+        # index-local graphs always have an edge straddling a proper range
+        return 1.0 if graph.max_edge_index_gap() >= 1 else 0.0
+    if isinstance(graph, PartitionGraph):
+        labels = graph.partition.labels
+        inside = np.zeros(size, dtype=bool)
+        inside[lo : hi + 1] = True
+        for b in range(graph.partition.n_blocks):
+            members = graph.partition.block_members(b)
+            if members.size > 1 and len(np.unique(inside[members])) > 1:
+                return 1.0
+        return 0.0
+    for i, j in graph.edges():
+        if (lo <= i <= hi) != (lo <= j <= hi):
+            return 1.0
+    return 0.0
+
+
+def count_query_sensitivity(policy: Policy, query: CountQuery) -> float:
+    """``S(q_phi, P)``: 1 if some edge lifts or lowers the query, else 0."""
+    _require_unconstrained(policy, "count query")
+    graph = policy.graph
+    mask = query.mask
+    if isinstance(graph, FullDomainGraph):
+        some = bool(mask.any())
+        return 1.0 if some and not mask.all() else 0.0
+    if isinstance(graph, PartitionGraph):
+        for b in range(graph.partition.n_blocks):
+            members = graph.partition.block_members(b)
+            if members.size > 1 and len(np.unique(mask[members])) > 1:
+                return 1.0
+        return 0.0
+    for i, j in graph.edges():
+        if mask[i] != mask[j]:
+            return 1.0
+    return 0.0
+
+
+def sensitivity(query: Query, policy: Policy) -> float:
+    """Dispatch ``S(f, P)`` to the analytic calculator for ``f``'s family."""
+    if isinstance(query, HistogramQuery):
+        return histogram_sensitivity(policy, query.partition)
+    if isinstance(query, CumulativeHistogramQuery):
+        return cumulative_histogram_sensitivity(policy)
+    if isinstance(query, KMeansSumQuery):
+        return ksum_sensitivity(policy)
+    if isinstance(query, LinearQuery):
+        return linear_query_sensitivity(policy, query.weights)
+    if isinstance(query, RangeQuery):
+        return range_query_sensitivity(policy, query.lo, query.hi)
+    if isinstance(query, CountQuery):
+        return count_query_sensitivity(policy, query)
+    raise TypeError(
+        f"no analytic sensitivity for {type(query).__name__}; "
+        "use brute_force_sensitivity()"
+    )
+
+
+def brute_force_sensitivity(
+    query: Callable[[Database], np.ndarray],
+    policy: Policy,
+    n: int,
+    universe: list[Database] | None = None,
+) -> float:
+    """Exact ``S(f, P)`` by enumerating ``N(P)`` over databases of size ``n``.
+
+    Exponential in ``n``; intended for validating analytic calculators and
+    the Section 8 policy-graph bounds on small domains.
+    """
+    best = 0.0
+    for d1, d2 in neighbor_pairs(policy, n, universe=universe):
+        diff = np.abs(np.asarray(query(d1), dtype=float) - np.asarray(query(d2), dtype=float))
+        best = max(best, float(diff.sum()))
+    return best

@@ -1,0 +1,163 @@
+"""The cardinality extension: ``⊥`` secrets (paper Section 3.1, closing).
+
+The paper assumes the adversary knows ``n`` and defers the relaxation to
+future work, sketching it precisely: "adding an additional set of secrets
+of the form ``s_i⊥`` which mean 'individual i is not in dataset' ... by
+adding ``⊥`` to the domain and to the discriminative secret graph G."
+
+This module implements that sketch.  :func:`with_bottom` augments a domain
+with a distinguished ``⊥`` value (index ``|T|``), and
+:class:`BottomAugmentedGraph` wraps any discriminative graph, adding
+``(x, ⊥)`` edges according to a membership-secrecy mode:
+
+* ``"all"``  — presence is secret for every value: ``⊥`` connects to all of
+  ``T``.  With the full-domain base graph this recovers *unbounded*
+  differential privacy (insert/delete neighbors) inside the Blowfish
+  formalism: one tuple flipping between a real value and ``⊥`` is exactly
+  an insertion/deletion.
+* ``"none"`` — membership is public (the paper's default assumption), but
+  the augmented domain still lets absent individuals be represented.
+
+Databases over the augmented domain use ``⊥`` for absent individuals; all
+mechanisms, sensitivities and neighbor machinery work unchanged, because
+the augmentation is just another domain + graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .database import Database
+from .domain import Attribute, Domain
+from .graphs import DiscriminativeGraph
+
+__all__ = ["BOTTOM", "with_bottom", "BottomAugmentedGraph", "presence_database"]
+
+
+class _Bottom:
+    """Singleton sentinel for the ``⊥`` (absent) value."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+BOTTOM = _Bottom()
+
+
+def with_bottom(domain: Domain) -> Domain:
+    """The augmented domain ``T ∪ {⊥}``.
+
+    Only 1-attribute domains are augmented directly (multi-attribute
+    domains would need ``⊥`` per the cross product; flatten first).  The
+    ``⊥`` value sits at the *end* of the value order, so indices of real
+    values are unchanged: index ``|T|`` is ``⊥``.
+    """
+    attr = domain.require_ordered()
+    return Domain([Attribute(attr.name, list(attr.values) + [BOTTOM])])
+
+
+class BottomAugmentedGraph(DiscriminativeGraph):
+    """A base graph on ``T`` plus membership edges to ``⊥``.
+
+    Parameters
+    ----------
+    base:
+        The discriminative graph over the *original* domain.
+    augmented_domain:
+        The :func:`with_bottom` domain (``base.domain`` plus ``⊥``).
+    membership:
+        ``"all"`` to protect presence for every value, ``"none"`` to keep
+        membership public.
+    """
+
+    def __init__(
+        self,
+        base: DiscriminativeGraph,
+        augmented_domain: Domain,
+        membership: str = "all",
+    ):
+        if augmented_domain.size != base.domain.size + 1:
+            raise ValueError("augmented domain must add exactly the ⊥ value")
+        if membership not in ("all", "none"):
+            raise ValueError("membership must be 'all' or 'none'")
+        super().__init__(augmented_domain)
+        self.base = base
+        self.membership = membership
+        self.bottom = base.domain.size  # ⊥'s index
+
+    def has_edge(self, i: int, j: int) -> bool:
+        if i == j:
+            return False
+        if i == self.bottom or j == self.bottom:
+            return self.membership == "all"
+        return self.base.has_edge(i, j)
+
+    def neighbors_of(self, i: int) -> Iterator[int]:
+        if i == self.bottom:
+            if self.membership == "all":
+                yield from range(self.base.domain.size)
+            return
+        yield from self.base.neighbors_of(i)
+        if self.membership == "all":
+            yield self.bottom
+
+    def graph_distance(self, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        through_bottom = float("inf")
+        if self.membership == "all":
+            if i == self.bottom or j == self.bottom:
+                return 1.0
+            through_bottom = 2.0  # i -> ⊥ -> j
+        if i == self.bottom or j == self.bottom:
+            return float("inf")
+        return min(self.base.graph_distance(i, j), through_bottom)
+
+    def has_any_edge(self) -> bool:
+        return self.membership == "all" or self.base.has_any_edge()
+
+    def max_edge_l1(self) -> float:
+        """⊥-edges are membership flips; their "distance" is the largest
+        real value's contribution (a tuple appearing anywhere), so the
+        domain diameter is the conservative constant."""
+        if self.membership == "all":
+            return self.base.domain.diameter() if self.base.domain.size > 1 else 1.0
+        return self.base.max_edge_l1()
+
+    def max_edge_index_gap(self) -> int:
+        if self.membership == "all":
+            # a membership flip can add/remove a tuple at any index: every
+            # prefix count from that index on changes
+            return self.base.domain.size
+        return self.base.max_edge_index_gap()
+
+    def __repr__(self) -> str:
+        return f"BottomAugmentedGraph({self.base!r}, membership={self.membership!r})"
+
+
+def presence_database(
+    augmented_domain: Domain,
+    values: dict[int, int],
+    population: int,
+) -> Database:
+    """A fixed-population database where absent individuals hold ``⊥``.
+
+    ``values`` maps present individual ids to their (original-domain)
+    indices; the remaining ids up to ``population`` are set to ``⊥``.
+    """
+    bottom = augmented_domain.size - 1
+    idx = [bottom] * population
+    for i, v in values.items():
+        if not 0 <= i < population:
+            raise ValueError(f"individual id {i} outside the population")
+        if not 0 <= v < bottom:
+            raise ValueError(f"value index {v} outside the original domain")
+        idx[i] = v
+    return Database.from_indices(augmented_domain, idx)

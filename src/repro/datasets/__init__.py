@@ -1,0 +1,47 @@
+"""Seeded synthetic equivalents of the paper's evaluation datasets.
+
+Each module documents the substitution (original -> synthetic -> why the
+relevant behaviour is preserved); the summary table lives in DESIGN.md
+Section 3.
+"""
+
+from .adult import (
+    ADULT_N,
+    CAPITAL_LOSS_DOMAIN_SIZE,
+    adult_capital_loss_dataset,
+    adult_capital_loss_domain,
+)
+from .base import clipped_gaussian_mixture, database_from_points, indices_from_ranks
+from .skin import SKIN_N, skin_dataset, skin_domain
+from .synthetic import gaussian_clusters_dataset, unit_cube_domain
+from .twitter import (
+    CELL_KM,
+    GRID_SHAPE,
+    TWITTER_N,
+    twitter_dataset,
+    twitter_domain,
+    twitter_latitude_dataset,
+    twitter_latitude_domain,
+)
+
+__all__ = [
+    "twitter_domain",
+    "twitter_dataset",
+    "twitter_latitude_domain",
+    "twitter_latitude_dataset",
+    "TWITTER_N",
+    "CELL_KM",
+    "GRID_SHAPE",
+    "skin_domain",
+    "skin_dataset",
+    "SKIN_N",
+    "adult_capital_loss_domain",
+    "adult_capital_loss_dataset",
+    "ADULT_N",
+    "CAPITAL_LOSS_DOMAIN_SIZE",
+    "unit_cube_domain",
+    "gaussian_clusters_dataset",
+    "clipped_gaussian_mixture",
+    "database_from_points",
+    "indices_from_ranks",
+]

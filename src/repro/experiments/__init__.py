@@ -1,0 +1,48 @@
+"""Experiment harness regenerating every figure in the paper's evaluation
+(Figures 1(a)-(f) and 2(b)-(c)) plus the DESIGN.md ablations."""
+
+from .ablations import (
+    budget_split_ablation,
+    fanout_ablation,
+    inference_ablation,
+    kmeans_budget_ablation,
+)
+from .config import ExperimentScale, default_scale, paper_scale, quick_scale
+from .figure1 import (
+    figure_1a,
+    figure_1b,
+    figure_1c,
+    figure_1d,
+    figure_1e,
+    figure_1f,
+    kmeans_error_curves,
+    twitter_partition,
+)
+from .figure2 import figure_2b, figure_2c, range_error_curves
+from .results import ResultTable, SeriesPoint
+from .runner import run_all
+
+__all__ = [
+    "ExperimentScale",
+    "default_scale",
+    "paper_scale",
+    "quick_scale",
+    "ResultTable",
+    "SeriesPoint",
+    "kmeans_error_curves",
+    "figure_1a",
+    "figure_1b",
+    "figure_1c",
+    "figure_1d",
+    "figure_1e",
+    "figure_1f",
+    "twitter_partition",
+    "range_error_curves",
+    "figure_2b",
+    "figure_2c",
+    "budget_split_ablation",
+    "inference_ablation",
+    "fanout_ablation",
+    "kmeans_budget_ablation",
+    "run_all",
+]

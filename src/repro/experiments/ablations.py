@@ -1,0 +1,148 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper, but the natural follow-up questions its design
+raises: how much does the Eqn (15) budget split buy over a uniform split,
+what constrained inference contributes, how the fan-out interacts with
+theta, and how the k-means budget split between ``q_size``/``q_sum``
+matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.error import random_range_queries, true_range_answers
+from ..core.database import Database
+from ..core.policy import Policy
+from ..core.rng import ensure_rng, spawn
+from ..mechanisms.kmeans import PrivateKMeans, _init_centroids, lloyd_kmeans
+from ..mechanisms.ordered_hierarchical import OrderedHierarchicalMechanism
+from .config import ExperimentScale, default_scale
+from .results import ResultTable
+
+__all__ = [
+    "budget_split_ablation",
+    "inference_ablation",
+    "fanout_ablation",
+    "kmeans_budget_ablation",
+]
+
+
+def _oh_mse(
+    db: Database,
+    theta: float,
+    epsilon: float,
+    scale: ExperimentScale,
+    rng,
+    fanout: int = 16,
+    budget_split="optimal",
+    consistent: bool = True,
+) -> np.ndarray:
+    los, his = random_range_queries(db.domain.size, scale.n_range_queries, rng)
+    truth = true_range_answers(db.cumulative_histogram(), los, his)
+    policy = Policy.distance_threshold(db.domain, theta)
+    mech = OrderedHierarchicalMechanism(
+        policy, epsilon, fanout=fanout, budget_split=budget_split, consistent=consistent
+    )
+    errs = []
+    for trial_rng in spawn(rng, scale.trials):
+        rel = mech.release(db, rng=trial_rng)
+        errs.append(float(np.mean((rel.ranges(los, his) - truth) ** 2)))
+    return np.asarray(errs)
+
+
+def budget_split_ablation(
+    db: Database,
+    theta: float,
+    scale: ExperimentScale | None = None,
+    splits: tuple[str, ...] = ("optimal", "uniform"),
+) -> ResultTable:
+    """Eqn (15) optimal split vs uniform eps/2 split, per epsilon."""
+    scale = scale or default_scale()
+    table = ResultTable(f"Budget split ablation (theta={theta:g})", y_label="range query MSE")
+    for split in splits:
+        rng = ensure_rng(scale.seed)
+        for eps in scale.epsilons:
+            errs = _oh_mse(db, theta, eps, scale, rng, budget_split=split)
+            table.add(split, eps, errs.mean(), np.percentile(errs, 25), np.percentile(errs, 75))
+    return table
+
+
+def inference_ablation(
+    db: Database,
+    theta: float,
+    scale: ExperimentScale | None = None,
+) -> ResultTable:
+    """Constrained inference on vs off (raw paper estimates)."""
+    scale = scale or default_scale()
+    table = ResultTable(
+        f"Constrained inference ablation (theta={theta:g})", y_label="range query MSE"
+    )
+    for label, consistent in (("inference", True), ("raw", False)):
+        rng = ensure_rng(scale.seed)
+        for eps in scale.epsilons:
+            errs = _oh_mse(db, theta, eps, scale, rng, consistent=consistent)
+            table.add(label, eps, errs.mean(), np.percentile(errs, 25), np.percentile(errs, 75))
+    return table
+
+
+def fanout_ablation(
+    db: Database,
+    theta: float,
+    epsilon: float = 0.5,
+    fanouts: tuple[int, ...] = (2, 4, 8, 16, 32),
+    scale: ExperimentScale | None = None,
+) -> ResultTable:
+    """Range-query error as a function of the H-tree fan-out."""
+    scale = scale or default_scale()
+    table = ResultTable(
+        f"Fan-out ablation (theta={theta:g}, eps={epsilon:g})",
+        x_label="fanout",
+        y_label="range query MSE",
+    )
+    for f in fanouts:
+        rng = ensure_rng(scale.seed)
+        errs = _oh_mse(db, theta, epsilon, scale, rng, fanout=f)
+        table.add("oh", f, errs.mean(), np.percentile(errs, 25), np.percentile(errs, 75))
+    return table
+
+
+def kmeans_budget_ablation(
+    db: Database,
+    policy: Policy,
+    epsilon: float = 0.5,
+    fractions: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9),
+    scale: ExperimentScale | None = None,
+) -> ResultTable:
+    """Sweep the per-iteration budget share given to ``q_size``."""
+    scale = scale or default_scale()
+    table = ResultTable(
+        f"k-means size-budget ablation (eps={epsilon:g})",
+        x_label="size budget fraction",
+        y_label="objective ratio",
+    )
+    rng = ensure_rng(scale.seed)
+    points = db.points()
+    trial_rngs = spawn(rng, scale.trials)
+    for frac in fractions:
+        ratios = []
+        for trial_rng in trial_rngs:
+            init = _init_centroids(points, scale.kmeans_k, trial_rng)
+            baseline = lloyd_kmeans(
+                points, scale.kmeans_k, scale.kmeans_iterations,
+                rng=trial_rng, init_centroids=init,
+            )
+            mech = PrivateKMeans(
+                policy,
+                epsilon,
+                k=scale.kmeans_k,
+                iterations=scale.kmeans_iterations,
+                size_budget_fraction=frac,
+            )
+            result = mech.release(db, rng=trial_rng, init_centroids=init)
+            ratios.append(result.objective / baseline.objective)
+        vals = np.asarray(ratios)
+        table.add(
+            "kmeans", frac, vals.mean(), np.percentile(vals, 25), np.percentile(vals, 75)
+        )
+    return table

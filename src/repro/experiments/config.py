@@ -1,0 +1,62 @@
+"""Experiment configuration: paper-scale vs quick-scale.
+
+The paper runs 50 trials of every configuration at ten epsilon values on
+full datasets.  That is reproducible here (set ``REPRO_FULL=1``), but the
+default configuration trims trials/epsilons/dataset sizes so the whole
+benchmark suite finishes in minutes on a laptop while preserving every
+qualitative shape.  All experiment entry points accept an explicit config.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ExperimentScale", "paper_scale", "quick_scale", "default_scale"]
+
+PAPER_EPSILONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+QUICK_EPSILONS = (0.1, 0.4, 0.7, 1.0)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiment runners."""
+
+    epsilons: tuple[float, ...] = QUICK_EPSILONS
+    trials: int = 8
+    kmeans_iterations: int = 10
+    kmeans_k: int = 4
+    n_range_queries: int = 2000
+    twitter_n: int = 40_000
+    skin_n: int = 50_000
+    adult_n: int = 48_842
+    seed: int = 20140623  # the arXiv v5 date
+    label: str = "quick"
+
+    def with_(self, **kwargs) -> "ExperimentScale":
+        return replace(self, **kwargs)
+
+
+def paper_scale() -> ExperimentScale:
+    """The paper's settings: 50 trials, 10 epsilons, full datasets."""
+    return ExperimentScale(
+        epsilons=PAPER_EPSILONS,
+        trials=50,
+        n_range_queries=10_000,
+        twitter_n=193_563,
+        skin_n=245_057,
+        adult_n=48_842,
+        label="paper",
+    )
+
+
+def quick_scale() -> ExperimentScale:
+    """Laptop-friendly defaults preserving every qualitative shape."""
+    return ExperimentScale()
+
+
+def default_scale() -> ExperimentScale:
+    """``REPRO_FULL=1`` selects paper scale; anything else, quick scale."""
+    if os.environ.get("REPRO_FULL", "").strip() in {"1", "true", "yes"}:
+        return paper_scale()
+    return quick_scale()

@@ -1,0 +1,210 @@
+"""Figure 1 (Section 6.1): k-means error under Laplace vs Blowfish policies.
+
+Every panel reports, per epsilon, the ratio of the private k-means
+objective (Eqn 10) to the non-private Lloyd objective on the same data with
+the same initial centroids, averaged over trials with quartile bars:
+
+* 1(a) twitter, ``G^{L1,theta}``, theta in {2000, 1000, 500, 100} km;
+* 1(b) skin01 (1% sample), theta in {256, 128, 64, 32};
+* 1(c) synthetic (n=1000, 4-D), theta in {1.0, 0.5, 0.25, 0.1};
+* 1(d) objective ratio Laplace/Blowfish(theta=128) for skin, skin10, skin01;
+* 1(e) ``G^attr`` for all three datasets;
+* 1(f) twitter, ``G^P`` with partitions of 10..120000 blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.database import Database
+from ..core.policy import Policy
+from ..core.queries import Partition
+from ..core.rng import ensure_rng, spawn
+from ..datasets import (
+    gaussian_clusters_dataset,
+    skin_dataset,
+    twitter_dataset,
+    twitter_domain,
+)
+from ..mechanisms.kmeans import PrivateKMeans, _init_centroids, lloyd_kmeans
+from .config import ExperimentScale, default_scale
+from .results import ResultTable
+
+__all__ = [
+    "kmeans_error_curves",
+    "figure_1a",
+    "figure_1b",
+    "figure_1c",
+    "figure_1d",
+    "figure_1e",
+    "figure_1f",
+    "twitter_partition",
+    "TWITTER_THETAS_KM",
+    "SKIN_THETAS",
+    "SYNTHETIC_THETAS",
+    "PARTITION_BLOCKS",
+]
+
+TWITTER_THETAS_KM = (2000.0, 1000.0, 500.0, 100.0)
+SKIN_THETAS = (256.0, 128.0, 64.0, 32.0)
+SYNTHETIC_THETAS = (1.0, 0.5, 0.25, 0.1)
+# cells-per-block along (lat, lon) -> number of blocks on the 400x300 grid
+PARTITION_BLOCKS = {
+    10: (80, 150),       # 5 x 2 blocks
+    100: (40, 30),       # 10 x 10
+    1000: (20, 6),       # 20 x 50
+    10000: (4, 3),       # 100 x 100
+    120000: (1, 1),      # the original grid: exact clustering
+}
+
+
+def kmeans_error_curves(
+    db: Database,
+    policies: dict[str, Policy],
+    scale: ExperimentScale,
+    table_name: str,
+) -> ResultTable:
+    """The generic Figure 1 runner.
+
+    For each trial: draw one set of initial centroids, run non-private
+    Lloyd's once, then run each (policy, epsilon) private variant from the
+    same initialization and record the objective ratio.
+    """
+    rng = ensure_rng(scale.seed)
+    table = ResultTable(table_name, y_label="objective ratio (private / non-private)")
+    trial_rngs = spawn(rng, scale.trials)
+    ratios: dict[tuple[str, float], list[float]] = {
+        (name, eps): [] for name in policies for eps in scale.epsilons
+    }
+    points = db.points()
+    for trial_rng in trial_rngs:
+        init = _init_centroids(points, scale.kmeans_k, trial_rng)
+        baseline = lloyd_kmeans(
+            points,
+            scale.kmeans_k,
+            scale.kmeans_iterations,
+            rng=trial_rng,
+            init_centroids=init,
+        )
+        if baseline.objective <= 0:
+            raise RuntimeError("degenerate non-private objective")
+        for name, policy in policies.items():
+            for eps in scale.epsilons:
+                mech = PrivateKMeans(
+                    policy,
+                    eps,
+                    k=scale.kmeans_k,
+                    iterations=scale.kmeans_iterations,
+                )
+                result = mech.release(db, rng=trial_rng, init_centroids=init)
+                ratios[(name, eps)].append(result.objective / baseline.objective)
+    for name in policies:
+        for eps in scale.epsilons:
+            vals = np.asarray(ratios[(name, eps)])
+            table.add(
+                name, eps, vals.mean(), np.percentile(vals, 25), np.percentile(vals, 75)
+            )
+    return table
+
+
+def _theta_policies(db: Database, thetas, unit: str = "") -> dict[str, Policy]:
+    policies: dict[str, Policy] = {"laplace": Policy.differential_privacy(db.domain)}
+    for theta in thetas:
+        label = f"blowfish|{theta:g}{unit}"
+        policies[label] = Policy.distance_threshold(db.domain, theta)
+    return policies
+
+
+def figure_1a(scale: ExperimentScale | None = None) -> ResultTable:
+    """Twitter, ``G^{L1,theta}`` with km thresholds."""
+    scale = scale or default_scale()
+    db = twitter_dataset(scale.twitter_n, rng=scale.seed)
+    return kmeans_error_curves(
+        db, _theta_policies(db, TWITTER_THETAS_KM, "km"), scale, "Figure 1(a) twitter"
+    )
+
+
+def figure_1b(scale: ExperimentScale | None = None) -> ResultTable:
+    """skin01 (1% sample), ``G^{L1,theta}``."""
+    scale = scale or default_scale()
+    rng = ensure_rng(scale.seed)
+    db = skin_dataset(scale.skin_n, rng=rng).subsample(0.01, rng)
+    return kmeans_error_curves(
+        db, _theta_policies(db, SKIN_THETAS), scale, "Figure 1(b) skin01"
+    )
+
+
+def figure_1c(scale: ExperimentScale | None = None) -> ResultTable:
+    """Synthetic 4-D Gaussian clusters, ``G^{L1,theta}``."""
+    scale = scale or default_scale()
+    db = gaussian_clusters_dataset(rng=scale.seed)
+    return kmeans_error_curves(
+        db, _theta_policies(db, SYNTHETIC_THETAS), scale, "Figure 1(c) synthetic"
+    )
+
+
+def figure_1d(scale: ExperimentScale | None = None) -> ResultTable:
+    """Objective ratio Laplace/Blowfish(theta=128) vs sample size."""
+    scale = scale or default_scale()
+    eps_grid = tuple(e for e in (0.1, 0.5, 1.0) if e in scale.epsilons) or (0.1, 0.5, 1.0)
+    sub = scale.with_(epsilons=eps_grid)
+    rng = ensure_rng(scale.seed)
+    full = skin_dataset(scale.skin_n, rng=rng)
+    samples = {
+        "1%sample": full.subsample(0.01, rng),
+        "10%sample": full.subsample(0.10, rng),
+        "full": full,
+    }
+    table = ResultTable(
+        "Figure 1(d) skin sample sizes",
+        y_label="objective(Laplace) / objective(Blowfish|128)",
+    )
+    for label, db in samples.items():
+        policies = {
+            "laplace": Policy.differential_privacy(db.domain),
+            "blowfish|128": Policy.distance_threshold(db.domain, 128.0),
+        }
+        inner = kmeans_error_curves(db, policies, sub, f"fig1d[{label}]")
+        for eps in sub.epsilons:
+            ratio = inner.value("laplace", eps) / inner.value("blowfish|128", eps)
+            table.add(label, eps, ratio, ratio, ratio)
+    return table
+
+
+def figure_1e(scale: ExperimentScale | None = None) -> ResultTable:
+    """``G^attr`` vs Laplace on all three datasets."""
+    scale = scale or default_scale()
+    rng = ensure_rng(scale.seed)
+    datasets = {
+        "twitter": twitter_dataset(scale.twitter_n, rng=scale.seed),
+        "skin01": skin_dataset(scale.skin_n, rng=rng).subsample(0.01, rng),
+        "synth": gaussian_clusters_dataset(rng=scale.seed),
+    }
+    table = ResultTable("Figure 1(e) attribute policy", y_label="objective ratio")
+    for ds_label, db in datasets.items():
+        policies = {
+            f"{ds_label}: laplace": Policy.differential_privacy(db.domain),
+            f"{ds_label}: attribute": Policy.attribute(db.domain),
+        }
+        inner = kmeans_error_curves(db, policies, scale, f"fig1e[{ds_label}]")
+        table.points.extend(inner.points)
+    return table
+
+
+def twitter_partition(n_blocks: int) -> Partition:
+    """The uniform coarsening of the twitter grid with ``n_blocks`` blocks."""
+    if n_blocks not in PARTITION_BLOCKS:
+        raise KeyError(f"no preset partition with {n_blocks} blocks")
+    cells = PARTITION_BLOCKS[n_blocks]
+    partition = Partition.uniform_grid(twitter_domain(), cells)
+    return partition
+
+
+def figure_1f(scale: ExperimentScale | None = None) -> ResultTable:
+    """Twitter under partitioned secrets ``G^P`` of increasing granularity."""
+    scale = scale or default_scale()
+    db = twitter_dataset(scale.twitter_n, rng=scale.seed)
+    policies: dict[str, Policy] = {"laplace": Policy.differential_privacy(db.domain)}
+    for n_blocks in PARTITION_BLOCKS:
+        policies[f"partition|{n_blocks}"] = Policy.partitioned(twitter_partition(n_blocks))
+    return kmeans_error_curves(db, policies, scale, "Figure 1(f) twitter partitions")

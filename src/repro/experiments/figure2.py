@@ -1,0 +1,112 @@
+"""Figure 2 (Section 7.3): range-query error of the Ordered Hierarchical
+mechanism across distance thresholds.
+
+Per (theta, epsilon): release once, answer a fixed workload of random range
+queries, record the mean squared error; repeat over trials.  ``theta =
+"full"`` is the differential-privacy end, served by the hierarchical
+mechanism (Section 7.2 notes the OH tree degenerates to it); ``theta = 1``
+(adult) / ``theta = 5 km`` (twitter latitude) is the ordered mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.error import random_range_queries, true_range_answers
+from ..core.database import Database
+from ..core.policy import Policy
+from ..core.rng import ensure_rng, spawn
+from ..datasets import adult_capital_loss_dataset, twitter_latitude_dataset
+from ..mechanisms.hierarchical import HierarchicalMechanism
+from ..mechanisms.ordered_hierarchical import OrderedHierarchicalMechanism
+from .config import ExperimentScale, default_scale
+from .results import ResultTable
+
+__all__ = [
+    "range_error_curves",
+    "figure_2b",
+    "figure_2c",
+    "ADULT_THETAS",
+    "TWITTER_LATITUDE_THETAS_KM",
+]
+
+# value-space thresholds; None = "full domain" (differential privacy)
+ADULT_THETAS = (None, 1000, 500, 100, 50, 10, 1)
+TWITTER_LATITUDE_THETAS_KM = (None, 500.0, 50.0, 5.0)
+
+
+def _mechanism(db: Database, theta, epsilon: float, fanout: int, consistent: bool):
+    if theta is None:
+        policy = Policy.differential_privacy(db.domain)
+        return HierarchicalMechanism(policy, epsilon, fanout=fanout, consistent=consistent)
+    policy = Policy.distance_threshold(db.domain, theta)
+    return OrderedHierarchicalMechanism(
+        policy, epsilon, fanout=fanout, consistent=consistent
+    )
+
+
+def range_error_curves(
+    db: Database,
+    thetas,
+    scale: ExperimentScale,
+    table_name: str,
+    fanout: int = 16,
+    consistent: bool = True,
+    theta_unit: str = "",
+) -> ResultTable:
+    """The generic Figure 2 runner."""
+    rng = ensure_rng(scale.seed)
+    los, his = random_range_queries(db.domain.size, scale.n_range_queries, rng)
+    truth = true_range_answers(db.cumulative_histogram(), los, his)
+    table = ResultTable(table_name, y_label="range query MSE")
+    for theta in thetas:
+        label = "theta=full domain" if theta is None else f"theta={theta:g}{theta_unit}"
+        for eps in scale.epsilons:
+            mech = _mechanism(db, theta, eps, fanout, consistent)
+            errors = []
+            for trial_rng in spawn(rng, scale.trials):
+                released = mech.release(db, rng=trial_rng)
+                answers = released.ranges(los, his)
+                errors.append(float(np.mean((answers - truth) ** 2)))
+            errs = np.asarray(errors)
+            table.add(
+                label, eps, errs.mean(), np.percentile(errs, 25), np.percentile(errs, 75)
+            )
+    return table
+
+
+def figure_2b(
+    scale: ExperimentScale | None = None,
+    fanout: int = 16,
+    consistent: bool = True,
+) -> ResultTable:
+    """Adult capital-loss (|T| = 4357), theta in {full, 1000, ..., 1}."""
+    scale = scale or default_scale()
+    db = adult_capital_loss_dataset(scale.adult_n, rng=scale.seed)
+    return range_error_curves(
+        db,
+        ADULT_THETAS,
+        scale,
+        "Figure 2(b) adult capital-loss",
+        fanout=fanout,
+        consistent=consistent,
+    )
+
+
+def figure_2c(
+    scale: ExperimentScale | None = None,
+    fanout: int = 16,
+    consistent: bool = True,
+) -> ResultTable:
+    """Twitter latitude (|T| = 400), theta in {full, 500km, 50km, 5km}."""
+    scale = scale or default_scale()
+    db = twitter_latitude_dataset(scale.twitter_n, rng=scale.seed)
+    return range_error_curves(
+        db,
+        TWITTER_LATITUDE_THETAS_KM,
+        scale,
+        "Figure 2(c) twitter latitude",
+        fanout=fanout,
+        consistent=consistent,
+        theta_unit="km",
+    )

@@ -1,0 +1,92 @@
+"""Lightweight result tables shared by the experiment runners.
+
+A :class:`ResultTable` is a list of (series, x, mean, q25, q75) points —
+one line series per policy/threshold, exactly the structure of the paper's
+figures — with CSV export and a fixed-width text rendering used by the
+benchmark harness and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SeriesPoint", "ResultTable"]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One measured point of one series."""
+
+    series: str
+    x: float
+    mean: float
+    q25: float
+    q75: float
+
+
+@dataclass
+class ResultTable:
+    """An experiment's full set of measured points."""
+
+    name: str
+    x_label: str = "epsilon"
+    y_label: str = "error"
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def add(self, series: str, x: float, mean: float, q25: float, q75: float) -> None:
+        self.points.append(SeriesPoint(series, float(x), float(mean), float(q25), float(q75)))
+
+    def series_names(self) -> list[str]:
+        seen: list[str] = []
+        for p in self.points:
+            if p.series not in seen:
+                seen.append(p.series)
+        return seen
+
+    def series(self, name: str) -> list[SeriesPoint]:
+        return sorted((p for p in self.points if p.series == name), key=lambda p: p.x)
+
+    def xs(self) -> list[float]:
+        return sorted({p.x for p in self.points})
+
+    def value(self, series: str, x: float) -> float:
+        for p in self.points:
+            if p.series == series and p.x == x:
+                return p.mean
+        raise KeyError(f"no point for series={series!r}, x={x}")
+
+    # -- export --------------------------------------------------------------------
+    def to_csv(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["series", self.x_label, "mean", "q25", "q75"])
+            for p in self.points:
+                writer.writerow([p.series, p.x, p.mean, p.q25, p.q75])
+        return path
+
+    def format_text(self, float_fmt: str = "{:.4g}") -> str:
+        """Fixed-width rendering: one row per x, one column per series."""
+        names = self.series_names()
+        xs = self.xs()
+        header = [self.x_label] + names
+        rows = [header]
+        for x in xs:
+            row = [f"{x:g}"]
+            for name in names:
+                try:
+                    row.append(float_fmt.format(self.value(name, x)))
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+        lines = [f"== {self.name} (y: {self.y_label}) =="]
+        for r in rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ResultTable({self.name!r}, {len(self.points)} points)"

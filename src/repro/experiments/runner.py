@@ -1,0 +1,77 @@
+"""Run every experiment and write CSV + text reports.
+
+``python -m repro.experiments.runner [outdir]`` regenerates all Figure 1
+panels, both Figure 2 panels and the ablations at the configured scale
+(``REPRO_FULL=1`` for paper scale), writing one CSV per experiment plus a
+combined ``report.txt`` — the data behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from ..datasets import adult_capital_loss_dataset
+from ..core.policy import Policy
+from .ablations import budget_split_ablation, fanout_ablation, inference_ablation
+from .config import default_scale
+from .figure1 import figure_1a, figure_1b, figure_1c, figure_1d, figure_1e, figure_1f
+from .figure2 import figure_2b, figure_2c
+from .results import ResultTable
+
+__all__ = ["run_all"]
+
+
+def run_all(outdir: str | Path = "experiment_results", scale=None) -> list[ResultTable]:
+    """Execute every experiment; returns the result tables in order."""
+    scale = scale or default_scale()
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    tables: list[ResultTable] = []
+
+    named = [
+        ("fig1a", figure_1a),
+        ("fig1b", figure_1b),
+        ("fig1c", figure_1c),
+        ("fig1d", figure_1d),
+        ("fig1e", figure_1e),
+        ("fig1f", figure_1f),
+        ("fig2b", figure_2b),
+        ("fig2c", figure_2c),
+    ]
+    report_lines = [f"scale: {scale.label} (trials={scale.trials}, eps={scale.epsilons})"]
+    for key, fn in named:
+        t0 = time.time()
+        table = fn(scale)
+        table.to_csv(outdir / f"{key}.csv")
+        tables.append(table)
+        report_lines.append("")
+        report_lines.append(table.format_text())
+        report_lines.append(f"[{key} took {time.time() - t0:.1f}s]")
+
+    # ablations on the adult dataset / its policies
+    adult = adult_capital_loss_dataset(scale.adult_n, rng=scale.seed)
+    ablations = [
+        ("ablation_budget_split", lambda: budget_split_ablation(adult, 100, scale)),
+        ("ablation_inference", lambda: inference_ablation(adult, 100, scale)),
+        ("ablation_fanout", lambda: fanout_ablation(adult, 100, scale=scale)),
+    ]
+    for key, fn in ablations:
+        t0 = time.time()
+        table = fn()
+        table.to_csv(outdir / f"{key}.csv")
+        tables.append(table)
+        report_lines.append("")
+        report_lines.append(table.format_text())
+        report_lines.append(f"[{key} took {time.time() - t0:.1f}s]")
+
+    (outdir / "report.txt").write_text("\n".join(report_lines) + "\n")
+    return tables
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else "experiment_results"
+    for table in run_all(target):
+        print(table.format_text())
+        print()

@@ -1,0 +1,59 @@
+"""Privacy mechanisms: Laplace (Theorem 5.1), k-means (Section 6), ordered
+and ordered-hierarchical strategies (Section 7), the Hay-style hierarchical
+baseline, graph randomized response, and constrained-histogram release
+(Section 8)."""
+
+from .base import Mechanism, laplace_noise
+from .constrained_histogram import ConstrainedHistogramMechanism
+from .hierarchical import HierarchicalMechanism, NoisyTree, ReleasedRangeAnswerer
+from .isotonic import isotonic_regression, project_cumulative
+from .kmeans import (
+    KMeansResult,
+    PrivateKMeans,
+    assign_clusters,
+    kmeans_objective,
+    lloyd_kmeans,
+)
+from .laplace import LaplaceMechanism, laplace_histogram
+from .ordered import OrderedMechanism, ReleasedCumulativeHistogram
+from .ordered_hierarchical import (
+    OrderedHierarchicalMechanism,
+    oh_error_constants,
+    oh_expected_range_error,
+    optimal_budget_split,
+)
+from .quadtree import QuadtreeMechanism, ReleasedGrid, morton_indices, morton_order
+from .randomized_response import GraphRandomizedResponse
+from .wavelet import WaveletMechanism, haar_differences, haar_reconstruct
+
+__all__ = [
+    "Mechanism",
+    "laplace_noise",
+    "LaplaceMechanism",
+    "laplace_histogram",
+    "GraphRandomizedResponse",
+    "isotonic_regression",
+    "project_cumulative",
+    "OrderedMechanism",
+    "ReleasedCumulativeHistogram",
+    "HierarchicalMechanism",
+    "NoisyTree",
+    "ReleasedRangeAnswerer",
+    "OrderedHierarchicalMechanism",
+    "oh_error_constants",
+    "oh_expected_range_error",
+    "optimal_budget_split",
+    "assign_clusters",
+    "kmeans_objective",
+    "lloyd_kmeans",
+    "PrivateKMeans",
+    "KMeansResult",
+    "ConstrainedHistogramMechanism",
+    "WaveletMechanism",
+    "haar_differences",
+    "haar_reconstruct",
+    "QuadtreeMechanism",
+    "ReleasedGrid",
+    "morton_order",
+    "morton_indices",
+]

@@ -1,0 +1,76 @@
+"""Tests for error metrics and analytic bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    hierarchical_range_error_estimate,
+    laplace_cell_variance,
+    laplace_histogram_total_error,
+    mean_squared_error,
+    oh_error_constants,
+    oh_expected_range_error,
+    optimal_budget_split,
+    ordered_range_error_bound,
+    random_range_queries,
+    summarize_trials,
+    svd_lower_bound_indicative,
+    true_range_answers,
+)
+
+
+class TestMetrics:
+    def test_mse(self):
+        assert mean_squared_error(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == 2.5
+        with pytest.raises(ValueError):
+            mean_squared_error(np.zeros(2), np.zeros(3))
+
+    def test_random_ranges_valid(self, rng):
+        los, his = random_range_queries(100, 500, rng)
+        assert np.all(los <= his)
+        assert los.min() >= 0 and his.max() < 100
+
+    def test_true_range_answers(self):
+        cum = np.array([1.0, 3.0, 3.0, 7.0])
+        los = np.array([0, 1, 2])
+        his = np.array([3, 2, 3])
+        assert true_range_answers(cum, los, his).tolist() == [7.0, 2.0, 4.0]
+
+    def test_summarize(self):
+        s = summarize_trials(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s["mean"] == 2.5
+        assert s["trials"] == 4
+        assert s["q25"] <= s["mean"] <= s["q75"]
+
+
+class TestBounds:
+    def test_laplace_formulas(self):
+        # Section 2: 8|T|/eps^2
+        assert laplace_histogram_total_error(100, 2.0) == pytest.approx(8 * 100 / 4.0)
+        assert laplace_cell_variance(1.0) == 8.0
+        with pytest.raises(ValueError):
+            laplace_cell_variance(0.0)
+
+    def test_theorem_71_bound(self):
+        assert ordered_range_error_bound(1.0) == 4.0
+        assert ordered_range_error_bound(1.0, sensitivity=3.0) == 36.0
+
+    def test_hierarchical_matches_oh_end(self):
+        est = hierarchical_range_error_estimate(4096, 1.0, fanout=16)
+        _, c2 = oh_error_constants(4096, 4096, 16)
+        assert est == pytest.approx(c2)
+
+    def test_ordered_sits_below_svd_curve(self):
+        """The paper's separation: O(1/eps^2) beats the DP lower bound."""
+        for size in (256, 4096):
+            assert ordered_range_error_bound(0.5) < svd_lower_bound_indicative(size, 0.5)
+
+    def test_svd_trivial_domain(self):
+        assert svd_lower_bound_indicative(1, 1.0) == 0.0
+
+    def test_oh_split_consistency(self):
+        eps_s, eps_h = optimal_budget_split(1000, 50, 16, 1.0)
+        err = oh_expected_range_error(1000, 50, 16, eps_s, eps_h)
+        assert math.isfinite(err) and err > 0

@@ -1,0 +1,83 @@
+"""Tests quantifying the Section 3.2 attack and the Blowfish defense."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attacks import attack_variance, chain_constraint_attack, chain_sums
+
+
+class TestChainSums:
+    def test_values(self):
+        assert chain_sums(np.array([3.0, 5.0, 2.0])).tolist() == [8.0, 7.0]
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            chain_sums(np.array([1.0]))
+
+
+class TestAttack:
+    def test_noiseless_reconstruction_is_exact(self):
+        counts = np.array([4.0, 1.0, 7.0, 3.0, 5.0])
+        sums = chain_sums(counts)
+        recovered = chain_constraint_attack(counts, sums)
+        assert np.allclose(recovered, counts)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            chain_constraint_attack(np.zeros(3), np.zeros(3))
+
+    def test_attack_is_unbiased(self, rng):
+        counts = np.array([10.0, 20.0, 5.0, 8.0])
+        sums = chain_sums(counts)
+        recon = np.mean(
+            [
+                chain_constraint_attack(counts + rng.laplace(0, 4.0, 4), sums)
+                for _ in range(4000)
+            ],
+            axis=0,
+        )
+        assert np.allclose(recon, counts, atol=0.5)
+
+    def test_variance_shrinks_like_one_over_k(self, rng):
+        """The paper's quantitative claim: averaging k estimators leaves
+        variance ~ 2 S^2/(k eps^2) — far below the per-count 2 S^2/eps^2."""
+        eps, sensitivity = 0.5, 2.0
+        scale = sensitivity / eps
+        k = 16
+        counts = rng.integers(0, 50, k).astype(np.float64)
+        sums = chain_sums(counts)
+        errors = []
+        for trial in range(3000):
+            local = np.random.default_rng(trial)
+            noisy = counts + local.laplace(0, scale, k)
+            errors.append(chain_constraint_attack(noisy, sums)[0] - counts[0])
+        measured = float(np.var(errors))
+        predicted = attack_variance(k, eps, sensitivity)
+        naive = 2 * scale**2
+        assert measured == pytest.approx(predicted, rel=0.25)
+        assert measured < naive / (k / 2)  # the breach: k-fold improvement
+
+    def test_blowfish_calibration_cancels_the_gain(self, rng):
+        """Noise calibrated to the constrained sensitivity (which grows
+        with the chain; Section 8) leaves the attacker no better off than
+        the nominal guarantee."""
+        eps, k = 0.5, 8
+        counts = rng.integers(0, 50, k).astype(np.float64)
+        sums = chain_sums(counts)
+        # the chain couples all k counts: S(h, P) scales with the chain
+        # (policy-graph bound 2*max(alpha, xi) ~ 2k for this structure)
+        blowfish_scale = (2.0 * k) / eps
+        errors = []
+        for trial in range(1500):
+            local = np.random.default_rng(trial)
+            noisy = counts + local.laplace(0, blowfish_scale, k)
+            errors.append(chain_constraint_attack(noisy, sums)[0] - counts[0])
+        measured = float(np.var(errors))
+        per_count_dp = 2 * (2.0 / eps) ** 2
+        # after averaging, the attacker still faces at least the noise a
+        # single DP count would have had — the attack gains nothing net
+        assert measured >= per_count_dp
+
+    def test_attack_variance_validation(self):
+        with pytest.raises(ValueError):
+            attack_variance(0, 1.0)

@@ -1,0 +1,140 @@
+"""Tests for the Section 7.1 CDF applications (quantiles, equi-depth
+histograms, k-d index) as post-processing over released structures."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Policy
+from repro.analysis.cdf import (
+    KDNode,
+    build_kd_index,
+    equi_depth_histogram,
+    estimate_quantile,
+    estimate_quantiles,
+    released_size,
+)
+from repro.mechanisms import OrderedHierarchicalMechanism, OrderedMechanism
+
+HUGE_EPS = 1e9
+
+
+@pytest.fixture
+def db(rng):
+    domain = Domain.integers("v", 64)
+    return Database.from_indices(domain, rng.integers(0, 64, 2000))
+
+
+@pytest.fixture
+def exact_release(db):
+    return OrderedMechanism(Policy.line(db.domain), HUGE_EPS).release(db, rng=0)
+
+
+class TestAdapters:
+    def test_released_size_both_mechanisms(self, db, exact_release):
+        assert released_size(exact_release) == 64
+        oh = OrderedHierarchicalMechanism(
+            Policy.distance_threshold(db.domain, 8), HUGE_EPS
+        ).release(db, rng=0)
+        assert released_size(oh) == 64
+
+    def test_released_size_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            released_size(object())
+
+
+class TestQuantiles:
+    def test_exact_quantiles_match_truth(self, db, exact_release):
+        cum = db.cumulative_histogram()
+        for q in (0.1, 0.5, 0.9):
+            est = estimate_quantile(exact_release, q)
+            true = int(np.searchsorted(cum, q * db.n, side="left"))
+            assert est == true
+
+    def test_extremes(self, db, exact_release):
+        assert estimate_quantile(exact_release, 0.0) == 0
+        assert estimate_quantile(exact_release, 1.0) <= 63
+
+    def test_validation(self, exact_release):
+        with pytest.raises(ValueError):
+            estimate_quantile(exact_release, 1.5)
+        with pytest.raises(ValueError):
+            estimate_quantile(exact_release, 0.5, total=0.0)
+
+    def test_vector_version(self, exact_release):
+        qs = estimate_quantiles(exact_release, [0.25, 0.5, 0.75])
+        assert qs == sorted(qs)
+
+    def test_noisy_quantiles_close(self, db):
+        rel = OrderedMechanism(Policy.line(db.domain), 1.0).release(db, rng=0)
+        cum = db.cumulative_histogram()
+        true_median = int(np.searchsorted(cum, db.n / 2, side="left"))
+        assert abs(estimate_quantile(rel, 0.5) - true_median) <= 3
+
+
+class TestEquiDepth:
+    def test_exact_buckets_balanced(self, db, exact_release):
+        edges, counts = equi_depth_histogram(exact_release, 4)
+        assert edges[0] == 0 and edges[-1] == 64
+        assert len(counts) == 4
+        assert sum(counts) == pytest.approx(db.n)
+        # roughly n/4 per bucket (discretization tolerance)
+        for c in counts:
+            assert abs(c - db.n / 4) < db.n * 0.12
+
+    def test_single_bucket(self, db, exact_release):
+        edges, counts = equi_depth_histogram(exact_release, 1)
+        assert edges == [0, 64]
+        assert counts[0] == pytest.approx(db.n)
+
+    def test_validation(self, exact_release):
+        with pytest.raises(ValueError):
+            equi_depth_histogram(exact_release, 0)
+
+    def test_extreme_skew(self):
+        domain = Domain.integers("v", 16)
+        db = Database.from_indices(domain, np.zeros(100, dtype=np.int64))
+        rel = OrderedMechanism(Policy.line(domain), HUGE_EPS).release(db, rng=0)
+        edges, counts = equi_depth_histogram(rel, 4)
+        assert edges == sorted(edges)
+        assert sum(counts) == pytest.approx(100)
+
+
+class TestKDIndex:
+    def test_structure_on_uniform_data(self, db, exact_release):
+        root = build_kd_index(exact_release, max_depth=3)
+        assert isinstance(root, KDNode)
+        assert root.lo == 0 and root.hi == 63
+        assert root.count == pytest.approx(db.n)
+        assert root.depth() <= 3
+        leaves = root.leaves()
+        # leaves tile the domain contiguously
+        assert leaves[0].lo == 0 and leaves[-1].hi == 63
+        for a, b in zip(leaves[:-1], leaves[1:]):
+            assert b.lo == a.hi + 1
+        # median splits: each leaf holds roughly n / #leaves
+        counts = [l.count for l in leaves]
+        assert max(counts) < 3 * (db.n / len(leaves))
+
+    def test_leaf_counts_sum_to_total(self, exact_release, db):
+        root = build_kd_index(exact_release, max_depth=4)
+        assert sum(l.count for l in root.leaves()) == pytest.approx(db.n)
+
+    def test_depth_zero_is_single_leaf(self, exact_release):
+        root = build_kd_index(exact_release, max_depth=0)
+        assert root.is_leaf
+
+    def test_min_count_stops_splitting(self, db, exact_release):
+        root = build_kd_index(exact_release, max_depth=10, min_count=db.n + 1)
+        assert root.is_leaf
+
+    def test_validation(self, exact_release):
+        with pytest.raises(ValueError):
+            build_kd_index(exact_release, max_depth=-1)
+
+    def test_noisy_index_still_tiles(self, db):
+        rel = OrderedMechanism(Policy.line(db.domain), 0.5).release(db, rng=3)
+        root = build_kd_index(rel, max_depth=3)
+        leaves = root.leaves()
+        assert leaves[0].lo == 0 and leaves[-1].hi == 63
+        for a, b in zip(leaves[:-1], leaves[1:]):
+            assert b.lo == a.hi + 1

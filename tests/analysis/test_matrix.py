@@ -1,0 +1,161 @@
+"""Tests for the matrix-mechanism view: the paper's closed forms fall out
+of exact linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Domain, Policy
+from repro.analysis.bounds import (
+    laplace_histogram_total_error,
+    ordered_range_error_bound,
+)
+from repro.analysis.matrix import (
+    all_ranges_workload,
+    expected_workload_error,
+    haar_strategy,
+    hierarchical_strategy,
+    identity_strategy,
+    mean_range_query_error,
+    prefix_strategy,
+    prefix_workload,
+    strategy_sensitivity,
+)
+from repro.core.sensitivity import cumulative_histogram_sensitivity
+
+
+class TestStrategies:
+    def test_shapes(self):
+        assert identity_strategy(5).shape == (5, 5)
+        assert prefix_strategy(5).shape == (5, 5)
+        h = hierarchical_strategy(5, fanout=2)
+        assert h.shape[1] == 5
+        assert haar_strategy(5).shape[1] == 5
+
+    def test_hierarchical_rows_are_tree_nodes(self):
+        h = hierarchical_strategy(4, fanout=2)
+        # root + 2 internal + 4 leaves = 7 rows
+        assert h.shape[0] == 7
+        assert h[0].tolist() == [1, 1, 1, 1]
+
+    def test_haar_is_invertible_basis(self):
+        a = haar_strategy(8)
+        assert np.linalg.matrix_rank(a) == 8
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            hierarchical_strategy(4, fanout=1)
+
+
+class TestSensitivity:
+    def test_identity_full_domain_is_two(self):
+        assert strategy_sensitivity(identity_strategy(6)) == 2.0
+
+    def test_prefix_full_domain(self):
+        # max column difference = |T| - 1 (the cumulative sensitivity)
+        assert strategy_sensitivity(prefix_strategy(6)) == 5.0
+
+    @pytest.mark.parametrize("theta", [1, 2, 4])
+    def test_prefix_matches_cumulative_sensitivity_under_policies(self, theta):
+        """The unification: S(prefix strategy, P) == S(S_T, P) per graph."""
+        domain = Domain.integers("v", 8)
+        policy = Policy.distance_threshold(domain, theta)
+        matrix_s = strategy_sensitivity(prefix_strategy(8), policy.graph)
+        assert matrix_s == cumulative_histogram_sensitivity(policy)
+
+    def test_line_graph_prefix_sensitivity_is_one(self):
+        domain = Domain.integers("v", 8)
+        assert (
+            strategy_sensitivity(prefix_strategy(8), Policy.line(domain).graph) == 1.0
+        )
+
+    @given(size=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_identity_under_line_graph_still_two(self, size):
+        domain = Domain.integers("v", size)
+        g = Policy.line(domain).graph
+        assert strategy_sensitivity(identity_strategy(size), g) == 2.0
+
+
+class TestExpectedError:
+    def test_section2_histogram_formula(self):
+        """Identity strategy on the identity workload = 8|T|/eps^2."""
+        size, eps = 16, 0.5
+        err = expected_workload_error(
+            identity_strategy(size), identity_strategy(size), eps
+        )
+        assert err == pytest.approx(laplace_histogram_total_error(size, eps))
+
+    def test_theorem71_range_error_exact(self):
+        """Prefix strategy under the line graph answers every range with at
+        most 4/eps^2 error — Theorem 7.1 by linear algebra."""
+        size, eps = 16, 0.5
+        domain = Domain.integers("v", size)
+        graph = Policy.line(domain).graph
+        w = all_ranges_workload(size)
+        a = prefix_strategy(size)
+        per_query = (
+            expected_workload_error(w, a, eps, graph=graph) / w.shape[0]
+        )
+        bound = ordered_range_error_bound(eps)
+        assert per_query <= bound
+        # the worst single query attains the bound exactly: a range needing
+        # two prefixes has reconstruction norm 2 -> 2 * (1/eps)^2 * 2
+        worst = max(
+            expected_workload_error(w[i : i + 1], a, eps, graph=graph)
+            for i in range(w.shape[0])
+        )
+        assert worst == pytest.approx(bound)
+
+    def test_hierarchical_beats_identity_on_large_ranges(self):
+        """Identity's mean range error grows linearly in |T|, the tree's
+        polylogarithmically; the crossover sits near |T| ~ 300."""
+        eps = 0.5
+        small_i = mean_range_query_error(identity_strategy(32), 32, eps)
+        small_h = mean_range_query_error(hierarchical_strategy(32, 2), 32, eps)
+        assert small_i < small_h  # identity wins small domains
+        big_i = mean_range_query_error(identity_strategy(512), 512, eps)
+        big_h = mean_range_query_error(hierarchical_strategy(512, 2), 512, eps)
+        assert big_h < big_i  # the tree wins large ones
+
+    def test_gram_path_matches_explicit_workload(self):
+        from repro.analysis.matrix import all_ranges_gram
+
+        size, eps = 12, 0.5
+        w = all_ranges_workload(size)
+        assert np.allclose(w.T @ w, all_ranges_gram(size))
+        a = hierarchical_strategy(size, 2)
+        explicit = expected_workload_error(w, a, eps)
+        via_gram = expected_workload_error(
+            None, a, eps, workload_gram=all_ranges_gram(size)
+        )
+        assert explicit == pytest.approx(via_gram)
+
+    def test_prefix_line_beats_every_dp_strategy(self):
+        """The paper's separation: the Blowfish line policy's prefix
+        strategy has lower range error than identity/hierarchical/haar can
+        achieve under full-domain secrets."""
+        size, eps = 16, 0.5
+        domain = Domain.integers("v", size)
+        line = Policy.line(domain).graph
+        blowfish = mean_range_query_error(prefix_strategy(size), size, eps, graph=line)
+        dp_best = min(
+            mean_range_query_error(identity_strategy(size), size, eps),
+            mean_range_query_error(hierarchical_strategy(size, 2), size, eps),
+            mean_range_query_error(haar_strategy(size), size, eps),
+            mean_range_query_error(prefix_strategy(size), size, eps),  # DP prefix
+        )
+        assert blowfish < 0.25 * dp_best
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_workload_error(identity_strategy(4), identity_strategy(3), 1.0)
+        with pytest.raises(ValueError):
+            expected_workload_error(identity_strategy(4), identity_strategy(4), 0.0)
+        rank_deficient = np.zeros((2, 4))
+        with pytest.raises(ValueError):
+            expected_workload_error(identity_strategy(4), rank_deficient, 1.0)
+
+    def test_prefix_workload_equals_prefix_strategy(self):
+        assert np.array_equal(prefix_workload(5), prefix_strategy(5))

@@ -1,0 +1,138 @@
+"""Tests for the closed-form constrained sensitivities (Theorems 8.4-8.6)
+and the dispatcher, each validated against exact brute force where feasible.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, Database, Domain, Policy
+from repro.constraints import (
+    MarginalConstraintSet,
+    Rectangle,
+    constrained_histogram_sensitivity,
+    disjoint_marginals_attribute_sensitivity,
+    grid_distance_threshold_sensitivity,
+    marginal_full_domain_sensitivity,
+)
+from repro.core.sensitivity import brute_force_sensitivity
+
+
+@pytest.fixture
+def domain_2x2():
+    return Domain([Attribute("A1", ["a1", "a2"]), Attribute("A2", ["b1", "b2"])])
+
+
+class TestTheorem84:
+    def test_formula(self, abc_domain):
+        assert marginal_full_domain_sensitivity(abc_domain, ["A1", "A2"]) == 8.0
+        assert marginal_full_domain_sensitivity(abc_domain, ["A3"]) == 6.0
+
+    def test_rejects_full_attribute_set(self, abc_domain):
+        with pytest.raises(ValueError):
+            marginal_full_domain_sensitivity(abc_domain, ["A1", "A2", "A3"])
+
+    def test_brute_force_agreement(self, domain_2x2):
+        db = Database.from_values(
+            domain_2x2, [("a1", "b1"), ("a1", "b2"), ("a2", "b1")]
+        )
+        cs = MarginalConstraintSet(domain_2x2, [["A1"]], db)
+        policy = Policy.full_domain(domain_2x2, cs)
+        exact = brute_force_sensitivity(lambda d: d.histogram(), policy, 3)
+        assert exact == marginal_full_domain_sensitivity(domain_2x2, ["A1"]) == 4.0
+
+
+class TestTheorem85:
+    def test_formula(self, abc_domain):
+        assert (
+            disjoint_marginals_attribute_sensitivity(abc_domain, [["A1"], ["A3"]])
+            == 2 * 3
+        )
+
+    def test_validation(self, abc_domain):
+        with pytest.raises(ValueError, match="disjoint"):
+            disjoint_marginals_attribute_sensitivity(abc_domain, [["A1"], ["A1"]])
+        with pytest.raises(ValueError):
+            disjoint_marginals_attribute_sensitivity(abc_domain, [])
+        with pytest.raises(ValueError, match="proper"):
+            disjoint_marginals_attribute_sensitivity(abc_domain, [["A1", "A2", "A3"]])
+
+    def test_brute_force_agreement(self, domain_2x2):
+        """Attribute secrets + one 1-D marginal on a 2x2 domain."""
+        db = Database.from_values(
+            domain_2x2, [("a1", "b1"), ("a1", "b2"), ("a2", "b1")]
+        )
+        cs = MarginalConstraintSet(domain_2x2, [["A1"]], db)
+        policy = Policy.attribute(domain_2x2, cs)
+        exact = brute_force_sensitivity(lambda d: d.histogram(), policy, 3)
+        assert exact == disjoint_marginals_attribute_sensitivity(domain_2x2, [["A1"]])
+
+
+class TestTheorem86:
+    def test_formula_component_structure(self):
+        rects = [
+            Rectangle([0, 0], [1, 1]),
+            Rectangle([3, 0], [4, 1]),
+            Rectangle([9, 9], [9, 9]),
+        ]
+        # theta=2 joins the first two: maxcomp = 2 -> bound 6
+        assert grid_distance_threshold_sensitivity(rects, theta=2.0) == 6.0
+        # theta small: singleton components -> bound 4
+        assert grid_distance_threshold_sensitivity(rects, theta=0.5) == 4.0
+
+    def test_requires_disjoint(self):
+        rects = [Rectangle([0, 0], [2, 2]), Rectangle([1, 1], [3, 3])]
+        with pytest.raises(ValueError, match="disjoint"):
+            grid_distance_threshold_sensitivity(rects, theta=1.0)
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            grid_distance_threshold_sensitivity([], theta=1.0)
+
+    def test_brute_force_bound_holds_1d(self):
+        """1-D grid, two disjoint interval constraints, theta secrets."""
+        from repro import ConstraintSet
+        from repro.constraints.ranges import rectangle_query
+
+        domain = Domain.grid([6])
+        rects = [Rectangle([0], [1]), Rectangle([3], [4])]
+        queries = [rectangle_query(domain, r) for r in rects]
+        base = Database.from_indices(domain, [0, 3, 5])
+        policy = Policy.distance_threshold(domain, 2.0).with_constraints(
+            ConstraintSet.from_database(queries, base)
+        )
+        exact = brute_force_sensitivity(lambda d: d.histogram(), policy, 3)
+        bound = grid_distance_threshold_sensitivity(rects, theta=2.0)
+        assert exact <= bound
+
+
+class TestDispatcher:
+    def test_unconstrained(self, small_ordered_domain):
+        assert (
+            constrained_histogram_sensitivity(
+                Policy.differential_privacy(small_ordered_domain)
+            )
+            == 2.0
+        )
+
+    def test_marginal_full_domain_route(self, domain_2x2):
+        db = Database.from_values(domain_2x2, [("a1", "b1")])
+        cs = MarginalConstraintSet(domain_2x2, [["A1"]], db)
+        policy = Policy.full_domain(domain_2x2, cs)
+        assert constrained_histogram_sensitivity(policy) == 4.0
+
+    def test_marginal_attribute_route(self, domain_2x2):
+        db = Database.from_values(domain_2x2, [("a1", "b1")])
+        cs = MarginalConstraintSet(domain_2x2, [["A1"], ["A2"]], db)
+        policy = Policy.attribute(domain_2x2, cs)
+        assert constrained_histogram_sensitivity(policy) == 4.0
+
+    def test_generic_policy_graph_route(self, abc_domain):
+        """A plain ConstraintSet routes through the policy graph."""
+        from repro import ConstraintSet
+        from repro.constraints.marginals import marginal_queries
+
+        queries = marginal_queries(abc_domain, ["A1", "A2"])
+        base = Database.from_values(abc_domain, [("a1", "b1", "c1")] * 4)
+        cs = ConstraintSet.from_database(queries, base)
+        policy = Policy.full_domain(abc_domain, cs)
+        assert constrained_histogram_sensitivity(policy) == 8.0  # Figure 3

@@ -1,0 +1,76 @@
+"""Tests for lift/lower analysis and sparsity (Definitions 8.1/8.2)."""
+
+import numpy as np
+import pytest
+
+from repro import AttributeGraph, CountQuery, Domain, ExplicitGraph, FullDomainGraph
+from repro.constraints import (
+    is_sparse,
+    lifted_queries,
+    lowered_queries,
+    sparsity_violations,
+    support_matrix,
+)
+from repro.constraints.marginals import marginal_queries
+
+
+class TestLiftLower:
+    def test_example_8_1(self, abc_domain):
+        """The paper's worked Example 8.1."""
+        queries = marginal_queries(abc_domain, ["A1", "A2"])
+        x = abc_domain.index_of(("a1", "b1", "c1"))
+        y = abc_domain.index_of(("a2", "b2", "c2"))
+        # (x, y) lifts q4 (a2,b2) and lowers q1 (a1,b1)
+        assert lifted_queries(queries, x, y) == [3]
+        assert lowered_queries(queries, x, y) == [0]
+        # a same-cell change lifts/lowers nothing
+        u = abc_domain.index_of(("a1", "b2", "c1"))
+        v = abc_domain.index_of(("a1", "b2", "c2"))
+        assert lifted_queries(queries, u, v) == []
+        assert lowered_queries(queries, u, v) == []
+
+    def test_support_matrix(self, abc_domain):
+        queries = marginal_queries(abc_domain, ["A1"])
+        m = support_matrix(queries)
+        assert m.shape == (2, 12)
+        assert np.all(m.sum(axis=0) == 1)  # marginal cells partition T
+
+    def test_support_matrix_empty(self):
+        with pytest.raises(ValueError):
+            support_matrix([])
+
+
+class TestSparsity:
+    def test_marginal_sparse_wrt_full_domain(self, abc_domain):
+        """Example 8.1's conclusion: the 2-D marginal is sparse w.r.t. K."""
+        queries = marginal_queries(abc_domain, ["A1", "A2"])
+        assert is_sparse(queries, FullDomainGraph(abc_domain))
+
+    def test_marginal_sparse_wrt_attribute_graph(self, abc_domain):
+        queries = marginal_queries(abc_domain, ["A1", "A2"])
+        assert is_sparse(queries, AttributeGraph(abc_domain))
+
+    def test_overlapping_supports_not_sparse(self, small_ordered_domain):
+        # two overlapping prefix queries: one change can lift both
+        q1 = CountQuery.from_mask(small_ordered_domain, np.arange(10) >= 3, "tail3")
+        q2 = CountQuery.from_mask(small_ordered_domain, np.arange(10) >= 6, "tail6")
+        graph = FullDomainGraph(small_ordered_domain)
+        assert not is_sparse([q1, q2], graph)
+        violations = sparsity_violations([q1, q2], graph)
+        assert violations
+        x, y, n_lift, n_lower = violations[0]
+        assert max(n_lift, n_lower) > 1
+
+    def test_sparse_wrt_restricted_graph(self, small_ordered_domain):
+        # the same overlapping queries ARE sparse w.r.t. a graph whose only
+        # edge never crosses both boundaries
+        q1 = CountQuery.from_mask(small_ordered_domain, np.arange(10) >= 3, "tail3")
+        q2 = CountQuery.from_mask(small_ordered_domain, np.arange(10) >= 6, "tail6")
+        graph = ExplicitGraph(small_ordered_domain, [(0, 4)])
+        assert is_sparse([q1, q2], graph)
+
+    def test_violation_report_cap(self, small_ordered_domain):
+        q1 = CountQuery.from_mask(small_ordered_domain, np.arange(10) >= 1, "t1")
+        q2 = CountQuery.from_mask(small_ordered_domain, np.arange(10) >= 2, "t2")
+        graph = FullDomainGraph(small_ordered_domain)
+        assert len(sparsity_violations([q1, q2], graph, max_report=3)) <= 3

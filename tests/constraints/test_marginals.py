@@ -1,0 +1,73 @@
+"""Tests for marginal constraints (Definition 8.4)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Attribute
+from repro.constraints import MarginalConstraintSet, marginal_counts, marginal_queries
+
+
+class TestMarginalQueries:
+    def test_query_count_is_size_c(self, abc_domain):
+        assert len(marginal_queries(abc_domain, ["A1"])) == 2
+        assert len(marginal_queries(abc_domain, ["A1", "A2"])) == 4
+        assert len(marginal_queries(abc_domain, ["A1", "A3"])) == 6
+
+    def test_cells_partition_domain(self, abc_domain):
+        queries = marginal_queries(abc_domain, ["A2", "A3"])
+        total = np.zeros(abc_domain.size, dtype=int)
+        for q in queries:
+            total += q.mask.astype(int)
+        assert np.all(total == 1)
+
+    def test_names_identify_cells(self, abc_domain):
+        queries = marginal_queries(abc_domain, ["A1"])
+        assert "A1='a1'" in queries[0].name
+
+    def test_validation(self, abc_domain):
+        with pytest.raises(ValueError):
+            marginal_queries(abc_domain, [])
+        with pytest.raises(ValueError):
+            marginal_queries(abc_domain, ["A1", "A1"])
+        with pytest.raises(KeyError):
+            marginal_queries(abc_domain, ["missing"])
+
+
+class TestMarginalCounts:
+    def test_counts(self, abc_domain):
+        db = Database.from_values(
+            abc_domain,
+            [("a1", "b1", "c1"), ("a1", "b2", "c1"), ("a2", "b2", "c3")],
+        )
+        counts = marginal_counts(db, ["A1"])
+        assert counts.tolist() == [2, 1]
+        counts2 = marginal_counts(db, ["A1", "A2"])
+        assert counts2.sum() == 3
+
+
+class TestMarginalConstraintSet:
+    def test_holds_on_source(self, abc_domain):
+        db = Database.from_values(
+            abc_domain, [("a1", "b1", "c1"), ("a2", "b2", "c3")]
+        )
+        cs = MarginalConstraintSet(abc_domain, [["A1", "A2"]], db)
+        assert cs.satisfied_by(db)
+        moved = db.replace(0, abc_domain.index_of(("a2", "b1", "c1")))
+        assert not cs.satisfied_by(moved)
+        within_cell = db.replace(0, abc_domain.index_of(("a1", "b1", "c2")))
+        assert cs.satisfied_by(within_cell)
+
+    def test_sizes(self, abc_domain):
+        db = Database.from_values(abc_domain, [("a1", "b1", "c1")])
+        cs = MarginalConstraintSet(abc_domain, [["A1"], ["A2"]], db)
+        assert cs.sizes() == [2, 2]
+
+    def test_rejects_overlapping_marginals(self, abc_domain):
+        db = Database.from_values(abc_domain, [("a1", "b1", "c1")])
+        with pytest.raises(ValueError, match="two marginals"):
+            MarginalConstraintSet(abc_domain, [["A1", "A2"], ["A2"]], db)
+
+    def test_rejects_full_attribute_set(self, abc_domain):
+        db = Database.from_values(abc_domain, [("a1", "b1", "c1")])
+        with pytest.raises(ValueError, match="proper subsets"):
+            MarginalConstraintSet(abc_domain, [["A1", "A2", "A3"]], db)

@@ -1,0 +1,198 @@
+"""Tests for the policy graph (Definition 8.3, Theorem 8.2, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Attribute,
+    ConstraintSet,
+    CountQuery,
+    Database,
+    Domain,
+    ExplicitGraph,
+    FullDomainGraph,
+    Policy,
+)
+from repro.constraints import V_MINUS, V_PLUS, PolicyGraph
+from repro.constraints.marginals import MarginalConstraintSet, marginal_queries
+from repro.core.sensitivity import brute_force_sensitivity
+
+
+class TestFigure3:
+    """The paper's worked example: 2x2x3 domain, A1xA2 marginal, K secrets."""
+
+    @pytest.fixture
+    def pg(self, abc_domain):
+        queries = marginal_queries(abc_domain, ["A1", "A2"])
+        return PolicyGraph(FullDomainGraph(abc_domain), queries)
+
+    def test_query_subgraph_is_complete(self, pg):
+        g = pg.to_networkx()
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert g.has_edge(a, b)
+
+    def test_only_v_plus_v_minus_special_edge(self, pg):
+        """Every value lies in some marginal cell, so no change lifts
+        without lowering: v+/v- touch nothing but each other."""
+        g = pg.to_networkx()
+        assert g.has_edge(V_PLUS, V_MINUS)
+        assert g.out_degree(V_PLUS) == 1
+        assert g.in_degree(V_MINUS) == 1
+
+    def test_alpha_and_xi(self, pg):
+        assert pg.alpha() == 4
+        assert pg.xi() == 1
+
+    def test_sensitivity_bound_is_8(self, pg):
+        assert pg.sensitivity_bound() == 8.0
+
+    def test_corollary_bound(self, pg):
+        assert pg.corollary_bound() == 8.0  # 2 * |Q| happens to coincide
+
+
+class TestConstructionPaths:
+    def test_scan_path_matches_full_domain_fast_path(self, abc_domain):
+        """The generic edge-scan and the support-set fast path must agree."""
+        queries = marginal_queries(abc_domain, ["A1", "A2"])
+        fast = PolicyGraph(FullDomainGraph(abc_domain), queries).to_networkx()
+        # force the generic path with an explicit complete graph
+        complete_edges = [
+            (i, j)
+            for i in range(abc_domain.size)
+            for j in range(i + 1, abc_domain.size)
+        ]
+        slow = PolicyGraph(
+            ExplicitGraph(abc_domain, complete_edges), queries
+        ).to_networkx()
+        assert set(fast.edges()) == set(slow.edges())
+
+    def test_v_plus_edges_with_uncovered_cells(self, small_ordered_domain):
+        """Values outside every support create genuine v+ / v- edges."""
+        q = CountQuery.from_mask(small_ordered_domain, np.arange(10) < 3, "low")
+        pg = PolicyGraph(FullDomainGraph(small_ordered_domain), [q])
+        g = pg.to_networkx()
+        assert g.has_edge(V_PLUS, 0)
+        assert g.has_edge(0, V_MINUS)
+        assert pg.xi() == 2  # v+ -> q -> v-
+        assert pg.alpha() == 0  # single query, no cycle
+        assert pg.sensitivity_bound() == 4.0
+
+    def test_non_sparse_rejected(self, small_ordered_domain):
+        q1 = CountQuery.from_mask(small_ordered_domain, np.arange(10) >= 3, "t3")
+        q2 = CountQuery.from_mask(small_ordered_domain, np.arange(10) >= 6, "t6")
+        with pytest.raises(ValueError, match="not sparse"):
+            PolicyGraph(FullDomainGraph(small_ordered_domain), [q1, q2])
+
+    def test_empty_queries_rejected(self, small_ordered_domain):
+        with pytest.raises(ValueError):
+            PolicyGraph(FullDomainGraph(small_ordered_domain), [])
+
+    def test_restricted_graph_drops_edges(self, small_ordered_domain):
+        """With a line graph, only boundary-crossing steps create edges."""
+        half = CountQuery.from_mask(small_ordered_domain, np.arange(10) < 5, "low")
+        rest = CountQuery.from_mask(small_ordered_domain, np.arange(10) >= 5, "high")
+        pg = PolicyGraph(Policy.line(small_ordered_domain).graph, [half, rest])
+        g = pg.to_networkx()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert pg.alpha() == 2
+        assert pg.sensitivity_bound() == 4.0
+
+
+class TestTheoremValidation:
+    """The money tests: Theorem 8.2's bound vs exact brute force."""
+
+    def test_single_marginal_2x2(self):
+        domain = Domain([Attribute("A1", ["a1", "a2"]), Attribute("A2", ["b1", "b2"])])
+        queries = marginal_queries(domain, ["A1"])
+        base = Database.from_values(domain, [("a1", "b1"), ("a1", "b2"), ("a2", "b1")])
+        policy = Policy.full_domain(
+            domain, ConstraintSet.from_database(queries, base)
+        )
+        pg = PolicyGraph(policy.graph, queries)
+        bound = pg.sensitivity_bound()
+        exact = brute_force_sensitivity(lambda db: db.histogram(), policy, 3)
+        assert bound == 4.0
+        assert exact == bound  # tight (Theorem 8.4)
+
+    def test_partial_coverage_bound_holds(self, tiny_domain):
+        """Single count query covering part of the domain: bound >= exact."""
+        q = CountQuery.from_mask(tiny_domain, np.array([True, False, False]), "zero")
+        base = Database.from_indices(tiny_domain, [0, 1, 2])
+        policy = Policy.full_domain(
+            tiny_domain, ConstraintSet.from_database([q], base)
+        )
+        pg = PolicyGraph(policy.graph, [q])
+        exact = brute_force_sensitivity(lambda db: db.histogram(), policy, 3)
+        assert exact <= pg.sensitivity_bound()
+        # the constraint pins cell 0 exactly, so a neighbor can only shuffle
+        # one unit between the two free cells: the bound is not tight here
+        assert exact == 2.0
+        assert pg.sensitivity_bound() == 4.0
+
+    def test_line_graph_constrained_bound_holds(self):
+        domain = Domain.integers("v", 4)
+        half = CountQuery.from_mask(domain, np.arange(4) < 2, "low")
+        base = Database.from_indices(domain, [0, 1, 2])
+        policy = Policy.line(domain).with_constraints(
+            ConstraintSet.from_database([half], base)
+        )
+        pg = PolicyGraph(policy.graph, [half])
+        exact = brute_force_sensitivity(lambda db: db.histogram(), policy, 3)
+        assert exact <= pg.sensitivity_bound()
+
+
+class TestCorollary83Erratum:
+    """The printed Corollary 8.3 (S <= 2 max{|Q|, 1}) fails when values lie
+    outside every query support: the v+ -> q -> v- path gives xi = |Q| + 1
+    and the exact sensitivity matches Theorem 8.2, not the corollary."""
+
+    @pytest.fixture
+    def instance(self):
+        domain = Domain.integers("v", 4)
+        q = CountQuery.from_mask(
+            domain, np.array([True, True, False, False]), "covered"
+        )
+        base = Database.from_indices(domain, [0, 1, 2])
+        policy = Policy.full_domain(
+            domain, ConstraintSet.from_database([q], base)
+        )
+        return policy, q
+
+    def test_exact_sensitivity_violates_printed_corollary(self, instance):
+        policy, q = instance
+        pg = PolicyGraph(policy.graph, [q])
+        exact = brute_force_sensitivity(lambda db: db.histogram(), policy, 3)
+        assert exact == 4.0
+        assert exact > pg.corollary_bound()  # the erratum
+        assert exact == pg.sensitivity_bound()  # Theorem 8.2 is right
+
+    def test_safe_corollary_holds(self, instance):
+        policy, q = instance
+        pg = PolicyGraph(policy.graph, [q])
+        assert pg.sensitivity_bound() <= pg.safe_corollary_bound()
+
+    def test_printed_corollary_holds_for_covering_queries(self, abc_domain):
+        """With supports covering the domain (e.g. a marginal), xi = 1 and
+        the printed corollary is valid."""
+        queries = marginal_queries(abc_domain, ["A1", "A2"])
+        pg = PolicyGraph(FullDomainGraph(abc_domain), queries)
+        assert pg.sensitivity_bound() <= pg.corollary_bound()
+
+
+class TestSearchAlgorithms:
+    def test_longest_cycle_on_known_graph(self, small_ordered_domain):
+        """Two disjoint 2-cycles plus a 3-cycle: alpha = 3."""
+        import networkx as nx
+
+        from repro.constraints.policy_graph import _longest_cycle, _longest_path
+
+        g = nx.DiGraph()
+        g.add_edges_from([(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)])
+        assert _longest_cycle(g) == 3
+
+        h = nx.DiGraph()
+        h.add_edges_from([("s", 0), (0, 1), (1, "t"), ("s", "t")])
+        assert _longest_path(h, "s", "t") == 3
+        assert _longest_path(h, "s", "missing") == 0

@@ -1,0 +1,85 @@
+"""Tests for rectangle range constraints on grids (Section 8.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain
+from repro.constraints import (
+    Rectangle,
+    max_component_size,
+    rectangle_distance,
+    rectangle_graph,
+    rectangle_query,
+    rectangles_disjoint,
+)
+
+
+class TestRectangle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rectangle([2], [1])
+        with pytest.raises(ValueError):
+            Rectangle([0, 0], [1])
+
+    def test_point_detection(self):
+        assert Rectangle([3, 4], [3, 4]).is_point
+        assert not Rectangle([3, 4], [3, 5]).is_point
+
+    def test_intersects(self):
+        a = Rectangle([0, 0], [2, 2])
+        assert a.intersects(Rectangle([2, 2], [4, 4]))
+        assert not a.intersects(Rectangle([3, 0], [4, 2]))
+
+
+class TestRectangleQuery:
+    def test_counts_inside(self):
+        d = Domain.grid([5, 5])
+        q = rectangle_query(d, Rectangle([1, 1], [3, 3]))
+        db = Database.from_values(d, [(0, 0), (1, 1), (2, 3), (4, 4)])
+        assert q(db)[0] == 2
+
+    def test_bounds_checked(self):
+        d = Domain.grid([5, 5])
+        with pytest.raises(ValueError):
+            rectangle_query(d, Rectangle([0, 0], [5, 4]))
+        with pytest.raises(ValueError):
+            rectangle_query(d, Rectangle([0], [4]))
+
+
+class TestDistances:
+    def test_overlapping_is_zero(self):
+        assert rectangle_distance(Rectangle([0, 0], [2, 2]), Rectangle([1, 1], [3, 3])) == 0.0
+
+    def test_l1_gap(self):
+        a = Rectangle([0, 0], [1, 1])
+        b = Rectangle([4, 3], [5, 5])
+        assert rectangle_distance(a, b) == (4 - 1) + (3 - 1)
+
+    def test_linf_gap(self):
+        a = Rectangle([0, 0], [1, 1])
+        b = Rectangle([4, 3], [5, 5])
+        assert rectangle_distance(a, b, p=np.inf) == 3.0
+
+    def test_disjointness(self):
+        rects = [Rectangle([0, 0], [1, 1]), Rectangle([2, 2], [3, 3])]
+        assert rectangles_disjoint(rects)
+        rects.append(Rectangle([1, 1], [2, 2]))
+        assert not rectangles_disjoint(rects)
+
+
+class TestRectangleGraph:
+    def test_components(self):
+        rects = [
+            Rectangle([0, 0], [1, 1]),
+            Rectangle([3, 0], [4, 1]),   # distance 1 from the first
+            Rectangle([9, 9], [9, 9]),   # far away
+        ]
+        g = rectangle_graph(rects, theta=2.0)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+        assert max_component_size(g) == 2
+
+    def test_empty(self):
+        import networkx as nx
+
+        assert max_component_size(nx.Graph()) == 0

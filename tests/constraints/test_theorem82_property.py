@@ -1,0 +1,102 @@
+"""Property-based validation of Theorem 8.2: on randomly generated sparse
+constraint systems, the policy-graph bound always dominates the exact
+brute-force sensitivity computed from Definition 4.1 neighbors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConstraintSet, CountQuery, Database, Domain, Policy
+from repro.constraints import PolicyGraph, is_sparse
+from repro.core.sensitivity import brute_force_sensitivity
+
+
+def _disjoint_support_queries(domain, assignment):
+    """Build one CountQuery per label > 0 from a per-cell label vector.
+
+    Disjoint supports are automatically sparse w.r.t. every secret graph:
+    a change lowers at most the source cell's query and lifts at most the
+    destination cell's.
+    """
+    labels = sorted({a for a in assignment if a > 0})
+    queries = []
+    for lab in labels:
+        mask = np.array([a == lab for a in assignment])
+        queries.append(CountQuery.from_mask(domain, mask, name=f"q{lab}"))
+    return queries
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_bound_dominates_brute_force_full_domain(data):
+    size = data.draw(st.integers(min_value=3, max_value=5))
+    domain = Domain.integers("v", size)
+    # assign each cell to query 1, query 2, or no query (0)
+    assignment = data.draw(
+        st.lists(st.integers(min_value=0, max_value=2), min_size=size, max_size=size)
+    )
+    queries = _disjoint_support_queries(domain, assignment)
+    if not queries:
+        return
+    policy_graph_graph = Policy.differential_privacy(domain).graph
+    assert is_sparse(queries, policy_graph_graph)
+    base_indices = data.draw(
+        st.lists(st.integers(min_value=0, max_value=size - 1), min_size=3, max_size=3)
+    )
+    base = Database.from_indices(domain, base_indices)
+    policy = Policy.full_domain(
+        domain, ConstraintSet.from_database(queries, base)
+    )
+    pg = PolicyGraph(policy.graph, queries)
+    bound = pg.sensitivity_bound()
+    exact = brute_force_sensitivity(lambda db: db.histogram(), policy, 3)
+    assert exact <= bound + 1e-9
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_bound_dominates_brute_force_threshold_graph(data):
+    size = data.draw(st.integers(min_value=3, max_value=5))
+    theta = data.draw(st.integers(min_value=1, max_value=3))
+    domain = Domain.integers("v", size)
+    assignment = data.draw(
+        st.lists(st.integers(min_value=0, max_value=2), min_size=size, max_size=size)
+    )
+    queries = _disjoint_support_queries(domain, assignment)
+    if not queries:
+        return
+    graph = Policy.distance_threshold(domain, theta).graph
+    assert is_sparse(queries, graph)
+    base = Database.from_indices(
+        domain,
+        data.draw(
+            st.lists(st.integers(min_value=0, max_value=size - 1), min_size=3, max_size=3)
+        ),
+    )
+    policy = Policy.distance_threshold(domain, theta).with_constraints(
+        ConstraintSet.from_database(queries, base)
+    )
+    pg = PolicyGraph(policy.graph, queries)
+    exact = brute_force_sensitivity(lambda db: db.histogram(), policy, 3)
+    assert exact <= pg.sensitivity_bound() + 1e-9
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_safe_corollary_dominates_theorem_82(data):
+    """The corrected 2(|Q|+1) bound always dominates Theorem 8.2.
+
+    (The paper's printed Corollary 8.3, 2*max(|Q|,1), does NOT — see
+    TestCorollary83Erratum in test_policy_graph.py.)
+    """
+    size = data.draw(st.integers(min_value=3, max_value=6))
+    domain = Domain.integers("v", size)
+    assignment = data.draw(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=size, max_size=size)
+    )
+    queries = _disjoint_support_queries(domain, assignment)
+    if not queries:
+        return
+    pg = PolicyGraph(Policy.differential_privacy(domain).graph, queries)
+    assert pg.sensitivity_bound() <= pg.safe_corollary_bound() + 1e-9

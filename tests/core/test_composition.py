@@ -1,0 +1,165 @@
+"""Tests for composition (Theorems 4.1-4.3) and the accountant."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Constraint,
+    ConstraintSet,
+    CountQuery,
+    Database,
+    Domain,
+    ExplicitGraph,
+    Partition,
+    Policy,
+    PrivacyAccountant,
+)
+from repro.core.composition import (
+    constraint_is_critical,
+    critical_edges,
+    parallel_epsilon,
+    sequential_epsilon,
+    supports_parallel_composition,
+)
+
+
+class TestSequential:
+    def test_sum(self):
+        assert sequential_epsilon([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sequential_epsilon([0.1, -0.2])
+
+    def test_empty(self):
+        assert sequential_epsilon([]) == 0.0
+
+
+class TestCriticalEdges:
+    def test_crossing_query(self, small_ordered_domain):
+        policy = Policy.line(small_ordered_domain)
+        q = CountQuery.from_mask(small_ordered_domain, np.arange(10) < 5)
+        edges = critical_edges(q, policy.graph)
+        assert edges == {(4, 5)}
+        assert constraint_is_critical(q, policy.graph)
+
+    def test_component_aligned_query_not_critical(self):
+        # the paper's closing Section 4.1 example
+        d = Domain.integers("v", 10)
+        labels = np.array([0] * 5 + [1] * 5)
+        graph = Policy.partitioned(Partition(d, labels)).graph
+        q_s = CountQuery.from_mask(d, np.arange(10) < 5, "q_S")
+        q_rest = CountQuery.from_mask(d, np.arange(10) >= 5, "q_T\\S")
+        assert not constraint_is_critical(q_s, graph)
+        assert not constraint_is_critical(q_rest, graph)
+
+    def test_full_domain_fast_path(self, small_ordered_domain):
+        graph = Policy.differential_privacy(small_ordered_domain).graph
+        crossing = CountQuery.from_mask(small_ordered_domain, np.arange(10) < 3)
+        constant = CountQuery.from_mask(small_ordered_domain, np.ones(10, dtype=bool))
+        assert constraint_is_critical(crossing, graph)
+        assert not constraint_is_critical(constant, graph)
+
+    def test_explicit_graph(self, tiny_domain):
+        graph = ExplicitGraph(tiny_domain, [(0, 1)])
+        q = CountQuery.from_mask(tiny_domain, np.array([True, True, False]))
+        assert not constraint_is_critical(q, graph)
+        assert critical_edges(q, graph) == frozenset()
+
+
+class TestParallelComposition:
+    def test_unconstrained_disjoint_groups(self, small_ordered_domain):
+        policy = Policy.differential_privacy(small_ordered_domain)
+        assert supports_parallel_composition(policy, [[0, 1], [2, 3]])
+        assert parallel_epsilon(policy, [0.3, 0.7], [[0, 1], [2, 3]]) == 0.7
+
+    def test_overlapping_groups_rejected(self, small_ordered_domain):
+        policy = Policy.differential_privacy(small_ordered_domain)
+        assert not supports_parallel_composition(policy, [[0, 1], [1, 2]])
+        with pytest.raises(ValueError):
+            parallel_epsilon(policy, [0.3, 0.7], [[0, 1], [1, 2]])
+
+    def test_noncritical_constraints_compose(self):
+        # two component counts, partition policy: crit(q) = 0, so parallel
+        # composition is free (the paper's example)
+        d = Domain.integers("v", 10)
+        labels = np.array([0] * 5 + [1] * 5)
+        base = Database.from_indices(d, [0, 1, 5, 6])
+        q_s = CountQuery.from_mask(d, np.arange(10) < 5, "q_S")
+        q_rest = CountQuery.from_mask(d, np.arange(10) >= 5, "q_rest")
+        cs = ConstraintSet.from_database([q_s, q_rest], base)
+        policy = Policy.partitioned(Partition(d, labels), cs)
+        assert supports_parallel_composition(policy, [[0, 1], [2, 3]])
+        assert parallel_epsilon(policy, [0.2, 0.5], [[0, 1], [2, 3]]) == 0.5
+
+    def test_critical_constraints_block_parallel(self, small_ordered_domain):
+        # the paper's male/female marginal example: a critical constraint
+        # defeats parallel composition under uniform secrets
+        base = Database.from_indices(small_ordered_domain, [0, 1, 5, 6])
+        q = CountQuery.from_mask(small_ordered_domain, np.arange(10) < 5, "low")
+        cs = ConstraintSet.from_database([q], base)
+        policy = Policy.full_domain(small_ordered_domain, cs)
+        assert not supports_parallel_composition(policy, [[0, 1], [2, 3]])
+
+    def test_constraint_group_assignment_validation(self, small_ordered_domain):
+        base = Database.from_indices(small_ordered_domain, [0, 1, 5, 6])
+        q = CountQuery.from_mask(small_ordered_domain, np.arange(10) < 5, "low")
+        cs = ConstraintSet.from_database([q], base)
+        policy = Policy.full_domain(small_ordered_domain, cs)
+        # assignment must cover exactly the policy's queries
+        assert not supports_parallel_composition(policy, [[0], [1]], [[], []])
+        # critical constraint assigned to group 0 while group 1 is non-empty
+        assert not supports_parallel_composition(
+            policy, [[0], [1]], [[cs.queries[0]], []]
+        )
+        # with the other group empty, the assignment is fine
+        assert supports_parallel_composition(policy, [[0], []], [[cs.queries[0]], []])
+
+    def test_epsilon_count_mismatch(self, small_ordered_domain):
+        policy = Policy.differential_privacy(small_ordered_domain)
+        with pytest.raises(ValueError):
+            parallel_epsilon(policy, [0.1], [[0], [1]])
+
+
+class TestAccountant:
+    def test_sequential_total(self, small_ordered_domain):
+        acc = PrivacyAccountant(Policy.differential_privacy(small_ordered_domain))
+        acc.spend(0.1, "histogram")
+        acc.spend(0.2, "kmeans")
+        assert acc.sequential_total() == pytest.approx(0.3)
+        assert acc.spends == [("histogram", 0.1), ("kmeans", 0.2)]
+
+    def test_budget_enforcement(self, small_ordered_domain):
+        acc = PrivacyAccountant(Policy.differential_privacy(small_ordered_domain), budget=0.5)
+        acc.spend(0.4)
+        assert acc.remaining() == pytest.approx(0.1)
+        with pytest.raises(RuntimeError, match="budget exhausted"):
+            acc.spend(0.2)
+
+    def test_invalid_budget(self, small_ordered_domain):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(Policy.differential_privacy(small_ordered_domain), budget=0.0)
+
+    def test_negative_spend_rejected(self, small_ordered_domain):
+        acc = PrivacyAccountant(Policy.differential_privacy(small_ordered_domain))
+        with pytest.raises(ValueError):
+            acc.spend(-0.1)
+
+    def test_parallel_aware_total(self, small_ordered_domain):
+        acc = PrivacyAccountant(Policy.differential_privacy(small_ordered_domain))
+        acc.spend(0.1, "global")
+        acc.spend(0.3, "groupA", ids=[0, 1])
+        acc.spend(0.2, "groupB", ids=[2, 3])
+        assert acc.parallel_aware_total() == pytest.approx(0.1 + 0.3)
+        assert acc.sequential_total() == pytest.approx(0.6)
+
+    def test_parallel_aware_falls_back_on_overlap(self, small_ordered_domain):
+        acc = PrivacyAccountant(Policy.differential_privacy(small_ordered_domain))
+        acc.spend(0.3, ids=[0, 1])
+        acc.spend(0.2, ids=[1, 2])
+        assert acc.parallel_aware_total() == pytest.approx(0.5)
+
+    def test_remaining_requires_budget(self, small_ordered_domain):
+        acc = PrivacyAccountant(Policy.differential_privacy(small_ordered_domain))
+        with pytest.raises(ValueError):
+            acc.remaining()

@@ -1,0 +1,128 @@
+"""Tests for repro.core.database."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain
+
+
+@pytest.fixture
+def db(small_ordered_domain):
+    return Database.from_indices(small_ordered_domain, [0, 0, 3, 5, 9, 9, 9])
+
+
+class TestConstruction:
+    def test_from_indices(self, db):
+        assert db.n == 7
+        assert db[2] == 3
+
+    def test_from_values(self, grid_domain):
+        d = Database.from_values(grid_domain, [(0, 0), (3, 2)])
+        assert d.n == 2
+        assert d.value(1) == (3, 2)
+
+    def test_from_values_bare_1d(self, small_ordered_domain):
+        d = Database.from_values(small_ordered_domain, [1, 2, 3])
+        assert d[0] == 1
+
+    def test_empty(self, small_ordered_domain):
+        d = Database.empty(small_ordered_domain)
+        assert d.n == 0
+        assert d.histogram().sum() == 0
+
+    def test_out_of_range_rejected(self, small_ordered_domain):
+        with pytest.raises(ValueError):
+            Database.from_indices(small_ordered_domain, [0, 10])
+        with pytest.raises(ValueError):
+            Database.from_indices(small_ordered_domain, [-1])
+
+    def test_2d_indices_rejected(self, small_ordered_domain):
+        with pytest.raises(ValueError):
+            Database(small_ordered_domain, np.zeros((2, 2), dtype=np.int64))
+
+    def test_indices_read_only(self, db):
+        with pytest.raises(ValueError):
+            db.indices[0] = 5
+
+
+class TestUpdates:
+    def test_replace(self, db):
+        d2 = db.replace(0, 7)
+        assert d2[0] == 7
+        assert db[0] == 0  # original untouched
+
+    def test_replace_validates(self, db):
+        with pytest.raises(ValueError):
+            db.replace(0, 10)
+
+    def test_replace_many(self, db):
+        d2 = db.replace_many({0: 1, 6: 2})
+        assert d2[0] == 1 and d2[6] == 2
+        assert db[6] == 9
+
+    def test_restrict(self, db):
+        sub = db.restrict([0, 2, 4])
+        assert sub.n == 3
+        assert list(sub.indices) == [0, 3, 9]
+
+    def test_subsample(self, db, rng):
+        sub = db.subsample(0.5, rng)
+        assert sub.n == 4  # round(3.5) = 4
+        with pytest.raises(ValueError):
+            db.subsample(0.0, rng)
+
+    def test_subsample_full(self, db, rng):
+        assert db.subsample(1.0, rng).n == db.n
+
+
+class TestAggregates:
+    def test_histogram(self, db):
+        h = db.histogram()
+        assert h.sum() == 7
+        assert h[0] == 2 and h[9] == 3
+
+    def test_sparse_histogram(self, db):
+        s = db.sparse_histogram()
+        assert s == {0: 2, 3: 1, 5: 1, 9: 3}
+
+    def test_cumulative(self, db):
+        c = db.cumulative_histogram()
+        assert c[-1] == 7
+        assert c[4] == 3  # two zeros + one three
+        assert np.all(np.diff(c) >= 0)
+
+    def test_cumulative_requires_ordered(self, grid_domain):
+        d = Database.from_indices(grid_domain, [0, 1])
+        with pytest.raises(TypeError):
+            d.cumulative_histogram()
+
+    def test_range_count(self, db):
+        assert db.range_count(0, 9) == 7
+        assert db.range_count(3, 5) == 2
+        assert db.range_count(1, 2) == 0
+        with pytest.raises(ValueError):
+            db.range_count(5, 3)
+
+    def test_points(self, grid_domain):
+        d = Database.from_values(grid_domain, [(1, 2), (3, 0)])
+        pts = d.points()
+        assert pts.tolist() == [[1.0, 2.0], [3.0, 0.0]]
+
+    def test_histogram_guard_for_huge_domains(self):
+        huge = Domain.grid([2048, 2048, 64])  # > 2^24 cells
+        d = Database.from_indices(huge, [0, 1])
+        with pytest.raises(ValueError, match="dense"):
+            d.histogram()
+        assert d.sparse_histogram() == {0: 1, 1: 1}
+
+
+class TestEquality:
+    def test_eq_and_hash(self, small_ordered_domain):
+        d1 = Database.from_indices(small_ordered_domain, [1, 2])
+        d2 = Database.from_indices(small_ordered_domain, [1, 2])
+        d3 = Database.from_indices(small_ordered_domain, [2, 1])
+        assert d1 == d2 and hash(d1) == hash(d2)
+        assert d1 != d3
+
+    def test_iter(self, db):
+        assert list(db) == [0, 0, 3, 5, 9, 9, 9]

@@ -1,0 +1,127 @@
+"""End-to-end certification of the Blowfish definition (Definition 4.2).
+
+These tests do not trust sensitivity arithmetic: they enumerate neighbor
+pairs and check the probability-ratio inequality directly, either exactly
+(GraphRandomizedResponse has an enumerable output distribution) or through
+the closed-form privacy loss of additive-Laplace mechanisms.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Partition, Policy
+from repro.core.audit import distinguishability_profile, laplace_realized_epsilon
+from repro.core.definition import realized_epsilon, satisfies_blowfish
+from repro.mechanisms import GraphRandomizedResponse
+
+
+class TestGraphRandomizedResponse:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            Policy.differential_privacy,
+            Policy.line,
+            lambda d: Policy.distance_threshold(d, 2.0),
+        ],
+    )
+    def test_satisfies_blowfish_exactly(self, policy_factory):
+        domain = Domain.integers("v", 4)
+        policy = policy_factory(domain)
+        eps = 0.8
+        mech = GraphRandomizedResponse(policy, eps)
+        assert satisfies_blowfish(mech, policy, eps, n=1)
+
+    def test_violates_smaller_epsilon(self):
+        domain = Domain.integers("v", 4)
+        policy = Policy.differential_privacy(domain)
+        mech = GraphRandomizedResponse(policy, 1.0)
+        realized = realized_epsilon(mech, policy, n=1)
+        assert realized > 0.3
+        assert not satisfies_blowfish(mech, policy, 0.3, n=1)
+
+    def test_two_tuple_product(self):
+        domain = Domain.integers("v", 3)
+        policy = Policy.line(domain)
+        mech = GraphRandomizedResponse(policy, 0.5)
+        assert satisfies_blowfish(mech, policy, 0.5, n=2)
+
+    def test_partition_blocks_never_mix(self):
+        domain = Domain.integers("v", 4)
+        labels = np.array([0, 0, 1, 1])
+        policy = Policy.partitioned(Partition(domain, labels))
+        mech = GraphRandomizedResponse(policy, 1.0)
+        db = Database.from_indices(domain, [0])
+        dist = mech.output_distribution(db)
+        assert all(out[0] in (0, 1) for out in dist)
+        assert sum(dist.values()) == pytest.approx(1.0)
+        # still private within components
+        assert satisfies_blowfish(mech, policy, 1.0, n=1)
+
+    def test_transition_rows_normalized(self):
+        domain = Domain.integers("v", 5)
+        mech = GraphRandomizedResponse(Policy.line(domain), 0.7)
+        assert np.allclose(mech.transition.sum(axis=1), 1.0)
+
+    def test_release_returns_database(self, rng):
+        domain = Domain.integers("v", 4)
+        policy = Policy.differential_privacy(domain)
+        mech = GraphRandomizedResponse(policy, 5.0)
+        db = Database.from_indices(domain, [0, 1, 2, 3])
+        out = mech.release(db, rng=rng)
+        assert out.n == 4
+        assert out.domain == domain
+
+    def test_rejects_constrained_policy(self, tiny_domain):
+        import numpy as np
+
+        from repro import Constraint, ConstraintSet, CountQuery
+
+        q = CountQuery.from_mask(tiny_domain, np.array([True, False, False]))
+        policy = Policy.full_domain(tiny_domain, ConstraintSet([Constraint(q, 1)]))
+        with pytest.raises(ValueError):
+            GraphRandomizedResponse(policy, 1.0)
+
+
+class TestLaplaceAudit:
+    def test_realized_epsilon_equals_sensitivity_over_scale(self, tiny_domain):
+        policy = Policy.differential_privacy(tiny_domain)
+        # histogram sensitivity 2; scale 4 -> realized eps must be 0.5
+        eps = laplace_realized_epsilon(lambda db: db.histogram(), policy, scale=4.0, n=2)
+        assert eps == pytest.approx(0.5)
+
+    def test_line_policy_cumulative_is_cheaper(self, tiny_domain):
+        dp = Policy.differential_privacy(tiny_domain)
+        line = Policy.line(tiny_domain)
+        q = lambda db: db.cumulative_histogram()
+        assert laplace_realized_epsilon(q, line, 1.0, 2) < laplace_realized_epsilon(
+            q, dp, 1.0, 2
+        )
+
+    def test_scale_validation(self, tiny_domain):
+        policy = Policy.differential_privacy(tiny_domain)
+        with pytest.raises(ValueError):
+            laplace_realized_epsilon(lambda db: db.histogram(), policy, 0.0, 1)
+
+
+class TestDistinguishabilityProfile:
+    def test_profile_respects_eqn9(self):
+        # Eqn (9): loss at graph distance d is bounded by (S(f,P)/scale) * d
+        domain = Domain.integers("v", 6)
+        policy = Policy.line(domain)
+        base = Database.from_indices(domain, [2, 4])
+        scale = 2.0
+        profile = distinguishability_profile(
+            lambda db: db.cumulative_histogram(), policy, scale, base, individual=0
+        )
+        per_hop = 1.0 / scale  # cumulative sensitivity 1 under the line graph
+        for d, loss in profile.items():
+            assert loss <= per_hop * d + 1e-9
+
+    def test_far_pairs_leak_more(self):
+        domain = Domain.integers("v", 6)
+        policy = Policy.line(domain)
+        base = Database.from_indices(domain, [0])
+        profile = distinguishability_profile(
+            lambda db: db.cumulative_histogram(), policy, 1.0, base
+        )
+        assert profile[5.0] > profile[1.0]

@@ -1,0 +1,246 @@
+"""Tests for repro.core.domain: attributes and mixed-radix domains."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Attribute, Domain
+
+
+class TestAttribute:
+    def test_basic_container(self):
+        a = Attribute("color", ["red", "green", "blue"])
+        assert len(a) == 3
+        assert list(a) == ["red", "green", "blue"]
+        assert a[1] == "green"
+        assert "red" in a
+        assert "purple" not in a
+
+    def test_rank(self):
+        a = Attribute("x", [10, 20, 30])
+        assert a.rank(20) == 1
+        with pytest.raises(KeyError):
+            a.rank(99)
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Attribute("x", [1, 2, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Attribute("x", [])
+
+    def test_numeric_detection(self):
+        assert Attribute("x", [1, 2.5, np.int64(3)]).is_numeric
+        assert not Attribute("x", ["a", "b"]).is_numeric
+        assert not Attribute("x", [1, "b"]).is_numeric
+
+    def test_numeric_distance(self):
+        a = Attribute("x", [0, 5, 20])
+        assert a.distance(0, 20) == 20.0
+        assert a.distance(5, 5) == 0.0
+
+    def test_categorical_distance_is_discrete(self):
+        a = Attribute("x", ["a", "b", "c"])
+        assert a.distance("a", "b") == 1.0
+        assert a.distance("c", "c") == 0.0
+
+    def test_span(self):
+        assert Attribute("x", [0, 5, 20]).span == 20.0
+        assert Attribute("x", ["a", "b"]).span == 1.0
+        assert Attribute("x", [7]).span == 0.0
+
+    def test_equality_and_hash(self):
+        a1 = Attribute("x", [1, 2])
+        a2 = Attribute("x", [1, 2])
+        a3 = Attribute("y", [1, 2])
+        assert a1 == a2 and hash(a1) == hash(a2)
+        assert a1 != a3
+
+    def test_repr_truncates_long_values(self):
+        long = Attribute("x", range(100))
+        assert "100 values" in repr(long)
+
+
+class TestDomainConstruction:
+    def test_ordered(self):
+        d = Domain.ordered("age", range(5))
+        assert d.size == 5
+        assert d.is_ordered
+        assert d.shape == (5,)
+
+    def test_integers(self):
+        d = Domain.integers("v", 7)
+        assert d.size == 7
+        assert d.value_of(3) == (3,)
+
+    def test_integers_requires_positive(self):
+        with pytest.raises(ValueError):
+            Domain.integers("v", 0)
+
+    def test_grid(self):
+        d = Domain.grid([4, 3])
+        assert d.size == 12
+        assert d.shape == (4, 3)
+        assert d.n_attributes == 2
+
+    def test_grid_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Domain.grid([4, 0])
+
+    def test_uniform_grid_values(self):
+        d = Domain.uniform_grid([3, 2], spacings=[5.0, 2.0], origins=[10.0, 0.0])
+        assert d.attributes[0].values == (10.0, 15.0, 20.0)
+        assert d.attributes[1].values == (0.0, 2.0)
+
+    def test_uniform_grid_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            Domain.uniform_grid([3], spacings=[0.0])
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Domain([Attribute("x", [1]), Attribute("x", [2])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Domain([])
+
+
+class TestIndexing:
+    def test_round_trip_explicit(self, abc_domain):
+        for idx in range(abc_domain.size):
+            assert abc_domain.index_of(abc_domain.value_of(idx)) == idx
+
+    def test_row_major_order(self, abc_domain):
+        # last attribute varies fastest
+        assert abc_domain.value_of(0) == ("a1", "b1", "c1")
+        assert abc_domain.value_of(1) == ("a1", "b1", "c2")
+        assert abc_domain.value_of(3) == ("a1", "b2", "c1")
+
+    def test_bare_value_for_1d(self):
+        d = Domain.integers("v", 5)
+        assert d.index_of(3) == 3
+
+    def test_index_out_of_range(self, abc_domain):
+        with pytest.raises(IndexError):
+            abc_domain.value_of(12)
+        with pytest.raises(IndexError):
+            abc_domain.value_of(-1)
+
+    def test_wrong_tuple_length(self, abc_domain):
+        with pytest.raises(ValueError):
+            abc_domain.index_of(("a1", "b1"))
+
+    def test_ranks_round_trip(self, abc_domain):
+        for idx in range(abc_domain.size):
+            assert abc_domain.index_of_ranks(abc_domain.ranks_of(idx)) == idx
+
+    def test_index_of_ranks_validates(self, abc_domain):
+        with pytest.raises(IndexError):
+            abc_domain.index_of_ranks((0, 0, 5))
+        with pytest.raises(ValueError):
+            abc_domain.index_of_ranks((0, 0))
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, data):
+        shape = data.draw(
+            st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4)
+        )
+        d = Domain.grid(shape)
+        idx = data.draw(st.integers(min_value=0, max_value=d.size - 1))
+        assert d.index_of(d.value_of(idx)) == idx
+        assert d.index_of_ranks(d.ranks_of(idx)) == idx
+
+    def test_iter_values_order(self, grid_domain):
+        values = list(grid_domain.iter_values())
+        assert len(values) == 12
+        assert values[0] == (0, 0)
+        assert values[-1] == (3, 2)
+
+    def test_enumeration_guard(self):
+        d = Domain.grid([3000, 3000])
+        with pytest.raises(ValueError, match="too large"):
+            list(d.iter_values())
+
+
+class TestTables:
+    def test_ranks_table(self, grid_domain):
+        table = grid_domain.ranks_table()
+        assert table.shape == (12, 2)
+        for idx in range(12):
+            assert tuple(table[idx]) == grid_domain.ranks_of(idx)
+
+    def test_numeric_table(self, grid_domain):
+        table = grid_domain.numeric_table()
+        assert table[5].tolist() == [1.0, 2.0]
+
+    def test_numeric_table_rejects_categorical(self, abc_domain):
+        with pytest.raises(TypeError):
+            abc_domain.numeric_table()
+
+    def test_numeric_values_matches_table(self, grid_domain):
+        idx = np.array([0, 5, 11])
+        expected = grid_domain.numeric_table()[idx]
+        assert np.array_equal(grid_domain.numeric_values(idx), expected)
+
+    def test_numeric_values_on_huge_domain(self):
+        d = Domain.grid([100, 100, 100, 100])  # 1e8 cells: tables would blow up
+        vals = d.numeric_values(np.array([0, d.size - 1]))
+        assert vals[0].tolist() == [0.0, 0.0, 0.0, 0.0]
+        assert vals[1].tolist() == [99.0, 99.0, 99.0, 99.0]
+
+
+class TestMetric:
+    def test_l1_distance_grid(self, grid_domain):
+        i = grid_domain.index_of((0, 0))
+        j = grid_domain.index_of((3, 2))
+        assert grid_domain.l1_distance(i, j) == 5.0
+
+    def test_l1_distance_mixed(self, abc_domain):
+        i = abc_domain.index_of(("a1", "b1", "c1"))
+        j = abc_domain.index_of(("a2", "b1", "c3"))
+        # categorical attributes contribute the discrete metric
+        assert abc_domain.l1_distance(i, j) == 2.0
+
+    def test_hamming(self, abc_domain):
+        i = abc_domain.index_of(("a1", "b1", "c1"))
+        j = abc_domain.index_of(("a2", "b2", "c1"))
+        assert abc_domain.hamming_distance(i, j) == 2
+
+    def test_diameter(self, grid_domain):
+        assert grid_domain.diameter() == 5.0
+
+    def test_diameter_uniform_grid(self):
+        d = Domain.uniform_grid([400, 300], spacings=[5.0, 5.0])
+        assert d.diameter() == (399 + 299) * 5.0
+
+    def test_value_gap(self):
+        d = Domain.ordered("v", [0, 10, 15])
+        assert d.value_gap(0, 2) == 15.0
+
+    def test_value_gap_requires_ordered(self, grid_domain):
+        with pytest.raises(TypeError):
+            grid_domain.value_gap(0, 1)
+
+
+class TestProjection:
+    def test_project(self, abc_domain):
+        sub = abc_domain.project(["A1", "A3"])
+        assert sub.size == 6
+        assert [a.name for a in sub.attributes] == ["A1", "A3"]
+
+    def test_project_unknown(self, abc_domain):
+        with pytest.raises(KeyError):
+            abc_domain.project(["A9"])
+
+    def test_attribute_lookup(self, abc_domain):
+        assert abc_domain.attribute("A2").values == ("b1", "b2")
+        assert abc_domain.attribute_position("A3") == 2
+        with pytest.raises(KeyError):
+            abc_domain.attribute("missing")
+
+    def test_equality(self):
+        assert Domain.grid([2, 2]) == Domain.grid([2, 2])
+        assert Domain.grid([2, 2]) != Domain.grid([2, 3])

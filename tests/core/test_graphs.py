@@ -1,0 +1,266 @@
+"""Tests for the discriminative secret graph families (Section 3.1)."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AttributeGraph,
+    Database,
+    DistanceThresholdGraph,
+    Domain,
+    ExplicitGraph,
+    FullDomainGraph,
+    LineGraph,
+    Partition,
+    PartitionGraph,
+)
+
+INF = float("inf")
+
+
+class TestFullDomainGraph:
+    def test_edges(self, small_ordered_domain):
+        g = FullDomainGraph(small_ordered_domain)
+        assert g.has_edge(0, 9)
+        assert not g.has_edge(4, 4)
+        assert len(list(g.edges())) == 45  # C(10, 2)
+
+    def test_distance(self, small_ordered_domain):
+        g = FullDomainGraph(small_ordered_domain)
+        assert g.graph_distance(0, 0) == 0.0
+        assert g.graph_distance(0, 9) == 1.0
+
+    def test_structure_constants(self, small_ordered_domain):
+        g = FullDomainGraph(small_ordered_domain)
+        assert g.max_edge_l1() == 9.0
+        assert g.max_edge_index_gap() == 9
+        assert g.has_any_edge()
+
+    def test_huge_domain_analytics(self):
+        g = FullDomainGraph(Domain.grid([4000, 4000]))
+        assert g.has_any_edge()
+        assert g.max_edge_l1() == 2 * 3999.0
+
+
+class TestAttributeGraph:
+    def test_edges_are_single_attribute_changes(self, grid_domain):
+        g = AttributeGraph(grid_domain)
+        i = grid_domain.index_of((0, 0))
+        assert g.has_edge(i, grid_domain.index_of((0, 2)))
+        assert g.has_edge(i, grid_domain.index_of((3, 0)))
+        assert not g.has_edge(i, grid_domain.index_of((1, 1)))
+
+    def test_neighbors_count(self, grid_domain):
+        g = AttributeGraph(grid_domain)
+        # each node: (4-1) + (3-1) = 5 neighbors
+        assert len(list(g.neighbors_of(0))) == 5
+
+    def test_neighbors_match_has_edge(self, abc_domain):
+        g = AttributeGraph(abc_domain)
+        for i in range(abc_domain.size):
+            nbrs = set(g.neighbors_of(i))
+            expected = {j for j in range(abc_domain.size) if g.has_edge(i, j)}
+            assert nbrs == expected
+
+    def test_distance_is_hamming(self, grid_domain):
+        g = AttributeGraph(grid_domain)
+        i = grid_domain.index_of((0, 0))
+        j = grid_domain.index_of((3, 2))
+        assert g.graph_distance(i, j) == 2.0
+
+    def test_max_edge_l1_is_max_span(self, grid_domain):
+        assert AttributeGraph(grid_domain).max_edge_l1() == 3.0
+
+    def test_huge_domain_analytics(self):
+        g = AttributeGraph(Domain.grid([256, 256, 256]))
+        assert g.has_any_edge()
+        assert g.max_edge_l1() == 255.0
+
+
+class TestPartitionGraph:
+    @pytest.fixture
+    def part_graph(self):
+        d = Domain.grid([4, 4])
+        return PartitionGraph(Partition.uniform_grid(d, [2, 2]))
+
+    def test_edges_within_blocks(self, part_graph):
+        d = part_graph.domain
+        assert part_graph.has_edge(d.index_of((0, 0)), d.index_of((1, 1)))
+        assert not part_graph.has_edge(d.index_of((0, 0)), d.index_of((2, 2)))
+
+    def test_cross_block_distance_infinite(self, part_graph):
+        d = part_graph.domain
+        assert part_graph.graph_distance(d.index_of((0, 0)), d.index_of((3, 3))) == INF
+        assert part_graph.graph_distance(d.index_of((0, 0)), d.index_of((1, 0))) == 1.0
+
+    def test_max_edge_l1(self, part_graph):
+        assert part_graph.max_edge_l1() == 2.0
+
+    def test_singleton_partition_has_no_edges(self, grid_domain):
+        g = PartitionGraph(Partition.singletons(grid_domain))
+        assert not g.has_any_edge()
+        assert g.max_edge_l1() == 0.0
+
+    def test_ordered_index_gap(self):
+        d = Domain.integers("v", 10)
+        labels = np.array([0] * 5 + [1] * 5)
+        g = PartitionGraph(Partition(d, labels))
+        assert g.max_edge_index_gap() == 4
+
+
+class TestDistanceThresholdGraph:
+    def test_edges_by_l1(self, grid_domain):
+        g = DistanceThresholdGraph(grid_domain, 2.0)
+        i = grid_domain.index_of((0, 0))
+        assert g.has_edge(i, grid_domain.index_of((1, 1)))
+        assert not g.has_edge(i, grid_domain.index_of((2, 1)))
+
+    def test_theta_must_be_positive(self, grid_domain):
+        with pytest.raises(ValueError):
+            DistanceThresholdGraph(grid_domain, 0.0)
+
+    def test_ordered_neighbors_window(self):
+        d = Domain.integers("v", 10)
+        g = DistanceThresholdGraph(d, 2.0)
+        assert sorted(g.neighbors_of(5)) == [3, 4, 6, 7]
+        assert sorted(g.neighbors_of(0)) == [1, 2]
+
+    def test_hops_closed_form_1d(self):
+        d = Domain.integers("v", 20)
+        g = DistanceThresholdGraph(d, 3.0)
+        assert g.graph_distance(0, 3) == 1.0
+        assert g.graph_distance(0, 4) == 2.0
+        assert g.graph_distance(0, 19) == math.ceil(19 / 3)
+
+    def test_hops_closed_form_matches_bfs_on_grid(self):
+        d = Domain.grid([5, 5])
+        g = DistanceThresholdGraph(d, 2.0)
+        nxg = g.to_networkx()
+        for i in range(0, 25, 3):
+            for j in range(0, 25, 4):
+                if i == j:
+                    continue
+                expected = nx.shortest_path_length(nxg, i, j)
+                assert g.graph_distance(i, j) == float(expected), (i, j)
+
+    @given(
+        theta=st.floats(min_value=1.0, max_value=6.0),
+        size=st.integers(min_value=2, max_value=15),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hops_property_1d(self, theta, size):
+        d = Domain.integers("v", size)
+        g = DistanceThresholdGraph(d, theta)
+        nxg = g.to_networkx()
+        for j in range(1, size):
+            try:
+                expected = float(nx.shortest_path_length(nxg, 0, j))
+            except nx.NetworkXNoPath:
+                expected = INF
+            assert g.graph_distance(0, j) == expected
+
+    def test_max_edge_l1_capped_at_theta(self):
+        d = Domain.integers("v", 100)
+        assert DistanceThresholdGraph(d, 7.0).max_edge_l1() == 7.0
+        assert DistanceThresholdGraph(d, 1e6).max_edge_l1() == 99.0
+
+    def test_max_edge_index_gap(self):
+        d = Domain.integers("v", 100)
+        assert DistanceThresholdGraph(d, 7.0).max_edge_index_gap() == 7
+        # non-unit spacing: gap is in index units
+        d2 = Domain.uniform_grid([100], spacings=[5.0])
+        assert DistanceThresholdGraph(d2, 7.0).max_edge_index_gap() == 1
+        assert DistanceThresholdGraph(d2, 25.0).max_edge_index_gap() == 5
+
+    def test_has_any_edge_analytic(self):
+        d = Domain.uniform_grid([100, 100, 100, 100], spacings=[0.01] * 4)
+        assert DistanceThresholdGraph(d, 0.1).has_any_edge()
+        assert not DistanceThresholdGraph(d, 0.005).has_any_edge()
+
+
+class TestLineGraph:
+    def test_adjacency(self, small_ordered_domain):
+        g = LineGraph(small_ordered_domain)
+        assert g.has_edge(3, 4)
+        assert not g.has_edge(3, 5)
+        assert sorted(g.neighbors_of(0)) == [1]
+        assert sorted(g.neighbors_of(5)) == [4, 6]
+
+    def test_distance(self, small_ordered_domain):
+        g = LineGraph(small_ordered_domain)
+        assert g.graph_distance(2, 7) == 5.0
+
+    def test_constants(self, small_ordered_domain):
+        g = LineGraph(small_ordered_domain)
+        assert g.max_edge_index_gap() == 1
+        assert g.max_edge_l1() == 1.0
+
+    def test_non_unit_spacing(self):
+        d = Domain.ordered("v", [0.0, 5.0, 20.0])
+        g = LineGraph(d)
+        assert g.has_edge(1, 2)
+        assert g.max_edge_l1() == 15.0
+
+    def test_requires_ordered(self, grid_domain):
+        with pytest.raises(TypeError):
+            LineGraph(grid_domain)
+
+
+class TestExplicitGraph:
+    def test_basic(self, tiny_domain):
+        g = ExplicitGraph(tiny_domain, [(0, 1), (1, 2)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+        assert g.graph_distance(0, 2) == 2.0
+        assert g.max_edge_index_gap() == 1
+
+    def test_disconnected_distance(self, small_ordered_domain):
+        g = ExplicitGraph(small_ordered_domain, [(0, 1)])
+        assert g.graph_distance(0, 5) == INF
+
+    def test_from_networkx(self, tiny_domain):
+        nxg = nx.path_graph(3)
+        g = ExplicitGraph(tiny_domain, nxg)
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_self_loops_removed(self, tiny_domain):
+        g = ExplicitGraph(tiny_domain, [(0, 0), (0, 1)])
+        assert not g.has_edge(0, 0)
+
+    def test_out_of_domain_edge_rejected(self, tiny_domain):
+        with pytest.raises(ValueError):
+            ExplicitGraph(tiny_domain, [(0, 5)])
+
+    def test_max_edge_l1(self, small_ordered_domain):
+        g = ExplicitGraph(small_ordered_domain, [(0, 7), (1, 2)])
+        assert g.max_edge_l1() == 7.0
+
+
+class TestEdgesConsistency:
+    """edges() must agree with has_edge for every family (small domains)."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda d: FullDomainGraph(d),
+            lambda d: AttributeGraph(d),
+            lambda d: DistanceThresholdGraph(d, 2.0),
+            lambda d: PartitionGraph(Partition.uniform_grid(d, [2, 2])),
+        ],
+    )
+    def test_edges_match_has_edge(self, factory):
+        d = Domain.grid([4, 3])
+        g = factory(d)
+        listed = set(g.edges())
+        expected = {
+            (i, j)
+            for i in range(d.size)
+            for j in range(i + 1, d.size)
+            if g.has_edge(i, j)
+        }
+        assert listed == expected

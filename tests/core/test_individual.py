@@ -1,0 +1,188 @@
+"""Tests for per-individual secrets (the Section 3.1 heterogeneity
+extension), including Theorem 4.3's parallel composition with genuinely
+per-group constraints."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain
+from repro.core.graphs import (
+    DistanceThresholdGraph,
+    EdgelessGraph,
+    FullDomainGraph,
+    LineGraph,
+)
+from repro.core.individual import (
+    IndividualPolicy,
+    IndividualRandomizedResponse,
+    constraint_affects_group,
+    supports_parallel_composition_individual,
+)
+from repro.core.queries import CountQuery
+
+
+@pytest.fixture
+def domain():
+    return Domain.integers("v", 4)
+
+
+@pytest.fixture
+def policy(domain):
+    """Three individuals: full secrets, line secrets, agnostic."""
+    return IndividualPolicy(
+        domain,
+        FullDomainGraph(domain),
+        overrides={1: LineGraph(domain)},
+        agnostic=[2],
+    )
+
+
+class TestEdgelessGraph:
+    def test_no_edges(self, domain):
+        g = EdgelessGraph(domain)
+        assert not g.has_any_edge()
+        assert not g.has_edge(0, 1)
+        assert list(g.neighbors_of(0)) == []
+        assert g.graph_distance(0, 1) == math.inf
+        assert g.max_edge_l1() == 0.0
+        assert g.max_edge_index_gap() == 0
+
+
+class TestIndividualPolicy:
+    def test_graph_for(self, policy, domain):
+        assert isinstance(policy.graph_for(0), FullDomainGraph)
+        assert isinstance(policy.graph_for(1), LineGraph)
+        assert isinstance(policy.graph_for(2), EdgelessGraph)
+        assert isinstance(policy.graph_for(99), FullDomainGraph)  # default
+
+    def test_validation(self, domain):
+        other = Domain.integers("w", 3)
+        with pytest.raises(ValueError):
+            IndividualPolicy(domain, FullDomainGraph(other))
+        with pytest.raises(ValueError):
+            IndividualPolicy(
+                domain,
+                FullDomainGraph(domain),
+                overrides={0: LineGraph(domain)},
+                agnostic=[0],
+            )
+
+    def test_neighbor_semantics(self, policy, domain):
+        db = Database.from_indices(domain, [0, 0, 0])
+        # individual 0: full secrets -> any change is a neighbor
+        assert policy.are_neighbors(db, db.replace(0, 3))
+        # individual 1: line secrets -> only adjacent moves
+        assert policy.are_neighbors(db, db.replace(1, 1))
+        assert not policy.are_neighbors(db, db.replace(1, 3))
+        # individual 2: agnostic -> nothing is protected
+        assert not policy.are_neighbors(db, db.replace(2, 1))
+
+    def test_neighbor_generator_counts(self, policy, domain):
+        db = Database.from_indices(domain, [0, 0, 0])
+        nbrs = list(policy.neighbors(db))
+        # id 0: 3 alternatives; id 1: 1 (only value 1 adjacent); id 2: 0
+        assert len(nbrs) == 4
+
+    def test_sensitivities_max_over_individuals(self, policy):
+        assert policy.histogram_sensitivity(3) == 2.0
+        assert policy.cumulative_histogram_sensitivity(3) == 3.0  # full graph
+        assert policy.ksum_sensitivity(3) == 2 * 3.0
+
+    def test_all_agnostic_is_free(self, domain):
+        p = IndividualPolicy(domain, FullDomainGraph(domain), agnostic=[0, 1])
+        assert p.histogram_sensitivity(2) == 0.0
+        assert p.ksum_sensitivity(2) == 0.0
+
+    def test_heterogeneous_sensitivity_tightens(self, domain):
+        """If the only full-secrets person leaves, sensitivity shrinks."""
+        p = IndividualPolicy(
+            domain,
+            LineGraph(domain),
+            overrides={0: FullDomainGraph(domain)},
+        )
+        assert p.cumulative_histogram_sensitivity(3) == 3.0
+        only_line = IndividualPolicy(domain, LineGraph(domain))
+        assert only_line.cumulative_histogram_sensitivity(3) == 1.0
+
+
+class TestIndividualRandomizedResponse:
+    def test_agnostic_passes_through(self, policy, domain):
+        mech = IndividualRandomizedResponse(policy, 1.0, n=3)
+        db = Database.from_indices(domain, [0, 1, 2])
+        dist = mech.output_distribution(db)
+        # individual 2 is agnostic: output always equals its input
+        assert all(o[2] == 2 for o in dist)
+
+    def test_protected_tuples_mix(self, policy, domain):
+        mech = IndividualRandomizedResponse(policy, 1.0, n=3)
+        db = Database.from_indices(domain, [0, 1, 2])
+        dist = mech.output_distribution(db)
+        outputs_for_0 = {o[0] for o in dist}
+        assert outputs_for_0 == {0, 1, 2, 3}
+
+    def test_per_individual_privacy(self, policy, domain):
+        """Exact Definition-4.2-style check over per-individual neighbors."""
+        eps = 0.8
+        mech = IndividualRandomizedResponse(policy, eps, n=3)
+        db = Database.from_indices(domain, [0, 1, 2])
+        worst = 0.0
+        for nbr in policy.neighbors(db):
+            p1 = mech.output_distribution(db)
+            p2 = mech.output_distribution(nbr)
+            for o, a in p1.items():
+                b = p2.get(o, 0.0)
+                if a > 0 and b > 0:
+                    worst = max(worst, abs(math.log(a / b)))
+                elif a > 0 or b > 0:
+                    worst = math.inf
+        assert worst <= eps + 1e-9
+
+    def test_release_shape_and_determinism(self, policy, domain):
+        mech = IndividualRandomizedResponse(policy, 2.0, n=3)
+        db = Database.from_indices(domain, [0, 1, 2])
+        a = mech.release(db, rng=5)
+        b = mech.release(db, rng=5)
+        assert a == b
+        assert a[2] == 2  # agnostic passthrough
+
+    def test_size_validation(self, policy, domain):
+        mech = IndividualRandomizedResponse(policy, 1.0, n=3)
+        with pytest.raises(ValueError):
+            mech.release(Database.from_indices(domain, [0]), rng=0)
+        with pytest.raises(ValueError):
+            IndividualRandomizedResponse(policy, 0.0, n=3)
+
+
+class TestParallelCompositionTheorem43:
+    def test_constraint_affecting_one_group_only(self, domain):
+        """The heterogeneous case where Theorem 4.3 has real bite: the
+        constraint's critical pairs touch only group A's secrets."""
+        # group A (ids 0,1): full secrets; group B (ids 2,3): agnostic
+        policy = IndividualPolicy(
+            domain, FullDomainGraph(domain), agnostic=[2, 3]
+        )
+        q = CountQuery.from_mask(domain, np.array([True, True, False, False]), "low")
+        assert constraint_affects_group(q, policy, [0, 1])
+        assert not constraint_affects_group(q, policy, [2, 3])
+        assert supports_parallel_composition_individual(
+            policy, [[0, 1], [2, 3]], [[q], []]
+        )
+        # assigning it to group B while it affects group A fails
+        assert not supports_parallel_composition_individual(
+            policy, [[0, 1], [2, 3]], [[], [q]]
+        )
+
+    def test_overlapping_groups_rejected(self, domain):
+        policy = IndividualPolicy(domain, FullDomainGraph(domain))
+        q = CountQuery.from_mask(domain, np.array([True, False, False, False]))
+        assert not supports_parallel_composition_individual(
+            policy, [[0, 1], [1, 2]], [[q], []]
+        )
+
+    def test_group_count_mismatch(self, domain):
+        policy = IndividualPolicy(domain, FullDomainGraph(domain))
+        assert not supports_parallel_composition_individual(
+            policy, [[0], [1]], [[]]
+        )

@@ -1,0 +1,93 @@
+"""Tests for repro.core.policy."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Constraint,
+    ConstraintSet,
+    CountQuery,
+    Database,
+    Domain,
+    FullDomainGraph,
+    LineGraph,
+    Partition,
+    Policy,
+)
+
+
+class TestConstructors:
+    def test_differential_privacy(self, small_ordered_domain):
+        p = Policy.differential_privacy(small_ordered_domain)
+        assert p.is_differential_privacy
+        assert p.unconstrained
+        assert isinstance(p.graph, FullDomainGraph)
+
+    def test_full_domain_alias(self, small_ordered_domain):
+        p = Policy.full_domain(small_ordered_domain)
+        assert p.is_differential_privacy
+
+    def test_attribute(self, grid_domain):
+        p = Policy.attribute(grid_domain)
+        assert not p.is_differential_privacy
+        assert p.graph.has_edge(0, 1)
+
+    def test_partitioned(self, grid_domain):
+        part = Partition.uniform_grid(grid_domain, [2, 3])
+        p = Policy.partitioned(part)
+        assert p.domain == grid_domain
+
+    def test_distance_threshold(self, small_ordered_domain):
+        p = Policy.distance_threshold(small_ordered_domain, 2.0)
+        assert p.graph.has_edge(0, 2)
+        assert not p.graph.has_edge(0, 3)
+
+    def test_line(self, small_ordered_domain):
+        p = Policy.line(small_ordered_domain)
+        assert isinstance(p.graph, LineGraph)
+
+    def test_graph_domain_mismatch(self, small_ordered_domain, grid_domain):
+        with pytest.raises(ValueError):
+            Policy(small_ordered_domain, FullDomainGraph(grid_domain))
+
+
+class TestConstraints:
+    @pytest.fixture
+    def constrained(self, small_ordered_domain):
+        q = CountQuery.from_mask(
+            small_ordered_domain, np.arange(10) < 5, "low_half"
+        )
+        db = Database.from_indices(small_ordered_domain, [0, 1, 7])
+        cs = ConstraintSet.from_database([q], db)
+        return Policy.full_domain(small_ordered_domain, cs), db
+
+    def test_admits(self, constrained):
+        policy, db = constrained
+        assert policy.admits(db)
+        assert not policy.admits(db.replace(0, 9))  # breaks the count
+
+    def test_admits_checks_domain(self, constrained, grid_domain):
+        policy, _ = constrained
+        other = Database.from_indices(grid_domain, [0])
+        assert not policy.admits(other)
+
+    def test_with_without_constraints(self, constrained):
+        policy, _ = constrained
+        assert not policy.unconstrained
+        assert policy.without_constraints().unconstrained
+        assert not policy.is_differential_privacy
+
+    def test_empty_constraint_set_is_unconstrained(self, small_ordered_domain):
+        p = Policy(small_ordered_domain, FullDomainGraph(small_ordered_domain), ConstraintSet([]))
+        assert p.unconstrained
+
+    def test_constraint_domain_mismatch(self, small_ordered_domain, tiny_domain):
+        q = CountQuery.from_mask(tiny_domain, np.zeros(3, dtype=bool))
+        cs = ConstraintSet([Constraint(q, 0)])
+        with pytest.raises(ValueError):
+            Policy.full_domain(small_ordered_domain, cs)
+
+    def test_repr(self, constrained, small_ordered_domain):
+        policy, _ = constrained
+        assert "1 constraints" in repr(policy)
+        assert "I_n" in repr(Policy.differential_privacy(small_ordered_domain))

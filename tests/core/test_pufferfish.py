@@ -1,0 +1,149 @@
+"""Tests for the Pufferfish-Blowfish equivalence (Theorems 4.4/4.5)."""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, Database, Domain, Policy
+from repro.constraints import MarginalConstraintSet
+from repro.core.definition import realized_epsilon
+from repro.core.pufferfish import (
+    point_mass_prior,
+    product_prior_worlds,
+    pufferfish_realized_epsilon,
+)
+from repro.mechanisms import GraphRandomizedResponse
+
+
+@pytest.fixture
+def rr_setup():
+    domain = Domain.integers("v", 3)
+    policy = Policy.line(domain)
+    mech = GraphRandomizedResponse(policy, 0.8)
+    return domain, policy, mech
+
+
+class TestWorldEnumeration:
+    def test_unconstrained_product(self, rr_setup):
+        domain, policy, _ = rr_setup
+        prior = np.array([[0.5, 0.5, 0.0], [0.0, 0.0, 1.0]])
+        worlds = product_prior_worlds(policy, prior)
+        assert len(worlds) == 2
+        assert sum(p for _, p in worlds) == pytest.approx(1.0)
+
+    def test_constraint_conditioning(self):
+        domain = Domain(
+            [Attribute("A1", ["a1", "a2"]), Attribute("A2", ["b1", "b2"])]
+        )
+        db = Database.from_values(domain, [("a1", "b1"), ("a2", "b1")])
+        cs = MarginalConstraintSet(domain, [["A1"]], db)
+        policy = Policy.full_domain(domain, cs)
+        # uniform prior over each tuple: conditioning keeps only worlds with
+        # one a1 and one a2
+        prior = np.full((2, 4), 0.25)
+        worlds = product_prior_worlds(policy, prior)
+        assert all(policy.admits(w) for w, _ in worlds)
+        assert len(worlds) == 8  # 2 choices of who is a1 x 2 x 2 b-values
+        assert sum(p for _, p in worlds) == pytest.approx(1.0)
+
+    def test_zero_mass_prior_rejected(self, rr_setup):
+        domain, _, _ = rr_setup
+        db = Database.from_indices(domain, [0, 1])
+        cs_domain = Domain.integers("v", 3)
+        from repro import Constraint, ConstraintSet, CountQuery
+
+        q = CountQuery.from_mask(cs_domain, np.array([True, False, False]))
+        policy = Policy.full_domain(cs_domain, ConstraintSet([Constraint(q, 2)]))
+        prior = np.zeros((2, 3))
+        prior[:, 2] = 1.0  # no world has two zeros
+        with pytest.raises(ValueError, match="no mass"):
+            product_prior_worlds(policy, prior)
+
+    def test_shape_validation(self, rr_setup):
+        _, policy, _ = rr_setup
+        with pytest.raises(ValueError):
+            product_prior_worlds(policy, np.ones((2, 5)) / 5)
+
+
+class TestTheorem44:
+    """Unconstrained: Pufferfish over product priors == Blowfish."""
+
+    def test_point_mass_priors_attain_blowfish_epsilon(self, rr_setup):
+        domain, policy, mech = rr_setup
+        n = 2
+        blowfish_eps = realized_epsilon(mech, policy, n)
+        worst = 0.0
+        for i in range(n):
+            for pair in policy.graph.edges():
+                for other_value in range(domain.size):
+                    prior = point_mass_prior(
+                        domain.size, n, [other_value] * n, i, pair
+                    )
+                    worst = max(
+                        worst, pufferfish_realized_epsilon(mech, policy, prior)
+                    )
+        assert worst == pytest.approx(blowfish_eps, abs=1e-9)
+
+    def test_mixed_priors_never_exceed_blowfish(self, rr_setup, rng):
+        domain, policy, mech = rr_setup
+        n = 2
+        blowfish_eps = realized_epsilon(mech, policy, n)
+        for _ in range(10):
+            prior = rng.dirichlet(np.ones(domain.size), size=n)
+            puffer = pufferfish_realized_epsilon(mech, policy, prior)
+            assert puffer <= blowfish_eps + 1e-9
+
+    def test_rr_meets_its_nominal_epsilon_semantically(self, rr_setup, rng):
+        """The operational meaning: no product-prior adversary's odds move
+        by more than e^0.8."""
+        domain, policy, mech = rr_setup
+        prior = rng.dirichlet(np.ones(domain.size), size=2)
+        assert pufferfish_realized_epsilon(mech, policy, prior) <= 0.8 + 1e-9
+
+
+class TestTheorem45:
+    """Constrained: conditioned-product Pufferfish bounds Blowfish."""
+
+    @pytest.fixture
+    def constrained(self):
+        domain = Domain(
+            [Attribute("A1", ["a1", "a2"]), Attribute("A2", ["b1", "b2"])]
+        )
+        base = Database.from_values(domain, [("a1", "b1"), ("a2", "b1")])
+        cs = MarginalConstraintSet(domain, [["A1"]], base)
+        policy = Policy.full_domain(domain, cs)
+        mech = GraphRandomizedResponse(policy.without_constraints(), 1.0)
+        return domain, policy, mech
+
+    def test_neighbor_pair_prior_recovers_blowfish_ratio(self, constrained):
+        """A prior supported exactly on a constrained neighbor pair turns
+        the Pufferfish ratio into that pair's Blowfish ratio."""
+        domain, policy, mech = constrained
+        d1 = Database.from_values(domain, [("a1", "b1"), ("a2", "b1")])
+        d2 = Database.from_values(domain, [("a2", "b2"), ("a1", "b2")])
+        from repro.core.neighbors import are_neighbors
+
+        assert are_neighbors(policy, d1, d2)
+        prior = np.zeros((2, domain.size))
+        for j in range(2):
+            prior[j, d1[j]] += 0.5
+            prior[j, d2[j]] += 0.5
+        puffer = pufferfish_realized_epsilon(mech, policy, prior)
+        pair_eps = realized_epsilon(mech, policy, 2, pairs=[(d1, d2)])
+        assert puffer == pytest.approx(pair_eps, abs=1e-9)
+
+    def test_sup_over_priors_dominates_blowfish(self, constrained, rng):
+        """Theorem 4.5 direction: the Pufferfish requirement (sup over
+        conditioned priors) is at least as strong as constrained Blowfish —
+        exhibited by a family of neighbor-pair priors."""
+        domain, policy, mech = constrained
+        blowfish_eps = realized_epsilon(mech, policy, 2)
+        worst = 0.0
+        from repro.core.neighbors import neighbor_pairs
+
+        for d1, d2 in neighbor_pairs(policy, 2):
+            prior = np.zeros((2, domain.size))
+            for j in range(2):
+                prior[j, d1[j]] += 0.5
+                prior[j, d2[j]] += 0.5
+            worst = max(worst, pufferfish_realized_epsilon(mech, policy, prior))
+        assert worst >= blowfish_eps - 1e-9

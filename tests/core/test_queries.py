@@ -1,0 +1,214 @@
+"""Tests for repro.core.queries: partitions and query families."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Constraint,
+    ConstraintSet,
+    CountQuery,
+    CumulativeHistogramQuery,
+    Database,
+    Domain,
+    HistogramQuery,
+    KMeansSumQuery,
+    LinearQuery,
+    Partition,
+    RangeQuery,
+)
+
+
+class TestPartition:
+    def test_from_blocks(self, grid_domain):
+        blocks = [list(range(6)), list(range(6, 12))]
+        p = Partition.from_blocks(grid_domain, blocks)
+        assert p.n_blocks == 2
+        assert p.block_of(0) == 0 and p.block_of(11) == 1
+
+    def test_from_blocks_requires_cover(self, grid_domain):
+        with pytest.raises(ValueError, match="not covered"):
+            Partition.from_blocks(grid_domain, [[0, 1]])
+
+    def test_from_blocks_rejects_overlap(self, grid_domain):
+        with pytest.raises(ValueError, match="two blocks"):
+            Partition.from_blocks(grid_domain, [[0, 1], [1] + list(range(2, 12))])
+
+    def test_trivial_and_singletons(self, grid_domain):
+        assert Partition.trivial(grid_domain).n_blocks == 1
+        s = Partition.singletons(grid_domain)
+        assert s.n_blocks == 12
+        assert s.block_sizes().tolist() == [1] * 12
+
+    def test_uniform_grid(self):
+        d = Domain.grid([4, 4])
+        p = Partition.uniform_grid(d, [2, 2])
+        assert p.n_blocks == 4
+        # the four corners of one block share a label
+        assert p.same_block(d.index_of((0, 0)), d.index_of((1, 1)))
+        assert not p.same_block(d.index_of((0, 0)), d.index_of((2, 0)))
+
+    def test_uniform_grid_nondivisible(self):
+        d = Domain.grid([5, 3])
+        p = Partition.uniform_grid(d, [2, 2])
+        assert p.n_blocks == 6  # 3 x 2 blocks
+
+    def test_labels_must_be_contiguous(self, grid_domain):
+        labels = np.zeros(12, dtype=np.int64)
+        labels[0] = 2  # skips block id 1
+        with pytest.raises(ValueError, match="contiguous"):
+            Partition(grid_domain, labels)
+
+    def test_refinement(self):
+        d = Domain.grid([4, 4])
+        fine = Partition.uniform_grid(d, [1, 1])
+        coarse = Partition.uniform_grid(d, [2, 2])
+        assert fine.is_refinement_of(coarse)
+        assert not coarse.is_refinement_of(fine)
+        assert coarse.is_refinement_of(coarse)
+
+    def test_block_l1_diameter_exact(self):
+        d = Domain.grid([4, 4])
+        p = Partition.uniform_grid(d, [2, 2])
+        assert p.block_l1_diameter(0) == 2.0
+        assert p.max_block_l1_diameter() == 2.0
+
+    def test_block_l1_diameter_bounding_box(self):
+        d = Domain.grid([64, 64])
+        p = Partition.trivial(d)
+        # one 4096-cell block exceeds the exact limit; bounding box is exact
+        # for product blocks
+        assert p.block_l1_diameter(0, exact_limit=10) == 126.0
+
+    def test_singleton_diameters(self, grid_domain):
+        p = Partition.singletons(grid_domain)
+        assert p.max_block_l1_diameter() == 0.0
+
+
+class TestHistogramQuery:
+    def test_complete(self, small_ordered_domain):
+        db = Database.from_indices(small_ordered_domain, [0, 0, 9])
+        q = HistogramQuery(small_ordered_domain)
+        out = q(db)
+        assert out.shape == (10,)
+        assert out[0] == 2
+
+    def test_partitioned(self):
+        d = Domain.grid([4, 4])
+        p = Partition.uniform_grid(d, [2, 2])
+        db = Database.from_values(d, [(0, 0), (1, 1), (3, 3)])
+        q = HistogramQuery(d, p)
+        assert q.output_dim == 4
+        assert q(db).tolist() == [2.0, 0.0, 0.0, 1.0]
+
+    def test_domain_mismatch(self, small_ordered_domain, grid_domain):
+        db = Database.from_indices(grid_domain, [0])
+        q = HistogramQuery(small_ordered_domain)
+        with pytest.raises(ValueError):
+            q(db)
+
+
+class TestCumulativeAndRange:
+    def test_cumulative(self, small_ordered_domain):
+        db = Database.from_indices(small_ordered_domain, [0, 5, 5])
+        q = CumulativeHistogramQuery(small_ordered_domain)
+        out = q(db)
+        assert out[4] == 1 and out[5] == 3 and out[-1] == 3
+
+    def test_range(self, small_ordered_domain):
+        db = Database.from_indices(small_ordered_domain, [2, 3, 4])
+        q = RangeQuery(small_ordered_domain, 3, 9)
+        assert q(db)[0] == 2
+        with pytest.raises(ValueError):
+            RangeQuery(small_ordered_domain, 5, 3)
+
+    def test_cumulative_requires_ordered(self, grid_domain):
+        with pytest.raises(TypeError):
+            CumulativeHistogramQuery(grid_domain)
+
+
+class TestLinearQuery:
+    def test_weighted_sum(self):
+        d = Domain.ordered("x", [0.0, 1.0, 2.0])
+        db = Database.from_values(d, [0.0, 2.0])
+        q = LinearQuery(d, [1.0, 0.5])
+        assert q(db)[0] == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        d = Domain.ordered("x", [0.0, 1.0])
+        db = Database.from_values(d, [0.0])
+        q = LinearQuery(d, [1.0, 1.0])
+        with pytest.raises(ValueError):
+            q(db)
+
+    def test_requires_numeric(self):
+        d = Domain.ordered("x", ["a", "b"])
+        with pytest.raises(TypeError):
+            LinearQuery(d, [1.0])
+
+
+class TestKMeansSumQuery:
+    def test_sums(self, grid_domain):
+        db = Database.from_values(grid_domain, [(0, 0), (0, 1), (3, 2)])
+        assign = lambda pts: (pts[:, 0] > 1).astype(np.int64)
+        q = KMeansSumQuery(grid_domain, assign, k=2)
+        out = q(db).reshape(2, 2)
+        assert out[0].tolist() == [0.0, 1.0]
+        assert out[1].tolist() == [3.0, 2.0]
+
+
+class TestCountQuery:
+    def test_predicate_and_mask(self, abc_domain):
+        q = CountQuery(abc_domain, lambda v: v[0] == "a1", "A1=a1")
+        assert int(q.mask.sum()) == 6
+        db = Database.from_values(abc_domain, [("a1", "b1", "c1"), ("a2", "b1", "c1")])
+        assert q(db)[0] == 1
+
+    def test_from_mask(self, small_ordered_domain):
+        mask = np.zeros(10, dtype=bool)
+        mask[3:] = True
+        q = CountQuery.from_mask(small_ordered_domain, mask, "tail")
+        assert q.holds_at(5)
+        assert not q.holds_at(0)
+
+    def test_from_mask_validates_shape(self, small_ordered_domain):
+        with pytest.raises(ValueError):
+            CountQuery.from_mask(small_ordered_domain, np.zeros(5, dtype=bool))
+
+    def test_lift_lower(self, small_ordered_domain):
+        mask = np.zeros(10, dtype=bool)
+        mask[5:] = True
+        q = CountQuery.from_mask(small_ordered_domain, mask)
+        assert q.lifted_by(0, 7)
+        assert q.lowered_by(7, 0)
+        assert not q.lifted_by(6, 7)
+        assert not q.lowered_by(0, 1)
+
+
+class TestConstraints:
+    def test_constraint_satisfaction(self, small_ordered_domain):
+        mask = np.zeros(10, dtype=bool)
+        mask[0] = True
+        q = CountQuery.from_mask(small_ordered_domain, mask)
+        db = Database.from_indices(small_ordered_domain, [0, 0, 5])
+        assert Constraint(q, 2).satisfied_by(db)
+        assert not Constraint(q, 1).satisfied_by(db)
+
+    def test_constraint_set_from_database(self, small_ordered_domain):
+        db = Database.from_indices(small_ordered_domain, [0, 0, 5])
+        q1 = CountQuery.from_mask(
+            small_ordered_domain, np.arange(10) < 3, "low"
+        )
+        q2 = CountQuery.from_mask(
+            small_ordered_domain, np.arange(10) >= 3, "high"
+        )
+        cs = ConstraintSet.from_database([q1, q2], db)
+        assert cs.satisfied_by(db)
+        assert not cs.satisfied_by(db.replace(0, 9))
+        assert len(cs) == 2
+        assert [c.query.name for c in cs] == ["low", "high"]
+
+    def test_mixed_domains_rejected(self, small_ordered_domain, tiny_domain):
+        q1 = CountQuery.from_mask(small_ordered_domain, np.zeros(10, dtype=bool))
+        q2 = CountQuery.from_mask(tiny_domain, np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError):
+            ConstraintSet([Constraint(q1, 0), Constraint(q2, 0)])

@@ -1,0 +1,49 @@
+"""Tests for rng plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1 << 30, 10)
+        b = ensure_rng(42).integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        a = spawn(ensure_rng(1), 3)
+        b = spawn(ensure_rng(1), 3)
+        for ga, gb in zip(a, b):
+            assert np.array_equal(ga.integers(0, 100, 5), gb.integers(0, 100, 5))
+        draws = [g.integers(0, 1 << 30) for g in spawn(ensure_rng(2), 4)]
+        assert len(set(int(d) for d in draws)) == 4
+
+    def test_repeated_spawn_differs(self):
+        g = ensure_rng(3)
+        first = spawn(g, 2)
+        second = spawn(g, 2)
+        assert not np.array_equal(
+            first[0].integers(0, 1 << 30, 4), second[0].integers(0, 1 << 30, 4)
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)

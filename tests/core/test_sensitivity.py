@@ -1,0 +1,232 @@
+"""Tests for policy-specific global sensitivity (Definition 5.1, Lemma 6.1).
+
+The analytic calculators are validated against the exact brute-force
+evaluation over enumerated neighbor pairs wherever feasible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CountQuery,
+    CumulativeHistogramQuery,
+    Database,
+    Domain,
+    ExplicitGraph,
+    HistogramQuery,
+    KMeansSumQuery,
+    LinearQuery,
+    Partition,
+    Policy,
+    RangeQuery,
+)
+from repro.core.sensitivity import (
+    brute_force_sensitivity,
+    count_query_sensitivity,
+    cumulative_histogram_sensitivity,
+    histogram_sensitivity,
+    ksum_sensitivity,
+    linear_query_sensitivity,
+    range_query_sensitivity,
+    sensitivity,
+)
+
+
+class TestHistogramSensitivity:
+    def test_dp_policy_is_two(self, small_ordered_domain):
+        assert histogram_sensitivity(Policy.differential_privacy(small_ordered_domain)) == 2.0
+
+    def test_edgeless_graph_is_zero(self, grid_domain):
+        p = Policy.partitioned(Partition.singletons(grid_domain))
+        assert histogram_sensitivity(p) == 0.0
+
+    def test_partition_histogram_free_under_partition_policy(self):
+        # Section 5: under G^P the histogram of P (or coarser) costs nothing
+        d = Domain.grid([4, 4])
+        fine = Partition.uniform_grid(d, [2, 2])
+        coarse = Partition.uniform_grid(d, [4, 2])
+        policy = Policy.partitioned(fine)
+        assert histogram_sensitivity(policy, fine) == 0.0
+        assert histogram_sensitivity(policy, coarse) == 0.0
+        finer = Partition.singletons(d)
+        assert histogram_sensitivity(policy, finer) == 2.0
+
+    def test_brute_force_agreement_dp(self, tiny_domain):
+        policy = Policy.differential_privacy(tiny_domain)
+        bf = brute_force_sensitivity(lambda db: db.histogram(), policy, 2)
+        assert bf == histogram_sensitivity(policy) == 2.0
+
+    def test_brute_force_agreement_line(self, tiny_domain):
+        policy = Policy.line(tiny_domain)
+        bf = brute_force_sensitivity(lambda db: db.histogram(), policy, 2)
+        assert bf == histogram_sensitivity(policy) == 2.0
+
+    def test_requires_unconstrained(self, tiny_domain):
+        from repro import Constraint, ConstraintSet
+
+        q = CountQuery.from_mask(tiny_domain, np.array([True, False, False]))
+        p = Policy.full_domain(tiny_domain, ConstraintSet([Constraint(q, 1)]))
+        with pytest.raises(ValueError, match="unconstrained"):
+            histogram_sensitivity(p)
+
+
+class TestCumulativeSensitivity:
+    def test_known_values(self):
+        d = Domain.integers("v", 10)
+        assert cumulative_histogram_sensitivity(Policy.line(d)) == 1.0
+        assert cumulative_histogram_sensitivity(Policy.differential_privacy(d)) == 9.0
+        assert cumulative_histogram_sensitivity(Policy.distance_threshold(d, 3)) == 3.0
+
+    @pytest.mark.parametrize("theta", [1, 2, 4])
+    def test_brute_force_agreement(self, theta):
+        d = Domain.integers("v", 5)
+        policy = Policy.distance_threshold(d, theta)
+        bf = brute_force_sensitivity(lambda db: db.cumulative_histogram(), policy, 2)
+        assert bf == cumulative_histogram_sensitivity(policy)
+
+    def test_requires_ordered(self, grid_domain):
+        with pytest.raises(TypeError):
+            cumulative_histogram_sensitivity(Policy.differential_privacy(grid_domain))
+
+
+class TestKsumSensitivity:
+    """Lemma 6.1's table of q_sum sensitivities."""
+
+    def test_full_domain(self, grid_domain):
+        assert ksum_sensitivity(Policy.differential_privacy(grid_domain)) == 2 * 5.0
+
+    def test_attribute(self, grid_domain):
+        assert ksum_sensitivity(Policy.attribute(grid_domain)) == 2 * 3.0
+
+    def test_distance_threshold(self, grid_domain):
+        assert ksum_sensitivity(Policy.distance_threshold(grid_domain, 2.0)) == 4.0
+
+    def test_partition(self):
+        d = Domain.grid([4, 4])
+        p = Policy.partitioned(Partition.uniform_grid(d, [2, 2]))
+        assert ksum_sensitivity(p) == 2 * 2.0
+
+    def test_singleton_partition_is_zero(self, grid_domain):
+        p = Policy.partitioned(Partition.singletons(grid_domain))
+        assert ksum_sensitivity(p) == 0.0
+
+    def test_ordering_of_policies(self, grid_domain):
+        # Lemma 6.1: all weaker policies sit below the full domain
+        full = ksum_sensitivity(Policy.differential_privacy(grid_domain))
+        assert ksum_sensitivity(Policy.attribute(grid_domain)) < full
+        assert ksum_sensitivity(Policy.distance_threshold(grid_domain, 1.0)) < full
+
+
+class TestLinearAndRange:
+    def test_linear_full_domain(self):
+        d = Domain.ordered("x", [0.0, 1.0, 2.0, 3.0])
+        p = Policy.differential_privacy(d)
+        # (b - a) * max w
+        assert linear_query_sensitivity(p, [0.5, 2.0, 1.0]) == 3.0 * 2.0
+
+    def test_linear_threshold(self):
+        d = Domain.ordered("x", [0.0, 1.0, 2.0, 3.0])
+        p = Policy.distance_threshold(d, 1.0)
+        assert linear_query_sensitivity(p, [0.5, 2.0]) == 1.0 * 2.0
+
+    def test_linear_empty_weights(self):
+        d = Domain.ordered("x", [0.0, 1.0])
+        assert linear_query_sensitivity(Policy.differential_privacy(d), []) == 0.0
+
+    def test_linear_brute_force(self):
+        d = Domain.ordered("x", [0.0, 1.0, 2.0])
+        p = Policy.distance_threshold(d, 1.0)
+        w = [1.5, 0.5]
+        q = LinearQuery(d, w)
+        bf = brute_force_sensitivity(q, p, 2)
+        assert bf == linear_query_sensitivity(p, w)
+
+    def test_range_proper_interval(self, small_ordered_domain):
+        p = Policy.line(small_ordered_domain)
+        assert range_query_sensitivity(p, 2, 5) == 1.0
+
+    def test_range_full_domain_interval_is_free(self, small_ordered_domain):
+        p = Policy.differential_privacy(small_ordered_domain)
+        assert range_query_sensitivity(p, 0, 9) == 0.0
+
+    def test_range_partition_respecting(self):
+        d = Domain.integers("v", 10)
+        labels = np.array([0] * 5 + [1] * 5)
+        p = Policy.partitioned(Partition(d, labels))
+        # [0,4] aligns with the block boundary: no edge crosses it
+        assert range_query_sensitivity(p, 0, 4) == 0.0
+        assert range_query_sensitivity(p, 0, 3) == 1.0
+
+    def test_range_brute_force(self, tiny_domain):
+        p = Policy.line(tiny_domain)
+        q = RangeQuery(tiny_domain, 0, 1)
+        assert brute_force_sensitivity(q, p, 2) == range_query_sensitivity(p, 0, 1)
+
+
+class TestCountQuerySensitivity:
+    def test_full_domain(self, small_ordered_domain):
+        p = Policy.differential_privacy(small_ordered_domain)
+        q = CountQuery.from_mask(small_ordered_domain, np.arange(10) < 5)
+        assert count_query_sensitivity(p, q) == 1.0
+
+    def test_constant_query_is_free(self, small_ordered_domain):
+        p = Policy.differential_privacy(small_ordered_domain)
+        q = CountQuery.from_mask(small_ordered_domain, np.ones(10, dtype=bool))
+        assert count_query_sensitivity(p, q) == 0.0
+
+    def test_component_aligned_query_is_free(self):
+        # the Section 4.1 example: counts of whole components cost nothing
+        d = Domain.integers("v", 10)
+        labels = np.array([0] * 5 + [1] * 5)
+        p = Policy.partitioned(Partition(d, labels))
+        q = CountQuery.from_mask(d, np.arange(10) < 5)
+        assert count_query_sensitivity(p, q) == 0.0
+
+    def test_explicit_graph(self, tiny_domain):
+        p = Policy(tiny_domain, ExplicitGraph(tiny_domain, [(0, 1)]))
+        q = CountQuery.from_mask(tiny_domain, np.array([True, True, False]))
+        # the only edge does not cross the support boundary
+        assert count_query_sensitivity(p, q) == 0.0
+
+
+class TestDispatch:
+    def test_sensitivity_dispatches(self, small_ordered_domain):
+        p = Policy.line(small_ordered_domain)
+        assert sensitivity(HistogramQuery(small_ordered_domain), p) == 2.0
+        assert sensitivity(CumulativeHistogramQuery(small_ordered_domain), p) == 1.0
+        assert sensitivity(RangeQuery(small_ordered_domain, 1, 3), p) == 1.0
+
+    def test_unknown_query_type(self, small_ordered_domain):
+        p = Policy.line(small_ordered_domain)
+
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            sensitivity(Weird(), p)
+
+
+class TestBruteForcePropertyOnRandomGraphs:
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_histogram_sensitivity_random_explicit_graphs(self, data):
+        size = data.draw(st.integers(min_value=2, max_value=4))
+        domain = Domain.integers("v", size)
+        possible = [(i, j) for i in range(size) for j in range(i + 1, size)]
+        edges = data.draw(st.sets(st.sampled_from(possible), min_size=0, max_size=len(possible)))
+        policy = Policy(domain, ExplicitGraph(domain, list(edges)))
+        bf = brute_force_sensitivity(lambda db: db.histogram(), policy, 2)
+        assert bf == histogram_sensitivity(policy)
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_cumulative_sensitivity_random_explicit_graphs(self, data):
+        size = data.draw(st.integers(min_value=2, max_value=4))
+        domain = Domain.integers("v", size)
+        possible = [(i, j) for i in range(size) for j in range(i + 1, size)]
+        edges = data.draw(st.sets(st.sampled_from(possible), min_size=1, max_size=len(possible)))
+        policy = Policy(domain, ExplicitGraph(domain, list(edges)))
+        bf = brute_force_sensitivity(lambda db: db.cumulative_histogram(), policy, 2)
+        assert bf == cumulative_histogram_sensitivity(policy)

@@ -1,0 +1,123 @@
+"""Tests for the ⊥ (cardinality) extension of Section 3.1."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Policy
+from repro.core.definition import realized_epsilon
+from repro.core.graphs import FullDomainGraph, LineGraph
+from repro.core.sensitivity import (
+    cumulative_histogram_sensitivity,
+    histogram_sensitivity,
+)
+from repro.core.unbounded import (
+    BOTTOM,
+    BottomAugmentedGraph,
+    presence_database,
+    with_bottom,
+)
+from repro.mechanisms import GraphRandomizedResponse
+
+
+@pytest.fixture
+def base_domain():
+    return Domain.integers("v", 4)
+
+
+@pytest.fixture
+def augmented(base_domain):
+    return with_bottom(base_domain)
+
+
+class TestAugmentedDomain:
+    def test_bottom_at_end(self, base_domain, augmented):
+        assert augmented.size == 5
+        assert augmented.value_of(4) == (BOTTOM,)
+        # real values keep their indices
+        for i in range(4):
+            assert augmented.value_of(i) == base_domain.value_of(i)
+
+    def test_bottom_is_singleton(self):
+        from repro.core.unbounded import _Bottom
+
+        assert _Bottom() is BOTTOM
+        assert repr(BOTTOM) == "⊥"
+
+    def test_requires_ordered(self, grid_domain):
+        with pytest.raises(TypeError):
+            with_bottom(grid_domain)
+
+
+class TestAugmentedGraph:
+    def test_membership_all_edges(self, base_domain, augmented):
+        g = BottomAugmentedGraph(LineGraph(base_domain), augmented, "all")
+        assert g.has_edge(0, 4)  # value <-> ⊥
+        assert g.has_edge(0, 1)  # base edges kept
+        assert not g.has_edge(0, 2)
+        assert sorted(g.neighbors_of(4)) == [0, 1, 2, 3]
+
+    def test_membership_none(self, base_domain, augmented):
+        g = BottomAugmentedGraph(LineGraph(base_domain), augmented, "none")
+        assert not g.has_edge(0, 4)
+        assert list(g.neighbors_of(4)) == []
+        assert g.graph_distance(0, 4) == float("inf")
+
+    def test_distance_through_bottom(self, base_domain, augmented):
+        g = BottomAugmentedGraph(LineGraph(base_domain), augmented, "all")
+        assert g.graph_distance(0, 4) == 1.0
+        # 0 -> ⊥ -> 3 is shorter than the 3-hop line path
+        assert g.graph_distance(0, 3) == 2.0
+
+    def test_validation(self, base_domain, augmented):
+        with pytest.raises(ValueError):
+            BottomAugmentedGraph(LineGraph(base_domain), base_domain, "all")
+        with pytest.raises(ValueError):
+            BottomAugmentedGraph(LineGraph(base_domain), augmented, "some")
+
+    def test_sensitivities(self, base_domain, augmented):
+        g = BottomAugmentedGraph(LineGraph(base_domain), augmented, "all")
+        policy = Policy(augmented, g)
+        # membership flips make every prefix sensitive
+        assert cumulative_histogram_sensitivity(policy) == 4.0
+        assert histogram_sensitivity(policy) == 2.0
+
+
+class TestPresenceDatabase:
+    def test_construction(self, augmented):
+        db = presence_database(augmented, {0: 2, 3: 1}, population=5)
+        assert db.n == 5
+        assert db[0] == 2 and db[3] == 1
+        assert db[1] == 4  # ⊥
+
+    def test_validation(self, augmented):
+        with pytest.raises(ValueError):
+            presence_database(augmented, {9: 0}, population=5)
+        with pytest.raises(ValueError):
+            presence_database(augmented, {0: 4}, population=5)  # 4 is ⊥ itself
+
+    def test_insertion_deletion_neighbors(self, base_domain, augmented):
+        """Unbounded-DP semantics: insert/delete = flip to/from ⊥."""
+        from repro.core.neighbors import are_neighbors_unconstrained
+
+        g = BottomAugmentedGraph(FullDomainGraph(base_domain), augmented, "all")
+        policy = Policy(augmented, g)
+        present = presence_database(augmented, {0: 2}, population=2)
+        deleted = present.replace(0, 4)
+        assert are_neighbors_unconstrained(policy, present, deleted)
+
+    def test_membership_privacy_certified(self, base_domain, augmented):
+        """Randomized response over the augmented graph protects presence:
+        the exact Blowfish check passes at the nominal epsilon."""
+        g = BottomAugmentedGraph(FullDomainGraph(base_domain), augmented, "all")
+        policy = Policy(augmented, g)
+        mech = GraphRandomizedResponse(policy, 0.9)
+        assert realized_epsilon(mech, policy, n=1) <= 0.9 + 1e-9
+
+    def test_membership_public_mode_leaks_presence(self, base_domain, augmented):
+        """With membership='none', ⊥ never mixes: presence is public."""
+        g = BottomAugmentedGraph(FullDomainGraph(base_domain), augmented, "none")
+        policy = Policy(augmented, g)
+        mech = GraphRandomizedResponse(policy, 0.9)
+        db = presence_database(augmented, {}, population=1)
+        dist = mech.output_distribution(db)
+        assert set(dist) == {(4,)}  # ⊥ stays ⊥ with certainty

@@ -1,0 +1,200 @@
+"""Tests for the experiment harness (tiny scales; shapes, not numbers)."""
+
+import numpy as np
+import pytest
+
+from repro import Policy
+from repro.datasets import adult_capital_loss_dataset, gaussian_clusters_dataset
+from repro.experiments import (
+    ExperimentScale,
+    budget_split_ablation,
+    default_scale,
+    fanout_ablation,
+    figure_1c,
+    figure_1f,
+    figure_2b,
+    inference_ablation,
+    kmeans_budget_ablation,
+    paper_scale,
+    quick_scale,
+    twitter_partition,
+)
+from repro.experiments.results import ResultTable, SeriesPoint
+
+
+@pytest.fixture
+def tiny_scale():
+    return quick_scale().with_(
+        trials=2,
+        epsilons=(0.2, 1.0),
+        n_range_queries=100,
+        twitter_n=3000,
+        skin_n=5000,
+        adult_n=4000,
+    )
+
+
+class TestConfig:
+    def test_paper_scale_matches_paper(self):
+        s = paper_scale()
+        assert s.trials == 50
+        assert len(s.epsilons) == 10
+        assert s.twitter_n == 193_563
+        assert s.n_range_queries == 10_000
+
+    def test_env_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert default_scale().label == "paper"
+        monkeypatch.delenv("REPRO_FULL")
+        assert default_scale().label == "quick"
+
+    def test_with_override(self):
+        s = quick_scale().with_(trials=3)
+        assert s.trials == 3
+        assert isinstance(s, ExperimentScale)
+
+
+class TestResultTable:
+    def test_round_trip(self, tmp_path):
+        t = ResultTable("demo")
+        t.add("a", 0.1, 1.0, 0.9, 1.1)
+        t.add("a", 0.5, 2.0, 1.8, 2.2)
+        t.add("b", 0.1, 3.0, 2.9, 3.1)
+        assert t.series_names() == ["a", "b"]
+        assert t.value("a", 0.5) == 2.0
+        assert [p.x for p in t.series("a")] == [0.1, 0.5]
+        with pytest.raises(KeyError):
+            t.value("a", 0.9)
+        path = t.to_csv(tmp_path / "out.csv")
+        content = path.read_text().splitlines()
+        assert content[0] == "series,epsilon,mean,q25,q75"
+        assert len(content) == 4
+
+    def test_format_text(self):
+        t = ResultTable("demo")
+        t.add("a", 0.1, 1.2345, 1.0, 1.5)
+        text = t.format_text()
+        assert "demo" in text and "1.234" in text
+
+    def test_point_is_frozen(self):
+        p = SeriesPoint("a", 0.1, 1.0, 0.9, 1.1)
+        with pytest.raises(AttributeError):
+            p.mean = 2.0
+
+
+class TestFigure1:
+    def test_figure_1c_shapes(self, tiny_scale):
+        table = figure_1c(tiny_scale)
+        names = table.series_names()
+        assert "laplace" in names
+        assert len(names) == 5
+        assert {p.x for p in table.points} == {0.2, 1.0}
+        for p in table.points:
+            assert p.mean > 0
+            assert p.q25 <= p.q75
+
+    def test_figure_1c_blowfish_beats_laplace(self):
+        scale = quick_scale().with_(trials=6, epsilons=(0.2,))
+        table = figure_1c(scale)
+        lap = table.value("laplace", 0.2)
+        best_blowfish = min(
+            table.value(name, 0.2)
+            for name in table.series_names()
+            if name != "laplace"
+        )
+        assert best_blowfish < lap
+
+    def test_twitter_partition_block_counts(self):
+        for n_blocks in (10, 100, 1000, 10000, 120000):
+            assert twitter_partition(n_blocks).n_blocks == n_blocks
+        with pytest.raises(KeyError):
+            twitter_partition(42)
+
+    def test_figure_1f_exact_at_finest_partition(self, tiny_scale):
+        scale = tiny_scale.with_(epsilons=(0.2,), trials=2)
+        table = figure_1f(scale)
+        # partition|120000 has zero sensitivity: private == non-private
+        assert table.value("partition|120000", 0.2) == pytest.approx(1.0)
+        assert table.value("laplace", 0.2) >= 1.0
+
+
+class TestFigure1Remaining:
+    """Direct (tiny-scale) coverage for the panels the benches also run."""
+
+    def test_figure_1a_series(self, tiny_scale):
+        from repro.experiments import figure_1a
+
+        table = figure_1a(tiny_scale.with_(trials=2, epsilons=(0.5,)))
+        assert set(table.series_names()) == {
+            "laplace",
+            "blowfish|2000km",
+            "blowfish|1000km",
+            "blowfish|500km",
+            "blowfish|100km",
+        }
+
+    def test_figure_1b_series(self, tiny_scale):
+        from repro.experiments import figure_1b
+
+        table = figure_1b(tiny_scale.with_(trials=2, epsilons=(0.5,)))
+        assert "blowfish|128" in table.series_names()
+        assert all(p.mean > 0 for p in table.points)
+
+    def test_figure_1d_rows(self, tiny_scale):
+        from repro.experiments import figure_1d
+
+        table = figure_1d(tiny_scale.with_(trials=2, epsilons=(0.5, 1.0)))
+        assert set(table.series_names()) == {"1%sample", "10%sample", "full"}
+
+    def test_figure_1e_all_datasets(self, tiny_scale):
+        from repro.experiments import figure_1e
+
+        table = figure_1e(tiny_scale.with_(trials=2, epsilons=(0.5,)))
+        names = table.series_names()
+        for ds in ("twitter", "skin01", "synth"):
+            assert f"{ds}: laplace" in names
+            assert f"{ds}: attribute" in names
+
+
+class TestFigure2:
+    def test_figure_2b_monotone_in_theta(self, tiny_scale):
+        table = figure_2b(tiny_scale)
+        eps = 1.0
+        errs = [
+            table.value("theta=full domain", eps),
+            table.value("theta=100", eps),
+            table.value("theta=1", eps),
+        ]
+        # error drops (strongly) as theta shrinks
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[0] > 10 * errs[2]
+
+    def test_more_epsilon_less_error(self, tiny_scale):
+        table = figure_2b(tiny_scale)
+        assert table.value("theta=100", 0.2) > table.value("theta=100", 1.0)
+
+
+class TestAblations:
+    def test_budget_split(self, tiny_scale):
+        db = adult_capital_loss_dataset(tiny_scale.adult_n, rng=0)
+        table = budget_split_ablation(db, 100, tiny_scale)
+        assert set(table.series_names()) == {"optimal", "uniform"}
+
+    def test_inference_helps(self, tiny_scale):
+        scale = tiny_scale.with_(trials=4, epsilons=(0.5,))
+        db = adult_capital_loss_dataset(scale.adult_n, rng=0)
+        table = inference_ablation(db, 100, scale)
+        assert table.value("inference", 0.5) < table.value("raw", 0.5)
+
+    def test_fanout(self, tiny_scale):
+        db = adult_capital_loss_dataset(tiny_scale.adult_n, rng=0)
+        table = fanout_ablation(db, 100, epsilon=0.5, fanouts=(4, 16), scale=tiny_scale)
+        assert {p.x for p in table.points} == {4, 16}
+
+    def test_kmeans_budget(self, tiny_scale):
+        db = gaussian_clusters_dataset(n=300, rng=0)
+        policy = Policy.distance_threshold(db.domain, 0.5)
+        table = kmeans_budget_ablation(
+            db, policy, epsilon=1.0, fractions=(0.25, 0.75), scale=tiny_scale
+        )
+        assert {p.x for p in table.points} == {0.25, 0.75}

@@ -1,0 +1,31 @@
+"""Test for the full experiment runner (CSV + report emission)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import quick_scale
+from repro.experiments.runner import run_all
+
+
+@pytest.mark.slow
+def test_run_all_writes_reports(tmp_path):
+    scale = quick_scale().with_(
+        trials=2,
+        epsilons=(0.3, 1.0),
+        n_range_queries=50,
+        twitter_n=2000,
+        skin_n=3000,
+        adult_n=2000,
+    )
+    tables = run_all(tmp_path, scale=scale)
+    assert len(tables) == 11  # 6 fig1 + 2 fig2 + 3 ablations
+    report = tmp_path / "report.txt"
+    assert report.exists()
+    text = report.read_text()
+    assert "Figure 1(a)" in text and "Figure 2(c)" in text
+    csvs = sorted(p.name for p in tmp_path.glob("*.csv"))
+    assert "fig1a.csv" in csvs and "fig2b.csv" in csvs
+    assert "ablation_fanout.csv" in csvs
+    for table in tables:
+        assert table.points, table.name

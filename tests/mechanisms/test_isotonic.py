@@ -1,0 +1,108 @@
+"""Tests for PAVA isotonic regression (the constrained-inference engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mechanisms import isotonic_regression, project_cumulative
+
+floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestIsotonicRegression:
+    def test_already_monotone_unchanged(self):
+        y = np.array([1.0, 2.0, 2.0, 5.0])
+        assert np.array_equal(isotonic_regression(y), y)
+
+    def test_single_violation_pools(self):
+        y = np.array([2.0, 1.0])
+        assert isotonic_regression(y).tolist() == [1.5, 1.5]
+
+    def test_classic_example(self):
+        y = np.array([1.0, 3.0, 2.0, 4.0])
+        assert isotonic_regression(y).tolist() == [1.0, 2.5, 2.5, 4.0]
+
+    def test_reverse_sorted_pools_to_mean(self):
+        y = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert np.allclose(isotonic_regression(y), 3.0)
+
+    def test_weighted(self):
+        y = np.array([2.0, 0.0])
+        w = np.array([3.0, 1.0])
+        assert np.allclose(isotonic_regression(y, w), [1.5, 1.5])
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            isotonic_regression(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            isotonic_regression(np.array([1.0, 2.0]), np.array([1.0, 0.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            isotonic_regression(np.zeros((2, 2)))
+
+    def test_empty(self):
+        assert isotonic_regression(np.array([])).size == 0
+
+    @given(st.lists(floats, min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_output_is_monotone(self, y):
+        fit = isotonic_regression(np.array(y))
+        assert np.all(np.diff(fit) >= -1e-9)
+
+    @given(st.lists(floats, min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, y):
+        fit = isotonic_regression(np.array(y))
+        assert np.allclose(isotonic_regression(fit), fit)
+
+    @given(st.lists(floats, min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_mean_preserving(self, y):
+        # unweighted L2 projection onto the monotone cone preserves the sum
+        y = np.array(y)
+        assert isotonic_regression(y).sum() == pytest.approx(y.sum(), abs=1e-6 * max(1, abs(y).max()))
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_projection_optimality(self, data):
+        """The PAVA fit beats every randomly drawn monotone candidate."""
+        y = np.array(data.draw(st.lists(floats, min_size=2, max_size=12)))
+        fit = isotonic_regression(y)
+        increments = data.draw(
+            st.lists(
+                st.floats(min_value=0, max_value=10, allow_nan=False),
+                min_size=len(y) - 1,
+                max_size=len(y) - 1,
+            )
+        )
+        start = data.draw(floats)
+        candidate = np.concatenate([[start], start + np.cumsum(increments)])
+        assert np.sum((fit - y) ** 2) <= np.sum((candidate - y) ** 2) + 1e-6
+
+    def test_brute_force_agreement_small(self):
+        """Exact agreement with a grid-search projection on a tiny instance."""
+        y = np.array([3.0, 1.0, 2.0])
+        fit = isotonic_regression(y)
+        # optimal: pool first two (2, 2, 2 is wrong; [2,2,2] vs [2,2,2]?)
+        # analytic: blocks {3,1} -> 2, then {2} stays: [2, 2, 2]
+        assert np.allclose(fit, [2.0, 2.0, 2.0])
+
+
+class TestProjectCumulative:
+    def test_clamps_into_bounds(self):
+        noisy = np.array([-5.0, 2.0, 50.0])
+        out = project_cumulative(noisy, total=10)
+        assert out[0] >= 0.0
+        assert out[-1] <= 10.0
+        assert np.all(np.diff(out) >= -1e-9)
+
+    def test_no_upper_clamp_without_total(self):
+        noisy = np.array([0.0, 50.0])
+        assert project_cumulative(noisy)[-1] == 50.0
+
+    def test_nonnegative_flag(self):
+        noisy = np.array([-1.0, -5.0])  # violates ordering; pools to -3
+        assert project_cumulative(noisy, nonnegative=False)[0] == pytest.approx(-3.0)
+        assert project_cumulative(noisy, nonnegative=True)[0] == 0.0

@@ -1,0 +1,143 @@
+"""Tests for k-means: Lloyd's, SuLQ and Blowfish variants (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Partition, Policy
+from repro.mechanisms import (
+    PrivateKMeans,
+    assign_clusters,
+    kmeans_objective,
+    lloyd_kmeans,
+)
+
+HUGE_EPS = 1e9
+
+
+@pytest.fixture
+def separated_db():
+    """Two tight far-apart blobs on a 40x40 grid."""
+    domain = Domain.grid([40, 40])
+    rng = np.random.default_rng(5)
+    a = np.column_stack([rng.integers(0, 5, 150), rng.integers(0, 5, 150)])
+    b = np.column_stack([rng.integers(35, 40, 150), rng.integers(35, 40, 150)])
+    ranks = np.vstack([a, b])
+    idx = ranks[:, 0] * 40 + ranks[:, 1]
+    return Database.from_indices(domain, idx)
+
+
+class TestAssignAndObjective:
+    def test_assign_nearest(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0]])
+        cents = np.array([[1.0, 1.0], [9.0, 9.0]])
+        assert assign_clusters(pts, cents).tolist() == [0, 1]
+
+    def test_objective_zero_at_points(self):
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert kmeans_objective(pts, pts) == 0.0
+
+    def test_objective_value(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        cents = np.array([[1.0, 0.0]])
+        assert kmeans_objective(pts, cents) == pytest.approx(2.0)
+
+
+class TestLloyd:
+    def test_finds_separated_clusters(self, separated_db):
+        result = lloyd_kmeans(separated_db.points(), k=2, iterations=10, rng=0)
+        cents = result.centroids[np.argsort(result.centroids[:, 0])]
+        assert cents[0][0] < 5 and cents[1][0] > 34
+
+    def test_fixed_init(self, separated_db):
+        init = np.array([[0.0, 0.0], [39.0, 39.0]])
+        r1 = lloyd_kmeans(separated_db.points(), 2, 5, rng=0, init_centroids=init)
+        r2 = lloyd_kmeans(separated_db.points(), 2, 5, rng=1, init_centroids=init)
+        assert np.allclose(r1.centroids, r2.centroids)
+
+    def test_init_not_mutated(self, separated_db):
+        init = np.array([[0.0, 0.0], [39.0, 39.0]])
+        before = init.copy()
+        lloyd_kmeans(separated_db.points(), 2, 5, rng=0, init_centroids=init)
+        assert np.array_equal(init, before)
+
+    def test_empty_cluster_keeps_centroid(self):
+        pts = np.zeros((5, 2))
+        init = np.array([[0.0, 0.0], [100.0, 100.0]])
+        result = lloyd_kmeans(pts, 2, 3, rng=0, init_centroids=init)
+        assert np.allclose(result.centroids[1], [100.0, 100.0])
+
+    def test_result_repr(self, separated_db):
+        r = lloyd_kmeans(separated_db.points(), 2, 2, rng=0)
+        assert "KMeansResult" in repr(r)
+
+
+class TestPrivateKMeans:
+    def test_huge_epsilon_matches_lloyd(self, separated_db):
+        init = np.array([[1.0, 1.0], [38.0, 38.0]])
+        base = lloyd_kmeans(separated_db.points(), 2, 5, init_centroids=init)
+        mech = PrivateKMeans(
+            Policy.differential_privacy(separated_db.domain), HUGE_EPS, k=2, iterations=5
+        )
+        private = mech.release(separated_db, rng=0, init_centroids=init)
+        assert private.objective == pytest.approx(base.objective, rel=1e-3)
+
+    def test_sensitivities(self, separated_db):
+        dp = PrivateKMeans(Policy.differential_privacy(separated_db.domain), 1.0, k=2)
+        assert dp.size_sensitivity == 2.0
+        assert dp.sum_sensitivity == 2 * 78.0  # 2 * d(T)
+        blow = PrivateKMeans(
+            Policy.distance_threshold(separated_db.domain, 4.0), 1.0, k=2
+        )
+        assert blow.sum_sensitivity == 8.0
+
+    def test_singleton_partition_is_exact(self, separated_db):
+        policy = Policy.partitioned(Partition.singletons(separated_db.domain))
+        mech = PrivateKMeans(policy, 0.1, k=2, iterations=5)
+        assert mech.size_sensitivity == 0.0
+        assert mech.sum_sensitivity == 0.0
+        init = np.array([[1.0, 1.0], [38.0, 38.0]])
+        base = lloyd_kmeans(separated_db.points(), 2, 5, init_centroids=init)
+        private = mech.release(separated_db, rng=0, init_centroids=init)
+        # the paper's partition|120000 point: clustering is exact
+        assert private.objective == pytest.approx(base.objective)
+
+    def test_blowfish_beats_laplace_on_average(self, separated_db):
+        eps = 0.2
+        init = np.array([[1.0, 1.0], [38.0, 38.0]])
+        base = lloyd_kmeans(separated_db.points(), 2, 5, init_centroids=init)
+        ratios = {}
+        for label, policy in [
+            ("laplace", Policy.differential_privacy(separated_db.domain)),
+            ("blowfish", Policy.distance_threshold(separated_db.domain, 4.0)),
+        ]:
+            mech = PrivateKMeans(policy, eps, k=2, iterations=5)
+            objs = [
+                mech.release(separated_db, rng=i, init_centroids=init).objective
+                for i in range(25)
+            ]
+            ratios[label] = np.mean(objs) / base.objective
+        assert ratios["blowfish"] < ratios["laplace"]
+
+    def test_objective_ratio_helper(self, separated_db):
+        mech = PrivateKMeans(
+            Policy.differential_privacy(separated_db.domain), HUGE_EPS, k=2, iterations=5
+        )
+        assert mech.objective_ratio(separated_db, rng=0) == pytest.approx(1.0, rel=1e-3)
+
+    def test_centroids_stay_in_data_box(self, separated_db):
+        mech = PrivateKMeans(
+            Policy.differential_privacy(separated_db.domain), 0.05, k=2, iterations=5
+        )
+        result = mech.release(separated_db, rng=0)
+        pts = separated_db.points()
+        assert np.all(result.centroids >= pts.min(axis=0))
+        assert np.all(result.centroids <= pts.max(axis=0))
+
+    def test_validation(self, separated_db):
+        policy = Policy.differential_privacy(separated_db.domain)
+        with pytest.raises(ValueError):
+            PrivateKMeans(policy, 1.0, k=0)
+        with pytest.raises(ValueError):
+            PrivateKMeans(policy, 1.0, k=2, iterations=0)
+        with pytest.raises(ValueError):
+            PrivateKMeans(policy, 1.0, k=2, size_budget_fraction=1.0)

@@ -1,0 +1,97 @@
+"""Tests for the Laplace mechanism under policies (Theorem 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, HistogramQuery, Partition, Policy, RangeQuery
+from repro.mechanisms import LaplaceMechanism, laplace_histogram
+from repro.mechanisms.base import laplace_noise
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_is_exact(self, rng):
+        assert np.all(laplace_noise(rng, 0.0, 100) == 0.0)
+
+    def test_negative_scale_rejected(self, rng):
+        with pytest.raises(ValueError):
+            laplace_noise(rng, -1.0, 3)
+
+    def test_variance_matches(self, rng):
+        draws = laplace_noise(rng, 3.0, 200_000)
+        assert np.var(draws) == pytest.approx(2 * 9.0, rel=0.05)
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self, small_ordered_domain):
+        p = Policy.differential_privacy(small_ordered_domain)
+        m = LaplaceMechanism(p, 0.5, HistogramQuery(small_ordered_domain))
+        assert m.sensitivity == 2.0
+        assert m.scale == 4.0
+        assert m.expected_squared_error == pytest.approx(32.0)
+
+    def test_release_shape_and_determinism(self, small_db):
+        p = Policy.differential_privacy(small_db.domain)
+        m = LaplaceMechanism(p, 1.0, HistogramQuery(small_db.domain))
+        out1 = m.release(small_db, rng=7)
+        out2 = m.release(small_db, rng=7)
+        assert out1.shape == (10,)
+        assert np.array_equal(out1, out2)
+
+    def test_noise_actually_added(self, small_db):
+        p = Policy.differential_privacy(small_db.domain)
+        m = LaplaceMechanism(p, 0.1, HistogramQuery(small_db.domain))
+        assert not np.array_equal(m.release(small_db, rng=1), small_db.histogram())
+
+    def test_unbiasedness(self, small_db):
+        p = Policy.differential_privacy(small_db.domain)
+        m = LaplaceMechanism(p, 1.0, RangeQuery(small_db.domain, 2, 5))
+        true = small_db.range_count(2, 5)
+        draws = [m.release(small_db, rng=i)[0] for i in range(400)]
+        assert np.mean(draws) == pytest.approx(true, abs=0.5)
+
+    def test_partition_policy_histogram_is_exact(self):
+        # Section 5: S(h_P, G^P) = 0 at the partition granularity
+        d = Domain.grid([4, 4])
+        part = Partition.uniform_grid(d, [2, 2])
+        policy = Policy.partitioned(part)
+        db = Database.from_indices(d, np.arange(16))
+        out = laplace_histogram(db, policy, 0.1, partition=part, rng=0)
+        assert np.array_equal(out, np.full(4, 4.0))
+
+    def test_epsilon_validation(self, small_ordered_domain):
+        p = Policy.differential_privacy(small_ordered_domain)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(p, 0.0, HistogramQuery(small_ordered_domain))
+
+    def test_negative_sensitivity_rejected(self, small_ordered_domain):
+        p = Policy.differential_privacy(small_ordered_domain)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(p, 1.0, HistogramQuery(small_ordered_domain), sensitivity=-1)
+
+    def test_domain_mismatch_rejected(self, small_ordered_domain, grid_domain):
+        p = Policy.differential_privacy(small_ordered_domain)
+        m = LaplaceMechanism(p, 1.0, HistogramQuery(small_ordered_domain))
+        with pytest.raises(ValueError):
+            m.release(Database.from_indices(grid_domain, [0]), rng=0)
+
+    def test_constraint_violating_database_rejected(self, small_ordered_domain):
+        from repro import Constraint, ConstraintSet, CountQuery
+
+        q = CountQuery.from_mask(small_ordered_domain, np.arange(10) < 5)
+        cs = ConstraintSet([Constraint(q, 3)])
+        policy = Policy.full_domain(small_ordered_domain, cs)
+        db = Database.from_indices(small_ordered_domain, [0, 1])  # count = 2 != 3
+        m = LaplaceMechanism(policy, 1.0, HistogramQuery(small_ordered_domain), sensitivity=2.0)
+        with pytest.raises(ValueError, match="constraints"):
+            m.release(db, rng=0)
+
+
+class TestPolicyUtilityOrdering:
+    def test_weaker_policy_less_error(self, small_ordered_domain):
+        """The central promise: weaker secrets => lower expected error."""
+        from repro import CumulativeHistogramQuery
+
+        q = CumulativeHistogramQuery(small_ordered_domain)
+        dp = LaplaceMechanism(Policy.differential_privacy(small_ordered_domain), 1.0, q)
+        line = LaplaceMechanism(Policy.line(small_ordered_domain), 1.0, q)
+        assert line.expected_squared_error < dp.expected_squared_error

@@ -1,0 +1,159 @@
+"""Tests for the Ordered Mechanism (Section 7.1, Theorem 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Policy
+from repro.analysis import ordered_range_error_bound
+from repro.mechanisms import OrderedMechanism, ReleasedCumulativeHistogram
+
+HUGE_EPS = 1e9
+
+
+@pytest.fixture
+def db(small_ordered_domain, rng):
+    return Database.from_indices(small_ordered_domain, rng.integers(0, 10, 500))
+
+
+class TestRelease:
+    def test_noiseless_is_exact(self, db):
+        mech = OrderedMechanism(Policy.line(db.domain), HUGE_EPS)
+        rel = mech.release(db, rng=0)
+        assert np.allclose(rel.counts, db.cumulative_histogram())
+
+    def test_scale_is_sensitivity_over_eps(self, small_ordered_domain):
+        assert OrderedMechanism(Policy.line(small_ordered_domain), 0.5).scale == 2.0
+        theta = OrderedMechanism(
+            Policy.distance_threshold(small_ordered_domain, 3), 0.5
+        )
+        assert theta.scale == 6.0
+
+    def test_consistency_enforced(self, db):
+        mech = OrderedMechanism(Policy.line(db.domain), 0.05)
+        rel = mech.release(db, rng=3)
+        assert np.all(np.diff(rel.counts) >= -1e-9)
+        assert rel.counts[0] >= 0
+        assert rel.counts[-1] <= db.n
+
+    def test_raw_mode_skips_inference(self, db):
+        mech = OrderedMechanism(Policy.line(db.domain), 0.005, consistent=False)
+        violated = any(
+            np.any(np.diff(mech.release(db, rng=i).counts) < 0) for i in range(10)
+        )
+        assert violated  # raw noisy counts do violate the ordering
+
+    def test_determinism(self, db):
+        mech = OrderedMechanism(Policy.line(db.domain), 0.3)
+        a = mech.release(db, rng=9).counts
+        b = mech.release(db, rng=9).counts
+        assert np.array_equal(a, b)
+
+    def test_rejects_constrained_policy(self, db):
+        from repro import Constraint, ConstraintSet, CountQuery
+
+        q = CountQuery.from_mask(db.domain, np.arange(10) < 5)
+        policy = Policy.line(db.domain).with_constraints(
+            ConstraintSet([Constraint(q, int(q(db)[0]))])
+        )
+        with pytest.raises(ValueError):
+            OrderedMechanism(policy, 1.0)
+
+    def test_rejects_unordered_domain(self, grid_domain):
+        with pytest.raises(TypeError):
+            OrderedMechanism(Policy.differential_privacy(grid_domain), 1.0)
+
+
+class TestReleasedObject:
+    @pytest.fixture
+    def rel(self, db):
+        return OrderedMechanism(Policy.line(db.domain), HUGE_EPS).release(db, rng=0)
+
+    def test_range_matches_truth(self, rel, db):
+        assert rel.range(2, 6) == pytest.approx(db.range_count(2, 6))
+        assert rel.range(0, 9) == pytest.approx(db.n)
+
+    def test_prefix_boundaries(self, rel, db):
+        assert rel.prefix(-1) == 0.0
+        assert rel.prefix(9) == pytest.approx(db.n)
+        with pytest.raises(IndexError):
+            rel.prefix(10)
+
+    def test_vectorized_ranges(self, rel, db):
+        los = np.array([0, 2, 5])
+        his = np.array([3, 6, 9])
+        out = rel.ranges(los, his)
+        expected = [db.range_count(a, b) for a, b in zip(los, his)]
+        assert np.allclose(out, expected)
+
+    def test_invalid_range(self, rel):
+        with pytest.raises(ValueError):
+            rel.range(5, 2)
+
+    def test_histogram_from_differences(self, rel, db):
+        assert np.allclose(rel.histogram(), db.histogram())
+
+    def test_cdf(self, rel, db):
+        cdf = rel.cdf()
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_quantile(self, rel, db):
+        true_cum = db.cumulative_histogram()
+        med = rel.quantile(0.5)
+        assert true_cum[med] >= db.n / 2
+        assert rel.quantile(0.0) == 0
+        with pytest.raises(ValueError):
+            rel.quantile(1.5)
+
+    def test_released_object_validation(self):
+        with pytest.raises(ValueError):
+            ReleasedCumulativeHistogram(np.zeros((2, 2)), 5)
+
+
+class TestTheorem71:
+    """Empirical check of the 4/eps^2 range-query error bound."""
+
+    @pytest.mark.parametrize("eps", [0.5, 1.0])
+    def test_range_error_bound(self, eps, rng):
+        domain = Domain.integers("v", 50)
+        db = Database.from_indices(domain, rng.integers(0, 50, 1000))
+        mech = OrderedMechanism(Policy.line(domain), eps, consistent=False)
+        bound = ordered_range_error_bound(eps)
+        assert mech.expected_range_query_error() == pytest.approx(bound)
+        sq_errors = []
+        for i in range(300):
+            rel = mech.release(db, rng=i)
+            est = rel.range(10, 30)
+            sq_errors.append((est - db.range_count(10, 30)) ** 2)
+        # mean over trials must respect the analytic bound (generous slack
+        # for sampling noise)
+        assert np.mean(sq_errors) <= bound * 1.3
+
+    def test_error_is_domain_size_independent(self, rng):
+        errors = {}
+        for size in (20, 200):
+            domain = Domain.integers("v", size)
+            db = Database.from_indices(domain, rng.integers(0, size, 500))
+            mech = OrderedMechanism(Policy.line(domain), 1.0, consistent=False)
+            sq = []
+            for i in range(200):
+                rel = mech.release(db, rng=i)
+                sq.append((rel.range(1, size // 2) - db.range_count(1, size // 2)) ** 2)
+            errors[size] = np.mean(sq)
+        # within a factor of ~2 of each other despite a 10x domain change
+        assert errors[200] <= errors[20] * 2.5
+
+    def test_inference_only_helps(self, rng):
+        domain = Domain.integers("v", 64)
+        values = np.zeros(800, dtype=np.int64)  # sparse: all mass on one value
+        db = Database.from_indices(domain, values)
+        eps = 0.3
+        raw_err, fit_err = [], []
+        for i in range(150):
+            raw = OrderedMechanism(Policy.line(domain), eps, consistent=False).release(db, rng=i)
+            fit = OrderedMechanism(Policy.line(domain), eps, consistent=True).release(db, rng=i)
+            true = db.cumulative_histogram()
+            raw_err.append(np.mean((raw.counts - true) ** 2))
+            fit_err.append(np.mean((fit.counts - true) ** 2))
+        # Section 7.1: constrained inference shrinks error a lot on sparse data
+        assert np.mean(fit_err) < 0.5 * np.mean(raw_err)

@@ -1,0 +1,253 @@
+"""Tests for the Ordered Hierarchical mechanism (Section 7.2).
+
+Includes the Figure 2(a) structural example, the Eqn (13)-(15) budget math,
+degenerate-end equivalences and a direct privacy audit of the budgeting via
+the worst-case Laplace privacy loss over exhaustively enumerated neighbors.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Policy
+from repro.core.neighbors import neighbor_pairs
+from repro.mechanisms import (
+    OrderedHierarchicalMechanism,
+    OrderedMechanism,
+    oh_error_constants,
+    oh_expected_range_error,
+    optimal_budget_split,
+)
+
+HUGE_EPS = 1e9
+
+
+@pytest.fixture
+def db(rng):
+    domain = Domain.integers("v", 64)
+    return Database.from_indices(domain, rng.integers(0, 64, 1500))
+
+
+class TestStructure:
+    def test_figure_2a_example(self):
+        """Figure 2(a): theta = 4 over a 16-value domain -> 4 S nodes, four
+        H subtrees of height 1 (fanout 4)."""
+        domain = Domain.integers("v", 16)
+        mech = OrderedHierarchicalMechanism(
+            Policy.distance_threshold(domain, 4), 1.0, fanout=4
+        )
+        desc = mech.describe()
+        assert desc["theta"] == 4
+        assert desc["n_s_nodes"] == 4
+        assert desc["s_node_boundaries"] == [3, 7, 11, 15]
+        assert desc["n_h_trees"] == 4
+        assert desc["h_tree_height"] == 1
+        assert desc["eps_s"] + desc["eps_h"] == pytest.approx(1.0)
+
+    def test_theta_one_has_no_trees(self):
+        domain = Domain.integers("v", 16)
+        mech = OrderedHierarchicalMechanism(Policy.line(domain), 1.0)
+        desc = mech.describe()
+        assert desc["h_tree_height"] == 0
+        assert desc["n_h_trees"] == 0
+        assert desc["n_s_nodes"] == 16
+        assert desc["eps_s"] == pytest.approx(1.0)
+
+    def test_partial_last_segment(self):
+        domain = Domain.integers("v", 10)
+        mech = OrderedHierarchicalMechanism(
+            Policy.distance_threshold(domain, 4), 1.0, fanout=2
+        )
+        desc = mech.describe()
+        assert desc["n_s_nodes"] == 3
+        assert desc["s_node_boundaries"] == [3, 7, 9]
+
+    def test_no_edges_rejected(self):
+        domain = Domain.uniform_grid([10], spacings=[5.0])
+        policy = Policy.distance_threshold(domain, 1.0)  # below spacing
+        with pytest.raises(ValueError, match="no edges"):
+            OrderedHierarchicalMechanism(policy, 1.0)
+
+
+class TestBudgetMath:
+    def test_constants_formulas(self):
+        c1, c2 = oh_error_constants(100, 10, 16)
+        assert c1 == pytest.approx(4 * 90 / 101)
+        assert c2 == pytest.approx(8 * 15 * math.log(10, 16) ** 3 * 100 / 101)
+
+    def test_degenerate_ends(self):
+        c1, _ = oh_error_constants(100, 100, 16)
+        assert c1 == 0.0
+        _, c2 = oh_error_constants(100, 1, 16)
+        assert c2 == 0.0
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            oh_error_constants(100, 0, 16)
+        with pytest.raises(ValueError):
+            oh_error_constants(100, 101, 16)
+
+    def test_optimal_split_minimizes(self):
+        size, theta, fanout, eps = 400, 20, 16, 1.0
+        eps_s, eps_h = optimal_budget_split(size, theta, fanout, eps)
+        assert eps_s + eps_h == pytest.approx(eps)
+        best = oh_expected_range_error(size, theta, fanout, eps_s, eps_h)
+        for frac in np.linspace(0.05, 0.95, 19):
+            other = oh_expected_range_error(size, theta, fanout, frac * eps, (1 - frac) * eps)
+            assert best <= other + 1e-9
+
+    def test_split_degenerate_ends(self):
+        assert optimal_budget_split(100, 1, 16, 1.0) == (1.0, 0.0)
+        assert optimal_budget_split(100, 100, 16, 1.0) == (0.0, 1.0)
+
+    def test_expected_error_infinite_without_budget(self):
+        assert oh_expected_range_error(100, 10, 16, 0.0, 1.0) == math.inf
+
+    def test_uniform_and_explicit_split(self, db):
+        pol = Policy.distance_threshold(db.domain, 8)
+        uni = OrderedHierarchicalMechanism(pol, 1.0, budget_split="uniform")
+        assert uni.eps_s == pytest.approx(0.5)
+        explicit = OrderedHierarchicalMechanism(pol, 1.0, budget_split=0.25)
+        assert explicit.eps_s == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            OrderedHierarchicalMechanism(pol, 1.0, budget_split=2.0)
+        with pytest.raises(ValueError):
+            OrderedHierarchicalMechanism(pol, 1.0, budget_split="nonsense")
+
+
+class TestReleaseCorrectness:
+    @pytest.mark.parametrize("theta", [2, 8, 30])
+    @pytest.mark.parametrize("consistent", [True, False])
+    def test_noiseless_exact(self, db, theta, consistent):
+        pol = Policy.distance_threshold(db.domain, theta)
+        mech = OrderedHierarchicalMechanism(
+            pol, HUGE_EPS, fanout=4, consistent=consistent
+        )
+        rel = mech.release(db, rng=0)
+        for lo, hi in [(0, 63), (5, 40), (17, 17), (0, 31), (32, 63), (3, 11)]:
+            assert rel.range(lo, hi) == pytest.approx(
+                db.range_count(lo, hi), abs=1e-5
+            ), (theta, consistent, lo, hi)
+
+    def test_raw_prefix_uses_s_nodes_at_boundaries(self, db):
+        pol = Policy.distance_threshold(db.domain, 8)
+        mech = OrderedHierarchicalMechanism(pol, HUGE_EPS, fanout=4, consistent=False)
+        rel = mech.release(db, rng=0)
+        cum = db.cumulative_histogram()
+        assert rel.prefix(7) == pytest.approx(cum[7])
+        assert rel.prefix(-1) == 0.0
+        with pytest.raises(IndexError):
+            rel.prefix(64)
+
+    def test_histogram_view(self, db):
+        pol = Policy.distance_threshold(db.domain, 8)
+        mech = OrderedHierarchicalMechanism(pol, HUGE_EPS, fanout=4, consistent=False)
+        rel = mech.release(db, rng=0)
+        assert np.allclose(rel.histogram(), db.histogram(), atol=1e-5)
+
+    def test_determinism(self, db):
+        pol = Policy.distance_threshold(db.domain, 8)
+        mech = OrderedHierarchicalMechanism(pol, 0.5)
+        a = mech.release(db, rng=4).ranges([0, 10], [20, 50])
+        b = mech.release(db, rng=4).ranges([0, 10], [20, 50])
+        assert np.array_equal(a, b)
+
+    def test_theta_one_matches_ordered_mechanism_error(self, db):
+        """theta=1 degenerates to the ordered mechanism (same error regime)."""
+        eps = 0.5
+        oh = OrderedHierarchicalMechanism(Policy.line(db.domain), eps, consistent=False)
+        om = OrderedMechanism(Policy.line(db.domain), eps, consistent=False)
+        true = db.range_count(10, 40)
+        oh_err, om_err = [], []
+        for i in range(300):
+            oh_err.append((oh.release(db, rng=i).range(10, 40) - true) ** 2)
+            om_err.append((om.release(db, rng=i).range(10, 40) - true) ** 2)
+        assert np.mean(oh_err) == pytest.approx(np.mean(om_err), rel=0.35)
+        assert np.mean(oh_err) <= 2 * 4 / eps**2  # Theorem 7.1 regime
+
+
+class TestEqn14Empirical:
+    def test_error_formula_tracks_measurement(self, rng):
+        """Raw OH error averaged over random ranges must sit near Eqn (14)."""
+        domain = Domain.integers("v", 256)
+        db = Database.from_indices(domain, rng.integers(0, 256, 3000))
+        eps, theta, fanout = 1.0, 16, 16
+        mech = OrderedHierarchicalMechanism(
+            Policy.distance_threshold(domain, theta), eps, fanout=fanout,
+            consistent=False,
+        )
+        predicted = mech.expected_range_query_error()
+        los = rng.integers(0, 256, 400)
+        his = np.maximum(los, rng.integers(0, 256, 400))
+        cum = db.cumulative_histogram()
+        truth = cum[his] - np.where(los > 0, cum[np.maximum(los - 1, 0)], 0)
+        errs = []
+        for i in range(60):
+            rel = mech.release(db, rng=i)
+            errs.append(np.mean((rel.ranges(los, his) - truth) ** 2))
+        measured = np.mean(errs)
+        # Eqn (14) is an average-case analytic estimate; require the same
+        # order of magnitude
+        assert predicted / 4 <= measured <= predicted * 4
+
+
+class TestPrivacyAudit:
+    @pytest.mark.parametrize("theta", [1, 2, 3])
+    @pytest.mark.parametrize("fanout", [2, 3])
+    @pytest.mark.parametrize("budget_split", ["uniform", "optimal"])
+    def test_worst_case_privacy_loss_within_epsilon(self, theta, fanout, budget_split):
+        """Directly audit the OH budgeting: over every neighbor pair of a
+        small universe, the summed |delta|/scale across all released
+        components must not exceed epsilon — for every (theta, fanout,
+        split) configuration."""
+        domain = Domain.integers("v", 6)
+        policy = Policy.distance_threshold(domain, theta)
+        epsilon = 1.0
+        mech = OrderedHierarchicalMechanism(
+            policy, epsilon, fanout=fanout, budget_split=budget_split
+        )
+
+        def components(db):
+            """All measured numbers: S-node true values and H-node counts,
+            each divided by its Laplace scale."""
+            hist = db.histogram()
+            cum = np.cumsum(hist)
+            out = []
+            k = mech.n_segments
+            boundaries = np.minimum(np.arange(1, k + 1) * mech.theta, mech.size) - 1
+            s_scale = mech.s_scale
+            for b in boundaries:
+                out.append(cum[b] / s_scale if s_scale > 0 else 0.0)
+            if mech.height > 0:
+                f, h = mech.fanout, mech.height
+                seg_len = f**h
+                for seg in range(k):
+                    start = seg * mech.theta
+                    stop = min(start + mech.theta, mech.size)
+                    leaves = np.zeros(seg_len)
+                    leaves[: stop - start] = hist[start:stop]
+                    level = leaves
+                    levels = [level]
+                    for _ in range(h):
+                        level = level.reshape(-1, f).sum(axis=1)
+                        levels.append(level)
+                    # levels[0] = leaves ... levels[h] = segment root;
+                    # measured levels are depths 1..h, i.e. levels[0..h-1]
+                    for lvl in levels[:h]:
+                        out.extend(lvl / mech.h_scale)
+            return np.array(out)
+
+        worst = 0.0
+        for d1, d2 in neighbor_pairs(policy, 2):
+            loss = float(np.abs(components(d1) - components(d2)).sum())
+            worst = max(worst, loss)
+        assert worst <= epsilon + 1e-9
+        assert worst > 0.5 * epsilon  # the budget is actually used
+
+    def test_audit_at_optimal_split(self):
+        domain = Domain.integers("v", 8)
+        policy = Policy.distance_threshold(domain, 2)
+        mech = OrderedHierarchicalMechanism(policy, 0.7, fanout=2)
+        # the constructor's split must always satisfy eps_s + eps_h = eps
+        assert mech.eps_s + mech.eps_h == pytest.approx(0.7)

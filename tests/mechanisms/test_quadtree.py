@@ -1,0 +1,175 @@
+"""Tests for the 2-D quadtree mechanism and Morton plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Partition, Policy
+from repro.mechanisms.quadtree import (
+    QuadtreeMechanism,
+    ReleasedGrid,
+    morton_indices,
+    morton_order,
+)
+
+HUGE_EPS = 1e9
+
+
+class TestMorton:
+    def test_codes_interleave(self):
+        # (row, col) = (1, 0) -> bit 1 set; (0, 1) -> bit 0 set
+        assert morton_indices(np.array([1]), np.array([0]), 1)[0] == 2
+        assert morton_indices(np.array([0]), np.array([1]), 1)[0] == 1
+        assert morton_indices(np.array([1]), np.array([1]), 1)[0] == 3
+
+    def test_order_is_permutation(self):
+        order = morton_order(8)
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_quadrant_contiguity(self):
+        """Every quadtree node must be a contiguous Morton block."""
+        side = 8
+        order = morton_order(side)
+        cells = order  # cells[morton_code] = row-major index
+        for level_size in (16, 4):
+            for block in range(64 // level_size):
+                members = cells[block * level_size : (block + 1) * level_size]
+                rows = members // side
+                cols = members % side
+                span = int(np.sqrt(level_size))
+                assert rows.max() - rows.min() == span - 1
+                assert cols.max() - cols.min() == span - 1
+
+    def test_side_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            morton_order(6)
+
+
+class TestReleasedGrid:
+    def test_rectangle_counts(self):
+        cells = np.arange(12, dtype=np.float64).reshape(3, 4)
+        grid = ReleasedGrid(cells)
+        assert grid.rectangle(0, 2, 0, 3) == pytest.approx(cells.sum())
+        assert grid.rectangle(1, 2, 1, 2) == pytest.approx(cells[1:3, 1:3].sum())
+        assert grid.rectangle(0, 0, 0, 0) == 0.0
+
+    def test_vectorized(self):
+        cells = np.ones((4, 4))
+        grid = ReleasedGrid(cells)
+        rects = np.array([[0, 3, 0, 3], [1, 2, 1, 2]])
+        assert grid.rectangles(rects).tolist() == [16.0, 4.0]
+
+    def test_bounds(self):
+        grid = ReleasedGrid(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            grid.rectangle(0, 2, 0, 1)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            ReleasedGrid(np.ones(4))
+
+
+class TestQuadtreeMechanism:
+    @pytest.fixture
+    def db(self, rng):
+        domain = Domain.grid([20, 12])
+        return Database.from_indices(domain, rng.integers(0, 240, 3000))
+
+    def test_geometry(self, db):
+        mech = QuadtreeMechanism(Policy.differential_privacy(db.domain), 1.0)
+        assert mech.side == 32 and mech.height == 5
+        assert mech.scale == pytest.approx(2 * 5)
+
+    def test_noiseless_exact(self, db):
+        for consistent in (True, False):
+            mech = QuadtreeMechanism(
+                Policy.differential_privacy(db.domain), HUGE_EPS, consistent=consistent
+            )
+            rel = mech.release(db, rng=0)
+            assert rel.shape == (20, 12)
+            rows = db.indices // 12
+            cols = db.indices % 12
+            for r0, r1, c0, c1 in [(0, 19, 0, 11), (3, 10, 2, 7), (5, 5, 5, 5)]:
+                true = int(
+                    np.sum((rows >= r0) & (rows <= r1) & (cols >= c0) & (cols <= c1))
+                )
+                assert rel.rectangle(r0, r1, c0, c1) == pytest.approx(true, abs=1e-5)
+
+    def test_total_is_exact_with_inference(self, db):
+        """The root holds the public n; GLS propagates it exactly."""
+        mech = QuadtreeMechanism(Policy.differential_privacy(db.domain), 0.2)
+        rel = mech.release(db, rng=1)
+        # the padded grid total equals n; the cropped region may miss noise
+        # assigned to padding cells, so compare with generous tolerance
+        assert rel.rectangle(0, 19, 0, 11) == pytest.approx(db.n, rel=0.15)
+
+    def test_consistency_helps(self, db):
+        eps = 0.2
+        rows = db.indices // 12
+        cols = db.indices % 12
+        true = int(np.sum((rows <= 10) & (cols <= 6)))
+        errs = {}
+        for consistent in (True, False):
+            mech = QuadtreeMechanism(
+                Policy.differential_privacy(db.domain), eps, consistent=consistent
+            )
+            sq = [
+                (mech.release(db, rng=i).rectangle(0, 10, 0, 6) - true) ** 2
+                for i in range(60)
+            ]
+            errs[consistent] = np.mean(sq)
+        assert errs[True] < errs[False]
+
+    def test_singleton_partition_exact(self, db):
+        policy = Policy.partitioned(Partition.singletons(db.domain))
+        mech = QuadtreeMechanism(policy, 0.1)
+        rel = mech.release(db, rng=0)
+        rows = db.indices // 12
+        true = int(np.sum(rows <= 5))
+        assert rel.rectangle(0, 5, 0, 11) == pytest.approx(true)
+
+    def test_privacy_audit_exact(self):
+        """Worst-case summed loss over exact neighbors <= epsilon."""
+        from repro.core.neighbors import neighbor_pairs
+        from repro.mechanisms.quadtree import morton_order
+
+        domain = Domain.grid([2, 2])
+        policy = Policy.differential_privacy(domain)
+        epsilon = 1.0
+        mech = QuadtreeMechanism(policy, epsilon)
+        order = morton_order(mech.side)
+
+        def components(db):
+            grid = np.zeros((mech.side, mech.side))
+            rows = db.indices // 2
+            cols = db.indices % 2
+            np.add.at(grid, (rows, cols), 1.0)
+            leaves = grid.reshape(-1)[order]
+            out = []
+            level = leaves
+            levels = [level]
+            for _ in range(mech.height):
+                level = level.reshape(-1, 4).sum(axis=1)
+                levels.append(level)
+            # measured: all levels except the root
+            for lvl in levels[:-1]:
+                out.extend(lvl / mech.scale)
+            return np.array(out)
+
+        worst = max(
+            float(np.abs(components(d1) - components(d2)).sum())
+            for d1, d2 in neighbor_pairs(policy, 2)
+        )
+        assert worst <= epsilon + 1e-9
+
+    def test_validation(self, db):
+        with pytest.raises(ValueError):
+            QuadtreeMechanism(Policy.differential_privacy(Domain.integers("v", 4)), 1.0)
+
+    def test_twitter_scale_smoke(self):
+        from repro.datasets import twitter_dataset
+
+        db = twitter_dataset(5000, rng=0)
+        mech = QuadtreeMechanism(Policy.differential_privacy(db.domain), 0.5)
+        rel = mech.release(db, rng=0)
+        assert rel.shape == (400, 300)
+        assert np.isfinite(rel.rectangle(0, 399, 0, 299))

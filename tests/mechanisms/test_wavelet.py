@@ -1,0 +1,122 @@
+"""Tests for the Haar wavelet baseline (Privelet)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, Domain, Policy
+from repro.core.neighbors import neighbor_pairs
+from repro.mechanisms import HierarchicalMechanism
+from repro.mechanisms.wavelet import (
+    WaveletMechanism,
+    haar_differences,
+    haar_reconstruct,
+)
+
+HUGE_EPS = 1e9
+
+
+class TestTransform:
+    def test_round_trip_exact(self):
+        leaves = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        diffs = haar_differences(leaves)
+        assert len(diffs) == 3
+        assert [d.size for d in diffs] == [1, 2, 4]
+        back = haar_reconstruct(leaves.sum(), diffs)
+        assert np.allclose(back, leaves)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_differences(np.zeros(6))
+
+    def test_reconstruct_validates_shape(self):
+        with pytest.raises(ValueError):
+            haar_reconstruct(0.0, [np.zeros(2)])
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=8, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, counts):
+        leaves = np.array(counts, dtype=np.float64)
+        back = haar_reconstruct(leaves.sum(), haar_differences(leaves))
+        assert np.allclose(back, leaves)
+
+    def test_root_difference_semantics(self):
+        leaves = np.array([10.0, 0.0, 0.0, 0.0])
+        diffs = haar_differences(leaves)
+        assert diffs[0][0] == 10.0  # left half minus right half
+        assert diffs[1].tolist() == [10.0, 0.0]
+
+
+class TestWaveletMechanism:
+    @pytest.fixture
+    def db(self, rng):
+        domain = Domain.integers("v", 100)
+        return Database.from_indices(domain, rng.integers(0, 100, 2000))
+
+    def test_noiseless_exact(self, db):
+        mech = WaveletMechanism(Policy.differential_privacy(db.domain), HUGE_EPS)
+        rel = mech.release(db, rng=0)
+        for lo, hi in [(0, 99), (10, 40), (64, 99), (17, 17)]:
+            assert rel.range(lo, hi) == pytest.approx(db.range_count(lo, hi), abs=1e-5)
+
+    def test_scale(self, db):
+        mech = WaveletMechanism(Policy.differential_privacy(db.domain), 0.5)
+        assert mech.levels == 7  # 2^7 = 128 >= 100
+        assert mech.scale == pytest.approx(2 * 7 / 0.5)
+
+    def test_unbiased(self, db):
+        mech = WaveletMechanism(Policy.differential_privacy(db.domain), 1.0)
+        true = db.range_count(20, 70)
+        draws = [mech.release(db, rng=i).range(20, 70) for i in range(300)]
+        spread = np.std(draws) / np.sqrt(len(draws))
+        assert np.mean(draws) == pytest.approx(true, abs=4 * spread)
+
+    def test_same_error_family_as_hierarchical(self, db):
+        eps = 0.3
+        true = db.range_count(10, 80)
+        errs = {}
+        for name, mech in (
+            ("wavelet", WaveletMechanism(Policy.differential_privacy(db.domain), eps)),
+            (
+                "hierarchical",
+                HierarchicalMechanism(
+                    Policy.differential_privacy(db.domain), eps, fanout=2
+                ),
+            ),
+        ):
+            sq = [(mech.release(db, rng=i).range(10, 80) - true) ** 2 for i in range(150)]
+            errs[name] = np.mean(sq)
+        assert 0.1 < errs["wavelet"] / errs["hierarchical"] < 10
+
+    def test_privacy_audit_exact(self):
+        """Worst-case summed privacy loss over exact neighbors <= epsilon."""
+        domain = Domain.integers("v", 4)
+        policy = Policy.differential_privacy(domain)
+        epsilon = 1.0
+        mech = WaveletMechanism(policy, epsilon)
+
+        def components(db):
+            padded = np.zeros(2**mech.levels)
+            padded[: domain.size] = db.histogram()
+            return np.concatenate(haar_differences(padded)) / mech.scale
+
+        worst = max(
+            float(np.abs(components(d1) - components(d2)).sum())
+            for d1, d2 in neighbor_pairs(policy, 2)
+        )
+        assert worst <= epsilon + 1e-9
+
+    def test_rejects_unordered(self, grid_domain):
+        with pytest.raises(TypeError):
+            WaveletMechanism(Policy.differential_privacy(grid_domain), 1.0)
+
+    def test_rejects_constrained(self, db):
+        from repro import Constraint, ConstraintSet, CountQuery
+
+        q = CountQuery.from_mask(db.domain, np.arange(100) < 50)
+        policy = Policy.differential_privacy(db.domain).with_constraints(
+            ConstraintSet([Constraint(q, int(q(db)[0]))])
+        )
+        with pytest.raises(ValueError):
+            WaveletMechanism(policy, 1.0)

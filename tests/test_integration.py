@@ -1,0 +1,165 @@
+"""Cross-module integration tests: full pipelines from dataset to audited
+release, combining datasets, policies, mechanisms, accounting and
+post-processing the way a downstream user would."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Database,
+    Domain,
+    Partition,
+    Policy,
+    PrivacyAccountant,
+)
+from repro.analysis import (
+    build_kd_index,
+    equi_depth_histogram,
+    estimate_quantile,
+    random_range_queries,
+    true_range_answers,
+)
+from repro.datasets import (
+    adult_capital_loss_dataset,
+    gaussian_clusters_dataset,
+    twitter_dataset,
+)
+from repro.mechanisms import (
+    HierarchicalMechanism,
+    OrderedHierarchicalMechanism,
+    OrderedMechanism,
+    PrivateKMeans,
+    QuadtreeMechanism,
+    WaveletMechanism,
+    lloyd_kmeans,
+)
+
+
+class TestCensusPipeline:
+    """adult -> OH release -> range queries + quantiles + index, budgeted."""
+
+    def test_full_workflow(self):
+        db = adult_capital_loss_dataset(10_000, rng=1)
+        policy = Policy.distance_threshold(db.domain, 100)
+        accountant = PrivacyAccountant(policy, budget=1.0)
+
+        mech = OrderedHierarchicalMechanism(policy, 0.6)
+        released = mech.release(db, rng=2)
+        accountant.spend(0.6, "oh release")
+
+        # range queries are well-calibrated
+        rng = np.random.default_rng(3)
+        los, his = random_range_queries(db.domain.size, 200, rng)
+        truth = true_range_answers(db.cumulative_histogram(), los, his)
+        mse = float(np.mean((released.ranges(los, his) - truth) ** 2))
+        assert mse < 50 * mech.expected_range_query_error() + 1e4
+
+        # post-processing costs nothing further
+        med = estimate_quantile(released, 0.5)
+        assert med == 0  # >90% zeros
+        edges, counts = equi_depth_histogram(released, 4)
+        assert sum(counts) == pytest.approx(db.n, rel=0.05)
+        root = build_kd_index(released, max_depth=2)
+        assert root.count == pytest.approx(db.n, rel=0.05)
+        assert accountant.remaining() == pytest.approx(0.4)
+
+        # a second release within budget; a third beyond it fails
+        OrderedMechanism(Policy.line(db.domain), 0.4).release(db, rng=4)
+        accountant.spend(0.4, "ordered release")
+        with pytest.raises(RuntimeError):
+            accountant.spend(0.1, "one too many")
+
+    def test_budget_across_mechanism_families(self):
+        db = adult_capital_loss_dataset(5_000, rng=5)
+        dp = Policy.differential_privacy(db.domain)
+        accountant = PrivacyAccountant(dp, budget=1.5)
+        for mech, eps in (
+            (HierarchicalMechanism(dp, 0.5), 0.5),
+            (WaveletMechanism(dp, 0.5), 0.5),
+            (OrderedMechanism(Policy.line(db.domain), 0.5), 0.5),
+        ):
+            mech.release(db, rng=0)
+            accountant.spend(eps, type(mech).__name__)
+        assert accountant.sequential_total() == pytest.approx(1.5)
+
+
+class TestGeoPipeline:
+    """twitter -> k-means under several policies + quadtree rectangles."""
+
+    def test_policies_rank_as_expected(self):
+        db = twitter_dataset(8_000, rng=0)
+        eps = 0.3
+        points = db.points()
+        init = points[np.random.default_rng(1).choice(db.n, 4, replace=False)]
+        base = lloyd_kmeans(points, 4, 5, init_centroids=init)
+        ratios = {}
+        for label, policy in (
+            ("dp", Policy.differential_privacy(db.domain)),
+            ("theta100", Policy.distance_threshold(db.domain, 100.0)),
+            ("partition", Policy.partitioned(Partition.singletons(db.domain))),
+        ):
+            mech = PrivateKMeans(policy, eps, k=4, iterations=5)
+            objs = [
+                mech.release(db, rng=i, init_centroids=init).objective
+                for i in range(6)
+            ]
+            ratios[label] = np.mean(objs) / base.objective
+        assert ratios["partition"] == pytest.approx(1.0)
+        assert ratios["theta100"] <= ratios["dp"] * 1.05
+
+    def test_quadtree_release_consistency_with_kmeans_data(self):
+        db = twitter_dataset(8_000, rng=0)
+        rel = QuadtreeMechanism(
+            Policy.differential_privacy(db.domain), 0.5
+        ).release(db, rng=1)
+        # total mass is pinned to n through the exact root
+        assert rel.rectangle(0, 399, 0, 299) == pytest.approx(db.n, rel=0.1)
+
+
+class TestSyntheticPipeline:
+    def test_kmeans_converges_and_blowfish_helps(self):
+        db = gaussian_clusters_dataset(n=600, k=3, dim=3, sigma=0.05, rng=2)
+        points = db.points()
+        init = points[np.random.default_rng(0).choice(db.n, 3, replace=False)]
+        base = lloyd_kmeans(points, 3, 8, init_centroids=init)
+        eps = 0.3
+        means = {}
+        for label, policy in (
+            ("dp", Policy.differential_privacy(db.domain)),
+            ("theta", Policy.distance_threshold(db.domain, 0.2)),
+        ):
+            mech = PrivateKMeans(policy, eps, k=3, iterations=8)
+            objs = [
+                mech.release(db, rng=i, init_centroids=init).objective
+                for i in range(10)
+            ]
+            means[label] = np.mean(objs)
+        assert means["theta"] < means["dp"]
+        assert base.objective < means["theta"]
+
+
+class TestConstrainedPipeline:
+    """Marginal publication -> policy graph -> calibrated release -> audit."""
+
+    def test_end_to_end(self):
+        from repro import Attribute
+        from repro.constraints import MarginalConstraintSet
+        from repro.core.audit import laplace_realized_epsilon
+        from repro.mechanisms import ConstrainedHistogramMechanism
+
+        domain = Domain(
+            [Attribute("dept", ["a", "b"]), Attribute("grade", ["x", "y", "z"])]
+        )
+        rng = np.random.default_rng(6)
+        db = Database.from_indices(domain, rng.integers(0, 6, 4))
+        constraints = MarginalConstraintSet(domain, [["dept"]], db)
+        policy = Policy.full_domain(domain, constraints)
+        eps = 0.7
+        mech = ConstrainedHistogramMechanism(policy, eps)
+        assert mech.sensitivity == 4.0
+        out = mech.release(db, rng=7)
+        assert out.shape == (6,)
+        realized = laplace_realized_epsilon(
+            lambda d: d.histogram(), policy, mech.scale, n=4
+        )
+        assert realized <= eps + 1e-9
