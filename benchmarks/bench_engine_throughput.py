@@ -1,0 +1,50 @@
+"""Engine batch-answering throughput: queries/sec at |T| in {1e3, 1e5}.
+
+Not a paper figure — the serving-layer record the ROADMAP asks for.  The
+engine answers a 10k-query random range workload from one raw OH synopsis
+in a single vectorized prefix pass; the baseline walks the canonical tree
+decomposition per query (the pre-engine hot path).  Asserted claims:
+
+* answers are bitwise identical to the per-query path (checked inside the
+  probe), and
+* at |T| = 1e5 the engine is >= 50x faster than per-query answering.
+"""
+
+from conftest import record
+
+from repro.experiments.results import ResultTable
+
+SIZES = ((1_000, 256), (100_000, 4_096))  # (|T|, theta)
+N_QUERIES = 10_000
+
+
+def test_engine_throughput(benchmark, engine_throughput_probe):
+    results = benchmark.pedantic(
+        lambda: [
+            engine_throughput_probe(size, N_QUERIES, theta)
+            for size, theta in SIZES
+        ],
+        rounds=1,
+        iterations=1,
+    )
+
+    table = ResultTable(
+        "Engine throughput (10k range queries, raw OH)",
+        x_label="|T|",
+        y_label="queries/sec",
+    )
+    for row in results:
+        table.add("engine", row["size"], row["engine_qps"], row["engine_qps"], row["engine_qps"])
+        table.add("per-query loop", row["size"], row["loop_qps"], row["loop_qps"], row["loop_qps"])
+    record(table, "engine_throughput")
+
+    by_size = {row["size"]: row for row in results}
+    for row in results:
+        print(
+            f"|T|={row['size']}: engine {row['engine_qps']:,.0f} q/s, "
+            f"loop {row['loop_qps']:,.0f} q/s, x{row['speedup']:.0f}"
+        )
+    # the engine must never be slower, and at serving scale the vectorized
+    # pass has to beat per-query tree walks by >= 50x
+    assert all(row["speedup"] > 1 for row in results)
+    assert by_size[100_000]["speedup"] >= 50

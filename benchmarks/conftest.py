@@ -18,10 +18,13 @@ minutes.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
+from repro import Database, Domain, Policy, PolicyEngine, RangeQuery
 from repro.experiments import default_scale
 from repro.experiments.results import ResultTable
 
@@ -32,6 +35,66 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def bench_scale():
     """The experiment scale for every benchmark (env-switchable)."""
     return default_scale()
+
+
+@pytest.fixture(scope="session")
+def engine_throughput_probe():
+    """The engine-vs-loop range throughput probe (fixture indirection so the
+    root pytest run can reach it without importing this module by name —
+    ``import conftest`` resolves to ``tests/conftest.py`` there)."""
+    return engine_range_throughput
+
+
+def engine_range_throughput(
+    size: int,
+    n_queries: int,
+    theta: int,
+    n_tuples: int | None = None,
+    seed: int = 20140623,
+    repeats: int = 3,
+) -> dict:
+    """Measure PolicyEngine batch answering vs per-query raw OH calls.
+
+    Releases one raw (``consistent=False``) OH synopsis, answers the same
+    ``n_queries`` random range queries through ``PolicyEngine.answer`` and
+    through a per-query ``_RawOHAnswerer.range()`` loop, verifies the two
+    are bitwise identical, and returns queries/sec for both paths.  Shared
+    by the tier-1 smoke test (tiny scale) and the throughput benchmark.
+    """
+    rng = np.random.default_rng(seed)
+    domain = Domain.integers("v", size)
+    db = Database.from_indices(
+        domain, rng.integers(0, size, size=n_tuples or 2 * size)
+    )
+    policy = Policy.distance_threshold(domain, theta)
+    engine = PolicyEngine(policy, 0.5, options={"range": {"consistent": False}})
+    released = engine.release(db, "range", rng=np.random.default_rng(seed))
+
+    los = rng.integers(0, size, size=n_queries)
+    his = rng.integers(0, size, size=n_queries)
+    los, his = np.minimum(los, his), np.maximum(los, his)
+    queries = [RangeQuery(domain, int(a), int(b)) for a, b in zip(los, his)]
+
+    t_engine = float("inf")
+    for _ in range(repeats):
+        released._pext = None  # fresh materialization each repeat
+        t0 = time.perf_counter()
+        batch = engine.answer(queries, releases={"range": released})
+        t_engine = min(t_engine, time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    loop = np.array([released.range(int(a), int(b)) for a, b in zip(los, his)])
+    t_loop = time.perf_counter() - t0
+
+    assert np.array_equal(batch, loop), "engine batch diverged from scalar answers"
+    return {
+        "size": size,
+        "n_queries": n_queries,
+        "theta": theta,
+        "engine_qps": n_queries / t_engine,
+        "loop_qps": n_queries / t_loop,
+        "speedup": t_loop / t_engine,
+    }
 
 
 def record(table: ResultTable, name: str) -> ResultTable:

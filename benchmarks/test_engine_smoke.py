@@ -1,0 +1,23 @@
+"""Tier-1 smoke target for the engine perf path.
+
+Collected by the plain root ``pytest`` run (unlike the ``bench_*`` modules,
+which need an explicit ``pytest benchmarks/``), so the vectorized batch
+answering path and its bitwise agreement with the scalar reference are
+exercised on every PR — at a tiny scale that adds well under a second.
+The full-scale numbers live in ``bench_engine_throughput.py``; the probe
+itself is the ``engine_throughput_probe`` fixture in this directory's
+conftest.
+"""
+
+
+def test_engine_throughput_smoke(engine_throughput_probe):
+    row = engine_throughput_probe(size=512, n_queries=300, theta=64, repeats=1)
+    # bitwise equality is asserted inside the probe; here we only require
+    # the batch path to produce sane throughput figures
+    assert row["engine_qps"] > 0 and row["loop_qps"] > 0
+
+
+def test_engine_throughput_smoke_theta_one(engine_throughput_probe):
+    # theta=1 degenerates to the ordered-mechanism S chain (no H trees)
+    row = engine_throughput_probe(size=256, n_queries=100, theta=1, repeats=1)
+    assert row["engine_qps"] > 0

@@ -18,6 +18,30 @@ Quickstart::
     line = Policy.line(domain)
     cdf = OrderedMechanism(line, epsilon=0.5).release(db, rng=0)
 
+Serving layer — the :class:`PolicyEngine` (``repro.engine``)
+------------------------------------------------------------
+
+Production-style query answering fronts every mechanism with one engine per
+``(policy, epsilon)``::
+
+    from repro import PolicyEngine, RangeQuery
+
+    engine = PolicyEngine(Policy.distance_threshold(domain, 10), epsilon=0.5)
+    engine.strategy("range")            # -> "ordered-hierarchical"
+    engine.sensitivity(query)           # S(f, P), cached per policy fingerprint
+
+    released = engine.release(db, "range", rng=0)   # one synopsis, eps spent
+    released.ranges(los, his)           # vectorized, any number of queries
+
+    answers = engine.answer(queries, db, rng=0)     # mixed batch of
+                                                    # range/count/linear queries
+
+The engine caches sensitivities under stable policy/query fingerprints
+(shared process-wide), dispatches the released synopsis through an
+extensible mechanism registry (line graph → ordered mechanism, distance
+threshold → OH hybrid, complete graph → DP baselines), and answers whole
+query batches in single vectorized passes with explicit budget accounting.
+
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-vs-measured record of every figure.
 """
@@ -49,8 +73,14 @@ from .core.graphs import (
     LineGraph,
     PartitionGraph,
 )
+from .engine import (
+    MechanismRegistry,
+    PolicyEngine,
+    SensitivityCache,
+    default_registry,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Attribute",
@@ -75,6 +105,10 @@ __all__ = [
     "DistanceThresholdGraph",
     "LineGraph",
     "ExplicitGraph",
+    "PolicyEngine",
+    "MechanismRegistry",
+    "SensitivityCache",
+    "default_registry",
     "ensure_rng",
     "__version__",
 ]

@@ -16,7 +16,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..core.graphs import DiscriminativeGraph, FullDomainGraph
+from ..core.graphs import EDGE_SCAN_LIMIT, DiscriminativeGraph, FullDomainGraph
 from ..core.queries import CountQuery
 
 __all__ = [
@@ -27,8 +27,9 @@ __all__ = [
     "support_matrix",
 ]
 
-# Edge-enumeration guard for sparsity checks on implicit graphs.
-MAX_EDGE_SCAN = 5_000_000
+# Edge-enumeration guard for sparsity checks on implicit graphs (kept as an
+# alias of the shared graphs-module limit for backward compatibility).
+MAX_EDGE_SCAN = EDGE_SCAN_LIMIT
 
 
 def support_matrix(queries: Sequence[CountQuery]) -> np.ndarray:
@@ -80,6 +81,15 @@ def sparsity_violations(
             if len(out) >= max_report:
                 return out
         return out
+    if graph.edges_upper_bound() > MAX_EDGE_SCAN:
+        # up-front refusal: dense implicit graphs (large partition cliques,
+        # grid distance-threshold graphs) would spend O(|T|^2) producing the
+        # edge stream before the scan counter could trip
+        raise ValueError(
+            f"{type(graph).__name__} over {size} values may have up to "
+            f"{graph.edges_upper_bound():.3g} edges; too many for a sparsity "
+            f"scan (limit {MAX_EDGE_SCAN})"
+        )
     scanned = 0
     for x, y in graph.edges():
         scanned += 1

@@ -22,7 +22,15 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from .graphs import DiscriminativeGraph, FullDomainGraph, PartitionGraph
+import numpy as np
+
+from .graphs import (
+    EDGE_SCAN_LIMIT,
+    DiscriminativeGraph,
+    EdgeScanRefused,
+    FullDomainGraph,
+    PartitionGraph,
+)
 from .policy import Policy
 from .queries import CountQuery
 
@@ -36,38 +44,64 @@ __all__ = [
 ]
 
 
+def _check_pair_budget(n_pairs: float) -> None:
+    if n_pairs > EDGE_SCAN_LIMIT:
+        raise EdgeScanRefused(
+            f"critical-edge extraction would materialize ~{n_pairs:.3g} pairs "
+            f"(limit {EDGE_SCAN_LIMIT}); use constraint_is_critical() for a "
+            "yes/no answer on dense graphs"
+        )
+
+
 def critical_edges(query: CountQuery, graph: DiscriminativeGraph) -> frozenset:
     """``crit(q)`` restricted to graph edges: the discriminative value pairs
-    whose change alters ``q``'s answer.  Small domains only."""
-    out = set()
-    for i, j in graph.edges():
-        if query.mask[i] != query.mask[j]:
-            out.add((i, j))
-    return frozenset(out)
+    whose change alters ``q``'s answer.
+
+    Materializes the actual pair set, so it refuses (with a
+    :class:`ValueError`, not a hang) graphs whose crossing-pair count
+    exceeds the edge-scan limit; :func:`constraint_is_critical` answers the
+    emptiness question alone and scales much further.
+    """
+    mask = np.asarray(query.mask, dtype=bool)
+    if not mask.any() or mask.all():
+        return frozenset()
+    if isinstance(graph, FullDomainGraph):
+        ins = np.flatnonzero(mask)
+        outs = np.flatnonzero(~mask)
+        _check_pair_budget(float(ins.size) * outs.size)
+        return frozenset(
+            (int(min(i, j)), int(max(i, j))) for i in ins for j in outs
+        )
+    if isinstance(graph, PartitionGraph):
+        out: set[tuple[int, int]] = set()
+        total = 0.0
+        for b in range(graph.partition.n_blocks):
+            members = graph.partition.block_members(b)
+            ins = members[mask[members]]
+            outs = members[~mask[members]]
+            total += float(ins.size) * outs.size
+            _check_pair_budget(total)
+            out.update(
+                (int(min(i, j)), int(max(i, j))) for i in ins for j in outs
+            )
+        return frozenset(out)
+    _check_pair_budget(graph.edges_upper_bound())
+    return frozenset((i, j) for i, j in graph.edges() if mask[i] != mask[j])
 
 
 def constraint_is_critical(query: CountQuery, graph: DiscriminativeGraph) -> bool:
-    """Whether ``crit(q)`` is non-empty, with fast paths for implicit graphs.
+    """Whether ``crit(q)`` is non-empty, analytically where possible.
 
     ``crit(q) = 0`` is the paper's Section 4.1 example: count constraints
     aligned with the graph's connected components cost nothing in parallel
-    composition.
+    composition.  Graphs too dense for an exact answer are treated as
+    critical — the conservative direction, since a critical constraint only
+    ever *blocks* parallel composition.
     """
-    mask = query.mask
-    if isinstance(graph, FullDomainGraph):
-        return bool(mask.any() and not mask.all())
-    if isinstance(graph, PartitionGraph):
-        import numpy as np
-
-        for b in range(graph.partition.n_blocks):
-            members = graph.partition.block_members(b)
-            if members.size > 1 and len(np.unique(mask[members])) > 1:
-                return True
-        return False
-    for i, j in graph.edges():
-        if mask[i] != mask[j]:
-            return True
-    return False
+    try:
+        return graph.crosses_mask(query.mask)
+    except EdgeScanRefused:
+        return True
 
 
 def sequential_epsilon(epsilons: Sequence[float]) -> float:

@@ -18,6 +18,7 @@ Two convenience shapes cover the paper's experiments:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
 from collections.abc import Iterator, Sequence
@@ -44,7 +45,7 @@ class Attribute:
         The attribute's value set.  Values must be hashable and unique.
     """
 
-    __slots__ = ("name", "values", "_rank", "_is_numeric")
+    __slots__ = ("name", "values", "_rank", "_is_numeric", "_fp")
 
     def __init__(self, name: str, values: Sequence[Any]):
         values = tuple(values)
@@ -88,6 +89,37 @@ class Attribute:
 
     def __hash__(self) -> int:
         return hash((self.name, self.values))
+
+    def fingerprint(self) -> str:
+        """Stable (process-independent) digest of this attribute.
+
+        Unlike ``hash()``, which is salted per interpreter for strings, this
+        digest is reproducible across runs and safe to use in persistent
+        cache keys (see :mod:`repro.engine`).
+        """
+        try:
+            return self._fp
+        except AttributeError:
+            pass
+        h = hashlib.sha256()
+        h.update(self.name.encode("utf-8"))
+        h.update(b"\x00")
+        if self.is_numeric and not all(
+            isinstance(v, (int, np.integer)) for v in self.values
+        ):
+            # floats round-trip exactly through float64 bytes
+            h.update(b"num")
+            h.update(np.asarray(self.values, dtype=np.float64).tobytes())
+        else:
+            # integer values are hashed exactly (float64 coercion would
+            # collide values differing only beyond 2^53), and categorical
+            # values by repr
+            h.update(b"cat")
+            for v in self.values:
+                h.update(repr(v).encode("utf-8"))
+                h.update(b"\x00")
+        self._fp = h.hexdigest()[:16]
+        return self._fp
 
     # -- ranks and distances ------------------------------------------------------
     def rank(self, value: Any) -> int:
@@ -135,7 +167,7 @@ class Domain:
     ordered domain the index order coincides with the value order.
     """
 
-    __slots__ = ("attributes", "_radices", "size")
+    __slots__ = ("attributes", "_radices", "size", "_fp")
 
     # Above this many cells, dense per-cell materialization (``iter_values``,
     # explicit graph construction, dense value tables) is refused to protect
@@ -253,6 +285,23 @@ class Domain:
 
     def __hash__(self) -> int:
         return hash(self.attributes)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the whole domain (attribute names + value sets).
+
+        The anchor of every graph/policy fingerprint: two domains with equal
+        fingerprints are structurally identical, so sensitivities computed
+        against one are valid for the other.
+        """
+        try:
+            return self._fp
+        except AttributeError:
+            pass
+        h = hashlib.sha256()
+        for attr in self.attributes:
+            h.update(attr.fingerprint().encode("ascii"))
+        self._fp = h.hexdigest()[:16]
+        return self._fp
 
     # -- index <-> value translation ----------------------------------------------
     def index_of(self, value: Sequence[Any] | Any) -> int:

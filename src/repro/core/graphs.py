@@ -20,6 +20,8 @@ analytically.
 
 from __future__ import annotations
 
+import functools
+import hashlib
 import math
 from abc import ABC, abstractmethod
 from collections.abc import Iterator
@@ -39,9 +41,44 @@ __all__ = [
     "LineGraph",
     "EdgelessGraph",
     "ExplicitGraph",
+    "EDGE_SCAN_LIMIT",
+    "EdgeScanRefused",
 ]
 
 _INF = float("inf")
+
+# Edge scans beyond this many (potential) edges are refused: callers that can
+# live with a conservative answer catch EdgeScanRefused, everything else gets
+# an actionable error instead of an O(|T|^2) hang.
+EDGE_SCAN_LIMIT = 5_000_000
+
+
+class EdgeScanRefused(ValueError):
+    """An exact edge enumeration was refused because the graph is too dense.
+
+    Distinct from plain :class:`ValueError` so that callers substituting a
+    conservative answer (sensitivity calculators, composition checks) do not
+    accidentally swallow genuine validation errors such as a mask shape
+    mismatch."""
+
+
+def _memoized(method):
+    """Cache a no-argument structural property on the graph instance.
+
+    Quantities like ``max_edge_index_gap`` cost an O(|T|) scan on implicit
+    graphs; mechanisms and the :mod:`repro.engine` cache layer re-read them
+    on every construction, so they are computed once per graph object.
+    """
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self):
+        memo = self._memo
+        if name not in memo:
+            memo[name] = method(self)
+        return memo[name]
+
+    return wrapper
 
 
 class DiscriminativeGraph(ABC):
@@ -49,6 +86,30 @@ class DiscriminativeGraph(ABC):
 
     def __init__(self, domain: Domain):
         self.domain = domain
+        self._memo: dict[str, object] = {}
+
+    # -- identity -----------------------------------------------------------------
+    @_memoized
+    def fingerprint(self) -> str:
+        """Stable digest of (graph class, domain, structural parameters).
+
+        Two graphs with equal fingerprints induce identical neighbor
+        relations, so any policy-specific sensitivity computed against one
+        is valid for the other — the key property the
+        :class:`repro.engine.SensitivityCache` relies on.
+        """
+        h = hashlib.sha256()
+        h.update(type(self).__name__.encode("ascii"))
+        h.update(b"\x00")
+        h.update(self.domain.fingerprint().encode("ascii"))
+        for part in self._fingerprint_parts():
+            h.update(b"\x00")
+            h.update(part)
+        return h.hexdigest()[:16]
+
+    def _fingerprint_parts(self) -> tuple[bytes, ...]:
+        """Class-specific bytes mixed into :meth:`fingerprint`."""
+        return ()
 
     # -- structure ---------------------------------------------------------------
     @abstractmethod
@@ -73,6 +134,48 @@ class DiscriminativeGraph(ABC):
             for _ in self.neighbors_of(i):
                 return True
         return False
+
+    def edges_upper_bound(self) -> float:
+        """Cheap upper bound on the number of edges.
+
+        Used to refuse edge enumerations that cannot finish (sparsity scans,
+        critical-edge extraction) before any work is done.  The base bound is
+        the complete graph's; implicit families override with exact counts.
+        """
+        n = self.domain.size
+        return n * (n - 1) / 2.0
+
+    def crosses_mask(self, mask: np.ndarray) -> bool:
+        """Whether some edge ``(i, j)`` has ``mask[i] != mask[j]``.
+
+        This single predicate underlies count-query sensitivity (Section 5),
+        ``crit(q)`` non-emptiness (Definition 8.1) and the Theorem 4.3
+        "affects" relation.  Implicit graph families answer it analytically;
+        the fallback scans ``edges()`` and raises :class:`EdgeScanRefused`
+        when the scan could not finish, letting callers substitute a
+        conservative answer instead of hanging on dense graphs.
+        """
+        mask = self._as_mask(mask)
+        if not mask.any() or mask.all():
+            return False
+        if self.edges_upper_bound() > EDGE_SCAN_LIMIT:
+            raise EdgeScanRefused(
+                f"{type(self).__name__} over {self.domain.size} values has no "
+                "analytic mask-crossing rule and too many potential edges "
+                f"(> {EDGE_SCAN_LIMIT}) for an exact scan"
+            )
+        if self.domain.size > self.domain.MAX_ENUMERABLE:
+            raise EdgeScanRefused(
+                f"domain of size {self.domain.size} is too large for a "
+                "mask-crossing edge scan"
+            )
+        return any(mask[i] != mask[j] for i, j in self.edges())
+
+    def _as_mask(self, mask: np.ndarray) -> np.ndarray:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.domain.size,):
+            raise ValueError("mask shape must equal the domain size")
+        return mask
 
     # -- metric structure ----------------------------------------------------------
     def graph_distance(self, i: int, j: int) -> float:
@@ -154,6 +257,15 @@ class FullDomainGraph(DiscriminativeGraph):
     def has_any_edge(self) -> bool:
         return self.domain.size >= 2
 
+    def edges_upper_bound(self) -> float:
+        n = self.domain.size
+        return n * (n - 1) / 2.0
+
+    def crosses_mask(self, mask: np.ndarray) -> bool:
+        # complete graph: any non-constant mask is crossed by some edge
+        mask = self._as_mask(mask)
+        return bool(mask.any() and not mask.all())
+
     def max_edge_l1(self) -> float:
         return self.domain.diameter()
 
@@ -189,6 +301,17 @@ class AttributeGraph(DiscriminativeGraph):
     def has_any_edge(self) -> bool:
         return any(len(a) >= 2 for a in self.domain.attributes)
 
+    def edges_upper_bound(self) -> float:
+        # each value has sum_A (|A| - 1) neighbors
+        degree = sum(len(a) - 1 for a in self.domain.attributes)
+        return self.domain.size * degree / 2.0
+
+    def crosses_mask(self, mask: np.ndarray) -> bool:
+        # G^attr is connected (change one attribute at a time), so every
+        # non-constant mask has an edge across its boundary
+        mask = self._as_mask(mask)
+        return bool(mask.any() and not mask.all())
+
     def max_edge_l1(self) -> float:
         # an edge changes one attribute arbitrarily: max_A |A| (Lemma 6.1)
         return max(a.span for a in self.domain.attributes)
@@ -207,6 +330,9 @@ class PartitionGraph(DiscriminativeGraph):
         super().__init__(partition.domain)
         self.partition = partition
 
+    def _fingerprint_parts(self) -> tuple[bytes, ...]:
+        return (self.partition.labels.tobytes(),)
+
     def has_edge(self, i: int, j: int) -> bool:
         return i != j and self.partition.same_block(i, j)
 
@@ -223,17 +349,34 @@ class PartitionGraph(DiscriminativeGraph):
     def has_any_edge(self) -> bool:
         return bool(self.partition.block_sizes().max(initial=0) > 1)
 
+    def edges_upper_bound(self) -> float:
+        sizes = self.partition.block_sizes().astype(np.float64)
+        return float((sizes * (sizes - 1)).sum() / 2.0)
+
+    def crosses_mask(self, mask: np.ndarray) -> bool:
+        # a block is crossed iff it holds both a True and a False cell
+        mask = self._as_mask(mask)
+        labels = self.partition.labels
+        nb = self.partition.n_blocks
+        n_true = np.bincount(labels[mask], minlength=nb)
+        n_all = np.bincount(labels, minlength=nb)
+        return bool(np.any((n_true > 0) & (n_true < n_all)))
+
+    @_memoized
     def max_edge_l1(self) -> float:
         return self.partition.max_block_l1_diameter()
 
+    @_memoized
     def max_edge_index_gap(self) -> int:
         self.domain.require_ordered()
-        gap = 0
-        for b in range(self.partition.n_blocks):
-            members = self.partition.block_members(b)
-            if members.size > 1:
-                gap = max(gap, int(members.max() - members.min()))
-        return gap
+        labels = self.partition.labels
+        nb = self.partition.n_blocks
+        idx = np.arange(self.domain.size, dtype=np.int64)
+        lo = np.full(nb, self.domain.size, dtype=np.int64)
+        hi = np.full(nb, -1, dtype=np.int64)
+        np.minimum.at(lo, labels, idx)
+        np.maximum.at(hi, labels, idx)
+        return int(np.max(hi - lo, initial=0))
 
     def __repr__(self) -> str:
         return f"PartitionGraph({self.partition!r})"
@@ -254,6 +397,9 @@ class DistanceThresholdGraph(DiscriminativeGraph):
         super().__init__(domain)
         self.theta = float(theta)
         self._spacings = _uniform_spacings(domain)
+
+    def _fingerprint_parts(self) -> tuple[bytes, ...]:
+        return (repr(self.theta).encode("ascii"),)
 
     def has_edge(self, i: int, j: int) -> bool:
         if i == j:
@@ -334,11 +480,36 @@ class DistanceThresholdGraph(DiscriminativeGraph):
             hops += 1
         return float(hops)
 
+    def edges_upper_bound(self) -> float:
+        n = self.domain.size
+        if self.domain.is_ordered and self.domain.attributes[0].is_numeric:
+            # every neighborhood is an index interval of width <= max gap
+            return float(n) * self.max_edge_index_gap()
+        return n * (n - 1) / 2.0
+
+    def crosses_mask(self, mask: np.ndarray) -> bool:
+        mask = self._as_mask(mask)
+        if not mask.any() or mask.all():
+            return False
+        if self.domain.is_ordered:
+            attr = self.domain.attributes[0]
+            if not attr.is_numeric:
+                # categorical 1-D: the L1 metric is discrete, so theta >= 1
+                # makes the graph complete and theta < 1 edgeless
+                return self.theta >= 1.0
+            # monotone values: the closest pair straddling a mask transition
+            # is the adjacent pair at that transition
+            vals = np.asarray(attr.values, dtype=np.float64)
+            transitions = mask[1:] != mask[:-1]
+            return bool(np.any(transitions & (np.diff(vals) <= self.theta)))
+        return super().crosses_mask(mask)
+
     def max_edge_l1(self) -> float:
         # every edge satisfies d <= theta by definition; theta itself is the
         # calibration constant the paper uses (Lemma 6.1: sensitivity 2*theta)
         return min(self.theta, self.domain.diameter())
 
+    @_memoized
     def max_edge_index_gap(self) -> int:
         attr = self.domain.require_ordered()
         if not attr.is_numeric:
@@ -388,6 +559,15 @@ class LineGraph(DistanceThresholdGraph):
     def graph_distance(self, i: int, j: int) -> float:
         return float(abs(i - j))
 
+    def edges_upper_bound(self) -> float:
+        return float(max(self.domain.size - 1, 0))
+
+    def crosses_mask(self, mask: np.ndarray) -> bool:
+        # index adjacency connects the whole chain: any non-constant mask
+        # has a transition, and the pair at the transition is an edge
+        mask = self._as_mask(mask)
+        return bool(mask.any() and not mask.all())
+
     def max_edge_l1(self) -> float:
         attr = self.domain.attributes[0]
         if not attr.is_numeric or len(attr) < 2:
@@ -422,6 +602,13 @@ class EdgelessGraph(DiscriminativeGraph):
     def has_any_edge(self) -> bool:
         return False
 
+    def edges_upper_bound(self) -> float:
+        return 0.0
+
+    def crosses_mask(self, mask: np.ndarray) -> bool:
+        self._as_mask(mask)
+        return False
+
     def max_edge_l1(self) -> float:
         return 0.0
 
@@ -451,6 +638,10 @@ class ExplicitGraph(DiscriminativeGraph):
         g.remove_edges_from(nx.selfloop_edges(g))
         self._g = g
 
+    def _fingerprint_parts(self) -> tuple[bytes, ...]:
+        edges = sorted((min(u, v), max(u, v)) for u, v in self._g.edges())
+        return (np.asarray(edges, dtype=np.int64).tobytes(),)
+
     def has_edge(self, i: int, j: int) -> bool:
         return self._g.has_edge(i, j)
 
@@ -461,6 +652,13 @@ class ExplicitGraph(DiscriminativeGraph):
         for u, v in self._g.edges():
             yield (min(u, v), max(u, v))
 
+    def edges_upper_bound(self) -> float:
+        return float(self._g.number_of_edges())
+
+    def crosses_mask(self, mask: np.ndarray) -> bool:
+        mask = self._as_mask(mask)
+        return any(mask[u] != mask[v] for u, v in self._g.edges())
+
     def graph_distance(self, i: int, j: int) -> float:
         if i == j:
             return 0.0
@@ -469,12 +667,14 @@ class ExplicitGraph(DiscriminativeGraph):
         except nx.NetworkXNoPath:
             return _INF
 
+    @_memoized
     def max_edge_l1(self) -> float:
         best = 0.0
         for u, v in self._g.edges():
             best = max(best, self.domain.l1_distance(u, v))
         return best
 
+    @_memoized
     def max_edge_index_gap(self) -> int:
         self.domain.require_ordered()
         return max((abs(u - v) for u, v in self._g.edges()), default=0)

@@ -32,7 +32,7 @@ import numpy as np
 
 from .database import Database
 from .domain import Domain
-from .graphs import DiscriminativeGraph, EdgelessGraph
+from .graphs import DiscriminativeGraph, EdgelessGraph, EdgeScanRefused
 from .queries import CountQuery
 from .rng import ensure_rng
 
@@ -198,12 +198,26 @@ def constraint_affects_group(
     query: CountQuery, policy: IndividualPolicy, ids: Sequence[int]
 ) -> bool:
     """Theorem 4.3's "affects": ``crit(q) ∩ SP(S_i) != ∅`` — some member of
-    the group has a graph edge that lifts or lowers ``q``."""
+    the group has a graph edge that lifts or lowers ``q``.
+
+    Each distinct graph object is checked once (members overwhelmingly share
+    the policy's default graph) through the analytic
+    :meth:`~repro.core.graphs.DiscriminativeGraph.crosses_mask` rule; graphs
+    too dense for an exact answer count as affected — the conservative
+    direction, since "affects" only ever blocks parallel composition.
+    """
+    seen: set[int] = set()
     for i in ids:
         graph = policy.graph_for(i)
-        for x, y in graph.edges():
-            if query.mask[x] != query.mask[y]:
+        key = id(graph)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            if graph.crosses_mask(query.mask):
                 return True
+        except EdgeScanRefused:
+            return True
     return False
 
 

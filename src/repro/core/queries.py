@@ -8,6 +8,7 @@ calculators in :mod:`repro.core.sensitivity` to reason about it analytically.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable, Sequence
 from typing import Any
 
@@ -38,7 +39,7 @@ class Partition:
     the structure behind partitioned sensitive information ``S^P_pairs``.
     """
 
-    __slots__ = ("domain", "labels", "n_blocks")
+    __slots__ = ("domain", "labels", "n_blocks", "_fp")
 
     def __init__(self, domain: Domain, labels: np.ndarray):
         labels = np.asarray(labels, dtype=np.int64)
@@ -210,6 +211,18 @@ class Partition:
 
     def __hash__(self) -> int:
         return hash((self.domain, self.labels.tobytes()))
+
+    def fingerprint(self) -> str:
+        """Stable digest of (domain, block labels); see :meth:`Domain.fingerprint`."""
+        try:
+            return self._fp
+        except AttributeError:
+            pass
+        h = hashlib.sha256()
+        h.update(self.domain.fingerprint().encode("ascii"))
+        h.update(self.labels.tobytes())
+        self._fp = h.hexdigest()[:16]
+        return self._fp
 
 
 class Query:

@@ -28,6 +28,7 @@ from .graphs import (
     AttributeGraph,
     DiscriminativeGraph,
     DistanceThresholdGraph,
+    EdgeScanRefused,
     FullDomainGraph,
     LineGraph,
     PartitionGraph,
@@ -146,7 +147,10 @@ def range_query_sensitivity(policy: Policy, lo: int, hi: int) -> float:
     """``S(q[x_lo, x_hi], P)``: 1 if some edge crosses the range boundary.
 
     The full-domain range is constant (cardinality is public) and hence
-    free.
+    free.  Every branch is analytic (O(1) or one vectorized pass); graphs
+    with no analytic rule fall back to an edge scan only on enumerable
+    domains and otherwise return the conservative upper bound 1 — one tuple
+    change alters a range count by at most one.
     """
     _require_unconstrained(policy, "range query")
     policy.domain.require_ordered()
@@ -155,43 +159,56 @@ def range_query_sensitivity(policy: Policy, lo: int, hi: int) -> float:
         return 0.0
     graph = policy.graph
     if isinstance(graph, (FullDomainGraph, AttributeGraph)):
+        # 1-D attribute graphs are complete, hence always cross a proper range
         return 1.0
-    if isinstance(graph, (LineGraph, DistanceThresholdGraph)):
-        # index-local graphs always have an edge straddling a proper range
-        return 1.0 if graph.max_edge_index_gap() >= 1 else 0.0
+    if isinstance(graph, LineGraph):
+        # the adjacent pair at either range boundary is an edge
+        return 1.0 if size > 1 else 0.0
+    if isinstance(graph, DistanceThresholdGraph):
+        attr = policy.domain.attributes[0]
+        if not attr.is_numeric:
+            return 1.0 if graph.theta >= 1.0 else 0.0
+        # exact O(1): the closest pairs straddling a boundary are adjacent,
+        # so an edge crosses iff either boundary gap fits under theta
+        left = lo > 0 and policy.domain.value_gap(lo - 1, lo) <= graph.theta
+        right = hi < size - 1 and policy.domain.value_gap(hi, hi + 1) <= graph.theta
+        return 1.0 if (left or right) else 0.0
     if isinstance(graph, PartitionGraph):
-        labels = graph.partition.labels
         inside = np.zeros(size, dtype=bool)
         inside[lo : hi + 1] = True
-        for b in range(graph.partition.n_blocks):
-            members = graph.partition.block_members(b)
-            if members.size > 1 and len(np.unique(inside[members])) > 1:
-                return 1.0
-        return 0.0
-    for i, j in graph.edges():
-        if (lo <= i <= hi) != (lo <= j <= hi):
-            return 1.0
-    return 0.0
+        return 1.0 if graph.crosses_mask(inside) else 0.0
+    if size <= policy.domain.MAX_ENUMERABLE:
+        inside = np.zeros(size, dtype=bool)
+        inside[lo : hi + 1] = True
+        try:
+            return 1.0 if graph.crosses_mask(inside) else 0.0
+        except EdgeScanRefused:
+            pass
+    # conservative upper bound for huge, exotic graphs (cf. the
+    # MAX_ENUMERABLE guard in histogram_sensitivity)
+    return 1.0
 
 
 def count_query_sensitivity(policy: Policy, query: CountQuery) -> float:
-    """``S(q_phi, P)``: 1 if some edge lifts or lowers the query, else 0."""
+    """``S(q_phi, P)``: 1 if some edge lifts or lowers the query, else 0.
+
+    Dispatches to the graph's analytic :meth:`crosses_mask` rule (complete
+    and attribute graphs are connected, partition graphs reduce to a
+    per-block constancy check, ordered distance-threshold graphs to a
+    transition-gap scan).  Graphs whose edge set would be too large to
+    enumerate yield the conservative upper bound 1 instead of hanging —
+    one tuple change alters a count by at most one.
+    """
     _require_unconstrained(policy, "count query")
-    graph = policy.graph
     mask = query.mask
-    if isinstance(graph, FullDomainGraph):
-        some = bool(mask.any())
-        return 1.0 if some and not mask.all() else 0.0
-    if isinstance(graph, PartitionGraph):
-        for b in range(graph.partition.n_blocks):
-            members = graph.partition.block_members(b)
-            if members.size > 1 and len(np.unique(mask[members])) > 1:
-                return 1.0
+    if not mask.any() or mask.all():
+        # constant queries are free under every graph
         return 0.0
-    for i, j in graph.edges():
-        if mask[i] != mask[j]:
-            return 1.0
-    return 0.0
+    try:
+        return 1.0 if policy.graph.crosses_mask(mask) else 0.0
+    except EdgeScanRefused:
+        # no analytic rule and too many edges to scan: conservative bound
+        return 1.0
 
 
 def sensitivity(query: Query, policy: Policy) -> float:

@@ -1,0 +1,51 @@
+"""Query-answering engine: cached sensitivities, mechanism dispatch,
+vectorized batch answering.
+
+This package turns the per-mechanism building blocks of
+:mod:`repro.mechanisms` into a serving layer.  A :class:`PolicyEngine` is
+constructed once per ``(policy, epsilon)`` and then answers arbitrary
+batches of queries::
+
+    from repro import Domain, Database, Policy
+    from repro.engine import PolicyEngine
+
+    domain = Domain.integers("age", 100_000)
+    policy = Policy.distance_threshold(domain, 1000)
+    engine = PolicyEngine(policy, epsilon=0.5)
+
+    engine.strategy("range")          # -> "ordered-hierarchical"
+    engine.sensitivity(query)         # cached S(f, P) per policy fingerprint
+
+    released = engine.release(db, "range", rng=0)   # spends epsilon once
+    released.ranges(los, his)         # any number of queries, one pass
+
+    engine.answer(queries, db, rng=0) # mixed range/count/linear batch
+
+Three layers:
+
+* :mod:`repro.engine.fingerprint` — stable digests of policies and query
+  parameters, so sensitivities cache across structurally equal policies;
+* :mod:`repro.engine.cache` — the process-wide :class:`SensitivityCache`;
+* :mod:`repro.engine.registry` — the family × graph-type dispatch table
+  (line graph → ordered mechanism, distance threshold → OH hybrid,
+  complete graph → the DP baselines), extensible via
+  :meth:`MechanismRegistry.register`.
+"""
+
+from .cache import SensitivityCache, shared_cache
+from .engine import BatchLinearMechanism, PolicyEngine, ReleasedHistogram
+from .fingerprint import policy_fingerprint, query_cache_key
+from .registry import FAMILIES, MechanismRegistry, default_registry
+
+__all__ = [
+    "PolicyEngine",
+    "ReleasedHistogram",
+    "BatchLinearMechanism",
+    "SensitivityCache",
+    "shared_cache",
+    "MechanismRegistry",
+    "default_registry",
+    "FAMILIES",
+    "policy_fingerprint",
+    "query_cache_key",
+]

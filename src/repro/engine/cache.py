@@ -1,0 +1,79 @@
+"""Per-(policy, query-family) sensitivity cache.
+
+``S(f, P)`` is pure: it depends only on the policy graph's structure, the
+constraint set and the query family's parameters, all of which the
+fingerprints of :mod:`repro.engine.fingerprint` capture.  Computing it can
+still be expensive — partition diameters and index-gap scans are O(|T|),
+constrained sensitivities build a policy graph — so the engine memoizes
+every value under a stable key and shares the store across engines by
+default (one process answering many requests against the same policy pays
+the analytic cost once).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from threading import Lock
+
+__all__ = ["SensitivityCache", "shared_cache"]
+
+
+class SensitivityCache:
+    """A thread-safe map from ``(policy_fp, *query_key)`` to ``S(f, P)``.
+
+    Plain dict semantics plus hit/miss accounting; keys are the stable
+    tuples produced by :func:`repro.engine.fingerprint.policy_fingerprint`
+    and :func:`repro.engine.fingerprint.query_cache_key`.
+    """
+
+    def __init__(self, maxsize: int | None = 65_536):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive (or None for unbounded)")
+        self.maxsize = maxsize
+        self._store: dict[tuple, float] = {}
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, key: tuple, compute: Callable[[], float]) -> float:
+        with self._lock:
+            if key in self._store:
+                self.hits += 1
+                return self._store[key]
+        value = float(compute())
+        with self._lock:
+            self.misses += 1
+            if self.maxsize is not None and len(self._store) >= self.maxsize:
+                # simple FIFO eviction; sensitivity values are cheap to
+                # recompute relative to correctness risk from fancier schemes
+                self._store.pop(next(iter(self._store)))
+            self._store[key] = value
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def info(self) -> dict[str, int]:
+        with self._lock:
+            return {"size": len(self._store), "hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._store
+
+    def __repr__(self) -> str:
+        i = self.info()
+        return f"SensitivityCache(size={i['size']}, hits={i['hits']}, misses={i['misses']})"
+
+
+_SHARED = SensitivityCache()
+
+
+def shared_cache() -> SensitivityCache:
+    """The process-wide default cache used by engines unless given their own."""
+    return _SHARED

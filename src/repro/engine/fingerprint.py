@@ -1,0 +1,82 @@
+"""Stable identities for policies and queries.
+
+The sensitivity cache (:mod:`repro.engine.cache`) is keyed on *what a value
+depends on*, not on object identity: ``S(f, P)`` is a function of the policy
+graph's structure, the constraint set and the query family's parameters.
+Fingerprints make that dependency explicit — two `Policy` objects built
+independently over equal domains hash to the same key, so a cache warmed by
+one request serves every later request against an equivalent policy.
+
+Graph- and domain-level digests live on the objects themselves
+(:meth:`repro.core.graphs.DiscriminativeGraph.fingerprint`,
+:meth:`repro.core.domain.Domain.fingerprint`); this module composes them
+into policy fingerprints and derives the per-query cache key components.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..core.policy import Policy
+from ..core.queries import (
+    CountQuery,
+    CumulativeHistogramQuery,
+    HistogramQuery,
+    KMeansSumQuery,
+    LinearQuery,
+    Query,
+    RangeQuery,
+)
+
+__all__ = ["policy_fingerprint", "query_cache_key", "mask_digest"]
+
+
+def mask_digest(mask: np.ndarray) -> str:
+    """Stable digest of a boolean support mask."""
+    return hashlib.sha256(np.asarray(mask, dtype=bool).tobytes()).hexdigest()[:16]
+
+
+def policy_fingerprint(policy: Policy) -> str:
+    """Stable digest of ``P = (T, G, I_Q)``.
+
+    Combines the graph fingerprint (which already covers the domain) with
+    the constraint queries' masks and published answers.  Policies with
+    equal fingerprints induce the same neighbor relation ``N(P)`` and hence
+    the same ``S(f, P)`` for every query ``f``.
+    """
+    h = hashlib.sha256()
+    h.update(policy.graph.fingerprint().encode("ascii"))
+    if policy.constraints is not None:
+        for c in policy.constraints:
+            h.update(b"\x00")
+            h.update(mask_digest(c.query.mask).encode("ascii"))
+            h.update(str(c.value).encode("ascii"))
+    return h.hexdigest()[:16]
+
+
+def query_cache_key(query: Query) -> tuple:
+    """The family-specific part of a sensitivity cache key.
+
+    Captures exactly the query parameters the analytic calculators of
+    :mod:`repro.core.sensitivity` read: the partition for histograms, the
+    endpoints for ranges, the support mask for counts, and the largest
+    absolute weight for linear queries (their sensitivity depends on
+    nothing else).
+    """
+    if isinstance(query, HistogramQuery):
+        part = None if query.partition is None else query.partition.fingerprint()
+        return ("histogram", part)
+    if isinstance(query, CumulativeHistogramQuery):
+        return ("cumulative",)
+    if isinstance(query, RangeQuery):
+        return ("range", query.lo, query.hi)
+    if isinstance(query, KMeansSumQuery):
+        return ("ksum",)
+    if isinstance(query, LinearQuery):
+        w = np.abs(np.asarray(query.weights, dtype=np.float64))
+        return ("linear", float(w.max()) if w.size else 0.0)
+    if isinstance(query, CountQuery):
+        return ("count", mask_digest(query.mask))
+    raise TypeError(f"no cache key rule for {type(query).__name__}")

@@ -1,0 +1,177 @@
+"""Mechanism registry: query family × policy graph type → mechanism.
+
+The paper's Section 7 message is that the *strategy* should follow the
+policy: line graphs earn the ordered mechanism's O(1/eps^2) range error,
+distance-threshold graphs the ordered-hierarchical hybrid, and the complete
+graph falls back to the differential-privacy baseline (the Hay hierarchical
+tree for ranges, plain Laplace for histograms).  The registry encodes that
+dispatch table and keeps it extensible: callers can prepend rules for new
+graph families or swap a family's default strategy without touching the
+engine.
+
+A rule matches when its query family equals the requested one, its graph
+types (if any) cover the policy graph, and its predicate (if any) accepts
+the policy.  Rules are checked most-specific-first in registration order;
+``register(..., front=True)`` lets callers override the defaults.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..core.policy import Policy
+from ..core.graphs import (
+    DistanceThresholdGraph,
+    EdgelessGraph,
+    LineGraph,
+)
+from ..mechanisms.base import Mechanism
+from ..mechanisms.constrained_histogram import ConstrainedHistogramMechanism
+from ..mechanisms.hierarchical import HierarchicalMechanism
+from ..mechanisms.laplace import LaplaceMechanism
+from ..mechanisms.ordered import OrderedMechanism
+from ..mechanisms.ordered_hierarchical import OrderedHierarchicalMechanism
+from ..core.queries import HistogramQuery
+
+__all__ = ["MechanismRegistry", "default_registry", "FAMILIES"]
+
+#: Released-synopsis families the registry dispatches.  "range" serves range
+#: and cumulative-histogram queries; "histogram" serves complete histograms
+#: and (by post-processing) arbitrary count queries.  Linear-query batches
+#: carry their weight matrix, so they are released per batch by
+#: :meth:`repro.engine.PolicyEngine.answer_linear` rather than through a
+#: registry rule.
+FAMILIES = ("range", "histogram")
+
+
+@dataclass(frozen=True)
+class _Rule:
+    family: str
+    graph_types: tuple[type, ...] | None
+    when: Callable[[Policy], bool] | None
+    factory: Callable[..., Mechanism]
+    name: str
+
+    def matches(self, family: str, policy: Policy) -> bool:
+        if family != self.family:
+            return False
+        if self.graph_types is not None and not isinstance(
+            policy.graph, self.graph_types
+        ):
+            return False
+        return self.when is None or self.when(policy)
+
+
+class MechanismRegistry:
+    """An ordered rule table mapping (family, policy) to a mechanism factory.
+
+    Factories receive ``(policy, epsilon, **options)`` and must tolerate
+    options meant for sibling strategies (every built-in factory swallows
+    unknown keywords), so one options dict can configure a whole family
+    regardless of which graph type each policy ends up with.
+    """
+
+    def __init__(self):
+        self._rules: list[_Rule] = []
+
+    def register(
+        self,
+        family: str,
+        graph_types: type | tuple[type, ...] | None,
+        factory: Callable[..., Mechanism],
+        *,
+        when: Callable[[Policy], bool] | None = None,
+        name: str | None = None,
+        front: bool = False,
+    ) -> None:
+        """Add a dispatch rule; ``front=True`` gives it priority."""
+        if isinstance(graph_types, type):
+            graph_types = (graph_types,)
+        rule = _Rule(
+            family=family,
+            graph_types=graph_types,
+            when=when,
+            factory=factory,
+            name=name or getattr(factory, "__name__", repr(factory)),
+        )
+        if front:
+            self._rules.insert(0, rule)
+        else:
+            self._rules.append(rule)
+
+    def resolve(self, family: str, policy: Policy, epsilon: float, **options) -> Mechanism:
+        """Instantiate the first matching rule's mechanism."""
+        rule = self._find(family, policy)
+        return rule.factory(policy, epsilon, **options)
+
+    def rule_name(self, family: str, policy: Policy) -> str:
+        """Which strategy would serve (family, policy) — for introspection."""
+        return self._find(family, policy).name
+
+    def _find(self, family: str, policy: Policy) -> _Rule:
+        for rule in self._rules:
+            if rule.matches(family, policy):
+                return rule
+        raise LookupError(
+            f"no mechanism registered for family {family!r} and "
+            f"{type(policy.graph).__name__}"
+        )
+
+    def families(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(r.family for r in self._rules))
+
+    def __repr__(self) -> str:
+        return f"MechanismRegistry({len(self._rules)} rules)"
+
+
+# -- built-in factories ---------------------------------------------------------
+
+
+def ordered(policy, epsilon, *, consistent=True, **_):
+    return OrderedMechanism(policy, epsilon, consistent=consistent)
+
+
+def ordered_hierarchical(
+    policy, epsilon, *, fanout=16, budget_split="optimal", consistent=True, **_
+):
+    return OrderedHierarchicalMechanism(
+        policy, epsilon, fanout=fanout, budget_split=budget_split, consistent=consistent
+    )
+
+
+def hierarchical(policy, epsilon, *, fanout=16, consistent=True, budget="uniform", **_):
+    return HierarchicalMechanism(
+        policy, epsilon, fanout=fanout, consistent=consistent, budget=budget
+    )
+
+
+def laplace_histogram(policy, epsilon, *, sensitivity=None, **_):
+    query = HistogramQuery(policy.domain)
+    return LaplaceMechanism(policy, epsilon, query, sensitivity=sensitivity)
+
+
+def constrained_histogram(policy, epsilon, *, sensitivity=None, **_):
+    return ConstrainedHistogramMechanism(policy, epsilon, sensitivity=sensitivity)
+
+
+def default_registry() -> MechanismRegistry:
+    """The paper's dispatch table (fresh instance, safe to extend)."""
+    reg = MechanismRegistry()
+    # range family: strategy follows the secret graph.  LineGraph must come
+    # before its base class DistanceThresholdGraph.
+    reg.register("range", (LineGraph, EdgelessGraph), ordered, name="ordered")
+    reg.register(
+        "range", DistanceThresholdGraph, ordered_hierarchical, name="ordered-hierarchical"
+    )
+    reg.register("range", None, hierarchical, name="hierarchical")
+    # histogram family: Laplace under I_n, graph-aware calibration under Q
+    reg.register(
+        "histogram",
+        None,
+        laplace_histogram,
+        when=lambda p: p.unconstrained,
+        name="laplace-histogram",
+    )
+    reg.register("histogram", None, constrained_histogram, name="constrained-histogram")
+    return reg

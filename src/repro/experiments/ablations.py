@@ -15,8 +15,8 @@ from ..analysis.error import random_range_queries, true_range_answers
 from ..core.database import Database
 from ..core.policy import Policy
 from ..core.rng import ensure_rng, spawn
+from ..engine import PolicyEngine
 from ..mechanisms.kmeans import PrivateKMeans, _init_centroids, lloyd_kmeans
-from ..mechanisms.ordered_hierarchical import OrderedHierarchicalMechanism
 from .config import ExperimentScale, default_scale
 from .results import ResultTable
 
@@ -41,12 +41,20 @@ def _oh_mse(
     los, his = random_range_queries(db.domain.size, scale.n_range_queries, rng)
     truth = true_range_answers(db.cumulative_histogram(), los, his)
     policy = Policy.distance_threshold(db.domain, theta)
-    mech = OrderedHierarchicalMechanism(
-        policy, epsilon, fanout=fanout, budget_split=budget_split, consistent=consistent
+    engine = PolicyEngine(
+        policy,
+        epsilon,
+        options={
+            "range": {
+                "fanout": fanout,
+                "budget_split": budget_split,
+                "consistent": consistent,
+            }
+        },
     )
     errs = []
     for trial_rng in spawn(rng, scale.trials):
-        rel = mech.release(db, rng=trial_rng)
+        rel = engine.release(db, "range", rng=trial_rng)
         errs.append(float(np.mean((rel.ranges(los, his) - truth) ** 2)))
     return np.asarray(errs)
 

@@ -17,8 +17,7 @@ from ..core.database import Database
 from ..core.policy import Policy
 from ..core.rng import ensure_rng, spawn
 from ..datasets import adult_capital_loss_dataset, twitter_latitude_dataset
-from ..mechanisms.hierarchical import HierarchicalMechanism
-from ..mechanisms.ordered_hierarchical import OrderedHierarchicalMechanism
+from ..engine import PolicyEngine
 from .config import ExperimentScale, default_scale
 from .results import ResultTable
 
@@ -35,13 +34,18 @@ ADULT_THETAS = (None, 1000, 500, 100, 50, 10, 1)
 TWITTER_LATITUDE_THETAS_KM = (None, 500.0, 50.0, 5.0)
 
 
-def _mechanism(db: Database, theta, epsilon: float, fanout: int, consistent: bool):
+def _engine(db: Database, theta, epsilon: float, fanout: int, consistent: bool):
+    """Engine per (theta, epsilon): the registry picks the hierarchical
+    baseline for the full domain and the OH hybrid for distance thresholds,
+    exactly the paper's Figure 2 pairing."""
     if theta is None:
         policy = Policy.differential_privacy(db.domain)
-        return HierarchicalMechanism(policy, epsilon, fanout=fanout, consistent=consistent)
-    policy = Policy.distance_threshold(db.domain, theta)
-    return OrderedHierarchicalMechanism(
-        policy, epsilon, fanout=fanout, consistent=consistent
+    else:
+        policy = Policy.distance_threshold(db.domain, theta)
+    return PolicyEngine(
+        policy,
+        epsilon,
+        options={"range": {"fanout": fanout, "consistent": consistent}},
     )
 
 
@@ -62,10 +66,10 @@ def range_error_curves(
     for theta in thetas:
         label = "theta=full domain" if theta is None else f"theta={theta:g}{theta_unit}"
         for eps in scale.epsilons:
-            mech = _mechanism(db, theta, eps, fanout, consistent)
+            engine = _engine(db, theta, eps, fanout, consistent)
             errors = []
             for trial_rng in spawn(rng, scale.trials):
-                released = mech.release(db, rng=trial_rng)
+                released = engine.release(db, "range", rng=trial_rng)
                 answers = released.ranges(los, his)
                 errors.append(float(np.mean((answers - truth) ** 2)))
             errs = np.asarray(errors)

@@ -1,0 +1,228 @@
+"""Regression tests for the dense-graph guards on sensitivity fallbacks.
+
+Before these guards, ``count_query_sensitivity`` and
+``range_query_sensitivity`` fell through to ``for i, j in graph.edges()``
+with no domain-size check, so an :class:`AttributeGraph` over a large
+cross-product domain (or a dense :class:`DistanceThresholdGraph`) hung or
+blew up.  The fixes: analytic branches for every implicit family via
+``DiscriminativeGraph.crosses_mask`` plus the same ``MAX_ENUMERABLE``
+conservative-bound pattern ``histogram_sensitivity`` already used.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import Domain, Policy
+from repro.core.domain import Attribute
+from repro.core.graphs import (
+    EDGE_SCAN_LIMIT,
+    DiscriminativeGraph,
+    DistanceThresholdGraph,
+    ExplicitGraph,
+    LineGraph,
+)
+from repro.core.queries import CountQuery, Partition
+from repro.core.sensitivity import (
+    count_query_sensitivity,
+    range_query_sensitivity,
+)
+
+
+class _OpaqueGraph(ExplicitGraph):
+    """An explicit graph pretending to have no analytic rules — exercises
+    the generic (guarded) fallback paths."""
+
+    def crosses_mask(self, mask):
+        return DiscriminativeGraph.crosses_mask(self, mask)
+
+    def edges_upper_bound(self):
+        return DiscriminativeGraph.edges_upper_bound(self)
+
+
+def _big_grid_domain() -> Domain:
+    # 2 attributes, size 2100^2 = 4,410,000 > MAX_ENUMERABLE (2^22)
+    d = Domain.grid([2100, 2100])
+    assert d.size > Domain.MAX_ENUMERABLE
+    return d
+
+
+class TestCountQueryGuards:
+    def test_attribute_graph_large_domain_returns_fast(self):
+        d = _big_grid_domain()
+        p = Policy.attribute(d)
+        mask = np.zeros(d.size, dtype=bool)
+        mask[: d.size // 3] = True
+        q = CountQuery.from_mask(d, mask)
+        t0 = time.perf_counter()
+        s = count_query_sensitivity(p, q)
+        assert time.perf_counter() - t0 < 1.0
+        # G^attr is connected: any non-constant mask is crossed
+        assert s == 1.0
+
+    def test_attribute_graph_constant_masks_are_free(self):
+        d = _big_grid_domain()
+        p = Policy.attribute(d)
+        assert count_query_sensitivity(p, CountQuery.from_mask(d, np.zeros(d.size, bool))) == 0.0
+        assert count_query_sensitivity(p, CountQuery.from_mask(d, np.ones(d.size, bool))) == 0.0
+
+    def test_attribute_graph_matches_edge_scan_on_small_domain(self, abc_domain):
+        p = Policy.attribute(abc_domain)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            mask = rng.random(abc_domain.size) < 0.5
+            q = CountQuery.from_mask(abc_domain, mask)
+            ref = 1.0 if any(
+                mask[i] != mask[j] for i, j in p.graph.edges()
+            ) else 0.0
+            assert count_query_sensitivity(p, q) == ref
+
+    def test_dense_distance_threshold_is_conservative_not_hanging(self):
+        d = _big_grid_domain()
+        p = Policy.distance_threshold(d, 2.0)
+        mask = np.zeros(d.size, dtype=bool)
+        mask[::7] = True
+        q = CountQuery.from_mask(d, mask)
+        t0 = time.perf_counter()
+        s = count_query_sensitivity(p, q)
+        assert time.perf_counter() - t0 < 1.0
+        assert s == 1.0  # conservative upper bound: counts move by <= 1
+
+    def test_ordered_distance_threshold_is_exact(self):
+        # values 0,1,100,101: theta=1 links only within the two clusters
+        d = Domain.ordered("v", [0.0, 1.0, 100.0, 101.0])
+        p = Policy.distance_threshold(d, 1.0)
+        crossed = CountQuery.from_mask(d, np.array([True, False, False, False]))
+        aligned = CountQuery.from_mask(d, np.array([True, True, False, False]))
+        assert count_query_sensitivity(p, crossed) == 1.0
+        assert count_query_sensitivity(p, aligned) == 0.0
+
+    def test_opaque_graph_above_limit_falls_back_to_conservative(self, monkeypatch):
+        d = Domain.integers("v", 64)
+        g = _OpaqueGraph(d, [(0, 1)])
+        p = Policy(d, g)
+        mask = np.zeros(d.size, bool)
+        mask[0] = True
+        q = CountQuery.from_mask(d, mask)
+        assert count_query_sensitivity(p, q) == 1.0  # exact: edge (0,1) crossed
+        # shrink the scan limit so the guard trips -> conservative bound
+        monkeypatch.setattr("repro.core.graphs.EDGE_SCAN_LIMIT", 10)
+        q2 = CountQuery.from_mask(d, np.roll(mask, 10))  # no edge crossed
+        assert count_query_sensitivity(p, q2) == 1.0
+
+
+class TestRangeQueryGuards:
+    def test_partition_graph_vectorized(self, small_ordered_domain):
+        part = Partition.from_blocks(
+            small_ordered_domain, [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+        )
+        p = Policy.partitioned(part)
+        assert range_query_sensitivity(p, 0, 4) == 0.0
+        assert range_query_sensitivity(p, 0, 3) == 1.0
+        assert range_query_sensitivity(p, 2, 7) == 1.0
+
+    def test_distance_threshold_boundary_exactness(self):
+        d = Domain.ordered("v", [0.0, 1.0, 100.0, 101.0])
+        p = Policy.distance_threshold(d, 1.0)
+        # boundary between index 1 and 2 spans a 99-unit gap: no edge crosses
+        assert range_query_sensitivity(p, 0, 1) == 0.0
+        assert range_query_sensitivity(p, 2, 3) == 0.0
+        # boundaries inside a cluster are crossed by the adjacent edge
+        assert range_query_sensitivity(p, 0, 0) == 1.0
+        assert range_query_sensitivity(p, 0, 2) == 1.0
+
+    def test_line_graph_proper_ranges(self, small_ordered_domain):
+        p = Policy.line(small_ordered_domain)
+        assert range_query_sensitivity(p, 3, 6) == 1.0
+        assert range_query_sensitivity(p, 0, 9) == 0.0
+
+    def test_opaque_graph_above_limit_is_conservative(self, monkeypatch):
+        d = Domain.integers("v", 64)
+        g = _OpaqueGraph(d, [(0, 63)])
+        p = Policy(d, g)
+        assert range_query_sensitivity(p, 0, 10) == 1.0
+        assert range_query_sensitivity(p, 1, 62) == 0.0  # exact scan: no crossing
+        monkeypatch.setattr("repro.core.graphs.EDGE_SCAN_LIMIT", 10)
+        # guard trips -> conservative 1.0 even where the exact answer is 0
+        assert range_query_sensitivity(p, 1, 62) == 1.0
+
+
+class TestCrossesMask:
+    def test_matches_edge_scan_for_every_family(self, small_ordered_domain):
+        d = small_ordered_domain
+        part = Partition.from_blocks(d, [[0, 1, 2], [3, 4], [5, 6, 7, 8, 9]])
+        graphs = [
+            Policy.differential_privacy(d).graph,
+            Policy.line(d).graph,
+            Policy.distance_threshold(d, 3).graph,
+            Policy.partitioned(part).graph,
+            ExplicitGraph(d, [(0, 5), (2, 9)]),
+        ]
+        rng = np.random.default_rng(11)
+        for graph in graphs:
+            for _ in range(8):
+                mask = rng.random(d.size) < 0.4
+                ref = any(mask[i] != mask[j] for i, j in graph.edges())
+                assert graph.crosses_mask(mask) == ref, type(graph).__name__
+
+    def test_categorical_distance_threshold(self):
+        d = Domain.ordered("color", ["r", "g", "b"])
+        g = DistanceThresholdGraph(d, 1.0)
+        assert g.crosses_mask(np.array([True, False, False]))
+        g2 = DistanceThresholdGraph(d, 0.5)
+        assert not g2.crosses_mask(np.array([True, False, False]))
+
+    def test_shape_validation(self, small_ordered_domain):
+        g = LineGraph(small_ordered_domain)
+        with pytest.raises(ValueError):
+            g.crosses_mask(np.ones(3, dtype=bool))
+
+
+class TestMemoizedProperties:
+    def test_distance_threshold_gap_cached(self, small_ordered_domain):
+        g = Policy.distance_threshold(small_ordered_domain, 3).graph
+        assert g.max_edge_index_gap() == 3
+        assert g._memo["max_edge_index_gap"] == 3
+        assert g.max_edge_index_gap() == 3
+
+    def test_partition_gap_vectorized_matches_blocks(self, small_ordered_domain):
+        part = Partition.from_blocks(
+            small_ordered_domain, [[0, 9], [1, 2, 3], [4], [5, 6, 7, 8]]
+        )
+        g = Policy.partitioned(part).graph
+        assert g.max_edge_index_gap() == 9
+
+    def test_large_integer_values_do_not_collide(self):
+        # float64 coercion would make 2^54 and 2^54 - 1 indistinguishable
+        a = Attribute("v", (0, 2**54, 2**54 + 1))
+        b = Attribute("v", (0, 2**54 - 1, 2**54 + 1))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_mask_shape_errors_are_not_swallowed(self, small_ordered_domain):
+        # the conservative EdgeScanRefused fallback must not mask caller bugs
+        other = Domain.integers("w", 8)
+        q = CountQuery.from_mask(other, np.arange(8) < 4)
+        with pytest.raises(ValueError, match="mask shape"):
+            count_query_sensitivity(Policy.line(small_ordered_domain), q)
+
+    def test_fingerprints_distinguish_structure(self, small_ordered_domain):
+        d = small_ordered_domain
+        assert (
+            Policy.line(d).graph.fingerprint()
+            == Policy.line(Domain.integers("v", 10)).graph.fingerprint()
+        )
+        assert (
+            Policy.line(d).graph.fingerprint()
+            != Policy.differential_privacy(d).graph.fingerprint()
+        )
+        assert (
+            Policy.distance_threshold(d, 2).graph.fingerprint()
+            != Policy.distance_threshold(d, 3).graph.fingerprint()
+        )
+        assert (
+            ExplicitGraph(d, [(0, 1)]).fingerprint()
+            != ExplicitGraph(d, [(0, 2)]).fingerprint()
+        )

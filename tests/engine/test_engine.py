@@ -1,0 +1,326 @@
+"""PolicyEngine: cache identity, registry dispatch, vectorized batch answering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Database,
+    Domain,
+    Policy,
+    PolicyEngine,
+    CountQuery,
+    CumulativeHistogramQuery,
+    HistogramQuery,
+    KMeansSumQuery,
+    LinearQuery,
+    RangeQuery,
+)
+from repro.core.composition import PrivacyAccountant
+from repro.core.graphs import ExplicitGraph
+from repro.core.queries import Partition
+from repro.core.sensitivity import sensitivity as analytic_sensitivity
+from repro.engine import (
+    MechanismRegistry,
+    SensitivityCache,
+    default_registry,
+    policy_fingerprint,
+    query_cache_key,
+)
+from repro.mechanisms.hierarchical import HierarchicalMechanism
+from repro.mechanisms.ordered import OrderedMechanism
+from repro.mechanisms.ordered_hierarchical import OrderedHierarchicalMechanism
+
+
+@pytest.fixture
+def domain():
+    return Domain.integers("v", 40)
+
+
+@pytest.fixture
+def db(domain):
+    rng = np.random.default_rng(17)
+    return Database.from_indices(domain, rng.integers(0, domain.size, 800))
+
+
+def _all_policies(domain):
+    part = Partition.from_blocks(
+        domain, [list(range(0, 10)), list(range(10, 25)), list(range(25, 40))]
+    )
+    return {
+        "full": Policy.differential_privacy(domain),
+        "attribute": Policy.attribute(domain),
+        "line": Policy.line(domain),
+        "threshold": Policy.distance_threshold(domain, 4),
+        "partition": Policy.partitioned(part),
+        "explicit": Policy(domain, ExplicitGraph(domain, [(0, 3), (5, 39)])),
+    }
+
+
+def _queries_for(policy):
+    domain = policy.domain
+    qs = [
+        HistogramQuery(domain),
+        CumulativeHistogramQuery(domain),
+        RangeQuery(domain, 3, 17),
+        RangeQuery(domain, 0, domain.size - 1),
+        CountQuery.from_mask(domain, np.arange(domain.size) % 3 == 0),
+        LinearQuery(domain, np.linspace(-1, 2, 5)),
+        KMeansSumQuery(domain, lambda pts: np.zeros(len(pts), dtype=np.int64), 2),
+    ]
+    part = Partition.from_blocks(
+        domain, [list(range(0, 20)), list(range(20, domain.size))]
+    )
+    qs.append(HistogramQuery(domain, part))
+    return qs
+
+
+class TestSensitivityCache:
+    def test_cached_equals_uncached_for_every_graph_family(self, domain):
+        for name, policy in _all_policies(domain).items():
+            engine = PolicyEngine(policy, 0.5, cache=SensitivityCache())
+            for query in _queries_for(policy):
+                expected = analytic_sensitivity(query, policy)
+                assert engine.sensitivity(query) == expected, (name, query)
+                # second read must hit the cache and return the same value
+                before = engine.cache_info()["hits"]
+                assert engine.sensitivity(query) == expected
+                assert engine.cache_info()["hits"] == before + 1
+
+    def test_structurally_equal_policies_share_entries(self, domain):
+        cache = SensitivityCache()
+        e1 = PolicyEngine(Policy.distance_threshold(domain, 4), 0.5, cache=cache)
+        e2 = PolicyEngine(
+            Policy.distance_threshold(Domain.integers("v", 40), 4), 0.9, cache=cache
+        )
+        q = RangeQuery(domain, 3, 17)
+        e1.sensitivity(q)
+        misses = cache.info()["misses"]
+        e2.sensitivity(q)
+        assert cache.info()["misses"] == misses  # pure hit
+
+    def test_different_policies_do_not_collide(self, domain):
+        cache = SensitivityCache()
+        q = CountQuery.from_mask(domain, np.arange(domain.size) < 20)
+        line = PolicyEngine(Policy.line(domain), 0.5, cache=cache)
+        part = PolicyEngine(
+            Policy.partitioned(
+                Partition.from_blocks(domain, [list(range(0, 20)), list(range(20, 40))])
+            ),
+            0.5,
+            cache=cache,
+        )
+        assert line.sensitivity(q) == 1.0
+        assert part.sensitivity(q) == 0.0  # blocks aligned with the mask
+
+    def test_constrained_policy_histogram_routes_to_constrained_calculator(self, domain, db):
+        from repro.constraints.applications import constrained_histogram_sensitivity
+        from repro.core.queries import ConstraintSet
+
+        queries = [CountQuery.from_mask(domain, np.arange(domain.size) < 20)]
+        policy = Policy.line(domain).with_constraints(
+            ConstraintSet.from_database(queries, db)
+        )
+        engine = PolicyEngine(policy, 0.5, cache=SensitivityCache())
+        assert engine.sensitivity(HistogramQuery(domain)) == pytest.approx(
+            constrained_histogram_sensitivity(policy)
+        )
+        with pytest.raises(ValueError):
+            engine.sensitivity(RangeQuery(domain, 0, 3))
+
+    def test_eviction_keeps_cache_bounded(self, domain):
+        cache = SensitivityCache(maxsize=4)
+        engine = PolicyEngine(Policy.line(domain), 0.5, cache=cache)
+        for lo in range(10):
+            engine.sensitivity(RangeQuery(domain, lo, 20))
+        assert len(cache) <= 4
+
+
+class TestFingerprints:
+    def test_policy_fingerprint_stability(self, domain):
+        assert policy_fingerprint(Policy.line(domain)) == policy_fingerprint(
+            Policy.line(Domain.integers("v", 40))
+        )
+        assert policy_fingerprint(Policy.line(domain)) != policy_fingerprint(
+            Policy.differential_privacy(domain)
+        )
+
+    def test_constraints_change_the_fingerprint(self, domain, db):
+        from repro.core.queries import ConstraintSet
+
+        queries = [CountQuery.from_mask(domain, np.arange(domain.size) < 7)]
+        p = Policy.line(domain)
+        pc = p.with_constraints(ConstraintSet.from_database(queries, db))
+        assert policy_fingerprint(p) != policy_fingerprint(pc)
+
+    def test_query_keys_capture_parameters(self, domain):
+        assert query_cache_key(RangeQuery(domain, 1, 5)) != query_cache_key(
+            RangeQuery(domain, 1, 6)
+        )
+        m1 = CountQuery.from_mask(domain, np.arange(domain.size) < 5)
+        m2 = CountQuery.from_mask(domain, np.arange(domain.size) < 6)
+        assert query_cache_key(m1) != query_cache_key(m2)
+        assert query_cache_key(HistogramQuery(domain)) == ("histogram", None)
+
+
+class TestRegistry:
+    def test_default_dispatch_follows_the_paper(self, domain):
+        cases = [
+            (Policy.line(domain), OrderedMechanism),
+            (Policy.distance_threshold(domain, 4), OrderedHierarchicalMechanism),
+            (Policy.differential_privacy(domain), HierarchicalMechanism),
+            (Policy.attribute(domain), HierarchicalMechanism),
+        ]
+        for policy, mech_type in cases:
+            engine = PolicyEngine(policy, 0.5)
+            assert isinstance(engine.mechanism("range"), mech_type), policy
+
+    def test_options_reach_the_factory(self, domain):
+        engine = PolicyEngine(
+            Policy.distance_threshold(domain, 4),
+            0.5,
+            options={"range": {"fanout": 4, "consistent": False, "budget_split": "uniform"}},
+        )
+        mech = engine.mechanism("range")
+        assert mech.fanout == 4 and mech.consistent is False
+        assert mech.eps_s == pytest.approx(mech.eps_h)
+
+    def test_irrelevant_options_are_tolerated(self, domain):
+        # one options dict can serve every graph family in a sweep
+        engine = PolicyEngine(
+            Policy.line(domain), 0.5, options={"range": {"fanout": 4, "budget_split": "uniform"}}
+        )
+        assert isinstance(engine.mechanism("range"), OrderedMechanism)
+
+    def test_custom_rule_takes_priority(self, domain):
+        reg = default_registry()
+        reg.register(
+            "range",
+            None,
+            lambda policy, epsilon, **_: OrderedMechanism(policy, epsilon),
+            name="custom-ordered",
+            front=True,
+        )
+        engine = PolicyEngine(Policy.distance_threshold(domain, 4), 0.5, registry=reg)
+        assert engine.strategy("range") == "custom-ordered"
+        assert isinstance(engine.mechanism("range"), OrderedMechanism)
+
+    def test_unknown_family_raises(self, domain):
+        with pytest.raises(LookupError):
+            PolicyEngine(Policy.line(domain), 0.5).mechanism("nope")
+
+    def test_fresh_registries_are_independent(self):
+        r1, r2 = default_registry(), default_registry()
+        r1.register("range", None, lambda p, e, **_: None, name="x", front=True)
+        assert r2.rule_name("range", Policy.line(Domain.integers("v", 4))) != "x"
+
+
+class TestBatchAnswering:
+    def test_range_batch_bitwise_identical_to_scalar_calls(self, domain, db):
+        engine = PolicyEngine(
+            Policy.distance_threshold(domain, 4), 0.5, options={"range": {"consistent": False}}
+        )
+        released = engine.release(db, "range", rng=np.random.default_rng(5))
+        rng = np.random.default_rng(1)
+        los = rng.integers(0, domain.size, 200)
+        his = rng.integers(0, domain.size, 200)
+        los, his = np.minimum(los, his), np.maximum(los, his)
+        queries = [RangeQuery(domain, int(a), int(b)) for a, b in zip(los, his)]
+        batch = engine.answer(queries, releases={"range": released})
+        scalar = np.array([released.range(int(a), int(b)) for a, b in zip(los, his)])
+        assert np.array_equal(batch, scalar)
+
+    def test_same_rng_stream_reproduces_the_mechanism(self, domain, db):
+        # engine.answer and a hand-built mechanism consume identical noise
+        engine = PolicyEngine(
+            Policy.distance_threshold(domain, 4), 0.5, options={"range": {"consistent": False}}
+        )
+        queries = [RangeQuery(domain, 2, 9), RangeQuery(domain, 0, 30)]
+        got = engine.answer(queries, db, rng=np.random.default_rng(123))
+        mech = OrderedHierarchicalMechanism(
+            Policy.distance_threshold(domain, 4), 0.5, consistent=False
+        )
+        rel = mech.release(db, rng=np.random.default_rng(123))
+        assert np.array_equal(got, [rel.range(2, 9), rel.range(0, 30)])
+
+    def test_count_batch_matches_matrix_product(self, domain, db):
+        engine = PolicyEngine(Policy.differential_privacy(domain), 0.5)
+        released = engine.release(db, "histogram", rng=np.random.default_rng(2))
+        masks = np.stack([np.arange(domain.size) % k == 0 for k in (2, 3, 5)])
+        queries = [CountQuery.from_mask(domain, m) for m in masks]
+        got = engine.answer(queries, releases={"histogram": released})
+        assert np.array_equal(got, masks.astype(float) @ released.cells)
+
+    def test_mixed_batch_preserves_input_order(self, domain, db):
+        engine = PolicyEngine(Policy.distance_threshold(domain, 4), 0.5)
+        queries = [
+            CountQuery.from_mask(domain, np.arange(domain.size) < 13),
+            RangeQuery(domain, 5, 20),
+            LinearQuery(domain, np.full(db.n, 0.5)),
+            RangeQuery(domain, 0, 4),
+            CountQuery.from_mask(domain, np.arange(domain.size) >= 35),
+        ]
+        out = engine.answer(queries, db, rng=0)
+        assert out.shape == (5,)
+        assert np.isfinite(out).all()
+        # three families -> three releases at epsilon each
+        assert engine.spent_epsilon == pytest.approx(1.5)
+
+    def test_accountant_receives_every_spend(self, domain, db):
+        policy = Policy.distance_threshold(domain, 4)
+        acct = PrivacyAccountant(policy, budget=2.0)
+        engine = PolicyEngine(policy, 0.5, accountant=acct)
+        engine.answer([RangeQuery(domain, 1, 7)], db, rng=0)
+        engine.answer([CountQuery.from_mask(domain, np.arange(domain.size) < 5)], db, rng=0)
+        assert acct.sequential_total() == pytest.approx(1.0)
+        assert [label for label, _ in acct.spends] == ["range", "histogram"]
+
+    def test_budget_refusal_happens_before_any_release(self, domain, db):
+        policy = Policy.line(domain)
+        acct = PrivacyAccountant(policy, budget=0.7)
+        engine = PolicyEngine(policy, 0.5, accountant=acct)
+        engine.release(db, "range", rng=0)
+        with pytest.raises(RuntimeError, match="budget exhausted"):
+            engine.release(db, "range", rng=1)
+        # neither ledger moved on the refused spend
+        assert acct.sequential_total() == pytest.approx(0.5)
+        assert engine.spent_epsilon == pytest.approx(0.5)
+
+    def test_answers_from_releases_are_free(self, domain, db):
+        engine = PolicyEngine(Policy.distance_threshold(domain, 4), 0.5)
+        released = engine.release(db, "range", rng=0)
+        spent = engine.spent_epsilon
+        engine.answer([RangeQuery(domain, 1, 7)], releases={"range": released})
+        assert engine.spent_epsilon == spent
+
+    def test_linear_batch_single_release(self, domain, db):
+        engine = PolicyEngine(Policy.line(domain), 0.5)
+        W = np.vstack([np.ones(db.n), np.linspace(0, 1, db.n)])
+        out = engine.answer_linear(W, db, rng=np.random.default_rng(3))
+        assert out.shape == (2,)
+        assert engine.spent_epsilon == pytest.approx(0.5)
+        truth = W @ db.points()[:, 0]
+        # line graph: sensitivity max_t sum_i |W[i,t]| * max_edge_l1 = 2
+        assert np.abs(out - truth).max() < 200 / 0.5
+
+    def test_vector_valued_queries_are_rejected(self, domain, db):
+        engine = PolicyEngine(Policy.line(domain), 0.5)
+        with pytest.raises(TypeError):
+            engine.answer([HistogramQuery(domain)], db, rng=0)
+
+    def test_missing_db_raises(self, domain):
+        engine = PolicyEngine(Policy.line(domain), 0.5)
+        with pytest.raises(ValueError):
+            engine.answer([RangeQuery(domain, 1, 2)])
+
+    def test_histogram_release_under_partitioned_secrets_is_exact(self, domain, db):
+        part = Partition.from_blocks(domain, [list(range(domain.size))])
+        engine = PolicyEngine(Policy.partitioned(part), 0.5)
+        released = engine.release(db, "histogram", rng=0)
+        # one-block partition graph: complete-histogram sensitivity is 2 —
+        # but an edgeless check: partition of the whole domain is a clique,
+        # so noise is real; just verify totals are sane post-processing
+        assert released.counts(np.ones(domain.size, bool)) == pytest.approx(
+            released.total()
+        )
