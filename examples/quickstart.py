@@ -2,18 +2,22 @@
 
 Walks through the core loop of the library: build a domain and a database,
 pick a policy (differential privacy is just the complete-graph policy),
-calibrate the Laplace mechanism to the policy-specific sensitivity, and
-watch the noise shrink as the policy weakens — then see what a policy
-*costs* via the graph-distance guarantee of Eqn (9).
+see how the policy changes the noise a query needs — then drive the whole
+thing the way a deployment does, through the declarative spec API
+(:mod:`repro.api`): the policy becomes a JSON document, queries become JSON
+documents, and `BlowfishService.handle` answers them with budget accounting
+and release reuse.
 
 Run:  python examples/quickstart.py
 """
 
+import json
+
 import numpy as np
 
-from repro import Database, Domain, HistogramQuery, Policy
+from repro import CountQuery, Database, Domain, Policy, PolicyEngine, RangeQuery
+from repro.api import BlowfishService
 from repro.core.sensitivity import cumulative_histogram_sensitivity
-from repro.mechanisms import LaplaceMechanism, OrderedMechanism
 
 
 def main() -> None:
@@ -40,27 +44,67 @@ def main() -> None:
         print(f"  {label:42s} S(S_T, P) = {sens:6.0f}  -> Lap({sens / epsilon:.0f})")
     print()
 
-    # -- the histogram itself doesn't care (Section 5) ... ----------------------
-    hist_mech = LaplaceMechanism(
-        policies["line graph (adjacent buckets)"], epsilon, HistogramQuery(domain)
-    )
+    # -- a policy is a JSON document (the spec API) -------------------------------
+    line = policies["line graph (adjacent buckets)"]
+    spec_json = json.dumps(line.to_spec())
+    print("a policy serializes to a spec any client can submit:")
+    print(f"  {spec_json[:96]}...")
+    print(f"  ({len(spec_json)} bytes; Policy.from_spec(json.loads(...)) rebuilds it)\n")
+
+    # -- the serving facade: pure-JSON requests in, answers + metadata out --------
+    service = BlowfishService()
+    service.register_dataset("payroll", db)
+
+    request = {
+        "policy": json.loads(spec_json),
+        "epsilon": epsilon,
+        "dataset": {"name": "payroll"},
+        "queries": [
+            {"kind": "range", "lo": 40, "hi": 60},
+            {"kind": "range", "lo": 0, "hi": 49},
+            {"kind": "count", "support": list(range(90, 100)), "name": "top decile"},
+        ],
+        "session": "analyst-1",
+        "budget": 4 * epsilon,
+        "seed": 0,
+    }
+    response = service.handle(request)
+    meta = response["meta"]
+    print("BlowfishService.handle(request) ->")
+    true_answers = [
+        db.range_count(40, 60),
+        db.range_count(0, 49),
+        int(np.count_nonzero(db.indices >= 90)),
+    ]
+    for q, est, true in zip(request["queries"], response["answers"], true_answers):
+        print(f"  {q['kind']:6s} {str(q.get('lo', q.get('name'))):>10s} "
+              f"-> {est:9.1f}   (true {true})")
+    print(f"  strategy: {meta['strategies']['range']['strategy']} (follows the line graph)")
+    print(f"  spent {meta['epsilon_spent']} of budget {request['budget']}\n")
+
+    # -- repeats are free post-processing ------------------------------------------
+    again = service.handle(request)
     print(
-        "per-cell histogram noise is the same under every policy with an edge: "
-        f"Lap({hist_mech.scale:.0f})\n"
+        "the same request again costs nothing "
+        f"(epsilon_spent={again['meta']['epsilon_spent']}, "
+        f"release_cache={again['meta']['release_cache']}), and the answers are "
+        f"identical: {again['answers'] == response['answers']}\n"
     )
 
-    # -- ... but the ordered mechanism exploits the line graph (Section 7.1) ----
-    released = OrderedMechanism(Policy.line(domain), epsilon).release(db, rng=rng)
-    lo, hi = 40, 60
-    true = db.range_count(lo, hi)
-    est = released.range(lo, hi)
-    print(f"range query 'buckets {lo}-{hi}':")
-    print(f"  true count   = {true}")
-    print(f"  private est. = {est:.1f}   (error bound 4/eps^2 = {4 / epsilon**2:.0f})")
-    print(f"  median bucket estimate: {released.quantile(0.5)}\n")
+    # -- the facade is exactly the engine, as data ---------------------------------
+    direct = PolicyEngine(line, epsilon).answer(
+        [  # the same workload, as Python objects
+            RangeQuery(domain, 40, 60),
+            RangeQuery(domain, 0, 49),
+            CountQuery.from_mask(domain, np.arange(domain.size) >= 90, name="top decile"),
+        ],
+        db,
+        rng=np.random.default_rng(0),
+    )
+    print(f"direct PolicyEngine use with the same seed is bitwise identical: "
+          f"{np.array_equal(direct, np.array(response['answers']))}\n")
 
     # -- what the weaker policy costs: Eqn (9) -----------------------------------
-    line = Policy.line(domain)
     print("indistinguishability degrades with graph distance (Eqn 9):")
     for gap in (1, 10, 50):
         d = line.graph.graph_distance(0, gap)

@@ -42,8 +42,28 @@ extensible mechanism registry (line graph → ordered mechanism, distance
 threshold → OH hybrid, complete graph → DP baselines), and answers whole
 query batches in single vectorized passes with explicit budget accounting.
 
-See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
-the paper-vs-measured record of every figure.
+Declarative spec API — ``repro.api``
+------------------------------------
+
+Policies and queries are also first-class *data*: every domain, graph
+family, policy and query serializes to a plain JSON-ready dict
+(``to_spec()`` / ``from_spec()``), and :class:`BlowfishService` serves
+whole request dicts over a fingerprint-keyed :class:`EnginePool` with
+per-client :class:`Session` ledgers::
+
+    from repro.api import BlowfishService
+
+    service = BlowfishService()
+    service.register_dataset("payroll", db)
+    service.handle({
+        "policy": Policy.line(domain).to_spec(),
+        "epsilon": 0.5,
+        "dataset": {"name": "payroll"},
+        "queries": [{"kind": "range", "lo": 40, "hi": 60}],
+    })
+
+See ``README.md`` for install, the tier-1 verify command and the package
+map.
 """
 
 from .core import (
@@ -79,8 +99,16 @@ from .engine import (
     SensitivityCache,
     default_registry,
 )
+from .api import (
+    BlowfishService,
+    EnginePool,
+    Session,
+    SpecError,
+    from_spec,
+    to_spec,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Attribute",
@@ -109,6 +137,12 @@ __all__ = [
     "MechanismRegistry",
     "SensitivityCache",
     "default_registry",
+    "BlowfishService",
+    "EnginePool",
+    "Session",
+    "SpecError",
+    "to_spec",
+    "from_spec",
     "ensure_rng",
     "__version__",
 ]

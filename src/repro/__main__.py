@@ -1,16 +1,177 @@
-"""``python -m repro`` — regenerate every experiment and print the report.
+"""``python -m repro`` — experiments, spec-API answering, and a demo service.
 
-Equivalent to ``python -m repro.experiments.runner``; accepts an optional
-output directory (default ``experiment_results``) and honours
-``REPRO_FULL=1`` for paper-scale runs.
+Subcommands:
+
+``run [outdir]``
+    Regenerate every experiment and print the report (the historical
+    default; ``python -m repro [outdir]`` still works).  Honours
+    ``REPRO_FULL=1`` for paper-scale runs.
+
+``answer --request FILE``
+    Serve one JSON request (the :class:`repro.api.BlowfishService` shape)
+    and print the JSON response.  ``-`` reads the request from stdin.  The
+    request must carry an inline dataset (``{"dataset": {"indices": ...}}``)
+    since a one-shot CLI process has no registered datasets.
+
+``serve-demo``
+    Spin up an in-process :class:`BlowfishService` around a synthetic
+    dataset, print a worked set of requests/responses (policy spec, range
+    batch, repeat-for-free, budget refusal), then — with ``--stdin`` —
+    keep serving JSON-lines requests from stdin against the registered
+    ``"demo"`` dataset until EOF.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
 import sys
 
-from .experiments.runner import run_all
 
-if __name__ == "__main__":
-    target = sys.argv[1] if len(sys.argv) > 1 else "experiment_results"
-    for table in run_all(target):
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_all
+
+    for table in run_all(args.outdir):
         print(table.format_text())
         print()
+    return 0
+
+
+def _cmd_answer(args: argparse.Namespace) -> int:
+    from .api import BlowfishService
+
+    if args.request == "-":
+        raw = sys.stdin.read()
+    else:
+        with open(args.request, "r", encoding="utf-8") as fh:
+            raw = fh.read()
+    try:
+        request = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(json.dumps({"ok": False, "error": {"field": None, "message": str(exc)}}))
+        return 1
+    response = BlowfishService().handle(request)
+    print(json.dumps(response, indent=args.indent))
+    return 0 if response.get("ok") else 1
+
+
+def _demo_service(seed: int):
+    import numpy as np
+
+    from .api import BlowfishService
+    from .core.database import Database
+    from .core.domain import Domain
+
+    rng = np.random.default_rng(seed)
+    domain = Domain.integers("salary_bucket", 100)
+    db = Database.from_indices(
+        domain, np.clip(rng.normal(45, 18, size=5_000), 0, 99).astype(int)
+    )
+    service = BlowfishService()
+    service.register_dataset("demo", db)
+    return service, domain, db
+
+
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    from .core.policy import Policy
+
+    service, domain, db = _demo_service(args.seed)
+    print(f"demo dataset: {db.n} individuals over {domain.size} salary buckets\n")
+
+    policy_spec = Policy.line(domain).to_spec()
+    requests = [
+        (
+            "strategy lookup (no data touched, nothing spent)",
+            {"op": "describe", "policy": policy_spec, "epsilon": args.epsilon},
+        ),
+        (
+            "a range batch under the line-graph policy",
+            {
+                "policy": policy_spec,
+                "epsilon": args.epsilon,
+                "dataset": {"name": "demo"},
+                "queries": {"kind": "range_batch", "los": [40, 0, 70], "his": [60, 99, 99]},
+                "session": "demo-client",
+                "budget": 2 * args.epsilon,
+                "seed": args.seed,
+            },
+        ),
+        (
+            "the same batch again: answered from the cached release, spending 0",
+            {
+                "policy": policy_spec,
+                "epsilon": args.epsilon,
+                "dataset": {"name": "demo"},
+                "queries": {"kind": "range_batch", "los": [40, 0, 70], "his": [60, 99, 99]},
+                "session": "demo-client",
+                "seed": args.seed,
+            },
+        ),
+        (
+            "a malformed query: the error names the offending field",
+            {
+                "policy": policy_spec,
+                "epsilon": args.epsilon,
+                "dataset": {"name": "demo"},
+                "queries": [{"kind": "range", "lo": 40, "hi": 200}],
+            },
+        ),
+    ]
+    for label, request in requests:
+        print(f"--- {label}")
+        print(f">>> {json.dumps(request)[:120]}...")
+        print(json.dumps(service.handle(request), indent=2))
+        print()
+
+    if args.stdin:
+        print("--- serving JSON-lines requests from stdin (dataset 'demo'; EOF to stop)")
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                response = {"ok": False, "error": {"field": None, "message": str(exc)}}
+            else:
+                response = service.handle(request)
+            print(json.dumps(response), flush=True)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser("run", help="regenerate every experiment (default)")
+    run_p.add_argument("outdir", nargs="?", default="experiment_results")
+    run_p.set_defaults(func=_cmd_run)
+
+    ans_p = sub.add_parser("answer", help="serve one JSON request via BlowfishService")
+    ans_p.add_argument("--request", required=True, help="path to a request JSON file, or -")
+    ans_p.add_argument("--indent", type=int, default=2, help="response JSON indent")
+    ans_p.set_defaults(func=_cmd_answer)
+
+    demo_p = sub.add_parser("serve-demo", help="worked BlowfishService demo")
+    demo_p.add_argument("--epsilon", type=float, default=0.5)
+    demo_p.add_argument("--seed", type=int, default=0)
+    demo_p.add_argument(
+        "--stdin", action="store_true", help="then serve JSON-lines requests from stdin"
+    )
+    demo_p.set_defaults(func=_cmd_serve_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # historical form: `python -m repro [outdir]` means `run [outdir]`
+    if not argv or (argv[0] not in {"run", "answer", "serve-demo", "-h", "--help"}):
+        argv.insert(0, "run")
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Fingerprint-keyed, LRU-bounded sharing of :class:`PolicyEngine` s.
+
+A production deployment answers many tenants against a handful of distinct
+policies.  Engines are where the expensive state lives — memoized mechanism
+instances (tree structures, strategy matrices) and warm sensitivity-cache
+fingerprints — so the pool keys them by *what they depend on*
+(``policy_fingerprint``, ``epsilon``, canonical options) rather than object
+identity: two tenants who configure structurally equal policies share one
+engine.  Per-tenant state (budget ledgers, release reuse) deliberately does
+NOT live here — that is :class:`repro.api.Session`; pooled engines are
+created without an accountant and charge the session ledger passed per call.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+
+from ..core.policy import Policy
+from ..engine.cache import SensitivityCache
+from ..engine.engine import PolicyEngine
+from ..engine.fingerprint import policy_fingerprint
+from ..engine.registry import MechanismRegistry
+
+__all__ = ["EnginePool"]
+
+
+def _options_key(options: dict | None) -> tuple:
+    """Canonical hashable form of a per-family options dict."""
+    if not options:
+        return ()
+    out = []
+    for family in sorted(options):
+        opts = options[family]
+        if not isinstance(opts, dict):
+            raise TypeError(f"options[{family!r}] must be a dict, got {type(opts).__name__}")
+        out.append((family, tuple(sorted(opts.items()))))
+    return tuple(out)
+
+
+class EnginePool:
+    """An LRU map from ``(policy fingerprint, epsilon, options)`` to engines.
+
+    Parameters
+    ----------
+    maxsize:
+        Engine count bound; the least recently used engine is dropped when a
+        new one would exceed it.  Dropped engines lose their memoized
+        mechanisms but not their sensitivities (those live in the shared
+        :class:`SensitivityCache`, keyed by the same fingerprints).
+    registry, cache:
+        Passed through to every engine the pool constructs, so one
+        deployment can swap the dispatch table or isolate its cache.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 64,
+        *,
+        registry: MechanismRegistry | None = None,
+        cache: SensitivityCache | None = None,
+    ):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._registry = registry
+        self._cache = cache
+        self._engines: OrderedDict[tuple, PolicyEngine] = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def key(self, policy: Policy, epsilon: float, options: dict | None = None) -> tuple:
+        """The pool key an engine for these parameters lives under."""
+        return (policy_fingerprint(policy), float(epsilon), _options_key(options))
+
+    def get(
+        self, policy: Policy, epsilon: float, *, options: dict | None = None
+    ) -> PolicyEngine:
+        """A shared engine for ``(policy, epsilon, options)``, building on miss.
+
+        The returned engine has no accountant of its own — callers pass
+        their session's ledger to ``answer``/``release`` per call.
+        """
+        key = self.key(policy, epsilon, options)
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                self.hits += 1
+                self._engines.move_to_end(key)
+                return engine
+        engine = PolicyEngine(
+            policy,
+            epsilon,
+            registry=self._registry,
+            cache=self._cache,
+            options=options,
+        )
+        with self._lock:
+            # a racing builder may have inserted first; prefer the incumbent
+            # so every caller shares one engine per key
+            incumbent = self._engines.get(key)
+            if incumbent is not None:
+                self.hits += 1
+                self._engines.move_to_end(key)
+                return incumbent
+            self.misses += 1
+            self._engines[key] = engine
+            while len(self._engines) > self.maxsize:
+                self._engines.popitem(last=False)
+                self.evictions += 1
+        return engine
+
+    def info(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._engines),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._engines.clear()
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._engines
+
+    def __repr__(self) -> str:
+        i = self.info()
+        return (
+            f"EnginePool(size={i['size']}/{i['maxsize']}, hits={i['hits']}, "
+            f"misses={i['misses']})"
+        )

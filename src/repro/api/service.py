@@ -1,0 +1,316 @@
+"""The pure-JSON serving boundary: ``BlowfishService.handle(dict) -> dict``.
+
+Everything that crosses :meth:`BlowfishService.handle` is a plain dict of
+JSON-native values — a different process, queue consumer or language
+binding can drive the whole library through this one method.  A request
+names a policy (as a spec), an epsilon, a dataset and a batch of query
+specs; the response carries per-query answers plus metadata: which strategy
+served each family, the calibrated sensitivity/scale, the epsilon actually
+spent, and cache hit/miss for the engine and each release.
+
+Request shape (``op: "answer"``)::
+
+    {
+      "op": "answer",                  # default; also "describe"
+      "version": 1,                    # optional spec-schema pin
+      "policy": { ...Policy.to_spec()... },
+      "epsilon": 0.5,
+      "dataset": {"name": "adult"}     # registered server-side, or
+                 {"indices": [3, 17, ...]},   # inline domain indices
+      "queries": [ {"kind": "range", "lo": 0, "hi": 9}, ... ]
+                 or {"kind": "range_batch", "los": [...], "his": [...]},
+      "session": "client-42",          # optional: persistent ledger + reuse
+      "budget": 2.0,                   # optional, applied when the session opens
+      "seed": 0,                       # optional: reproducible noise
+      "options": {"range": {"fanout": 16}},   # optional mechanism options
+    }
+
+Malformed requests never raise: the response is ``{"ok": false, "error":
+{"field": ..., "message": ...}}`` with the offending field named.
+
+Repeated requests are cheap by construction: policies parse once per
+distinct spec digest, engines are shared through an :class:`EnginePool`,
+and a session's released synopses answer repeat queries as free
+post-processing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.database import Database
+from ..core.policy import Policy
+from ..core.queries import Query, _int_array
+from ..core.rng import ensure_rng
+from ..core.specbase import SpecError, check_version, spec_get
+from .pool import EnginePool, _options_key
+from .session import Session
+from .specs import spec_digest
+
+__all__ = ["BlowfishService"]
+
+
+class BlowfishService:
+    """Multi-tenant Blowfish query answering over plain-dict requests.
+
+    Parameters
+    ----------
+    pool:
+        Engine pool shared by every request; defaults to a fresh
+        :class:`EnginePool`.
+    max_sessions:
+        Bound on concurrently remembered named sessions (LRU-evicted).
+        Evicting a session forgets its releases *and* its ledger, so budget
+        enforcement across eviction is the deployment's responsibility.
+    max_policies:
+        Bound on memoized parsed policies, keyed by spec digest.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool: EnginePool | None = None,
+        max_sessions: int = 1024,
+        max_policies: int = 128,
+    ):
+        self.pool = pool if pool is not None else EnginePool()
+        self.max_sessions = max_sessions
+        self.max_policies = max_policies
+        self._datasets: dict[str, Database] = {}
+        self._sessions: OrderedDict[tuple, Session] = OrderedDict()
+        self._policies: OrderedDict[str, Policy] = OrderedDict()
+
+    # -- server-side state ----------------------------------------------------------
+    def register_dataset(self, name: str, db: Database) -> None:
+        """Make ``db`` addressable by requests as ``{"dataset": {"name": name}}``."""
+        self._datasets[name] = db
+
+    def datasets(self) -> tuple[str, ...]:
+        return tuple(self._datasets)
+
+    # -- the boundary ----------------------------------------------------------------
+    def handle(self, request: dict) -> dict:
+        """Serve one request; always returns a response dict, never raises."""
+        try:
+            return self._dispatch(request)
+        except SpecError as exc:
+            return _error(exc.field, str(exc))
+        except RuntimeError as exc:
+            # budget exhaustion surfaces here, before any noise was drawn
+            return _error(None, str(exc))
+        except (ValueError, TypeError, LookupError, OverflowError) as exc:
+            return _error(None, str(exc))
+
+    def _dispatch(self, request: dict) -> dict:
+        if not isinstance(request, dict):
+            raise SpecError("request", f"expected a mapping, got {type(request).__name__}")
+        check_version(request, "request", required=False)
+        op = spec_get(request, "op", str, "request", required=False, default="answer")
+        if op == "answer":
+            return self._answer(request)
+        if op == "describe":
+            return self._describe(request)
+        raise SpecError("request.op", f"unknown op {op!r} (known: answer, describe)")
+
+    # -- shared request plumbing ----------------------------------------------------
+    def _engine_for(self, request: dict):
+        policy = self._policy_for(spec_get(request, "policy", dict, "request"))
+        epsilon = spec_get(request, "epsilon", (int, float), "request")
+        options = spec_get(request, "options", dict, "request", required=False)
+        hits_before = self.pool.hits
+        engine = self.pool.get(policy, epsilon, options=options)
+        return engine, "hit" if self.pool.hits > hits_before else "miss", options
+
+    def _policy_for(self, spec: dict) -> Policy:
+        digest = spec_digest(spec)
+        policy = self._policies.get(digest)
+        if policy is None:
+            policy = Policy.from_spec(spec, "request.policy")
+            self._policies[digest] = policy
+            while len(self._policies) > self.max_policies:
+                self._policies.popitem(last=False)
+        else:
+            self._policies.move_to_end(digest)
+        return policy
+
+    def _dataset_for(self, request: dict, policy: Policy):
+        ds = spec_get(request, "dataset", dict, "request")
+        name = spec_get(ds, "name", str, "request.dataset", required=False)
+        if name is not None:
+            db = self._datasets.get(name)
+            if db is None:
+                known = ", ".join(sorted(self._datasets)) or "none registered"
+                raise SpecError("request.dataset.name", f"unknown dataset {name!r} ({known})")
+            if db.domain != policy.domain:
+                raise SpecError(
+                    "request.dataset.name",
+                    f"dataset {name!r} is over a different domain than the policy",
+                )
+            return db, ("name", name)
+        indices = spec_get(ds, "indices", list, "request.dataset", required=False)
+        if indices is None:
+            raise SpecError("request.dataset", "needs either 'name' or 'indices'")
+        arr = _int_array(indices, "request.dataset.indices")
+        try:
+            db = Database(policy.domain, arr)
+        except ValueError as exc:
+            raise SpecError("request.dataset.indices", str(exc)) from None
+        return db, ("inline", hashlib.sha256(arr.tobytes()).hexdigest()[:16])
+
+    def _session_for(self, request: dict, engine, db: Database, dataset_key, options) -> tuple:
+        session_id = spec_get(request, "session", str, "request", required=False)
+        budget = spec_get(request, "budget", (int, float), "request", required=False)
+        if session_id is None:
+            # ephemeral: ledger and releases live for this request only
+            return Session(engine, db, budget=budget), None
+        # the key mirrors the engine pool's (fingerprint, epsilon, options)
+        # plus the dataset: a request differing in any of them must not be
+        # served from another engine's cached releases
+        key = (
+            session_id,
+            engine.fingerprint,
+            float(engine.epsilon),
+            _options_key(options),
+            dataset_key,
+        )
+        session = self._sessions.get(key)
+        if session is None:
+            session = Session(engine, db, budget=budget, client_id=session_id)
+            self._sessions[key] = session
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+        else:
+            # the ledger persists; a different budget on a later request is
+            # ignored rather than silently resetting the session's limit
+            self._sessions.move_to_end(key)
+        return session, session_id
+
+    # -- ops -------------------------------------------------------------------------
+    def _answer(self, request: dict) -> dict:
+        engine, engine_cache, options = self._engine_for(request)
+        domain = engine.policy.domain
+        db, dataset_key = self._dataset_for(request, engine.policy)
+        session, session_id = self._session_for(request, engine, db, dataset_key, options)
+        rng = ensure_rng(spec_get(request, "seed", int, "request", required=False))
+
+        ranges, queries = self._parse_queries(request, domain)
+        if ranges is not None:
+            los, his = ranges
+            answers, call_meta = session.answer_ranges_with_meta(los, his, rng=rng)
+            n_queries = los.size
+        else:
+            answers, call_meta = session.answer_with_meta(queries, rng=rng)
+            n_queries = len(queries)
+
+        meta = {
+            "n_queries": int(n_queries),
+            "policy_fingerprint": engine.fingerprint,
+            "epsilon": engine.epsilon,
+            "session": session_id,
+            "strategies": self._strategies(engine, call_meta["release_cache"]),
+            "engine_cache": engine_cache,
+            "sensitivity_cache": engine.cache_info(),
+            **call_meta,
+        }
+        return {"ok": True, "op": "answer", "answers": answers.tolist(), "meta": meta}
+
+    def _describe(self, request: dict) -> dict:
+        engine, engine_cache, _ = self._engine_for(request)
+        strategies = self._strategies(engine, engine.registry.families())
+        meta = {
+            "policy_fingerprint": engine.fingerprint,
+            "epsilon": engine.epsilon,
+            "strategies": strategies,
+            "engine_cache": engine_cache,
+            "sensitivity_cache": engine.cache_info(),
+        }
+        return {"ok": True, "op": "describe", "meta": meta}
+
+    @staticmethod
+    def _strategies(engine, families) -> dict:
+        out = {}
+        for family in sorted(families):
+            if family == "linear":
+                # linear batches carry their own weights; released per batch
+                out[family] = {"family": "linear", "strategy": "batch-linear"}
+                continue
+            try:
+                out[family] = engine.describe(family)
+            except (ValueError, TypeError, LookupError) as exc:
+                out[family] = {"family": family, "error": str(exc)}
+        return out
+
+    # -- query parsing ---------------------------------------------------------------
+    def _parse_queries(self, request: dict, domain):
+        """Returns ``((los, his), None)`` for pure-range batches (vectorized
+        hot path) or ``(None, [Query, ...])`` for mixed batches."""
+        specs = spec_get(request, "queries", (list, dict), "request")
+        if isinstance(specs, dict):
+            kind = spec_get(specs, "kind", str, "request.queries")
+            if kind != "range_batch":
+                raise SpecError(
+                    "request.queries.kind",
+                    f"expected 'range_batch' (or a list of query specs), got {kind!r}",
+                )
+            los = _int_array(
+                spec_get(specs, "los", list, "request.queries"), "request.queries.los"
+            )
+            his = _int_array(
+                spec_get(specs, "his", list, "request.queries"), "request.queries.his"
+            )
+            if los.size != his.size:
+                raise SpecError("request.queries", "los and his must have equal length")
+            return self._validated_ranges(los, his, domain, "request.queries"), None
+        if not specs:
+            raise SpecError("request.queries", "at least one query is required")
+        fast = self._range_arrays(specs, domain)
+        if fast is not None:
+            return fast, None
+        queries = [
+            Query.from_spec(q, domain, f"request.queries[{i}]") for i, q in enumerate(specs)
+        ]
+        return None, queries
+
+    def _range_arrays(self, specs: list, domain):
+        """Vectorized extraction for homogeneous range-spec lists, or None.
+
+        ``None`` defers to the per-spec parser, which produces the precise
+        field error for whichever entry is malformed."""
+        try:
+            if not all(q["kind"] == "range" for q in specs):
+                return None
+            los = np.asarray([q["lo"] for q in specs])
+            his = np.asarray([q["hi"] for q in specs])
+        except (KeyError, TypeError, AttributeError, OverflowError, ValueError):
+            return None
+        if los.dtype.kind != "i" or his.dtype.kind != "i" or los.ndim != 1 or his.ndim != 1:
+            # a non-int (or non-scalar) lo/hi snuck in; the per-spec parser names it
+            return None
+        return self._validated_ranges(
+            los.astype(np.int64), his.astype(np.int64), domain, "request.queries"
+        )
+
+    @staticmethod
+    def _validated_ranges(los: np.ndarray, his: np.ndarray, domain, path: str):
+        domain.require_ordered()
+        bad = (los < 0) | (los > his) | (his >= domain.size)
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise SpecError(
+                f"{path}[{i}]",
+                f"invalid range [{int(los[i])}, {int(his[i])}] for domain size {domain.size}",
+            )
+        return los, his
+
+    def __repr__(self) -> str:
+        return (
+            f"BlowfishService(datasets={sorted(self._datasets)}, "
+            f"sessions={len(self._sessions)}, pool={self.pool!r})"
+        )
+
+
+def _error(field: str | None, message: str) -> dict:
+    return {"ok": False, "error": {"field": field, "message": message}}

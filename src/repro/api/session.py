@@ -1,0 +1,147 @@
+"""Per-client serving state: a budget ledger plus release reuse.
+
+A :class:`Session` binds one client to ``(engine, database)`` and owns the
+two things that must never be shared across tenants:
+
+* the **ledger** — a :class:`PrivacyAccountant` charged for every synopsis
+  released on the client's behalf (pooled engines themselves are
+  accountant-less);
+* the **releases** — the noisy synopses already paid for, so any number of
+  repeated queries are answered as free post-processing (Theorem 4.1
+  charges per release, not per query).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.composition import PrivacyAccountant
+from ..core.database import Database
+from ..core.queries import Query
+from ..core.rng import ensure_rng
+from ..engine.engine import PolicyEngine
+
+__all__ = ["Session"]
+
+#: query-spec kind -> released-synopsis family that serves it
+QUERY_FAMILY = {"range": "range", "count": "histogram", "linear": "linear"}
+
+
+class Session:
+    """One client's query-answering session against a (possibly pooled) engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine serving this session, typically from an
+        :class:`~repro.api.EnginePool`.
+    db:
+        The data every release is computed on.  Pinned at construction
+        because cached releases are only valid for the data they were drawn
+        from.
+    budget:
+        Optional total epsilon this session may spend; exceeding it raises
+        before any noisy output is computed.
+    client_id:
+        Opaque tag for logs and service bookkeeping.
+    """
+
+    def __init__(
+        self,
+        engine: PolicyEngine,
+        db: Database,
+        *,
+        budget: float | None = None,
+        client_id: str | None = None,
+    ):
+        if db.domain != engine.policy.domain:
+            raise ValueError("database is over a different domain than the policy")
+        self.engine = engine
+        self.db = db
+        self.client_id = client_id
+        self.accountant = PrivacyAccountant(engine.policy, budget)
+        #: family -> released synopsis; engine.answer() adds to it in place.
+        self.releases: dict = {}
+
+    # -- answering -----------------------------------------------------------------
+    def answer(self, queries: Sequence[Query], *, rng=None) -> np.ndarray:
+        """Answer a mixed batch, reusing this session's releases (in order)."""
+        return self.engine.answer(
+            queries,
+            self.db,
+            rng=rng,
+            releases=self.releases,
+            accountant=self.accountant,
+        )
+
+    def answer_ranges(self, los, his, *, rng=None) -> np.ndarray:
+        """Vectorized range answers from index arrays (the bulk hot path)."""
+        rel = self.releases.get("range")
+        if rel is None:
+            rel = self.engine.release(
+                self.db, "range", rng=ensure_rng(rng), accountant=self.accountant
+            )
+            self.releases["range"] = rel
+        return rel.ranges(np.asarray(los, np.int64), np.asarray(his, np.int64))
+
+    def answer_with_meta(
+        self, queries: Sequence[Query], *, rng=None
+    ) -> tuple[np.ndarray, dict]:
+        """Like :meth:`answer`, plus a metadata dict describing the call.
+
+        The metadata records which families were served from cached
+        releases (``"hit"``) versus released fresh (``"miss"``), the epsilon
+        this call actually cost, and the session's running total — exactly
+        what :class:`~repro.api.BlowfishService` returns to clients.
+        """
+        families = {QUERY_FAMILY[q.spec_kind] for q in queries if q.spec_kind in QUERY_FAMILY}
+        return self._metered(lambda: self.answer(queries, rng=rng), families)
+
+    def answer_ranges_with_meta(self, los, his, *, rng=None) -> tuple[np.ndarray, dict]:
+        """:meth:`answer_ranges` with the same metadata as :meth:`answer_with_meta`."""
+        return self._metered(lambda: self.answer_ranges(los, his, rng=rng), {"range"})
+
+    def _metered(self, call, families) -> tuple[np.ndarray, dict]:
+        """Run ``call`` and account its spends/cache behavior per family.
+
+        A family is a ``"hit"`` when its release predates the call and the
+        call spent nothing on it — a linear batch that reuses some rows but
+        releases new ones is therefore (correctly) a ``"miss"``.
+        """
+        cached_before = set(self.releases)
+        spent_before = self.accountant.sequential_total()
+        n_spends = len(self.accountant.spends)
+        answers = call()
+        released = {label for label, _ in self.accountant.spends[n_spends:]}
+        meta = {
+            "epsilon_spent": self.accountant.sequential_total() - spent_before,
+            "session_total": self.accountant.sequential_total(),
+            "release_cache": {
+                family: "miss" if family in released or family not in cached_before else "hit"
+                for family in sorted(families)
+            },
+        }
+        return answers, meta
+
+    # -- budget --------------------------------------------------------------------
+    @property
+    def spent(self) -> float:
+        """Total epsilon this session has been charged (Theorem 4.1)."""
+        return self.accountant.sequential_total()
+
+    @property
+    def budget(self) -> float | None:
+        return self.accountant.budget
+
+    def remaining(self) -> float:
+        """Budget left, or raise if the session was opened without one."""
+        return self.accountant.remaining()
+
+    def __repr__(self) -> str:
+        who = f"client_id={self.client_id!r}, " if self.client_id else ""
+        return (
+            f"Session({who}spent={self.spent:.4g}, budget={self.budget}, "
+            f"releases={sorted(map(str, self.releases))})"
+        )

@@ -1,0 +1,77 @@
+"""Generic spec dispatch: one entry point to serialize or load any object.
+
+The per-class ``to_spec``/``from_spec`` methods live on the objects
+themselves (:mod:`repro.core`); this module is the *boundary* view of them:
+
+* :func:`to_spec` — serialize any supported object to a plain dict;
+* :func:`from_spec` — rebuild an object from a spec, dispatching on its
+  ``kind`` tag (queries and constraint sets need the ``domain`` context);
+* :func:`spec_digest` — a stable digest of a spec's canonical JSON form,
+  used by the service to memoize parsed policies per distinct spec.
+
+Everything raises :class:`SpecError` on bad input, always naming the
+offending field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..core.domain import Attribute, Domain
+from ..core.graphs import DiscriminativeGraph
+from ..core.policy import Policy
+from ..core.queries import ConstraintSet, Partition, Query
+from ..core.specbase import SPEC_VERSION, SpecError, spec_get
+
+__all__ = ["SPEC_VERSION", "SpecError", "to_spec", "from_spec", "spec_digest"]
+
+
+def to_spec(obj: Any) -> dict:
+    """Serialize any spec-capable object to a plain, JSON-ready dict."""
+    if isinstance(
+        obj, (Domain, Attribute, Partition, DiscriminativeGraph, Policy, ConstraintSet, Query)
+    ):
+        return obj.to_spec()
+    raise SpecError("", f"{type(obj).__name__} has no spec representation")
+
+
+def from_spec(spec: dict, domain: Domain | None = None, path: str = "spec") -> Any:
+    """Rebuild an object from its spec, dispatching on the ``kind`` tag.
+
+    Query and constraint-set specs are domain-relative (they travel inside
+    requests whose policy already names the domain), so loading one requires
+    the ``domain`` argument; self-contained kinds ignore it.
+    """
+    kind = spec_get(spec, "kind", str, path)
+    if kind == "domain":
+        return Domain.from_spec(spec, path)
+    if kind == "partition":
+        return Partition.from_spec(spec, path)
+    if kind == "policy":
+        return Policy.from_spec(spec, path)
+    if kind.startswith("graph/"):
+        return DiscriminativeGraph.from_spec(spec, path)
+    if kind == "constraints":
+        return ConstraintSet.from_spec(spec, _require_domain(domain, kind, path), path)
+    return Query.from_spec(spec, _require_domain(domain, kind, path), path)
+
+
+def _require_domain(domain: Domain | None, kind: str, path: str) -> Domain:
+    if domain is None:
+        raise SpecError(path, f"loading a {kind!r} spec requires the domain context")
+    return domain
+
+
+def spec_digest(spec: dict) -> str:
+    """Stable digest of a spec's canonical (sorted-key) JSON encoding.
+
+    Two dicts that differ only in key order digest identically; any
+    non-JSON value raises a :class:`SpecError` rather than ``TypeError``.
+    """
+    try:
+        canon = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise SpecError("", f"spec is not JSON-serializable: {exc}") from None
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]

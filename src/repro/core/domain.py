@@ -26,6 +26,8 @@ from typing import Any
 
 import numpy as np
 
+from .specbase import SPEC_VERSION, SpecError, check_kind, check_version, json_scalar, spec_get
+
 __all__ = ["Attribute", "Domain"]
 
 
@@ -48,7 +50,14 @@ class Attribute:
     __slots__ = ("name", "values", "_rank", "_is_numeric", "_fp")
 
     def __init__(self, name: str, values: Sequence[Any]):
-        values = tuple(values)
+        # normalize numpy scalars so that equal value sets always fingerprint
+        # (and serialize) identically, whether built from arrays or literals
+        values = tuple(
+            int(v) if isinstance(v, np.integer)
+            else float(v) if isinstance(v, np.floating)
+            else v
+            for v in values
+        )
         if not values:
             raise ValueError(f"attribute {name!r} must have at least one value")
         rank = {v: i for i, v in enumerate(values)}
@@ -120,6 +129,50 @@ class Attribute:
                 h.update(b"\x00")
         self._fp = h.hexdigest()[:16]
         return self._fp
+
+    # -- specs ---------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """Plain-dict description of this attribute (JSON-round-trippable).
+
+        Contiguous integer ranges get the compact ``{"int_range": [lo, hi)}``
+        encoding so that e.g. ``Domain.integers("v", 100_000)`` serializes in
+        O(1) space rather than listing every value.
+        """
+        values = self.values
+        if (
+            all(type(v) is int for v in values)
+            and values == tuple(range(values[0], values[0] + len(values)))
+        ):
+            return {
+                "name": self.name,
+                "values": {"int_range": [values[0], values[0] + len(values)]},
+            }
+        return {
+            "name": self.name,
+            "values": [json_scalar(v, f"attribute {self.name!r} values") for v in values],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict, path: str = "attribute") -> "Attribute":
+        """Rebuild an attribute from :meth:`to_spec` output (validating)."""
+        name = spec_get(spec, "name", str, path)
+        values = spec_get(spec, "values", (list, dict), path)
+        if isinstance(values, dict):
+            rng = spec_get(values, "int_range", list, f"{path}.values")
+            if len(rng) != 2 or not all(
+                isinstance(v, int) and not isinstance(v, bool) for v in rng
+            ):
+                raise SpecError(f"{path}.values.int_range", "expected [start, stop] ints")
+            if rng[1] <= rng[0]:
+                raise SpecError(f"{path}.values.int_range", "stop must exceed start")
+            return cls(name, range(rng[0], rng[1]))
+        for i, v in enumerate(values):
+            if not isinstance(v, (str, int, float)):
+                raise SpecError(
+                    f"{path}.values[{i}]",
+                    f"expected str/int/float, got {type(v).__name__}",
+                )
+        return cls(name, values)
 
     # -- ranks and distances ------------------------------------------------------
     def rank(self, value: Any) -> int:
@@ -281,7 +334,19 @@ class Domain:
         return f"Domain({attrs}; size={self.size})"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Domain) and self.attributes == other.attributes
+        if self is other:
+            return True
+        if not isinstance(other, Domain):
+            return False
+        if self.size != other.size or len(self.attributes) != len(other.attributes):
+            return False
+        # fingerprints are the library's notion of structural identity (the
+        # sensitivity cache and engine pool key on them), and once memoized
+        # they make repeated cross-object comparisons O(1) instead of
+        # walking every attribute value — the serving layer compares large
+        # registered-dataset domains against parsed policy domains on every
+        # request
+        return self.fingerprint() == other.fingerprint()
 
     def __hash__(self) -> int:
         return hash(self.attributes)
@@ -302,6 +367,27 @@ class Domain:
             h.update(attr.fingerprint().encode("ascii"))
         self._fp = h.hexdigest()[:16]
         return self._fp
+
+    # -- specs ---------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """Versioned, self-contained plain-dict description of this domain."""
+        return {
+            "kind": "domain",
+            "version": SPEC_VERSION,
+            "attributes": [a.to_spec() for a in self.attributes],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict, path: str = "domain") -> "Domain":
+        """Rebuild a domain from :meth:`to_spec` output (validating)."""
+        check_kind(spec, "domain", path)
+        check_version(spec, path)
+        attrs = spec_get(spec, "attributes", list, path)
+        if not attrs:
+            raise SpecError(f"{path}.attributes", "a domain needs at least one attribute")
+        return cls(
+            [Attribute.from_spec(a, f"{path}.attributes[{i}]") for i, a in enumerate(attrs)]
+        )
 
     # -- index <-> value translation ----------------------------------------------
     def index_of(self, value: Sequence[Any] | Any) -> int:

@@ -30,7 +30,8 @@ import networkx as nx
 import numpy as np
 
 from .domain import Domain
-from .queries import Partition
+from .queries import Partition, _int_array
+from .specbase import SPEC_VERSION, SpecError, check_version, spec_get
 
 __all__ = [
     "DiscriminativeGraph",
@@ -110,6 +111,47 @@ class DiscriminativeGraph(ABC):
     def _fingerprint_parts(self) -> tuple[bytes, ...]:
         """Class-specific bytes mixed into :meth:`fingerprint`."""
         return ()
+
+    # -- specs --------------------------------------------------------------------
+    #: ``kind`` tag used in specs (``"graph/<family>"``); set per subclass.
+    spec_kind: str = ""
+
+    def to_spec(self) -> dict:
+        """Versioned, self-contained plain-dict description of this graph."""
+        if not type(self).spec_kind:
+            raise SpecError("graph", f"{type(self).__name__} has no spec representation")
+        spec = {
+            "kind": type(self).spec_kind,
+            "version": SPEC_VERSION,
+            "domain": self.domain.to_spec(),
+        }
+        spec.update(self._spec_params())
+        return spec
+
+    def _spec_params(self) -> dict:
+        """Class-specific fields mixed into :meth:`to_spec`."""
+        return {}
+
+    @classmethod
+    def from_spec(cls, spec: dict, path: str = "graph") -> "DiscriminativeGraph":
+        """Rebuild any graph family from :meth:`to_spec` output (validating)."""
+        kind = spec_get(spec, "kind", str, path)
+        check_version(spec, path)
+        sub = _SPEC_KINDS.get(kind)
+        if sub is None:
+            known = ", ".join(sorted(_SPEC_KINDS))
+            raise SpecError(f"{path}.kind", f"unknown graph kind {kind!r} (known: {known})")
+        domain = Domain.from_spec(spec_get(spec, "domain", dict, path), f"{path}.domain")
+        try:
+            return sub._from_spec_params(spec, domain, path)
+        except (ValueError, TypeError) as exc:
+            if isinstance(exc, SpecError):
+                raise
+            raise SpecError(path, str(exc)) from None
+
+    @classmethod
+    def _from_spec_params(cls, spec: dict, domain: Domain, path: str) -> "DiscriminativeGraph":
+        return cls(domain)
 
     # -- structure ---------------------------------------------------------------
     @abstractmethod
@@ -244,6 +286,8 @@ class FullDomainGraph(DiscriminativeGraph):
     """``G^full``: the complete graph.  Blowfish with this graph and no
     constraints is exactly epsilon-differential privacy (Section 4.2)."""
 
+    spec_kind = "graph/full"
+
     def has_edge(self, i: int, j: int) -> bool:
         return i != j
 
@@ -280,6 +324,8 @@ class FullDomainGraph(DiscriminativeGraph):
 
 class AttributeGraph(DiscriminativeGraph):
     """``G^attr``: edge iff the two values differ in exactly one attribute."""
+
+    spec_kind = "graph/attribute"
 
     def has_edge(self, i: int, j: int) -> bool:
         return i != j and self.domain.hamming_distance(i, j) == 1
@@ -326,12 +372,25 @@ class PartitionGraph(DiscriminativeGraph):
     """``G^P``: a clique per partition block; blocks are mutually
     distinguishable (``d_G = inf`` across blocks)."""
 
+    spec_kind = "graph/partition"
+
     def __init__(self, partition: Partition):
         super().__init__(partition.domain)
         self.partition = partition
 
     def _fingerprint_parts(self) -> tuple[bytes, ...]:
         return (self.partition.labels.tobytes(),)
+
+    def _spec_params(self) -> dict:
+        return {"labels": self.partition.labels.tolist()}
+
+    @classmethod
+    def _from_spec_params(cls, spec: dict, domain: Domain, path: str) -> "PartitionGraph":
+        labels = _int_array(spec_get(spec, "labels", list, path), f"{path}.labels")
+        try:
+            return cls(Partition(domain, labels))
+        except ValueError as exc:
+            raise SpecError(f"{path}.labels", str(exc)) from None
 
     def has_edge(self, i: int, j: int) -> bool:
         return i != j and self.partition.same_block(i, j)
@@ -391,6 +450,8 @@ class DistanceThresholdGraph(DiscriminativeGraph):
     argument); other domains fall back to BFS when small enough.
     """
 
+    spec_kind = "graph/distance_threshold"
+
     def __init__(self, domain: Domain, theta: float):
         if theta <= 0:
             raise ValueError("theta must be positive")
@@ -400,6 +461,17 @@ class DistanceThresholdGraph(DiscriminativeGraph):
 
     def _fingerprint_parts(self) -> tuple[bytes, ...]:
         return (repr(self.theta).encode("ascii"),)
+
+    def _spec_params(self) -> dict:
+        return {"theta": self.theta}
+
+    @classmethod
+    def _from_spec_params(cls, spec: dict, domain: Domain, path: str) -> "DistanceThresholdGraph":
+        theta = spec_get(spec, "theta", (int, float), path)
+        try:
+            return cls(domain, theta)
+        except (ValueError, TypeError) as exc:
+            raise SpecError(f"{path}.theta", str(exc)) from None
 
     def has_edge(self, i: int, j: int) -> bool:
         if i == j:
@@ -535,6 +607,8 @@ class LineGraph(DistanceThresholdGraph):
     value to its immediate neighbors (and nothing else on unit-spaced ones).
     """
 
+    spec_kind = "graph/line"
+
     def __init__(self, domain: Domain):
         attr = domain.require_ordered()
         if not attr.is_numeric:
@@ -546,6 +620,13 @@ class LineGraph(DistanceThresholdGraph):
             ]
             theta = max(gaps) if gaps else 1.0
         super().__init__(domain, theta)
+
+    def _spec_params(self) -> dict:
+        return {}  # theta is derived from the domain, not a free parameter
+
+    @classmethod
+    def _from_spec_params(cls, spec: dict, domain: Domain, path: str) -> "LineGraph":
+        return cls(domain)
 
     def has_edge(self, i: int, j: int) -> bool:
         return abs(i - j) == 1
@@ -590,6 +671,8 @@ class EdgelessGraph(DiscriminativeGraph):
     individual."  Every sensitivity under this graph is zero.
     """
 
+    spec_kind = "graph/edgeless"
+
     def has_edge(self, i: int, j: int) -> bool:
         return False
 
@@ -624,6 +707,8 @@ class ExplicitGraph(DiscriminativeGraph):
     scale.
     """
 
+    spec_kind = "graph/explicit"
+
     def __init__(self, domain: Domain, edges: Iterator[tuple[int, int]] | nx.Graph):
         super().__init__(domain)
         g = nx.Graph()
@@ -641,6 +726,27 @@ class ExplicitGraph(DiscriminativeGraph):
     def _fingerprint_parts(self) -> tuple[bytes, ...]:
         edges = sorted((min(u, v), max(u, v)) for u, v in self._g.edges())
         return (np.asarray(edges, dtype=np.int64).tobytes(),)
+
+    def _spec_params(self) -> dict:
+        edges = sorted((min(u, v), max(u, v)) for u, v in self._g.edges())
+        return {"edges": [[int(u), int(v)] for u, v in edges]}
+
+    @classmethod
+    def _from_spec_params(cls, spec: dict, domain: Domain, path: str) -> "ExplicitGraph":
+        edges = spec_get(spec, "edges", list, path)
+        pairs = []
+        for i, e in enumerate(edges):
+            if (
+                not isinstance(e, (list, tuple))
+                or len(e) != 2
+                or not all(isinstance(v, int) and not isinstance(v, bool) for v in e)
+            ):
+                raise SpecError(f"{path}.edges[{i}]", "expected an [i, j] pair of ints")
+            pairs.append((e[0], e[1]))
+        try:
+            return cls(domain, pairs)
+        except ValueError as exc:
+            raise SpecError(f"{path}.edges", str(exc)) from None
 
     def has_edge(self, i: int, j: int) -> bool:
         return self._g.has_edge(i, j)
@@ -687,6 +793,23 @@ class ExplicitGraph(DiscriminativeGraph):
             f"ExplicitGraph({self._g.number_of_nodes()} nodes, "
             f"{self._g.number_of_edges()} edges)"
         )
+
+
+#: Spec ``kind`` tag -> graph class, for :meth:`DiscriminativeGraph.from_spec`.
+#: LineGraph precedes its base DistanceThresholdGraph only in documentation —
+#: dispatch is by exact tag, so ordering is irrelevant here.
+_SPEC_KINDS: dict[str, type] = {
+    g.spec_kind: g
+    for g in (
+        FullDomainGraph,
+        AttributeGraph,
+        PartitionGraph,
+        DistanceThresholdGraph,
+        LineGraph,
+        EdgelessGraph,
+        ExplicitGraph,
+    )
+}
 
 
 def _uniform_spacings(domain: Domain) -> tuple[float, ...] | None:

@@ -19,7 +19,8 @@ from .graphs import (
     LineGraph,
     PartitionGraph,
 )
-from .queries import ConstraintSet, Partition
+from .queries import Constraint, ConstraintSet, Partition
+from .specbase import SPEC_VERSION, check_kind, check_version, spec_get
 
 __all__ = ["Policy"]
 
@@ -117,6 +118,43 @@ class Policy:
         if db.domain != self.domain:
             return False
         return self.constraints is None or self.constraints.satisfied_by(db)
+
+    # -- specs --------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """Versioned, self-contained plain-dict description of this policy.
+
+        The domain is carried once, inside the graph spec; constraint query
+        specs are bound to it on load.  ``json.dumps(policy.to_spec())`` is
+        the wire format a curator ships to the serving layer
+        (:mod:`repro.api`).
+        """
+        return {
+            "kind": "policy",
+            "version": SPEC_VERSION,
+            "graph": self.graph.to_spec(),
+            "constraints": None
+            if self.constraints is None
+            else [c.to_spec() for c in self.constraints],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict, path: str = "policy") -> "Policy":
+        """Rebuild a policy from :meth:`to_spec` output (validating)."""
+        check_kind(spec, "policy", path)
+        check_version(spec, path)
+        graph = DiscriminativeGraph.from_spec(
+            spec_get(spec, "graph", dict, path), f"{path}.graph"
+        )
+        raw = spec_get(spec, "constraints", list, path, required=False)
+        constraints = None
+        if raw:
+            constraints = ConstraintSet(
+                [
+                    Constraint.from_spec(c, graph.domain, f"{path}.constraints[{i}]")
+                    for i, c in enumerate(raw)
+                ]
+            )
+        return cls(graph.domain, graph, constraints)
 
     def __repr__(self) -> str:
         q = "I_n" if self.unconstrained else f"{len(self.constraints)} constraints"

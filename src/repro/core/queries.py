@@ -16,6 +16,7 @@ import numpy as np
 
 from .database import Database
 from .domain import Domain
+from .specbase import SPEC_VERSION, SpecError, check_kind, check_version, spec_get
 
 __all__ = [
     "Partition",
@@ -224,6 +225,45 @@ class Partition:
         self._fp = h.hexdigest()[:16]
         return self._fp
 
+    # -- specs --------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """Versioned, self-contained plain-dict description of this partition."""
+        return {
+            "kind": "partition",
+            "version": SPEC_VERSION,
+            "domain": self.domain.to_spec(),
+            "labels": self.labels.tolist(),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict, path: str = "partition") -> "Partition":
+        """Rebuild a partition from :meth:`to_spec` output (validating)."""
+        check_kind(spec, "partition", path)
+        check_version(spec, path)
+        domain = Domain.from_spec(spec_get(spec, "domain", dict, path), f"{path}.domain")
+        labels = _int_array(spec_get(spec, "labels", list, path), f"{path}.labels")
+        try:
+            return cls(domain, labels)
+        except ValueError as exc:
+            raise SpecError(f"{path}.labels", str(exc)) from None
+
+
+def _int_array(values: list, path: str) -> np.ndarray:
+    """Validate a JSON list of ints into a flat int64 array, naming bad entries."""
+    try:
+        arr = np.asarray(values)
+    except (OverflowError, ValueError):
+        # unconvertible (e.g. ints beyond 64 bits); diagnose element-wise
+        arr = None
+    if arr is None or arr.ndim != 1 or (arr.size and not np.issubdtype(arr.dtype, np.integer)):
+        for i, v in enumerate(values):
+            if not isinstance(v, int) or isinstance(v, bool):
+                raise SpecError(f"{path}[{i}]", f"expected int, got {type(v).__name__}")
+            if v.bit_length() >= 64:
+                raise SpecError(f"{path}[{i}]", "out of 64-bit integer range")
+        raise SpecError(path, "expected a flat list of ints")
+    return arr.astype(np.int64)
+
 
 class Query:
     """Base class for vector-valued queries ``f : I_n -> R^d``."""
@@ -236,6 +276,31 @@ class Query:
     @property
     def output_dim(self) -> int:
         raise NotImplementedError
+
+    # -- specs --------------------------------------------------------------------
+    #: ``kind`` tag used in specs; None marks the family non-serializable.
+    spec_kind: str | None = None
+
+    def to_spec(self) -> dict:
+        """Plain-dict description of this query, *excluding* the domain.
+
+        Query specs travel inside a request whose policy already names the
+        domain, so :meth:`from_spec` takes the domain as context instead of
+        embedding (potentially huge) domain specs once per query.
+        """
+        raise SpecError(
+            "query", f"{type(self).__name__} has no spec representation"
+        )
+
+    @classmethod
+    def from_spec(cls, spec: dict, domain: Domain, path: str = "query") -> "Query":
+        """Rebuild any serializable query from its spec, bound to ``domain``."""
+        kind = spec_get(spec, "kind", str, path)
+        check_version(spec, path, required=False)
+        for sub in (HistogramQuery, CumulativeHistogramQuery, RangeQuery, LinearQuery, CountQuery):
+            if sub.spec_kind == kind:
+                return sub._from_spec(spec, domain, path)
+        raise SpecError(f"{path}.kind", f"unknown query kind {kind!r}")
 
 
 class HistogramQuery(Query):
@@ -264,6 +329,24 @@ class HistogramQuery(Query):
         labels = self.partition.labels[db.indices]
         return np.bincount(labels, minlength=self.partition.n_blocks).astype(np.float64)
 
+    spec_kind = "histogram"
+
+    def to_spec(self) -> dict:
+        if self.partition is None:
+            return {"kind": "histogram"}
+        return {"kind": "histogram", "labels": self.partition.labels.tolist()}
+
+    @classmethod
+    def _from_spec(cls, spec: dict, domain: Domain, path: str) -> "HistogramQuery":
+        labels = spec_get(spec, "labels", list, path, required=False)
+        if labels is None:
+            return cls(domain)
+        try:
+            part = Partition(domain, _int_array(labels, f"{path}.labels"))
+        except ValueError as exc:
+            raise SpecError(f"{path}.labels", str(exc)) from None
+        return cls(domain, part)
+
 
 class CumulativeHistogramQuery(Query):
     """``S_T``: prefix sums of the complete histogram (Definition 7.1)."""
@@ -281,6 +364,18 @@ class CumulativeHistogramQuery(Query):
         if db.domain != self.domain:
             raise ValueError("database is over a different domain")
         return db.cumulative_histogram()
+
+    spec_kind = "cumulative"
+
+    def to_spec(self) -> dict:
+        return {"kind": "cumulative"}
+
+    @classmethod
+    def _from_spec(cls, spec: dict, domain: Domain, path: str) -> "CumulativeHistogramQuery":
+        try:
+            return cls(domain)
+        except TypeError as exc:
+            raise SpecError(path, str(exc)) from None
 
 
 class RangeQuery(Query):
@@ -301,6 +396,20 @@ class RangeQuery(Query):
 
     def __call__(self, db: Database) -> np.ndarray:
         return np.array([db.range_count(self.lo, self.hi)], dtype=np.float64)
+
+    spec_kind = "range"
+
+    def to_spec(self) -> dict:
+        return {"kind": "range", "lo": int(self.lo), "hi": int(self.hi)}
+
+    @classmethod
+    def _from_spec(cls, spec: dict, domain: Domain, path: str) -> "RangeQuery":
+        lo = spec_get(spec, "lo", int, path)
+        hi = spec_get(spec, "hi", int, path)
+        try:
+            return cls(domain, lo, hi)
+        except (ValueError, TypeError) as exc:
+            raise SpecError(path, str(exc)) from None
 
 
 class LinearQuery(Query):
@@ -325,6 +434,22 @@ class LinearQuery(Query):
             )
         values = db.points()[:, 0]
         return np.array([float(self.weights @ values)], dtype=np.float64)
+
+    spec_kind = "linear"
+
+    def to_spec(self) -> dict:
+        return {"kind": "linear", "weights": [float(w) for w in self.weights]}
+
+    @classmethod
+    def _from_spec(cls, spec: dict, domain: Domain, path: str) -> "LinearQuery":
+        weights = spec_get(spec, "weights", list, path)
+        for i, w in enumerate(weights):
+            if isinstance(w, bool) or not isinstance(w, (int, float)):
+                raise SpecError(f"{path}.weights[{i}]", f"expected a number, got {type(w).__name__}")
+        try:
+            return cls(domain, weights)
+        except TypeError as exc:
+            raise SpecError(path, str(exc)) from None
 
 
 class KMeansSumQuery(Query):
@@ -412,6 +537,29 @@ class CountQuery(Query):
         """True iff changing a tuple from ``x`` to ``y`` *lowers* this query."""
         return bool(self.mask[x]) and not self.mask[y]
 
+    spec_kind = "count"
+
+    def to_spec(self) -> dict:
+        """Spec with the predicate flattened to its support index list."""
+        return {
+            "kind": "count",
+            "name": self.name,
+            "support": np.flatnonzero(self.mask).tolist(),
+        }
+
+    @classmethod
+    def _from_spec(cls, spec: dict, domain: Domain, path: str) -> "CountQuery":
+        name = spec_get(spec, "name", str, path, required=False, default="count")
+        support = _int_array(spec_get(spec, "support", list, path), f"{path}.support")
+        if support.size and (support.min() < 0 or support.max() >= domain.size):
+            raise SpecError(
+                f"{path}.support",
+                f"index out of range for domain of size {domain.size}",
+            )
+        mask = np.zeros(domain.size, dtype=bool)
+        mask[support] = True
+        return cls.from_mask(domain, mask, name=name)
+
     def __repr__(self) -> str:
         return f"CountQuery({self.name!r}, |support|={int(self.mask.sum())})"
 
@@ -427,6 +575,16 @@ class Constraint:
 
     def satisfied_by(self, db: Database) -> bool:
         return int(self.query(db)[0]) == self.value
+
+    def to_spec(self) -> dict:
+        return {"query": self.query.to_spec(), "value": int(self.value)}
+
+    @classmethod
+    def from_spec(cls, spec: dict, domain: Domain, path: str = "constraint") -> "Constraint":
+        query = Query.from_spec(spec_get(spec, "query", dict, path), domain, f"{path}.query")
+        if not isinstance(query, CountQuery):
+            raise SpecError(f"{path}.query.kind", "constraints take count queries")
+        return cls(query, spec_get(spec, "value", int, path))
 
     def __repr__(self) -> str:
         return f"Constraint({self.query.name} = {self.value})"
@@ -458,6 +616,26 @@ class ConstraintSet:
 
     def satisfied_by(self, db: Database) -> bool:
         return all(c.satisfied_by(db) for c in self.constraints)
+
+    def to_spec(self) -> dict:
+        """Versioned plain-dict description (domain supplied at load time)."""
+        return {
+            "kind": "constraints",
+            "version": SPEC_VERSION,
+            "constraints": [c.to_spec() for c in self.constraints],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict, domain: Domain, path: str = "constraints") -> "ConstraintSet":
+        check_kind(spec, "constraints", path)
+        check_version(spec, path, required=False)
+        items = spec_get(spec, "constraints", list, path)
+        return cls(
+            [
+                Constraint.from_spec(c, domain, f"{path}.constraints[{i}]")
+                for i, c in enumerate(items)
+            ]
+        )
 
     def __len__(self) -> int:
         return len(self.constraints)

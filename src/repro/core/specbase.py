@@ -1,0 +1,103 @@
+"""Shared machinery for declarative object specs.
+
+A *spec* is a plain dict (JSON-round-trippable: strings, numbers, bools,
+lists, dicts, ``None``) describing one library object — a domain, a secret
+graph, a policy, a query.  Specs are what crosses the service boundary
+(:mod:`repro.api`): a curator configures a policy as data, a client submits
+queries as data, and either side can be a different process or language.
+
+Every self-contained spec carries a ``kind`` tag (which class to rebuild)
+and a ``version`` (the schema revision, currently :data:`SPEC_VERSION`).
+Validation failures raise :class:`SpecError`, which always names the
+offending field with a dotted path (``"graph.theta"``,
+``"queries[17].lo"``) so service clients get actionable errors instead of
+stack traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SPEC_VERSION", "SpecError", "spec_get", "check_kind", "check_version", "json_scalar"]
+
+#: Current spec schema revision.  Bump when a spec's shape changes
+#: incompatibly; ``from_spec`` rejects other versions by name.
+SPEC_VERSION = 1
+
+
+class SpecError(ValueError):
+    """A spec failed validation; :attr:`field` names the offending field."""
+
+    def __init__(self, field: str, message: str):
+        self.field = field
+        super().__init__(f"spec field {field!r}: {message}" if field else message)
+
+
+def _join(path: str, field: str) -> str:
+    return f"{path}.{field}" if path else field
+
+
+def spec_get(
+    spec: Any,
+    field: str,
+    types: type | tuple[type, ...],
+    path: str = "",
+    *,
+    required: bool = True,
+    default: Any = None,
+) -> Any:
+    """Read ``spec[field]``, checking presence and type, or raise SpecError."""
+    where = _join(path, field)
+    if not isinstance(spec, dict):
+        raise SpecError(path or field, f"expected a mapping, got {type(spec).__name__}")
+    if field not in spec:
+        if required:
+            raise SpecError(where, "is required but missing")
+        return default
+    value = spec[field]
+    if value is None:
+        # an explicit null counts as absent for optional fields
+        if required:
+            raise SpecError(where, "must not be null")
+        return default
+    # bool is an int subclass; only accept it where bool was asked for
+    asked = types if isinstance(types, tuple) else (types,)
+    ok = isinstance(value, types) and (not isinstance(value, bool) or bool in asked)
+    if not ok:
+        expected = "/".join(t.__name__ for t in asked)
+        raise SpecError(where, f"expected {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_kind(spec: Any, expected: str, path: str = "") -> None:
+    """Require ``spec["kind"] == expected``."""
+    kind = spec_get(spec, "kind", str, path)
+    if kind != expected:
+        raise SpecError(_join(path, "kind"), f"expected {expected!r}, got {kind!r}")
+
+
+def check_version(spec: Any, path: str = "", *, required: bool = True) -> None:
+    """Require ``spec["version"]`` (when present or required) to be supported."""
+    version = spec_get(spec, "version", int, path, required=required)
+    if version is not None and version != SPEC_VERSION:
+        raise SpecError(
+            _join(path, "version"),
+            f"unsupported spec version {version} (this library speaks {SPEC_VERSION})",
+        )
+
+
+def json_scalar(value: Any, path: str) -> Any:
+    """Coerce a scalar to its JSON-native type, or raise a named error.
+
+    Numpy scalars become Python ints/floats so that ``to_spec`` output is
+    byte-identical after a ``json.dumps``/``loads`` round trip.
+    """
+    if isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    raise SpecError(path, f"value {value!r} is not JSON-serializable")

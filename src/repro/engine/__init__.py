@@ -33,13 +33,14 @@ Three layers:
 """
 
 from .cache import SensitivityCache, shared_cache
-from .engine import BatchLinearMechanism, PolicyEngine, ReleasedHistogram
+from .engine import BatchLinearMechanism, PolicyEngine, ReleasedHistogram, ReleasedLinear
 from .fingerprint import policy_fingerprint, query_cache_key
 from .registry import FAMILIES, MechanismRegistry, default_registry
 
 __all__ = [
     "PolicyEngine",
     "ReleasedHistogram",
+    "ReleasedLinear",
     "BatchLinearMechanism",
     "SensitivityCache",
     "shared_cache",

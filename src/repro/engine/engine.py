@@ -46,7 +46,7 @@ from .cache import SensitivityCache, shared_cache
 from .fingerprint import policy_fingerprint, query_cache_key
 from .registry import MechanismRegistry, default_registry
 
-__all__ = ["PolicyEngine", "ReleasedHistogram", "BatchLinearMechanism"]
+__all__ = ["PolicyEngine", "ReleasedHistogram", "ReleasedLinear", "BatchLinearMechanism"]
 
 
 class ReleasedHistogram:
@@ -76,6 +76,63 @@ class ReleasedHistogram:
 
     def __repr__(self) -> str:
         return f"ReleasedHistogram(|T|={self.cells.size})"
+
+
+class ReleasedLinear:
+    """Accumulated vector-Laplace linear releases with free row-level reuse.
+
+    Each *row* of a released weight stack is one linear query; its noisy
+    answer is stored under a digest of the row's float64 bytes.  Re-answering
+    a row already present is post-processing of the earlier release and
+    costs nothing; only genuinely new rows trigger a fresh release (and a
+    fresh ``epsilon`` spend) in :meth:`PolicyEngine.answer_linear`.
+
+    Composition rule (Theorem 4.1, sequential): the total budget is
+    ``epsilon`` times the number of *releases*, not the number of queries —
+    every batch of new rows costs ``epsilon`` once, and identical rows are
+    free forever after.  A release is bound to the database it was computed
+    on; reusing it against different data silently returns stale answers,
+    so sessions (:class:`repro.api.Session`) pin the database.
+    """
+
+    __slots__ = ("_answers",)
+
+    def __init__(self):
+        self._answers: dict[bytes, float] = {}
+
+    @staticmethod
+    def _rows(weights: np.ndarray) -> list[bytes]:
+        w = np.ascontiguousarray(np.atleast_2d(weights), dtype=np.float64)
+        return [row.tobytes() for row in w]
+
+    def missing_rows(self, weights: np.ndarray) -> np.ndarray:
+        """Boolean mask over rows of ``weights`` not yet released."""
+        return np.array([k not in self._answers for k in self._rows(weights)], dtype=bool)
+
+    def add(self, weights: np.ndarray, answers: np.ndarray) -> None:
+        """Record noisy answers for the rows of ``weights``."""
+        answers = np.atleast_1d(np.asarray(answers, dtype=np.float64))
+        keys = self._rows(weights)
+        if len(keys) != answers.size:
+            raise ValueError("one answer per weight row required")
+        for k, a in zip(keys, answers):
+            self._answers[k] = float(a)
+
+    def answers_for(self, weights: np.ndarray) -> np.ndarray:
+        """Stored answers for each row of ``weights`` (all must be present)."""
+        try:
+            return np.array([self._answers[k] for k in self._rows(weights)])
+        except KeyError:
+            raise ValueError(
+                "some requested linear queries were never released; answer "
+                "them via PolicyEngine.answer_linear(..., release=this)"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def __repr__(self) -> str:
+        return f"ReleasedLinear({len(self._answers)} rows)"
 
 
 class BatchLinearMechanism(Mechanism):
@@ -205,27 +262,46 @@ class PolicyEngine:
             )
         return self._mechanisms[family]
 
-    def release(self, db: Database, family: str = "range", rng=None):
+    def describe(self, family: str) -> dict:
+        """Introspection metadata for one family's serving path (no spend).
+
+        Returns the strategy name plus whatever calibration constants the
+        mechanism instance exposes (``sensitivity``, ``scale``); the serving
+        façade (:class:`repro.api.BlowfishService`) attaches this to every
+        response so clients can see *how* their answers were produced.
+        """
+        mech = self.mechanism(family)
+        out = {"family": family, "strategy": self.strategy(family)}
+        for attr in ("sensitivity", "scale"):
+            value = getattr(mech, attr, None)
+            if isinstance(value, (int, float)):
+                out[attr] = float(value)
+        return out
+
+    def release(self, db: Database, family: str = "range", rng=None, *, accountant=None):
         """Release one noisy synopsis for ``family``, spending ``epsilon``.
 
         Returns the family's answerer: a range answerer with vectorized
         ``.ranges()/.histogram()`` for ``"range"``, a
-        :class:`ReleasedHistogram` for ``"histogram"``.
+        :class:`ReleasedHistogram` for ``"histogram"``.  ``accountant``
+        overrides the engine's own for this spend — how pooled engines
+        charge the requesting session's ledger instead of a shared one.
         """
         mech = self.mechanism(family)
         # spend before releasing: if the accountant refuses (budget
         # exhausted), no noisy output must ever have been computed
-        self._spend(family)
+        self._spend(family, accountant)
         out = mech.release(db, rng=ensure_rng(rng))
         if family == "histogram":
             return ReleasedHistogram(np.asarray(out, dtype=np.float64))
         return out
 
-    def _spend(self, label: str) -> None:
+    def _spend(self, label: str, accountant: PrivacyAccountant | None = None) -> None:
         # the accountant may refuse (budget exhausted); only count spends
         # that were actually admitted
-        if self.accountant is not None:
-            self.accountant.spend(self.epsilon, label=label)
+        acct = accountant if accountant is not None else self.accountant
+        if acct is not None:
+            acct.spend(self.epsilon, label=label)
         self._spent += self.epsilon
 
     @property
@@ -241,19 +317,29 @@ class PolicyEngine:
         *,
         rng=None,
         releases: dict | None = None,
+        accountant: PrivacyAccountant | None = None,
     ) -> np.ndarray:
         """Answer a batch of scalar queries, one float per query (input order).
 
         Queries are grouped by family; each family present is served from
         one released synopsis in a single vectorized pass.  Pass
-        ``releases={"range": ..., "histogram": ...}`` to answer from
-        existing synopses (free post-processing); families without a
-        provided release are released here from ``db`` at ``epsilon`` each.
-        Supported: :class:`RangeQuery`, :class:`CountQuery`,
+        ``releases={"range": ..., "histogram": ..., "linear": ...}`` to
+        answer from existing synopses (free post-processing); families
+        without a provided release are released here from ``db`` at
+        ``epsilon`` each — and the new synopsis is *added to the caller's
+        mapping*, so passing the same dict on the next call reuses it for
+        free.  Supported: :class:`RangeQuery`, :class:`CountQuery`,
         :class:`LinearQuery`.  (Vector-valued histogram / cumulative
         queries are served by :meth:`release` directly.)
+
+        Composition (Theorem 4.1): the call costs ``epsilon`` per family it
+        actually releases — zero when every family is served from
+        ``releases``.  Linear batches reuse at *row* granularity via
+        :class:`ReleasedLinear`: only weight rows never released before
+        trigger a spend.  ``accountant`` overrides the engine's ledger for
+        the spends of this call (per-session accounting on pooled engines).
         """
-        releases = dict(releases or {})
+        releases = releases if releases is not None else {}
         rng = ensure_rng(rng)
         range_ix: list[int] = []
         count_ix: list[int] = []
@@ -277,7 +363,10 @@ class PolicyEngine:
         if range_ix:
             rel = releases.get("range")
             if rel is None:
-                rel = self.release(self._require_db(db, "range"), "range", rng=rng)
+                rel = self.release(
+                    self._require_db(db, "range"), "range", rng=rng, accountant=accountant
+                )
+                releases["range"] = rel
             los = np.fromiter((queries[i].lo for i in range_ix), np.int64, len(range_ix))
             his = np.fromiter((queries[i].hi for i in range_ix), np.int64, len(range_ix))
             out[range_ix] = rel.ranges(los, his)
@@ -285,15 +374,25 @@ class PolicyEngine:
             rel = releases.get("histogram")
             if rel is None:
                 rel = self.release(
-                    self._require_db(db, "histogram"), "histogram", rng=rng
+                    self._require_db(db, "histogram"),
+                    "histogram",
+                    rng=rng,
+                    accountant=accountant,
                 )
+                releases["histogram"] = rel
             masks = np.stack([queries[i].mask for i in count_ix])
             out[count_ix] = rel.counts(masks)
         if linear_ix:
+            rel = releases.get("linear")
+            if rel is None:
+                rel = ReleasedLinear()
+                releases["linear"] = rel
             weights = np.stack(
                 [np.asarray(queries[i].weights, dtype=np.float64) for i in linear_ix]
             )
-            out[linear_ix] = self.answer_linear(weights, db, rng=rng)
+            out[linear_ix] = self.answer_linear(
+                weights, db, rng=rng, release=rel, accountant=accountant
+            )
         return out
 
     def answer_ranges(
@@ -312,12 +411,33 @@ class PolicyEngine:
             release = self.release(self._require_db(db, "histogram"), "histogram", rng=rng)
         return release.counts(masks)
 
-    def answer_linear(self, weights, db: Database, *, rng=None) -> np.ndarray:
-        """One vector-Laplace release answering a stack of linear queries."""
-        mech = BatchLinearMechanism(self.policy, self.epsilon, weights)
-        database = self._require_db(db, "linear")
-        self._spend("linear")
-        return mech.release(database, rng=ensure_rng(rng))
+    def answer_linear(
+        self, weights, db: Database | None = None, *, rng=None, release=None, accountant=None
+    ) -> np.ndarray:
+        """Answer a stack of linear queries, reusing prior rows when possible.
+
+        Without ``release``, this is one vector-Laplace release of the whole
+        stack at cost ``epsilon``.  With a :class:`ReleasedLinear`, rows
+        already released are answered by lookup (free post-processing); only
+        the missing rows are released — at ``epsilon`` for the *sub-batch*,
+        never per query — and recorded into ``release`` for next time.
+        Sequential composition (Theorem 4.1) therefore charges
+        ``epsilon * number_of_releases``, with repeated queries free.
+        """
+        weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+        if release is None:
+            mech = BatchLinearMechanism(self.policy, self.epsilon, weights)
+            database = self._require_db(db, "linear")
+            self._spend("linear", accountant)
+            return mech.release(database, rng=ensure_rng(rng))
+        missing = release.missing_rows(weights)
+        if missing.any():
+            fresh = weights[missing]
+            mech = BatchLinearMechanism(self.policy, self.epsilon, fresh)
+            database = self._require_db(db, "linear")
+            self._spend("linear", accountant)
+            release.add(fresh, mech.release(database, rng=ensure_rng(rng)))
+        return release.answers_for(weights)
 
     def _require_db(self, db: Database | None, family: str) -> Database:
         if db is None:

@@ -45,14 +45,21 @@ def policy_fingerprint(policy: Policy) -> str:
     the constraint queries' masks and published answers.  Policies with
     equal fingerprints induce the same neighbor relation ``N(P)`` and hence
     the same ``S(f, P)`` for every query ``f``.
+
+    Constraints are a *conjunction*, so their order is irrelevant to
+    ``I_Q``; per-constraint digests are hashed as a sorted sequence to keep
+    two orderings of the same constraint set from occupying separate cache
+    (and :class:`~repro.api.EnginePool`) entries.
     """
     h = hashlib.sha256()
     h.update(policy.graph.fingerprint().encode("ascii"))
     if policy.constraints is not None:
-        for c in policy.constraints:
+        digests = sorted(
+            f"{mask_digest(c.query.mask)}:{c.value}" for c in policy.constraints
+        )
+        for d in digests:
             h.update(b"\x00")
-            h.update(mask_digest(c.query.mask).encode("ascii"))
-            h.update(str(c.value).encode("ascii"))
+            h.update(d.encode("ascii"))
     return h.hexdigest()[:16]
 
 

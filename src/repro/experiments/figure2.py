@@ -13,11 +13,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.error import random_range_queries, true_range_answers
+from ..api.pool import EnginePool
 from ..core.database import Database
 from ..core.policy import Policy
 from ..core.rng import ensure_rng, spawn
 from ..datasets import adult_capital_loss_dataset, twitter_latitude_dataset
-from ..engine import PolicyEngine
 from .config import ExperimentScale, default_scale
 from .results import ResultTable
 
@@ -33,16 +33,22 @@ __all__ = [
 ADULT_THETAS = (None, 1000, 500, 100, 50, 10, 1)
 TWITTER_LATITUDE_THETAS_KM = (None, 500.0, 50.0, 5.0)
 
+#: Engines are acquired through the serving-layer pool: every (policy,
+#: epsilon, options) triple in the sweep gets one shared engine with its
+#: memoized mechanism and warm sensitivity fingerprints, exactly as a
+#: deployment would serve the same sweep (repro.api.EnginePool).
+_POOL = EnginePool(maxsize=128)
+
 
 def _engine(db: Database, theta, epsilon: float, fanout: int, consistent: bool):
-    """Engine per (theta, epsilon): the registry picks the hierarchical
-    baseline for the full domain and the OH hybrid for distance thresholds,
-    exactly the paper's Figure 2 pairing."""
+    """Pooled engine per (theta, epsilon): the registry picks the
+    hierarchical baseline for the full domain and the OH hybrid for distance
+    thresholds, exactly the paper's Figure 2 pairing."""
     if theta is None:
         policy = Policy.differential_privacy(db.domain)
     else:
         policy = Policy.distance_threshold(db.domain, theta)
-    return PolicyEngine(
+    return _POOL.get(
         policy,
         epsilon,
         options={"range": {"fanout": fanout, "consistent": consistent}},

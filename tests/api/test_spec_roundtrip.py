@@ -1,0 +1,284 @@
+"""Property tests: ``from_spec(to_spec(x))`` preserves identity.
+
+Fingerprints are the library's notion of structural identity — the
+sensitivity cache, the engine pool and the service all key on them — so a
+spec round trip that changed a fingerprint would silently split (or worse,
+merge) cache entries.  Hypothesis drives every graph family, constrained
+and unconstrained policies, and each serializable query type through
+``to_spec -> json.dumps -> json.loads -> from_spec``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Attribute, Domain, Partition, Policy
+from repro.api import from_spec, to_spec
+from repro.core.graphs import (
+    AttributeGraph,
+    DistanceThresholdGraph,
+    EdgelessGraph,
+    ExplicitGraph,
+    FullDomainGraph,
+    LineGraph,
+)
+from repro.core.queries import (
+    Constraint,
+    ConstraintSet,
+    CountQuery,
+    CumulativeHistogramQuery,
+    HistogramQuery,
+    KMeansSumQuery,
+    LinearQuery,
+    Query,
+    RangeQuery,
+)
+from repro.core.specbase import SpecError
+from repro.engine import policy_fingerprint, query_cache_key
+
+# -- strategies -------------------------------------------------------------------
+
+_names = st.sampled_from(["v", "age", "lat_km", "x0"])
+
+_int_values = st.integers(min_value=-3, max_value=3).flatmap(
+    lambda lo: st.integers(min_value=1, max_value=6).map(lambda n: list(range(lo, lo + n)))
+)
+_float_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False).map(float),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+_str_values = st.lists(
+    st.text(alphabet="abcxyz", min_size=1, max_size=4), min_size=1, max_size=6, unique=True
+)
+
+
+@st.composite
+def attributes(draw, name=None, numeric=False):
+    values = draw(
+        st.one_of(_int_values, _float_values)
+        if numeric
+        else st.one_of(_int_values, _float_values, _str_values)
+    )
+    return Attribute(name or draw(_names), values)
+
+
+@st.composite
+def domains(draw):
+    n = draw(st.integers(min_value=1, max_value=2))
+    return Domain([draw(attributes(name=f"a{i}")) for i in range(n)])
+
+
+@st.composite
+def ordered_numeric_domains(draw):
+    return Domain([draw(attributes(name="v", numeric=True))])
+
+
+@st.composite
+def partitions(draw, domain):
+    raw = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=3),
+            min_size=domain.size,
+            max_size=domain.size,
+        )
+    )
+    # compress to contiguous block ids starting at 0
+    _, labels = np.unique(np.asarray(raw, dtype=np.int64), return_inverse=True)
+    return Partition(domain, labels.astype(np.int64))
+
+
+@st.composite
+def graphs(draw):
+    family = draw(
+        st.sampled_from(["full", "attribute", "edgeless", "line", "threshold", "partition", "explicit"])
+    )
+    if family in ("line", "threshold"):
+        domain = draw(ordered_numeric_domains())
+        if family == "line":
+            return LineGraph(domain)
+        return DistanceThresholdGraph(
+            domain, draw(st.floats(min_value=0.5, max_value=10.0, allow_nan=False))
+        )
+    domain = draw(domains())
+    if family == "full":
+        return FullDomainGraph(domain)
+    if family == "attribute":
+        return AttributeGraph(domain)
+    if family == "edgeless":
+        return EdgelessGraph(domain)
+    if family == "partition":
+        from repro.core.graphs import PartitionGraph
+
+        return PartitionGraph(draw(partitions(domain)))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, domain.size - 1), st.integers(0, domain.size - 1)
+            ).filter(lambda e: e[0] != e[1]),
+            max_size=8,
+        )
+    )
+    return ExplicitGraph(domain, edges)
+
+
+@st.composite
+def constraint_sets(draw, domain):
+    n = draw(st.integers(min_value=1, max_value=3))
+    constraints = []
+    for _ in range(n):
+        mask = np.asarray(
+            draw(
+                st.lists(
+                    st.booleans(), min_size=domain.size, max_size=domain.size
+                )
+            ),
+            dtype=bool,
+        )
+        value = draw(st.integers(min_value=0, max_value=50))
+        constraints.append(Constraint(CountQuery.from_mask(domain, mask), value))
+    return ConstraintSet(constraints)
+
+
+@st.composite
+def policies(draw):
+    graph = draw(graphs())
+    constraints = draw(st.one_of(st.none(), constraint_sets(graph.domain)))
+    return Policy(graph.domain, graph, constraints)
+
+
+@st.composite
+def queries(draw):
+    kind = draw(st.sampled_from(["range", "count", "linear", "histogram", "histogram_p", "cumulative"]))
+    if kind in ("range", "linear", "cumulative"):
+        domain = draw(ordered_numeric_domains())
+        if kind == "range":
+            lo = draw(st.integers(0, domain.size - 1))
+            hi = draw(st.integers(lo, domain.size - 1))
+            return RangeQuery(domain, lo, hi)
+        if kind == "cumulative":
+            return CumulativeHistogramQuery(domain)
+        weights = draw(
+            st.lists(
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+                min_size=1,
+                max_size=5,
+            )
+        )
+        return LinearQuery(domain, weights)
+    domain = draw(domains())
+    if kind == "count":
+        mask = np.asarray(
+            draw(st.lists(st.booleans(), min_size=domain.size, max_size=domain.size)),
+            dtype=bool,
+        )
+        return CountQuery.from_mask(domain, mask, name=draw(_names))
+    if kind == "histogram":
+        return HistogramQuery(domain)
+    return HistogramQuery(domain, draw(partitions(domain)))
+
+
+def _json_round_trip(spec: dict) -> dict:
+    encoded = json.dumps(spec)
+    return json.loads(encoded)
+
+
+# -- properties -------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(domains())
+def test_domain_round_trip_preserves_fingerprint(domain):
+    rebuilt = from_spec(_json_round_trip(to_spec(domain)))
+    assert isinstance(rebuilt, Domain)
+    assert rebuilt.fingerprint() == domain.fingerprint()
+    assert rebuilt == domain
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_every_graph_family_round_trips(graph):
+    rebuilt = from_spec(_json_round_trip(to_spec(graph)))
+    assert type(rebuilt) is type(graph)
+    assert rebuilt.fingerprint() == graph.fingerprint()
+
+
+@settings(max_examples=60, deadline=None)
+@given(policies())
+def test_constrained_and_unconstrained_policies_round_trip(policy):
+    rebuilt = from_spec(_json_round_trip(to_spec(policy)))
+    assert isinstance(rebuilt, Policy)
+    assert policy_fingerprint(rebuilt) == policy_fingerprint(policy)
+    assert rebuilt.unconstrained == policy.unconstrained
+
+
+@settings(max_examples=80, deadline=None)
+@given(queries())
+def test_each_query_type_round_trips(query):
+    spec = _json_round_trip(to_spec(query))
+    rebuilt = from_spec(spec, domain=query.domain)
+    assert type(rebuilt) is type(query)
+    assert query_cache_key(rebuilt) == query_cache_key(query)
+    assert rebuilt.output_dim == query.output_dim
+    if isinstance(query, CountQuery):
+        assert np.array_equal(rebuilt.mask, query.mask)
+        assert rebuilt.name == query.name
+    if isinstance(query, LinearQuery):
+        assert np.array_equal(rebuilt.weights, query.weights)
+
+
+@settings(max_examples=40, deadline=None)
+@given(domains())
+def test_partition_round_trip_preserves_fingerprint(domain):
+    part = Partition.singletons(domain)
+    rebuilt = from_spec(_json_round_trip(to_spec(part)))
+    assert rebuilt.fingerprint() == part.fingerprint()
+
+
+# -- deterministic error / edge cases ----------------------------------------------
+
+
+def test_kmeans_queries_have_no_spec(small_ordered_domain):
+    q = KMeansSumQuery(small_ordered_domain, lambda pts: np.zeros(len(pts), int), 2)
+    with pytest.raises(SpecError, match="no spec representation"):
+        to_spec(q)
+
+
+def test_errors_name_the_offending_field(small_ordered_domain):
+    cases = [
+        ({"kind": "domain", "version": 1}, None, "attributes"),
+        ({"kind": "domain", "version": 99, "attributes": []}, None, "version"),
+        ({"kind": "graph/distance_threshold", "version": 1,
+          "domain": small_ordered_domain.to_spec()}, None, "theta"),
+        ({"kind": "range", "lo": 0}, small_ordered_domain, "hi"),
+        ({"kind": "count", "support": [0, 99]}, small_ordered_domain, "support"),
+        ({"kind": "nonsense"}, small_ordered_domain, "kind"),
+    ]
+    for spec, domain, field in cases:
+        with pytest.raises(SpecError) as exc:
+            from_spec(spec, domain=domain)
+        assert field in str(exc.value), (spec, exc.value)
+
+
+def test_query_specs_require_domain_context(small_ordered_domain):
+    spec = RangeQuery(small_ordered_domain, 1, 5).to_spec()
+    with pytest.raises(SpecError, match="domain context"):
+        from_spec(spec)
+
+
+def test_compact_int_range_encoding(small_ordered_domain):
+    spec = small_ordered_domain.to_spec()
+    assert spec["attributes"][0]["values"] == {"int_range": [0, 10]}
+    big = Domain.integers("v", 100_000)
+    assert len(json.dumps(big.to_spec())) < 200
+
+
+def test_explicit_graph_edges_survive(small_ordered_domain):
+    g = ExplicitGraph(small_ordered_domain, [(0, 3), (5, 9)])
+    g2 = from_spec(_json_round_trip(to_spec(g)))
+    assert sorted(g2.edges()) == sorted(g.edges())

@@ -154,6 +154,24 @@ class TestFingerprints:
         pc = p.with_constraints(ConstraintSet.from_database(queries, db))
         assert policy_fingerprint(p) != policy_fingerprint(pc)
 
+    def test_constraint_order_does_not_change_the_fingerprint(self, domain, db):
+        from repro.core.queries import Constraint, ConstraintSet
+
+        q1 = CountQuery.from_mask(domain, np.arange(domain.size) < 7)
+        q2 = CountQuery.from_mask(domain, np.arange(domain.size) % 2 == 0)
+        forward = Policy.line(domain).with_constraints(
+            ConstraintSet([Constraint(q1, 3), Constraint(q2, 20)])
+        )
+        backward = Policy.line(domain).with_constraints(
+            ConstraintSet([Constraint(q2, 20), Constraint(q1, 3)])
+        )
+        assert policy_fingerprint(forward) == policy_fingerprint(backward)
+        # ... while a different published answer still changes it
+        other = Policy.line(domain).with_constraints(
+            ConstraintSet([Constraint(q1, 4), Constraint(q2, 20)])
+        )
+        assert policy_fingerprint(forward) != policy_fingerprint(other)
+
     def test_query_keys_capture_parameters(self, domain):
         assert query_cache_key(RangeQuery(domain, 1, 5)) != query_cache_key(
             RangeQuery(domain, 1, 6)
@@ -303,6 +321,50 @@ class TestBatchAnswering:
         truth = W @ db.points()[:, 0]
         # line graph: sensitivity max_t sum_i |W[i,t]| * max_edge_l1 = 2
         assert np.abs(out - truth).max() < 200 / 0.5
+
+    def test_linear_release_reuse_is_free(self, domain, db):
+        from repro.engine import ReleasedLinear
+
+        engine = PolicyEngine(Policy.line(domain), 0.5)
+        W = np.vstack([np.ones(db.n), np.linspace(0, 1, db.n)])
+        release = ReleasedLinear()
+        first = engine.answer_linear(W, db, rng=0, release=release)
+        assert engine.spent_epsilon == pytest.approx(0.5)
+        # identical rows (any subset, any order) are free post-processing
+        again = engine.answer_linear(W[::-1], db, rng=1, release=release)
+        assert engine.spent_epsilon == pytest.approx(0.5)
+        assert np.array_equal(again, first[::-1])
+        # a genuinely new row costs one more release, covering only that row
+        W2 = np.vstack([W[0], np.full(db.n, 2.0)])
+        mixed = engine.answer_linear(W2, db, rng=2, release=release)
+        assert engine.spent_epsilon == pytest.approx(1.0)
+        assert mixed[0] == first[0]
+        assert len(release) == 3
+
+    def test_answer_records_releases_into_the_callers_dict(self, domain, db):
+        engine = PolicyEngine(Policy.line(domain), 0.5)
+        releases: dict = {}
+        queries = [
+            RangeQuery(domain, 1, 7),
+            CountQuery.from_mask(domain, np.arange(domain.size) < 5),
+            LinearQuery(domain, np.full(db.n, 0.5)),
+        ]
+        first = engine.answer(queries, db, rng=0, releases=releases)
+        assert set(releases) == {"range", "histogram", "linear"}
+        spent = engine.spent_epsilon
+        # the populated dict makes the next call free and identical
+        second = engine.answer(queries, db, rng=1, releases=releases)
+        assert engine.spent_epsilon == spent
+        assert np.array_equal(first, second)
+
+    def test_accountant_override_charges_the_callers_ledger(self, domain, db):
+        policy = Policy.line(domain)
+        shared = PrivacyAccountant(policy)
+        engine = PolicyEngine(policy, 0.5, accountant=shared)
+        mine = PrivacyAccountant(policy, budget=1.0)
+        engine.answer([RangeQuery(domain, 1, 7)], db, rng=0, accountant=mine)
+        assert mine.sequential_total() == pytest.approx(0.5)
+        assert shared.sequential_total() == 0.0
 
     def test_vector_valued_queries_are_rejected(self, domain, db):
         engine = PolicyEngine(Policy.line(domain), 0.5)
