@@ -1,0 +1,127 @@
+"""Measure the planner cost model's calibration constants.
+
+Runs every range/histogram strategy over a grid of policies and epsilons,
+compares the measured per-query MSE with the *raw* analytic formula
+(:mod:`repro.analysis.bounds` with the calibration factor divided out), and
+prints the median ratio per ``(strategy, consistent)`` pair — the values
+baked into ``repro.analysis.bounds.CALIBRATION``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/calibrate_cost_model.py
+
+Not a test: this is the reproducible provenance of the constants.  Re-run
+after changing a mechanism's post-processing and update CALIBRATION when
+the medians move materially.  For the with-inference prefix mechanisms the
+per-theta ratios decay roughly as ``theta^-b``; the fitted exponents live
+in ``repro.analysis.bounds.INFERENCE_THETA_EXPONENT`` (slope of
+log(ratio) against log(theta) over this grid).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+
+from repro import Database, Domain, Policy, PolicyEngine
+from repro.analysis.bounds import calibration_factor, predicted_range_query_mse
+from repro.analysis.error import random_range_queries, true_range_answers
+from repro.core.queries import CumulativeHistogramQuery, HistogramQuery
+
+SIZE = 1024
+N_TUPLES = 20_000
+N_QUERIES = 2_000
+TRIALS = 24
+EPSILONS = (0.25, 1.0)
+THETAS = (1, 2, 4, 16, 64, 256)
+SEED = 20140623
+
+
+def _database() -> Database:
+    rng = np.random.default_rng(SEED)
+    # spiky mixture: ~half the mass in a few narrow bands, the rest uniform
+    bands = rng.normal((100, 380, 700), (8, 20, 15), size=(N_TUPLES // 2, 3))
+    spiky = bands[np.arange(N_TUPLES // 2), rng.integers(0, 3, N_TUPLES // 2)]
+    flat = rng.uniform(0, SIZE, N_TUPLES - N_TUPLES // 2)
+    values = np.clip(np.concatenate([spiky, flat]), 0, SIZE - 1).astype(np.int64)
+    return Database.from_indices(Domain.integers("v", SIZE), values)
+
+
+def measured_mse(engine: PolicyEngine, strategy: str, db, los, his, truth, seed: int) -> float:
+    errs = []
+    for t in range(TRIALS):
+        rel = engine.release(db, "range", rng=np.random.default_rng((seed, t)), strategy=strategy)
+        errs.append(float(np.mean((rel.ranges(los, his) - truth) ** 2)))
+    return float(np.mean(errs))
+
+
+def main() -> None:
+    db = _database()
+    domain = db.domain
+    rng = np.random.default_rng(SEED)
+    los, his = random_range_queries(SIZE, N_QUERIES, rng)
+    truth = true_range_answers(db.cumulative_histogram(), los, his)
+
+    ratios: dict[tuple[str, bool], list[float]] = {}
+    config = 0
+    for consistent in (False, True):
+        for theta in THETAS + (None,):
+            policy = (
+                Policy.differential_privacy(domain)
+                if theta is None
+                else Policy.distance_threshold(domain, theta)
+            )
+            for eps in EPSILONS:
+                engine = PolicyEngine(
+                    policy, eps, options={"range": {"consistent": consistent}}
+                )
+                for strategy in engine.registry.candidates("range", policy):
+                    config += 1
+                    sens_q = (
+                        HistogramQuery(domain)
+                        if strategy == "hierarchical"
+                        else CumulativeHistogramQuery(domain)
+                    )
+                    sens = None
+                    try:
+                        sens = engine.sensitivity(sens_q)
+                        index_gap = (
+                            None if theta is None else int(policy.graph.max_edge_index_gap())
+                        )
+                        # divide the calibrated prediction back out to the raw
+                        # analytic formula (same theta proxy as the model)
+                        theta_proxy = (
+                            max(sens, 1.0)
+                            if strategy == "ordered"
+                            else index_gap
+                            if strategy == "ordered-hierarchical"
+                            else None
+                        )
+                        raw = predicted_range_query_mse(
+                            strategy,
+                            SIZE,
+                            eps,
+                            sensitivity=sens,
+                            theta=index_gap,
+                            consistent=consistent,
+                        ) / calibration_factor(strategy, consistent, theta=theta_proxy)
+                        got = measured_mse(engine, strategy, db, los, his, truth, config)
+                    except Exception as exc:  # unscoreable corner: report and move on
+                        print(f"skip {strategy} theta={theta} eps={eps}: {exc}")
+                        continue
+                    ratio = got / raw if raw > 0 else float("nan")
+                    ratios.setdefault((strategy, consistent), []).append(ratio)
+                    print(
+                        f"{strategy:22s} consistent={consistent!s:5s} theta={theta!s:5s} "
+                        f"eps={eps:<5g} measured={got:12.2f} raw={raw:12.2f} ratio={ratio:.3f}"
+                    )
+
+    print("\nCALIBRATION = {")
+    for (strategy, consistent), vals in sorted(ratios.items()):
+        print(f"    ({strategy!r}, {consistent}): {statistics.median(vals):.2f},")
+    print("}")
+
+
+if __name__ == "__main__":
+    main()

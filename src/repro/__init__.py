@@ -42,6 +42,25 @@ extensible mechanism registry (line graph → ordered mechanism, distance
 threshold → OH hybrid, complete graph → DP baselines), and answers whole
 query batches in single vectorized passes with explicit budget accounting.
 
+Workload planning — ``repro.plan``
+----------------------------------
+
+Mechanism choice is policy-dependent (the paper's central result), so
+batches can be *planned* instead of dispatched per family::
+
+    from repro import Workload
+
+    workload = Workload.ranges(domain, los, his)
+    plan = engine.plan(workload)        # cost model scores every candidate
+    print(plan.explain())               # chosen mechanism, predicted RMSE,
+                                        # sensitivity, epsilon per group
+    result = engine.execute(plan, db, rng=0)
+
+Plans serialize (``to_spec``/``from_spec``, fingerprint-stable), share
+releases across groups that can reuse them, and run through the same
+executor as :meth:`PolicyEngine.answer` (which compiles a fixed-dispatch
+plan under the hood).
+
 Declarative spec API — ``repro.api``
 ------------------------------------
 
@@ -99,6 +118,7 @@ from .engine import (
     SensitivityCache,
     default_registry,
 )
+from .plan import Executor, Plan, Planner, Workload
 from .api import (
     BlowfishService,
     EnginePool,
@@ -137,6 +157,10 @@ __all__ = [
     "MechanismRegistry",
     "SensitivityCache",
     "default_registry",
+    "Workload",
+    "Planner",
+    "Plan",
+    "Executor",
     "BlowfishService",
     "EnginePool",
     "Session",

@@ -19,6 +19,14 @@ Subcommands:
     batch, repeat-for-free, budget refusal), then — with ``--stdin`` —
     keep serving JSON-lines requests from stdin against the registered
     ``"demo"`` dataset until EOF.
+
+``plan [--explain]``
+    Compile a cost-driven plan for a mixed demo workload (ranges, counts,
+    a linear batch) under a distance-threshold policy and print its
+    ``explain()`` report — per group: chosen mechanism, predicted RMSE,
+    sensitivity, epsilon.  Without ``--explain`` the plan is also executed
+    and the answers summarized.  ``--request FILE`` plans a JSON request
+    (the service shape) instead of the demo workload.
 """
 
 from __future__ import annotations
@@ -139,6 +147,76 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .api import BlowfishService
+
+    if args.request is not None:
+        if args.request == "-":
+            raw = sys.stdin.read()
+        else:
+            with open(args.request, encoding="utf-8") as fh:
+                raw = fh.read()
+        try:
+            request = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            print(json.dumps({"ok": False, "error": {"field": None, "message": str(exc)}}))
+            return 1
+        request["op"] = "explain" if args.explain else "plan"
+        if args.mode is not None:
+            request["mode"] = args.mode
+        if args.seed is not None:
+            request["seed"] = args.seed
+        response = BlowfishService().handle(request)
+        if args.explain and response.get("ok"):
+            print(response["report"])
+        else:
+            print(json.dumps(response, indent=2))
+        return 0 if response.get("ok") else 1
+
+    from .core.policy import Policy
+    from .plan import Executor, QueryGroup, Workload
+
+    seed = 0 if args.seed is None else args.seed
+    mode = "auto" if args.mode is None else args.mode
+    service, domain, db = _demo_service(seed)
+    engine = service.pool.get(
+        Policy.distance_threshold(domain, args.theta), args.epsilon
+    )
+    rng = np.random.default_rng(seed)
+    los = rng.integers(0, domain.size, 12)
+    his = rng.integers(0, domain.size, 12)
+    masks = np.zeros((3, domain.size), dtype=bool)
+    for i, (a, b) in enumerate(((20, 40), (40, 60), (60, 95))):
+        masks[i, a:b] = True
+    workload = Workload(
+        domain,
+        [
+            QueryGroup.ranges(np.minimum(los, his), np.maximum(los, his)),
+            QueryGroup.counts(masks, name="salary-bands"),
+            QueryGroup.linear(np.full((1, db.n), 1.0 / db.n), name="mean-salary"),
+        ],
+    )
+    plan = engine.plan(workload, optimize=(mode == "auto"))
+    print(
+        f"demo dataset: {db.n} individuals over {domain.size} salary buckets; "
+        f"policy G^(d,{args.theta:g}), epsilon {args.epsilon:g}\n"
+    )
+    print(plan.explain())
+    if args.explain:
+        return 0
+    result = Executor(engine).run(plan, db, rng=np.random.default_rng(seed))
+    print()
+    for group in workload:
+        answers = result.by_group[group.name]
+        shown = ", ".join(f"{a:.1f}" for a in answers[:6])
+        more = " ..." if len(answers) > 6 else ""
+        print(f"{group.name}: [{shown}{more}]")
+    print(f"epsilon spent: {result.epsilon_spent:g}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__.splitlines()[0]
@@ -161,13 +239,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--stdin", action="store_true", help="then serve JSON-lines requests from stdin"
     )
     demo_p.set_defaults(func=_cmd_serve_demo)
+
+    plan_p = sub.add_parser("plan", help="compile (and run) a cost-driven workload plan")
+    plan_p.add_argument(
+        "--request", help="JSON request file (or -); defaults to a demo workload"
+    )
+    plan_p.add_argument(
+        "--explain", action="store_true", help="only print the plan report, execute nothing"
+    )
+    plan_p.add_argument("--epsilon", type=float, default=0.5, help="demo workload only")
+    plan_p.add_argument(
+        "--theta", type=float, default=2.0, help="distance threshold (demo workload only)"
+    )
+    plan_p.add_argument(
+        "--seed", type=int, default=None, help="noise seed (demo default 0; set on --request too)"
+    )
+    plan_p.add_argument(
+        "--mode", choices=("auto", "fixed"), default=None,
+        help="planner mode (demo default auto; set on --request too)",
+    )
+    plan_p.set_defaults(func=_cmd_plan)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # historical form: `python -m repro [outdir]` means `run [outdir]`
-    if not argv or (argv[0] not in {"run", "answer", "serve-demo", "-h", "--help"}):
+    if not argv or (argv[0] not in {"run", "answer", "serve-demo", "plan", "-h", "--help"}):
         argv.insert(0, "run")
     args = build_parser().parse_args(argv)
     return args.func(args)

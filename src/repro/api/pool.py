@@ -112,7 +112,12 @@ class EnginePool:
                 self.evictions += 1
         return engine
 
-    def info(self) -> dict[str, int]:
+    def stats(self) -> dict[str, int]:
+        """Occupancy and traffic counters (hits, misses, evictions).
+
+        Exposed verbatim by ``BlowfishService`` ``"describe"`` responses so
+        operators can watch engine churn without instrumenting the pool.
+        """
         with self._lock:
             return {
                 "size": len(self._engines),
@@ -121,6 +126,10 @@ class EnginePool:
                 "misses": self.misses,
                 "evictions": self.evictions,
             }
+
+    def info(self) -> dict[str, int]:
+        """Alias of :meth:`stats` — the name this class shipped with."""
+        return self.stats()
 
     def clear(self) -> None:
         with self._lock:
@@ -133,7 +142,7 @@ class EnginePool:
         return key in self._engines
 
     def __repr__(self) -> str:
-        i = self.info()
+        i = self.stats()
         return (
             f"EnginePool(size={i['size']}/{i['maxsize']}, hits={i['hits']}, "
             f"misses={i['misses']})"

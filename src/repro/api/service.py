@@ -11,7 +11,7 @@ spent, and cache hit/miss for the engine and each release.
 Request shape (``op: "answer"``)::
 
     {
-      "op": "answer",                  # default; also "describe"
+      "op": "answer",                  # default; also "plan", "explain", "describe"
       "version": 1,                    # optional spec-schema pin
       "policy": { ...Policy.to_spec()... },
       "epsilon": 0.5,
@@ -24,6 +24,13 @@ Request shape (``op: "answer"``)::
       "seed": 0,                       # optional: reproducible noise
       "options": {"range": {"fanout": 16}},   # optional mechanism options
     }
+
+``op: "plan"`` answers the same shapes through the cost-driven planner
+(:mod:`repro.plan`): per group the predicted-cheapest mechanism is chosen
+and releases are shared where reuse is predicted to win, with the executed
+plan's per-step report in the response.  ``op: "explain"`` compiles and
+returns the plan (chosen mechanism, predicted RMSE, sensitivity, epsilon
+split per group) without touching any data or spending any budget.
 
 Malformed requests never raise: the response is ``{"ok": false, "error":
 {"field": ..., "message": ...}}`` with the offending field named.
@@ -46,6 +53,8 @@ from ..core.policy import Policy
 from ..core.queries import Query, _int_array
 from ..core.rng import ensure_rng
 from ..core.specbase import SpecError, check_version, spec_get
+from ..plan import Workload
+from ..plan.workload import validate_range_arrays
 from .pool import EnginePool, _options_key
 from .session import Session
 from .specs import spec_digest
@@ -111,9 +120,15 @@ class BlowfishService:
         op = spec_get(request, "op", str, "request", required=False, default="answer")
         if op == "answer":
             return self._answer(request)
+        if op == "plan":
+            return self._plan(request)
+        if op == "explain":
+            return self._explain(request)
         if op == "describe":
             return self._describe(request)
-        raise SpecError("request.op", f"unknown op {op!r} (known: answer, describe)")
+        raise SpecError(
+            "request.op", f"unknown op {op!r} (known: answer, plan, explain, describe)"
+        )
 
     # -- shared request plumbing ----------------------------------------------------
     def _engine_for(self, request: dict):
@@ -160,22 +175,26 @@ class BlowfishService:
             raise SpecError("request.dataset.indices", str(exc)) from None
         return db, ("inline", hashlib.sha256(arr.tobytes()).hexdigest()[:16])
 
-    def _session_for(self, request: dict, engine, db: Database, dataset_key, options) -> tuple:
-        session_id = spec_get(request, "session", str, "request", required=False)
-        budget = spec_get(request, "budget", (int, float), "request", required=False)
-        if session_id is None:
-            # ephemeral: ledger and releases live for this request only
-            return Session(engine, db, budget=budget), None
+    @staticmethod
+    def _session_key(session_id: str, engine, dataset_key, options) -> tuple:
         # the key mirrors the engine pool's (fingerprint, epsilon, options)
         # plus the dataset: a request differing in any of them must not be
         # served from another engine's cached releases
-        key = (
+        return (
             session_id,
             engine.fingerprint,
             float(engine.epsilon),
             _options_key(options),
             dataset_key,
         )
+
+    def _session_for(self, request: dict, engine, db: Database, dataset_key, options) -> tuple:
+        session_id = spec_get(request, "session", str, "request", required=False)
+        budget = spec_get(request, "budget", (int, float), "request", required=False)
+        if session_id is None:
+            # ephemeral: ledger and releases live for this request only
+            return Session(engine, db, budget=budget), None
+        key = self._session_key(session_id, engine, dataset_key, options)
         session = self._sessions.get(key)
         if session is None:
             session = Session(engine, db, budget=budget, client_id=session_id)
@@ -217,6 +236,92 @@ class BlowfishService:
         }
         return {"ok": True, "op": "answer", "answers": answers.tolist(), "meta": meta}
 
+    def _plan(self, request: dict) -> dict:
+        """``op: "plan"`` — cost-driven planning, then execution.
+
+        Same request shape as ``"answer"`` (queries may also be a
+        ``{"kind": "workload"}`` spec), plus an optional ``"mode"``:
+        ``"auto"`` (default; the planner scores every candidate mechanism
+        and may share releases across groups) or ``"fixed"`` (compile the
+        registry's per-family dispatch — byte-identical to ``"answer"``).
+        The response carries the executed plan's per-step report.
+        """
+        engine, engine_cache, options = self._engine_for(request)
+        db, dataset_key = self._dataset_for(request, engine.policy)
+        session, session_id = self._session_for(request, engine, db, dataset_key, options)
+        rng = ensure_rng(spec_get(request, "seed", int, "request", required=False))
+        workload = self._parse_workload(request, engine.policy.domain)
+        plan = session.plan(workload, optimize=self._plan_mode(request) == "auto")
+        answers, call_meta = session.execute_plan(plan, rng=rng)
+        meta = {
+            "n_queries": len(workload),
+            "policy_fingerprint": engine.fingerprint,
+            "epsilon": engine.epsilon,
+            "session": session_id,
+            "engine_cache": engine_cache,
+            "sensitivity_cache": engine.cache_info(),
+            **call_meta,
+        }
+        return {
+            "ok": True,
+            "op": "plan",
+            "answers": answers.tolist(),
+            "plan": {
+                "fingerprint": plan.fingerprint(),
+                "mode": plan.mode,
+                "total_epsilon": plan.total_epsilon,
+                "steps": plan.summary(),
+            },
+            "meta": meta,
+        }
+
+    def _explain(self, request: dict) -> dict:
+        """``op: "explain"`` — compile and report a plan; no data, no spend.
+
+        When the request names a session *and* a dataset, that session's
+        cached releases inform the plan (read-only: a session that does not
+        exist yet is NOT created — the client's budget on its real first
+        request must not be pre-empted by an unbudgeted preview session),
+        so the report previews exactly what ``op: "plan"`` on the same
+        request would choose and charge.
+        """
+        engine, engine_cache, options = self._engine_for(request)
+        workload = self._parse_workload(request, engine.policy.domain)
+        existing = ()
+        session_id = spec_get(request, "session", str, "request", required=False)
+        if session_id is not None and "dataset" in request:
+            _, dataset_key = self._dataset_for(request, engine.policy)
+            session = self._sessions.get(
+                self._session_key(session_id, engine, dataset_key, options)
+            )
+            if session is not None:
+                existing = session.releases
+        plan = engine.plan(
+            workload, optimize=self._plan_mode(request) == "auto", existing=existing
+        )
+        meta = {
+            "n_queries": len(workload),
+            "policy_fingerprint": engine.fingerprint,
+            "epsilon": engine.epsilon,
+            "total_epsilon": plan.total_epsilon,
+            "engine_cache": engine_cache,
+            "sensitivity_cache": engine.cache_info(),
+        }
+        return {
+            "ok": True,
+            "op": "explain",
+            "plan": plan.to_spec(),
+            "report": plan.explain(),
+            "meta": meta,
+        }
+
+    @staticmethod
+    def _plan_mode(request: dict) -> str:
+        mode = spec_get(request, "mode", str, "request", required=False, default="auto")
+        if mode not in ("auto", "fixed"):
+            raise SpecError("request.mode", f"expected 'auto' or 'fixed', got {mode!r}")
+        return mode
+
     def _describe(self, request: dict) -> dict:
         engine, engine_cache, _ = self._engine_for(request)
         strategies = self._strategies(engine, engine.registry.families())
@@ -225,6 +330,7 @@ class BlowfishService:
             "epsilon": engine.epsilon,
             "strategies": strategies,
             "engine_cache": engine_cache,
+            "engine_pool": self.pool.stats(),
             "sensitivity_cache": engine.cache_info(),
         }
         return {"ok": True, "op": "describe", "meta": meta}
@@ -274,6 +380,25 @@ class BlowfishService:
         ]
         return None, queries
 
+    def _parse_workload(self, request: dict, domain) -> Workload:
+        """The ``"plan"``/``"explain"`` query shapes: a flat spec list, a
+        ``range_batch``, or a full ``{"kind": "workload"}`` spec."""
+        specs = spec_get(request, "queries", (list, dict), "request")
+        if isinstance(specs, dict):
+            kind = spec_get(specs, "kind", str, "request.queries")
+            if kind == "workload":
+                return Workload.from_spec(specs, domain, "request.queries")
+            if kind != "range_batch":
+                raise SpecError(
+                    "request.queries.kind",
+                    "expected 'workload', 'range_batch' or a list of query "
+                    f"specs, got {kind!r}",
+                )
+        ranges, queries = self._parse_queries(request, domain)
+        if ranges is not None:
+            return Workload.ranges(domain, *ranges)
+        return Workload.from_queries(domain, queries)
+
     def _range_arrays(self, specs: list, domain):
         """Vectorized extraction for homogeneous range-spec lists, or None.
 
@@ -295,14 +420,7 @@ class BlowfishService:
 
     @staticmethod
     def _validated_ranges(los: np.ndarray, his: np.ndarray, domain, path: str):
-        domain.require_ordered()
-        bad = (los < 0) | (los > his) | (his >= domain.size)
-        if bad.any():
-            i = int(np.argmax(bad))
-            raise SpecError(
-                f"{path}[{i}]",
-                f"invalid range [{int(los[i])}, {int(his[i])}] for domain size {domain.size}",
-            )
+        validate_range_arrays(los, his, domain, path)
         return los, his
 
     def __repr__(self) -> str:

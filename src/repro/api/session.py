@@ -103,6 +103,37 @@ class Session:
         """:meth:`answer_ranges` with the same metadata as :meth:`answer_with_meta`."""
         return self._metered(lambda: self.answer_ranges(los, his, rng=rng), {"range"})
 
+    # -- planning ------------------------------------------------------------------
+    def plan(self, workload, *, optimize: bool = True):
+        """Compile a plan for ``workload`` that knows this session's cache.
+
+        Releases the session already holds are charged 0 and offered as
+        reuse candidates (row-aware for linear batches), so repeat plans
+        get cheaper as the session warms.
+        """
+        return self.engine.plan(workload, optimize=optimize, existing=self.releases)
+
+    def execute_plan(self, plan, *, rng=None) -> tuple[np.ndarray, dict]:
+        """Run a compiled plan against this session's data, ledger and cache.
+
+        Returns ``(answers, meta)`` with the same metadata shape as
+        :meth:`answer_with_meta`; the release-cache entries are keyed by the
+        plan's release keys (``"range"``, ``"range:ordered"``, ...) and come
+        straight from the executor's own ledger — one implementation of the
+        hit/miss and spend rules, not two.
+        """
+        from ..plan import Executor
+
+        result = Executor(self.engine).run(
+            plan, self.db, rng=rng, releases=self.releases, accountant=self.accountant
+        )
+        meta = {
+            "epsilon_spent": result.epsilon_spent,
+            "session_total": self.accountant.sequential_total(),
+            "release_cache": result.release_cache,
+        }
+        return result.answers, meta
+
     def _metered(self, call, families) -> tuple[np.ndarray, dict]:
         """Run ``call`` and account its spends/cache behavior per family.
 

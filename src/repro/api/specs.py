@@ -15,15 +15,13 @@ offending field.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from typing import Any
 
 from ..core.domain import Attribute, Domain
 from ..core.graphs import DiscriminativeGraph
 from ..core.policy import Policy
 from ..core.queries import ConstraintSet, Partition, Query
-from ..core.specbase import SPEC_VERSION, SpecError, spec_get
+from ..core.specbase import SPEC_VERSION, SpecError, spec_digest, spec_get
 
 __all__ = ["SPEC_VERSION", "SpecError", "to_spec", "from_spec", "spec_digest"]
 
@@ -62,16 +60,3 @@ def _require_domain(domain: Domain | None, kind: str, path: str) -> Domain:
     if domain is None:
         raise SpecError(path, f"loading a {kind!r} spec requires the domain context")
     return domain
-
-
-def spec_digest(spec: dict) -> str:
-    """Stable digest of a spec's canonical (sorted-key) JSON encoding.
-
-    Two dicts that differ only in key order digest identically; any
-    non-JSON value raises a :class:`SpecError` rather than ``TypeError``.
-    """
-    try:
-        canon = json.dumps(spec, sort_keys=True, separators=(",", ":"))
-    except (TypeError, ValueError) as exc:
-        raise SpecError("", f"spec is not JSON-serializable: {exc}") from None
-    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]

@@ -255,6 +255,10 @@ def _int_array(values: list, path: str) -> np.ndarray:
     except (OverflowError, ValueError):
         # unconvertible (e.g. ints beyond 64 bits); diagnose element-wise
         arr = None
+    if arr is not None and arr.size and arr.dtype.kind == "u" and arr.max() >= 2**63:
+        # numpy parsed [2**63, 2**64) as uint64; astype(int64) would wrap
+        # negative silently — route to the element-wise overflow error
+        arr = None
     if arr is None or arr.ndim != 1 or (arr.size and not np.issubdtype(arr.dtype, np.integer)):
         for i, v in enumerate(values):
             if not isinstance(v, int) or isinstance(v, bool):

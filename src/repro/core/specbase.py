@@ -16,11 +16,21 @@ stack traces.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any
 
 import numpy as np
 
-__all__ = ["SPEC_VERSION", "SpecError", "spec_get", "check_kind", "check_version", "json_scalar"]
+__all__ = [
+    "SPEC_VERSION",
+    "SpecError",
+    "spec_get",
+    "check_kind",
+    "check_version",
+    "json_scalar",
+    "spec_digest",
+]
 
 #: Current spec schema revision.  Bump when a spec's shape changes
 #: incompatibly; ``from_spec`` rejects other versions by name.
@@ -101,3 +111,16 @@ def json_scalar(value: Any, path: str) -> Any:
     if isinstance(value, (float, np.floating)):
         return float(value)
     raise SpecError(path, f"value {value!r} is not JSON-serializable")
+
+
+def spec_digest(spec: dict) -> str:
+    """Stable digest of a spec's canonical (sorted-key) JSON encoding.
+
+    Two dicts that differ only in key order digest identically; any
+    non-JSON value raises a :class:`SpecError` rather than ``TypeError``.
+    """
+    try:
+        canon = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise SpecError("", f"spec is not JSON-serializable: {exc}") from None
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]

@@ -13,7 +13,10 @@ One engine fronts all query answering for a fixed ``(policy, epsilon)``:
   arrays of range/count/linear queries and answers each family from one
   released synopsis in a single vectorized pass (one prefix-array gather
   for 10k range queries, one matrix-vector product for count batches)
-  instead of a per-query Python loop.
+  instead of a per-query Python loop.  Batches ride the plan pipeline
+  (:mod:`repro.plan`): :meth:`PolicyEngine.plan` compiles a cost-driven
+  (or fixed-dispatch) :class:`~repro.plan.Plan` and
+  :meth:`PolicyEngine.execute` runs it, sharing releases across groups.
 
 Budget accounting is explicit: every released synopsis costs ``epsilon``
 (sequential composition across families, Theorem 4.1), while any number of
@@ -31,14 +34,7 @@ import numpy as np
 from ..core.composition import PrivacyAccountant
 from ..core.database import Database
 from ..core.policy import Policy
-from ..core.queries import (
-    CountQuery,
-    CumulativeHistogramQuery,
-    HistogramQuery,
-    LinearQuery,
-    Query,
-    RangeQuery,
-)
+from ..core.queries import HistogramQuery, Query
 from ..core.rng import ensure_rng
 from ..core.sensitivity import sensitivity as analytic_sensitivity
 from ..mechanisms.base import Mechanism, laplace_noise
@@ -216,7 +212,7 @@ class PolicyEngine:
         self.options = {k: dict(v) for k, v in (options or {}).items()}
         self.accountant = accountant
         self.fingerprint = policy_fingerprint(policy)
-        self._mechanisms: dict[str, Mechanism] = {}
+        self._mechanisms: dict[tuple[str, str], Mechanism] = {}
         self._spent = 0.0
 
     # -- sensitivities ------------------------------------------------------------
@@ -251,16 +247,23 @@ class PolicyEngine:
         """Which registry rule serves ``family`` under this policy."""
         return self.registry.rule_name(family, self.policy)
 
-    def mechanism(self, family: str) -> Mechanism:
-        """The (memoized) mechanism instance serving ``family``."""
-        if family not in self._mechanisms:
+    def mechanism(self, family: str, strategy: str | None = None) -> Mechanism:
+        """The (memoized) mechanism instance serving ``family``.
+
+        ``strategy`` pins a registry rule by name (a planner-chosen
+        candidate); the default is the first matching rule, exactly as
+        :meth:`strategy` reports.
+        """
+        name = strategy if strategy is not None else self.strategy(family)
+        key = (family, name)
+        if key not in self._mechanisms:
             opts = dict(self.options.get(family, {}))
             if family == "histogram" and "sensitivity" not in opts:
                 opts["sensitivity"] = self.sensitivity(HistogramQuery(self.policy.domain))
-            self._mechanisms[family] = self.registry.resolve(
-                family, self.policy, self.epsilon, **opts
+            self._mechanisms[key] = self.registry.resolve(
+                family, self.policy, self.epsilon, strategy=name, **opts
             )
-        return self._mechanisms[family]
+        return self._mechanisms[key]
 
     def describe(self, family: str) -> dict:
         """Introspection metadata for one family's serving path (no spend).
@@ -278,7 +281,16 @@ class PolicyEngine:
                 out[attr] = float(value)
         return out
 
-    def release(self, db: Database, family: str = "range", rng=None, *, accountant=None):
+    def release(
+        self,
+        db: Database,
+        family: str = "range",
+        rng=None,
+        *,
+        accountant=None,
+        strategy: str | None = None,
+        label: str | None = None,
+    ):
         """Release one noisy synopsis for ``family``, spending ``epsilon``.
 
         Returns the family's answerer: a range answerer with vectorized
@@ -286,11 +298,13 @@ class PolicyEngine:
         :class:`ReleasedHistogram` for ``"histogram"``.  ``accountant``
         overrides the engine's own for this spend — how pooled engines
         charge the requesting session's ledger instead of a shared one.
+        ``strategy`` pins a non-default registry rule (planner candidates);
+        ``label`` overrides the ledger label (defaults to the family).
         """
-        mech = self.mechanism(family)
+        mech = self.mechanism(family, strategy)
         # spend before releasing: if the accountant refuses (budget
         # exhausted), no noisy output must ever have been computed
-        self._spend(family, accountant)
+        self._spend(label if label is not None else family, accountant)
         out = mech.release(db, rng=ensure_rng(rng))
         if family == "histogram":
             return ReleasedHistogram(np.asarray(out, dtype=np.float64))
@@ -309,7 +323,38 @@ class PolicyEngine:
         """Total budget consumed by this engine's releases (Theorem 4.1)."""
         return self._spent
 
-    # -- batch answering -------------------------------------------------------------
+    # -- planning & batch answering ----------------------------------------------------
+    def workload(self, queries: Sequence[Query]):
+        """Group a flat batch of typed scalar queries into a Workload."""
+        from ..plan import Workload  # runtime import: repro.plan builds on this module
+
+        return Workload.from_queries(self.policy.domain, queries)
+
+    def plan(self, workload, *, optimize: bool = True, existing=()):
+        """Compile a :class:`repro.plan.Plan` for ``workload``.
+
+        ``optimize=True`` scores every registry candidate per group with
+        the analytic cost model (:mod:`repro.analysis.bounds`) and picks
+        the predicted-cheapest, including cross-group release reuse;
+        ``optimize=False`` compiles the fixed per-family dispatch (exactly
+        what :meth:`answer` runs).  ``existing`` is what the caller already
+        holds — a set of release keys, or the key -> release mapping itself
+        for row-aware linear reuse — so reuse is planned rather than
+        accidental.  A plain sequence of queries is accepted and grouped
+        first.
+        """
+        from ..plan import Planner, Workload
+
+        if not isinstance(workload, Workload):
+            workload = Workload.from_queries(self.policy.domain, workload)
+        return Planner(self).plan(workload, optimize=optimize, existing=existing)
+
+    def execute(self, plan, db: Database | None = None, *, rng=None, releases=None, accountant=None):
+        """Run a compiled plan; see :class:`repro.plan.Executor`."""
+        from ..plan import Executor
+
+        return Executor(self).run(plan, db, rng=rng, releases=releases, accountant=accountant)
+
     def answer(
         self,
         queries: Sequence[Query],
@@ -321,8 +366,9 @@ class PolicyEngine:
     ) -> np.ndarray:
         """Answer a batch of scalar queries, one float per query (input order).
 
-        Queries are grouped by family; each family present is served from
-        one released synopsis in a single vectorized pass.  Pass
+        A thin shim over the plan pipeline: the batch is grouped into a
+        single-workload fixed plan (the registry's per-family dispatch) and
+        executed in one vectorized pass per family.  Pass
         ``releases={"range": ..., "histogram": ..., "linear": ...}`` to
         answer from existing synopses (free post-processing); families
         without a provided release are released here from ``db`` at
@@ -338,62 +384,12 @@ class PolicyEngine:
         :class:`ReleasedLinear`: only weight rows never released before
         trigger a spend.  ``accountant`` overrides the engine's ledger for
         the spends of this call (per-session accounting on pooled engines).
+        For cost-driven mechanism choice instead of the fixed dispatch,
+        compile with :meth:`plan` and run :meth:`execute`.
         """
-        releases = releases if releases is not None else {}
-        rng = ensure_rng(rng)
-        range_ix: list[int] = []
-        count_ix: list[int] = []
-        linear_ix: list[int] = []
-        for pos, q in enumerate(queries):
-            if isinstance(q, RangeQuery):
-                range_ix.append(pos)
-            elif isinstance(q, CountQuery):
-                count_ix.append(pos)
-            elif isinstance(q, LinearQuery):
-                linear_ix.append(pos)
-            elif isinstance(q, (HistogramQuery, CumulativeHistogramQuery)):
-                raise TypeError(
-                    f"{type(q).__name__} is vector-valued; use "
-                    "release(db, family) and read the synopsis directly"
-                )
-            else:
-                raise TypeError(f"unsupported query type {type(q).__name__}")
-
-        out = np.empty(len(queries), dtype=np.float64)
-        if range_ix:
-            rel = releases.get("range")
-            if rel is None:
-                rel = self.release(
-                    self._require_db(db, "range"), "range", rng=rng, accountant=accountant
-                )
-                releases["range"] = rel
-            los = np.fromiter((queries[i].lo for i in range_ix), np.int64, len(range_ix))
-            his = np.fromiter((queries[i].hi for i in range_ix), np.int64, len(range_ix))
-            out[range_ix] = rel.ranges(los, his)
-        if count_ix:
-            rel = releases.get("histogram")
-            if rel is None:
-                rel = self.release(
-                    self._require_db(db, "histogram"),
-                    "histogram",
-                    rng=rng,
-                    accountant=accountant,
-                )
-                releases["histogram"] = rel
-            masks = np.stack([queries[i].mask for i in count_ix])
-            out[count_ix] = rel.counts(masks)
-        if linear_ix:
-            rel = releases.get("linear")
-            if rel is None:
-                rel = ReleasedLinear()
-                releases["linear"] = rel
-            weights = np.stack(
-                [np.asarray(queries[i].weights, dtype=np.float64) for i in linear_ix]
-            )
-            out[linear_ix] = self.answer_linear(
-                weights, db, rng=rng, release=rel, accountant=accountant
-            )
-        return out
+        plan = self.plan(self.workload(queries), optimize=False)
+        result = self.execute(plan, db, rng=rng, releases=releases, accountant=accountant)
+        return result.answers
 
     def answer_ranges(
         self, los, his, db: Database | None = None, *, rng=None, release=None
@@ -410,6 +406,10 @@ class PolicyEngine:
         if release is None:
             release = self.release(self._require_db(db, "histogram"), "histogram", rng=rng)
         return release.counts(masks)
+
+    def new_linear_release(self) -> "ReleasedLinear":
+        """A fresh row-reuse store for :meth:`answer_linear` (executor hook)."""
+        return ReleasedLinear()
 
     def answer_linear(
         self, weights, db: Database | None = None, *, rng=None, release=None, accountant=None

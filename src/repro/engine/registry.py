@@ -100,22 +100,49 @@ class MechanismRegistry:
         else:
             self._rules.append(rule)
 
-    def resolve(self, family: str, policy: Policy, epsilon: float, **options) -> Mechanism:
-        """Instantiate the first matching rule's mechanism."""
-        rule = self._find(family, policy)
+    def resolve(
+        self,
+        family: str,
+        policy: Policy,
+        epsilon: float,
+        *,
+        strategy: str | None = None,
+        **options,
+    ) -> Mechanism:
+        """Instantiate the first matching rule's mechanism.
+
+        ``strategy`` pins a rule by name instead of taking the first match —
+        how the planner (:mod:`repro.plan`) runs a candidate that is *not*
+        the family's default under this policy graph.
+        """
+        rule = self._find(family, policy, strategy)
         return rule.factory(policy, epsilon, **options)
 
     def rule_name(self, family: str, policy: Policy) -> str:
         """Which strategy would serve (family, policy) — for introspection."""
         return self._find(family, policy).name
 
-    def _find(self, family: str, policy: Policy) -> _Rule:
+    def candidates(self, family: str, policy: Policy) -> tuple[str, ...]:
+        """Every strategy name able to serve ``(family, policy)``.
+
+        Ordered default-first (registration order, deduplicated by name), so
+        a cost-driven chooser that breaks ties on position preserves the
+        fixed dispatch's behaviour when scores are equal.
+        """
+        names: list[str] = []
         for rule in self._rules:
-            if rule.matches(family, policy):
+            if rule.matches(family, policy) and rule.name not in names:
+                names.append(rule.name)
+        return tuple(names)
+
+    def _find(self, family: str, policy: Policy, strategy: str | None = None) -> _Rule:
+        for rule in self._rules:
+            if rule.matches(family, policy) and (strategy is None or rule.name == strategy):
                 return rule
+        wanted = f" with strategy {strategy!r}" if strategy else ""
         raise LookupError(
             f"no mechanism registered for family {family!r} and "
-            f"{type(policy.graph).__name__}"
+            f"{type(policy.graph).__name__}{wanted}"
         )
 
     def families(self) -> tuple[str, ...]:
@@ -174,4 +201,10 @@ def default_registry() -> MechanismRegistry:
         name="laplace-histogram",
     )
     reg.register("histogram", None, constrained_histogram, name="constrained-histogram")
+    # planner-only candidate: registered last so it never wins the
+    # first-match dispatch above, but candidates() exposes it to the
+    # cost-driven planner — the ordered mechanism (sensitivity theta) beats
+    # the OH hybrid under G^{d,theta} once theta is small enough that
+    # 4 theta^2 undercuts the Eqn (14) tree error.
+    reg.register("range", DistanceThresholdGraph, ordered, name="ordered")
     return reg

@@ -17,6 +17,7 @@ from ..core.policy import Policy
 from ..core.rng import ensure_rng, spawn
 from ..engine import PolicyEngine
 from ..mechanisms.kmeans import PrivateKMeans, _init_centroids, lloyd_kmeans
+from ..plan import Executor, Workload
 from .config import ExperimentScale, default_scale
 from .results import ResultTable
 
@@ -52,10 +53,14 @@ def _oh_mse(
             }
         },
     )
+    # fixed-dispatch plan: the ablation pins the OH mechanism's options, so
+    # the cost-driven chooser must not swap the strategy under it
+    plan = engine.plan(Workload.ranges(db.domain, los, his), optimize=False)
+    executor = Executor(engine)
     errs = []
     for trial_rng in spawn(rng, scale.trials):
-        rel = engine.release(db, "range", rng=trial_rng)
-        errs.append(float(np.mean((rel.ranges(los, his) - truth) ** 2)))
+        answers = executor.run(plan, db, rng=trial_rng).answers
+        errs.append(float(np.mean((answers - truth) ** 2)))
     return np.asarray(errs)
 
 

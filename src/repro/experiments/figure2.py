@@ -18,6 +18,7 @@ from ..core.database import Database
 from ..core.policy import Policy
 from ..core.rng import ensure_rng, spawn
 from ..datasets import adult_capital_loss_dataset, twitter_latitude_dataset
+from ..plan import Executor, Workload
 from .config import ExperimentScale, default_scale
 from .results import ResultTable
 
@@ -33,22 +34,17 @@ __all__ = [
 ADULT_THETAS = (None, 1000, 500, 100, 50, 10, 1)
 TWITTER_LATITUDE_THETAS_KM = (None, 500.0, 50.0, 5.0)
 
-#: Engines are acquired through the serving-layer pool: every (policy,
-#: epsilon, options) triple in the sweep gets one shared engine with its
-#: memoized mechanism and warm sensitivity fingerprints, exactly as a
-#: deployment would serve the same sweep (repro.api.EnginePool).
-_POOL = EnginePool(maxsize=128)
-
-
-def _engine(db: Database, theta, epsilon: float, fanout: int, consistent: bool):
+def _engine(pool: EnginePool, db: Database, theta, epsilon: float, fanout: int, consistent: bool):
     """Pooled engine per (theta, epsilon): the registry picks the
     hierarchical baseline for the full domain and the OH hybrid for distance
-    thresholds, exactly the paper's Figure 2 pairing."""
+    thresholds, exactly the paper's Figure 2 pairing.  The pool is scoped to
+    one sweep — warm sharing across its cells without pinning dozens of
+    memoized tree structures in a module global for the process lifetime."""
     if theta is None:
         policy = Policy.differential_privacy(db.domain)
     else:
         policy = Policy.distance_threshold(db.domain, theta)
-    return _POOL.get(
+    return pool.get(
         policy,
         epsilon,
         options={"range": {"fanout": fanout, "consistent": consistent}},
@@ -68,15 +64,21 @@ def range_error_curves(
     rng = ensure_rng(scale.seed)
     los, his = random_range_queries(db.domain.size, scale.n_range_queries, rng)
     truth = true_range_answers(db.cumulative_histogram(), los, his)
+    # the whole figure is one workload; each (theta, epsilon) cell compiles
+    # it into a fixed-dispatch plan (the paper's pairing) and executes the
+    # plan once per trial — the planner pipeline end to end
+    workload = Workload.ranges(db.domain, los, his)
+    pool = EnginePool(maxsize=128)
     table = ResultTable(table_name, y_label="range query MSE")
     for theta in thetas:
         label = "theta=full domain" if theta is None else f"theta={theta:g}{theta_unit}"
         for eps in scale.epsilons:
-            engine = _engine(db, theta, eps, fanout, consistent)
+            engine = _engine(pool, db, theta, eps, fanout, consistent)
+            plan = engine.plan(workload, optimize=False)
+            executor = Executor(engine)
             errors = []
             for trial_rng in spawn(rng, scale.trials):
-                released = engine.release(db, "range", rng=trial_rng)
-                answers = released.ranges(los, his)
+                answers = executor.run(plan, db, rng=trial_rng).answers
                 errors.append(float(np.mean((answers - truth) ** 2)))
             errs = np.asarray(errors)
             table.add(

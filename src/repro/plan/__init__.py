@@ -1,0 +1,27 @@
+"""Workload planning: ``Workload -> Planner -> Plan -> Executor``.
+
+The serving pipeline behind ``PolicyEngine.answer`` and the
+``"plan"``/``"explain"`` service operations: a :class:`Workload` groups
+heterogeneous typed queries into array-packed batches, the :class:`Planner`
+scores every registry candidate per group with the analytic cost model
+(:mod:`repro.analysis.bounds`) plus the engine's cached sensitivities and
+compiles a serializable, explainable :class:`Plan`, and the
+:class:`Executor` runs a plan in one vectorized pass, sharing releases
+between groups that can reuse them and charging the accountant per fresh
+release exactly as direct engine use does.
+"""
+
+from .executor import Executor, PlanResult
+from .plan import Plan, PlanStep
+from .planner import Planner
+from .workload import QueryGroup, Workload
+
+__all__ = [
+    "Workload",
+    "QueryGroup",
+    "Planner",
+    "Plan",
+    "PlanStep",
+    "Executor",
+    "PlanResult",
+]

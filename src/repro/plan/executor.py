@@ -1,0 +1,152 @@
+"""The plan executor: one vectorized pass per group, shared releases.
+
+Runs a :class:`~repro.plan.Plan` against a database through the engine the
+plan was compiled for.  Releases are produced lazily, keyed by the plan's
+release keys into the caller's mapping — the same dict a
+:class:`repro.api.Session` keeps across requests — so a key that is already
+present answers its groups as free post-processing, and two steps sharing a
+key pay for one release.  Budget accounting is exactly the engine's: every
+fresh synopsis charges ``epsilon`` to the (optional) accountant *before*
+any noise is drawn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import ensure_rng
+from .plan import Plan, canonical_options
+
+__all__ = ["Executor", "PlanResult"]
+
+
+class PlanResult:
+    """Answers plus the execution ledger of one plan run."""
+
+    __slots__ = ("plan", "by_group", "epsilon_spent", "release_cache")
+
+    def __init__(self, plan: Plan, by_group: dict, epsilon_spent: float, release_cache: dict):
+        self.plan = plan
+        self.by_group = by_group
+        self.epsilon_spent = float(epsilon_spent)
+        #: release key -> "hit" (reused) or "miss" (released fresh this run)
+        self.release_cache = release_cache
+
+    @property
+    def answers(self) -> np.ndarray:
+        """Flat answers in the workload's order."""
+        return self.plan.workload.assemble(self.by_group)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanResult(groups={sorted(self.by_group)}, "
+            f"epsilon_spent={self.epsilon_spent:g})"
+        )
+
+
+class Executor:
+    """Executes plans against one :class:`~repro.engine.PolicyEngine`."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def run(
+        self,
+        plan: Plan,
+        db=None,
+        *,
+        rng=None,
+        releases: dict | None = None,
+        accountant=None,
+    ) -> PlanResult:
+        """Answer every group of ``plan``'s workload in plan order.
+
+        ``releases`` is updated in place with any synopsis released here
+        (pass a session's mapping to make later runs free); ``db`` is only
+        required when a release is actually missing.  Steps run in plan
+        order and draw from one ``rng`` stream, so a fixed seed makes the
+        whole run bitwise-deterministic.
+        """
+        engine = self.engine
+        if plan.policy_fingerprint != engine.fingerprint:
+            raise ValueError(
+                "plan was compiled for a different policy "
+                f"({plan.policy_fingerprint} != {engine.fingerprint})"
+            )
+        if plan.epsilon != engine.epsilon:
+            raise ValueError(
+                f"plan was compiled at epsilon {plan.epsilon:g}, "
+                f"engine runs at {engine.epsilon:g}"
+            )
+        if plan.options != canonical_options(engine.options):
+            raise ValueError(
+                "plan was compiled under different mechanism options "
+                f"({plan.options or {}} != {canonical_options(engine.options) or {}}); "
+                "options change the released structures the plan was scored on"
+            )
+        releases = releases if releases is not None else {}
+        rng = ensure_rng(rng)
+        by_group: dict[str, np.ndarray] = {}
+        cache: dict[str, str] = {}
+        hist_cells: dict[str, object] = {}  # release key -> ReleasedHistogram view
+        # charged locally, not as a delta of engine.spent_epsilon: pooled
+        # engines are shared across sessions, whose concurrent releases
+        # would otherwise leak into each other's totals
+        spent = 0.0
+        for step in plan.steps:
+            group = plan.workload.group(step.group)
+            if step.family == "linear":
+                rel = releases.get(step.release)
+                if rel is None:
+                    rel = engine.new_linear_release()
+                    releases[step.release] = rel
+                rows_before = len(rel)  # grows iff a fresh sub-batch released
+                by_group[group.name] = engine.answer_linear(
+                    group.weights, db, rng=rng, release=rel, accountant=accountant
+                )
+                # linear reuse is per-row: a batch releasing any new row is
+                # a "miss" (it spent), matching Session._metered's reading
+                if len(rel) > rows_before:
+                    spent += engine.epsilon
+                    cache[step.release] = "miss"
+                else:
+                    cache.setdefault(step.release, "hit")
+                continue
+            if step.release not in cache:
+                cache[step.release] = "hit" if step.release in releases else "miss"
+            rel = releases.get(step.release)
+            if rel is None:
+                rel = engine.release(
+                    self._require_db(db, step),
+                    step.release_family,
+                    rng=rng,
+                    accountant=accountant,
+                    strategy=step.strategy,
+                    label=step.release,
+                )
+                releases[step.release] = rel
+                spent += engine.epsilon
+            if step.family == "range":
+                by_group[group.name] = rel.ranges(group.los, group.his)
+            elif step.release_family == "histogram":
+                by_group[group.name] = rel.counts(group.masks)
+            else:
+                # counts shared from a range release: post-process its cell
+                # estimates (prefix first-differences) through the standard
+                # histogram answerer (one matmul, one implementation)
+                shared = hist_cells.get(step.release)
+                if shared is None:
+                    from ..engine.engine import ReleasedHistogram
+
+                    shared = ReleasedHistogram(np.asarray(rel.histogram(), dtype=np.float64))
+                    hist_cells[step.release] = shared
+                by_group[group.name] = shared.counts(group.masks)
+        return PlanResult(plan, by_group, spent, cache)
+
+    @staticmethod
+    def _require_db(db, step):
+        if db is None:
+            raise ValueError(
+                f"a database is required to release the {step.release_family!r} synopsis"
+            )
+        return db

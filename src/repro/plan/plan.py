@@ -1,0 +1,268 @@
+"""Compiled plans: which release serves which query group, and why.
+
+A :class:`Plan` is the planner's output and the executor's input — an
+ordered list of :class:`PlanStep` s over a :class:`Workload`, pinned to one
+``(policy fingerprint, epsilon)``.  Plans are *data*: they serialize to a
+plain dict (:meth:`Plan.to_spec` / :meth:`Plan.from_spec`) with a stable
+:meth:`fingerprint`, and :meth:`explain` renders the choice report (chosen
+mechanism, predicted RMSE, sensitivity, epsilon charge and the rejected
+candidates' scores) without touching any data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.domain import Domain
+from ..core.specbase import (
+    SPEC_VERSION,
+    SpecError,
+    check_kind,
+    check_version,
+    spec_digest,
+    spec_get,
+)
+from .workload import Workload
+
+__all__ = ["Plan", "PlanStep", "canonical_options"]
+
+
+def canonical_options(options: dict | None) -> dict:
+    """Sorted-key copy of a per-family options dict (stable spec form).
+
+    Empty per-family dicts are dropped: ``{"range": {}}`` configures the
+    same mechanisms as ``{}``, so the two must compare equal.
+    """
+    if not options:
+        return {}
+    return {
+        family: {k: options[family][k] for k in sorted(options[family])}
+        for family in sorted(options)
+        if options[family]
+    }
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One group's serving decision.
+
+    ``release`` is the key the produced (or reused) synopsis lives under in
+    the caller's release mapping; two steps with the same key share one
+    release and one epsilon charge.  ``epsilon`` is the *predicted marginal*
+    charge of this step (0 when the release is produced by an earlier step
+    or already cached by the session); the executor charges actuals.
+    """
+
+    group: str
+    family: str            # query family: range | count | linear
+    release: str           # release key in the caller's mapping
+    release_family: str    # mechanism family producing it: range | histogram | linear
+    strategy: str          # registry rule name, "batch-linear", or "shared"
+    epsilon: float
+    n_queries: int
+    sensitivity: float | None = None
+    predicted_rmse: float | None = None
+    #: candidate name -> predicted per-query RMSE (the full scoreboard)
+    scores: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+    def to_spec(self) -> dict:
+        spec = {
+            "group": self.group,
+            "family": self.family,
+            "release": self.release,
+            "release_family": self.release_family,
+            "strategy": self.strategy,
+            "epsilon": float(self.epsilon),
+            "n_queries": int(self.n_queries),
+        }
+        if self.sensitivity is not None:
+            spec["sensitivity"] = float(self.sensitivity)
+        if self.predicted_rmse is not None:
+            spec["predicted_rmse"] = float(self.predicted_rmse)
+        if self.scores:
+            spec["scores"] = [[name, float(s)] for name, s in self.scores]
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: dict, path: str = "step") -> "PlanStep":
+        scores = spec_get(spec, "scores", list, path, required=False, default=[])
+        try:
+            parsed_scores = tuple((str(n), float(s)) for n, s in scores)
+        except (TypeError, ValueError):
+            raise SpecError(f"{path}.scores", "expected [name, score] pairs") from None
+        return cls(
+            group=spec_get(spec, "group", str, path),
+            family=spec_get(spec, "family", str, path),
+            release=spec_get(spec, "release", str, path),
+            release_family=spec_get(spec, "release_family", str, path),
+            strategy=spec_get(spec, "strategy", str, path),
+            epsilon=float(spec_get(spec, "epsilon", (int, float), path)),
+            n_queries=spec_get(spec, "n_queries", int, path),
+            sensitivity=_opt_float(spec, "sensitivity", path),
+            predicted_rmse=_opt_float(spec, "predicted_rmse", path),
+            scores=parsed_scores,
+        )
+
+
+def _opt_float(spec: dict, fieldname: str, path: str) -> float | None:
+    value = spec_get(spec, fieldname, (int, float), path, required=False)
+    return None if value is None else float(value)
+
+
+class Plan:
+    """An executable, explainable serving plan for one workload.
+
+    Built by :class:`repro.plan.Planner`; run by :class:`repro.plan.Executor`
+    against any engine whose ``(policy fingerprint, epsilon)`` matches.
+    """
+
+    def __init__(
+        self,
+        policy_fingerprint: str,
+        epsilon: float,
+        workload: Workload,
+        steps,
+        *,
+        mode: str = "auto",
+        options: dict | None = None,
+    ):
+        self.policy_fingerprint = str(policy_fingerprint)
+        self.epsilon = float(epsilon)
+        self.workload = workload
+        self.steps = tuple(steps)
+        self.mode = str(mode)
+        #: canonical per-family mechanism options the plan was scored under;
+        #: the executor refuses engines configured differently (options
+        #: change the released structures the cost model reasoned about)
+        self.options = canonical_options(options)
+        known = {g.name for g in workload.groups}
+        covered: set[str] = set()
+        for step in self.steps:
+            if step.group not in known:
+                raise ValueError(f"plan step references unknown group {step.group!r}")
+            if step.group in covered:
+                raise ValueError(f"plan has two steps for group {step.group!r}")
+            covered.add(step.group)
+        if covered != known:
+            # an under-covering plan would spend budget on the steps present
+            # and then fail to assemble answers — refuse before any release
+            missing = ", ".join(sorted(known - covered))
+            raise ValueError(f"plan is missing steps for group(s): {missing}")
+
+    # -- structure -----------------------------------------------------------------
+    @property
+    def total_epsilon(self) -> float:
+        """Predicted total charge: the sum of per-step marginal epsilons.
+
+        The planner already zeroes a step whose (non-linear) release key an
+        earlier step pays for; linear steps each carry their own predicted
+        sub-batch charge (row-level composition), so no key-deduplication
+        belongs here.
+        """
+        return sum(step.epsilon for step in self.steps)
+
+    def step_for(self, group: str) -> PlanStep:
+        for step in self.steps:
+            if step.group == group:
+                return step
+        raise KeyError(f"no plan step for group {group!r}")
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    # -- report --------------------------------------------------------------------
+    def explain(self) -> str:
+        """Human-readable choice report (no data touched, nothing spent)."""
+        lines = [
+            f"plan {self.fingerprint()} — policy {self.policy_fingerprint}, "
+            f"epsilon {self.epsilon:g} per release, mode {self.mode}"
+        ]
+        for i, step in enumerate(self.steps, 1):
+            kind = "fresh" if step.epsilon > 0 else "shared"
+            lines.append(
+                f"  step {i}: group {step.group!r} — {step.n_queries} "
+                f"{step.family} queries"
+            )
+            lines.append(
+                f"    release {step.release!r} via {step.strategy} "
+                f"[{kind}, epsilon {step.epsilon:g}]"
+            )
+            detail = []
+            if step.sensitivity is not None:
+                detail.append(f"sensitivity {step.sensitivity:g}")
+            if step.predicted_rmse is not None:
+                detail.append(f"predicted RMSE {step.predicted_rmse:.4g}")
+            if detail:
+                lines.append("    " + ", ".join(detail))
+            if step.scores:
+                # a count group served from a range release won as its
+                # "reuse:<key>" candidate, not under the strategy name
+                chosen = (
+                    f"reuse:{step.release}"
+                    if step.family == "count" and step.release_family == "range"
+                    else step.strategy
+                )
+                board = " | ".join(
+                    f"{name} {score:.4g}" + ("*" if name == chosen else "")
+                    for name, score in step.scores
+                )
+                lines.append(f"    candidates: {board}")
+        lines.append(
+            f"  total epsilon: {self.total_epsilon:g} across "
+            f"{sum(1 for s in self.steps if s.epsilon > 0)} fresh release(s)"
+        )
+        return "\n".join(lines)
+
+    def summary(self) -> list[dict]:
+        """Per-step dicts for service responses (subset of the spec)."""
+        return [step.to_spec() for step in self.steps]
+
+    # -- specs ---------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        spec = {
+            "kind": "plan",
+            "version": SPEC_VERSION,
+            "policy_fingerprint": self.policy_fingerprint,
+            "epsilon": self.epsilon,
+            "mode": self.mode,
+            "workload": self.workload.to_spec(),
+            "steps": [s.to_spec() for s in self.steps],
+        }
+        if self.options:
+            spec["options"] = self.options
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: dict, domain: Domain, path: str = "plan") -> "Plan":
+        check_kind(spec, "plan", path)
+        check_version(spec, path, required=False)
+        workload = Workload.from_spec(
+            spec_get(spec, "workload", dict, path), domain, f"{path}.workload"
+        )
+        steps = [
+            PlanStep.from_spec(s, f"{path}.steps[{i}]")
+            for i, s in enumerate(spec_get(spec, "steps", list, path))
+        ]
+        epsilon = float(spec_get(spec, "epsilon", (int, float), path))
+        if not math.isfinite(epsilon) or epsilon <= 0:
+            raise SpecError(f"{path}.epsilon", "must be a positive finite number")
+        try:
+            return cls(
+                spec_get(spec, "policy_fingerprint", str, path),
+                epsilon,
+                workload,
+                steps,
+                mode=spec_get(spec, "mode", str, path, required=False, default="auto"),
+                options=spec_get(spec, "options", dict, path, required=False),
+            )
+        except ValueError as exc:
+            raise SpecError(f"{path}.steps", str(exc)) from None
+
+    def fingerprint(self) -> str:
+        """Stable digest of the canonical plan spec (round-trip invariant)."""
+        return spec_digest(self.to_spec())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s.group}->{s.strategy}" for s in self.steps)
+        return f"Plan({inner or 'empty'}, mode={self.mode!r})"

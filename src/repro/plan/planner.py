@@ -1,0 +1,349 @@
+"""The cost-driven planner: score candidate mechanisms, compile a plan.
+
+For every group in a :class:`~repro.plan.Workload` the planner enumerates
+the registry rules able to serve it under the engine's policy (plus the
+*reuse* candidates: answering count queries from a range release that the
+plan already pays for), predicts each candidate's per-query RMSE with the
+analytic cost model of :mod:`repro.analysis.bounds` — fed by the engine's
+cached sensitivities and the *configured* mechanism options — and picks the
+cheapest, breaking ties toward lower epsilon charge and then toward the
+registry's default dispatch.
+
+``optimize=False`` compiles the registry's fixed per-family dispatch into
+the same :class:`~repro.plan.Plan` shape (one candidate per group), which
+is how the pre-planner ``PolicyEngine.answer`` behaviour — bitwise
+identical answers under a fixed seed — rides on the new pipeline.
+
+Scoring is advisory, never load-bearing: a candidate whose model raises is
+skipped in ``auto`` mode and kept unscored in ``fixed`` mode, so planning
+cannot fail for a workload the engine could previously answer (errors, if
+any, surface at execution exactly as before).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..analysis.bounds import (
+    predicted_count_query_mse,
+    predicted_range_query_mse,
+)
+from ..core.queries import CumulativeHistogramQuery, HistogramQuery
+from .plan import Plan, PlanStep
+from .workload import Workload
+
+__all__ = ["Planner"]
+
+#: Spending fresh budget must buy at least this factor of predicted RMSE
+#: improvement over a free alternative (a cached or plan-shared release).
+#: The cost model's own noise floor is well above 10%, so sub-10% predicted
+#: gains never justify a new epsilon charge.
+FRESH_RELEASE_PENALTY = 1.1
+
+
+class Planner:
+    """Compiles :class:`Plan` s for one :class:`~repro.engine.PolicyEngine`."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    # -- entry point ---------------------------------------------------------------
+    def plan(self, workload: Workload, *, optimize: bool = True, existing=()) -> Plan:
+        """Compile a plan for ``workload``.
+
+        ``existing`` is what the caller already holds (a session's cache):
+        either a set of release keys or, better, the key -> release mapping
+        itself — the mapping lets the planner see *row-level* linear reuse
+        instead of assuming a cached linear release makes the batch free.
+        Steps served from existing releases are charged 0 and reuse
+        candidates may target them.
+        """
+        engine = self.engine
+        if workload.domain != engine.policy.domain:
+            raise ValueError("workload is over a different domain than the policy")
+        held = existing if isinstance(existing, dict) else None
+        existing_keys = set(existing)
+        #: release key -> strategy, for keys available to reuse
+        available: dict[str, str] = {k: self._strategy_of_key(k) for k in existing_keys}
+        # range groups are planned first regardless of listing order, so a
+        # count group never misses a reuse candidate just because it was
+        # listed before the range group whose release it could ride (the
+        # executor creates a shared release at whichever step runs first)
+        by_name: dict[str, PlanStep] = {}
+        for group in workload.groups:
+            if group.family == "range":
+                step = self._plan_range(group, optimize, available)
+                by_name[group.name] = step
+                available.setdefault(step.release, step.strategy)
+        planned_rows: set[bytes] = set()
+        for group in workload.groups:
+            if group.family == "count":
+                step = self._plan_count(group, optimize, available)
+            elif group.family == "linear":
+                step = self._plan_linear(
+                    group, optimize, available, held, existing_keys, planned_rows
+                )
+            else:
+                continue
+            by_name[group.name] = step
+            available.setdefault(step.release, step.strategy)
+        steps = [by_name[group.name] for group in workload.groups]
+        return Plan(
+            engine.fingerprint,
+            engine.epsilon,
+            workload,
+            steps,
+            mode="auto" if optimize else "fixed",
+            options=engine.options,
+        )
+
+    # -- per-family planning -------------------------------------------------------
+    def _plan_range(self, group, optimize: bool, available: dict) -> PlanStep:
+        engine = self.engine
+        default = engine.strategy("range")  # may raise LookupError, as before
+        names = engine.registry.candidates("range", engine.policy) if optimize else (default,)
+        scored: list[tuple[float | None, float, str, float | None]] = []
+        for name in names:
+            rmse, sens = self._score_range(name)
+            key = "range" if name == default else f"range:{name}"
+            eps = 0.0 if key in available else engine.epsilon
+            scored.append((rmse, eps, name, sens))
+        rmse, eps, chosen, sens = _choose(scored, default)
+        key = "range" if chosen == default else f"range:{chosen}"
+        return PlanStep(
+            group=group.name,
+            family="range",
+            release=key,
+            release_family="range",
+            strategy=chosen,
+            epsilon=eps,
+            n_queries=len(group),
+            sensitivity=sens,
+            predicted_rmse=rmse,
+            scores=tuple((n, r) for r, _, n, _ in scored if r is not None),
+        )
+
+    def _plan_count(self, group, optimize: bool, available: dict) -> PlanStep:
+        engine = self.engine
+        default = engine.strategy("histogram")
+        if not optimize:
+            # the answer() hot path: no data-dependent statistics (the mask
+            # stats are O(q * |T|)), just the dispatch the registry fixes
+            key = "histogram"
+            return PlanStep(
+                group=group.name,
+                family="count",
+                release=key,
+                release_family="histogram",
+                strategy=default,
+                epsilon=0.0 if key in available else engine.epsilon,
+                n_queries=len(group),
+                sensitivity=self._histogram_sensitivity(),
+            )
+        names = engine.registry.candidates("histogram", engine.policy)
+        scored: list[tuple[float | None, float, str, float | None]] = []
+        release_of = {}
+        for name in names:
+            rmse, sens = self._score_count(name, group)
+            key = "histogram" if name == default else f"histogram:{name}"
+            release_of[name] = (key, "histogram", name)
+            eps = 0.0 if key in available else engine.epsilon
+            scored.append((rmse, eps, name, sens))
+        # reuse candidates: answer the counts from a range release the
+        # plan (or session) already pays for — prefix noise telescopes,
+        # so each maximal run of the mask costs one range query's error.
+        # That argument needs a prefix-structured release: every range
+        # answerer provides one except the raw (consistent=False)
+        # hierarchical tree, whose leaves carry independent noise.
+        consistent = self.engine.options.get("range", {}).get("consistent", True)
+        for key, strategy in available.items():
+            if key != "range" and not key.startswith("range:"):
+                continue
+            if strategy == "hierarchical" and not consistent:
+                continue
+            rmse, sens = self._score_range(strategy)
+            if rmse is None:
+                continue
+            rmse = rmse * math.sqrt(max(group.avg_runs(), 0.0))
+            label = f"reuse:{key}"
+            release_of[label] = (key, "range", strategy)
+            scored.append((rmse, 0.0, label, sens))
+        rmse, eps, chosen, sens = _choose(scored, default)
+        key, release_family, strategy = release_of.get(chosen, ("histogram", "histogram", chosen))
+        return PlanStep(
+            group=group.name,
+            family="count",
+            release=key,
+            release_family=release_family,
+            strategy=strategy,
+            epsilon=eps,
+            n_queries=len(group),
+            sensitivity=sens,
+            predicted_rmse=rmse,
+            scores=tuple((n, r) for r, _, n, _ in scored if r is not None),
+        )
+
+    def _plan_linear(
+        self,
+        group,
+        optimize: bool,
+        available: dict,
+        held: dict | None,
+        existing_keys: set,
+        planned_rows: set,
+    ) -> PlanStep:
+        engine = self.engine
+        if not optimize:
+            # hot path: no O(q * n) weight statistics or row digests; the
+            # executor charges actuals either way.  Without row awareness,
+            # every linear group is conservatively predicted to release a
+            # fresh sub-batch (only a session-held release zeroes it) —
+            # key-level dedup would under-report disjoint-row groups.
+            return PlanStep(
+                group=group.name,
+                family="linear",
+                release="linear",
+                release_family="linear",
+                strategy="batch-linear",
+                epsilon=0.0 if "linear" in existing_keys else engine.epsilon,
+                n_queries=len(group),
+            )
+        rmse = sens = None
+        try:
+            # the mechanism's own sensitivity analysis, so prediction can
+            # never drift from what a release actually calibrates to
+            # (runtime import: repro.engine imports repro.plan at load time)
+            from ..engine.engine import BatchLinearMechanism
+
+            sens = BatchLinearMechanism(
+                engine.policy, engine.epsilon, group.weights
+            ).sensitivity
+            rmse = math.sqrt(2.0) * sens / engine.epsilon
+        except Exception:
+            pass
+        # linear reuse is per-row (ReleasedLinear), not per-key: the batch
+        # is only free when every row is already covered by the session's
+        # release or by an earlier linear group of this plan.  Row digests
+        # come from the store's own keying so the prediction can never
+        # diverge from what the executor will charge.  (Runtime import:
+        # repro.engine imports repro.plan at module load, not vice versa.)
+        from ..engine.engine import ReleasedLinear
+
+        rows = ReleasedLinear._rows(group.weights)
+        covered = set(planned_rows)
+        if held is not None:
+            release = held.get("linear")
+            if release is not None:
+                try:
+                    missing = np.asarray(release.missing_rows(group.weights), dtype=bool)
+                    covered.update(r for r, m in zip(rows, missing) if not m)
+                except Exception:
+                    pass  # unknown release shape: predict a fresh charge
+        elif "linear" in existing_keys:
+            # keys-only caller: rows are invisible, keep the optimistic
+            # pre-row-aware reading (the executor still charges actuals)
+            covered = set(rows)
+        fresh = any(r not in covered for r in rows)
+        planned_rows.update(rows)
+        return PlanStep(
+            group=group.name,
+            family="linear",
+            release="linear",
+            release_family="linear",
+            strategy="batch-linear",
+            epsilon=engine.epsilon if fresh else 0.0,
+            n_queries=len(group),
+            sensitivity=sens,
+            predicted_rmse=rmse,
+            scores=(("batch-linear", rmse),) if rmse is not None else (),
+        )
+
+    # -- candidate scoring ---------------------------------------------------------
+    def _score_range(self, strategy: str) -> tuple[float | None, float | None]:
+        """(predicted per-query RMSE, model sensitivity) or (None, None)."""
+        engine = self.engine
+        policy = engine.policy
+        opts = engine.options.get("range", {})
+        try:
+            if strategy == "hierarchical":
+                sens = engine.sensitivity(HistogramQuery(policy.domain))
+            else:
+                sens = engine.sensitivity(CumulativeHistogramQuery(policy.domain))
+            theta = None
+            if strategy == "ordered-hierarchical":
+                theta = int(policy.graph.max_edge_index_gap())
+            mse = predicted_range_query_mse(
+                strategy,
+                policy.domain.size,
+                engine.epsilon,
+                sensitivity=sens,
+                theta=theta,
+                fanout=opts.get("fanout", 16),
+                budget_split=opts.get("budget_split", "optimal"),
+                consistent=opts.get("consistent", True),
+            )
+            return math.sqrt(mse), float(sens)
+        except Exception:
+            return None, None
+
+    def _histogram_sensitivity(self) -> float | None:
+        """Cached ``S(h, P)`` for step metadata, or None when unavailable."""
+        try:
+            return float(self.engine.sensitivity(HistogramQuery(self.engine.policy.domain)))
+        except Exception:
+            return None
+
+    def _score_count(self, strategy: str, group) -> tuple[float | None, float | None]:
+        engine = self.engine
+        try:
+            sens = engine.sensitivity(HistogramQuery(engine.policy.domain))
+            mse = predicted_count_query_mse(
+                strategy,
+                engine.epsilon,
+                sensitivity=sens,
+                avg_support=group.avg_support(),
+            )
+            return math.sqrt(mse), float(sens)
+        except Exception:
+            return None, None
+
+    def _strategy_of_key(self, key: str) -> str:
+        """The strategy that produced a session release key.
+
+        Keys encode it: ``"<family>"`` means the family's default rule,
+        ``"<family>:<strategy>"`` a pinned one.
+        """
+        if ":" in key:
+            return key.split(":", 1)[1]
+        family = {"range": "range", "histogram": "histogram"}.get(key)
+        if family is None:
+            return key  # e.g. "linear" -> batch-linear, never re-resolved
+        try:
+            return self.engine.strategy(family)
+        except LookupError:
+            return key
+
+
+def _choose(scored, default: str):
+    """Stable pick: lowest *effective* RMSE, then lowest epsilon charge,
+    then listing order (default candidate is listed first).
+
+    Candidates that would spend fresh budget carry
+    :data:`FRESH_RELEASE_PENALTY` against free ones, so a cached or shared
+    release only loses to a paid alternative that is predicted materially
+    better.  Unscoreable candidates only win when nothing has a score —
+    then the default survives unscored (errors, if any, surface at
+    execution exactly as the fixed dispatch would raise them).
+    """
+    viable = [(r, e, n, s) for r, e, n, s in scored if r is not None]
+    if viable:
+        return min(
+            viable,
+            key=lambda t: (t[0] * (FRESH_RELEASE_PENALTY if t[1] > 0 else 1.0), t[1]),
+        )
+    for r, e, n, s in scored:
+        if n == default:
+            return r, e, n, s
+    return scored[0] if scored else (None, 0.0, default, None)

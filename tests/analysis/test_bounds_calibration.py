@@ -1,0 +1,68 @@
+"""Regression: the range cost model takes the *configured* fan-out.
+
+``hierarchical_range_error_estimate`` used to default to the paper's
+``f=16``; a mechanism configured with any other fan-out was then scored
+with the wrong tree shape.  The model now requires the actual fan-out, and
+its fan-out ranking is cross-checked against the measured OH sweep in
+``benchmarks/results/ablation_fanout.csv`` (adult capital-loss domain,
+value-theta 100, eps 0.5).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.bounds import (
+    hierarchical_range_error_estimate,
+    predicted_range_query_mse,
+)
+
+ABLATION_CSV = Path(__file__).parents[2] / "benchmarks" / "results" / "ablation_fanout.csv"
+# the sweep's configuration (see benchmarks/bench_ablation_fanout.py)
+ADULT_SIZE = 4357
+THETA = 100
+EPSILON = 0.5
+
+
+def _measured() -> dict[int, float]:
+    with ABLATION_CSV.open() as fh:
+        return {int(float(row["fanout"])): float(row["mean"]) for row in csv.DictReader(fh)}
+
+
+def test_fanout_is_required_not_assumed():
+    with pytest.raises(TypeError):
+        hierarchical_range_error_estimate(4096, 1.0)  # no silent f=16
+
+
+def test_fanout_is_validated():
+    with pytest.raises(ValueError, match="fanout"):
+        hierarchical_range_error_estimate(4096, 1.0, fanout=1)
+
+
+def test_estimate_moves_with_the_fanout():
+    values = {f: hierarchical_range_error_estimate(4096, 1.0, fanout=f) for f in (2, 4, 16)}
+    assert len(set(values.values())) == 3
+    assert values[2] > values[16]
+
+
+def test_model_ranking_tracks_the_measured_fanout_sweep():
+    measured = _measured()
+    assert set(measured) == {2, 4, 8, 16, 32}
+    predicted = {
+        f: predicted_range_query_mse(
+            "ordered-hierarchical",
+            ADULT_SIZE,
+            EPSILON,
+            theta=THETA,
+            fanout=f,
+            consistent=True,
+        )
+        for f in measured
+    }
+    # the measured optimum (f=16, the paper's choice) is the model's optimum,
+    # and the measured worst (f=2) is the model's worst
+    assert min(predicted, key=predicted.get) == min(measured, key=measured.get)
+    assert max(predicted, key=predicted.get) == max(measured, key=measured.get)

@@ -1,0 +1,198 @@
+"""Service-level planning: the ``"plan"``/``"explain"`` ops and the pool
+statistics exposed by ``"describe"``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Policy
+from repro.api import BlowfishService, EnginePool
+
+
+@pytest.fixture
+def domain():
+    return Domain.integers("v", 128)
+
+
+@pytest.fixture
+def service(domain):
+    rng = np.random.default_rng(5)
+    svc = BlowfishService()
+    svc.register_dataset("data", Database.from_indices(domain, rng.integers(0, 128, 3_000)))
+    return svc
+
+
+def _base(domain, theta=2.0, epsilon=0.5):
+    return {
+        "policy": Policy.distance_threshold(domain, theta).to_spec(),
+        "epsilon": epsilon,
+    }
+
+
+MIXED_QUERIES = [
+    {"kind": "range", "lo": 5, "hi": 60},
+    {"kind": "range", "lo": 0, "hi": 127},
+    {"kind": "count", "support": list(range(30, 50))},
+]
+
+
+class TestPlanOp:
+    def test_plan_answers_and_reports_steps(self, domain, service):
+        req = {
+            **_base(domain),
+            "op": "plan",
+            "dataset": {"name": "data"},
+            "queries": MIXED_QUERIES,
+            "session": "c", "seed": 0,
+        }
+        resp = service.handle(req)
+        assert resp["ok"], resp
+        assert len(resp["answers"]) == 3
+        steps = resp["plan"]["steps"]
+        assert [s["family"] for s in steps] == ["range", "count"]
+        for step in steps:
+            assert {"strategy", "predicted_rmse", "epsilon", "release"} <= set(step)
+        # theta=2: cost-driven pick is the ordered mechanism, counts shared
+        assert steps[0]["strategy"] == "ordered"
+        assert steps[1]["release"] == steps[0]["release"]
+        assert resp["meta"]["epsilon_spent"] == pytest.approx(0.5)
+        # repeat: served from the session's cached release for free
+        again = service.handle(req)
+        assert again["meta"]["epsilon_spent"] == 0.0
+        assert again["answers"] == resp["answers"]
+
+    def test_fixed_mode_is_bitwise_identical_to_answer(self, domain, service):
+        common = {
+            **_base(domain),
+            "dataset": {"name": "data"},
+            "queries": MIXED_QUERIES,
+            "seed": 7,
+        }
+        answered = service.handle(common)
+        planned = service.handle({**common, "op": "plan", "mode": "fixed"})
+        assert answered["ok"] and planned["ok"]
+        assert planned["answers"] == answered["answers"]
+        assert planned["plan"]["mode"] == "fixed"
+
+    def test_workload_spec_shape_is_accepted(self, domain, service):
+        workload = {
+            "kind": "workload",
+            "groups": [
+                {"name": "r", "family": "range", "los": [0, 4], "his": [10, 90]},
+                {"name": "c", "family": "count", "supports": [list(range(8, 16))]},
+            ],
+        }
+        resp = service.handle(
+            {**_base(domain), "op": "plan", "dataset": {"name": "data"},
+             "queries": workload, "seed": 0}
+        )
+        assert resp["ok"], resp
+        assert len(resp["answers"]) == 3
+
+    def test_bad_mode_is_named(self, domain, service):
+        resp = service.handle(
+            {**_base(domain), "op": "plan", "dataset": {"name": "data"},
+             "queries": MIXED_QUERIES, "mode": "yolo"}
+        )
+        assert not resp["ok"]
+        assert resp["error"]["field"] == "request.mode"
+
+
+class TestExplainOp:
+    def test_explain_spends_nothing_and_needs_no_dataset(self, domain):
+        service = BlowfishService()  # nothing registered
+        resp = service.handle(
+            {**_base(domain), "op": "explain", "queries": MIXED_QUERIES}
+        )
+        assert resp["ok"], resp
+        report = resp["report"]
+        for needle in ("predicted RMSE", "epsilon", "candidates:", "ordered"):
+            assert needle in report
+        spec = resp["plan"]
+        assert spec["kind"] == "plan"
+        # the spec round-trips through the library loader
+        from repro.plan import Plan
+
+        plan = Plan.from_spec(spec, domain)
+        assert plan.fingerprint() == Plan.from_spec(plan.to_spec(), domain).fingerprint()
+
+    def test_explain_never_materializes_a_session(self, domain, service):
+        # a preview must not create an unbudgeted session that would later
+        # swallow the budget of the client's real first request
+        common = {
+            **_base(domain),
+            "dataset": {"name": "data"},
+            "queries": MIXED_QUERIES,
+            "session": "fresh-client",
+        }
+        assert service.handle({**common, "op": "explain"})["ok"]
+        resp = service.handle({**common, "op": "plan", "budget": 0.5, "seed": 0})
+        assert resp["ok"]
+        # the budget from the first *answering* request is enforced
+        refused = service.handle(
+            {**common, "op": "plan", "budget": 0.5, "seed": 0,
+             "queries": [{"kind": "linear", "weights": [1.0] * 3000}]}
+        )
+        assert not refused["ok"] and "budget" in refused["error"]["message"]
+
+    def test_explain_previews_the_warmed_session(self, domain, service):
+        # after a plan request warms the session, an explain on the same
+        # request must report the reuse (zero charge), not fresh spends
+        common = {
+            **_base(domain),
+            "dataset": {"name": "data"},
+            "queries": MIXED_QUERIES,
+            "session": "warm",
+            "seed": 0,
+        }
+        service.handle({**common, "op": "plan"})
+        preview = service.handle({**common, "op": "explain"})
+        assert preview["ok"]
+        assert preview["meta"]["total_epsilon"] == 0.0
+        # without the session context the same workload predicts a charge
+        cold = service.handle({**_base(domain), "op": "explain", "queries": MIXED_QUERIES})
+        assert cold["meta"]["total_epsilon"] > 0.0
+
+    def test_explain_reports_epsilon_split_per_group(self, domain):
+        resp = BlowfishService().handle(
+            {**_base(domain), "op": "explain", "queries": MIXED_QUERIES}
+        )
+        eps = [s["epsilon"] for s in resp["plan"]["steps"]]
+        assert eps == [0.5, 0.0]  # counts ride the shared range release
+        assert resp["meta"]["total_epsilon"] == pytest.approx(0.5)
+
+
+class TestDescribeStats:
+    def test_describe_exposes_pool_and_sensitivity_cache(self, domain, service):
+        resp = service.handle({**_base(domain), "op": "describe"})
+        assert resp["ok"]
+        pool = resp["meta"]["engine_pool"]
+        assert {"size", "maxsize", "hits", "misses", "evictions"} <= set(pool)
+        assert {"size", "hits", "misses"} <= set(resp["meta"]["sensitivity_cache"])
+
+
+class TestPoolLRU:
+    def test_stats_counts_hits_misses_evictions(self, domain):
+        pool = EnginePool(maxsize=2)
+        p = Policy.line(domain)
+        pool.get(p, 0.5)
+        pool.get(p, 0.5)
+        pool.get(p, 0.7)
+        pool.get(p, 0.9)
+        stats = pool.stats()
+        assert stats == {
+            "size": 2, "maxsize": 2, "hits": 1, "misses": 3, "evictions": 1,
+        }
+
+    def test_eviction_order_matches_lru(self, domain):
+        pool = EnginePool(maxsize=2)
+        policies = {t: Policy.distance_threshold(domain, t) for t in (2, 3, 4)}
+        pool.get(policies[2], 0.5)
+        pool.get(policies[3], 0.5)
+        pool.get(policies[2], 0.5)  # touch 2: now 3 is least recently used
+        pool.get(policies[4], 0.5)  # evicts 3, not 2
+        assert pool.key(policies[2], 0.5) in pool
+        assert pool.key(policies[4], 0.5) in pool
+        assert pool.key(policies[3], 0.5) not in pool
+        assert pool.stats()["evictions"] == 1

@@ -53,7 +53,7 @@ class TestEnginePool:
         e1 = pool.get(Policy.distance_threshold(domain, 10), 0.5)
         e2 = pool.get(Policy.distance_threshold(Domain.integers("v", 200), 10), 0.5)
         assert e1 is e2
-        assert pool.info()["hits"] == 1 and pool.info()["misses"] == 1
+        assert pool.stats()["hits"] == 1 and pool.stats()["misses"] == 1
 
     def test_epsilon_and_options_split_entries(self, domain):
         pool = EnginePool()
@@ -71,7 +71,7 @@ class TestEnginePool:
         pool = EnginePool(maxsize=2)
         engines = [pool.get(Policy.distance_threshold(domain, t), 0.5) for t in (2, 3, 4)]
         assert len(pool) == 2
-        assert pool.info()["evictions"] == 1
+        assert pool.stats()["evictions"] == 1
         # the evicted (oldest) engine is rebuilt on re-request
         again = pool.get(Policy.distance_threshold(domain, 2), 0.5)
         assert again is not engines[0]

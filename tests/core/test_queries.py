@@ -212,3 +212,17 @@ class TestConstraints:
         q2 = CountQuery.from_mask(tiny_domain, np.zeros(3, dtype=bool))
         with pytest.raises(ValueError):
             ConstraintSet([Constraint(q1, 0), Constraint(q2, 0)])
+
+
+class TestIntArrayOverflow:
+    def test_uint64_range_values_raise_instead_of_wrapping(self):
+        from repro.core.queries import _int_array
+        from repro.core.specbase import SpecError
+
+        # 2**63 parses as uint64; astype(int64) would wrap negative
+        with pytest.raises(SpecError, match="out of 64-bit integer range"):
+            _int_array([2**63], "payload")
+        with pytest.raises(SpecError, match="out of 64-bit integer range"):
+            _int_array([1, 2**64 - 1], "payload")
+        # boundary value that does fit stays exact
+        assert _int_array([2**63 - 1], "payload")[0] == 2**63 - 1

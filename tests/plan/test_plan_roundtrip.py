@@ -1,0 +1,143 @@
+"""Plan serialization: to_spec()/from_spec() round trips with the
+fingerprint preserved, across randomized workloads and policies."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Domain, Policy, PolicyEngine, Workload
+from repro.plan import Plan, QueryGroup
+
+SIZE = 48
+DOMAIN = Domain.integers("v", SIZE)
+
+
+@st.composite
+def workloads(draw):
+    groups = []
+    # always at least one range group
+    n = draw(st.integers(1, 5))
+    los = [draw(st.integers(0, SIZE - 1)) for _ in range(n)]
+    his = [draw(st.integers(lo, SIZE - 1)) for lo in los]
+    groups.append(QueryGroup.ranges(los, his))
+    if draw(st.booleans()):
+        n = draw(st.integers(1, 3))
+        masks = np.zeros((n, SIZE), dtype=bool)
+        for i in range(n):
+            a = draw(st.integers(0, SIZE - 2))
+            b = draw(st.integers(a, SIZE - 1))
+            masks[i, a : b + 1] = True
+        groups.append(QueryGroup.counts(masks))
+    if draw(st.booleans()):
+        weights = np.asarray(
+            [[draw(st.integers(-3, 3)) / 2.0 for _ in range(4)] for _ in range(2)]
+        )
+        groups.append(QueryGroup.linear(weights))
+    return Workload(DOMAIN, groups)
+
+
+POLICIES = (
+    Policy.line(DOMAIN),
+    Policy.distance_threshold(DOMAIN, 3),
+    Policy.differential_privacy(DOMAIN),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads(), policy_ix=st.integers(0, len(POLICIES) - 1), optimize=st.booleans())
+def test_plan_spec_round_trip_preserves_fingerprint(workload, policy_ix, optimize):
+    engine = PolicyEngine(POLICIES[policy_ix], 0.5)
+    plan = engine.plan(workload, optimize=optimize)
+    spec = json.loads(json.dumps(plan.to_spec()))  # genuine JSON round trip
+    back = Plan.from_spec(spec, DOMAIN)
+    assert back.fingerprint() == plan.fingerprint()
+    assert back.mode == plan.mode
+    assert [s.to_spec() for s in back.steps] == [s.to_spec() for s in plan.steps]
+    assert back.workload.fingerprint() == plan.workload.fingerprint()
+    assert back.to_spec() == plan.to_spec()
+
+
+def test_round_tripped_plan_keeps_interleaved_answer_order():
+    """Auto-grouped batches record flat positions; the spec must carry them
+    so a deserialized plan does not silently reorder its answers."""
+    from repro import CountQuery, Database, RangeQuery
+    from repro.plan import Executor
+
+    rng = np.random.default_rng(2)
+    db = Database.from_indices(DOMAIN, rng.integers(0, SIZE, 900))
+    engine = PolicyEngine(Policy.line(DOMAIN), 0.5)
+    queries = [
+        CountQuery.from_mask(DOMAIN, np.arange(SIZE) < 12),
+        RangeQuery(DOMAIN, 3, 30),
+        CountQuery.from_mask(DOMAIN, np.arange(SIZE) >= 40),
+        RangeQuery(DOMAIN, 0, 47),
+    ]
+    plan = engine.plan(engine.workload(queries), optimize=False)
+    direct = Executor(engine).run(plan, db, rng=np.random.default_rng(0)).answers
+    back = Plan.from_spec(json.loads(json.dumps(plan.to_spec())), DOMAIN)
+    tripped = Executor(engine).run(back, db, rng=np.random.default_rng(0)).answers
+    assert np.array_equal(direct, tripped)
+    assert back.fingerprint() == plan.fingerprint()
+
+
+def test_positions_spec_is_validated():
+    from repro.core.specbase import SpecError
+    from repro.plan import Workload as W
+
+    spec = {
+        "kind": "workload",
+        "groups": [{"name": "r", "family": "range", "los": [0, 1], "his": [5, 6]}],
+        "positions": {"r": [0, 5]},  # not a permutation of [0, 2)
+    }
+    with pytest.raises(SpecError, match="positions"):
+        W.from_spec(spec, DOMAIN)
+
+
+def test_plan_from_spec_validates_fields():
+    from repro.core.specbase import SpecError
+
+    engine = PolicyEngine(Policy.line(DOMAIN), 0.5)
+    spec = engine.plan(Workload.ranges(DOMAIN, [0], [5])).to_spec()
+    bad = dict(spec, epsilon=-1.0)
+    with pytest.raises(SpecError, match="epsilon"):
+        Plan.from_spec(bad, DOMAIN)
+    bad = dict(spec, steps=[dict(spec["steps"][0], group="ghost")])
+    with pytest.raises(SpecError, match="steps"):
+        Plan.from_spec(bad, DOMAIN)
+
+
+def test_incomplete_or_duplicated_step_coverage_is_rejected():
+    """An under-covering plan would spend budget, then crash assembling
+    answers — it must be refused before any release."""
+    from repro.core.specbase import SpecError
+    from repro.plan import QueryGroup, Workload as W
+
+    engine = PolicyEngine(Policy.line(DOMAIN), 0.5)
+    wl = W(DOMAIN, [QueryGroup.ranges([0], [5]), QueryGroup.counts(
+        np.eye(1, SIZE, 3, dtype=bool))])
+    spec = engine.plan(wl).to_spec()
+    missing = dict(spec, steps=spec["steps"][:1])
+    with pytest.raises(SpecError, match="missing steps"):
+        Plan.from_spec(missing, DOMAIN)
+    doubled = dict(spec, steps=spec["steps"] + [spec["steps"][0]])
+    with pytest.raises(SpecError, match="two steps"):
+        Plan.from_spec(doubled, DOMAIN)
+
+
+def test_empty_option_dicts_compare_equal_across_engines():
+    """{'range': {}} configures the same mechanisms as {} — a plan from one
+    engine must run on the other."""
+    from repro import Database
+    from repro.plan import Executor
+
+    rng = np.random.default_rng(4)
+    db = Database.from_indices(DOMAIN, rng.integers(0, SIZE, 500))
+    plain = PolicyEngine(Policy.line(DOMAIN), 0.5)
+    emptyopts = PolicyEngine(Policy.line(DOMAIN), 0.5, options={"range": {}})
+    plan = plain.plan(Workload.ranges(DOMAIN, [0], [5]))
+    Executor(emptyopts).run(plan, db, rng=0)  # must not raise

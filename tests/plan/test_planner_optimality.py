@@ -1,0 +1,92 @@
+"""Planner optimality on the Figure 2 policy/workload grid.
+
+The contract: under a fixed seed, the planner's predicted-best mechanism is
+never worse (measured range-query MSE) than the registry's fixed per-family
+strategy by more than the cost model's stated tolerance
+(``repro.analysis.bounds.MODEL_TOLERANCE``) — and where the planner
+deviates from the fixed dispatch at all, it must be because the deviation
+measurably helps somewhere on the grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Policy, PolicyEngine, Workload
+from repro.analysis.bounds import MODEL_TOLERANCE
+from repro.analysis.error import random_range_queries, true_range_answers
+from repro.plan import Executor
+
+SIZE = 512
+N_QUERIES = 600
+TRIALS = 8
+SEED = 20140623
+
+#: the Figure 2 sweep, shrunk: distance thresholds from the ordered end to
+#: the DP end (None = full domain), at a low and a high epsilon
+GRID = [
+    (theta, eps)
+    for theta in (1, 2, 4, 16, 128, None)
+    for eps in (0.25, 1.0)
+]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    domain = Domain.integers("v", SIZE)
+    rng = np.random.default_rng(SEED)
+    # adult-like sparse draw: mostly one spike band plus a uniform tail
+    spike = rng.normal(180, 12, 6_000)
+    tail = rng.uniform(0, SIZE, 2_000)
+    db = Database.from_indices(
+        domain, np.clip(np.concatenate([spike, tail]), 0, SIZE - 1).astype(np.int64)
+    )
+    los, his = random_range_queries(SIZE, N_QUERIES, rng)
+    truth = true_range_answers(db.cumulative_histogram(), los, his)
+    return domain, db, Workload.ranges(domain, los, his), truth
+
+
+def _measured_mse(engine, plan, db, truth) -> float:
+    errs = []
+    for trial in range(TRIALS):
+        result = Executor(engine).run(plan, db, rng=np.random.default_rng((SEED, trial)))
+        errs.append(float(np.mean((result.answers - truth) ** 2)))
+    return float(np.mean(errs))
+
+
+@pytest.mark.parametrize("theta,eps", GRID)
+def test_planner_never_loses_by_more_than_the_model_tolerance(setting, theta, eps):
+    domain, db, workload, truth = setting
+    policy = (
+        Policy.differential_privacy(domain)
+        if theta is None
+        else Policy.distance_threshold(domain, theta)
+    )
+    engine = PolicyEngine(policy, eps)
+    fixed = engine.plan(workload, optimize=False)
+    auto = engine.plan(workload, optimize=True)
+    if auto.step_for("range").strategy == fixed.step_for("range").strategy:
+        # identical choice must mean identical (bitwise) answers
+        a = Executor(engine).run(auto, db, rng=np.random.default_rng(SEED)).answers
+        f = Executor(engine).run(fixed, db, rng=np.random.default_rng(SEED)).answers
+        assert np.array_equal(a, f)
+        return
+    mse_fixed = _measured_mse(engine, fixed, db, truth)
+    mse_auto = _measured_mse(engine, auto, db, truth)
+    assert mse_auto <= mse_fixed * MODEL_TOLERANCE, (
+        f"planner chose {auto.step_for('range').strategy} over "
+        f"{fixed.step_for('range').strategy} at theta={theta}, eps={eps} and "
+        f"lost: {mse_auto:.1f} vs {mse_fixed:.1f}"
+    )
+
+
+def test_planner_wins_somewhere_on_the_grid(setting):
+    """The deviations must pay: at the small-theta end the ordered pick
+    should measurably beat the fixed OH dispatch."""
+    domain, db, workload, truth = setting
+    engine = PolicyEngine(Policy.distance_threshold(domain, 2), 0.5)
+    fixed = engine.plan(workload, optimize=False)
+    auto = engine.plan(workload, optimize=True)
+    assert auto.step_for("range").strategy != fixed.step_for("range").strategy
+    assert _measured_mse(engine, auto, db, truth) < _measured_mse(engine, fixed, db, truth)

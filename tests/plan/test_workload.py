@@ -1,0 +1,128 @@
+"""Workload grouping, validation and spec round-tripping."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    CountQuery,
+    Domain,
+    HistogramQuery,
+    LinearQuery,
+    RangeQuery,
+    Workload,
+)
+from repro.core.specbase import SpecError
+from repro.plan import QueryGroup
+
+
+@pytest.fixture
+def domain():
+    return Domain.integers("v", 64)
+
+
+class TestGrouping:
+    def test_from_queries_groups_by_family_and_keeps_positions(self, domain):
+        queries = [
+            CountQuery.from_mask(domain, np.arange(64) < 10),
+            RangeQuery(domain, 3, 9),
+            LinearQuery(domain, np.ones(5)),
+            RangeQuery(domain, 0, 63),
+        ]
+        wl = Workload.from_queries(domain, queries)
+        assert [g.family for g in wl.groups] == ["range", "count", "linear"]
+        assert len(wl) == 4
+        flat = wl.assemble(
+            {"range": np.array([1.0, 2.0]), "count": np.array([3.0]), "linear": np.array([4.0])}
+        )
+        # input order restored: count, range, linear, range
+        assert flat.tolist() == [3.0, 1.0, 4.0, 2.0]
+
+    def test_vector_valued_queries_are_rejected(self, domain):
+        with pytest.raises(TypeError, match="vector-valued"):
+            Workload.from_queries(domain, [HistogramQuery(domain)])
+
+    def test_unknown_query_type_is_rejected(self, domain):
+        with pytest.raises(TypeError, match="unsupported query type"):
+            Workload.from_queries(domain, ["nope"])
+
+    def test_duplicate_group_names_are_rejected(self, domain):
+        with pytest.raises(ValueError, match="unique"):
+            Workload(domain, [QueryGroup.ranges([0], [1]), QueryGroup.ranges([2], [3])])
+
+    def test_two_groups_of_one_family_are_allowed(self, domain):
+        wl = Workload(
+            domain,
+            [QueryGroup.ranges([0], [1], name="a"), QueryGroup.ranges([2], [3], name="b")],
+        )
+        assert len(wl) == 2 and {g.name for g in wl} == {"a", "b"}
+
+    def test_out_of_range_queries_are_rejected(self, domain):
+        with pytest.raises(SpecError, match="invalid range"):
+            Workload.ranges(domain, [0], [64])
+
+    def test_mask_width_is_validated(self, domain):
+        with pytest.raises(SpecError, match="mask width"):
+            Workload(domain, [QueryGroup.counts(np.zeros((1, 65), dtype=bool))])
+
+    def test_higher_dimensional_payloads_are_rejected(self, domain):
+        with pytest.raises(ValueError, match="2-D"):
+            QueryGroup.linear(np.ones((2, 3, 5)))
+        with pytest.raises(ValueError, match="2-D"):
+            QueryGroup.counts(np.zeros((2, 3, 64), dtype=bool))
+
+
+class TestStatistics:
+    def test_avg_support_and_runs(self, domain):
+        masks = np.zeros((2, 64), dtype=bool)
+        masks[0, 10:20] = True  # 10 cells, 1 run
+        masks[1, ::2] = True  # 32 cells, 32 runs
+        g = QueryGroup.counts(masks)
+        assert g.avg_support() == pytest.approx(21.0)
+        assert g.avg_runs() == pytest.approx(16.5)
+
+    def test_run_starting_at_zero_counts_once(self, domain):
+        masks = np.zeros((1, 64), dtype=bool)
+        masks[0, 0:5] = True
+        assert QueryGroup.counts(masks).avg_runs() == pytest.approx(1.0)
+
+
+class TestSpecs:
+    def _mixed(self, domain):
+        masks = np.zeros((2, 64), dtype=bool)
+        masks[0, 4:9] = True
+        masks[1, 60:] = True
+        return Workload(
+            domain,
+            [
+                QueryGroup.ranges([0, 5], [9, 63]),
+                QueryGroup.counts(masks, name="bands"),
+                QueryGroup.linear(np.linspace(0, 1, 12).reshape(2, 6), name="w"),
+            ],
+        )
+
+    def test_round_trip_preserves_fingerprint_and_payload(self, domain):
+        wl = self._mixed(domain)
+        spec = json.loads(json.dumps(wl.to_spec()))
+        back = Workload.from_spec(spec, domain)
+        assert back.fingerprint() == wl.fingerprint()
+        assert [g.name for g in back.groups] == [g.name for g in wl.groups]
+        assert np.array_equal(back.group("bands").masks, wl.group("bands").masks)
+        assert np.array_equal(back.group("w").weights, wl.group("w").weights)
+        assert np.array_equal(back.group("range").los, wl.group("range").los)
+
+    def test_bad_support_index_is_named(self, domain):
+        spec = {
+            "kind": "workload",
+            "groups": [{"name": "c", "family": "count", "supports": [[99]]}],
+        }
+        with pytest.raises(SpecError, match=r"supports\[0\]"):
+            Workload.from_spec(spec, domain)
+
+    def test_unknown_family_is_named(self, domain):
+        spec = {"kind": "workload", "groups": [{"name": "x", "family": "quantile"}]}
+        with pytest.raises(SpecError, match="family"):
+            Workload.from_spec(spec, domain)
