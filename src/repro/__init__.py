@@ -98,6 +98,7 @@ from .core import (
     LinearQuery,
     Partition,
     Policy,
+    BudgetExceededError,
     PrivacyAccountant,
     Query,
     RangeQuery,
@@ -136,6 +137,7 @@ __all__ = [
     "Database",
     "Partition",
     "Policy",
+    "BudgetExceededError",
     "PrivacyAccountant",
     "Query",
     "HistogramQuery",

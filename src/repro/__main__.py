@@ -125,6 +125,25 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
             },
         ),
     ]
+    planned = {
+        "op": "plan",
+        "policy": policy_spec,
+        "epsilon": args.epsilon,
+        "dataset": {"name": "demo"},
+        "queries": {"kind": "range_batch", "los": [10, 30, 55], "his": [50, 90, 80]},
+        "seed": args.seed,
+    }
+    requests += [
+        (
+            "a planned workload: candidates scored, plan compiled and executed",
+            planned,
+        ),
+        (
+            "a second tenant, same workload: the compiled plan is served from "
+            "the cross-tenant plan cache (meta.plan_cache == 'hit')",
+            dict(planned),
+        ),
+    ]
     for label, request in requests:
         print(f"--- {label}")
         print(f">>> {json.dumps(request)[:120]}...")

@@ -10,7 +10,8 @@ queries answered under it — first-class *data*:
   validation errors that name the offending field;
 * **engine pool** (:mod:`repro.api.pool`) — :class:`EnginePool` shares
   :class:`~repro.engine.PolicyEngine` s across tenants under stable policy
-  fingerprints, LRU-bounded;
+  fingerprints, LRU-bounded, plus the cross-tenant :class:`PlanCache` of
+  compiled workload plans;
 * **sessions** (:mod:`repro.api.session`) — :class:`Session` owns one
   client's budget ledger and released synopses, so repeated queries are
   free post-processing;
@@ -36,9 +37,14 @@ End to end::
     }
     response = service.handle(request)
     response["answers"], response["meta"]["epsilon_spent"]
+
+``BlowfishService.handle`` is thread-safe: session ledgers are created
+exactly once per key, spends on one session serialize on its lock, and the
+engine/plan caches synchronize internally — see the README's "Thread
+safety" section for the full guarantees.
 """
 
-from .pool import EnginePool
+from .pool import EnginePool, PlanCache
 from .service import BlowfishService
 from .session import Session
 from .specs import SPEC_VERSION, SpecError, from_spec, spec_digest, to_spec
@@ -46,6 +52,7 @@ from .specs import SPEC_VERSION, SpecError, from_spec, spec_digest, to_spec
 __all__ = [
     "BlowfishService",
     "EnginePool",
+    "PlanCache",
     "Session",
     "SpecError",
     "SPEC_VERSION",

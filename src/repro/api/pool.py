@@ -9,6 +9,17 @@ identity: two tenants who configure structurally equal policies share one
 engine.  Per-tenant state (budget ledgers, release reuse) deliberately does
 NOT live here — that is :class:`repro.api.Session`; pooled engines are
 created without an accountant and charge the session ledger passed per call.
+
+The pool also owns the cross-tenant :class:`PlanCache`: compiled plans are
+deterministic functions of ``(policy fingerprint, epsilon, options,
+workload digest, existing-release state)``, so they are shared the same way
+engines are — heavy repeated multi-tenant traffic skips candidate scoring
+entirely.  Every engine the pool builds gets a reference to this cache.
+
+Both caches are thread-safe: all map access (including ``len``/``in``)
+happens under a lock, and builds happen outside it with a double-checked
+insert that prefers the incumbent, so racing callers converge on one shared
+object per key.
 """
 
 from __future__ import annotations
@@ -19,23 +30,96 @@ from threading import Lock
 from ..core.policy import Policy
 from ..engine.cache import SensitivityCache
 from ..engine.engine import PolicyEngine
+from ..engine.fingerprint import options_key as _options_key
 from ..engine.fingerprint import policy_fingerprint
 from ..engine.registry import MechanismRegistry
 
-__all__ = ["EnginePool"]
+__all__ = ["EnginePool", "PlanCache"]
 
 
-def _options_key(options: dict | None) -> tuple:
-    """Canonical hashable form of a per-family options dict."""
-    if not options:
-        return ()
-    out = []
-    for family in sorted(options):
-        opts = options[family]
-        if not isinstance(opts, dict):
-            raise TypeError(f"options[{family!r}] must be a dict, got {type(opts).__name__}")
-        out.append((family, tuple(sorted(opts.items()))))
-    return tuple(out)
+class PlanCache:
+    """A thread-safe LRU map from plan-identity keys to compiled ``Plan`` s.
+
+    Keys are built by :meth:`repro.engine.PolicyEngine.plan_with_meta` from
+    everything a compiled plan depends on: policy fingerprint, epsilon,
+    canonical options, the registry's rule-table fingerprint, the
+    workload's structural digest, the planner mode and the caller's
+    existing-release token (row-aware for linear releases).  Values are
+    immutable :class:`~repro.plan.Plan` objects, so one cached plan is
+    executed concurrently by any number of tenants.
+
+    ``maxsize`` bounds *entries*, not bytes: a cached plan retains its
+    workload's packed arrays (the executor reads them), so deployments
+    whose tenants submit many distinct very large workloads should size
+    this down rather than up — the cache exists for *repeated* workloads,
+    and a few dozen entries already cover that.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._plans: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: tuple):
+        """The cached plan for ``key``, or None (counted as a miss)."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return plan
+
+    def store(self, key: tuple, plan):
+        """Insert ``plan`` under ``key``; returns the plan actually cached.
+
+        Racing compilers for one key produce interchangeable plans (the key
+        captures every input), so the first insert wins and later callers
+        adopt the incumbent — mirroring :meth:`EnginePool.get`.
+        """
+        with self._lock:
+            incumbent = self._plans.setdefault(key, plan)
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+            return incumbent
+
+    def stats(self) -> dict[str, int]:
+        """Occupancy and traffic counters, surfaced by ``"describe"``."""
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def __repr__(self) -> str:
+        i = self.stats()
+        return (
+            f"PlanCache(size={i['size']}/{i['maxsize']}, hits={i['hits']}, "
+            f"misses={i['misses']})"
+        )
 
 
 class EnginePool:
@@ -51,6 +135,10 @@ class EnginePool:
     registry, cache:
         Passed through to every engine the pool constructs, so one
         deployment can swap the dispatch table or isolate its cache.
+    plan_cache:
+        The shared :class:`PlanCache` handed to every constructed engine;
+        defaults to a fresh one.  Pass your own to share plans across pools
+        or to size it differently.
     """
 
     def __init__(
@@ -59,12 +147,14 @@ class EnginePool:
         *,
         registry: MechanismRegistry | None = None,
         cache: SensitivityCache | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self._registry = registry
         self._cache = cache
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self._engines: OrderedDict[tuple, PolicyEngine] = OrderedDict()
         self._lock = Lock()
         self.hits = 0
@@ -83,19 +173,31 @@ class EnginePool:
         The returned engine has no accountant of its own — callers pass
         their session's ledger to ``answer``/``release`` per call.
         """
+        return self.get_with_meta(policy, epsilon, options=options)[0]
+
+    def get_with_meta(
+        self, policy: Policy, epsilon: float, *, options: dict | None = None
+    ) -> tuple[PolicyEngine, str]:
+        """:meth:`get`, plus ``"hit"``/``"miss"`` for *this call*.
+
+        The flag is decided inside the critical section that served the
+        call — never inferred from before/after deltas of the pool-global
+        counters, which a concurrent tenant's traffic would corrupt.
+        """
         key = self.key(policy, epsilon, options)
         with self._lock:
             engine = self._engines.get(key)
             if engine is not None:
                 self.hits += 1
                 self._engines.move_to_end(key)
-                return engine
+                return engine, "hit"
         engine = PolicyEngine(
             policy,
             epsilon,
             registry=self._registry,
             cache=self._cache,
             options=options,
+            plan_cache=self.plan_cache,
         )
         with self._lock:
             # a racing builder may have inserted first; prefer the incumbent
@@ -104,13 +206,13 @@ class EnginePool:
             if incumbent is not None:
                 self.hits += 1
                 self._engines.move_to_end(key)
-                return incumbent
+                return incumbent, "hit"
             self.misses += 1
             self._engines[key] = engine
             while len(self._engines) > self.maxsize:
                 self._engines.popitem(last=False)
                 self.evictions += 1
-        return engine
+        return engine, "miss"
 
     def stats(self) -> dict[str, int]:
         """Occupancy and traffic counters (hits, misses, evictions).
@@ -136,10 +238,12 @@ class EnginePool:
             self._engines.clear()
 
     def __len__(self) -> int:
-        return len(self._engines)
+        with self._lock:
+            return len(self._engines)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._engines
+        with self._lock:
+            return key in self._engines
 
     def __repr__(self) -> str:
         i = self.stats()

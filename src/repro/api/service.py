@@ -33,21 +33,38 @@ returns the plan (chosen mechanism, predicted RMSE, sensitivity, epsilon
 split per group) without touching any data or spending any budget.
 
 Malformed requests never raise: the response is ``{"ok": false, "error":
-{"field": ..., "message": ...}}`` with the offending field named.
+{"field": ..., "message": ..., "kind": ...}}`` with the offending field
+named and a stable machine-readable ``kind`` — ``"invalid_request"`` for
+client mistakes, ``"budget_exhausted"`` when a session's ledger refuses a
+spend.  The refused release never draws noise, but earlier groups of the
+same request may already have been charged and cached (check
+``session_total`` on the next request).  Genuine internal failures are *not* masked
+as client errors: an unexpected ``RuntimeError`` propagates to the caller's
+crash handling instead of being dressed up as a refusal.
 
 Repeated requests are cheap by construction: policies parse once per
 distinct spec digest, engines are shared through an :class:`EnginePool`,
-and a session's released synopses answer repeat queries as free
-post-processing.
+compiled plans are shared across tenants through its
+:class:`~repro.api.PlanCache`, and a session's released synopses answer
+repeat queries as free post-processing.
+
+``handle`` is safe to call from any number of threads.  The service lock
+guards only the LRU bookkeeping (session/policy maps) with double-checked
+inserts — exactly one :class:`Session` ledger ever exists per key, so
+concurrent requests against one session serialize on that session's own
+lock and budget spends are never lost, while requests against different
+sessions proceed in parallel.
 """
 
 from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
+from threading import Lock
 
 import numpy as np
 
+from ..core.composition import BudgetExceededError
 from ..core.database import Database
 from ..core.policy import Policy
 from ..core.queries import Query, _int_array
@@ -91,25 +108,34 @@ class BlowfishService:
         self._datasets: dict[str, Database] = {}
         self._sessions: OrderedDict[tuple, Session] = OrderedDict()
         self._policies: OrderedDict[str, Policy] = OrderedDict()
+        # guards the three maps above (lookup/insert/LRU reorder/evict only
+        # — parsing, planning and answering all happen outside it)
+        self._lock = Lock()
 
     # -- server-side state ----------------------------------------------------------
     def register_dataset(self, name: str, db: Database) -> None:
         """Make ``db`` addressable by requests as ``{"dataset": {"name": name}}``."""
-        self._datasets[name] = db
+        with self._lock:
+            self._datasets[name] = db
 
     def datasets(self) -> tuple[str, ...]:
-        return tuple(self._datasets)
+        with self._lock:
+            return tuple(self._datasets)
 
     # -- the boundary ----------------------------------------------------------------
     def handle(self, request: dict) -> dict:
-        """Serve one request; always returns a response dict, never raises."""
+        """Serve one request; returns an error response rather than raising
+        for anything the client got wrong.  A budget-refused release draws
+        no noise (earlier groups of the same request may already be
+        charged) and is reported as ``error.kind == "budget_exhausted"``;
+        internal bugs (unexpected ``RuntimeError`` s) propagate — they are
+        not client errors."""
         try:
             return self._dispatch(request)
         except SpecError as exc:
             return _error(exc.field, str(exc))
-        except RuntimeError as exc:
-            # budget exhaustion surfaces here, before any noise was drawn
-            return _error(None, str(exc))
+        except BudgetExceededError as exc:
+            return _error(None, str(exc), kind="budget_exhausted")
         except (ValueError, TypeError, LookupError, OverflowError) as exc:
             return _error(None, str(exc))
 
@@ -135,29 +161,37 @@ class BlowfishService:
         policy = self._policy_for(spec_get(request, "policy", dict, "request"))
         epsilon = spec_get(request, "epsilon", (int, float), "request")
         options = spec_get(request, "options", dict, "request", required=False)
-        hits_before = self.pool.hits
-        engine = self.pool.get(policy, epsilon, options=options)
-        return engine, "hit" if self.pool.hits > hits_before else "miss", options
+        # the pool reports hit/miss for this call; a before/after delta of
+        # its global counters would mislabel us under concurrent tenants
+        engine, engine_cache = self.pool.get_with_meta(policy, epsilon, options=options)
+        return engine, engine_cache, options
 
     def _policy_for(self, spec: dict) -> Policy:
         digest = spec_digest(spec)
-        policy = self._policies.get(digest)
-        if policy is None:
-            policy = Policy.from_spec(spec, "request.policy")
-            self._policies[digest] = policy
+        with self._lock:
+            policy = self._policies.get(digest)
+            if policy is not None:
+                self._policies.move_to_end(digest)
+                return policy
+        # parse outside the lock (graph construction can be expensive);
+        # racing parsers of one digest yield interchangeable policies
+        policy = Policy.from_spec(spec, "request.policy")
+        with self._lock:
+            policy = self._policies.setdefault(digest, policy)
+            self._policies.move_to_end(digest)
             while len(self._policies) > self.max_policies:
                 self._policies.popitem(last=False)
-        else:
-            self._policies.move_to_end(digest)
         return policy
 
     def _dataset_for(self, request: dict, policy: Policy):
         ds = spec_get(request, "dataset", dict, "request")
         name = spec_get(ds, "name", str, "request.dataset", required=False)
         if name is not None:
-            db = self._datasets.get(name)
+            with self._lock:
+                db = self._datasets.get(name)
+                registered = sorted(self._datasets) if db is None else ()
             if db is None:
-                known = ", ".join(sorted(self._datasets)) or "none registered"
+                known = ", ".join(registered) or "none registered"
                 raise SpecError("request.dataset.name", f"unknown dataset {name!r} ({known})")
             if db.domain != policy.domain:
                 raise SpecError(
@@ -189,30 +223,53 @@ class BlowfishService:
         )
 
     def _session_for(self, request: dict, engine, db: Database, dataset_key, options) -> tuple:
+        """Resolve (or create, exactly once) the request's session.
+
+        Returns ``(session, session_id, budget_note)``; ``budget_note`` is
+        None unless the request carried a budget that an already-open
+        session ignored, in which case it names the active budget so the
+        client learns its limit was *not* changed.
+        """
         session_id = spec_get(request, "session", str, "request", required=False)
         budget = spec_get(request, "budget", (int, float), "request", required=False)
         if session_id is None:
             # ephemeral: ledger and releases live for this request only
-            return Session(engine, db, budget=budget), None
+            return Session(engine, db, budget=budget), None, None
         key = self._session_key(session_id, engine, dataset_key, options)
-        session = self._sessions.get(key)
-        if session is None:
-            session = Session(engine, db, budget=budget, client_id=session_id)
-            self._sessions[key] = session
-            while len(self._sessions) > self.max_sessions:
-                self._sessions.popitem(last=False)
-        else:
+        created = False
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                # constructed inside the critical section (it is cheap — no
+                # data is touched) so racing openers of a brand-new key can
+                # never build two ledgers and drop one mid-spend
+                session = Session(engine, db, budget=budget, client_id=session_id)
+                self._sessions[key] = session
+                created = True
+                while len(self._sessions) > self.max_sessions:
+                    self._sessions.popitem(last=False)
+            else:
+                self._sessions.move_to_end(key)
+        budget_note = None
+        if not created and budget is not None and budget != session.budget:
             # the ledger persists; a different budget on a later request is
-            # ignored rather than silently resetting the session's limit
-            self._sessions.move_to_end(key)
-        return session, session_id
+            # ignored rather than silently resetting the session's limit —
+            # and the response says so instead of pretending it applied
+            budget_note = {
+                "status": "ignored",
+                "requested": float(budget),
+                "active": session.budget,
+            }
+        return session, session_id, budget_note
 
     # -- ops -------------------------------------------------------------------------
     def _answer(self, request: dict) -> dict:
         engine, engine_cache, options = self._engine_for(request)
         domain = engine.policy.domain
         db, dataset_key = self._dataset_for(request, engine.policy)
-        session, session_id = self._session_for(request, engine, db, dataset_key, options)
+        session, session_id, budget_note = self._session_for(
+            request, engine, db, dataset_key, options
+        )
         rng = ensure_rng(spec_get(request, "seed", int, "request", required=False))
 
         ranges, queries = self._parse_queries(request, domain)
@@ -234,6 +291,8 @@ class BlowfishService:
             "sensitivity_cache": engine.cache_info(),
             **call_meta,
         }
+        if budget_note is not None:
+            meta["budget"] = budget_note
         return {"ok": True, "op": "answer", "answers": answers.tolist(), "meta": meta}
 
     def _plan(self, request: dict) -> dict:
@@ -248,10 +307,14 @@ class BlowfishService:
         """
         engine, engine_cache, options = self._engine_for(request)
         db, dataset_key = self._dataset_for(request, engine.policy)
-        session, session_id = self._session_for(request, engine, db, dataset_key, options)
+        session, session_id, budget_note = self._session_for(
+            request, engine, db, dataset_key, options
+        )
         rng = ensure_rng(spec_get(request, "seed", int, "request", required=False))
         workload = self._parse_workload(request, engine.policy.domain)
-        plan = session.plan(workload, optimize=self._plan_mode(request) == "auto")
+        plan, plan_cache = session.plan_with_meta(
+            workload, optimize=self._plan_mode(request) == "auto"
+        )
         answers, call_meta = session.execute_plan(plan, rng=rng)
         meta = {
             "n_queries": len(workload),
@@ -259,9 +322,12 @@ class BlowfishService:
             "epsilon": engine.epsilon,
             "session": session_id,
             "engine_cache": engine_cache,
+            "plan_cache": plan_cache,
             "sensitivity_cache": engine.cache_info(),
             **call_meta,
         }
+        if budget_note is not None:
+            meta["budget"] = budget_note
         return {
             "ok": True,
             "op": "plan",
@@ -287,24 +353,28 @@ class BlowfishService:
         """
         engine, engine_cache, options = self._engine_for(request)
         workload = self._parse_workload(request, engine.policy.domain)
-        existing = ()
+        optimize = self._plan_mode(request) == "auto"
+        session = None
         session_id = spec_get(request, "session", str, "request", required=False)
         if session_id is not None and "dataset" in request:
             _, dataset_key = self._dataset_for(request, engine.policy)
-            session = self._sessions.get(
-                self._session_key(session_id, engine, dataset_key, options)
-            )
-            if session is not None:
-                existing = session.releases
-        plan = engine.plan(
-            workload, optimize=self._plan_mode(request) == "auto", existing=existing
-        )
+            with self._lock:
+                session = self._sessions.get(
+                    self._session_key(session_id, engine, dataset_key, options)
+                )
+        if session is not None:
+            # through the session so its lock covers reading the releases a
+            # concurrent request on the same session may be mutating
+            plan, plan_cache = session.plan_with_meta(workload, optimize=optimize)
+        else:
+            plan, plan_cache = engine.plan_with_meta(workload, optimize=optimize)
         meta = {
             "n_queries": len(workload),
             "policy_fingerprint": engine.fingerprint,
             "epsilon": engine.epsilon,
             "total_epsilon": plan.total_epsilon,
             "engine_cache": engine_cache,
+            "plan_cache": plan_cache,
             "sensitivity_cache": engine.cache_info(),
         }
         return {
@@ -331,6 +401,7 @@ class BlowfishService:
             "strategies": strategies,
             "engine_cache": engine_cache,
             "engine_pool": self.pool.stats(),
+            "plan_cache": self.pool.plan_cache.stats(),
             "sensitivity_cache": engine.cache_info(),
         }
         return {"ok": True, "op": "describe", "meta": meta}
@@ -424,11 +495,13 @@ class BlowfishService:
         return los, his
 
     def __repr__(self) -> str:
+        with self._lock:
+            datasets, n_sessions = sorted(self._datasets), len(self._sessions)
         return (
-            f"BlowfishService(datasets={sorted(self._datasets)}, "
-            f"sessions={len(self._sessions)}, pool={self.pool!r})"
+            f"BlowfishService(datasets={datasets}, "
+            f"sessions={n_sessions}, pool={self.pool!r})"
         )
 
 
-def _error(field: str | None, message: str) -> dict:
-    return {"ok": False, "error": {"field": field, "message": message}}
+def _error(field: str | None, message: str, kind: str = "invalid_request") -> dict:
+    return {"ok": False, "error": {"field": field, "message": message, "kind": kind}}

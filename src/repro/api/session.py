@@ -14,6 +14,7 @@ two things that must never be shared across tenants:
 from __future__ import annotations
 
 from collections.abc import Sequence
+from threading import RLock
 
 import numpy as np
 
@@ -46,6 +47,17 @@ class Session:
         before any noisy output is computed.
     client_id:
         Opaque tag for logs and service bookkeeping.
+
+    Thread safety
+    -------------
+    Every answering/planning entry point runs under the session's own
+    re-entrant lock, so a release's ledger charge and its insertion into
+    :attr:`releases` are one atomic step: two concurrent requests on one
+    session compose exactly as two sequential ones do (Theorem 4.1 — one
+    spend per fresh release, the second request reuses for free), never as
+    two racing releases that each charge the budget and then overwrite each
+    other.  Distinct sessions never contend — they only share the pooled
+    engine, which synchronizes its own internals.
     """
 
     def __init__(
@@ -64,26 +76,31 @@ class Session:
         self.accountant = PrivacyAccountant(engine.policy, budget)
         #: family -> released synopsis; engine.answer() adds to it in place.
         self.releases: dict = {}
+        # re-entrant: the metered wrappers lock, then call the locked
+        # answer/plan primitives on the same thread
+        self._lock = RLock()
 
     # -- answering -----------------------------------------------------------------
     def answer(self, queries: Sequence[Query], *, rng=None) -> np.ndarray:
         """Answer a mixed batch, reusing this session's releases (in order)."""
-        return self.engine.answer(
-            queries,
-            self.db,
-            rng=rng,
-            releases=self.releases,
-            accountant=self.accountant,
-        )
+        with self._lock:
+            return self.engine.answer(
+                queries,
+                self.db,
+                rng=rng,
+                releases=self.releases,
+                accountant=self.accountant,
+            )
 
     def answer_ranges(self, los, his, *, rng=None) -> np.ndarray:
         """Vectorized range answers from index arrays (the bulk hot path)."""
-        rel = self.releases.get("range")
-        if rel is None:
-            rel = self.engine.release(
-                self.db, "range", rng=ensure_rng(rng), accountant=self.accountant
-            )
-            self.releases["range"] = rel
+        with self._lock:
+            rel = self.releases.get("range")
+            if rel is None:
+                rel = self.engine.release(
+                    self.db, "range", rng=ensure_rng(rng), accountant=self.accountant
+                )
+                self.releases["range"] = rel
         return rel.ranges(np.asarray(los, np.int64), np.asarray(his, np.int64))
 
     def answer_with_meta(
@@ -109,9 +126,20 @@ class Session:
 
         Releases the session already holds are charged 0 and offered as
         reuse candidates (row-aware for linear batches), so repeat plans
-        get cheaper as the session warms.
+        get cheaper as the session warms.  Pooled engines memoize the
+        compiled plan in the cross-tenant :class:`~repro.api.PlanCache`
+        (keyed on this session's release state among everything else), so
+        other tenants with the same workload skip candidate scoring.
         """
-        return self.engine.plan(workload, optimize=optimize, existing=self.releases)
+        return self.plan_with_meta(workload, optimize=optimize)[0]
+
+    def plan_with_meta(self, workload, *, optimize: bool = True):
+        """:meth:`plan`, plus the plan-cache outcome (``"hit"``/``"miss"``/
+        ``"uncached"``) for this compile."""
+        with self._lock:
+            return self.engine.plan_with_meta(
+                workload, optimize=optimize, existing=self.releases
+            )
 
     def execute_plan(self, plan, *, rng=None) -> tuple[np.ndarray, dict]:
         """Run a compiled plan against this session's data, ledger and cache.
@@ -124,14 +152,15 @@ class Session:
         """
         from ..plan import Executor
 
-        result = Executor(self.engine).run(
-            plan, self.db, rng=rng, releases=self.releases, accountant=self.accountant
-        )
-        meta = {
-            "epsilon_spent": result.epsilon_spent,
-            "session_total": self.accountant.sequential_total(),
-            "release_cache": result.release_cache,
-        }
+        with self._lock:
+            result = Executor(self.engine).run(
+                plan, self.db, rng=rng, releases=self.releases, accountant=self.accountant
+            )
+            meta = {
+                "epsilon_spent": result.epsilon_spent,
+                "session_total": self.accountant.sequential_total(),
+                "release_cache": result.release_cache,
+            }
         return result.answers, meta
 
     def _metered(self, call, families) -> tuple[np.ndarray, dict]:
@@ -140,20 +169,25 @@ class Session:
         A family is a ``"hit"`` when its release predates the call and the
         call spent nothing on it — a linear batch that reuses some rows but
         releases new ones is therefore (correctly) a ``"miss"``.
+
+        The whole read-call-read sequence runs under the session lock, so a
+        concurrent request can never interleave a spend between the call
+        and the totals reported for it.
         """
-        cached_before = set(self.releases)
-        spent_before = self.accountant.sequential_total()
-        n_spends = len(self.accountant.spends)
-        answers = call()
-        released = {label for label, _ in self.accountant.spends[n_spends:]}
-        meta = {
-            "epsilon_spent": self.accountant.sequential_total() - spent_before,
-            "session_total": self.accountant.sequential_total(),
-            "release_cache": {
-                family: "miss" if family in released or family not in cached_before else "hit"
-                for family in sorted(families)
-            },
-        }
+        with self._lock:
+            cached_before = set(self.releases)
+            spent_before = self.accountant.sequential_total()
+            n_spends = len(self.accountant.spends)
+            answers = call()
+            released = {label for label, _ in self.accountant.spends[n_spends:]}
+            meta = {
+                "epsilon_spent": self.accountant.sequential_total() - spent_before,
+                "session_total": self.accountant.sequential_total(),
+                "release_cache": {
+                    family: "miss" if family in released or family not in cached_before else "hit"
+                    for family in sorted(families)
+                },
+            }
         return answers, meta
 
     # -- budget --------------------------------------------------------------------

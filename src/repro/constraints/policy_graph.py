@@ -27,7 +27,7 @@ from collections.abc import Sequence
 import networkx as nx
 import numpy as np
 
-from ..core.graphs import DiscriminativeGraph, FullDomainGraph
+from ..core.graphs import DiscriminativeGraph, EdgeScanRefused, FullDomainGraph
 from ..core.queries import CountQuery
 from .count import MAX_EDGE_SCAN, is_sparse, support_matrix
 
@@ -210,7 +210,9 @@ def _longest_cycle(g: nx.DiGraph) -> int:
         nonlocal best, steps
         steps += 1
         if steps > MAX_SEARCH_STEPS:
-            raise RuntimeError(
+            # EdgeScanRefused (a ValueError): a client-sized policy must
+            # surface as a refusal at serving boundaries, not a crash
+            raise EdgeScanRefused(
                 "policy graph too large for exact cycle search; use the "
                 "analytic results in repro.constraints.applications"
             )
@@ -238,7 +240,7 @@ def _longest_path(g: nx.DiGraph, source, target) -> int:
         nonlocal best, steps
         steps += 1
         if steps > MAX_SEARCH_STEPS:
-            raise RuntimeError(
+            raise EdgeScanRefused(
                 "policy graph too large for exact path search; use the "
                 "analytic results in repro.constraints.applications"
             )

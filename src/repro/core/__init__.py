@@ -4,6 +4,7 @@ neighbors, sensitivity, composition and the privacy definition itself
 
 from .audit import distinguishability_profile, laplace_realized_epsilon
 from .composition import (
+    BudgetExceededError,
     PrivacyAccountant,
     constraint_is_critical,
     critical_edges,
@@ -112,6 +113,7 @@ __all__ = [
     "supports_parallel_composition",
     "critical_edges",
     "constraint_is_critical",
+    "BudgetExceededError",
     "PrivacyAccountant",
     "DiscreteMechanism",
     "realized_epsilon",

@@ -40,8 +40,29 @@ __all__ = [
     "sequential_epsilon",
     "parallel_epsilon",
     "supports_parallel_composition",
+    "BudgetExceededError",
     "PrivacyAccountant",
 ]
+
+
+class BudgetExceededError(RuntimeError):
+    """A spend was refused because it would exceed the session's budget.
+
+    Subclasses :class:`RuntimeError` for compatibility with callers that
+    matched the old generic error, but carries the refused spend so serving
+    layers can report budget exhaustion structurally (``error.kind``)
+    instead of pattern-matching message strings — and so genuine internal
+    ``RuntimeError`` s are never mistaken for a client running dry.
+    """
+
+    def __init__(self, epsilon: float, total: float, budget: float):
+        self.epsilon = float(epsilon)
+        self.total = float(total)
+        self.budget = float(budget)
+        super().__init__(
+            f"budget exhausted: spending {epsilon} would bring the total to "
+            f"{total:.6g} > {budget}"
+        )
 
 
 def _check_pair_budget(n_pairs: float) -> None:
@@ -210,10 +231,7 @@ class PrivacyAccountant:
             raise ValueError("epsilon must be non-negative")
         new_total = self.sequential_total() + epsilon
         if self.budget is not None and new_total > self.budget + 1e-12:
-            raise RuntimeError(
-                f"budget exhausted: spending {epsilon} would bring the total to "
-                f"{new_total:.6g} > {self.budget}"
-            )
+            raise BudgetExceededError(epsilon, new_total, self.budget)
         self._spends.append(
             _Spend(label, float(epsilon), frozenset(ids) if ids is not None else None)
         )

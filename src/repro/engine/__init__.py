@@ -34,7 +34,7 @@ Three layers:
 
 from .cache import SensitivityCache, shared_cache
 from .engine import BatchLinearMechanism, PolicyEngine, ReleasedHistogram, ReleasedLinear
-from .fingerprint import policy_fingerprint, query_cache_key
+from .fingerprint import options_key, policy_fingerprint, query_cache_key
 from .registry import FAMILIES, MechanismRegistry, default_registry
 
 __all__ = [
@@ -49,4 +49,5 @@ __all__ = [
     "FAMILIES",
     "policy_fingerprint",
     "query_cache_key",
+    "options_key",
 ]

@@ -27,7 +27,9 @@ spend.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Sequence
+from threading import Lock
 
 import numpy as np
 
@@ -39,7 +41,7 @@ from ..core.rng import ensure_rng
 from ..core.sensitivity import sensitivity as analytic_sensitivity
 from ..mechanisms.base import Mechanism, laplace_noise
 from .cache import SensitivityCache, shared_cache
-from .fingerprint import policy_fingerprint, query_cache_key
+from .fingerprint import options_key, policy_fingerprint, query_cache_key
 from .registry import MechanismRegistry, default_registry
 
 __all__ = ["PolicyEngine", "ReleasedHistogram", "ReleasedLinear", "BatchLinearMechanism"]
@@ -104,6 +106,18 @@ class ReleasedLinear:
     def missing_rows(self, weights: np.ndarray) -> np.ndarray:
         """Boolean mask over rows of ``weights`` not yet released."""
         return np.array([k not in self._answers for k in self._rows(weights)], dtype=bool)
+
+    def rows_digest(self) -> str:
+        """Stable digest of the *set* of released rows (order-insensitive).
+
+        Plans are row-aware for linear groups — which rows a session already
+        holds changes the predicted charge — so the cross-tenant plan cache
+        keys on this digest rather than on the release key alone.
+        """
+        h = hashlib.sha256()
+        for k in sorted(self._answers):
+            h.update(k)
+        return h.hexdigest()[:16]
 
     def add(self, weights: np.ndarray, answers: np.ndarray) -> None:
         """Record noisy answers for the rows of ``weights``."""
@@ -191,6 +205,15 @@ class PolicyEngine:
         ``{"range": {"fanout": 16, "consistent": False}}``.
     accountant:
         Optional :class:`PrivacyAccountant` receiving every spend.
+    plan_cache:
+        Optional compiled-plan store (:class:`repro.api.PlanCache` shape:
+        ``lookup(key)`` / ``store(key, plan)``); :meth:`plan` consults it
+        before scoring candidates.  An :class:`~repro.api.EnginePool` wires
+        its shared cache into every engine it builds.
+
+    Engines are shared across threads (that is the point of pooling them):
+    mechanism memoization and the spend counter are guarded by an internal
+    lock, and mechanism instances themselves are stateless per call.
     """
 
     def __init__(
@@ -202,6 +225,7 @@ class PolicyEngine:
         cache: SensitivityCache | None = None,
         options: dict[str, dict] | None = None,
         accountant: PrivacyAccountant | None = None,
+        plan_cache=None,
     ):
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
@@ -211,8 +235,10 @@ class PolicyEngine:
         self.cache = cache if cache is not None else shared_cache()
         self.options = {k: dict(v) for k, v in (options or {}).items()}
         self.accountant = accountant
+        self.plan_cache = plan_cache
         self.fingerprint = policy_fingerprint(policy)
         self._mechanisms: dict[tuple[str, str], Mechanism] = {}
+        self._lock = Lock()
         self._spent = 0.0
 
     # -- sensitivities ------------------------------------------------------------
@@ -256,14 +282,20 @@ class PolicyEngine:
         """
         name = strategy if strategy is not None else self.strategy(family)
         key = (family, name)
-        if key not in self._mechanisms:
-            opts = dict(self.options.get(family, {}))
-            if family == "histogram" and "sensitivity" not in opts:
-                opts["sensitivity"] = self.sensitivity(HistogramQuery(self.policy.domain))
-            self._mechanisms[key] = self.registry.resolve(
-                family, self.policy, self.epsilon, strategy=name, **opts
-            )
-        return self._mechanisms[key]
+        with self._lock:
+            mech = self._mechanisms.get(key)
+        if mech is not None:
+            return mech
+        # build outside the lock (tree structures can be expensive), then
+        # prefer a racing builder's incumbent so all callers share one
+        opts = dict(self.options.get(family, {}))
+        if family == "histogram" and "sensitivity" not in opts:
+            opts["sensitivity"] = self.sensitivity(HistogramQuery(self.policy.domain))
+        mech = self.registry.resolve(
+            family, self.policy, self.epsilon, strategy=name, **opts
+        )
+        with self._lock:
+            return self._mechanisms.setdefault(key, mech)
 
     def describe(self, family: str) -> dict:
         """Introspection metadata for one family's serving path (no spend).
@@ -316,7 +348,10 @@ class PolicyEngine:
         acct = accountant if accountant is not None else self.accountant
         if acct is not None:
             acct.spend(self.epsilon, label=label)
-        self._spent += self.epsilon
+        with self._lock:
+            # += on a shared float is read-modify-write; concurrent sessions
+            # releasing on one pooled engine must not lose increments
+            self._spent += self.epsilon
 
     @property
     def spent_epsilon(self) -> float:
@@ -342,12 +377,42 @@ class PolicyEngine:
         for row-aware linear reuse — so reuse is planned rather than
         accidental.  A plain sequence of queries is accepted and grouped
         first.
+
+        With a :attr:`plan_cache` attached (pooled engines), the compiled
+        plan is memoized under everything it depends on — policy
+        fingerprint, epsilon, options, the workload's structural digest and
+        the caller's existing-release state — so a repeated workload skips
+        candidate scoring entirely.
         """
+        return self.plan_with_meta(workload, optimize=optimize, existing=existing)[0]
+
+    def plan_with_meta(self, workload, *, optimize: bool = True, existing=()):
+        """:meth:`plan`, plus ``"hit"``/``"miss"``/``"uncached"`` for the
+        plan-cache outcome of this call (what the service reports)."""
         from ..plan import Planner, Workload
+        from ..plan.planner import existing_token
 
         if not isinstance(workload, Workload):
             workload = Workload.from_queries(self.policy.domain, workload)
-        return Planner(self).plan(workload, optimize=optimize, existing=existing)
+        cache = self.plan_cache
+        if cache is None:
+            return Planner(self).plan(workload, optimize=optimize, existing=existing), "uncached"
+        key = (
+            self.fingerprint,
+            self.epsilon,
+            options_key(self.options),
+            self.registry.fingerprint(),
+            workload.cache_token(),
+            bool(optimize),
+            existing_token(existing),
+        )
+        plan = cache.lookup(key)
+        if plan is not None:
+            return plan, "hit"
+        # compiled outside any lock: plans are deterministic in the key, so
+        # racing compilers produce interchangeable values (first stored wins)
+        plan = Planner(self).plan(workload, optimize=optimize, existing=existing)
+        return cache.store(key, plan), "miss"
 
     def execute(self, plan, db: Database | None = None, *, rng=None, releases=None, accountant=None):
         """Run a compiled plan; see :class:`repro.plan.Executor`."""

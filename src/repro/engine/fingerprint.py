@@ -30,7 +30,26 @@ from ..core.queries import (
     RangeQuery,
 )
 
-__all__ = ["policy_fingerprint", "query_cache_key", "mask_digest"]
+__all__ = ["policy_fingerprint", "query_cache_key", "mask_digest", "options_key"]
+
+
+def options_key(options: dict | None) -> tuple:
+    """Canonical hashable form of a per-family mechanism options dict.
+
+    The identity component shared by every options-keyed cache — the
+    :class:`~repro.api.EnginePool` entries, the cross-tenant plan cache and
+    session keys — so ``{"range": {"fanout": 4, "consistent": False}}`` and
+    its re-ordered spelling can never occupy separate entries.
+    """
+    if not options:
+        return ()
+    out = []
+    for family in sorted(options):
+        opts = options[family]
+        if not isinstance(opts, dict):
+            raise TypeError(f"options[{family!r}] must be a dict, got {type(opts).__name__}")
+        out.append((family, tuple(sorted(opts.items()))))
+    return tuple(out)
 
 
 def mask_digest(mask: np.ndarray) -> str:

@@ -17,8 +17,10 @@ the policy.  Rules are checked most-specific-first in registration order;
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable
 from dataclasses import dataclass
+from threading import Lock
 
 from ..core.policy import Policy
 from ..core.graphs import (
@@ -43,6 +45,33 @@ __all__ = ["MechanismRegistry", "default_registry", "FAMILIES"]
 #: :meth:`repro.engine.PolicyEngine.answer_linear` rather than through a
 #: registry rule.
 FAMILIES = ("range", "histogram")
+
+
+def _callable_token(fn: Callable) -> str:
+    """Identity string for a rule's factory/predicate in the fingerprint.
+
+    Qualname alone conflates lambdas created at one source location but
+    closing over different values (``make_registry(fanout)`` for 4 vs 16),
+    so closure cell contents and bound defaults are folded in; anything
+    whose repr is unstable falls back to object identity — conservative
+    (no sharing) rather than wrong (cross-registry plan reuse).
+    """
+    parts = [getattr(fn, "__module__", "?"), getattr(fn, "__qualname__", repr(fn))]
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        # qualname conflates same-source-location lambdas with different
+        # bodies; the bytecode and consts distinguish them
+        parts.append(hashlib.sha256(code.co_code + repr(code.co_consts).encode()).hexdigest()[:12])
+    cells = getattr(fn, "__closure__", None)
+    if cells:
+        try:
+            parts.append(repr(tuple(c.cell_contents for c in cells)))
+        except Exception:
+            parts.append(f"cells@{id(fn)}")
+    defaults = getattr(fn, "__defaults__", None)
+    if defaults:
+        parts.append(repr(defaults))
+    return ":".join(parts)
 
 
 @dataclass(frozen=True)
@@ -74,6 +103,11 @@ class MechanismRegistry:
 
     def __init__(self):
         self._rules: list[_Rule] = []
+        self._fingerprint: str | None = None
+        # guards _rules mutation and the fingerprint memo together: a
+        # register() racing a fingerprint() must never let a stale digest
+        # overwrite the invalidation (plan-cache staleness would follow)
+        self._lock = Lock()
 
     def register(
         self,
@@ -95,10 +129,34 @@ class MechanismRegistry:
             factory=factory,
             name=name or getattr(factory, "__name__", repr(factory)),
         )
-        if front:
-            self._rules.insert(0, rule)
-        else:
-            self._rules.append(rule)
+        with self._lock:
+            # copy-on-write so concurrent readers iterate a stable snapshot
+            rules = list(self._rules)
+            rules.insert(0, rule) if front else rules.append(rule)
+            self._rules = rules
+            self._fingerprint = None  # rule table changed; re-derive on demand
+
+    def fingerprint(self) -> str:
+        """Stable digest of the rule table (order, names, types, factories).
+
+        Part of the cross-tenant plan-cache key: a compiled plan's strategy
+        choices are only valid under the rule table that scored them, so
+        pools built over different registries never serve each other's
+        plans, and ``register()``-ing a rule into a live registry keys the
+        old entries out automatically.  Memoized between ``register()``
+        calls — the plan-cache probe pays for it on every request.
+        """
+        with self._lock:
+            if self._fingerprint is None:
+                h = hashlib.sha256()
+                for r in self._rules:
+                    types = ",".join(t.__name__ for t in r.graph_types) if r.graph_types else "*"
+                    parts = (r.family, r.name, types, _callable_token(r.factory),
+                             "" if r.when is None else _callable_token(r.when))
+                    h.update("|".join(parts).encode("utf-8"))
+                    h.update(b"\x00")
+                self._fingerprint = h.hexdigest()[:16]
+            return self._fingerprint
 
     def resolve(
         self,

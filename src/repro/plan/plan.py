@@ -115,6 +115,13 @@ class Plan:
 
     Built by :class:`repro.plan.Planner`; run by :class:`repro.plan.Executor`
     against any engine whose ``(policy fingerprint, epsilon)`` matches.
+
+    Plans are immutable after construction — ``steps`` is a tuple of frozen
+    dataclasses and execution state (releases, charges) lives entirely with
+    the caller — so one compiled plan is safe to hand to any number of
+    concurrent executors.  The cross-tenant plan cache
+    (:class:`repro.api.PlanCache`) relies on this: many tenants run the
+    same cached ``Plan`` object against their own sessions simultaneously.
     """
 
     def __init__(

@@ -34,7 +34,31 @@ from ..core.queries import CumulativeHistogramQuery, HistogramQuery
 from .plan import Plan, PlanStep
 from .workload import Workload
 
-__all__ = ["Planner"]
+__all__ = ["Planner", "existing_token"]
+
+
+def existing_token(existing) -> tuple:
+    """Hashable identity of an ``existing`` argument for plan-cache keys.
+
+    Mirrors exactly what :meth:`Planner.plan` reads from ``existing``: which
+    release keys are held, whether they arrived as a bare key set or as the
+    key -> release mapping (the two are planned differently for linear
+    groups), and — for a held :class:`~repro.engine.ReleasedLinear` — the
+    digest of the rows it covers, since row-level reuse changes the
+    predicted charge.  Two calls with equal tokens compile equal plans.
+    """
+    if not existing:
+        # an empty mapping and an empty key set plan identically (nothing
+        # to reuse either way), so they share one cache entry
+        return ("empty",)
+    if isinstance(existing, dict):
+        items = []
+        for key in sorted(existing):
+            rel = existing[key]
+            digest = getattr(rel, "rows_digest", None)
+            items.append((str(key), digest() if callable(digest) else None))
+        return ("held", tuple(items))
+    return ("keys", tuple(sorted(str(k) for k in existing)))
 
 #: Spending fresh budget must buy at least this factor of predicted RMSE
 #: improvement over a free alternative (a cached or plan-shared release).

@@ -15,6 +15,8 @@ plan-level release sharing the planner exploits.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..core.domain import Domain
@@ -384,6 +386,39 @@ class Workload:
     def fingerprint(self) -> str:
         """Stable digest of the canonical workload spec."""
         return spec_digest(self.to_spec())
+
+    def cache_token(self) -> str:
+        """Fast structural digest for plan-cache keys (raw array bytes).
+
+        Semantically equivalent workloads (same domain, groups, payload
+        arrays and flat-order mapping) share a token.  Unlike
+        :meth:`fingerprint` this never materializes the spec — hashing the
+        packed arrays directly keeps the plan-cache probe far cheaper than
+        the candidate scoring it short-circuits, even at 10k queries.
+        """
+        h = hashlib.sha256()
+        h.update(self.domain.fingerprint().encode("ascii"))
+        for g in self.groups:
+            h.update(b"\x00g")
+            h.update(g.name.encode("utf-8"))
+            h.update(g.family.encode("ascii"))
+            for arr in (g.los, g.his, g.weights):
+                if arr is not None:
+                    # shape prefix: equal flattened bytes under different
+                    # shapes (or trailing all-zero rows under packbits
+                    # padding below) must not collide across tenants
+                    h.update(repr(arr.shape).encode("ascii"))
+                    h.update(np.ascontiguousarray(arr).tobytes())
+            if g.masks is not None:
+                # bit-packed: 8x fewer bytes through the hash for wide masks
+                h.update(repr(g.masks.shape).encode("ascii"))
+                h.update(np.packbits(g.masks, axis=None).tobytes())
+        if self._positions is not None:
+            for name in sorted(self._positions):
+                h.update(b"\x00p")
+                h.update(name.encode("utf-8"))
+                h.update(np.ascontiguousarray(self._positions[name]).tobytes())
+        return h.hexdigest()[:16]
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{g.name}:{len(g)}" for g in self.groups)

@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro import Database, Domain, Policy
-from repro.api import BlowfishService, EnginePool
+from repro.api import BlowfishService, EnginePool, spec_digest
 
 
 @pytest.fixture
@@ -163,6 +163,78 @@ class TestExplainOp:
         assert resp["meta"]["total_epsilon"] == pytest.approx(0.5)
 
 
+class TestPlanCacheServing:
+    def test_repeated_tenant_workloads_share_one_compiled_plan(self, domain, service):
+        req = {
+            **_base(domain),
+            "op": "plan",
+            "dataset": {"name": "data"},
+            "queries": MIXED_QUERIES,
+            "seed": 3,
+        }
+        # two ephemeral tenants, same workload: the second skips candidate
+        # scoring and still answers bitwise-identically (same seed)
+        first = service.handle(dict(req))
+        second = service.handle(dict(req))
+        assert first["ok"] and second["ok"]
+        assert first["meta"]["plan_cache"] == "miss"
+        assert second["meta"]["plan_cache"] == "hit"
+        assert second["answers"] == first["answers"]
+        assert second["plan"] == first["plan"]
+        stats = service.pool.plan_cache.stats()
+        assert stats["size"] == 1 and stats["hits"] == 1
+
+    def test_explain_preview_warms_the_plan_cache_for_plan(self, domain, service):
+        req = {
+            **_base(domain),
+            "dataset": {"name": "data"},
+            "queries": MIXED_QUERIES,
+            "session": "warmed", "seed": 0,
+        }
+        preview = service.handle({**req, "op": "explain"})
+        assert preview["ok"] and preview["meta"]["plan_cache"] == "miss"
+        executed = service.handle({**req, "op": "plan"})
+        assert executed["ok"] and executed["meta"]["plan_cache"] == "hit"
+        # explain returns the full plan spec; its digest is the fingerprint
+        assert executed["plan"]["fingerprint"] == spec_digest(preview["plan"])
+
+    def test_warmed_session_state_changes_the_cache_key(self, domain, service):
+        req = {
+            **_base(domain),
+            "op": "plan",
+            "dataset": {"name": "data"},
+            "queries": MIXED_QUERIES,
+            "session": "s1", "seed": 0,
+        }
+        first = service.handle(dict(req))
+        assert first["meta"]["plan_cache"] == "miss"
+        # the session now holds the release: a plan that charges 0 is a
+        # different plan, so it must not be served from the cold entry
+        second = service.handle(dict(req))
+        assert second["meta"]["plan_cache"] == "miss"
+        assert second["meta"]["epsilon_spent"] == 0.0
+        # ... but a second *tenant* in the cold state hits the cold entry
+        third = service.handle({**req, "session": "s2"})
+        assert third["meta"]["plan_cache"] == "hit"
+
+    def test_registering_a_rule_keys_out_stale_plans(self, domain, service):
+        from repro.mechanisms.ordered import OrderedMechanism
+
+        engine = service.pool.get(Policy.distance_threshold(domain, 2.0), 0.5)
+        workload = engine.workload([])  # empty is enough to exercise the key
+        assert engine.plan_with_meta(workload)[1] == "miss"
+        assert engine.plan_with_meta(workload)[1] == "hit"
+        # a new rule changes what candidate scoring would choose: the old
+        # compiled plans must not survive under the mutated registry
+        engine.registry.register(
+            "range",
+            None,
+            lambda policy, epsilon, **kw: OrderedMechanism(policy, epsilon),
+            name="custom-ordered",
+        )
+        assert engine.plan_with_meta(workload)[1] == "miss"
+
+
 class TestDescribeStats:
     def test_describe_exposes_pool_and_sensitivity_cache(self, domain, service):
         resp = service.handle({**_base(domain), "op": "describe"})
@@ -170,6 +242,22 @@ class TestDescribeStats:
         pool = resp["meta"]["engine_pool"]
         assert {"size", "maxsize", "hits", "misses", "evictions"} <= set(pool)
         assert {"size", "hits", "misses"} <= set(resp["meta"]["sensitivity_cache"])
+
+    def test_describe_exposes_plan_cache_traffic(self, domain, service):
+        req = {
+            **_base(domain),
+            "op": "plan",
+            "dataset": {"name": "data"},
+            "queries": MIXED_QUERIES,
+            "seed": 3,
+        }
+        service.handle(dict(req))
+        service.handle(dict(req))
+        resp = service.handle({**_base(domain), "op": "describe"})
+        stats = resp["meta"]["plan_cache"]
+        assert {"size", "maxsize", "hits", "misses", "evictions"} <= set(stats)
+        assert stats["size"] == 1
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
 
 
 class TestPoolLRU:

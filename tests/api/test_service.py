@@ -205,6 +205,44 @@ class TestBlowfishService:
         refused = service.handle(json.loads(json.dumps(over)))
         assert not refused["ok"]
         assert "budget exhausted" in refused["error"]["message"]
+        # budget refusal is structurally distinguishable from bad requests
+        assert refused["error"]["kind"] == "budget_exhausted"
+
+    def test_error_kinds_distinguish_client_mistakes_from_budget(self, domain, db):
+        service = BlowfishService()
+        service.register_dataset("data", db)
+        bad = service.handle({"op": "mystery"})
+        assert bad["error"]["kind"] == "invalid_request"
+
+    def test_internal_runtime_errors_propagate_instead_of_masquerading(self):
+        service = BlowfishService()
+
+        def boom(request):
+            raise RuntimeError("internal invariant broken")
+
+        service._dispatch = boom
+        # a genuine bug must not come back dressed as a client refusal
+        with pytest.raises(RuntimeError, match="internal invariant"):
+            service.handle({"op": "describe"})
+
+    def test_differing_budget_on_existing_session_is_surfaced(self, domain, db):
+        service = BlowfishService()
+        service.register_dataset("data", db)
+        base = self._request(
+            Policy.line(domain), [RangeQuery(domain, 0, 50)], session="c9", budget=2.0
+        )
+        first = service.handle(base)
+        assert first["ok"] and "budget" not in first["meta"]
+        # a later, different budget does not reset the ledger's limit — and
+        # the response says so instead of silently dropping it
+        second = service.handle({**base, "budget": 1.0})
+        assert second["ok"]
+        assert second["meta"]["budget"] == {
+            "status": "ignored", "requested": 1.0, "active": 2.0,
+        }
+        # re-stating the active budget is not a conflict worth flagging
+        third = service.handle({**base, "budget": 2.0})
+        assert third["ok"] and "budget" not in third["meta"]
 
     def test_inline_datasets(self, domain, db):
         service = BlowfishService()

@@ -233,6 +233,29 @@ class TestRegistry:
         r1.register("range", None, lambda p, e, **_: None, name="x", front=True)
         assert r2.rule_name("range", Policy.line(Domain.integers("v", 4))) != "x"
 
+    def test_fingerprint_tracks_the_rule_table(self):
+        r1, r2 = default_registry(), default_registry()
+        assert r1.fingerprint() == r2.fingerprint()  # equal tables share
+        before = r1.fingerprint()
+        r1.register("range", None, lambda p, e, **_: None, name="x")
+        assert r1.fingerprint() != before  # mutation re-keys cached plans
+
+    def test_fingerprint_distinguishes_lambda_bodies_and_closures(self):
+        def build(flag, fanout):
+            reg = default_registry()
+            reg.register(
+                "range", None, lambda p, e, **_: (fanout, None),
+                when=(lambda p: True) if flag else (lambda p: False),
+                name="x", front=True,
+            )
+            return reg
+
+        # same source locations (same qualnames): the predicate bodies and
+        # the closed-over fanout must still tell the tables apart
+        assert build(True, 4).fingerprint() != build(False, 4).fingerprint()
+        assert build(True, 4).fingerprint() != build(True, 16).fingerprint()
+        assert build(True, 4).fingerprint() == build(True, 4).fingerprint()
+
 
 class TestBatchAnswering:
     def test_range_batch_bitwise_identical_to_scalar_calls(self, domain, db):

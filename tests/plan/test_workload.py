@@ -126,3 +126,43 @@ class TestSpecs:
         spec = {"kind": "workload", "groups": [{"name": "x", "family": "quantile"}]}
         with pytest.raises(SpecError, match="family"):
             Workload.from_spec(spec, domain)
+
+
+class TestCacheToken:
+    """The fast structural digest behind the cross-tenant plan cache."""
+
+    def test_equal_workloads_share_a_token(self):
+        domain = Domain.integers("v", 64)
+        a = Workload.ranges(domain, [0, 5], [9, 63])
+        b = Workload.ranges(domain, np.array([0, 5]), np.array([9, 63]))
+        assert a.cache_token() == b.cache_token()
+
+    def test_shape_is_part_of_the_token(self):
+        # same flattened bytes, different query structure: a cache
+        # collision here would hand one tenant another tenant's plan
+        domain = Domain.integers("v", 6)
+        flat = np.linspace(0, 1, 12)
+        a = Workload(domain, [QueryGroup.linear(flat.reshape(2, 6), name="w")])
+        b = Workload(domain, [QueryGroup.linear(flat.reshape(3, 4), name="w")])
+        assert a.cache_token() != b.cache_token()
+
+    def test_packbits_padding_cannot_collide(self):
+        # an all-zero trailing mask row disappears into packbits padding;
+        # the shape prefix must keep the workloads distinct
+        domain = Domain.integers("v", 4)
+        one = np.array([[True, False, True, False]])
+        two = np.vstack([one, np.zeros((1, 4), dtype=bool)])
+        a = Workload(domain, [QueryGroup.counts(one)])
+        b = Workload(domain, [QueryGroup.counts(two)])
+        assert a.cache_token() != b.cache_token()
+
+    def test_domain_and_positions_are_part_of_the_token(self):
+        d1, d2 = Domain.integers("v", 64), Domain.integers("w", 64)
+        assert (
+            Workload.ranges(d1, [0], [9]).cache_token()
+            != Workload.ranges(d2, [0], [9]).cache_token()
+        )
+        q = [RangeQuery(d1, 0, 9), CountQuery.from_mask(d1, np.arange(64) < 5)]
+        ordered = Workload.from_queries(d1, q)
+        swapped = Workload.from_queries(d1, q[::-1])
+        assert ordered.cache_token() != swapped.cache_token()
