@@ -1,25 +1,35 @@
-"""Measure the planner cost model's calibration constants.
+"""Measure the planner cost model's calibration constants, per dataset family.
 
 Runs every range/histogram strategy over a grid of policies and epsilons,
 compares the measured per-query MSE with the *raw* analytic formula
 (:mod:`repro.analysis.bounds` with the calibration factor divided out), and
 prints the median ratio per ``(strategy, consistent)`` pair — the values
-baked into ``repro.analysis.bounds.CALIBRATION``.
+baked into ``repro.analysis.bounds.COST_MODEL_FITS`` (the
+``"synthetic-grid"`` entry is the legacy ``CALIBRATION`` table).
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/calibrate_cost_model.py
+    PYTHONPATH=src python benchmarks/calibrate_cost_model.py [--family NAME]
+        [--trials N]
+
+``--family`` picks the dataset family to fit (``synthetic-grid`` — the
+spiky mixture the shipped constants were measured on — or ``uniform``;
+``all`` fits every family).  The output block is ready to paste into
+``COST_MODEL_FITS``; deployments serving a different data distribution
+re-fit here and activate the result with
+``repro.analysis.bounds.set_active_calibration``.
 
 Not a test: this is the reproducible provenance of the constants.  Re-run
-after changing a mechanism's post-processing and update CALIBRATION when
-the medians move materially.  For the with-inference prefix mechanisms the
-per-theta ratios decay roughly as ``theta^-b``; the fitted exponents live
-in ``repro.analysis.bounds.INFERENCE_THETA_EXPONENT`` (slope of
-log(ratio) against log(theta) over this grid).
+after changing a mechanism's post-processing and update the fits when the
+medians move materially.  For the with-inference prefix mechanisms the
+per-theta ratios decay roughly as ``theta^-b``; the fitted exponents land
+in the same block (slope of log(ratio) against log(theta) over this grid).
 """
 
 from __future__ import annotations
 
+import argparse
+import math
 import statistics
 
 import numpy as np
@@ -38,7 +48,7 @@ THETAS = (1, 2, 4, 16, 64, 256)
 SEED = 20140623
 
 
-def _database() -> Database:
+def _spiky_database() -> Database:
     rng = np.random.default_rng(SEED)
     # spiky mixture: ~half the mass in a few narrow bands, the rest uniform
     bands = rng.normal((100, 380, 700), (8, 20, 15), size=(N_TUPLES // 2, 3))
@@ -48,22 +58,53 @@ def _database() -> Database:
     return Database.from_indices(Domain.integers("v", SIZE), values)
 
 
-def measured_mse(engine: PolicyEngine, strategy: str, db, los, his, truth, seed: int) -> float:
+def _uniform_database() -> Database:
+    rng = np.random.default_rng(SEED)
+    values = rng.integers(0, SIZE, N_TUPLES)
+    return Database.from_indices(Domain.integers("v", SIZE), values)
+
+
+#: dataset family name -> database builder; each family gets its own
+#: COST_MODEL_FITS entry
+FAMILIES = {
+    "synthetic-grid": _spiky_database,
+    "uniform": _uniform_database,
+}
+
+
+def measured_mse(
+    engine: PolicyEngine, strategy: str, db, los, his, truth, seed: int, trials: int
+) -> float:
     errs = []
-    for t in range(TRIALS):
+    for t in range(trials):
         rel = engine.release(db, "range", rng=np.random.default_rng((seed, t)), strategy=strategy)
         errs.append(float(np.mean((rel.ranges(los, his) - truth) ** 2)))
     return float(np.mean(errs))
 
 
-def main() -> None:
-    db = _database()
+def _theta_exponent(by_theta: dict[int, list[float]]) -> float | None:
+    """Least-squares slope of log(ratio) against log(theta), theta > 1."""
+    xs, ys = [], []
+    for theta, vals in by_theta.items():
+        if theta and theta > 1:
+            xs.append(math.log(theta))
+            ys.append(math.log(statistics.median(vals)))
+    if len(xs) < 2:
+        return None
+    mx, my = sum(xs) / len(xs), sum(ys) / len(ys)
+    denom = sum((x - mx) ** 2 for x in xs)
+    return -(sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / denom) if denom else None
+
+
+def fit_family(family: str, trials: int = TRIALS) -> None:
+    db = FAMILIES[family]()
     domain = db.domain
     rng = np.random.default_rng(SEED)
     los, his = random_range_queries(SIZE, N_QUERIES, rng)
     truth = true_range_answers(db.cumulative_histogram(), los, his)
 
     ratios: dict[tuple[str, bool], list[float]] = {}
+    per_theta: dict[str, dict[int, list[float]]] = {}
     config = 0
     for consistent in (False, True):
         for theta in THETAS + (None,):
@@ -106,21 +147,54 @@ def main() -> None:
                             theta=index_gap,
                             consistent=consistent,
                         ) / calibration_factor(strategy, consistent, theta=theta_proxy)
-                        got = measured_mse(engine, strategy, db, los, his, truth, config)
+                        got = measured_mse(
+                            engine, strategy, db, los, his, truth, config, trials
+                        )
                     except Exception as exc:  # unscoreable corner: report and move on
                         print(f"skip {strategy} theta={theta} eps={eps}: {exc}")
                         continue
                     ratio = got / raw if raw > 0 else float("nan")
                     ratios.setdefault((strategy, consistent), []).append(ratio)
+                    if consistent and theta is not None:
+                        per_theta.setdefault(strategy, {}).setdefault(theta, []).append(ratio)
                     print(
                         f"{strategy:22s} consistent={consistent!s:5s} theta={theta!s:5s} "
                         f"eps={eps:<5g} measured={got:12.2f} raw={raw:12.2f} ratio={ratio:.3f}"
                     )
 
-    print("\nCALIBRATION = {")
+    # ready to paste into repro.analysis.bounds.COST_MODEL_FITS
+    print(f"\nCOST_MODEL_FITS[{family!r}] = {{")
+    print('    "constants": {')
     for (strategy, consistent), vals in sorted(ratios.items()):
-        print(f"    ({strategy!r}, {consistent}): {statistics.median(vals):.2f},")
+        print(f"        ({strategy!r}, {consistent}): {statistics.median(vals):.2f},")
+    print("    },")
+    print('    "theta_exponents": {')
+    for strategy, by_theta in sorted(per_theta.items()):
+        b = _theta_exponent(by_theta)
+        if b is not None and b > 0.05:
+            print(f"        {strategy!r}: {b:.2f},")
+    print("    },")
+    print(
+        f'    "provenance": "benchmarks/calibrate_cost_model.py --family {family}: '
+        f'|T|={SIZE}, thetas {THETAS[0]}..{THETAS[-1]}, eps {EPSILONS}, '
+        f'{trials} trials",'
+    )
     print("}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--family", default="synthetic-grid", choices=(*FAMILIES, "all"),
+        help="dataset family to fit (default: synthetic-grid)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=TRIALS, help=f"trials per config (default {TRIALS})"
+    )
+    args = parser.parse_args()
+    for family in FAMILIES if args.family == "all" else (args.family,):
+        print(f"=== dataset family: {family} ===")
+        fit_family(family, trials=args.trials)
 
 
 if __name__ == "__main__":

@@ -119,7 +119,7 @@ from .engine import (
     SensitivityCache,
     default_registry,
 )
-from .plan import Executor, Plan, Planner, Workload
+from .plan import Executor, Plan, PlanBudget, Planner, Workload
 from .api import (
     BlowfishService,
     EnginePool,
@@ -162,6 +162,7 @@ __all__ = [
     "Workload",
     "Planner",
     "Plan",
+    "PlanBudget",
     "Executor",
     "BlowfishService",
     "EnginePool",

@@ -20,13 +20,16 @@ Subcommands:
     keep serving JSON-lines requests from stdin against the registered
     ``"demo"`` dataset until EOF.
 
-``plan [--explain]``
+``plan [--explain] [--budget E] [--degrade MODE]``
     Compile a cost-driven plan for a mixed demo workload (ranges, counts,
     a linear batch) under a distance-threshold policy and print its
     ``explain()`` report — per group: chosen mechanism, predicted RMSE,
-    sensitivity, epsilon.  Without ``--explain`` the plan is also executed
-    and the answers summarized.  ``--request FILE`` plans a JSON request
-    (the service shape) instead of the demo workload.
+    sensitivity, epsilon.  ``--budget E`` plans budget-first: ``E`` total
+    epsilon is split adaptively across the plan's fresh releases
+    (error-minimizing), with ``--degrade`` choosing how to shed load when
+    a session budget cannot cover it.  Without ``--explain`` the plan is
+    also executed and the answers summarized.  ``--request FILE`` plans a
+    JSON request (the service shape) instead of the demo workload.
 """
 
 from __future__ import annotations
@@ -187,6 +190,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             request["mode"] = args.mode
         if args.seed is not None:
             request["seed"] = args.seed
+        if args.budget is not None:
+            request["plan_budget"] = {"total": args.budget, "degradation": args.degrade}
         response = BlowfishService().handle(request)
         if args.explain and response.get("ok"):
             print(response["report"])
@@ -195,7 +200,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         return 0 if response.get("ok") else 1
 
     from .core.policy import Policy
-    from .plan import Executor, QueryGroup, Workload
+    from .plan import Executor, PlanBudget, QueryGroup, Workload
 
     seed = 0 if args.seed is None else args.seed
     mode = "auto" if args.mode is None else args.mode
@@ -214,13 +219,22 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         [
             QueryGroup.ranges(np.minimum(los, his), np.maximum(los, his)),
             QueryGroup.counts(masks, name="salary-bands"),
-            QueryGroup.linear(np.full((1, db.n), 1.0 / db.n), name="mean-salary"),
+            # optional: under --budget with --degrade drop_optional this is
+            # the group the planner sheds first
+            QueryGroup.linear(
+                np.full((1, db.n), 1.0 / db.n), name="mean-salary", optional=True
+            ),
         ],
     )
-    plan = engine.plan(workload, optimize=(mode == "auto"))
+    budget = None
+    if args.budget is not None:
+        budget = PlanBudget(total=args.budget, degradation=args.degrade)
+    plan = engine.plan(workload, optimize=(mode == "auto"), budget=budget)
     print(
         f"demo dataset: {db.n} individuals over {domain.size} salary buckets; "
-        f"policy G^(d,{args.theta:g}), epsilon {args.epsilon:g}\n"
+        f"policy G^(d,{args.theta:g}), epsilon {args.epsilon:g}"
+        + (f", budget {args.budget:g} total ({args.degrade})" if budget else "")
+        + "\n"
     )
     print(plan.explain())
     if args.explain:
@@ -276,6 +290,16 @@ def build_parser() -> argparse.ArgumentParser:
     plan_p.add_argument(
         "--mode", choices=("auto", "fixed"), default=None,
         help="planner mode (demo default auto; set on --request too)",
+    )
+    plan_p.add_argument(
+        "--budget", type=float, default=None,
+        help="budget-first planning: total epsilon split adaptively across "
+        "the plan's fresh releases (set on --request too)",
+    )
+    plan_p.add_argument(
+        "--degrade", choices=("strict", "drop_optional", "reuse_stale"),
+        default="strict",
+        help="what to do when the session budget cannot cover --budget",
     )
     plan_p.set_defaults(func=_cmd_plan)
     return parser

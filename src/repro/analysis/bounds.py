@@ -44,8 +44,13 @@ __all__ = [
     "predicted_range_query_mse",
     "predicted_count_query_mse",
     "CALIBRATION",
+    "COST_MODEL_FITS",
     "MODEL_TOLERANCE",
     "calibration_factor",
+    "active_calibration",
+    "active_calibration_family",
+    "set_active_calibration",
+    "register_calibration",
 ]
 
 
@@ -129,6 +134,104 @@ INFERENCE_THETA_EXPONENT: dict[str, float] = {
     "ordered-hierarchical": 0.2,
 }
 
+#: Per-dataset-family calibration fits, each a ``{"constants",
+#: "theta_exponents", "provenance"}`` record emitted by
+#: ``benchmarks/calibrate_cost_model.py --family <name>``.  The shipped
+#: default is the synthetic spiky-mixture grid the constants above were
+#: measured on; re-fits for other dataset families are registered here (or
+#: via :func:`register_calibration`) and activated with
+#: :func:`set_active_calibration` — the planner's scores then use the
+#: active family's constants everywhere.
+COST_MODEL_FITS: dict[str, dict] = {
+    "synthetic-grid": {
+        "constants": CALIBRATION,
+        "theta_exponents": INFERENCE_THETA_EXPONENT,
+        "provenance": (
+            "benchmarks/calibrate_cost_model.py --family synthetic-grid: "
+            "|T|=1024 spiky mixture, thetas 1..256, eps {0.25, 1}, 24 trials"
+        ),
+    },
+    "uniform": {
+        # measured on the same grid with uniformly distributed tuples
+        # (benchmarks/calibrate_cost_model.py --family uniform); the raw
+        # mechanisms track their formulas as closely as on the spiky
+        # mixture, but constrained inference gains materially more — a flat
+        # histogram gives isotonic/GLS post-processing more exploitable
+        # structure.  Histogram strategies are unfit by the script (the
+        # Laplace formula is distribution-free) and stay at 1.
+        "constants": {
+            ("ordered", False): 0.99,
+            ("ordered", True): 0.55,
+            ("hierarchical", False): 1.06,
+            ("hierarchical", True): 0.38,
+            ("ordered-hierarchical", False): 1.23,
+            ("ordered-hierarchical", True): 0.57,
+            ("laplace-histogram", False): 1.0,
+            ("laplace-histogram", True): 1.0,
+            ("constrained-histogram", False): 1.0,
+            ("constrained-histogram", True): 1.0,
+        },
+        "theta_exponents": {"ordered": 0.55, "ordered-hierarchical": 0.22},
+        "provenance": (
+            "benchmarks/calibrate_cost_model.py --family uniform: "
+            "|T|=1024 uniform tuples, thetas 1..256, eps (0.25, 1.0), 8 trials"
+        ),
+    },
+}
+
+_active_fit = "synthetic-grid"
+
+
+def active_calibration_family() -> str:
+    """Name of the active fit (plan-cache keys, plan provenance stamps)."""
+    return _active_fit
+
+
+def active_calibration() -> dict:
+    """The active cost-model fit, JSON-ready (surfaced by ``"describe"``
+    and ``Plan.explain()``): family name, provenance, constants keyed
+    ``"<strategy>"`` with ``raw``/``inference`` entries, theta exponents."""
+    fit = COST_MODEL_FITS[_active_fit]
+    constants: dict[str, dict] = {}
+    for (strategy, consistent), value in sorted(fit["constants"].items()):
+        constants.setdefault(strategy, {})["inference" if consistent else "raw"] = value
+    return {
+        "family": _active_fit,
+        "provenance": fit["provenance"],
+        "constants": constants,
+        "theta_exponents": dict(fit.get("theta_exponents", {})),
+    }
+
+
+def set_active_calibration(family: str) -> str:
+    """Activate a registered fit; returns the previously active family.
+
+    Process-wide (the planner has no per-call fit parameter by design: one
+    deployment serves one dataset family per process, and mixing fits
+    within a plan would make its scoreboard incomparable).
+    """
+    global _active_fit
+    if family not in COST_MODEL_FITS:
+        known = ", ".join(sorted(COST_MODEL_FITS))
+        raise KeyError(f"unknown calibration family {family!r} (known: {known})")
+    previous, _active_fit = _active_fit, family
+    return previous
+
+
+def register_calibration(
+    family: str,
+    constants: dict[tuple[str, bool], float],
+    *,
+    theta_exponents: dict[str, float] | None = None,
+    provenance: str = "user-supplied",
+) -> None:
+    """Register a per-dataset-family re-fit (does not activate it)."""
+    COST_MODEL_FITS[family] = {
+        "constants": dict(constants),
+        "theta_exponents": dict(theta_exponents or {}),
+        "provenance": provenance,
+    }
+
 #: How far a measured MSE may exceed the model's prediction-implied choice
 #: before the planner is considered *wrong* (the contract the
 #: planner-optimality tests enforce): the planner's pick must never be
@@ -143,10 +246,13 @@ def calibration_factor(
 
     ``theta`` feeds the with-inference power law for the prefix-structured
     mechanisms; omit it (or pass ``None``) for the flat constant alone.
+    Constants come from the *active* fit (:func:`set_active_calibration`);
+    the default is the shipped synthetic-grid measurement.
     """
-    factor = CALIBRATION.get((strategy, bool(consistent)), 1.0)
+    fit = COST_MODEL_FITS[_active_fit]
+    factor = fit["constants"].get((strategy, bool(consistent)), 1.0)
     if consistent and theta is not None and theta > 1:
-        factor *= theta ** -INFERENCE_THETA_EXPONENT.get(strategy, 0.0)
+        factor *= theta ** -fit.get("theta_exponents", {}).get(strategy, 0.0)
     return factor
 
 

@@ -43,27 +43,37 @@ class PlanCache:
     Keys are built by :meth:`repro.engine.PolicyEngine.plan_with_meta` from
     everything a compiled plan depends on: policy fingerprint, epsilon,
     canonical options, the registry's rule-table fingerprint, the
-    workload's structural digest, the planner mode and the caller's
-    existing-release token (row-aware for linear releases).  Values are
-    immutable :class:`~repro.plan.Plan` objects, so one cached plan is
-    executed concurrently by any number of tenants.
+    workload's structural digest, the planner mode, the caller's
+    existing-release token (row-aware for linear releases) and the plan
+    budget directive.  Values are immutable :class:`~repro.plan.Plan`
+    objects, so one cached plan is executed concurrently by any number of
+    tenants.
 
-    ``maxsize`` bounds *entries*, not bytes: a cached plan retains its
-    workload's packed arrays (the executor reads them), so deployments
-    whose tenants submit many distinct very large workloads should size
-    this down rather than up — the cache exists for *repeated* workloads,
-    and a few dozen entries already cover that.
+    The cache is bounded two ways: ``maxsize`` caps entries and
+    ``max_bytes`` caps the *accumulated payload bytes* — a cached plan
+    retains its workload's packed arrays (the executor reads them; a 1k
+    count-mask stack over a 50k domain is ~50 MB), so entry counts alone
+    would let a handful of wide workloads pin gigabytes.  Eviction is LRU
+    under both limits, and a single plan larger than ``max_bytes`` is
+    returned uncompiled-into-the-cache (counted in ``oversize``) rather
+    than evicting everything else.
     """
 
-    def __init__(self, maxsize: int = 256):
+    def __init__(self, maxsize: int = 256, max_bytes: int = 256 * 1024 * 1024):
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
         self.maxsize = maxsize
+        self.max_bytes = int(max_bytes)
         self._plans: OrderedDict[tuple, object] = OrderedDict()
+        self._nbytes: dict[tuple, int] = {}
+        self._total_bytes = 0
         self._lock = Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.oversize = 0
 
     def lookup(self, key: tuple):
         """The cached plan for ``key``, or None (counted as a miss)."""
@@ -83,11 +93,23 @@ class PlanCache:
         captures every input), so the first insert wins and later callers
         adopt the incumbent — mirroring :meth:`EnginePool.get`.
         """
+        sizer = getattr(plan, "nbytes", None)
+        nbytes = int(sizer()) if callable(sizer) else 0
+        if nbytes > self.max_bytes:
+            # caching it would evict the entire working set for one tenant's
+            # monster workload; hand the plan back uncached instead
+            with self._lock:
+                self.oversize += 1
+            return plan
         with self._lock:
             incumbent = self._plans.setdefault(key, plan)
+            if incumbent is plan and key not in self._nbytes:
+                self._nbytes[key] = nbytes
+                self._total_bytes += nbytes
             self._plans.move_to_end(key)
-            while len(self._plans) > self.maxsize:
-                self._plans.popitem(last=False)
+            while len(self._plans) > self.maxsize or self._total_bytes > self.max_bytes:
+                evicted, _ = self._plans.popitem(last=False)
+                self._total_bytes -= self._nbytes.pop(evicted, 0)
                 self.evictions += 1
             return incumbent
 
@@ -97,14 +119,19 @@ class PlanCache:
             return {
                 "size": len(self._plans),
                 "maxsize": self.maxsize,
+                "bytes": self._total_bytes,
+                "max_bytes": self.max_bytes,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "oversize": self.oversize,
             }
 
     def clear(self) -> None:
         with self._lock:
             self._plans.clear()
+            self._nbytes.clear()
+            self._total_bytes = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -30,7 +30,13 @@ Request shape (``op: "answer"``)::
 and releases are shared where reuse is predicted to win, with the executed
 plan's per-step report in the response.  ``op: "explain"`` compiles and
 returns the plan (chosen mechanism, predicted RMSE, sensitivity, epsilon
-split per group) without touching any data or spending any budget.
+split per group) without touching any data or spending any budget.  Both
+accept an optional ``"plan_budget"`` — ``{"total": 1.0, "degradation":
+"drop_optional"}`` or ``{"uniform": 0.25}`` — for budget-first planning:
+the total is split adaptively across the plan's fresh releases to minimize
+predicted workload error, and a session whose remaining budget cannot
+cover the total degrades per the requested mode (dropped groups answer
+``null``) instead of failing mid-execution.
 
 Malformed requests never raise: the response is ``{"ok": false, "error":
 {"field": ..., "message": ..., "kind": ...}}`` with the offending field
@@ -59,6 +65,7 @@ sessions proceed in parallel.
 from __future__ import annotations
 
 import hashlib
+import math
 from collections import OrderedDict
 from threading import Lock
 
@@ -70,7 +77,7 @@ from ..core.policy import Policy
 from ..core.queries import Query, _int_array
 from ..core.rng import ensure_rng
 from ..core.specbase import SpecError, check_version, spec_get
-from ..plan import Workload
+from ..plan import PlanBudget, Workload
 from ..plan.workload import validate_range_arrays
 from .pool import EnginePool, _options_key
 from .session import Session
@@ -312,10 +319,15 @@ class BlowfishService:
         )
         rng = ensure_rng(spec_get(request, "seed", int, "request", required=False))
         workload = self._parse_workload(request, engine.policy.domain)
-        plan, plan_cache = session.plan_with_meta(
-            workload, optimize=self._plan_mode(request) == "auto"
+        # one lock acquisition for compile + run: the budget consulted at
+        # planning time is the budget the execution spends against, even
+        # under concurrent requests on this session
+        plan, plan_cache, answers, call_meta = session.plan_execute_with_meta(
+            workload,
+            optimize=self._plan_mode(request) == "auto",
+            budget=self._parse_plan_budget(request),
+            rng=rng,
         )
-        answers, call_meta = session.execute_plan(plan, rng=rng)
         meta = {
             "n_queries": len(workload),
             "policy_fingerprint": engine.fingerprint,
@@ -331,15 +343,24 @@ class BlowfishService:
         return {
             "ok": True,
             "op": "plan",
-            "answers": answers.tolist(),
-            "plan": {
-                "fingerprint": plan.fingerprint(),
-                "mode": plan.mode,
-                "total_epsilon": plan.total_epsilon,
-                "steps": plan.summary(),
-            },
+            "answers": _jsonable_answers(answers),
+            "plan": self._plan_section(plan),
             "meta": meta,
         }
+
+    @staticmethod
+    def _plan_section(plan) -> dict:
+        """The per-plan response block shared by ``"plan"`` responses."""
+        section = {
+            "fingerprint": plan.fingerprint(),
+            "mode": plan.mode,
+            "total_epsilon": plan.total_epsilon,
+            "steps": plan.summary(),
+        }
+        if plan.budget is not None:
+            section["budget"] = plan.budget.to_spec()
+            section["degraded"] = plan.degraded()
+        return section
 
     def _explain(self, request: dict) -> dict:
         """``op: "explain"`` — compile and report a plan; no data, no spend.
@@ -354,6 +375,7 @@ class BlowfishService:
         engine, engine_cache, options = self._engine_for(request)
         workload = self._parse_workload(request, engine.policy.domain)
         optimize = self._plan_mode(request) == "auto"
+        budget = self._parse_plan_budget(request)
         session = None
         session_id = spec_get(request, "session", str, "request", required=False)
         if session_id is not None and "dataset" in request:
@@ -364,10 +386,16 @@ class BlowfishService:
                 )
         if session is not None:
             # through the session so its lock covers reading the releases a
-            # concurrent request on the same session may be mutating
-            plan, plan_cache = session.plan_with_meta(workload, optimize=optimize)
+            # concurrent request on the same session may be mutating (and so
+            # a budgeted preview consults the same remaining ledger budget
+            # op "plan" would)
+            plan, plan_cache = session.plan_with_meta(
+                workload, optimize=optimize, budget=budget
+            )
         else:
-            plan, plan_cache = engine.plan_with_meta(workload, optimize=optimize)
+            plan, plan_cache = engine.plan_with_meta(
+                workload, optimize=optimize, budget=budget
+            )
         meta = {
             "n_queries": len(workload),
             "policy_fingerprint": engine.fingerprint,
@@ -392,7 +420,22 @@ class BlowfishService:
             raise SpecError("request.mode", f"expected 'auto' or 'fixed', got {mode!r}")
         return mode
 
+    @staticmethod
+    def _parse_plan_budget(request: dict) -> PlanBudget | None:
+        """The optional ``"plan_budget"`` request field, parsed.
+
+        Shape: ``{"total": 1.0}`` or ``{"uniform": 0.25}``, plus optional
+        ``"floors": {group: eps}`` and ``"degradation": "strict" |
+        "drop_optional" | "reuse_stale"``.
+        """
+        spec = spec_get(request, "plan_budget", dict, "request", required=False)
+        if spec is None:
+            return None
+        return PlanBudget.from_spec(spec, "request.plan_budget")
+
     def _describe(self, request: dict) -> dict:
+        from ..analysis.bounds import active_calibration
+
         engine, engine_cache, _ = self._engine_for(request)
         strategies = self._strategies(engine, engine.registry.families())
         meta = {
@@ -403,6 +446,8 @@ class BlowfishService:
             "engine_pool": self.pool.stats(),
             "plan_cache": self.pool.plan_cache.stats(),
             "sensitivity_cache": engine.cache_info(),
+            # which measured calibration the planner's scores come from
+            "cost_model": active_calibration(),
         }
         return {"ok": True, "op": "describe", "meta": meta}
 
@@ -505,3 +550,10 @@ class BlowfishService:
 
 def _error(field: str | None, message: str, kind: str = "invalid_request") -> dict:
     return {"ok": False, "error": {"field": field, "message": message, "kind": kind}}
+
+
+def _jsonable_answers(answers: np.ndarray) -> list:
+    """``tolist`` with NaN (dropped groups) mapped to JSON-valid null."""
+    if np.isnan(answers).any():
+        return [None if math.isnan(a) else a for a in answers.tolist()]
+    return answers.tolist()

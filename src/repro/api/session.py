@@ -121,7 +121,7 @@ class Session:
         return self._metered(lambda: self.answer_ranges(los, his, rng=rng), {"range"})
 
     # -- planning ------------------------------------------------------------------
-    def plan(self, workload, *, optimize: bool = True):
+    def plan(self, workload, *, optimize: bool = True, budget=None):
         """Compile a plan for ``workload`` that knows this session's cache.
 
         Releases the session already holds are charged 0 and offered as
@@ -130,16 +130,51 @@ class Session:
         compiled plan in the cross-tenant :class:`~repro.api.PlanCache`
         (keyed on this session's release state among everything else), so
         other tenants with the same workload skip candidate scoring.
-        """
-        return self.plan_with_meta(workload, optimize=optimize)[0]
 
-    def plan_with_meta(self, workload, *, optimize: bool = True):
+        ``budget`` (a :class:`repro.plan.PlanBudget`) plans budget-first:
+        before compiling, the session's remaining ledger budget is
+        consulted, so a plan that cannot fit degrades per the budget's
+        degradation mode — ``strict`` raises
+        :class:`~repro.core.composition.BudgetExceededError` here, at
+        planning time, before any noise is drawn or epsilon spent.
+        """
+        return self.plan_with_meta(workload, optimize=optimize, budget=budget)[0]
+
+    def plan_with_meta(self, workload, *, optimize: bool = True, budget=None):
         """:meth:`plan`, plus the plan-cache outcome (``"hit"``/``"miss"``/
         ``"uncached"``) for this compile."""
         with self._lock:
+            remaining = None
+            if budget is not None and self.accountant.budget is not None:
+                remaining = self.accountant.remaining()
             return self.engine.plan_with_meta(
-                workload, optimize=optimize, existing=self.releases
+                workload,
+                optimize=optimize,
+                existing=self.releases,
+                budget=budget,
+                remaining=remaining,
             )
+
+    def plan_execute_with_meta(
+        self, workload, *, optimize: bool = True, budget=None, rng=None
+    ):
+        """Compile and run in one lock acquisition: ``(plan, plan_cache,
+        answers, meta)``.
+
+        The remaining-budget consult and the resulting spends happen
+        atomically with respect to concurrent requests on this session —
+        a plan that :meth:`plan` judged affordable (or degraded to fit)
+        cannot be invalidated by an interleaved spend before it executes.
+        Callers composing :meth:`plan` and :meth:`execute_plan` themselves
+        get the same guarantee only if nothing else touches the session in
+        between; the serving façade always goes through this method.
+        """
+        with self._lock:
+            plan, plan_cache = self.plan_with_meta(
+                workload, optimize=optimize, budget=budget
+            )
+            answers, meta = self.execute_plan(plan, rng=rng)
+        return plan, plan_cache, answers, meta
 
     def execute_plan(self, plan, *, rng=None) -> tuple[np.ndarray, dict]:
         """Run a compiled plan against this session's data, ledger and cache.
@@ -161,6 +196,9 @@ class Session:
                 "session_total": self.accountant.sequential_total(),
                 "release_cache": result.release_cache,
             }
+            degraded = plan.degraded()
+            if degraded:
+                meta["degraded"] = degraded
         return result.answers, meta
 
     def _metered(self, call, families) -> tuple[np.ndarray, dict]:

@@ -22,6 +22,7 @@ from ..core.graphs import DiscriminativeGraph
 from ..core.policy import Policy
 from ..core.queries import ConstraintSet, Partition, Query
 from ..core.specbase import SPEC_VERSION, SpecError, spec_digest, spec_get
+from ..plan import Plan, PlanBudget, Workload
 
 __all__ = ["SPEC_VERSION", "SpecError", "to_spec", "from_spec", "spec_digest"]
 
@@ -29,7 +30,19 @@ __all__ = ["SPEC_VERSION", "SpecError", "to_spec", "from_spec", "spec_digest"]
 def to_spec(obj: Any) -> dict:
     """Serialize any spec-capable object to a plain, JSON-ready dict."""
     if isinstance(
-        obj, (Domain, Attribute, Partition, DiscriminativeGraph, Policy, ConstraintSet, Query)
+        obj,
+        (
+            Domain,
+            Attribute,
+            Partition,
+            DiscriminativeGraph,
+            Policy,
+            ConstraintSet,
+            Query,
+            Workload,
+            Plan,
+            PlanBudget,
+        ),
     ):
         return obj.to_spec()
     raise SpecError("", f"{type(obj).__name__} has no spec representation")
@@ -53,6 +66,12 @@ def from_spec(spec: dict, domain: Domain | None = None, path: str = "spec") -> A
         return DiscriminativeGraph.from_spec(spec, path)
     if kind == "constraints":
         return ConstraintSet.from_spec(spec, _require_domain(domain, kind, path), path)
+    if kind == "plan_budget":
+        return PlanBudget.from_spec(spec, path)
+    if kind == "workload":
+        return Workload.from_spec(spec, _require_domain(domain, kind, path), path)
+    if kind == "plan":
+        return Plan.from_spec(spec, _require_domain(domain, kind, path), path)
     return Query.from_spec(spec, _require_domain(domain, kind, path), path)
 
 

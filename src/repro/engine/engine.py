@@ -273,27 +273,42 @@ class PolicyEngine:
         """Which registry rule serves ``family`` under this policy."""
         return self.registry.rule_name(family, self.policy)
 
-    def mechanism(self, family: str, strategy: str | None = None) -> Mechanism:
+    def mechanism(
+        self, family: str, strategy: str | None = None, *, epsilon: float | None = None
+    ) -> Mechanism:
         """The (memoized) mechanism instance serving ``family``.
 
         ``strategy`` pins a registry rule by name (a planner-chosen
         candidate); the default is the first matching rule, exactly as
-        :meth:`strategy` reports.
+        :meth:`strategy` reports.  ``epsilon`` builds the mechanism at a
+        non-default budget — how budget-first plans charge each release its
+        *allocated* epsilon — and defaults to the engine's own.  Only
+        default-epsilon instances are memoized; allocated epsilons vary per
+        plan, so their mechanisms are built per call.
         """
         name = strategy if strategy is not None else self.strategy(family)
+        eps = self.epsilon if epsilon is None else float(epsilon)
+        if eps <= 0:
+            raise ValueError(f"epsilon must be positive, got {eps}")
+        memoize = eps == self.epsilon
         key = (family, name)
-        with self._lock:
-            mech = self._mechanisms.get(key)
-        if mech is not None:
-            return mech
+        if memoize:
+            with self._lock:
+                mech = self._mechanisms.get(key)
+            if mech is not None:
+                return mech
         # build outside the lock (tree structures can be expensive), then
         # prefer a racing builder's incumbent so all callers share one
         opts = dict(self.options.get(family, {}))
         if family == "histogram" and "sensitivity" not in opts:
             opts["sensitivity"] = self.sensitivity(HistogramQuery(self.policy.domain))
-        mech = self.registry.resolve(
-            family, self.policy, self.epsilon, strategy=name, **opts
-        )
+        mech = self.registry.resolve(family, self.policy, eps, strategy=name, **opts)
+        if not memoize:
+            # budget-allocated epsilons are effectively continuous (they
+            # track the caller's remaining budget), so memoizing them would
+            # grow a pooled engine's map without bound; the build cost is
+            # paid per fresh release, which the release itself dominates
+            return mech
         with self._lock:
             return self._mechanisms.setdefault(key, mech)
 
@@ -322,6 +337,7 @@ class PolicyEngine:
         accountant=None,
         strategy: str | None = None,
         label: str | None = None,
+        epsilon: float | None = None,
     ):
         """Release one noisy synopsis for ``family``, spending ``epsilon``.
 
@@ -331,27 +347,36 @@ class PolicyEngine:
         overrides the engine's own for this spend — how pooled engines
         charge the requesting session's ledger instead of a shared one.
         ``strategy`` pins a non-default registry rule (planner candidates);
-        ``label`` overrides the ledger label (defaults to the family).
+        ``label`` overrides the ledger label (defaults to the family);
+        ``epsilon`` charges and calibrates this release at a non-default
+        budget (budget-first plans allocate per release).
         """
-        mech = self.mechanism(family, strategy)
+        mech = self.mechanism(family, strategy, epsilon=epsilon)
         # spend before releasing: if the accountant refuses (budget
         # exhausted), no noisy output must ever have been computed
-        self._spend(label if label is not None else family, accountant)
+        self._spend(label if label is not None else family, accountant, epsilon=epsilon)
         out = mech.release(db, rng=ensure_rng(rng))
         if family == "histogram":
             return ReleasedHistogram(np.asarray(out, dtype=np.float64))
         return out
 
-    def _spend(self, label: str, accountant: PrivacyAccountant | None = None) -> None:
+    def _spend(
+        self,
+        label: str,
+        accountant: PrivacyAccountant | None = None,
+        *,
+        epsilon: float | None = None,
+    ) -> None:
         # the accountant may refuse (budget exhausted); only count spends
         # that were actually admitted
+        amount = self.epsilon if epsilon is None else float(epsilon)
         acct = accountant if accountant is not None else self.accountant
         if acct is not None:
-            acct.spend(self.epsilon, label=label)
+            acct.spend(amount, label=label)
         with self._lock:
             # += on a shared float is read-modify-write; concurrent sessions
             # releasing on one pooled engine must not lose increments
-            self._spent += self.epsilon
+            self._spent += amount
 
     @property
     def spent_epsilon(self) -> float:
@@ -365,7 +390,15 @@ class PolicyEngine:
 
         return Workload.from_queries(self.policy.domain, queries)
 
-    def plan(self, workload, *, optimize: bool = True, existing=()):
+    def plan(
+        self,
+        workload,
+        *,
+        optimize: bool = True,
+        existing=(),
+        budget=None,
+        remaining: float | None = None,
+    ):
         """Compile a :class:`repro.plan.Plan` for ``workload``.
 
         ``optimize=True`` scores every registry candidate per group with
@@ -378,17 +411,40 @@ class PolicyEngine:
         accidental.  A plain sequence of queries is accepted and grouped
         first.
 
+        ``budget`` (a :class:`repro.plan.PlanBudget`) switches to
+        budget-first planning: fresh releases are charged an adaptive
+        error-minimizing split of ``budget.total`` (or a flat
+        ``budget.uniform`` each), and ``remaining`` — the caller's unspent
+        session budget — triggers the budget's degradation mode when the
+        plan would not fit.  Without a budget every fresh release charges
+        the engine's full epsilon, exactly as before.
+
         With a :attr:`plan_cache` attached (pooled engines), the compiled
         plan is memoized under everything it depends on — policy
-        fingerprint, epsilon, options, the workload's structural digest and
-        the caller's existing-release state — so a repeated workload skips
-        candidate scoring entirely.
+        fingerprint, epsilon, options, the workload's structural digest,
+        the caller's existing-release state and the budget directive — so
+        a repeated workload skips candidate scoring entirely.
         """
-        return self.plan_with_meta(workload, optimize=optimize, existing=existing)[0]
+        return self.plan_with_meta(
+            workload,
+            optimize=optimize,
+            existing=existing,
+            budget=budget,
+            remaining=remaining,
+        )[0]
 
-    def plan_with_meta(self, workload, *, optimize: bool = True, existing=()):
+    def plan_with_meta(
+        self,
+        workload,
+        *,
+        optimize: bool = True,
+        existing=(),
+        budget=None,
+        remaining: float | None = None,
+    ):
         """:meth:`plan`, plus ``"hit"``/``"miss"``/``"uncached"`` for the
         plan-cache outcome of this call (what the service reports)."""
+        from ..analysis.bounds import active_calibration_family
         from ..plan import Planner, Workload
         from ..plan.planner import existing_token
 
@@ -396,22 +452,44 @@ class PolicyEngine:
             workload = Workload.from_queries(self.policy.domain, workload)
         cache = self.plan_cache
         if cache is None:
-            return Planner(self).plan(workload, optimize=optimize, existing=existing), "uncached"
+            plan = Planner(self).plan(
+                workload,
+                optimize=optimize,
+                existing=existing,
+                budget=budget,
+                remaining=remaining,
+            )
+            return plan, "uncached"
         key = (
             self.fingerprint,
             self.epsilon,
             options_key(self.options),
             self.registry.fingerprint(),
+            # scores (and budget allocations) depend on the active
+            # calibration fit; switching fits must key stale plans out
+            active_calibration_family(),
             workload.cache_token(),
             bool(optimize),
             existing_token(existing),
+            # degradation decisions depend on how much the caller has left,
+            # so a budgeted compile keys on it; unbudgeted plans share one
+            # entry regardless of ledger state, exactly as before
+            None
+            if budget is None
+            else (budget.cache_token(), None if remaining is None else float(remaining)),
         )
         plan = cache.lookup(key)
         if plan is not None:
             return plan, "hit"
         # compiled outside any lock: plans are deterministic in the key, so
         # racing compilers produce interchangeable values (first stored wins)
-        plan = Planner(self).plan(workload, optimize=optimize, existing=existing)
+        plan = Planner(self).plan(
+            workload,
+            optimize=optimize,
+            existing=existing,
+            budget=budget,
+            remaining=remaining,
+        )
         return cache.store(key, plan), "miss"
 
     def execute(self, plan, db: Database | None = None, *, rng=None, releases=None, accountant=None):
@@ -477,7 +555,14 @@ class PolicyEngine:
         return ReleasedLinear()
 
     def answer_linear(
-        self, weights, db: Database | None = None, *, rng=None, release=None, accountant=None
+        self,
+        weights,
+        db: Database | None = None,
+        *,
+        rng=None,
+        release=None,
+        accountant=None,
+        epsilon: float | None = None,
     ) -> np.ndarray:
         """Answer a stack of linear queries, reusing prior rows when possible.
 
@@ -487,20 +572,25 @@ class PolicyEngine:
         the missing rows are released — at ``epsilon`` for the *sub-batch*,
         never per query — and recorded into ``release`` for next time.
         Sequential composition (Theorem 4.1) therefore charges
-        ``epsilon * number_of_releases``, with repeated queries free.
+        ``epsilon * number_of_releases``, with repeated queries free.  The
+        ``epsilon`` keyword overrides the per-release charge (budget-first
+        plans allocate per sub-batch); default is the engine's own.
         """
         weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+        eps = self.epsilon if epsilon is None else float(epsilon)
+        if eps <= 0:
+            raise ValueError(f"epsilon must be positive, got {eps}")
         if release is None:
-            mech = BatchLinearMechanism(self.policy, self.epsilon, weights)
+            mech = BatchLinearMechanism(self.policy, eps, weights)
             database = self._require_db(db, "linear")
-            self._spend("linear", accountant)
+            self._spend("linear", accountant, epsilon=eps)
             return mech.release(database, rng=ensure_rng(rng))
         missing = release.missing_rows(weights)
         if missing.any():
             fresh = weights[missing]
-            mech = BatchLinearMechanism(self.policy, self.epsilon, fresh)
+            mech = BatchLinearMechanism(self.policy, eps, fresh)
             database = self._require_db(db, "linear")
-            self._spend("linear", accountant)
+            self._spend("linear", accountant, epsilon=eps)
             release.add(fresh, mech.release(database, rng=ensure_rng(rng)))
         return release.answers_for(weights)
 

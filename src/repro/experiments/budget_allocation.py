@@ -1,0 +1,105 @@
+"""Across-release budget allocation: adaptive (cube-root) vs uniform split.
+
+The across-release analogue of the Eqn (15) ablation
+(:func:`repro.experiments.ablations.budget_split_ablation` splits one OH
+mechanism's budget between its S-chain and H-trees; this experiment splits
+one *session's* budget between the releases of a mixed workload).  For a
+grid of total budgets, a mixed range + interval-count + linear workload is
+planned budget-first two ways — ``PlanBudget(total=E)`` (adaptive) and
+``PlanBudget(uniform=E / n_fresh)`` (even shares) — and the measured total
+workload MSE is compared at equal total epsilon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.database import Database
+from ..core.domain import Domain
+from ..core.policy import Policy
+from ..engine import PolicyEngine
+from ..plan import Executor, PlanBudget, QueryGroup, Workload
+from .config import ExperimentScale, default_scale
+from .results import ResultTable
+
+__all__ = ["budget_allocation_experiment"]
+
+SIZE = 1024
+N_TUPLES = 10_000
+N_RANGES = 400
+N_COUNTS = 40
+N_LINEAR = 4
+THETA = 2
+
+
+def _setting(seed: int):
+    rng = np.random.default_rng(seed)
+    domain = Domain.integers("v", SIZE)
+    db = Database.from_indices(domain, rng.integers(0, SIZE, size=N_TUPLES))
+    los = rng.integers(0, SIZE, size=N_RANGES)
+    his = rng.integers(0, SIZE, size=N_RANGES)
+    los, his = np.minimum(los, his), np.maximum(los, his)
+    starts = rng.integers(0, SIZE - 64, size=N_COUNTS)
+    widths = rng.integers(8, 64, size=N_COUNTS)
+    masks = np.zeros((N_COUNTS, SIZE), dtype=bool)
+    for i, (s, w) in enumerate(zip(starts, widths)):
+        masks[i, s : s + w] = True
+    weights = rng.random((N_LINEAR, N_TUPLES)) / N_TUPLES
+    workload = Workload(
+        domain,
+        [
+            QueryGroup.ranges(los, his),
+            QueryGroup.counts(masks, name="bands"),
+            QueryGroup.linear(weights, name="means"),
+        ],
+    )
+    truth = {
+        "range": np.asarray(
+            [db.histogram()[lo : hi + 1].sum() for lo, hi in zip(los, his)],
+            dtype=np.float64,
+        ),
+        "bands": masks.astype(np.float64) @ db.histogram(),
+        "means": weights @ db.points()[:, 0],
+    }
+    return domain, db, workload, truth
+
+
+def budget_allocation_experiment(
+    scale: ExperimentScale | None = None,
+) -> ResultTable:
+    """Measured total workload MSE per total budget, both split rules."""
+    scale = scale or default_scale()
+    domain, db, workload, truth = _setting(scale.seed)
+    policy = Policy.distance_threshold(domain, THETA)
+    n_total = sum(len(t) for t in truth.values())
+    table = ResultTable(
+        f"Across-release budget allocation ({N_RANGES + N_COUNTS + N_LINEAR} "
+        f"mixed queries, |T|={SIZE}, theta={THETA})",
+        x_label="total epsilon",
+        y_label="total workload MSE",
+    )
+    for total in scale.epsilons:
+        engine = PolicyEngine(policy, total)
+        adaptive = engine.plan(workload, budget=PlanBudget(total=total))
+        n_fresh = sum(1 for s in adaptive.steps if s.epsilon > 0)
+        uniform = engine.plan(workload, budget=PlanBudget(uniform=total / n_fresh))
+        for label, plan in (("adaptive", adaptive), ("uniform", uniform)):
+            per_trial = []
+            for trial in range(scale.trials):
+                res = Executor(engine).run(
+                    plan, db, rng=np.random.default_rng((scale.seed, trial))
+                )
+                se = sum(
+                    float(np.sum((res.by_group[name] - truth[name]) ** 2))
+                    for name in truth
+                )
+                per_trial.append(se / n_total)
+            errs = np.asarray(per_trial)
+            table.add(
+                label,
+                total,
+                errs.mean(),
+                np.percentile(errs, 25),
+                np.percentile(errs, 75),
+            )
+    return table

@@ -15,6 +15,7 @@ from pathlib import Path
 from ..datasets import adult_capital_loss_dataset
 from ..core.policy import Policy
 from .ablations import budget_split_ablation, fanout_ablation, inference_ablation
+from .budget_allocation import budget_allocation_experiment
 from .config import default_scale
 from .figure1 import figure_1a, figure_1b, figure_1c, figure_1d, figure_1e, figure_1f
 from .figure2 import figure_2b, figure_2c
@@ -56,6 +57,7 @@ def run_all(outdir: str | Path = "experiment_results", scale=None) -> list[Resul
         ("ablation_budget_split", lambda: budget_split_ablation(adult, 100, scale)),
         ("ablation_inference", lambda: inference_ablation(adult, 100, scale)),
         ("ablation_fanout", lambda: fanout_ablation(adult, 100, scale=scale)),
+        ("budget_allocation", lambda: budget_allocation_experiment(scale)),
     ]
     for key, fn in ablations:
         t0 = time.time()

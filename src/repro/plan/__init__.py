@@ -11,6 +11,7 @@ between groups that can reuse them and charging the accountant per fresh
 release exactly as direct engine use does.
 """
 
+from .budget import DEGRADATION_MODES, PlanBudget
 from .executor import Executor, PlanResult
 from .plan import Plan, PlanStep
 from .planner import Planner
@@ -22,6 +23,8 @@ __all__ = [
     "Planner",
     "Plan",
     "PlanStep",
+    "PlanBudget",
+    "DEGRADATION_MODES",
     "Executor",
     "PlanResult",
 ]

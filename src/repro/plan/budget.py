@@ -1,0 +1,160 @@
+"""Budget-first planning: the :class:`PlanBudget` directive.
+
+The pre-budget planner was *epsilon-fixed*: every fresh release charged the
+engine's full ``epsilon`` (Theorem 4.1 sequential composition), so a
+workload's total cost was an *output* of planning.  A :class:`PlanBudget`
+inverts that: the caller states the total epsilon it is willing to spend,
+and the planner chooses a per-fresh-release allocation minimizing total
+predicted workload error under that budget — Eqn (15)'s budget-split idea
+(splitting one mechanism's budget between its S-chain and H-trees) lifted
+across releases.  Every mechanism cost model in
+:mod:`repro.analysis.bounds` is of the form ``c / eps^2``, so the optimal
+split has the same closed form as Eqn (15): allocate proportional to the
+cube root of each release's error coefficient.
+
+``degradation`` governs what happens when a session's remaining budget
+cannot cover the requested total:
+
+* ``"strict"`` — raise :class:`~repro.core.composition.BudgetExceededError`
+  at *planning* time, before any noise is drawn or budget spent;
+* ``"drop_optional"`` — drop workload groups marked ``optional`` (their
+  answers come back NaN) and fit the remaining groups into what is left;
+* ``"reuse_stale"`` — serve groups from the session's already-paid-for
+  releases where any can answer them (even when a fresh release was
+  predicted better), spending the remaining budget only on groups with no
+  stale alternative.
+
+``PlanBudget(uniform=engine.epsilon)`` is the legacy fixed-epsilon
+behaviour as a special case: every fresh release is charged exactly
+``uniform``, which reproduces the pre-budget plans (and their noise
+streams) bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.specbase import (
+    SPEC_VERSION,
+    SpecError,
+    check_kind,
+    check_version,
+    spec_get,
+)
+
+__all__ = ["PlanBudget", "DEGRADATION_MODES"]
+
+#: Recognised degradation modes, in increasing order of leniency.
+DEGRADATION_MODES = ("strict", "drop_optional", "reuse_stale")
+
+
+class PlanBudget:
+    """A total-epsilon budget (or fixed per-release charge) for one plan.
+
+    Parameters
+    ----------
+    total:
+        Total epsilon across every fresh release of the plan; the planner
+        splits it adaptively (error-minimizing, cube-root weights).
+        Mutually exclusive with ``uniform``.
+    uniform:
+        Fixed epsilon charged per fresh release — the legacy behaviour;
+        ``PlanBudget(uniform=engine.epsilon)`` compiles plans bitwise
+        identical to planning without a budget.
+    floors:
+        Optional ``{group name: epsilon}`` lower bounds: the release
+        serving a floored group is allocated at least that much.  Only
+        meaningful with ``total`` (a ``uniform`` charge is flat by
+        definition; combining the two raises).
+    degradation:
+        One of :data:`DEGRADATION_MODES`; applied when the caller's
+        remaining session budget cannot cover the requested total.
+    """
+
+    __slots__ = ("total", "uniform", "floors", "degradation")
+
+    def __init__(
+        self,
+        total: float | None = None,
+        *,
+        uniform: float | None = None,
+        floors: dict[str, float] | None = None,
+        degradation: str = "strict",
+    ):
+        if (total is None) == (uniform is None):
+            raise ValueError("exactly one of total= or uniform= is required")
+        for name, value in (("total", total), ("uniform", uniform)):
+            if value is not None and (not math.isfinite(value) or value <= 0):
+                raise ValueError(f"{name} must be a positive finite number, got {value}")
+        self.total = None if total is None else float(total)
+        self.uniform = None if uniform is None else float(uniform)
+        self.floors = {str(k): float(v) for k, v in (floors or {}).items()}
+        if self.floors and self.uniform is not None:
+            # a flat per-release charge leaves nothing to allocate, so a
+            # floor could only be silently ignored or silently exceeded —
+            # refuse instead of guessing
+            raise ValueError("floors require a total= budget (uniform charges are flat)")
+        for name, value in self.floors.items():
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(f"floor for group {name!r} must be positive, got {value}")
+        if degradation not in DEGRADATION_MODES:
+            raise ValueError(
+                f"unknown degradation mode {degradation!r} (known: {DEGRADATION_MODES})"
+            )
+        self.degradation = degradation
+
+    # -- identity --------------------------------------------------------------------
+    def cache_token(self) -> tuple:
+        """Hashable identity for plan-cache keys (captures every field)."""
+        return (
+            "total" if self.total is not None else "uniform",
+            self.total if self.total is not None else self.uniform,
+            tuple(sorted(self.floors.items())),
+            self.degradation,
+        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PlanBudget) and self.cache_token() == other.cache_token()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_token())
+
+    # -- specs -----------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        spec: dict = {"kind": "plan_budget", "version": SPEC_VERSION}
+        if self.total is not None:
+            spec["total"] = self.total
+        else:
+            spec["uniform"] = self.uniform
+        if self.floors:
+            spec["floors"] = {k: self.floors[k] for k in sorted(self.floors)}
+        spec["degradation"] = self.degradation
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: dict, path: str = "plan_budget") -> "PlanBudget":
+        if "kind" in spec:
+            check_kind(spec, "plan_budget", path)
+        check_version(spec, path, required=False)
+        total = spec_get(spec, "total", (int, float), path, required=False)
+        uniform = spec_get(spec, "uniform", (int, float), path, required=False)
+        raw_floors = spec_get(spec, "floors", dict, path, required=False, default={})
+        floors = {}
+        for name, value in raw_floors.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SpecError(f"{path}.floors.{name}", "expected a number")
+            floors[str(name)] = float(value)
+        degradation = spec_get(
+            spec, "degradation", str, path, required=False, default="strict"
+        )
+        try:
+            return cls(total, uniform=uniform, floors=floors, degradation=degradation)
+        except ValueError as exc:
+            raise SpecError(path, str(exc)) from None
+
+    def __repr__(self) -> str:
+        amount = (
+            f"total={self.total:g}" if self.total is not None else f"uniform={self.uniform:g}"
+        )
+        floors = f", floors={self.floors}" if self.floors else ""
+        return f"PlanBudget({amount}{floors}, degradation={self.degradation!r})"

@@ -6,8 +6,11 @@ release keys into the caller's mapping — the same dict a
 :class:`repro.api.Session` keeps across requests — so a key that is already
 present answers its groups as free post-processing, and two steps sharing a
 key pay for one release.  Budget accounting is exactly the engine's: every
-fresh synopsis charges ``epsilon`` to the (optional) accountant *before*
-any noise is drawn.
+fresh synopsis charges its epsilon to the (optional) accountant *before*
+any noise is drawn — the engine's full epsilon for legacy plans, the
+step's allocated epsilon for budget-first plans (the mechanism is built,
+and its noise calibrated, at that same allocation).  Steps a budgeted plan
+marks ``dropped`` are answered NaN and never touch data or budget.
 """
 
 from __future__ import annotations
@@ -89,25 +92,48 @@ class Executor:
         by_group: dict[str, np.ndarray] = {}
         cache: dict[str, str] = {}
         hist_cells: dict[str, object] = {}  # release key -> ReleasedHistogram view
+        # budget-first plans allocate a per-release epsilon; a release is
+        # charged what its charging step carries, regardless of which step
+        # reaches the key first (plan-shared releases are created by
+        # whichever step runs first).  Legacy plans carry engine.epsilon on
+        # every fresh step, so the map reproduces the old flat charge.
+        release_epsilon: dict[str, float] = {}
+        for step in plan.steps:
+            if step.family != "linear" and step.epsilon > 0:
+                release_epsilon[step.release] = max(
+                    release_epsilon.get(step.release, 0.0), step.epsilon
+                )
         # charged locally, not as a delta of engine.spent_epsilon: pooled
         # engines are shared across sessions, whose concurrent releases
         # would otherwise leak into each other's totals
         spent = 0.0
         for step in plan.steps:
             group = plan.workload.group(step.group)
+            if step.degradation == "dropped":
+                # degraded under a constrained budget: no release, no spend,
+                # NaN answers so the caller can tell served from shed
+                by_group[group.name] = np.full(len(group), np.nan)
+                cache[step.release] = "dropped"
+                continue
             if step.family == "linear":
                 rel = releases.get(step.release)
                 if rel is None:
                     rel = engine.new_linear_release()
                     releases[step.release] = rel
+                eps = step.epsilon if step.epsilon > 0 else engine.epsilon
                 rows_before = len(rel)  # grows iff a fresh sub-batch released
                 by_group[group.name] = engine.answer_linear(
-                    group.weights, db, rng=rng, release=rel, accountant=accountant
+                    group.weights,
+                    db,
+                    rng=rng,
+                    release=rel,
+                    accountant=accountant,
+                    epsilon=eps,
                 )
                 # linear reuse is per-row: a batch releasing any new row is
                 # a "miss" (it spent), matching Session._metered's reading
                 if len(rel) > rows_before:
-                    spent += engine.epsilon
+                    spent += eps
                     cache[step.release] = "miss"
                 else:
                     cache.setdefault(step.release, "hit")
@@ -116,6 +142,7 @@ class Executor:
                 cache[step.release] = "hit" if step.release in releases else "miss"
             rel = releases.get(step.release)
             if rel is None:
+                eps = release_epsilon.get(step.release, engine.epsilon)
                 rel = engine.release(
                     self._require_db(db, step),
                     step.release_family,
@@ -123,9 +150,10 @@ class Executor:
                     accountant=accountant,
                     strategy=step.strategy,
                     label=step.release,
+                    epsilon=eps,
                 )
                 releases[step.release] = rel
-                spent += engine.epsilon
+                spent += eps
             if step.family == "range":
                 by_group[group.name] = rel.ranges(group.los, group.his)
             elif step.release_family == "histogram":

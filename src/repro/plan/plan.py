@@ -65,6 +65,10 @@ class PlanStep:
     predicted_rmse: float | None = None
     #: candidate name -> predicted per-query RMSE (the full scoreboard)
     scores: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+    #: budget-degradation decision: None (served normally), "dropped" (the
+    #: group is answered NaN, nothing spent) or "stale" (repinned onto a
+    #: release the session already paid for)
+    degradation: str | None = None
 
     def to_spec(self) -> dict:
         spec = {
@@ -82,6 +86,8 @@ class PlanStep:
             spec["predicted_rmse"] = float(self.predicted_rmse)
         if self.scores:
             spec["scores"] = [[name, float(s)] for name, s in self.scores]
+        if self.degradation is not None:
+            spec["degradation"] = self.degradation
         return spec
 
     @classmethod
@@ -102,6 +108,7 @@ class PlanStep:
             sensitivity=_opt_float(spec, "sensitivity", path),
             predicted_rmse=_opt_float(spec, "predicted_rmse", path),
             scores=parsed_scores,
+            degradation=spec_get(spec, "degradation", str, path, required=False),
         )
 
 
@@ -133,12 +140,22 @@ class Plan:
         *,
         mode: str = "auto",
         options: dict | None = None,
+        budget=None,
+        cost_model: str | None = None,
     ):
         self.policy_fingerprint = str(policy_fingerprint)
         self.epsilon = float(epsilon)
         self.workload = workload
         self.steps = tuple(steps)
         self.mode = str(mode)
+        #: the PlanBudget the steps were charged under, or None for the
+        #: legacy epsilon-fixed charging (engine epsilon per fresh release)
+        self.budget = budget
+        #: calibration-fit family the scores were computed under (in-memory
+        #: provenance, stamped by the planner; not part of the spec, so a
+        #: round-tripped plan loses it and explain() falls back to the
+        #: active fit)
+        self.cost_model = cost_model
         #: canonical per-family mechanism options the plan was scored under;
         #: the executor refuses engines configured differently (options
         #: change the released structures the cost model reasoned about)
@@ -169,6 +186,19 @@ class Plan:
         """
         return sum(step.epsilon for step in self.steps)
 
+    def degraded(self) -> dict[str, list[str]]:
+        """Degradation decisions by kind: ``{"dropped": [...], "stale": [...]}``.
+
+        Empty kinds are omitted (an empty dict means nothing degraded).
+        Both the session metadata and the service's plan section report
+        this — one source, so they can never disagree.
+        """
+        out: dict[str, list[str]] = {}
+        for step in self.steps:
+            if step.degradation is not None:
+                out.setdefault(step.degradation, []).append(step.group)
+        return out
+
     def step_for(self, group: str) -> PlanStep:
         for step in self.steps:
             if step.group == group:
@@ -178,15 +208,58 @@ class Plan:
     def __len__(self) -> int:
         return len(self.steps)
 
+    def nbytes(self) -> int:
+        """Approximate retained bytes (workload arrays dominate).
+
+        Used by :class:`repro.api.PlanCache` to evict by accumulated bytes;
+        the per-step constant covers the frozen dataclass and its scoreboard
+        tuple, which are noise next to a packed count-mask stack.
+        """
+        return self.workload.nbytes() + 256 * len(self.steps)
+
     # -- report --------------------------------------------------------------------
+    def marginal_errors(self) -> dict[str, float]:
+        """Per fresh release: predicted total-error reduction per unit epsilon.
+
+        At allocation ``eps_r`` a release's served error is
+        ``E_r = sum n_q * rmse^2`` (the step RMSEs are already at the
+        allocated epsilon), and the models are ``c / eps^2``, so
+        ``|dE/deps| = 2 E_r / eps_r``.  The adaptive allocator equalizes
+        these up to floors — the report makes that visible, and a large
+        imbalance under ``uniform`` charging shows what adaptivity buys.
+        """
+        served: dict[str, float] = {}
+        charge: dict[str, float] = {}
+        for step in self.steps:
+            if step.epsilon > 0:
+                charge[step.release] = charge.get(step.release, 0.0) + step.epsilon
+            if step.predicted_rmse is not None:
+                served[step.release] = (
+                    served.get(step.release, 0.0)
+                    + step.n_queries * step.predicted_rmse**2
+                )
+        return {
+            key: 2.0 * served[key] / eps
+            for key, eps in charge.items()
+            if eps > 0 and key in served
+        }
+
     def explain(self) -> str:
         """Human-readable choice report (no data touched, nothing spent)."""
         lines = [
             f"plan {self.fingerprint()} — policy {self.policy_fingerprint}, "
             f"epsilon {self.epsilon:g} per release, mode {self.mode}"
         ]
+        if self.budget is not None:
+            lines.append(f"  budget: {self.budget!r}")
+        marginals = self.marginal_errors() if self.budget is not None else {}
         for i, step in enumerate(self.steps, 1):
-            kind = "fresh" if step.epsilon > 0 else "shared"
+            if step.degradation == "dropped":
+                kind = "dropped"
+            elif step.degradation == "stale":
+                kind = "stale reuse"
+            else:
+                kind = "fresh" if step.epsilon > 0 else "shared"
             lines.append(
                 f"  step {i}: group {step.group!r} — {step.n_queries} "
                 f"{step.family} queries"
@@ -200,6 +273,10 @@ class Plan:
                 detail.append(f"sensitivity {step.sensitivity:g}")
             if step.predicted_rmse is not None:
                 detail.append(f"predicted RMSE {step.predicted_rmse:.4g}")
+            if step.epsilon > 0 and step.release in marginals:
+                detail.append(
+                    f"marginal error per epsilon {marginals[step.release]:.4g}"
+                )
             if detail:
                 lines.append("    " + ", ".join(detail))
             if step.scores:
@@ -219,6 +296,16 @@ class Plan:
             f"  total epsilon: {self.total_epsilon:g} across "
             f"{sum(1 for s in self.steps if s.epsilon > 0)} fresh release(s)"
         )
+        from ..analysis.bounds import COST_MODEL_FITS, active_calibration
+
+        if self.cost_model is not None and self.cost_model in COST_MODEL_FITS:
+            # the fit the scores were actually computed under, even if the
+            # active fit has changed since
+            fit = COST_MODEL_FITS[self.cost_model]
+            lines.append(f"  cost model: {self.cost_model} ({fit['provenance']})")
+        else:
+            fit = active_calibration()
+            lines.append(f"  cost model: {fit['family']} ({fit['provenance']})")
         return "\n".join(lines)
 
     def summary(self) -> list[dict]:
@@ -238,6 +325,8 @@ class Plan:
         }
         if self.options:
             spec["options"] = self.options
+        if self.budget is not None:
+            spec["budget"] = self.budget.to_spec()
         return spec
 
     @classmethod
@@ -254,6 +343,12 @@ class Plan:
         epsilon = float(spec_get(spec, "epsilon", (int, float), path))
         if not math.isfinite(epsilon) or epsilon <= 0:
             raise SpecError(f"{path}.epsilon", "must be a positive finite number")
+        budget_spec = spec_get(spec, "budget", dict, path, required=False)
+        budget = None
+        if budget_spec is not None:
+            from .budget import PlanBudget
+
+            budget = PlanBudget.from_spec(budget_spec, f"{path}.budget")
         try:
             return cls(
                 spec_get(spec, "policy_fingerprint", str, path),
@@ -262,6 +357,7 @@ class Plan:
                 steps,
                 mode=spec_get(spec, "mode", str, path, required=False, default="auto"),
                 options=spec_get(spec, "options", dict, path, required=False),
+                budget=budget,
             )
         except ValueError as exc:
             raise SpecError(f"{path}.steps", str(exc)) from None

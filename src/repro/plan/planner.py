@@ -18,11 +18,25 @@ Scoring is advisory, never load-bearing: a candidate whose model raises is
 skipped in ``auto`` mode and kept unscored in ``fixed`` mode, so planning
 cannot fail for a workload the engine could previously answer (errors, if
 any, surface at execution exactly as before).
+
+**Budget-first planning** (:class:`~repro.plan.PlanBudget`): instead of
+charging the engine's full epsilon per fresh release, the planner can split
+a caller-supplied *total* across the plan's fresh releases to minimize
+total predicted workload error.  Every cost model is of the form
+``c / eps^2``, so the optimum under ``sum eps_r = E`` allocates
+``eps_r = E * w_r^{1/3} / sum_j w_j^{1/3}`` with ``w_r`` the release's
+error coefficient (query-count weighted) — the Eqn (15) cube-root rule
+lifted from inside one mechanism to across releases.  When the caller's
+remaining session budget cannot cover the requested total, the budget's
+degradation mode decides: raise before any spend (``strict``), drop groups
+the workload marks optional (``drop_optional``), or serve groups from the
+session's already-paid releases (``reuse_stale``).
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 
 import numpy as np
 
@@ -30,7 +44,9 @@ from ..analysis.bounds import (
     predicted_count_query_mse,
     predicted_range_query_mse,
 )
+from ..core.composition import BudgetExceededError
 from ..core.queries import CumulativeHistogramQuery, HistogramQuery
+from .budget import PlanBudget
 from .plan import Plan, PlanStep
 from .workload import Workload
 
@@ -74,7 +90,15 @@ class Planner:
         self.engine = engine
 
     # -- entry point ---------------------------------------------------------------
-    def plan(self, workload: Workload, *, optimize: bool = True, existing=()) -> Plan:
+    def plan(
+        self,
+        workload: Workload,
+        *,
+        optimize: bool = True,
+        existing=(),
+        budget: PlanBudget | None = None,
+        remaining: float | None = None,
+    ) -> Plan:
         """Compile a plan for ``workload``.
 
         ``existing`` is what the caller already holds (a session's cache):
@@ -83,10 +107,38 @@ class Planner:
         instead of assuming a cached linear release makes the batch free.
         Steps served from existing releases are charged 0 and reuse
         candidates may target them.
+
+        ``budget`` switches planning to budget-first: fresh releases are
+        charged an adaptive split of ``budget.total`` (error-minimizing,
+        see the module docstring) or a flat ``budget.uniform`` each, and
+        ``remaining`` — the caller's unspent session budget, when it has
+        one — triggers the budget's degradation mode whenever the plan
+        would cost more than is left.  Without a budget the engine's full
+        epsilon is charged per fresh release, exactly as before.
         """
         engine = self.engine
         if workload.domain != engine.policy.domain:
             raise ValueError("workload is over a different domain than the policy")
+        steps = self._compile(workload, optimize, existing)
+        if budget is not None:
+            steps = self._apply_budget(
+                workload, steps, optimize, existing, budget, remaining
+            )
+        from ..analysis.bounds import active_calibration_family
+
+        return Plan(
+            engine.fingerprint,
+            engine.epsilon,
+            workload,
+            steps,
+            mode="auto" if optimize else "fixed",
+            options=engine.options,
+            budget=budget,
+            cost_model=active_calibration_family(),
+        )
+
+    def _compile(self, workload: Workload, optimize: bool, existing) -> list[PlanStep]:
+        """Choose a release and strategy per group (the pre-budget planner)."""
         held = existing if isinstance(existing, dict) else None
         existing_keys = set(existing)
         #: release key -> strategy, for keys available to reuse
@@ -113,15 +165,7 @@ class Planner:
                 continue
             by_name[group.name] = step
             available.setdefault(step.release, step.strategy)
-        steps = [by_name[group.name] for group in workload.groups]
-        return Plan(
-            engine.fingerprint,
-            engine.epsilon,
-            workload,
-            steps,
-            mode="auto" if optimize else "fixed",
-            options=engine.options,
-        )
+        return [by_name[group.name] for group in workload.groups]
 
     # -- per-family planning -------------------------------------------------------
     def _plan_range(self, group, optimize: bool, available: dict) -> PlanStep:
@@ -332,6 +376,340 @@ class Planner:
             return math.sqrt(mse), float(sens)
         except Exception:
             return None, None
+
+    # -- budget-first planning -------------------------------------------------------
+    def _apply_budget(
+        self,
+        workload: Workload,
+        steps: list[PlanStep],
+        optimize: bool,
+        existing,
+        budget: PlanBudget,
+        remaining: float | None,
+    ) -> list[PlanStep]:
+        """Charge the compiled steps under ``budget``, degrading if needed.
+
+        Returns a rewritten step list: each fresh release carries its
+        allocated epsilon (adaptive under ``total``, flat under
+        ``uniform``), dropped groups carry a ``degradation="dropped"``
+        marker the executor answers with NaN, and stale-reuse repins carry
+        ``degradation="stale"``.
+        """
+        existing_keys = set(existing)
+        dropped: list[str] = []
+        units = self._charge_units(steps)
+        needed = self._needed(budget, units)
+        # same slack as PrivacyAccountant.spend: a plan judged affordable
+        # here must never be refused by the ledger at execution time
+        over = remaining is not None and needed > remaining + 1e-12
+        if over and budget.degradation == "strict":
+            # before any spend: the caller sees the refusal at planning time
+            raise BudgetExceededError(needed, needed, remaining)
+        if over and budget.degradation == "drop_optional":
+            dropped = [g.name for g in workload.groups if g.optional]
+            if dropped:
+                kept = [g for g in workload.groups if not g.optional]
+                # recompile so reuse decisions are consistent with the
+                # reduced workload (a count group must not ride a range
+                # release that a dropped group would have paid for)
+                steps = self._compile(Workload(workload.domain, kept), optimize, existing)
+                units = self._charge_units(steps)
+        if over and budget.degradation == "reuse_stale":
+            steps = self._reuse_stale(workload, steps, units, existing_keys)
+            units = self._charge_units(steps)
+        if budget.uniform is not None:
+            needed = self._needed(budget, units)
+            if remaining is not None and needed > remaining + 1e-12:
+                # a uniform charge cannot shrink; degradation freed what it
+                # could and the rest still does not fit
+                raise BudgetExceededError(needed, needed, remaining)
+            allocated = [budget.uniform] * len(units)
+        else:
+            effective = budget.total
+            if remaining is not None and budget.degradation != "strict":
+                effective = min(effective, remaining)
+            allocated = self._allocate(workload, steps, units, budget, effective)
+        steps = self._charged_steps(steps, units, allocated)
+        for name in dropped:
+            group = workload.group(name)
+            steps.append(
+                PlanStep(
+                    group=name,
+                    family=group.family,
+                    release=f"dropped:{name}",
+                    release_family="none",
+                    strategy="dropped",
+                    epsilon=0.0,
+                    n_queries=len(group),
+                    degradation="dropped",
+                )
+            )
+        return steps
+
+    @staticmethod
+    def _needed(budget: PlanBudget, units: list[dict]) -> float:
+        """Total epsilon the compiled plan would charge under ``budget``.
+
+        A plan with no fresh releases (everything served from the caller's
+        cache) needs nothing — it never triggers degradation, whatever the
+        requested total.
+        """
+        if not units:
+            return 0.0
+        if budget.uniform is not None:
+            return budget.uniform * len(units)
+        return budget.total
+
+    @staticmethod
+    def _charge_units(steps: list[PlanStep]) -> list[dict]:
+        """The plan's independent epsilon charges (allocation units).
+
+        Non-linear steps sharing one release key form one unit — one step
+        carries the charge, but every rider's queries feed the unit's error
+        weight.  Each *fresh* linear step is its own unit (row-level
+        composition: every fresh sub-batch is a separate charge).  Steps
+        served entirely from existing releases produce no unit.
+        """
+        units: list[dict] = []
+        by_key: dict[str, list[int]] = {}
+        for i, step in enumerate(steps):
+            if step.family == "linear":
+                if step.epsilon > 0:
+                    units.append({"steps": [i], "charge": i})
+                continue
+            by_key.setdefault(step.release, []).append(i)
+        for idxs in by_key.values():
+            charged = [i for i in idxs if steps[i].epsilon > 0]
+            if charged:
+                units.append({"steps": idxs, "charge": charged[0]})
+        return units
+
+    def _allocate(
+        self,
+        workload: Workload,
+        steps: list[PlanStep],
+        units: list[dict],
+        budget: PlanBudget,
+        total: float,
+    ) -> list[float]:
+        """Error-minimizing split of ``total`` across the charge units.
+
+        Each unit's predicted error is ``w / eps^2`` (every mechanism model
+        is), so minimizing ``sum_r w_r / eps_r^2`` subject to
+        ``sum eps_r = total`` gives ``eps_r proportional to w_r^{1/3}`` —
+        the Eqn (15) rule across releases.  Per-group floors are honoured
+        by iterative clamping: a unit whose share falls below its floor is
+        pinned there and the rest re-split.
+        """
+        if not units:
+            return []
+        weights = self._unit_weights(workload, steps, units)
+        floors = [
+            max(
+                (budget.floors.get(steps[i].group, 0.0) for i in unit["steps"]),
+                default=0.0,
+            )
+            for unit in units
+        ]
+        if sum(floors) > total + 1e-12:
+            raise BudgetExceededError(sum(floors), sum(floors), total)
+        n = len(units)
+        eps = [0.0] * n
+        active = list(range(n))
+        left = total
+        while active:
+            denom = sum(weights[i] ** (1.0 / 3.0) for i in active)
+            if left <= 1e-12 or denom <= 0:
+                # floors consumed the whole budget with unfloored units left
+                raise BudgetExceededError(total, total, total - left)
+            share = {i: left * weights[i] ** (1.0 / 3.0) / denom for i in active}
+            clamped = [i for i in active if share[i] < floors[i] - 1e-15]
+            if not clamped:
+                for i in active:
+                    eps[i] = share[i]
+                break
+            for i in clamped:
+                eps[i] = floors[i]
+                left -= floors[i]
+                active.remove(i)
+        return eps
+
+    def _unit_weights(
+        self, workload: Workload, steps: list[PlanStep], units: list[dict]
+    ) -> list[float]:
+        """Per-unit error coefficients ``w`` with MSE = ``w / eps^2``.
+
+        A unit's weight sums, over every step it serves, the step's query
+        count times its predicted per-query MSE scaled back to ``eps = 1``
+        (the models are exactly ``c / eps^2``, so ``c = mse * eps^2``).
+        Unscoreable units inherit the median scored weight — they get a
+        middle-of-the-road share rather than starving or hoarding.
+        """
+        eps0 = self.engine.epsilon
+        raw: list[float | None] = []
+        for unit in units:
+            coeff, scored = 0.0, False
+            for i in unit["steps"]:
+                step = steps[i]
+                rmse = step.predicted_rmse
+                if rmse is None:
+                    rmse = self._rescore(workload, step)
+                if rmse is None:
+                    continue
+                coeff += step.n_queries * (rmse * eps0) ** 2
+                scored = True
+            raw.append(coeff if scored and coeff > 0 else None)
+        scored_vals = sorted(w for w in raw if w is not None)
+        fallback = scored_vals[len(scored_vals) // 2] if scored_vals else 1.0
+        return [fallback if w is None else w for w in raw]
+
+    def _rescore(self, workload: Workload, step: PlanStep) -> float | None:
+        """Predicted per-query RMSE for a step compiled without one.
+
+        Fixed-mode compilation skips data-dependent statistics on the
+        answer hot path; the budgeted path is not that path, so the model
+        is evaluated here on demand.
+        """
+        if step.family == "range":
+            return self._score_range(step.strategy)[0]
+        if step.family == "count":
+            group = workload.group(step.group)
+            if step.release_family == "range":
+                rmse, _ = self._score_range(step.strategy)
+                if rmse is None:
+                    return None
+                return rmse * math.sqrt(max(group.avg_runs(), 0.0))
+            return self._score_count(step.strategy, group)[0]
+        if step.family == "linear":
+            try:
+                from ..engine.engine import BatchLinearMechanism
+
+                group = workload.group(step.group)
+                sens = BatchLinearMechanism(
+                    self.engine.policy, self.engine.epsilon, group.weights
+                ).sensitivity
+                return math.sqrt(2.0) * sens / self.engine.epsilon
+            except Exception:
+                return None
+        return None
+
+    def _charged_steps(
+        self, steps: list[PlanStep], units: list[dict], allocated: list[float]
+    ) -> list[PlanStep]:
+        """Rewrite each unit's steps with its allocated epsilon.
+
+        The charging step carries the allocation; every step served by the
+        unit (riders included) has its predicted RMSE rescaled from the
+        reference epsilon to the allocated one — the models are ``c/eps^2``,
+        so RMSE scales linearly in ``1/eps``.
+        """
+        eps0 = self.engine.epsilon
+        out = list(steps)
+        for unit, eps in zip(units, allocated):
+            scale = eps0 / eps
+            for i in unit["steps"]:
+                step = out[i]
+                out[i] = replace(
+                    step,
+                    epsilon=eps if i == unit["charge"] else step.epsilon,
+                    predicted_rmse=(
+                        None
+                        if step.predicted_rmse is None
+                        else step.predicted_rmse * scale
+                    ),
+                )
+        return out
+
+    def _reuse_stale(
+        self,
+        workload: Workload,
+        steps: list[PlanStep],
+        units: list[dict],
+        existing_keys: set,
+    ) -> list[PlanStep]:
+        """Repin fresh releases onto the session's already-paid keys.
+
+        Degradation mode ``reuse_stale``: a unit whose groups *can* be
+        answered from a release the session already holds is served from it
+        for free — accepting the stale release's (possibly worse) error —
+        so the remaining budget concentrates on units with no alternative.
+        Linear units never repin: a stale linear release can only answer
+        rows it already holds, and those are free anyway.
+        """
+        range_keys = [k for k in existing_keys if k == "range" or k.startswith("range:")]
+        hist_keys = [
+            k for k in existing_keys if k == "histogram" or k.startswith("histogram:")
+        ]
+        consistent = self.engine.options.get("range", {}).get("consistent", True)
+        # prefix-structured stale range releases (count reuse needs the
+        # telescoping-noise argument, exactly as in _plan_count)
+        prefix_keys = [
+            k
+            for k in range_keys
+            if self._strategy_of_key(k) != "hierarchical" or consistent
+        ]
+
+        def best_key(candidates: list[tuple[str, float | None]]) -> str | None:
+            """Lowest-scored key; unscoreable ones only win when nothing
+            scores (any stale reuse still beats failing the budget)."""
+            if not candidates:
+                return None
+            return min(
+                candidates, key=lambda c: math.inf if c[1] is None else c[1]
+            )[0]
+
+        out = list(steps)
+        for unit in units:
+            charge = steps[unit["charge"]]
+            if charge.family == "linear":
+                continue
+            serves_counts = any(steps[i].family == "count" for i in unit["steps"])
+            if charge.release_family == "range":
+                usable = prefix_keys if serves_counts else range_keys
+                key = best_key(
+                    [(k, self._score_range(self._strategy_of_key(k))[0]) for k in usable]
+                )
+            else:
+                # a histogram unit: stale histograms score on the count
+                # model, stale prefix releases on the run-telescoping reuse
+                # model — one scoreboard, best key wins regardless of family
+                group = workload.group(charge.group)
+                runs = math.sqrt(max(group.avg_runs(), 0.0))
+                candidates = [
+                    (k, self._score_count(self._strategy_of_key(k), group)[0])
+                    for k in hist_keys
+                ]
+                for k in prefix_keys:
+                    rmse, _ = self._score_range(self._strategy_of_key(k))
+                    candidates.append((k, None if rmse is None else rmse * runs))
+                key = best_key(candidates)
+            if key is None:
+                continue  # nothing stale can serve this unit: stays fresh
+            strategy = self._strategy_of_key(key)
+            family = "range" if key == "range" or key.startswith("range:") else "histogram"
+            for i in unit["steps"]:
+                step = out[i]
+                # honest per-step prediction for the stale serving path: the
+                # abandoned fresh candidate's RMSE must not linger
+                if family == "range":
+                    rmse, _ = self._score_range(strategy)
+                    if step.family == "count" and rmse is not None:
+                        runs = workload.group(step.group).avg_runs()
+                        rmse = rmse * math.sqrt(max(runs, 0.0))
+                else:
+                    rmse, _ = self._score_count(strategy, workload.group(step.group))
+                out[i] = replace(
+                    step,
+                    release=key,
+                    release_family=family,
+                    strategy=strategy,
+                    epsilon=0.0,
+                    degradation="stale",
+                    # None when the stale path is unscoreable — never the
+                    # abandoned fresh candidate's number
+                    predicted_rmse=rmse,
+                )
+        return out
 
     def _strategy_of_key(self, key: str) -> str:
         """The strategy that produced a session release key.

@@ -69,15 +69,21 @@ class QueryGroup:
     * ``range``:  ``los``/``his`` — int64 index arrays;
     * ``count``:  ``masks`` — a ``(q, |T|)`` boolean support stack;
     * ``linear``: ``weights`` — a ``(q, n)`` float64 weight stack.
+
+    ``optional=True`` marks a group the caller can live without: under a
+    constrained budget with degradation mode ``drop_optional`` the planner
+    sheds optional groups (their answers come back NaN) instead of failing
+    the whole workload.
     """
 
-    __slots__ = ("name", "family", "los", "his", "masks", "weights")
+    __slots__ = ("name", "family", "los", "his", "masks", "weights", "optional")
 
-    def __init__(self, name: str, family: str, **payload):
+    def __init__(self, name: str, family: str, *, optional: bool = False, **payload):
         if family not in FAMILY_ORDER:
             raise ValueError(f"unknown query family {family!r} (known: {FAMILY_ORDER})")
         self.name = str(name)
         self.family = family
+        self.optional = bool(optional)
         self.los = self.his = self.masks = self.weights = None
         if family == "range":
             self.los = np.asarray(payload.pop("los"), dtype=np.int64)
@@ -97,16 +103,16 @@ class QueryGroup:
 
     # -- constructors --------------------------------------------------------------
     @classmethod
-    def ranges(cls, los, his, name: str = "range") -> "QueryGroup":
-        return cls(name, "range", los=los, his=his)
+    def ranges(cls, los, his, name: str = "range", *, optional: bool = False) -> "QueryGroup":
+        return cls(name, "range", los=los, his=his, optional=optional)
 
     @classmethod
-    def counts(cls, masks, name: str = "count") -> "QueryGroup":
-        return cls(name, "count", masks=masks)
+    def counts(cls, masks, name: str = "count", *, optional: bool = False) -> "QueryGroup":
+        return cls(name, "count", masks=masks, optional=optional)
 
     @classmethod
-    def linear(cls, weights, name: str = "linear") -> "QueryGroup":
-        return cls(name, "linear", weights=weights)
+    def linear(cls, weights, name: str = "linear", *, optional: bool = False) -> "QueryGroup":
+        return cls(name, "linear", weights=weights, optional=optional)
 
     def __len__(self) -> int:
         if self.family == "range":
@@ -156,6 +162,10 @@ class QueryGroup:
     # -- specs ---------------------------------------------------------------------
     def to_spec(self) -> dict:
         spec: dict = {"name": self.name, "family": self.family}
+        if self.optional:
+            # only emitted when set: required groups keep their pre-budget
+            # spec form (and therefore their workload fingerprints)
+            spec["optional"] = True
         if self.family == "range":
             spec["los"] = self.los.tolist()
             spec["his"] = self.his.tolist()
@@ -169,6 +179,9 @@ class QueryGroup:
     def from_spec(cls, spec: dict, domain: Domain, path: str = "group") -> "QueryGroup":
         family = spec_get(spec, "family", str, path)
         name = spec_get(spec, "name", str, path, required=False, default=family)
+        optional = bool(
+            spec_get(spec, "optional", bool, path, required=False, default=False)
+        )
         if family == "range":
             los = _int_array(spec_get(spec, "los", list, path), f"{path}.los")
             his = _int_array(spec_get(spec, "his", list, path), f"{path}.his")
@@ -198,11 +211,21 @@ class QueryGroup:
             group = cls.linear(weights, name=name)
         else:
             raise SpecError(f"{path}.family", f"unknown query family {family!r}")
+        group.optional = optional
         group._validate(domain, path)
         return group
 
+    def nbytes(self) -> int:
+        """Bytes retained by this group's packed payload arrays."""
+        return sum(
+            int(arr.nbytes)
+            for arr in (self.los, self.his, self.masks, self.weights)
+            if arr is not None
+        )
+
     def __repr__(self) -> str:
-        return f"QueryGroup({self.name!r}, family={self.family!r}, n={len(self)})"
+        opt = ", optional" if self.optional else ""
+        return f"QueryGroup({self.name!r}, family={self.family!r}, n={len(self)}{opt})"
 
 
 class Workload:
@@ -387,6 +410,18 @@ class Workload:
         """Stable digest of the canonical workload spec."""
         return spec_digest(self.to_spec())
 
+    def nbytes(self) -> int:
+        """Bytes retained by the packed query arrays (plan-cache budgeting).
+
+        A cached :class:`~repro.plan.Plan` keeps its workload alive — the
+        executor reads the packed arrays — so this is the dominant term of
+        a plan's cache footprint.
+        """
+        total = sum(g.nbytes() for g in self.groups)
+        if self._positions is not None:
+            total += sum(int(ix.nbytes) for ix in self._positions.values())
+        return total
+
     def cache_token(self) -> str:
         """Fast structural digest for plan-cache keys (raw array bytes).
 
@@ -402,6 +437,7 @@ class Workload:
             h.update(b"\x00g")
             h.update(g.name.encode("utf-8"))
             h.update(g.family.encode("ascii"))
+            h.update(b"\x01" if g.optional else b"\x00")
             for arr in (g.los, g.his, g.weights):
                 if arr is not None:
                     # shape prefix: equal flattened bytes under different

@@ -1,0 +1,173 @@
+"""Service-level budget-first planning: the ``"plan_budget"`` request field."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Policy
+from repro.api import BlowfishService
+
+
+@pytest.fixture
+def domain():
+    return Domain.integers("v", 128)
+
+
+@pytest.fixture
+def service(domain):
+    rng = np.random.default_rng(5)
+    svc = BlowfishService()
+    svc.register_dataset("data", Database.from_indices(domain, rng.integers(0, 128, 3_000)))
+    return svc
+
+
+def _base(domain, epsilon=0.5):
+    return {
+        "policy": Policy.distance_threshold(domain, 2.0).to_spec(),
+        "epsilon": epsilon,
+        "dataset": {"name": "data"},
+    }
+
+
+#: a mixed workload spec with an optional linear group (shed first under
+#: drop_optional)
+def _workload_spec(n=128):
+    return {
+        "kind": "workload",
+        "groups": [
+            {"family": "range", "name": "r", "los": [0, 10], "his": [99, 60]},
+            {"family": "count", "name": "c", "supports": [list(range(20, 40))]},
+            {
+                "family": "linear",
+                "name": "l",
+                "weights": [[1.0 / 3000] * 3000],
+                "optional": True,
+            },
+        ],
+    }
+
+
+class TestBudgetedPlanOp:
+    def test_total_budget_is_split_and_spent(self, domain, service):
+        resp = service.handle(
+            {
+                **_base(domain),
+                "op": "plan",
+                "queries": _workload_spec(),
+                "plan_budget": {"total": 1.0},
+                "seed": 0,
+            }
+        )
+        assert resp["ok"], resp
+        assert resp["plan"]["budget"]["total"] == 1.0
+        assert resp["plan"]["total_epsilon"] == pytest.approx(1.0)
+        assert resp["meta"]["epsilon_spent"] == pytest.approx(1.0)
+        fresh = [s["epsilon"] for s in resp["plan"]["steps"] if s["epsilon"] > 0]
+        assert len(fresh) == 2 and all(e > 0 for e in fresh)
+        # adaptive: the range release (serving range + count) gets the bulk
+        assert max(fresh) > 0.9
+
+    def test_strict_refusal_is_budget_exhausted_with_no_spend(self, domain, service):
+        req = {
+            **_base(domain),
+            "op": "plan",
+            "queries": _workload_spec(),
+            "plan_budget": {"total": 1.0, "degradation": "strict"},
+            "session": "tight",
+            "budget": 0.4,
+            "seed": 0,
+        }
+        resp = service.handle(req)
+        assert not resp["ok"]
+        assert resp["error"]["kind"] == "budget_exhausted"
+        # nothing was spent: the same session can still afford a plan that fits
+        ok = service.handle(
+            {**req, "plan_budget": {"total": 0.4, "degradation": "strict"}}
+        )
+        assert ok["ok"], ok
+        assert ok["meta"]["session_total"] == pytest.approx(0.4)
+
+    def test_drop_optional_returns_null_answers_for_shed_groups(self, domain, service):
+        resp = service.handle(
+            {
+                **_base(domain),
+                "op": "plan",
+                "queries": _workload_spec(),
+                "plan_budget": {"total": 1.0, "degradation": "drop_optional"},
+                "session": "degraded",
+                "budget": 0.4,
+                "seed": 0,
+            }
+        )
+        assert resp["ok"], resp
+        assert resp["plan"]["degraded"] == {"dropped": ["l"]}
+        assert resp["meta"]["degraded"] == {"dropped": ["l"]}
+        # the linear group's answer is JSON null, the rest are numbers
+        assert resp["answers"][-1] is None
+        assert all(isinstance(a, float) for a in resp["answers"][:-1])
+        assert resp["meta"]["session_total"] == pytest.approx(0.4)
+        json.dumps(resp)  # the whole response stays JSON-clean
+
+    def test_explain_previews_the_budgeted_split_without_spending(self, domain, service):
+        resp = service.handle(
+            {
+                **_base(domain),
+                "op": "explain",
+                "queries": _workload_spec(),
+                "plan_budget": {"total": 2.0, "floors": {"l": 0.5}},
+            }
+        )
+        assert resp["ok"], resp
+        spec = resp["plan"]
+        assert spec["budget"]["floors"] == {"l": 0.5}
+        by_group = {s["group"]: s for s in spec["steps"]}
+        assert by_group["l"]["epsilon"] == pytest.approx(0.5)
+        assert resp["meta"]["total_epsilon"] == pytest.approx(2.0)
+        assert "marginal error per epsilon" in resp["report"]
+        assert "cost model:" in resp["report"]
+
+    def test_bad_budget_fields_are_named(self, domain, service):
+        resp = service.handle(
+            {
+                **_base(domain),
+                "op": "plan",
+                "queries": _workload_spec(),
+                "plan_budget": {"total": 1.0, "uniform": 0.5},
+                "seed": 0,
+            }
+        )
+        assert not resp["ok"]
+        assert resp["error"]["field"] == "request.plan_budget"
+
+    def test_describe_reports_cost_model_and_byte_budgeted_cache(self, domain, service):
+        resp = service.handle({**_base(domain), "op": "describe"})
+        assert resp["ok"], resp
+        model = resp["meta"]["cost_model"]
+        assert model["family"] == "synthetic-grid"
+        assert "provenance" in model and "constants" in model
+        assert model["constants"]["ordered"]["inference"] == 1.0
+        cache = resp["meta"]["plan_cache"]
+        assert {"bytes", "max_bytes", "oversize"} <= set(cache)
+        json.dumps(resp)
+
+    def test_budgeted_plans_cache_separately_from_unbudgeted(self, domain, service):
+        base = {
+            **_base(domain),
+            "op": "plan",
+            "queries": _workload_spec(),
+            "seed": 0,
+        }
+        first = service.handle(dict(base))
+        assert first["meta"]["plan_cache"] == "miss"
+        budgeted = service.handle(dict(base, plan_budget={"total": 1.0}))
+        assert budgeted["meta"]["plan_cache"] == "miss"  # distinct key
+        repeat = service.handle(dict(base))
+        assert repeat["meta"]["plan_cache"] == "hit"
+        # the flat per-release charge vs the adaptive split: same total
+        # here, different allocations — the cache must not conflate them
+        assert [s["epsilon"] for s in repeat["plan"]["steps"]] != [
+            s["epsilon"] for s in budgeted["plan"]["steps"]
+        ]

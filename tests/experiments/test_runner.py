@@ -19,7 +19,7 @@ def test_run_all_writes_reports(tmp_path):
         adult_n=2000,
     )
     tables = run_all(tmp_path, scale=scale)
-    assert len(tables) == 11  # 6 fig1 + 2 fig2 + 3 ablations
+    assert len(tables) == 12  # 6 fig1 + 2 fig2 + 3 ablations + budget allocation
     report = tmp_path / "report.txt"
     assert report.exists()
     text = report.read_text()
@@ -27,5 +27,6 @@ def test_run_all_writes_reports(tmp_path):
     csvs = sorted(p.name for p in tmp_path.glob("*.csv"))
     assert "fig1a.csv" in csvs and "fig2b.csv" in csvs
     assert "ablation_fanout.csv" in csvs
+    assert "budget_allocation.csv" in csvs
     for table in tables:
         assert table.points, table.name
