@@ -16,7 +16,13 @@ queries answered under it — first-class *data*:
   client's budget ledger and released synopses, so repeated queries are
   free post-processing;
 * **service** (:mod:`repro.api.service`) — :class:`BlowfishService` is the
-  pure-JSON boundary: ``handle(request_dict) -> response_dict``.
+  pure-JSON boundary: ``handle(request_dict) -> response_dict``;
+* **serving tier** — :mod:`repro.api.striping` (key-hash striped LRU maps
+  behind every service-level cache), :mod:`repro.api.ledger` (pluggable
+  budget-ledger stores: in-memory default, SQLite for cross-process
+  truth), :mod:`repro.api.async_service` (asyncio façade with request
+  batching and in-flight coalescing) and :mod:`repro.api.workers`
+  (session-sharded multi-process runner).
 
 End to end::
 
@@ -44,18 +50,31 @@ engine/plan caches synchronize internally — see the README's "Thread
 safety" section for the full guarantees.
 """
 
+from .async_service import AsyncBlowfishService, serve_many
+from .ledger import InMemoryLedgerStore, LedgerStore, SQLiteLedgerStore
 from .pool import EnginePool, PlanCache
 from .service import BlowfishService
 from .session import Session
 from .specs import SPEC_VERSION, SpecError, from_spec, spec_digest, to_spec
+from .striping import LockStripes, StripedLRU
+from .workers import ShardedRunResult, ShardedServiceRunner
 
 __all__ = [
+    "AsyncBlowfishService",
     "BlowfishService",
     "EnginePool",
+    "InMemoryLedgerStore",
+    "LedgerStore",
+    "LockStripes",
     "PlanCache",
+    "SQLiteLedgerStore",
     "Session",
+    "ShardedRunResult",
+    "ShardedServiceRunner",
     "SpecError",
     "SPEC_VERSION",
+    "StripedLRU",
+    "serve_many",
     "to_spec",
     "from_spec",
     "spec_digest",

@@ -1,0 +1,261 @@
+"""``AsyncBlowfishService``: an asyncio façade over ``BlowfishService``.
+
+The sync service is a pure function of its maps: ``handle(dict) -> dict``,
+thread-safe, blocking.  An async deployment (an HTTP front end, a queue
+consumer) needs two things layered on top, and they belong together
+because both exploit the same fact — identical requests are
+interchangeable:
+
+* **In-flight coalescing.**  Blowfish answering is deterministic whenever
+  the request pins its noise stream (an explicit ``seed``) or touches no
+  noise at all (``describe``/``explain``): equal request dicts produce
+  equal responses, and — the privacy-relevant half — *one* execution
+  spends at most what each individual execution would have (repeated
+  queries are free post-processing, Theorem 4.1; a single release serves
+  every waiter).  So while such a request is in flight, arriving
+  duplicates simply await the same future instead of compiling, releasing
+  and spending again.  Requests that do not opt into determinism (no seed)
+  are never coalesced: two unseeded answers are two different noise draws
+  and must stay that way.
+
+* **Batching.**  Requests are drained from the queue in small batches and
+  each batch is handed to one worker thread, amortizing executor and
+  scheduling overhead across requests and keeping the event loop free for
+  intake while NumPy-heavy work runs in the pool (which releases the GIL
+  for the array parts).
+
+Coalesced waiters share the *same response object* as the execution they
+joined; responses are treated as immutable everywhere in this codebase, so
+sharing is safe — but it also means a coalesced duplicate sees the
+original's metadata (e.g. its ``epsilon_spent``), exactly as if it had
+been the request that executed.
+
+Usage::
+
+    async with AsyncBlowfishService(service) as tier:
+        responses = await tier.handle_many(requests)
+
+or, from synchronous code, :func:`serve_many`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import suppress
+
+from .service import BlowfishService
+
+__all__ = ["AsyncBlowfishService", "serve_many"]
+
+#: Ops that never draw noise — always coalescable, seed or not.
+_NOISELESS_OPS = frozenset({"describe", "explain"})
+
+
+class AsyncBlowfishService:
+    """Asyncio front end: batching + in-flight coalescing over a sync service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`BlowfishService` to front; a fresh one by default.
+    max_workers:
+        Thread-pool width for executing batches.  The sync service is
+        thread-safe, so batches run concurrently up to this bound.
+    batch_window:
+        How long (seconds) the dispatcher waits to top up a batch after
+        its first request arrives.  Zero still batches whatever is already
+        queued — it just never waits for stragglers.
+    max_batch:
+        Requests per batch; one batch occupies one pool thread.
+    """
+
+    def __init__(
+        self,
+        service: BlowfishService | None = None,
+        *,
+        max_workers: int = 4,
+        batch_window: float = 0.002,
+        max_batch: int = 16,
+    ):
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        self.service = service if service is not None else BlowfishService()
+        self.max_workers = max_workers
+        self.batch_window = float(batch_window)
+        self.max_batch = int(max_batch)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="blowfish-tier"
+        )
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._stats = {"received": 0, "coalesced": 0, "executed": 0, "batches": 0}
+
+    # -- coalescing identity ---------------------------------------------------------
+    @staticmethod
+    def _coalescable(request: dict) -> bool:
+        """Whether equal copies of ``request`` may share one execution.
+
+        True only when the response is a deterministic function of the
+        request: noiseless ops, or an explicitly seeded noise stream.  An
+        unseeded answering request asked twice must draw twice.
+        """
+        if not isinstance(request, dict):
+            return False
+        if request.get("op", "answer") in _NOISELESS_OPS:
+            return True
+        seed = request.get("seed")
+        return isinstance(seed, int) and not isinstance(seed, bool)
+
+    @staticmethod
+    def _digest(request: dict) -> str | None:
+        """Canonical identity of a request dict, or None if not canonicalizable."""
+        try:
+            payload = json.dumps(
+                request, sort_keys=True, separators=(",", ":"), allow_nan=False
+            )
+        except (TypeError, ValueError):
+            return None
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- the async boundary ----------------------------------------------------------
+    async def handle(self, request: dict) -> dict:
+        """Serve one request; equal in-flight requests execute once."""
+        self._stats["received"] += 1
+        digest = self._digest(request) if self._coalescable(request) else None
+        if digest is not None:
+            inflight = self._inflight.get(digest)
+            if inflight is not None:
+                self._stats["coalesced"] += 1
+                return await inflight
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        if digest is not None:
+            self._inflight[digest] = future
+        if self._queue is None:
+            self._queue = asyncio.Queue()
+        self._queue.put_nowait((request, future, digest))
+        if self._dispatcher is None or self._dispatcher.done():
+            self._dispatcher = loop.create_task(self._dispatch())
+        return await future
+
+    async def handle_many(self, requests) -> list[dict]:
+        """Serve a request collection concurrently, preserving order."""
+        return list(await asyncio.gather(*(self.handle(r) for r in requests)))
+
+    async def _dispatch(self) -> None:
+        """Collect queued requests into batches and fan them to the pool."""
+        loop = asyncio.get_running_loop()
+        queue = self._queue
+        while True:
+            batch = [await queue.get()]
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.max_batch:
+                if not queue.empty():
+                    batch.append(queue.get_nowait())
+                    continue
+                wait = deadline - loop.time()
+                if wait <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(queue.get(), wait))
+                except asyncio.TimeoutError:
+                    break
+            self._stats["batches"] += 1
+            task = loop.create_task(self._run_batch(batch))
+            # strong ref until done, else the loop may GC a running batch
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: list) -> None:
+        def work():
+            results = []
+            for request, _future, _digest in batch:
+                try:
+                    results.append((True, self.service.handle(request)))
+                except BaseException as exc:  # propagated to the awaiting caller
+                    results.append((False, exc))
+            return results
+
+        results = await asyncio.get_running_loop().run_in_executor(
+            self._executor, work
+        )
+        self._stats["executed"] += len(batch)
+        for (request, future, digest), (ok, value) in zip(batch, results):
+            if digest is not None and self._inflight.get(digest) is future:
+                del self._inflight[digest]
+            if future.cancelled():
+                continue
+            if ok:
+                future.set_result(value)
+            else:
+                future.set_exception(value)
+
+    # -- lifecycle -------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Traffic counters: received, coalesced, executed, batches.
+
+        ``received == coalesced + executed`` once the tier is drained; the
+        coalesced count is the number of executions the tier avoided.
+        """
+        return dict(self._stats)
+
+    async def aclose(self) -> None:
+        """Stop the dispatcher, finish running batches, release the pool."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._dispatcher
+            self._dispatcher = None
+        if self._batch_tasks:
+            await asyncio.gather(*tuple(self._batch_tasks), return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncBlowfishService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    def __repr__(self) -> str:
+        s = self._stats
+        return (
+            f"AsyncBlowfishService(workers={self.max_workers}, "
+            f"executed={s['executed']}, coalesced={s['coalesced']})"
+        )
+
+
+def serve_many(
+    service: BlowfishService,
+    requests,
+    *,
+    max_workers: int = 4,
+    batch_window: float = 0.002,
+    max_batch: int = 16,
+) -> tuple[list[dict], dict]:
+    """Run a request stream through a temporary async tier, synchronously.
+
+    Returns ``(responses, stats)`` with responses in request order — the
+    convenience entry point for worker processes and benchmarks that want
+    coalescing/batching without owning an event loop.
+    """
+
+    async def run():
+        async with AsyncBlowfishService(
+            service,
+            max_workers=max_workers,
+            batch_window=batch_window,
+            max_batch=max_batch,
+        ) as tier:
+            responses = await tier.handle_many(requests)
+            return responses, tier.stats()
+
+    return asyncio.run(run())

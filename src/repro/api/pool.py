@@ -16,15 +16,16 @@ workload digest, existing-release state)``, so they are shared the same way
 engines are — heavy repeated multi-tenant traffic skips candidate scoring
 entirely.  Every engine the pool builds gets a reference to this cache.
 
-Both caches are thread-safe: all map access (including ``len``/``in``)
-happens under a lock, and builds happen outside it with a double-checked
-insert that prefers the incumbent, so racing callers converge on one shared
-object per key.
+Both caches sit on :class:`~repro.api.striping.StripedLRU`: map access is
+sharded by key hash so unrelated tenants never contend on one lock, builds
+happen outside any lock, and a double-checked per-stripe insert prefers the
+incumbent so racing callers converge on one shared object per key.  Small
+caches collapse to a single stripe, where eviction order is exact global
+LRU.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from threading import Lock
 
 from ..core.policy import Policy
@@ -33,58 +34,61 @@ from ..engine.engine import PolicyEngine
 from ..engine.fingerprint import options_key as _options_key
 from ..engine.fingerprint import policy_fingerprint
 from ..engine.registry import MechanismRegistry
+from .striping import StripedLRU
 
 __all__ = ["EnginePool", "PlanCache"]
 
 
 class PlanCache:
-    """A thread-safe LRU map from plan-identity keys to compiled ``Plan`` s.
+    """A striped, thread-safe LRU map from plan-identity keys to ``Plan`` s.
 
     Keys are built by :meth:`repro.engine.PolicyEngine.plan_with_meta` from
     everything a compiled plan depends on: policy fingerprint, epsilon,
     canonical options, the registry's rule-table fingerprint, the
     workload's structural digest, the planner mode, the caller's
     existing-release token (row-aware for linear releases) and the plan
-    budget directive.  Values are immutable :class:`~repro.plan.Plan`
-    objects, so one cached plan is executed concurrently by any number of
-    tenants.
+    budget directive (with the remaining-budget component quantized — see
+    :meth:`repro.plan.PlanBudget.remaining_token`).  Values are immutable
+    :class:`~repro.plan.Plan` objects, so one cached plan is executed
+    concurrently by any number of tenants.
 
     The cache is bounded two ways: ``maxsize`` caps entries and
     ``max_bytes`` caps the *accumulated payload bytes* — a cached plan
     retains its workload's packed arrays (the executor reads them; a 1k
     count-mask stack over a 50k domain is ~50 MB), so entry counts alone
-    would let a handful of wide workloads pin gigabytes.  Eviction is LRU
-    under both limits, and a single plan larger than ``max_bytes`` is
-    returned uncompiled-into-the-cache (counted in ``oversize``) rather
-    than evicting everything else.
+    would let a handful of wide workloads pin gigabytes.  Both bounds
+    divide across the stripes; eviction is LRU within a stripe, and a
+    single plan larger than one stripe's byte share is returned uncached
+    (counted in ``oversize``) rather than evicting everything else.
     """
 
-    def __init__(self, maxsize: int = 256, max_bytes: int = 256 * 1024 * 1024):
+    def __init__(
+        self,
+        maxsize: int = 256,
+        max_bytes: int = 256 * 1024 * 1024,
+        *,
+        stripes: int | None = None,
+    ):
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.maxsize = maxsize
         self.max_bytes = int(max_bytes)
-        self._plans: OrderedDict[tuple, object] = OrderedDict()
-        self._nbytes: dict[tuple, int] = {}
-        self._total_bytes = 0
-        self._lock = Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._lru = StripedLRU(maxsize, stripes=stripes, max_bytes=max_bytes)
+        self._oversize_lock = Lock()
         self.oversize = 0
+
+    @property
+    def stripes(self) -> int:
+        return self._lru.stripes
 
     def lookup(self, key: tuple):
         """The cached plan for ``key``, or None (counted as a miss)."""
-        with self._lock:
-            plan = self._plans.get(key)
-            if plan is None:
-                self.misses += 1
-                return None
-            self.hits += 1
-            self._plans.move_to_end(key)
-            return plan
+        plan = self._lru.get(key)
+        if plan is None:
+            self._lru.record_miss(key)
+        return plan
 
     def store(self, key: tuple, plan):
         """Insert ``plan`` under ``key``; returns the plan actually cached.
@@ -95,51 +99,31 @@ class PlanCache:
         """
         sizer = getattr(plan, "nbytes", None)
         nbytes = int(sizer()) if callable(sizer) else 0
-        if nbytes > self.max_bytes:
-            # caching it would evict the entire working set for one tenant's
-            # monster workload; hand the plan back uncached instead
-            with self._lock:
+        if nbytes > self._lru.stripe_max_bytes:
+            # caching it would evict the stripe's entire working set for one
+            # tenant's monster workload; hand the plan back uncached instead
+            with self._oversize_lock:
                 self.oversize += 1
             return plan
-        with self._lock:
-            incumbent = self._plans.setdefault(key, plan)
-            if incumbent is plan and key not in self._nbytes:
-                self._nbytes[key] = nbytes
-                self._total_bytes += nbytes
-            self._plans.move_to_end(key)
-            while len(self._plans) > self.maxsize or self._total_bytes > self.max_bytes:
-                evicted, _ = self._plans.popitem(last=False)
-                self._total_bytes -= self._nbytes.pop(evicted, 0)
-                self.evictions += 1
-            return incumbent
+        # the preceding lookup() already counted this call's hit or miss
+        incumbent, _ = self._lru.adopt(key, plan, nbytes=nbytes, count=False)
+        return incumbent
 
     def stats(self) -> dict[str, int]:
         """Occupancy and traffic counters, surfaced by ``"describe"``."""
-        with self._lock:
-            return {
-                "size": len(self._plans),
-                "maxsize": self.maxsize,
-                "bytes": self._total_bytes,
-                "max_bytes": self.max_bytes,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "oversize": self.oversize,
-            }
+        out = self._lru.stats()
+        with self._oversize_lock:
+            out["oversize"] = self.oversize
+        return out
 
     def clear(self) -> None:
-        with self._lock:
-            self._plans.clear()
-            self._nbytes.clear()
-            self._total_bytes = 0
+        self._lru.clear()
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._plans)
+        return len(self._lru)
 
     def __contains__(self, key: tuple) -> bool:
-        with self._lock:
-            return key in self._plans
+        return key in self._lru
 
     def __repr__(self) -> str:
         i = self.stats()
@@ -155,8 +139,9 @@ class EnginePool:
     Parameters
     ----------
     maxsize:
-        Engine count bound; the least recently used engine is dropped when a
-        new one would exceed it.  Dropped engines lose their memoized
+        Engine count bound; the least recently used engine (within the
+        stripe its key hashes to) is dropped when a new one would exceed
+        the stripe's share of it.  Dropped engines lose their memoized
         mechanisms but not their sensitivities (those live in the shared
         :class:`SensitivityCache`, keyed by the same fingerprints).
     registry, cache:
@@ -166,6 +151,10 @@ class EnginePool:
         The shared :class:`PlanCache` handed to every constructed engine;
         defaults to a fresh one.  Pass your own to share plans across pools
         or to size it differently.
+    stripes:
+        Lock-stripe count, defaulting to
+        :func:`~repro.api.striping.default_stripes` (small pools keep one
+        stripe and with it the exact global LRU order).
     """
 
     def __init__(
@@ -175,6 +164,7 @@ class EnginePool:
         registry: MechanismRegistry | None = None,
         cache: SensitivityCache | None = None,
         plan_cache: PlanCache | None = None,
+        stripes: int | None = None,
     ):
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
@@ -182,11 +172,11 @@ class EnginePool:
         self._registry = registry
         self._cache = cache
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
-        self._engines: OrderedDict[tuple, PolicyEngine] = OrderedDict()
-        self._lock = Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._engines = StripedLRU(maxsize, stripes=stripes)
+
+    @property
+    def stripes(self) -> int:
+        return self._engines.stripes
 
     def key(self, policy: Policy, epsilon: float, options: dict | None = None) -> tuple:
         """The pool key an engine for these parameters lives under."""
@@ -207,17 +197,17 @@ class EnginePool:
     ) -> tuple[PolicyEngine, str]:
         """:meth:`get`, plus ``"hit"``/``"miss"`` for *this call*.
 
-        The flag is decided inside the critical section that served the
-        call — never inferred from before/after deltas of the pool-global
-        counters, which a concurrent tenant's traffic would corrupt.
+        The flag is decided inside the stripe's critical section that
+        served the call — never inferred from before/after deltas of the
+        traffic counters, which a concurrent tenant's requests would
+        corrupt.  Engine construction happens outside any lock; a racing
+        builder may insert first, in which case this call adopts the
+        incumbent and reports a hit.
         """
         key = self.key(policy, epsilon, options)
-        with self._lock:
-            engine = self._engines.get(key)
-            if engine is not None:
-                self.hits += 1
-                self._engines.move_to_end(key)
-                return engine, "hit"
+        engine = self._engines.get(key)
+        if engine is not None:
+            return engine, "hit"
         engine = PolicyEngine(
             policy,
             epsilon,
@@ -226,20 +216,7 @@ class EnginePool:
             options=options,
             plan_cache=self.plan_cache,
         )
-        with self._lock:
-            # a racing builder may have inserted first; prefer the incumbent
-            # so every caller shares one engine per key
-            incumbent = self._engines.get(key)
-            if incumbent is not None:
-                self.hits += 1
-                self._engines.move_to_end(key)
-                return incumbent, "hit"
-            self.misses += 1
-            self._engines[key] = engine
-            while len(self._engines) > self.maxsize:
-                self._engines.popitem(last=False)
-                self.evictions += 1
-        return engine, "miss"
+        return self._engines.adopt(key, engine)
 
     def stats(self) -> dict[str, int]:
         """Occupancy and traffic counters (hits, misses, evictions).
@@ -247,30 +224,20 @@ class EnginePool:
         Exposed verbatim by ``BlowfishService`` ``"describe"`` responses so
         operators can watch engine churn without instrumenting the pool.
         """
-        with self._lock:
-            return {
-                "size": len(self._engines),
-                "maxsize": self.maxsize,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-            }
+        return self._engines.stats()
 
     def info(self) -> dict[str, int]:
         """Alias of :meth:`stats` — the name this class shipped with."""
         return self.stats()
 
     def clear(self) -> None:
-        with self._lock:
-            self._engines.clear()
+        self._engines.clear()
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._engines)
+        return len(self._engines)
 
     def __contains__(self, key: tuple) -> bool:
-        with self._lock:
-            return key in self._engines
+        return key in self._engines
 
     def __repr__(self) -> str:
         i = self.stats()

@@ -54,19 +54,27 @@ compiled plans are shared across tenants through its
 :class:`~repro.api.PlanCache`, and a session's released synopses answer
 repeat queries as free post-processing.
 
-``handle`` is safe to call from any number of threads.  The service lock
-guards only the LRU bookkeeping (session/policy maps) with double-checked
-inserts — exactly one :class:`Session` ledger ever exists per key, so
-concurrent requests against one session serialize on that session's own
-lock and budget spends are never lost, while requests against different
-sessions proceed in parallel.
+``handle`` is safe to call from any number of threads.  The session and
+policy maps are key-hash striped (:class:`~repro.api.striping.StripedLRU`):
+lookups and double-checked inserts lock only the stripe the key hashes to,
+so requests for unrelated tenants never contend, while exactly one
+:class:`Session` ledger ever exists per key — concurrent requests against
+one session serialize on that session's own lock and budget spends are
+never lost.
+
+Where budgets are *stored* is pluggable: pass ``ledger_store`` (see
+:mod:`repro.api.ledger`) and every named session's accountant charges a
+shared ledger under a key derived deterministically from the session
+identity.  With a :class:`~repro.api.ledger.SQLiteLedgerStore`, any number
+of worker processes serving the same tenants enforce one budget truth —
+and enforcement survives session-LRU eviction, because a rebuilt session's
+accountant finds the old spends under the same ledger key.
 """
 
 from __future__ import annotations
 
 import hashlib
 import math
-from collections import OrderedDict
 from threading import Lock
 
 import numpy as np
@@ -82,6 +90,7 @@ from ..plan.workload import validate_range_arrays
 from .pool import EnginePool, _options_key
 from .session import Session
 from .specs import spec_digest
+from .striping import StripedLRU
 
 __all__ = ["BlowfishService"]
 
@@ -100,6 +109,12 @@ class BlowfishService:
         enforcement across eviction is the deployment's responsibility.
     max_policies:
         Bound on memoized parsed policies, keyed by spec digest.
+    ledger_store:
+        Optional shared budget ledger (:mod:`repro.api.ledger`).  When set,
+        every *named* session's accountant charges this store under a key
+        derived from the session identity; ephemeral (sessionless) requests
+        keep private single-request ledgers.  When None (the default),
+        sessions keep private in-process ledgers exactly as before.
     """
 
     def __init__(
@@ -108,25 +123,28 @@ class BlowfishService:
         pool: EnginePool | None = None,
         max_sessions: int = 1024,
         max_policies: int = 128,
+        ledger_store=None,
     ):
         self.pool = pool if pool is not None else EnginePool()
         self.max_sessions = max_sessions
         self.max_policies = max_policies
+        self.ledger_store = ledger_store
         self._datasets: dict[str, Database] = {}
-        self._sessions: OrderedDict[tuple, Session] = OrderedDict()
-        self._policies: OrderedDict[str, Policy] = OrderedDict()
-        # guards the three maps above (lookup/insert/LRU reorder/evict only
-        # — parsing, planning and answering all happen outside it)
-        self._lock = Lock()
+        # striped LRU maps: a request locks only the stripe its key hashes
+        # to, and only for lookup/insert/evict — parsing, planning and
+        # answering all happen outside any service-level lock
+        self._sessions = StripedLRU(max_sessions)
+        self._policies = StripedLRU(max_policies)
+        self._datasets_lock = Lock()
 
     # -- server-side state ----------------------------------------------------------
     def register_dataset(self, name: str, db: Database) -> None:
         """Make ``db`` addressable by requests as ``{"dataset": {"name": name}}``."""
-        with self._lock:
+        with self._datasets_lock:
             self._datasets[name] = db
 
     def datasets(self) -> tuple[str, ...]:
-        with self._lock:
+        with self._datasets_lock:
             return tuple(self._datasets)
 
     # -- the boundary ----------------------------------------------------------------
@@ -175,26 +193,20 @@ class BlowfishService:
 
     def _policy_for(self, spec: dict) -> Policy:
         digest = spec_digest(spec)
-        with self._lock:
-            policy = self._policies.get(digest)
-            if policy is not None:
-                self._policies.move_to_end(digest)
-                return policy
-        # parse outside the lock (graph construction can be expensive);
-        # racing parsers of one digest yield interchangeable policies
+        policy = self._policies.get(digest)
+        if policy is not None:
+            return policy
+        # parse outside any lock (graph construction can be expensive);
+        # racing parsers of one digest yield interchangeable policies and
+        # the stripe's double-checked insert keeps the incumbent
         policy = Policy.from_spec(spec, "request.policy")
-        with self._lock:
-            policy = self._policies.setdefault(digest, policy)
-            self._policies.move_to_end(digest)
-            while len(self._policies) > self.max_policies:
-                self._policies.popitem(last=False)
-        return policy
+        return self._policies.adopt(digest, policy, count=False)[0]
 
     def _dataset_for(self, request: dict, policy: Policy):
         ds = spec_get(request, "dataset", dict, "request")
         name = spec_get(ds, "name", str, "request.dataset", required=False)
         if name is not None:
-            with self._lock:
+            with self._datasets_lock:
                 db = self._datasets.get(name)
                 registered = sorted(self._datasets) if db is None else ()
             if db is None:
@@ -229,6 +241,19 @@ class BlowfishService:
             dataset_key,
         )
 
+    @staticmethod
+    def _ledger_key(session_key: tuple) -> str:
+        """The shared-store key a session charges under.
+
+        Derived from the full session key (id, policy fingerprint, epsilon,
+        options, dataset), so it is identical in every process that serves
+        the same tenant — the invariant that makes a shared ledger one
+        budget truth — and distinct sessions can never alias one ledger.
+        The key tuple contains only strings, floats and nested tuples, so
+        its ``repr`` is deterministic across processes and runs.
+        """
+        return hashlib.sha256(repr(session_key).encode()).hexdigest()[:24]
+
     def _session_for(self, request: dict, engine, db: Database, dataset_key, options) -> tuple:
         """Resolve (or create, exactly once) the request's session.
 
@@ -243,20 +268,21 @@ class BlowfishService:
             # ephemeral: ledger and releases live for this request only
             return Session(engine, db, budget=budget), None, None
         key = self._session_key(session_id, engine, dataset_key, options)
-        created = False
-        with self._lock:
-            session = self._sessions.get(key)
-            if session is None:
-                # constructed inside the critical section (it is cheap — no
-                # data is touched) so racing openers of a brand-new key can
-                # never build two ledgers and drop one mid-spend
-                session = Session(engine, db, budget=budget, client_id=session_id)
-                self._sessions[key] = session
-                created = True
-                while len(self._sessions) > self.max_sessions:
-                    self._sessions.popitem(last=False)
-            else:
-                self._sessions.move_to_end(key)
+
+        def build() -> Session:
+            # runs under the key's stripe lock (construction is cheap — no
+            # data is touched) so racing openers of a brand-new key can
+            # never build two ledgers and drop one mid-spend
+            return Session(
+                engine,
+                db,
+                budget=budget,
+                client_id=session_id,
+                ledger=self.ledger_store,
+                ledger_key=self._ledger_key(key) if self.ledger_store is not None else None,
+            )
+
+        session, created = self._sessions.get_or_create(key, build)
         budget_note = None
         if not created and budget is not None and budget != session.budget:
             # the ledger persists; a different budget on a later request is
@@ -380,10 +406,11 @@ class BlowfishService:
         session_id = spec_get(request, "session", str, "request", required=False)
         if session_id is not None and "dataset" in request:
             _, dataset_key = self._dataset_for(request, engine.policy)
-            with self._lock:
-                session = self._sessions.get(
-                    self._session_key(session_id, engine, dataset_key, options)
-                )
+            # peek: a read-only preview must neither create the session nor
+            # refresh its LRU slot
+            session = self._sessions.peek(
+                self._session_key(session_id, engine, dataset_key, options)
+            )
         if session is not None:
             # through the session so its lock covers reading the releases a
             # concurrent request on the same session may be mutating (and so
@@ -540,8 +567,9 @@ class BlowfishService:
         return los, his
 
     def __repr__(self) -> str:
-        with self._lock:
-            datasets, n_sessions = sorted(self._datasets), len(self._sessions)
+        with self._datasets_lock:
+            datasets = sorted(self._datasets)
+        n_sessions = len(self._sessions)
         return (
             f"BlowfishService(datasets={datasets}, "
             f"sessions={n_sessions}, pool={self.pool!r})"

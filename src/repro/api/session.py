@@ -47,6 +47,17 @@ class Session:
         before any noisy output is computed.
     client_id:
         Opaque tag for logs and service bookkeeping.
+    ledger, ledger_key:
+        Optional shared :class:`~repro.api.ledger.LedgerStore` (and the key
+        this session charges under) for deployments where budget truth must
+        outlive this process or this object — worker fleets over a SQLite
+        store, or budget enforcement across session-LRU eviction.  When
+        omitted the accountant keeps a private in-process ledger, exactly
+        the historical behaviour.  Releases are *not* shared through the
+        ledger: a sibling session on another worker re-releases (and the
+        shared ledger charges it), so cross-worker traffic for one session
+        should be routed to one worker — the sharding rule
+        :mod:`repro.api.workers` applies.
 
     Thread safety
     -------------
@@ -67,13 +78,21 @@ class Session:
         *,
         budget: float | None = None,
         client_id: str | None = None,
+        ledger=None,
+        ledger_key: str | None = None,
     ):
         if db.domain != engine.policy.domain:
             raise ValueError("database is over a different domain than the policy")
         self.engine = engine
         self.db = db
         self.client_id = client_id
-        self.accountant = PrivacyAccountant(engine.policy, budget)
+        if ledger is not None:
+            key = ledger_key if ledger_key is not None else (client_id or "session")
+            self.accountant = PrivacyAccountant(
+                engine.policy, budget, store=ledger, key=key
+            )
+        else:
+            self.accountant = PrivacyAccountant(engine.policy, budget)
         #: family -> released synopsis; engine.answer() adds to it in place.
         self.releases: dict = {}
         # re-entrant: the metered wrappers lock, then call the locked

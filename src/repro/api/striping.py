@@ -1,0 +1,299 @@
+"""Key-hash striped locks and LRU maps: unrelated tenants never contend.
+
+PRs 2-5 made the serving stack correct under threads by funnelling every
+map access — sessions, parsed policies, pooled engines, compiled plans —
+through one lock per container.  That is the documented ceiling on scale:
+every request, for every tenant, serializes on the same handful of locks
+even when the keys they touch are unrelated.  This module replaces those
+global locks with *striping*: a container is split into ``n`` independent
+shards (stripes), each with its own lock and its own LRU order, and a key
+is served entirely by the stripe its hash selects.  Two requests contend
+only when their keys land in the same stripe — for distinct hot keys the
+probability is ``1/n`` — while all per-key guarantees (exactly one value
+per key, double-checked inserts, LRU bounds) hold per stripe exactly as
+they previously held globally.
+
+Two primitives:
+
+* :class:`LockStripes` — ``n`` plain locks indexed by key hash, for
+  callers that manage their own storage (the in-memory ledger store).
+* :class:`StripedLRU` — a bounded map built from ``n`` stripes, each an
+  ``OrderedDict`` under its own lock, with the access patterns the serving
+  tier needs: ``get``/``peek``, the double-checked ``adopt`` (build
+  outside any lock, first insert wins), ``get_or_create`` (factory runs
+  under the stripe lock — for values that are cheap to build but must
+  exist exactly once, like session ledgers), and optional accumulated-byte
+  bounds (the plan cache's second limit).
+
+Bounds are *per stripe*: ``maxsize`` and ``max_bytes`` divide across the
+stripes, so the aggregate occupancy never exceeds the configured limits
+but a skewed key distribution may evict from a hot stripe while cold
+stripes sit below capacity.  Eviction within a stripe is exact LRU.  Small
+maps (``maxsize < 16``) collapse to one stripe, where the semantics are
+bit-for-bit the old global-LRU behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+
+__all__ = ["LockStripes", "StripedLRU", "default_stripes"]
+
+#: Upper bound on stripes a container gets by default; 16 makes same-stripe
+#: contention between two distinct hot keys a 6% event while keeping the
+#: per-stripe LRU shards large enough to be useful.
+DEFAULT_STRIPES = 16
+
+
+def default_stripes(maxsize: int) -> int:
+    """Stripe count for an LRU bound: ``min(16, maxsize // 8)``, at least 1.
+
+    Tiny maps are not worth sharding — below 16 entries they collapse to a
+    single stripe, which preserves the exact global-LRU eviction order the
+    pre-striping containers had (and that the LRU unit tests pin down).
+    """
+    return max(1, min(DEFAULT_STRIPES, maxsize // 8))
+
+
+class LockStripes:
+    """``n`` locks indexed by stable key hash — share one per key family.
+
+    ``hash()`` is used as the selector, so keys must be hashable; the
+    mapping is stable within a process (which is all mutual exclusion
+    needs) but not across processes or runs.
+    """
+
+    __slots__ = ("_locks",)
+
+    def __init__(self, stripes: int = DEFAULT_STRIPES):
+        if stripes <= 0:
+            raise ValueError("stripes must be positive")
+        self._locks = tuple(Lock() for _ in range(stripes))
+
+    def stripe_of(self, key) -> int:
+        """Which stripe serves ``key`` (deterministic within the process)."""
+        return hash(key) % len(self._locks)
+
+    def lock_for(self, key) -> Lock:
+        return self._locks[self.stripe_of(key)]
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def __repr__(self) -> str:
+        return f"LockStripes({len(self._locks)})"
+
+
+class _Stripe:
+    """One shard: an LRU ``OrderedDict`` plus counters, under its own lock."""
+
+    __slots__ = ("lock", "items", "nbytes", "total_bytes", "hits", "misses", "evictions")
+
+    def __init__(self):
+        self.lock = Lock()
+        self.items: OrderedDict = OrderedDict()
+        self.nbytes: dict = {}
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class StripedLRU:
+    """A striped, bounded, thread-safe LRU map.
+
+    Parameters
+    ----------
+    maxsize:
+        Aggregate entry bound; each stripe holds at most
+        ``ceil(maxsize / stripes)`` so the total never exceeds ``maxsize``
+        by more than the rounding slack (and never at one stripe).
+    stripes:
+        Shard count; defaults to :func:`default_stripes`, which collapses
+        small maps to a single stripe (exact global LRU).
+    max_bytes:
+        Optional aggregate byte bound over the sizes passed to
+        :meth:`adopt`; divided across stripes like ``maxsize``.
+
+    Counters (``hits``/``misses``/``evictions``) are kept per stripe and
+    aggregated by :meth:`stats`.  ``get`` counts a hit when found and
+    nothing when absent — whether an absence becomes a miss is the
+    caller's double-checked insert's decision (:meth:`adopt` counts it),
+    so a get-then-adopt race that loses to an incumbent reports exactly
+    one event, not two.
+    """
+
+    __slots__ = ("maxsize", "max_bytes", "_stripes", "_per_stripe", "_bytes_per_stripe")
+
+    def __init__(self, maxsize: int, *, stripes: int | None = None, max_bytes: int | None = None):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        n = default_stripes(maxsize) if stripes is None else int(stripes)
+        if n <= 0:
+            raise ValueError("stripes must be positive")
+        self.maxsize = int(maxsize)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._stripes = tuple(_Stripe() for _ in range(n))
+        # per-stripe caps: the aggregate stays within the configured bounds
+        self._per_stripe = max(1, self.maxsize // n)
+        self._bytes_per_stripe = (
+            None if self.max_bytes is None else max(1, self.max_bytes // n)
+        )
+
+    # -- addressing ------------------------------------------------------------------
+    @property
+    def stripes(self) -> int:
+        return len(self._stripes)
+
+    @property
+    def stripe_max_bytes(self) -> int | None:
+        """The byte cap one stripe enforces (the oversize-refusal threshold)."""
+        return self._bytes_per_stripe
+
+    def stripe_of(self, key) -> int:
+        return hash(key) % len(self._stripes)
+
+    def _stripe(self, key) -> _Stripe:
+        return self._stripes[self.stripe_of(key)]
+
+    # -- reads -----------------------------------------------------------------------
+    def get(self, key):
+        """The value for ``key`` (refreshing its LRU slot), or None.
+
+        A hit is counted; an absence is *not* counted as a miss — callers
+        following up with :meth:`adopt` count it there (double-checked
+        insert), callers that give up count it via :meth:`record_miss`.
+        """
+        stripe = self._stripe(key)
+        with stripe.lock:
+            value = stripe.items.get(key)
+            if value is None:
+                return None
+            stripe.hits += 1
+            stripe.items.move_to_end(key)
+            return value
+
+    def peek(self, key):
+        """The value for ``key`` without touching LRU order or counters."""
+        stripe = self._stripe(key)
+        with stripe.lock:
+            return stripe.items.get(key)
+
+    def record_miss(self, key) -> None:
+        """Count a miss for ``key`` (a lookup the caller will not retry)."""
+        stripe = self._stripe(key)
+        with stripe.lock:
+            stripe.misses += 1
+
+    # -- writes ----------------------------------------------------------------------
+    def adopt(self, key, value, *, nbytes: int = 0, count: bool = True):
+        """Double-checked insert: ``(winner, "hit"|"miss")`` for this call.
+
+        Racing builders for one key produce interchangeable values (every
+        caller keys on all inputs), so the first insert wins and later
+        callers adopt the incumbent.  ``count=True`` counts the insert as a
+        miss and an adopt as a hit — the :class:`~repro.api.EnginePool`
+        accounting; ``count=False`` leaves counters alone for callers that
+        already counted at lookup time (the plan cache).
+        """
+        stripe = self._stripe(key)
+        with stripe.lock:
+            incumbent = stripe.items.get(key)
+            if incumbent is not None:
+                if count:
+                    stripe.hits += 1
+                stripe.items.move_to_end(key)
+                return incumbent, "hit"
+            if count:
+                stripe.misses += 1
+            stripe.items[key] = value
+            if nbytes:
+                stripe.nbytes[key] = int(nbytes)
+                stripe.total_bytes += int(nbytes)
+            self._evict(stripe)
+            return value, "miss"
+
+    def get_or_create(self, key, factory):
+        """``(value, created)`` — ``factory()`` runs under the stripe lock.
+
+        For values that are cheap to construct but must exist exactly once
+        per key (a session's budget ledger): racing openers of a brand-new
+        key can never build two and drop one mid-spend.  Only this key's
+        stripe blocks while the factory runs.
+        """
+        stripe = self._stripe(key)
+        with stripe.lock:
+            value = stripe.items.get(key)
+            if value is not None:
+                stripe.hits += 1
+                stripe.items.move_to_end(key)
+                return value, False
+            stripe.misses += 1
+            value = stripe.items[key] = factory()
+            self._evict(stripe)
+            return value, True
+
+    def _evict(self, stripe: _Stripe) -> None:
+        # caller holds stripe.lock; exact LRU within the stripe
+        while len(stripe.items) > self._per_stripe or (
+            self._bytes_per_stripe is not None
+            and stripe.total_bytes > self._bytes_per_stripe
+        ):
+            evicted, _ = stripe.items.popitem(last=False)
+            stripe.total_bytes -= stripe.nbytes.pop(evicted, 0)
+            stripe.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved, as the caches always did)."""
+        for stripe in self._stripes:
+            with stripe.lock:
+                stripe.items.clear()
+                stripe.nbytes.clear()
+                stripe.total_bytes = 0
+
+    # -- aggregates ------------------------------------------------------------------
+    def values(self) -> list:
+        """Snapshot of every live value across stripes (no LRU effect)."""
+        out = []
+        for stripe in self._stripes:
+            with stripe.lock:
+                out.extend(stripe.items.values())
+        return out
+
+    def stats(self) -> dict[str, int]:
+        size = bytes_ = hits = misses = evictions = 0
+        for stripe in self._stripes:
+            with stripe.lock:
+                size += len(stripe.items)
+                bytes_ += stripe.total_bytes
+                hits += stripe.hits
+                misses += stripe.misses
+                evictions += stripe.evictions
+        out = {
+            "size": size,
+            "maxsize": self.maxsize,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+        }
+        if self.max_bytes is not None:
+            out["bytes"] = bytes_
+            out["max_bytes"] = self.max_bytes
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(s.items) for s in self._stripes)
+
+    def __contains__(self, key) -> bool:
+        stripe = self._stripe(key)
+        with stripe.lock:
+            return key in stripe.items
+
+    def __repr__(self) -> str:
+        return (
+            f"StripedLRU(size={len(self)}/{self.maxsize}, "
+            f"stripes={len(self._stripes)})"
+        )

@@ -41,8 +41,15 @@ __all__ = [
     "parallel_epsilon",
     "supports_parallel_composition",
     "BudgetExceededError",
+    "BUDGET_SLACK",
+    "LedgerEntry",
     "PrivacyAccountant",
 ]
+
+#: Absolute tolerance on budget comparisons: a spend is refused only when it
+#: exceeds the budget by more than this.  Shared by every ledger store so
+#: "exactly at the cap" admits identically in memory and in SQLite.
+BUDGET_SLACK = 1e-12
 
 
 class BudgetExceededError(RuntimeError):
@@ -202,11 +209,59 @@ def parallel_epsilon(
     return float(max(epsilons, default=0.0))
 
 
-@dataclass
-class _Spend:
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded spend in a budget ledger.
+
+    The unit every :class:`LedgerStore` implementation stores and returns:
+    a label (the release key, for session bookkeeping), the epsilon
+    charged, and the optional id scope used by parallel-composition
+    accounting.
+    """
+
     label: str
     epsilon: float
-    ids: frozenset[int] | None
+    ids: frozenset[int] | None = None
+
+
+class _PrivateLedger:
+    """The default, accountant-private spend list.
+
+    The behaviour accountants always had: one in-process list, no
+    synchronization of its own (callers — :class:`repro.api.Session` — hold
+    their own lock around spend paths).  Shareable stores with real
+    concurrency and persistence guarantees live in :mod:`repro.api.ledger`
+    and implement this same ``charge``/``total``/``entries`` surface; the
+    ``key`` argument exists for that interface and is ignored here, since a
+    private ledger serves exactly one accountant.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries: list[LedgerEntry] = []
+
+    def charge(
+        self,
+        key: str,
+        epsilon: float,
+        *,
+        label: str = "",
+        budget: float | None = None,
+        ids: frozenset[int] | None = None,
+    ) -> float:
+        total = sum(e.epsilon for e in self._entries)
+        new_total = total + epsilon
+        if budget is not None and new_total > budget + BUDGET_SLACK:
+            raise BudgetExceededError(epsilon, new_total, budget)
+        self._entries.append(LedgerEntry(label, float(epsilon), ids))
+        return new_total
+
+    def total(self, key: str) -> float:
+        return float(sum(e.epsilon for e in self._entries))
+
+    def entries(self, key: str) -> list[LedgerEntry]:
+        return list(self._entries)
 
 
 class PrivacyAccountant:
@@ -216,29 +271,48 @@ class PrivacyAccountant:
     individual ids); :meth:`total` applies sequential composition across
     scopes and parallel composition within groups of disjoint-scope spends
     when the policy allows it.
+
+    Spent state lives behind a *ledger store* rather than in the accountant
+    itself.  By default that store is private and in-process (exactly the
+    old list-of-spends behaviour); passing ``store``/``key`` instead binds
+    the accountant to a shared ledger — striped in-memory across threads,
+    or SQLite across worker processes (:mod:`repro.api.ledger`) — so every
+    accountant bound to the same key charges against one budget truth.
+    The compare-and-spend is then as atomic as the store makes it; with the
+    default private store the caller's session lock provides the atomicity,
+    as before.
     """
 
-    def __init__(self, policy: Policy, budget: float | None = None):
+    def __init__(
+        self,
+        policy: Policy,
+        budget: float | None = None,
+        *,
+        store=None,
+        key: str = "session",
+    ):
         if budget is not None and budget <= 0:
             raise ValueError("budget must be positive")
         self.policy = policy
         self.budget = budget
-        self._spends: list[_Spend] = []
+        self.store = store if store is not None else _PrivateLedger()
+        self.key = str(key)
 
     def spend(self, epsilon: float, label: str = "", ids: Sequence[int] | None = None) -> None:
         """Record a mechanism run costing ``epsilon`` (on ``ids`` if given)."""
         if epsilon < 0:
             raise ValueError("epsilon must be non-negative")
-        new_total = self.sequential_total() + epsilon
-        if self.budget is not None and new_total > self.budget + 1e-12:
-            raise BudgetExceededError(epsilon, new_total, self.budget)
-        self._spends.append(
-            _Spend(label, float(epsilon), frozenset(ids) if ids is not None else None)
+        self.store.charge(
+            self.key,
+            float(epsilon),
+            label=label,
+            budget=self.budget,
+            ids=frozenset(ids) if ids is not None else None,
         )
 
     def sequential_total(self) -> float:
         """Worst-case total: plain sequential composition (Theorem 4.1)."""
-        return sequential_epsilon([s.epsilon for s in self._spends])
+        return sequential_epsilon([e.epsilon for e in self.store.entries(self.key)])
 
     def parallel_aware_total(self) -> float:
         """Total with parallel composition applied to disjoint-scope spends.
@@ -248,14 +322,15 @@ class PrivacyAccountant:
         the policy supports parallel composition (unconstrained, or all
         constraints non-critical).
         """
-        global_spend = sum(s.epsilon for s in self._spends if s.ids is None)
-        scoped = [s for s in self._spends if s.ids is not None]
+        entries = self.store.entries(self.key)
+        global_spend = sum(e.epsilon for e in entries if e.ids is None)
+        scoped = [e for e in entries if e.ids is not None]
         if not scoped:
             return global_spend
-        groups = [list(s.ids) for s in scoped]
+        groups = [list(e.ids) for e in scoped]
         if supports_parallel_composition(self.policy, groups):
-            return global_spend + max(s.epsilon for s in scoped)
-        return global_spend + sum(s.epsilon for s in scoped)
+            return global_spend + max(e.epsilon for e in scoped)
+        return global_spend + sum(e.epsilon for e in scoped)
 
     def remaining(self) -> float:
         if self.budget is None:
@@ -264,10 +339,11 @@ class PrivacyAccountant:
 
     @property
     def spends(self) -> list[tuple[str, float]]:
-        return [(s.label, s.epsilon) for s in self._spends]
+        return [(e.label, e.epsilon) for e in self.store.entries(self.key)]
 
     def __repr__(self) -> str:
+        entries = self.store.entries(self.key)
         return (
-            f"PrivacyAccountant(spent={self.sequential_total():.4g}, "
-            f"budget={self.budget}, entries={len(self._spends)})"
+            f"PrivacyAccountant(spent={sum(e.epsilon for e in entries):.4g}, "
+            f"budget={self.budget}, entries={len(entries)})"
         )

@@ -460,6 +460,15 @@ class PolicyEngine:
                 remaining=remaining,
             )
             return plan, "uncached"
+        # degradation decisions depend on how much the caller has left, so a
+        # budgeted compile keys on the remaining budget — but quantized to
+        # the equivalence classes the plan actually depends on ("fits", or
+        # the degradation bucket), and compiled against the class
+        # representative so key and plan agree.  Keying on the raw float
+        # would make every spending session miss its own plans forever.
+        remaining_token = None
+        if budget is not None:
+            remaining_token, remaining = budget.quantize_remaining(remaining)
         key = (
             self.fingerprint,
             self.epsilon,
@@ -471,12 +480,9 @@ class PolicyEngine:
             workload.cache_token(),
             bool(optimize),
             existing_token(existing),
-            # degradation decisions depend on how much the caller has left,
-            # so a budgeted compile keys on it; unbudgeted plans share one
-            # entry regardless of ledger state, exactly as before
-            None
-            if budget is None
-            else (budget.cache_token(), None if remaining is None else float(remaining)),
+            # unbudgeted plans share one entry regardless of ledger state,
+            # exactly as before
+            None if budget is None else (budget.cache_token(), remaining_token),
         )
         plan = cache.lookup(key)
         if plan is not None:

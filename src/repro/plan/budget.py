@@ -42,10 +42,16 @@ from ..core.specbase import (
     spec_get,
 )
 
-__all__ = ["PlanBudget", "DEGRADATION_MODES"]
+__all__ = ["PlanBudget", "DEGRADATION_MODES", "REMAINING_BUCKETS"]
 
 #: Recognised degradation modes, in increasing order of leniency.
 DEGRADATION_MODES = ("strict", "drop_optional", "reuse_stale")
+
+#: Resolution of the quantized remaining-budget cache identity: constrained
+#: remainders are bucketed into 64ths of the total.  Power of two, so bucket
+#: edges are exact dyadic fractions and re-deriving a bucket from its own
+#: representative is float-stable.
+REMAINING_BUCKETS = 64
 
 
 class PlanBudget:
@@ -112,6 +118,52 @@ class PlanBudget:
             tuple(sorted(self.floors.items())),
             self.degradation,
         )
+
+    def quantize_remaining(self, remaining: float | None) -> tuple:
+        """``(token, effective)``: the cache identity of a remaining budget
+        and the representative value to compile against.
+
+        A compiled plan depends on the caller's remaining session budget
+        only through two questions — *does the plan fit?* and, when it does
+        not, *how much is there to degrade into?*  Keying plans on the raw
+        float therefore shatters the cache: every spend produces a new
+        remaining, so a spending tenant (or two tenants with different
+        budgets) can never re-hit a budgeted plan.  This method coarsens
+        the identity to what the plan actually depends on:
+
+        * ``total`` budgets — any remaining covering the total is one
+          ``("fits",)`` class (the compile is provably independent of the
+          exact value there: nothing degrades and the allocation splits
+          ``total``).  Constrained remainders are bucketed into
+          :data:`REMAINING_BUCKETS` ths of the total, compiled against the
+          bucket's *lower* edge so the cached plan is affordable for every
+          remaining in the bucket.  Below the lowest bucket edge the raw
+          value is kept (``("exact", r)``): representatives there would
+          round to zero and refuse plans that a tiny remaining could still
+          buy.
+        * ``uniform`` budgets — the plan depends on the remaining only
+          through how many flat charges fit, so the token is exactly that
+          count (no approximation at all).
+
+        ``effective`` never exceeds ``remaining`` (beyond float rounding
+        that ``BUDGET_SLACK`` absorbs), so a plan compiled for the
+        representative is affordable for the true value, and degradation
+        decisions made at the representative hold for the whole bucket.
+        """
+        if remaining is None:
+            return None, None
+        remaining = float(remaining)
+        if self.uniform is not None:
+            # 1e-9 relative slack: a remaining of 3*uniform minus float dust
+            # still buys three charges
+            units = max(0, math.floor(remaining / self.uniform + 1e-9))
+            return ("units", units), units * self.uniform
+        if remaining >= self.total - 1e-12:
+            return ("fits",), remaining
+        bucket = math.floor(remaining / self.total * REMAINING_BUCKETS)
+        if bucket <= 0:
+            return ("exact", remaining), remaining
+        return ("bucket", bucket), self.total * (bucket / REMAINING_BUCKETS)
 
     def __eq__(self, other) -> bool:
         return isinstance(other, PlanBudget) and self.cache_token() == other.cache_token()

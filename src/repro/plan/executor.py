@@ -11,6 +11,14 @@ any noise is drawn — the engine's full epsilon for legacy plans, the
 step's allocated epsilon for budget-first plans (the mechanism is built,
 and its noise calibrated, at that same allocation).  Steps a budgeted plan
 marks ``dropped`` are answered NaN and never touch data or budget.
+
+Charge-before-draw is also what makes multi-process serving sound: the
+accountant may be backed by a shared :class:`repro.api.ledger.LedgerStore`
+(e.g. SQLite), whose ``charge`` is an atomic compare-and-spend across
+every worker process.  Because the charge lands (or raises
+``BudgetExceededError``) before any noise exists, a run refused by the
+shared ledger has released nothing — no partial synopsis, no spend, in
+any process.
 """
 
 from __future__ import annotations

@@ -428,7 +428,9 @@ class Planner:
             effective = budget.total
             if remaining is not None and budget.degradation != "strict":
                 effective = min(effective, remaining)
-            allocated = self._allocate(workload, steps, units, budget, effective)
+            allocated = self._allocate(
+                workload, steps, units, budget, effective, existing
+            )
         steps = self._charged_steps(steps, units, allocated)
         for name in dropped:
             group = workload.group(name)
@@ -491,6 +493,7 @@ class Planner:
         units: list[dict],
         budget: PlanBudget,
         total: float,
+        existing=(),
     ) -> list[float]:
         """Error-minimizing split of ``total`` across the charge units.
 
@@ -503,7 +506,8 @@ class Planner:
         """
         if not units:
             return []
-        weights = self._unit_weights(workload, steps, units)
+        linear_counts = self._linear_query_attribution(workload, steps, existing)
+        weights = self._unit_weights(workload, steps, units, linear_counts)
         floors = [
             max(
                 (budget.floors.get(steps[i].group, 0.0) for i in unit["steps"]),
@@ -534,16 +538,82 @@ class Planner:
                 active.remove(i)
         return eps
 
+    def _linear_query_attribution(
+        self, workload: Workload, steps: list[PlanStep], existing
+    ) -> dict[int, int] | None:
+        """Queries each fresh linear unit's release actually determines.
+
+        Linear groups may partially share rows; the executor releases each
+        row once, at the epsilon of the *first* fresh step that covers it.
+        A shared row's error therefore depends on that owning step's
+        allocation alone — so for the budget split it must be counted once,
+        in the owning unit, not once per group that reads it.  Returns
+        ``{step index: query count}`` attributing every fresh row (with
+        multiplicity across groups — two queries on one row are two errors)
+        to its owner; rows the session's release already holds are free and
+        attributed to no unit.  ``None`` (fall back to per-step query
+        counts) when there are no fresh linear steps or a release shape is
+        not row-inspectable.
+        """
+        linear = [
+            (i, s)
+            for i, s in enumerate(steps)
+            if s.family == "linear" and s.degradation is None
+        ]
+        if not any(s.epsilon > 0 for _, s in linear):
+            return None
+        held = existing if isinstance(existing, dict) else None
+        covered_by_key = held is None and "linear" in set(existing)
+        try:
+            from ..engine.engine import ReleasedLinear
+
+            release = held.get("linear") if held is not None else None
+            per_step: list[tuple[int, list, np.ndarray]] = []
+            owner: dict[bytes, int] = {}
+            for i, step in linear:
+                group = workload.group(step.group)
+                rows = ReleasedLinear._rows(group.weights)
+                if release is not None:
+                    fresh = np.asarray(release.missing_rows(group.weights), dtype=bool)
+                elif covered_by_key:
+                    fresh = np.zeros(len(rows), dtype=bool)
+                else:
+                    fresh = np.ones(len(rows), dtype=bool)
+                per_step.append((i, rows, fresh))
+                if step.epsilon > 0:
+                    for row, is_fresh in zip(rows, fresh):
+                        if is_fresh:
+                            owner.setdefault(row, i)
+            counts: dict[int, int] = {}
+            for _i, rows, fresh in per_step:
+                for row, is_fresh in zip(rows, fresh):
+                    if not is_fresh:
+                        continue
+                    j = owner.get(row)
+                    if j is not None:
+                        counts[j] = counts.get(j, 0) + 1
+            return counts
+        except Exception:
+            return None  # unknown release/weight shape: per-step counts
+
     def _unit_weights(
-        self, workload: Workload, steps: list[PlanStep], units: list[dict]
+        self,
+        workload: Workload,
+        steps: list[PlanStep],
+        units: list[dict],
+        linear_counts: dict[int, int] | None = None,
     ) -> list[float]:
         """Per-unit error coefficients ``w`` with MSE = ``w / eps^2``.
 
         A unit's weight sums, over every step it serves, the step's query
         count times its predicted per-query MSE scaled back to ``eps = 1``
         (the models are exactly ``c / eps^2``, so ``c = mse * eps^2``).
-        Unscoreable units inherit the median scored weight — they get a
-        middle-of-the-road share rather than starving or hoarding.
+        Fresh linear steps use the attributed count from
+        :meth:`_linear_query_attribution` instead of their raw query count,
+        so rows shared across groups weigh exactly once — in the unit whose
+        allocation determines their error.  Unscoreable units inherit the
+        median scored weight — they get a middle-of-the-road share rather
+        than starving or hoarding.
         """
         eps0 = self.engine.epsilon
         raw: list[float | None] = []
@@ -556,7 +626,10 @@ class Planner:
                     rmse = self._rescore(workload, step)
                 if rmse is None:
                     continue
-                coeff += step.n_queries * (rmse * eps0) ** 2
+                n_queries = step.n_queries
+                if linear_counts is not None and step.family == "linear":
+                    n_queries = linear_counts.get(i, step.n_queries)
+                coeff += n_queries * (rmse * eps0) ** 2
                 scored = True
             raw.append(coeff if scored and coeff > 0 else None)
         scored_vals = sorted(w for w in raw if w is not None)

@@ -108,7 +108,11 @@ class TestBudgetedPlanOp:
         # the linear group's answer is JSON null, the rest are numbers
         assert resp["answers"][-1] is None
         assert all(isinstance(a, float) for a in resp["answers"][:-1])
-        assert resp["meta"]["session_total"] == pytest.approx(0.4)
+        # the degraded compile charges the remaining-budget bucket's lower
+        # edge (floor(0.4 * 64)/64 of the total), not the raw remaining —
+        # the quantization that lets other constrained sessions share the
+        # cached plan (see PlanBudget.quantize_remaining)
+        assert resp["meta"]["session_total"] == pytest.approx(25 / 64)
         json.dumps(resp)  # the whole response stays JSON-clean
 
     def test_explain_previews_the_budgeted_split_without_spending(self, domain, service):
@@ -152,6 +156,38 @@ class TestBudgetedPlanOp:
         cache = resp["meta"]["plan_cache"]
         assert {"bytes", "max_bytes", "oversize"} <= set(cache)
         json.dumps(resp)
+
+    def test_budgeted_plans_shared_across_tenants_with_different_budgets(
+        self, domain, service
+    ):
+        # the hit-rate regression the remaining-budget quantization fixes:
+        # two tenants whose session budgets differ (5 vs 7) both cover the
+        # requested total, so their remainings are one ("fits",) cache
+        # class and the second tenant reuses the first's compiled plan.
+        # Keyed on the raw remaining float (the old behaviour), tenant 2
+        # could never hit a budgeted entry.
+        def request(session, budget):
+            return {
+                **_base(domain),
+                "op": "plan",
+                "queries": _workload_spec(),
+                "plan_budget": {"total": 1.0},
+                "session": session,
+                "budget": budget,
+                "seed": 0,
+            }
+
+        first = service.handle(request("tenant-1", 5.0))
+        assert first["ok"], first
+        assert first["meta"]["plan_cache"] == "miss"
+        second = service.handle(request("tenant-2", 7.0))
+        assert second["ok"], second
+        assert second["meta"]["plan_cache"] == "hit"
+        # the shared plan executes identically under the shared seed
+        assert second["answers"] == first["answers"]
+        assert second["meta"]["epsilon_spent"] == pytest.approx(
+            first["meta"]["epsilon_spent"]
+        )
 
     def test_budgeted_plans_cache_separately_from_unbudgeted(self, domain, service):
         base = {

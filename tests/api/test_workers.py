@@ -1,0 +1,143 @@
+"""The sharded multi-process runner: same answers at any worker count.
+
+The deployment claim behind ``serve-demo --workers``: session-sharded
+workers over one SQLite ledger serve a deterministic stream with
+
+* responses bitwise identical across worker counts (1 vs 2 vs 4),
+* every session's spends landing exactly once in the shared ledger
+  (repeats free, nothing lost, nothing double-charged),
+* worker failures surfacing as errors in the parent, not hangs.
+
+Factories are module-level so they pickle under any start method.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro import Database, Domain, Policy
+from repro.api import BlowfishService, ShardedServiceRunner, SQLiteLedgerStore
+from repro.api.workers import _stable_shard
+
+REPEATS = 4
+EPSILON = 0.5
+
+
+def _domain():
+    return Domain.integers("v", 60)
+
+
+def _worker_service(ledger_path):
+    domain = _domain()
+    rng = np.random.default_rng(2)
+    db = Database.from_indices(domain, rng.integers(0, domain.size, 500))
+    service = BlowfishService(ledger_store=SQLiteLedgerStore(ledger_path))
+    service.register_dataset("data", db)
+    return service
+
+
+def _stream_session(i):
+    # one session per distinct query: its requests are identical, so the
+    # stream is order-independent and worker-count-independent
+    return f"client-{i // REPEATS}"
+
+
+def _stream_request(i):
+    domain = _domain()
+    query = i // REPEATS
+    return {
+        "policy": Policy.line(domain).to_spec(),
+        "epsilon": EPSILON,
+        "dataset": {"name": "data"},
+        "queries": [{"kind": "range", "lo": query, "hi": 40 + query}],
+        "session": _stream_session(i),
+        "budget": 5.0,
+        "seed": 100 + query,
+    }
+
+
+def _failing_request(i):
+    raise RuntimeError("request factory exploded")
+
+
+def _run(tmp_path, workers, n):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    ledger_path = str(tmp_path / f"ledger-{workers}.sqlite")
+    runner = ShardedServiceRunner(
+        functools.partial(_worker_service, ledger_path), workers=workers
+    )
+    result = runner.run(n, _stream_request, shard_key=_stream_session)
+    return result, SQLiteLedgerStore(ledger_path)
+
+
+class TestShardAffinity:
+    def test_stable_shard_is_deterministic(self):
+        assert _stable_shard("client-3", 4) == _stable_shard("client-3", 4)
+        assert 0 <= _stable_shard("anything", 4) < 4
+
+    def test_equal_session_keys_share_a_worker(self):
+        runner = ShardedServiceRunner(lambda: None, workers=4)
+        shards = {runner.shard_of(_stream_session(i)) for i in range(REPEATS)}
+        assert len(shards) == 1  # all repeats of query 0
+
+
+class TestShardedRuns:
+    N = 4 * REPEATS  # 4 distinct queries, each asked 4 times
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_answers_bitwise_identical_to_single_worker(self, tmp_path, workers):
+        single, single_ledger = _run(tmp_path / "one", 1, self.N)
+        multi, multi_ledger = _run(tmp_path / "many", workers, self.N)
+
+        assert all(r["ok"] for r in single.responses), single.responses
+        assert all(r["ok"] for r in multi.responses), multi.responses
+        assert [r["answers"] for r in multi.responses] == [
+            r["answers"] for r in single.responses
+        ]
+        # budget truth agrees too: every client paid for exactly one release
+        assert sorted(single_ledger.keys()) == sorted(multi_ledger.keys())
+        for key in multi_ledger.keys():
+            assert multi_ledger.total(key) == pytest.approx(EPSILON)
+            assert single_ledger.total(key) == pytest.approx(EPSILON)
+
+    def test_repeats_are_free_and_nothing_is_lost(self, tmp_path):
+        result, ledger = _run(tmp_path, 2, self.N)
+        assert all(r["ok"] for r in result.responses)
+        # responses either executed (spending EPSILON), reused a release
+        # free, or are a coalesced share of an executing response — so the
+        # metadata only ever shows 0 or EPSILON ...
+        spends = {r["meta"]["epsilon_spent"] for r in result.responses}
+        assert spends <= {0.0, EPSILON}
+        # ... while the ledger holds the actual truth: exactly one release
+        # charged per client, however many times its query was asked
+        assert len(ledger.keys()) == 4
+        for key in ledger.keys():
+            assert ledger.total(key) == pytest.approx(EPSILON)
+            assert len(ledger.entries(key)) == 1
+
+    def test_result_metrics_are_populated(self, tmp_path):
+        result, _ledger = _run(tmp_path, 2, self.N)
+        assert result.n_workers == 2
+        assert result.wall_elapsed > 0
+        assert result.requests_per_second > 0
+        assert len(result.worker_elapsed) == 2
+        assert len(result.latencies) == self.N
+        assert result.latency_quantile(0.5) <= result.latency_quantile(0.99)
+        stats = result.tier_stats
+        assert stats["received"] == self.N
+        assert stats["executed"] + stats["coalesced"] == self.N
+        assert stats["coalesced"] > 0  # repeats in flight shared executions
+
+    def test_worker_failure_is_surfaced_not_hung(self, tmp_path):
+        runner = ShardedServiceRunner(
+            functools.partial(_worker_service, str(tmp_path / "l.sqlite")), workers=2
+        )
+        with pytest.raises(RuntimeError, match="request factory exploded"):
+            runner.run(4, _failing_request)
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ShardedServiceRunner(lambda: None, workers=0)

@@ -283,6 +283,89 @@ class TestDegradation:
         assert plan.total_epsilon == pytest.approx(1.0)
 
 
+class TestRemainingQuantization:
+    """``PlanBudget.quantize_remaining``: cacheable identity, safe effective."""
+
+    def test_none_passes_through(self):
+        assert PlanBudget(total=1.0).quantize_remaining(None) == (None, None)
+
+    def test_uniform_counts_whole_charges_exactly(self):
+        budget = PlanBudget(uniform=0.5)
+        assert budget.quantize_remaining(1.6) == (("units", 3), 1.5)
+        assert budget.quantize_remaining(0.49) == (("units", 0), 0.0)
+        # float dust below a whole multiple still buys the full count
+        token, effective = budget.quantize_remaining(1.5 - 1e-12)
+        assert token == ("units", 3) and effective == pytest.approx(1.5)
+
+    def test_covering_remainders_are_one_class(self):
+        budget = PlanBudget(total=1.0)
+        assert budget.quantize_remaining(5.0)[0] == ("fits",)
+        assert budget.quantize_remaining(7.0)[0] == ("fits",)
+        assert budget.quantize_remaining(1.0)[0] == ("fits",)
+        # the effective value is untouched where nothing degrades
+        assert budget.quantize_remaining(5.0)[1] == 5.0
+
+    def test_constrained_remainders_bucket_to_the_lower_edge(self):
+        budget = PlanBudget(total=1.0)
+        token, effective = budget.quantize_remaining(0.4)
+        assert token == ("bucket", 25)
+        assert effective == pytest.approx(25 / 64)
+        # everything in the bucket shares the identity and representative
+        assert budget.quantize_remaining(0.399)[0] == token
+        assert budget.quantize_remaining(25 / 64)[0] == token
+
+    def test_tiny_remainders_stay_exact(self):
+        budget = PlanBudget(total=1.0)
+        token, effective = budget.quantize_remaining(0.001)
+        assert token == ("exact", 0.001) and effective == 0.001
+
+    def test_effective_never_exceeds_remaining(self):
+        budget = PlanBudget(total=1.0)
+        rng = np.random.default_rng(0)
+        for remaining in rng.uniform(0, 2, 200):
+            _token, effective = budget.quantize_remaining(float(remaining))
+            assert effective <= remaining + 1e-9
+
+
+class TestSharedRowAllocation:
+    def test_shared_rows_are_charged_to_one_release_in_the_split(self, domain, db):
+        # two one-hot linear groups overlapping on two rows: the release
+        # compiled first serves the shared rows for both groups, so the
+        # error split must weight it by the queries it *answers* (6) and
+        # the second by its fresh-only remainder (2) — not 4:4
+        a = np.zeros((4, db.n))
+        a[np.arange(4), np.arange(4)] = 1.0
+        b = np.zeros((4, db.n))
+        b[np.arange(4), np.arange(2, 6)] = 1.0
+        wl = Workload(
+            domain,
+            [QueryGroup.linear(a, name="a"), QueryGroup.linear(b, name="b")],
+        )
+        engine = PolicyEngine(Policy.distance_threshold(domain, 2), 0.5)
+        plan = engine.plan(wl, budget=PlanBudget(total=1.0))
+        eps_a = plan.step_for("a").epsilon
+        eps_b = plan.step_for("b").epsilon
+        assert eps_a + eps_b == pytest.approx(1.0)
+        # cube-root rule on 6 vs 2 attributed queries (equal per-query cost)
+        assert eps_a / eps_b == pytest.approx(3.0 ** (1 / 3), rel=1e-6)
+
+    def test_disjoint_groups_split_evenly(self, domain, db):
+        # control: no overlap, equal sizes -> the old and new weighting agree
+        a = np.zeros((4, db.n))
+        a[np.arange(4), np.arange(4)] = 1.0
+        b = np.zeros((4, db.n))
+        b[np.arange(4), np.arange(10, 14)] = 1.0
+        wl = Workload(
+            domain,
+            [QueryGroup.linear(a, name="a"), QueryGroup.linear(b, name="b")],
+        )
+        engine = PolicyEngine(Policy.distance_threshold(domain, 2), 0.5)
+        plan = engine.plan(wl, budget=PlanBudget(total=1.0))
+        assert plan.step_for("a").epsilon == pytest.approx(
+            plan.step_for("b").epsilon
+        )
+
+
 class TestBudgetedPlanSpecs:
     def test_round_trip_preserves_budget_and_degradation(self, domain, db):
         engine = PolicyEngine(Policy.distance_threshold(domain, 2), 0.5)
