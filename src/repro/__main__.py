@@ -151,6 +151,7 @@ def _cmd_serve_demo_workers(args: argparse.Namespace) -> int:
         runner = ShardedServiceRunner(
             functools.partial(_demo_worker_service, ledger_path, args.seed),
             workers=args.workers,
+            metrics=args.metrics,
         )
         n = args.requests
         print(
@@ -180,11 +181,35 @@ def _cmd_serve_demo_workers(args: argparse.Namespace) -> int:
         )
         ledger = SQLiteLedgerStore(ledger_path)
         try:
-            print("ledger totals (epsilon spent per tenant session):")
-            for key in ledger.keys():
-                print(f"  {key}: {ledger.total(key):g}")
+            if args.metrics:
+                from .api import parallel_aware_totals
+                from .core.domain import Domain
+                from .core.policy import Policy
+
+                policy = Policy.line(Domain.integers("salary_bucket", 100))
+                report = parallel_aware_totals(ledger, policy)
+                print(
+                    "ledger totals (epsilon spent per tenant session, "
+                    "sequential vs parallel-aware):"
+                )
+                for key in sorted(report):
+                    row = report[key]
+                    print(
+                        f"  {key}: sequential {row['sequential']:g}, "
+                        f"parallel-aware {row['parallel_aware']:g} "
+                        f"({row['scoped_entries']}/{row['entries']} scoped entries)"
+                    )
+            else:
+                print("ledger totals (epsilon spent per tenant session):")
+                for key in ledger.keys():
+                    print(f"  {key}: {ledger.total(key):g}")
         finally:
             ledger.close()
+        if args.metrics:
+            from . import obs
+
+            print("\n--- merged worker metrics (Prometheus text format)")
+            print(obs.render_prometheus(result.metrics), end="")
     return 0
 
 
@@ -194,6 +219,10 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     if args.workers:
         return _cmd_serve_demo_workers(args)
 
+    if args.metrics:
+        from . import obs
+
+        obs.configure(metrics=True)
     service, domain, db = _demo_service(args.seed)
     print(f"demo dataset: {db.n} individuals over {domain.size} salary buckets\n")
 
@@ -244,6 +273,10 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         "queries": {"kind": "range_batch", "los": [10, 30, 55], "his": [50, 90, 80]},
         "seed": args.seed,
     }
+    if args.metrics:
+        # opt into a per-request trace: the response carries meta.trace with
+        # the service -> session -> planner -> executor -> mechanism spans
+        planned["trace"] = True
     requests += [
         (
             "a planned workload: candidates scored, plan compiled and executed",
@@ -260,6 +293,12 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         print(f">>> {json.dumps(request)[:120]}...")
         print(json.dumps(service.handle(request), indent=2))
         print()
+
+    if args.metrics:
+        from . import obs
+
+        print("--- service metrics (Prometheus text format)")
+        print(obs.render_prometheus(service.metrics_snapshot()))
 
     if args.stdin:
         print("--- serving JSON-lines requests from stdin (dataset 'demo'; EOF to stop)")
@@ -387,6 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo_p.add_argument(
         "--requests", type=int, default=64,
         help="stream length for --workers (default 64)",
+    )
+    demo_p.add_argument(
+        "--metrics", action="store_true",
+        help="enable repro.obs: trace the planned request (meta.trace) and "
+        "print the metrics report — merged across workers with --workers, "
+        "plus the parallel-aware per-tenant ledger totals",
     )
     demo_p.set_defaults(func=_cmd_serve_demo)
 

@@ -24,7 +24,9 @@ against the benchmark suite (``benchmarks/calibrate_cost_model.py``).
 
 from __future__ import annotations
 
+import contextvars
 import math
+from contextlib import contextmanager
 
 from ..mechanisms.ordered_hierarchical import (
     oh_error_constants,
@@ -51,6 +53,7 @@ __all__ = [
     "active_calibration_family",
     "set_active_calibration",
     "register_calibration",
+    "calibration",
 ]
 
 
@@ -181,22 +184,54 @@ COST_MODEL_FITS: dict[str, dict] = {
 
 _active_fit = "synthetic-grid"
 
+#: Scoped override of the active fit.  A contextvar rather than a global so
+#: a multi-tenant service can plan each request under the fit calibrated
+#: for *that request's dataset family* (``repro.api.BlowfishService``
+#: auto-selects per registered dataset) without perturbing concurrent
+#: requests or the process-wide default.
+_fit_override: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_calibration_fit", default=None
+)
+
+
+def _current_fit() -> str:
+    override = _fit_override.get()
+    return override if override is not None else _active_fit
+
+
+@contextmanager
+def calibration(family: str):
+    """Scoped fit override: plan/score under ``family`` for the duration
+    of the ``with`` block (this context only — concurrent requests keep
+    their own fit).  The serving tier uses this to auto-select the fit
+    calibrated for each registered dataset family."""
+    if family not in COST_MODEL_FITS:
+        known = ", ".join(sorted(COST_MODEL_FITS))
+        raise KeyError(f"unknown calibration family {family!r} (known: {known})")
+    token = _fit_override.set(family)
+    try:
+        yield
+    finally:
+        _fit_override.reset(token)
+
 
 def active_calibration_family() -> str:
-    """Name of the active fit (plan-cache keys, plan provenance stamps)."""
-    return _active_fit
+    """Name of the active fit (plan-cache keys, plan provenance stamps).
+    Honours a scoped :func:`calibration` override before the process-wide
+    :func:`set_active_calibration` choice."""
+    return _current_fit()
 
 
 def active_calibration() -> dict:
     """The active cost-model fit, JSON-ready (surfaced by ``"describe"``
     and ``Plan.explain()``): family name, provenance, constants keyed
     ``"<strategy>"`` with ``raw``/``inference`` entries, theta exponents."""
-    fit = COST_MODEL_FITS[_active_fit]
+    fit = COST_MODEL_FITS[_current_fit()]
     constants: dict[str, dict] = {}
     for (strategy, consistent), value in sorted(fit["constants"].items()):
         constants.setdefault(strategy, {})["inference" if consistent else "raw"] = value
     return {
-        "family": _active_fit,
+        "family": _current_fit(),
         "provenance": fit["provenance"],
         "constants": constants,
         "theta_exponents": dict(fit.get("theta_exponents", {})),
@@ -246,10 +281,11 @@ def calibration_factor(
 
     ``theta`` feeds the with-inference power law for the prefix-structured
     mechanisms; omit it (or pass ``None``) for the flat constant alone.
-    Constants come from the *active* fit (:func:`set_active_calibration`);
-    the default is the shipped synthetic-grid measurement.
+    Constants come from the *active* fit (a scoped :func:`calibration`
+    override, else :func:`set_active_calibration`); the default is the
+    shipped synthetic-grid measurement.
     """
-    fit = COST_MODEL_FITS[_active_fit]
+    fit = COST_MODEL_FITS[_current_fit()]
     factor = fit["constants"].get((strategy, bool(consistent)), 1.0)
     if consistent and theta is not None and theta > 1:
         factor *= theta ** -fit.get("theta_exponents", {}).get(strategy, 0.0)

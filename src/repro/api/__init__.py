@@ -51,7 +51,13 @@ safety" section for the full guarantees.
 """
 
 from .async_service import AsyncBlowfishService, serve_many
-from .ledger import InMemoryLedgerStore, LedgerStore, SQLiteLedgerStore
+from .ledger import (
+    InMemoryLedgerStore,
+    LedgerStore,
+    LedgerStoreError,
+    SQLiteLedgerStore,
+    parallel_aware_totals,
+)
 from .pool import EnginePool, PlanCache
 from .service import BlowfishService
 from .session import Session
@@ -65,6 +71,7 @@ __all__ = [
     "EnginePool",
     "InMemoryLedgerStore",
     "LedgerStore",
+    "LedgerStoreError",
     "LockStripes",
     "PlanCache",
     "SQLiteLedgerStore",
@@ -74,6 +81,7 @@ __all__ = [
     "SpecError",
     "SPEC_VERSION",
     "StripedLRU",
+    "parallel_aware_totals",
     "serve_many",
     "to_spec",
     "from_spec",

@@ -46,6 +46,7 @@ import json
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import suppress
 
+from .. import obs
 from .service import BlowfishService
 
 __all__ = ["AsyncBlowfishService", "serve_many"]
@@ -130,11 +131,13 @@ class AsyncBlowfishService:
     async def handle(self, request: dict) -> dict:
         """Serve one request; equal in-flight requests execute once."""
         self._stats["received"] += 1
+        obs.metrics().counter("async_requests_total", outcome="received").inc()
         digest = self._digest(request) if self._coalescable(request) else None
         if digest is not None:
             inflight = self._inflight.get(digest)
             if inflight is not None:
                 self._stats["coalesced"] += 1
+                obs.metrics().counter("async_requests_total", outcome="coalesced").inc()
                 return await inflight
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
@@ -170,6 +173,12 @@ class AsyncBlowfishService:
                 except asyncio.TimeoutError:
                     break
             self._stats["batches"] += 1
+            reg = obs.metrics()
+            reg.counter("async_batches_total").inc()
+            reg.histogram(
+                "async_batch_size",
+                buckets=(1, 2, 4, 8, 16, 32, 64),
+            ).observe(len(batch))
             task = loop.create_task(self._run_batch(batch))
             # strong ref until done, else the loop may GC a running batch
             self._batch_tasks.add(task)
@@ -189,6 +198,7 @@ class AsyncBlowfishService:
             self._executor, work
         )
         self._stats["executed"] += len(batch)
+        obs.metrics().counter("async_requests_total", outcome="executed").inc(len(batch))
         for (request, future, digest), (ok, value) in zip(batch, results):
             if digest is not None and self._inflight.get(digest) is future:
                 del self._inflight[digest]

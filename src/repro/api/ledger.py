@@ -36,11 +36,31 @@ import json
 import os
 import sqlite3
 import threading
+import time
 
-from ..core.composition import BUDGET_SLACK, BudgetExceededError, LedgerEntry
+from .. import obs
+from ..core.composition import (
+    BUDGET_SLACK,
+    BudgetExceededError,
+    LedgerEntry,
+    PrivacyAccountant,
+)
 from .striping import LockStripes
 
-__all__ = ["LedgerStore", "InMemoryLedgerStore", "SQLiteLedgerStore"]
+__all__ = [
+    "LedgerStore",
+    "InMemoryLedgerStore",
+    "SQLiteLedgerStore",
+    "LedgerStoreError",
+    "parallel_aware_totals",
+]
+
+
+class LedgerStoreError(RuntimeError):
+    """A ledger backend failed in a way that is not a budget refusal —
+    corrupted database file, writer slot never freed, schema missing.
+    Raised instead of leaking backend-specific exceptions (or hanging) so
+    operators see which ledger file is broken and why."""
 
 
 class LedgerStore:
@@ -115,10 +135,13 @@ class InMemoryLedgerStore(LedgerStore):
         ids: frozenset[int] | None = None,
     ) -> float:
         epsilon = _check_epsilon(epsilon)
+        reg = obs.metrics()
+        reg.counter("ledger_charge_attempts_total", backend="memory").inc()
         with self._stripes.lock_for(key):
             entries = self._entries.setdefault(key, [])
             new_total = sum(e.epsilon for e in entries) + epsilon
             if budget is not None and new_total > budget + BUDGET_SLACK:
+                reg.counter("ledger_charge_denials_total", backend="memory").inc()
                 raise BudgetExceededError(epsilon, new_total, budget)
             entries.append(LedgerEntry(label, epsilon, ids))
             return new_total
@@ -173,6 +196,13 @@ class SQLiteLedgerStore(LedgerStore):
     only guarantees the arithmetic is race-free.
     """
 
+    #: How many times ``charge`` re-attempts a transiently locked database
+    #: before giving up with :class:`LedgerStoreError`.  ``busy_timeout``
+    #: already absorbs writer contention; the retries exist so a stray
+    #: external lock (another process holding the file past the timeout)
+    #: surfaces as a clear bounded-latency error rather than a hang.
+    CHARGE_RETRIES = 3
+
     def __init__(self, path: str, *, timeout: float = 30.0):
         self.path = str(path)
         self.timeout = float(timeout)
@@ -180,18 +210,24 @@ class SQLiteLedgerStore(LedgerStore):
         # create the schema eagerly so readers of a fresh file see a table,
         # not an error, and concurrent first-chargers don't race the DDL
         con = self._conn()
-        con.execute(
-            "CREATE TABLE IF NOT EXISTS ledger_spends ("
-            " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
-            " key TEXT NOT NULL,"
-            " label TEXT NOT NULL DEFAULT '',"
-            " epsilon REAL NOT NULL,"
-            " ids TEXT)"
-        )
-        con.execute(
-            "CREATE INDEX IF NOT EXISTS ledger_spends_key ON ledger_spends(key)"
-        )
-        con.commit()
+        try:
+            con.execute(
+                "CREATE TABLE IF NOT EXISTS ledger_spends ("
+                " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+                " key TEXT NOT NULL,"
+                " label TEXT NOT NULL DEFAULT '',"
+                " epsilon REAL NOT NULL,"
+                " ids TEXT)"
+            )
+            con.execute(
+                "CREATE INDEX IF NOT EXISTS ledger_spends_key ON ledger_spends(key)"
+            )
+            con.commit()
+        except sqlite3.DatabaseError as exc:
+            raise LedgerStoreError(
+                f"ledger database {self.path!r} is unusable "
+                f"(corrupted file or not a SQLite database): {exc}"
+            ) from exc
 
     def _conn(self) -> sqlite3.Connection:
         # connections must not cross fork(): a child inheriting the parent's
@@ -199,9 +235,16 @@ class SQLiteLedgerStore(LedgerStore):
         pid = os.getpid()
         con = getattr(self._local, "con", None)
         if con is None or self._local.pid != pid:
-            con = sqlite3.connect(self.path, timeout=self.timeout, isolation_level=None)
-            con.execute("PRAGMA journal_mode=WAL")
-            con.execute(f"PRAGMA busy_timeout={int(self.timeout * 1000)}")
+            try:
+                con = sqlite3.connect(
+                    self.path, timeout=self.timeout, isolation_level=None
+                )
+                con.execute("PRAGMA journal_mode=WAL")
+                con.execute(f"PRAGMA busy_timeout={int(self.timeout * 1000)}")
+            except sqlite3.Error as exc:
+                raise LedgerStoreError(
+                    f"cannot open ledger database {self.path!r}: {exc}"
+                ) from exc
             self._local.con = con
             self._local.pid = pid
         return con
@@ -216,6 +259,35 @@ class SQLiteLedgerStore(LedgerStore):
         ids: frozenset[int] | None = None,
     ) -> float:
         epsilon = _check_epsilon(epsilon)
+        reg = obs.metrics()
+        reg.counter("ledger_charge_attempts_total", backend="sqlite").inc()
+        last_exc: sqlite3.OperationalError | None = None
+        for attempt in range(self.CHARGE_RETRIES + 1):
+            if attempt:
+                reg.counter("ledger_charge_retries_total", backend="sqlite").inc()
+                time.sleep(0.01 * attempt)
+            try:
+                return self._charge_once(key, epsilon, label, budget, ids)
+            except BudgetExceededError:
+                reg.counter("ledger_charge_denials_total", backend="sqlite").inc()
+                raise
+            except sqlite3.OperationalError as exc:
+                # "database is locked" after busy_timeout already elapsed:
+                # a writer is stuck beyond our patience — retry briefly,
+                # then fail loudly instead of hanging the request thread
+                last_exc = exc
+            except sqlite3.DatabaseError as exc:
+                raise LedgerStoreError(
+                    f"ledger database {self.path!r} failed during charge "
+                    f"(corrupted or tampered file?): {exc}"
+                ) from exc
+        raise LedgerStoreError(
+            f"ledger database {self.path!r} stayed locked through "
+            f"{self.CHARGE_RETRIES + 1} charge attempts "
+            f"(busy_timeout={self.timeout}s each): {last_exc}"
+        ) from last_exc
+
+    def _charge_once(self, key, epsilon, label, budget, ids) -> float:
         con = self._conn()
         con.execute("BEGIN IMMEDIATE")
         try:
@@ -236,27 +308,43 @@ class SQLiteLedgerStore(LedgerStore):
                 ),
             )
         except BaseException:
-            con.execute("ROLLBACK")
+            try:
+                con.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass  # the original failure is the interesting one
             raise
         con.execute("COMMIT")
         return new_total
 
     def total(self, key: str) -> float:
-        (spent,) = (
-            self._conn()
-            .execute(
-                "SELECT COALESCE(SUM(epsilon), 0.0) FROM ledger_spends WHERE key = ?",
-                (key,),
+        try:
+            (spent,) = (
+                self._conn()
+                .execute(
+                    "SELECT COALESCE(SUM(epsilon), 0.0) FROM ledger_spends WHERE key = ?",
+                    (key,),
+                )
+                .fetchone()
             )
-            .fetchone()
-        )
+        except sqlite3.DatabaseError as exc:
+            raise LedgerStoreError(
+                f"ledger database {self.path!r} failed reading totals: {exc}"
+            ) from exc
         return float(spent)
 
     def entries(self, key: str) -> list[LedgerEntry]:
-        rows = self._conn().execute(
-            "SELECT label, epsilon, ids FROM ledger_spends WHERE key = ? ORDER BY seq",
-            (key,),
-        )
+        try:
+            rows = list(
+                self._conn().execute(
+                    "SELECT label, epsilon, ids FROM ledger_spends"
+                    " WHERE key = ? ORDER BY seq",
+                    (key,),
+                )
+            )
+        except sqlite3.DatabaseError as exc:
+            raise LedgerStoreError(
+                f"ledger database {self.path!r} failed reading entries: {exc}"
+            ) from exc
         return [
             LedgerEntry(
                 label,
@@ -267,9 +355,16 @@ class SQLiteLedgerStore(LedgerStore):
         ]
 
     def keys(self) -> list[str]:
-        rows = self._conn().execute(
-            "SELECT DISTINCT key FROM ledger_spends ORDER BY key"
-        )
+        try:
+            rows = list(
+                self._conn().execute(
+                    "SELECT DISTINCT key FROM ledger_spends ORDER BY key"
+                )
+            )
+        except sqlite3.DatabaseError as exc:
+            raise LedgerStoreError(
+                f"ledger database {self.path!r} failed listing keys: {exc}"
+            ) from exc
         return [key for (key,) in rows]
 
     def clear(self, key: str | None = None) -> None:
@@ -289,3 +384,34 @@ class SQLiteLedgerStore(LedgerStore):
 
     def __repr__(self) -> str:
         return f"SQLiteLedgerStore({self.path!r})"
+
+
+def parallel_aware_totals(store: LedgerStore, policy) -> dict[str, dict]:
+    """Per-key composition report over a shared ledger store.
+
+    Reads every key's entries back — including the ``ids`` scopes that
+    :class:`SQLiteLedgerStore` serializes but nothing consumed until now —
+    and reports, per key, the worst-case sequential total (Theorem 4.1)
+    next to the parallel-composition-aware total (Theorems 4.2/4.3: spends
+    on pairwise-disjoint id sets cost their max when ``policy`` admits it).
+    The gap between the two is exactly the budget a deployment overstates
+    by ignoring spend scopes.
+
+    ``policy`` is the Blowfish policy the parallel-composition hypotheses
+    are checked against; ledger keys are opaque digests, so the caller —
+    who bound keys to sessions — supplies it.  Returns::
+
+        {key: {"sequential": float, "parallel_aware": float,
+               "entries": int, "scoped_entries": int}}
+    """
+    report: dict[str, dict] = {}
+    for key in store.keys():
+        accountant = PrivacyAccountant(policy, store=store, key=key)
+        entries = store.entries(key)
+        report[key] = {
+            "sequential": accountant.sequential_total(),
+            "parallel_aware": accountant.parallel_aware_total(),
+            "entries": len(entries),
+            "scoped_entries": sum(1 for e in entries if e.ids is not None),
+        }
+    return report

@@ -75,10 +75,14 @@ from __future__ import annotations
 
 import hashlib
 import math
+from contextlib import nullcontext
 from threading import Lock
+from time import perf_counter
 
 import numpy as np
 
+from .. import obs
+from ..analysis.bounds import COST_MODEL_FITS, calibration
 from ..core.composition import BudgetExceededError
 from ..core.database import Database
 from ..core.policy import Policy
@@ -92,7 +96,25 @@ from .session import Session
 from .specs import spec_digest
 from .striping import StripedLRU
 
-__all__ = ["BlowfishService"]
+__all__ = ["BlowfishService", "default_calibration_for"]
+
+
+def default_calibration_for(name: str) -> str | None:
+    """Best-effort dataset-name → registered cost-model fit mapping.
+
+    A registered fit family whose leading token appears in the dataset name
+    (``"uniform-ages"`` → ``"uniform"``) is auto-selected; unknown names
+    return ``None`` and plan under the process default.  Callers with real
+    knowledge pass ``calibration=`` to :meth:`BlowfishService
+    .register_dataset` instead of relying on this heuristic.
+    """
+    lowered = name.lower()
+    for family in sorted(COST_MODEL_FITS):
+        if family == "synthetic-grid":
+            continue  # the process default; never an auto-upgrade
+        if family.split("-")[0] in lowered:
+            return family
+    return None
 
 
 class BlowfishService:
@@ -136,16 +158,52 @@ class BlowfishService:
         self._sessions = StripedLRU(max_sessions)
         self._policies = StripedLRU(max_policies)
         self._datasets_lock = Lock()
+        self._dataset_fits: dict[str, str] = {}
 
     # -- server-side state ----------------------------------------------------------
-    def register_dataset(self, name: str, db: Database) -> None:
-        """Make ``db`` addressable by requests as ``{"dataset": {"name": name}}``."""
+    def register_dataset(
+        self, name: str, db: Database, *, calibration: str | None = None
+    ) -> None:
+        """Make ``db`` addressable by requests as ``{"dataset": {"name": name}}``.
+
+        ``calibration`` pins the cost-model fit family
+        (:data:`~repro.analysis.bounds.COST_MODEL_FITS`) this dataset's
+        plans are scored under — per request, scoped, without touching the
+        process-wide :func:`~repro.analysis.bounds.set_active_calibration`
+        default other tenants plan against.  Omitted, the fit is
+        auto-selected from the dataset name via
+        :func:`default_calibration_for` (no match → process default).
+        """
+        if calibration is None:
+            calibration = default_calibration_for(name)
+        elif calibration not in COST_MODEL_FITS:
+            known = ", ".join(sorted(COST_MODEL_FITS))
+            raise ValueError(
+                f"unknown calibration family {calibration!r} (known: {known})"
+            )
         with self._datasets_lock:
             self._datasets[name] = db
+            if calibration is not None:
+                self._dataset_fits[name] = calibration
+            else:
+                self._dataset_fits.pop(name, None)
 
     def datasets(self) -> tuple[str, ...]:
         with self._datasets_lock:
             return tuple(self._datasets)
+
+    def dataset_calibration(self, name: str) -> str | None:
+        """The fit family ``name``'s plans are scored under, or None."""
+        with self._datasets_lock:
+            return self._dataset_fits.get(name)
+
+    def _calibration_ctx(self, dataset_key):
+        """Scoped fit override for a request on a registered dataset."""
+        if dataset_key is not None and dataset_key[0] == "name":
+            fit = self.dataset_calibration(dataset_key[1])
+            if fit is not None:
+                return calibration(fit)
+        return nullcontext()
 
     # -- the boundary ----------------------------------------------------------------
     def handle(self, request: dict) -> dict:
@@ -154,15 +212,55 @@ class BlowfishService:
         no noise (earlier groups of the same request may already be
         charged) and is reported as ``error.kind == "budget_exhausted"``;
         internal bugs (unexpected ``RuntimeError`` s) propagate — they are
-        not client errors."""
+        not client errors.
+
+        Observability: every call records ``requests_total{op,outcome}``
+        and a ``request_seconds{op}`` latency observation in the active
+        metrics registry (no-ops unless :func:`repro.obs.configure` turned
+        metrics on).  A request carrying ``"trace": true`` opts into
+        per-request tracing — the response's ``meta.trace`` holds the
+        span tree (service → session → planner → executor → mechanism,
+        with the epsilon charged per release as a span attribute) — even
+        when process-wide tracing stays off.
+        """
+        is_dict = isinstance(request, dict)
+        op = request.get("op", "answer") if is_dict else "invalid"
+        if not isinstance(op, str):
+            op = "invalid"
+        req_tracer = token = None
+        if is_dict and request.get("trace") is True:
+            req_tracer = obs.Tracer()
+            token = obs.push_tracer(req_tracer)
+        tracer = obs.tracer()
+        start = perf_counter()
+        outcome = "ok"
         try:
-            return self._dispatch(request)
-        except SpecError as exc:
-            return _error(exc.field, str(exc))
-        except BudgetExceededError as exc:
-            return _error(None, str(exc), kind="budget_exhausted")
-        except (ValueError, TypeError, LookupError, OverflowError) as exc:
-            return _error(None, str(exc))
+            with tracer.span("service.handle", op=op) as span:
+                if is_dict and request.get("request_id") is not None:
+                    span.set(request_id=str(request["request_id"]))
+                try:
+                    response = self._dispatch(request)
+                except SpecError as exc:
+                    outcome = "invalid_request"
+                    response = _error(exc.field, str(exc))
+                except BudgetExceededError as exc:
+                    outcome = "budget_exhausted"
+                    response = _error(None, str(exc), kind="budget_exhausted")
+                except (ValueError, TypeError, LookupError, OverflowError) as exc:
+                    outcome = "invalid_request"
+                    response = _error(None, str(exc))
+                span.set(outcome=outcome)
+        finally:
+            if token is not None:
+                obs.pop_tracer(token)
+        reg = obs.metrics()
+        reg.counter("requests_total", op=op, outcome=outcome).inc()
+        reg.histogram("request_seconds", op=op).observe(perf_counter() - start)
+        if req_tracer is not None:
+            roots = req_tracer.take()
+            if roots:
+                response.setdefault("meta", {})["trace"] = roots[0].to_dict()
+        return response
 
     def _dispatch(self, request: dict) -> dict:
         if not isinstance(request, dict):
@@ -182,6 +280,18 @@ class BlowfishService:
         )
 
     # -- shared request plumbing ----------------------------------------------------
+    @staticmethod
+    def _annotate_request_span(engine, session_id, engine_cache) -> None:
+        """Stamp tenant identity onto the request's root span (if tracing)."""
+        span = obs.tracer().current()
+        if span is not None:
+            span.set(
+                policy_fingerprint=engine.fingerprint,
+                epsilon=engine.epsilon,
+                session=session_id,
+                engine_cache=engine_cache,
+            )
+
     def _engine_for(self, request: dict):
         policy = self._policy_for(spec_get(request, "policy", dict, "request"))
         epsilon = spec_get(request, "epsilon", (int, float), "request")
@@ -303,6 +413,7 @@ class BlowfishService:
         session, session_id, budget_note = self._session_for(
             request, engine, db, dataset_key, options
         )
+        self._annotate_request_span(engine, session_id, engine_cache)
         rng = ensure_rng(spec_get(request, "seed", int, "request", required=False))
 
         ranges, queries = self._parse_queries(request, domain)
@@ -343,17 +454,21 @@ class BlowfishService:
         session, session_id, budget_note = self._session_for(
             request, engine, db, dataset_key, options
         )
+        self._annotate_request_span(engine, session_id, engine_cache)
         rng = ensure_rng(spec_get(request, "seed", int, "request", required=False))
         workload = self._parse_workload(request, engine.policy.domain)
         # one lock acquisition for compile + run: the budget consulted at
         # planning time is the budget the execution spends against, even
-        # under concurrent requests on this session
-        plan, plan_cache, answers, call_meta = session.plan_execute_with_meta(
-            workload,
-            optimize=self._plan_mode(request) == "auto",
-            budget=self._parse_plan_budget(request),
-            rng=rng,
-        )
+        # under concurrent requests on this session.  The dataset's
+        # calibrated fit scopes the whole compile+run (the plan-cache key
+        # reads the active family, so cached plans stay fit-correct).
+        with self._calibration_ctx(dataset_key):
+            plan, plan_cache, answers, call_meta = session.plan_execute_with_meta(
+                workload,
+                optimize=self._plan_mode(request) == "auto",
+                budget=self._parse_plan_budget(request),
+                rng=rng,
+            )
         meta = {
             "n_queries": len(workload),
             "policy_fingerprint": engine.fingerprint,
@@ -403,26 +518,30 @@ class BlowfishService:
         optimize = self._plan_mode(request) == "auto"
         budget = self._parse_plan_budget(request)
         session = None
+        dataset_key = None
         session_id = spec_get(request, "session", str, "request", required=False)
-        if session_id is not None and "dataset" in request:
+        if "dataset" in request:
             _, dataset_key = self._dataset_for(request, engine.policy)
+        if session_id is not None and dataset_key is not None:
             # peek: a read-only preview must neither create the session nor
             # refresh its LRU slot
             session = self._sessions.peek(
                 self._session_key(session_id, engine, dataset_key, options)
             )
-        if session is not None:
-            # through the session so its lock covers reading the releases a
-            # concurrent request on the same session may be mutating (and so
-            # a budgeted preview consults the same remaining ledger budget
-            # op "plan" would)
-            plan, plan_cache = session.plan_with_meta(
-                workload, optimize=optimize, budget=budget
-            )
-        else:
-            plan, plan_cache = engine.plan_with_meta(
-                workload, optimize=optimize, budget=budget
-            )
+        self._annotate_request_span(engine, session_id, engine_cache)
+        with self._calibration_ctx(dataset_key):
+            if session is not None:
+                # through the session so its lock covers reading the releases a
+                # concurrent request on the same session may be mutating (and so
+                # a budgeted preview consults the same remaining ledger budget
+                # op "plan" would)
+                plan, plan_cache = session.plan_with_meta(
+                    workload, optimize=optimize, budget=budget
+                )
+            else:
+                plan, plan_cache = engine.plan_with_meta(
+                    workload, optimize=optimize, budget=budget
+                )
         meta = {
             "n_queries": len(workload),
             "policy_fingerprint": engine.fingerprint,
@@ -475,8 +594,71 @@ class BlowfishService:
             "sensitivity_cache": engine.cache_info(),
             # which measured calibration the planner's scores come from
             "cost_model": active_calibration(),
+            "dataset_calibrations": dict(self._dataset_fits),
+            # full observability snapshot: registry instruments + this
+            # service's cache/ledger series (JSON-ready; also renderable
+            # via repro.obs.render_prometheus)
+            "metrics": self.metrics_snapshot(),
         }
         return {"ok": True, "op": "describe", "meta": meta}
+
+    # -- observability ---------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """One JSON-ready metrics report for this service.
+
+        The active registry's instruments (request counters/latencies,
+        ledger charge series, plan/release counters) plus series derived
+        from this service's own state: hit/miss/eviction counters for the
+        session/policy/engine/plan maps (their striped-LRU internals stay
+        untouched — the registry view is read out here, at snapshot time)
+        and per-ledger-key spent-epsilon budget gauges read through the
+        :class:`~repro.api.ledger.LedgerStore` seam.  The shape is what
+        :func:`repro.obs.merge_snapshots` merges across workers and
+        :func:`repro.obs.render_prometheus` renders.
+        """
+        snap = obs.metrics().snapshot()
+        counters = snap["counters"]
+        gauges = snap["gauges"]
+        maps = {
+            "sessions": self._sessions.stats(),
+            "policies": self._policies.stats(),
+            "engines": self.pool.stats(),
+            "plans": self.pool.plan_cache.stats(),
+        }
+        for map_name, stats in sorted(maps.items()):
+            for stat_key, series in (
+                ("hits", "lru_hits_total"),
+                ("misses", "lru_misses_total"),
+                ("evictions", "lru_evictions_total"),
+                ("oversize", "lru_oversize_total"),
+            ):
+                if stat_key in stats:
+                    counters.append(
+                        {
+                            "name": series,
+                            "labels": {"map": map_name},
+                            "value": float(stats[stat_key]),
+                        }
+                    )
+            gauges.append(
+                {
+                    "name": "lru_size",
+                    "labels": {"map": map_name},
+                    "value": float(stats.get("size", 0)),
+                }
+            )
+        if self.ledger_store is not None:
+            for key in self.ledger_store.keys():
+                gauges.append(
+                    {
+                        "name": "ledger_spent_epsilon",
+                        "labels": {"key": key},
+                        "value": float(self.ledger_store.total(key)),
+                    }
+                )
+        counters.sort(key=lambda s: (s["name"], sorted(s["labels"].items())))
+        gauges.sort(key=lambda s: (s["name"], sorted(s["labels"].items())))
+        return snap
 
     @staticmethod
     def _strategies(engine, families) -> dict:

@@ -18,6 +18,7 @@ from threading import RLock
 
 import numpy as np
 
+from .. import obs
 from ..core.composition import PrivacyAccountant
 from ..core.database import Database
 from ..core.queries import Query
@@ -162,17 +163,20 @@ class Session:
     def plan_with_meta(self, workload, *, optimize: bool = True, budget=None):
         """:meth:`plan`, plus the plan-cache outcome (``"hit"``/``"miss"``/
         ``"uncached"``) for this compile."""
-        with self._lock:
+        with self._lock, obs.tracer().span("session.plan") as span:
             remaining = None
             if budget is not None and self.accountant.budget is not None:
                 remaining = self.accountant.remaining()
-            return self.engine.plan_with_meta(
+                span.set(remaining_budget=remaining)
+            plan, plan_cache = self.engine.plan_with_meta(
                 workload,
                 optimize=optimize,
                 existing=self.releases,
                 budget=budget,
                 remaining=remaining,
             )
+            span.set(plan_cache=plan_cache)
+            return plan, plan_cache
 
     def plan_execute_with_meta(
         self, workload, *, optimize: bool = True, budget=None, rng=None
@@ -188,7 +192,9 @@ class Session:
         get the same guarantee only if nothing else touches the session in
         between; the serving façade always goes through this method.
         """
-        with self._lock:
+        with self._lock, obs.tracer().span(
+            "session.plan_execute", client=self.client_id
+        ):
             plan, plan_cache = self.plan_with_meta(
                 workload, optimize=optimize, budget=budget
             )
@@ -206,7 +212,7 @@ class Session:
         """
         from ..plan import Executor
 
-        with self._lock:
+        with self._lock, obs.tracer().span("session.execute") as span:
             result = Executor(self.engine).run(
                 plan, self.db, rng=rng, releases=self.releases, accountant=self.accountant
             )
@@ -218,6 +224,12 @@ class Session:
             degraded = plan.degraded()
             if degraded:
                 meta["degraded"] = degraded
+            span.set(
+                epsilon_spent=result.epsilon_spent,
+                session_total=meta["session_total"],
+            )
+            if result.epsilon_spent:
+                obs.metrics().counter("epsilon_spent_total").inc(result.epsilon_spent)
         return result.answers, meta
 
     def _metered(self, call, families) -> tuple[np.ndarray, dict]:
@@ -231,7 +243,9 @@ class Session:
         concurrent request can never interleave a spend between the call
         and the totals reported for it.
         """
-        with self._lock:
+        with self._lock, obs.tracer().span(
+            "session.answer", client=self.client_id
+        ) as span:
             cached_before = set(self.releases)
             spent_before = self.accountant.sequential_total()
             n_spends = len(self.accountant.spends)
@@ -245,6 +259,12 @@ class Session:
                     for family in sorted(families)
                 },
             }
+            span.set(
+                epsilon_spent=meta["epsilon_spent"],
+                session_total=meta["session_total"],
+            )
+            if meta["epsilon_spent"]:
+                obs.metrics().counter("epsilon_spent_total").inc(meta["epsilon_spent"])
         return answers, meta
 
     # -- budget --------------------------------------------------------------------

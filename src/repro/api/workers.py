@@ -33,6 +33,8 @@ import traceback
 import zlib
 from dataclasses import dataclass, field
 
+from .. import obs
+
 __all__ = ["ShardedServiceRunner", "ShardedRunResult"]
 
 
@@ -42,8 +44,18 @@ def _stable_shard(key, workers: int) -> int:
     return zlib.crc32(repr(key).encode()) % workers
 
 
-def _worker_main(conn, service_factory, request_factory, indices, async_opts) -> None:
+def _worker_main(
+    conn, service_factory, request_factory, indices, async_opts, metrics_on=False
+) -> None:
     try:
+        if metrics_on:
+            # a fresh registry per worker: enables recording AND discards
+            # any instrument state inherited across fork, so this worker's
+            # snapshot — and the parent's merged report — counts only the
+            # traffic this worker actually served
+            obs.configure(registry=obs.MetricsRegistry())
+        else:
+            obs.metrics().clear()
         service = service_factory()
         requests = [request_factory(i) for i in indices]
         conn.send(("prepared", len(requests)))
@@ -53,7 +65,12 @@ def _worker_main(conn, service_factory, request_factory, indices, async_opts) ->
         start = time.perf_counter()
         responses, latencies, stats = _serve_shard(service, requests, async_opts)
         elapsed = time.perf_counter() - start
-        conn.send(("done", indices, responses, elapsed, latencies, stats))
+        snapshot = (
+            service.metrics_snapshot()
+            if hasattr(service, "metrics_snapshot")
+            else obs.metrics().snapshot()
+        )
+        conn.send(("done", indices, responses, elapsed, latencies, stats, snapshot))
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc()))
@@ -106,6 +123,11 @@ class ShardedRunResult:
     worker_elapsed: list[float] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)  #: per request, queue-inclusive
     tier_stats: dict = field(default_factory=dict)  #: summed async-tier counters
+    #: one merged metrics report over every worker's snapshot
+    #: (:func:`repro.obs.merge_snapshots`: counters/histograms summed,
+    #: gauges maxed) plus the raw per-worker snapshots for drill-down
+    metrics: dict = field(default_factory=dict)
+    worker_metrics: list = field(default_factory=list)
 
     @property
     def requests_per_second(self) -> float:
@@ -138,6 +160,12 @@ class ShardedServiceRunner:
         Front each worker with :class:`AsyncBlowfishService` (default);
         ``False`` serves the shard with a bare synchronous loop instead —
         the runner's own control for measuring what coalescing buys.
+    metrics:
+        Enable the metrics registry inside every worker (a fresh one per
+        process, so nothing leaks across fork).  Each worker's snapshot
+        rides the result pipe and the parent merges them into
+        :attr:`ShardedRunResult.metrics` — per-worker counters summed,
+        budget gauges maxed.
     batch_window / max_batch / tier_workers:
         Passed through to each worker's async tier.
     """
@@ -149,6 +177,7 @@ class ShardedServiceRunner:
         workers: int = 2,
         mp_context: str = "fork",
         use_async: bool = True,
+        metrics: bool = False,
         batch_window: float = 0.002,
         max_batch: int = 16,
         tier_workers: int = 4,
@@ -157,6 +186,7 @@ class ShardedServiceRunner:
             raise ValueError("workers must be positive")
         self.service_factory = service_factory
         self.workers = int(workers)
+        self.metrics = bool(metrics)
         self._ctx = mp.get_context(mp_context)
         self._async_opts = (
             {
@@ -199,6 +229,7 @@ class ShardedServiceRunner:
                     request_factory,
                     indices,
                     self._async_opts,
+                    self.metrics,
                 ),
             )
             proc.start()
@@ -219,15 +250,25 @@ class ShardedServiceRunner:
             worker_elapsed: list[float] = []
             latencies: list[float] = []
             tier_stats: dict = {}
+            worker_metrics: list = []
             for conn in pipes:
                 message = conn.recv()
                 if message[0] == "error":
                     raise RuntimeError(f"shard worker failed:\n{message[1]}")
-                _, indices, shard_responses, elapsed, shard_latencies, stats = message
+                (
+                    _,
+                    indices,
+                    shard_responses,
+                    elapsed,
+                    shard_latencies,
+                    stats,
+                    snapshot,
+                ) = message
                 for index, response in zip(indices, shard_responses):
                     responses[index] = response
                 worker_elapsed.append(elapsed)
                 latencies.extend(shard_latencies)
+                worker_metrics.append(snapshot)
                 for name, value in stats.items():
                     tier_stats[name] = tier_stats.get(name, 0) + value
             wall = time.perf_counter() - start
@@ -247,4 +288,6 @@ class ShardedServiceRunner:
             worker_elapsed=worker_elapsed,
             latencies=latencies,
             tier_stats=tier_stats,
+            metrics=obs.merge_snapshots(worker_metrics),
+            worker_metrics=worker_metrics,
         )

@@ -33,6 +33,7 @@ from threading import Lock
 
 import numpy as np
 
+from .. import obs
 from ..core.composition import PrivacyAccountant
 from ..core.database import Database
 from ..core.policy import Policy
@@ -352,10 +353,23 @@ class PolicyEngine:
         budget (budget-first plans allocate per release).
         """
         mech = self.mechanism(family, strategy, epsilon=epsilon)
-        # spend before releasing: if the accountant refuses (budget
-        # exhausted), no noisy output must ever have been computed
-        self._spend(label if label is not None else family, accountant, epsilon=epsilon)
-        out = mech.release(db, rng=ensure_rng(rng))
+        charged = self.epsilon if epsilon is None else float(epsilon)
+        tracer = obs.tracer()
+        # resolve the strategy name for the span only when a trace is
+        # actually being recorded — it is a registry lookup
+        strategy_attr = strategy
+        if tracer.enabled and strategy_attr is None:
+            strategy_attr = self.strategy(family)
+        with tracer.span(
+            "mechanism.release",
+            family=family,
+            strategy=strategy_attr,
+            epsilon_charged=charged,
+        ):
+            # spend before releasing: if the accountant refuses (budget
+            # exhausted), no noisy output must ever have been computed
+            self._spend(label if label is not None else family, accountant, epsilon=epsilon)
+            out = mech.release(db, rng=ensure_rng(rng))
         if family == "histogram":
             return ReleasedHistogram(np.asarray(out, dtype=np.float64))
         return out
@@ -459,6 +473,7 @@ class PolicyEngine:
                 budget=budget,
                 remaining=remaining,
             )
+            obs.metrics().counter("plan_requests_total", outcome="uncached").inc()
             return plan, "uncached"
         # degradation decisions depend on how much the caller has left, so a
         # budgeted compile keys on the remaining budget — but quantized to
@@ -486,6 +501,7 @@ class PolicyEngine:
         )
         plan = cache.lookup(key)
         if plan is not None:
+            obs.metrics().counter("plan_requests_total", outcome="hit").inc()
             return plan, "hit"
         # compiled outside any lock: plans are deterministic in the key, so
         # racing compilers produce interchangeable values (first stored wins)
@@ -496,6 +512,7 @@ class PolicyEngine:
             budget=budget,
             remaining=remaining,
         )
+        obs.metrics().counter("plan_requests_total", outcome="miss").inc()
         return cache.store(key, plan), "miss"
 
     def execute(self, plan, db: Database | None = None, *, rng=None, releases=None, accountant=None):
@@ -587,17 +604,30 @@ class PolicyEngine:
         if eps <= 0:
             raise ValueError(f"epsilon must be positive, got {eps}")
         if release is None:
-            mech = BatchLinearMechanism(self.policy, eps, weights)
-            database = self._require_db(db, "linear")
-            self._spend("linear", accountant, epsilon=eps)
-            return mech.release(database, rng=ensure_rng(rng))
+            with obs.tracer().span(
+                "mechanism.release",
+                family="linear",
+                strategy="batch-linear",
+                epsilon_charged=eps,
+            ):
+                mech = BatchLinearMechanism(self.policy, eps, weights)
+                database = self._require_db(db, "linear")
+                self._spend("linear", accountant, epsilon=eps)
+                return mech.release(database, rng=ensure_rng(rng))
         missing = release.missing_rows(weights)
         if missing.any():
             fresh = weights[missing]
-            mech = BatchLinearMechanism(self.policy, eps, fresh)
-            database = self._require_db(db, "linear")
-            self._spend("linear", accountant, epsilon=eps)
-            release.add(fresh, mech.release(database, rng=ensure_rng(rng)))
+            with obs.tracer().span(
+                "mechanism.release",
+                family="linear",
+                strategy="batch-linear",
+                epsilon_charged=eps,
+                fresh_rows=int(missing.sum()),
+            ):
+                mech = BatchLinearMechanism(self.policy, eps, fresh)
+                database = self._require_db(db, "linear")
+                self._spend("linear", accountant, epsilon=eps)
+                release.add(fresh, mech.release(database, rng=ensure_rng(rng)))
         return release.answers_for(weights)
 
     def _require_db(self, db: Database | None, family: str) -> Database:

@@ -1,0 +1,136 @@
+"""Observability for the serving tier: tracing, metrics, budget telemetry.
+
+Stable public surface
+---------------------
+``configure(metrics=..., tracing=...)``
+    Turn the process-wide registry/tracer on or off.  Both default off:
+    an unconfigured process pays only no-op singleton calls.
+``metrics()``
+    The active :class:`~repro.obs.metrics.MetricsRegistry` (or the no-op
+    :data:`~repro.obs.metrics.NULL_REGISTRY` when disabled).
+``tracer()``
+    The active :class:`~repro.obs.trace.Tracer`.  A per-request tracer
+    pushed with :func:`push_tracer` (how the service implements the
+    ``meta.trace`` opt-in) takes precedence over the global one; with
+    neither, the :data:`~repro.obs.trace.NULL_TRACER` no-op singleton.
+
+Instrumented code calls ``tracer().span(...)`` and
+``metrics().counter(...).inc()`` unconditionally; the null singletons
+keep the disabled path at constant cost (pinned by
+``benchmarks/bench_obs_overhead.py``).
+
+The package is self-contained (stdlib only) so every layer of
+``repro.api``/``repro.plan``/``repro.engine`` can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import contextvars
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from .trace import NULL_SPAN, NULL_TRACER, Span, Tracer
+from .export import merge_snapshots, render_prometheus
+
+__all__ = [
+    "configure",
+    "metrics",
+    "tracer",
+    "push_tracer",
+    "pop_tracer",
+    "current_tracer_override",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "DEFAULT_LATENCY_BUCKETS",
+    "merge_snapshots",
+    "render_prometheus",
+]
+
+_global_registry = NULL_REGISTRY
+_global_tracer = NULL_TRACER
+
+# Per-request tracer override.  A contextvar rather than a thread-local so
+# the asyncio façade's coalesced tasks inherit the right tracer too.
+_tracer_override: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_tracer", default=None
+)
+
+
+def configure(*, metrics=None, tracing=None, registry=None):
+    """Reconfigure the process-wide observability state.
+
+    Parameters
+    ----------
+    metrics:
+        ``True`` installs a fresh :class:`MetricsRegistry` (unless
+        ``registry`` supplies one), ``False`` reverts to the no-op
+        registry.  ``None`` leaves the current choice alone.
+    tracing:
+        ``True`` installs a process-wide :class:`Tracer`, ``False``
+        reverts to the no-op tracer.  ``None`` leaves it alone.  Note the
+        service's ``meta.trace`` opt-in uses a *per-request* tracer via
+        :func:`push_tracer` and works even when this stays off.
+    registry:
+        An explicit registry instance to install (implies metrics on).
+
+    Returns the ``(registry, tracer)`` pair now active.
+    """
+    global _global_registry, _global_tracer
+    if registry is not None:
+        _global_registry = registry
+    elif metrics is True:
+        if _global_registry is NULL_REGISTRY:
+            _global_registry = MetricsRegistry()
+    elif metrics is False:
+        _global_registry = NULL_REGISTRY
+    if tracing is True:
+        if _global_tracer is NULL_TRACER:
+            _global_tracer = Tracer()
+    elif tracing is False:
+        _global_tracer = NULL_TRACER
+    return _global_registry, _global_tracer
+
+
+def metrics():
+    """The active metrics registry (no-op singleton when disabled)."""
+    return _global_registry
+
+
+def tracer():
+    """The active tracer: per-request override, else global, else no-op."""
+    override = _tracer_override.get()
+    if override is not None:
+        return override
+    return _global_tracer
+
+
+def push_tracer(t: Tracer):
+    """Install ``t`` as the calling context's tracer; returns a token for
+    :func:`pop_tracer`.  The serving façade uses this to honour the
+    per-request ``"trace": true`` opt-in without enabling tracing
+    process-wide."""
+    return _tracer_override.set(t)
+
+
+def pop_tracer(token) -> None:
+    """Undo a :func:`push_tracer`."""
+    _tracer_override.reset(token)
+
+
+def current_tracer_override():
+    """The per-request tracer installed via :func:`push_tracer`, or None."""
+    return _tracer_override.get()

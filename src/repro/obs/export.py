@@ -1,0 +1,142 @@
+"""Exporters: Prometheus text rendering and cross-worker snapshot merging.
+
+A :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` is already JSON —
+the ``"describe"`` op returns it verbatim — so this module only adds the
+two other consumers:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` headers, label sets, cumulative ``le`` histogram buckets),
+  so a scrape endpoint or ``serve-demo --metrics`` prints something a real
+  Prometheus can ingest;
+* :func:`merge_snapshots` — one merged report from per-worker snapshots:
+  counters and histograms sum (each worker counted its own traffic),
+  gauges take the max (the gauges this package emits are shared-ledger
+  totals and cache occupancies, where every worker reads the same truth
+  or the max is the honest aggregate — a mean would understate both).
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_prometheus", "merge_snapshots"]
+
+#: Every exported series is prefixed so a shared Prometheus cannot collide
+#: with another job's ``requests_total``.
+PREFIX = "repro_"
+
+
+def _sanitize(name: str) -> str:
+    out = [c if (c.isalnum() or c == "_") else "_" for c in name]
+    return "".join(out)
+
+
+def _labels_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_sanitize(str(k))}="{_escape(str(v))}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot in the Prometheus text format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for sample in snapshot.get("counters", ()):
+        name = PREFIX + _sanitize(sample["name"])
+        header(name, "counter")
+        lines.append(f"{name}{_labels_text(sample['labels'])} {_fmt(sample['value'])}")
+    for sample in snapshot.get("gauges", ()):
+        name = PREFIX + _sanitize(sample["name"])
+        header(name, "gauge")
+        lines.append(f"{name}{_labels_text(sample['labels'])} {_fmt(sample['value'])}")
+    for sample in snapshot.get("histograms", ()):
+        name = PREFIX + _sanitize(sample["name"])
+        header(name, "histogram")
+        labels = sample["labels"]
+        cumulative = 0
+        for bound, count in zip(sample["buckets"], sample["counts"]):
+            cumulative += count
+            lines.append(
+                f"{name}_bucket{_labels_text(labels, {'le': _fmt(bound)})} {cumulative}"
+            )
+        lines.append(
+            f"{name}_bucket{_labels_text(labels, {'le': '+Inf'})} {sample['count']}"
+        )
+        lines.append(f"{name}_sum{_labels_text(labels)} {_fmt(sample['sum'])}")
+        lines.append(f"{name}_count{_labels_text(labels)} {sample['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _series_key(sample: dict) -> tuple:
+    return (sample["name"], tuple(sorted(sample["labels"].items())))
+
+
+def merge_snapshots(snapshots) -> dict:
+    """One report from many per-worker snapshots (see module docstring).
+
+    Counters and histograms with equal ``(name, labels)`` sum; gauges take
+    the max.  Histograms whose bucket layouts disagree (a worker running a
+    different configuration) keep the first layout and sum what aligns —
+    layouts are pinned per series name in this package, so in practice
+    they always agree.
+    """
+    counters: dict[tuple, dict] = {}
+    gauges: dict[tuple, dict] = {}
+    histograms: dict[tuple, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for sample in snap.get("counters", ()):
+            key = _series_key(sample)
+            if key in counters:
+                counters[key]["value"] += sample["value"]
+            else:
+                counters[key] = dict(sample)
+        for sample in snap.get("gauges", ()):
+            key = _series_key(sample)
+            if key in gauges:
+                gauges[key]["value"] = max(gauges[key]["value"], sample["value"])
+            else:
+                gauges[key] = dict(sample)
+        for sample in snap.get("histograms", ()):
+            key = _series_key(sample)
+            if key not in histograms:
+                histograms[key] = {
+                    **sample,
+                    "buckets": list(sample["buckets"]),
+                    "counts": list(sample["counts"]),
+                }
+                continue
+            agg = histograms[key]
+            agg["sum"] += sample["sum"]
+            agg["count"] += sample["count"]
+            if list(sample["buckets"]) == agg["buckets"]:
+                agg["counts"] = [
+                    a + b for a, b in zip(agg["counts"], sample["counts"])
+                ]
+    return {
+        "counters": [counters[k] for k in sorted(counters)],
+        "gauges": [gauges[k] for k in sorted(gauges)],
+        "histograms": [histograms[k] for k in sorted(histograms)],
+    }

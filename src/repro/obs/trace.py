@@ -1,0 +1,216 @@
+"""Structured, nestable spans with near-zero cost when disabled.
+
+A :class:`Span` records one timed region of the request path — service
+dispatch, a session's plan+execute, one group's candidate scoring, one
+mechanism release — with span-local attributes (tenant, policy
+fingerprint, mechanism, the epsilon actually charged).  Spans nest: a
+span opened while another is active on the same thread becomes its child,
+so one request produces one tree covering service → session → planner →
+executor → mechanism.
+
+Instrumented code never checks whether tracing is on.  It calls
+``tracer().span(name, **attrs)`` unconditionally; when tracing is
+disabled, ``tracer()`` returns the :data:`NULL_TRACER` singleton whose
+``span`` hands back one shared no-op span — entering it, setting
+attributes on it and exiting it are constant-time method calls with no
+allocation, which is what keeps instrumented hot paths fast
+(:mod:`benchmarks.bench_obs_overhead` pins the bound in CI).
+
+A :class:`Tracer` keeps its active-span stack in thread-local storage, so
+one tracer may serve many threads (the service's worker pool) without
+interleaving their trees.  Finished root spans accumulate per thread;
+:meth:`Tracer.take` drains the calling thread's roots — how the serving
+façade turns a per-request tracer into the response's ``meta.trace``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "NULL_TRACER", "NULL_SPAN"]
+
+
+class Span:
+    """One timed, attributed region; children are spans opened inside it."""
+
+    __slots__ = ("name", "attributes", "children", "start", "elapsed", "_tracer", "_root")
+
+    def __init__(self, name: str, tracer: "Tracer", attributes: dict):
+        self.name = name
+        self.attributes = attributes
+        self.children: list[Span] = []
+        self.start = 0.0
+        self.elapsed = 0.0
+        self._tracer = tracer
+        self._root = False
+
+    def set(self, **attributes) -> "Span":
+        """Attach attributes to the span (epsilon charged, cache outcome, ...)."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+        self._tracer._pop(self)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary of this span's subtree (``meta.trace`` shape)."""
+        out: dict = {
+            "name": self.name,
+            "elapsed_ms": round(self.elapsed * 1e3, 4),
+        }
+        if self.attributes:
+            out["attributes"] = {k: _jsonable(v) for k, v in self.attributes.items()}
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (depth-first), or None."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self):
+        """Every span of this subtree, depth-first, self first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.elapsed * 1e3:.3f}ms, children={len(self.children)})"
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class _TracerLocal(threading.local):
+    def __init__(self):
+        self.stack: list[Span] = []
+        self.roots: list[Span] = []
+
+
+class Tracer:
+    """Produces nested spans; thread-local stacks keep trees per thread.
+
+    ``max_roots`` bounds the finished-root backlog per thread: a
+    process-wide tracer whose roots nobody drains keeps the most recent
+    trees and drops the oldest, instead of growing without bound.
+    """
+
+    enabled = True
+
+    def __init__(self, *, max_roots: int = 256):
+        self.max_roots = int(max_roots)
+        self._local = _TracerLocal()
+
+    def span(self, name: str, **attributes) -> Span:
+        """A new span, parented to the calling thread's active span (if any)
+        on ``__enter__``.  Use as a context manager."""
+        return Span(name, self, attributes)
+
+    def _push(self, span: Span) -> None:
+        stack = self._local.stack
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            span._root = True
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._local.stack
+        # tolerate exotic unwinding: pop through to this span rather than
+        # corrupting the stack for the rest of the request
+        while stack:
+            if stack.pop() is span:
+                break
+        if span._root:
+            roots = self._local.roots
+            roots.append(span)
+            if len(roots) > self.max_roots:
+                del roots[0]
+
+    def current(self) -> Span | None:
+        """The calling thread's innermost active span, or None."""
+        stack = self._local.stack
+        return stack[-1] if stack else None
+
+    def take(self) -> list[Span]:
+        """Drain the calling thread's finished root spans."""
+        roots = self._local.roots
+        self._local.roots = []
+        return roots
+
+    def __repr__(self) -> str:
+        return f"Tracer(active={len(self._local.stack)}, roots={len(self._local.roots)})"
+
+
+class _NullSpan:
+    """The shared do-nothing span: enter, set, exit are constant-time."""
+
+    __slots__ = ()
+
+    name = ""
+    attributes: dict = {}
+    children: list = []
+    elapsed = 0.0
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def find(self, name: str):
+        return None
+
+    def walk(self):
+        return iter(())
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: ``span()`` returns the one shared no-op span."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def take(self) -> list:
+        return []
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()

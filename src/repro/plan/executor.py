@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..core.rng import ensure_rng
 from .plan import Plan, canonical_options
 
@@ -115,68 +116,93 @@ class Executor:
         # engines are shared across sessions, whose concurrent releases
         # would otherwise leak into each other's totals
         spent = 0.0
-        for step in plan.steps:
-            group = plan.workload.group(step.group)
-            if step.degradation == "dropped":
-                # degraded under a constrained budget: no release, no spend,
-                # NaN answers so the caller can tell served from shed
-                by_group[group.name] = np.full(len(group), np.nan)
-                cache[step.release] = "dropped"
-                continue
-            if step.family == "linear":
-                rel = releases.get(step.release)
-                if rel is None:
-                    rel = engine.new_linear_release()
-                    releases[step.release] = rel
-                eps = step.epsilon if step.epsilon > 0 else engine.epsilon
-                rows_before = len(rel)  # grows iff a fresh sub-batch released
-                by_group[group.name] = engine.answer_linear(
-                    group.weights,
-                    db,
-                    rng=rng,
-                    release=rel,
-                    accountant=accountant,
-                    epsilon=eps,
-                )
-                # linear reuse is per-row: a batch releasing any new row is
-                # a "miss" (it spent), matching Session._metered's reading
-                if len(rel) > rows_before:
-                    spent += eps
-                    cache[step.release] = "miss"
-                else:
-                    cache.setdefault(step.release, "hit")
-                continue
-            if step.release not in cache:
-                cache[step.release] = "hit" if step.release in releases else "miss"
-            rel = releases.get(step.release)
-            if rel is None:
-                eps = release_epsilon.get(step.release, engine.epsilon)
-                rel = engine.release(
-                    self._require_db(db, step),
-                    step.release_family,
-                    rng=rng,
-                    accountant=accountant,
+        tracer = obs.tracer()
+        reg = obs.metrics()
+        with tracer.span("executor.run", steps=len(plan.steps), mode=plan.mode) as run_span:
+            for step in plan.steps:
+                group = plan.workload.group(step.group)
+                with tracer.span(
+                    "executor.step",
+                    group=group.name,
+                    family=step.family,
                     strategy=step.strategy,
-                    label=step.release,
-                    epsilon=eps,
-                )
-                releases[step.release] = rel
-                spent += eps
-            if step.family == "range":
-                by_group[group.name] = rel.ranges(group.los, group.his)
-            elif step.release_family == "histogram":
-                by_group[group.name] = rel.counts(group.masks)
-            else:
-                # counts shared from a range release: post-process its cell
-                # estimates (prefix first-differences) through the standard
-                # histogram answerer (one matmul, one implementation)
-                shared = hist_cells.get(step.release)
-                if shared is None:
-                    from ..engine.engine import ReleasedHistogram
+                    release=step.release,
+                ) as step_span:
+                    if step.degradation == "dropped":
+                        # degraded under a constrained budget: no release, no
+                        # spend, NaN answers so the caller can tell served
+                        # from shed
+                        by_group[group.name] = np.full(len(group), np.nan)
+                        cache[step.release] = "dropped"
+                        step_span.set(outcome="dropped", epsilon_charged=0.0)
+                        continue
+                    if step.family == "linear":
+                        rel = releases.get(step.release)
+                        if rel is None:
+                            rel = engine.new_linear_release()
+                            releases[step.release] = rel
+                        eps = step.epsilon if step.epsilon > 0 else engine.epsilon
+                        rows_before = len(rel)  # grows iff a fresh sub-batch released
+                        by_group[group.name] = engine.answer_linear(
+                            group.weights,
+                            db,
+                            rng=rng,
+                            release=rel,
+                            accountant=accountant,
+                            epsilon=eps,
+                        )
+                        fresh_rows = len(rel) > rows_before
+                        # linear reuse is per-row: a batch releasing any new
+                        # row is a "miss" (it spent), matching
+                        # Session._metered's reading
+                        if fresh_rows:
+                            spent += eps
+                            cache[step.release] = "miss"
+                            step_span.set(outcome="miss", epsilon_charged=eps)
+                            reg.counter("releases_total", family="linear").inc()
+                        else:
+                            cache.setdefault(step.release, "hit")
+                            step_span.set(outcome="hit", epsilon_charged=0.0)
+                        continue
+                    if step.release not in cache:
+                        cache[step.release] = "hit" if step.release in releases else "miss"
+                    rel = releases.get(step.release)
+                    if rel is None:
+                        eps = release_epsilon.get(step.release, engine.epsilon)
+                        rel = engine.release(
+                            self._require_db(db, step),
+                            step.release_family,
+                            rng=rng,
+                            accountant=accountant,
+                            strategy=step.strategy,
+                            label=step.release,
+                            epsilon=eps,
+                        )
+                        releases[step.release] = rel
+                        spent += eps
+                        step_span.set(outcome="miss", epsilon_charged=eps)
+                        reg.counter("releases_total", family=step.release_family).inc()
+                    else:
+                        step_span.set(outcome=cache[step.release], epsilon_charged=0.0)
+                    if step.family == "range":
+                        by_group[group.name] = rel.ranges(group.los, group.his)
+                    elif step.release_family == "histogram":
+                        by_group[group.name] = rel.counts(group.masks)
+                    else:
+                        # counts shared from a range release: post-process its
+                        # cell estimates (prefix first-differences) through the
+                        # standard histogram answerer (one matmul, one
+                        # implementation)
+                        shared = hist_cells.get(step.release)
+                        if shared is None:
+                            from ..engine.engine import ReleasedHistogram
 
-                    shared = ReleasedHistogram(np.asarray(rel.histogram(), dtype=np.float64))
-                    hist_cells[step.release] = shared
-                by_group[group.name] = shared.counts(group.masks)
+                            shared = ReleasedHistogram(
+                                np.asarray(rel.histogram(), dtype=np.float64)
+                            )
+                            hist_cells[step.release] = shared
+                        by_group[group.name] = shared.counts(group.masks)
+            run_span.set(epsilon_spent=spent)
         return PlanResult(plan, by_group, spent, cache)
 
     @staticmethod

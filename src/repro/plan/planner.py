@@ -40,6 +40,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from .. import obs
 from ..analysis.bounds import (
     predicted_count_query_mse,
     predicted_range_query_mse,
@@ -119,13 +120,19 @@ class Planner:
         engine = self.engine
         if workload.domain != engine.policy.domain:
             raise ValueError("workload is over a different domain than the policy")
-        steps = self._compile(workload, optimize, existing)
-        if budget is not None:
-            steps = self._apply_budget(
-                workload, steps, optimize, existing, budget, remaining
-            )
         from ..analysis.bounds import active_calibration_family
 
+        with obs.tracer().span(
+            "planner.compile",
+            mode="auto" if optimize else "fixed",
+            groups=len(workload.groups),
+            cost_model=active_calibration_family(),
+        ):
+            steps = self._compile(workload, optimize, existing)
+            if budget is not None:
+                steps = self._apply_budget(
+                    workload, steps, optimize, existing, budget, remaining
+                )
         return Plan(
             engine.fingerprint,
             engine.epsilon,
@@ -143,6 +150,7 @@ class Planner:
         existing_keys = set(existing)
         #: release key -> strategy, for keys available to reuse
         available: dict[str, str] = {k: self._strategy_of_key(k) for k in existing_keys}
+        tracer = obs.tracer()
         # range groups are planned first regardless of listing order, so a
         # count group never misses a reuse candidate just because it was
         # listed before the range group whose release it could ride (the
@@ -150,17 +158,26 @@ class Planner:
         by_name: dict[str, PlanStep] = {}
         for group in workload.groups:
             if group.family == "range":
-                step = self._plan_range(group, optimize, available)
+                with tracer.span(
+                    "planner.group", group=group.name, family="range"
+                ) as span:
+                    step = self._plan_range(group, optimize, available)
+                    span.set(strategy=step.strategy, release=step.release)
                 by_name[group.name] = step
                 available.setdefault(step.release, step.strategy)
         planned_rows: set[bytes] = set()
         for group in workload.groups:
-            if group.family == "count":
-                step = self._plan_count(group, optimize, available)
-            elif group.family == "linear":
-                step = self._plan_linear(
-                    group, optimize, available, held, existing_keys, planned_rows
-                )
+            if group.family in ("count", "linear"):
+                with tracer.span(
+                    "planner.group", group=group.name, family=group.family
+                ) as span:
+                    if group.family == "count":
+                        step = self._plan_count(group, optimize, available)
+                    else:
+                        step = self._plan_linear(
+                            group, optimize, available, held, existing_keys, planned_rows
+                        )
+                    span.set(strategy=step.strategy, release=step.release)
             else:
                 continue
             by_name[group.name] = step

@@ -1,0 +1,174 @@
+"""SQLite ledger failure modes and the parallel-aware composition report.
+
+A broken budget ledger must fail loudly and quickly — a corrupted file or
+a stuck external writer surfaces as :class:`LedgerStoreError` naming the
+path, never a hang or a raw ``sqlite3`` exception — while budget refusals
+stay :class:`BudgetExceededError` and are counted by the charge metrics.
+Plus the readback path nothing consumed before this subsystem:
+``LedgerEntry.ids`` scopes round-trip through SQLite and feed
+:func:`parallel_aware_totals`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro import Domain, Policy, obs
+from repro.api import (
+    InMemoryLedgerStore,
+    LedgerStoreError,
+    SQLiteLedgerStore,
+    parallel_aware_totals,
+)
+from repro.core.composition import BudgetExceededError
+
+
+class TestCorruptedDatabase:
+    def test_garbage_file_raises_a_clear_error(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        path.write_bytes(b"this is definitely not a sqlite database\0" * 64)
+        # depending on where SQLite first reads the header this surfaces as
+        # "cannot open ..." or "corrupted file or not a SQLite database" —
+        # both LedgerStoreError naming the path
+        with pytest.raises(LedgerStoreError, match="ledger database"):
+            SQLiteLedgerStore(str(path))
+
+    def test_corruption_after_creation_raises_not_hangs(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        store = SQLiteLedgerStore(str(path))
+        store.charge("s", 0.5)
+        store.close()
+        path.write_bytes(b"\xde\xad\xbe\xef" * 1024)
+        with pytest.raises(LedgerStoreError):
+            SQLiteLedgerStore(str(path))
+
+    def test_unopenable_path_raises_ledger_error(self, tmp_path):
+        with pytest.raises(LedgerStoreError, match="cannot open"):
+            SQLiteLedgerStore(str(tmp_path / "no" / "such" / "dir" / "l.sqlite"))
+
+
+class TestLockedDatabase:
+    def test_stuck_external_writer_is_a_bounded_error(self, tmp_path):
+        path = str(tmp_path / "ledger.sqlite")
+        store = SQLiteLedgerStore(path, timeout=0.05)
+        store.CHARGE_RETRIES = 1  # keep the test fast; the bound is the point
+        blocker = sqlite3.connect(path)
+        try:
+            blocker.execute("BEGIN IMMEDIATE")  # hold the writer slot
+            with pytest.raises(LedgerStoreError, match="stayed locked through"):
+                store.charge("s", 0.5)
+        finally:
+            blocker.rollback()
+            blocker.close()
+        # slot freed: the same store charges fine (no poisoned state)
+        assert store.charge("s", 0.5) == pytest.approx(0.5)
+
+    def test_retries_are_counted_when_metrics_are_on(self, tmp_path):
+        reg, _ = obs.configure(registry=obs.MetricsRegistry())
+        path = str(tmp_path / "ledger.sqlite")
+        store = SQLiteLedgerStore(path, timeout=0.05)
+        store.CHARGE_RETRIES = 2
+        blocker = sqlite3.connect(path)
+        try:
+            blocker.execute("BEGIN IMMEDIATE")
+            with pytest.raises(LedgerStoreError):
+                store.charge("s", 0.5)
+        finally:
+            blocker.rollback()
+            blocker.close()
+        assert reg.counter("ledger_charge_retries_total", backend="sqlite").value == 2
+        assert reg.counter("ledger_charge_attempts_total", backend="sqlite").value == 1
+
+
+class TestForkSafety:
+    def test_child_reopens_its_own_connection_after_fork(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        store = SQLiteLedgerStore(str(tmp_path / "ledger.sqlite"))
+        store.charge("s", 0.5)  # parent connection is live before the fork
+
+        def child(queue):
+            try:
+                queue.put(store.charge("s", 0.25))
+            except BaseException as exc:  # surfaced to the asserting parent
+                queue.put(exc)
+
+        queue = ctx.Queue()
+        proc = ctx.Process(target=child, args=(queue,))
+        proc.start()
+        outcome = queue.get(timeout=30)
+        proc.join(timeout=30)
+        assert outcome == pytest.approx(0.75), outcome
+        # the parent's (pre-fork) connection still sees one budget truth
+        assert store.total("s") == pytest.approx(0.75)
+        assert len(store.entries("s")) == 2
+
+
+class TestDenialMetrics:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_denial_counts_match_refusals(self, tmp_path, backend):
+        reg, _ = obs.configure(registry=obs.MetricsRegistry())
+        if backend == "memory":
+            store = InMemoryLedgerStore()
+        else:
+            store = SQLiteLedgerStore(str(tmp_path / "ledger.sqlite"))
+        store.charge("s", 0.75, budget=1.0)
+        refused = 0
+        for _ in range(3):
+            with pytest.raises(BudgetExceededError):
+                store.charge("s", 0.5, budget=1.0)
+            refused += 1
+        store.charge("s", 0.25, budget=1.0)  # exact fit still admitted
+        assert (
+            reg.counter("ledger_charge_denials_total", backend=backend).value == refused
+        )
+        assert (
+            reg.counter("ledger_charge_attempts_total", backend=backend).value
+            == refused + 2
+        )
+        assert store.total("s") == pytest.approx(1.0)
+
+
+class TestParallelAwareReport:
+    @pytest.fixture(params=["memory", "sqlite"])
+    def store(self, request, tmp_path):
+        if request.param == "memory":
+            return InMemoryLedgerStore()
+        return SQLiteLedgerStore(str(tmp_path / "ledger.sqlite"))
+
+    def test_ids_round_trip_through_the_store(self, store):
+        store.charge("s", 0.5, label="male", ids=frozenset({1, 2, 3}))
+        store.charge("s", 0.25, label="global")
+        scoped, unscoped = store.entries("s")
+        assert scoped.ids == frozenset({1, 2, 3})
+        assert unscoped.ids is None
+
+    def test_disjoint_scopes_cost_their_max(self, store):
+        policy = Policy.line(Domain.integers("v", 8))
+        store.charge("s", 0.2, label="everyone")
+        store.charge("s", 0.5, label="left", ids=frozenset({0, 1, 2}))
+        store.charge("s", 0.3, label="right", ids=frozenset({3, 4, 5}))
+        report = parallel_aware_totals(store, policy)
+        row = report["s"]
+        assert row["sequential"] == pytest.approx(1.0)
+        # Theorem 4.2: the disjoint scoped spends compose in parallel
+        assert row["parallel_aware"] == pytest.approx(0.2 + 0.5)
+        assert row["entries"] == 3 and row["scoped_entries"] == 2
+
+    def test_overlapping_scopes_fall_back_to_sequential(self, store):
+        policy = Policy.line(Domain.integers("v", 8))
+        store.charge("s", 0.5, ids=frozenset({1, 2}))
+        store.charge("s", 0.3, ids=frozenset({2, 3}))  # overlap on id 2
+        row = parallel_aware_totals(store, policy)["s"]
+        assert row["parallel_aware"] == pytest.approx(row["sequential"])
+
+    def test_report_covers_every_key(self, store):
+        store.charge("a", 0.5)
+        store.charge("b", 0.25, ids=frozenset({7}))
+        report = parallel_aware_totals(
+            store, Policy.line(Domain.integers("v", 8))
+        )
+        assert sorted(report) == ["a", "b"]
+        assert report["b"]["scoped_entries"] == 1

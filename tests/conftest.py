@@ -8,6 +8,16 @@ import pytest
 from repro import Attribute, Database, Domain, Policy
 
 
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Observability state is process-global; never let one test's
+    ``obs.configure`` leak into the next."""
+    yield
+    from repro import obs
+
+    obs.configure(metrics=False, tracing=False)
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

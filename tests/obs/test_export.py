@@ -1,0 +1,158 @@
+"""Exporters: Prometheus text rendering and cross-worker merging.
+
+``render_prometheus`` must emit something a real Prometheus can scrape
+(prefixed names, one ``# TYPE`` per metric, cumulative ``le`` buckets);
+``merge_snapshots`` must aggregate worker snapshots by the documented
+rules — counters and histograms sum, gauges max.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_snapshots, render_prometheus
+
+
+def _snap(**series):
+    """Build a snapshot dict from keyword shorthand used below."""
+    return {
+        "counters": series.get("counters", []),
+        "gauges": series.get("gauges", []),
+        "histograms": series.get("histograms", []),
+    }
+
+
+def _counter(name, value, **labels):
+    return {"name": name, "labels": labels, "value": value}
+
+
+class TestRenderPrometheus:
+    def test_counters_and_gauges_with_labels(self):
+        text = render_prometheus(
+            _snap(
+                counters=[_counter("requests_total", 3, op="answer", outcome="ok")],
+                gauges=[_counter("lru_size", 2.0, map="sessions")],
+            )
+        )
+        assert "# TYPE repro_requests_total counter\n" in text
+        assert '\nrepro_lru_size{map="sessions"} 2\n' in text
+        assert 'repro_requests_total{op="answer",outcome="ok"} 3' in text
+
+    def test_type_header_appears_once_per_metric(self):
+        text = render_prometheus(
+            _snap(
+                counters=[
+                    _counter("requests_total", 1, op="a"),
+                    _counter("requests_total", 2, op="b"),
+                ]
+            )
+        )
+        assert text.count("# TYPE repro_requests_total counter") == 1
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(
+            _snap(
+                histograms=[
+                    {
+                        "name": "lat",
+                        "labels": {"op": "x"},
+                        "buckets": [0.1, 1.0],
+                        "counts": [2, 1, 4],  # per-bucket, overflow last
+                        "sum": 12.5,
+                        "count": 7,
+                    }
+                ]
+            )
+        )
+        assert 'repro_lat_bucket{le="0.1",op="x"} 2' in text
+        assert 'repro_lat_bucket{le="1",op="x"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf",op="x"} 7' in text
+        assert 'repro_lat_sum{op="x"} 12.5' in text
+        assert 'repro_lat_count{op="x"} 7' in text
+
+    def test_names_and_label_values_are_sanitized(self):
+        text = render_prometheus(
+            _snap(counters=[_counter("weird-name.total", 1, key='sa"y\nhi')])
+        )
+        assert "repro_weird_name_total" in text
+        assert '\\"' in text and "\\n" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(_snap()) == ""
+
+    def test_registry_snapshot_roundtrips(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", map="plans").inc(4)
+        reg.histogram("seconds", buckets=(0.5,)).observe(0.1)
+        text = render_prometheus(reg.snapshot())
+        assert 'repro_hits_total{map="plans"} 4' in text
+        assert 'repro_seconds_bucket{le="+Inf"} 1' in text
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_across_workers(self):
+        merged = merge_snapshots(
+            [
+                _snap(counters=[_counter("requests_total", 3, op="answer")]),
+                _snap(counters=[_counter("requests_total", 5, op="answer")]),
+            ]
+        )
+        assert merged["counters"] == [_counter("requests_total", 8, op="answer")]
+
+    def test_distinct_series_stay_distinct(self):
+        merged = merge_snapshots(
+            [
+                _snap(counters=[_counter("requests_total", 1, op="answer")]),
+                _snap(counters=[_counter("requests_total", 2, op="plan")]),
+            ]
+        )
+        assert {(c["labels"]["op"], c["value"]) for c in merged["counters"]} == {
+            ("answer", 1), ("plan", 2),
+        }
+
+    def test_gauges_take_the_max(self):
+        merged = merge_snapshots(
+            [
+                _snap(gauges=[_counter("ledger_spent_epsilon", 0.5, key="s")]),
+                _snap(gauges=[_counter("ledger_spent_epsilon", 0.75, key="s")]),
+                _snap(gauges=[_counter("ledger_spent_epsilon", 0.25, key="s")]),
+            ]
+        )
+        assert merged["gauges"] == [_counter("ledger_spent_epsilon", 0.75, key="s")]
+
+    def test_histograms_sum_elementwise(self):
+        hist = {
+            "name": "lat", "labels": {}, "buckets": [0.1, 1.0],
+            "counts": [1, 2, 0], "sum": 1.5, "count": 3,
+        }
+        other = dict(hist, counts=[0, 1, 1], sum=3.0, count=2)
+        (merged,) = merge_snapshots([_snap(histograms=[hist]), _snap(histograms=[other])])[
+            "histograms"
+        ]
+        assert merged["counts"] == [1, 3, 1]
+        assert merged["sum"] == pytest.approx(4.5)
+        assert merged["count"] == 5
+
+    def test_mismatched_bucket_layouts_still_sum_totals(self):
+        a = {
+            "name": "lat", "labels": {}, "buckets": [0.1],
+            "counts": [1, 0], "sum": 0.05, "count": 1,
+        }
+        b = {
+            "name": "lat", "labels": {}, "buckets": [0.5],
+            "counts": [0, 2], "sum": 3.0, "count": 2,
+        }
+        (merged,) = merge_snapshots([_snap(histograms=[a]), _snap(histograms=[b])])[
+            "histograms"
+        ]
+        assert merged["count"] == 3
+        assert merged["sum"] == pytest.approx(3.05)
+        assert merged["buckets"] == [0.1]  # first layout kept
+        assert merged["counts"] == [1, 0]  # misaligned counts not guessed at
+
+    def test_empty_and_missing_snapshots_are_skipped(self):
+        merged = merge_snapshots(
+            [{}, None, _snap(counters=[_counter("c", 1)])]
+        )
+        assert merged["counters"] == [_counter("c", 1)]
+        assert merge_snapshots([]) == _snap()

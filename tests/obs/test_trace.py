@@ -1,0 +1,157 @@
+"""Spans and tracers: nesting, attributes, draining, and the no-op path.
+
+The tracer's contract with the serving tier: one request produces one
+span tree per thread, ``take()`` hands the finished roots to whoever
+builds ``meta.trace``, and when tracing is off every instrumented call
+site pays only shared-singleton method calls.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+
+class TestSpanTree:
+    def test_nesting_builds_one_tree(self):
+        tracer = Tracer()
+        with tracer.span("service") as root:
+            with tracer.span("session"):
+                with tracer.span("planner"):
+                    pass
+                with tracer.span("executor"):
+                    pass
+        (session,) = root.children
+        assert [c.name for c in session.children] == ["planner", "executor"]
+        assert [s.name for s in root.walk()] == [
+            "service", "session", "planner", "executor",
+        ]
+
+    def test_attributes_from_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("step", family="range") as span:
+            span.set(outcome="miss", epsilon_charged=0.5)
+        assert span.attributes == {
+            "family": "range", "outcome": "miss", "epsilon_charged": 0.5,
+        }
+
+    def test_elapsed_is_measured(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            pass
+        assert span.elapsed >= 0.0
+
+    def test_current_tracks_the_innermost_active_span(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_find_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                with tracer.span("leaf") as first:
+                    pass
+            with tracer.span("leaf"):
+                pass
+        assert root.find("leaf") is first
+        assert root.find("absent") is None
+
+    def test_to_dict_is_json_ready(self):
+        tracer = Tracer()
+        with tracer.span("root", tenant="t1") as root:
+            with tracer.span("child") as child:
+                child.set(weird=frozenset({1}))  # non-JSON value stringified
+        d = root.to_dict()
+        assert d["name"] == "root"
+        assert d["attributes"] == {"tenant": "t1"}
+        assert isinstance(d["elapsed_ms"], float)
+        (child_d,) = d["children"]
+        assert isinstance(child_d["attributes"]["weird"], str)
+
+    def test_exception_unwinding_keeps_the_stack_sane(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("root"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.current() is None
+        (root,) = tracer.take()
+        assert root.name == "root"
+
+
+class TestTracerRoots:
+    def test_take_drains_finished_roots(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        assert [s.name for s in tracer.take()] == ["one", "two"]
+        assert tracer.take() == []
+
+    def test_max_roots_drops_the_oldest(self):
+        tracer = Tracer(max_roots=3)
+        for i in range(5):
+            with tracer.span(f"r{i}"):
+                pass
+        assert [s.name for s in tracer.take()] == ["r2", "r3", "r4"]
+
+    def test_threads_get_independent_trees(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(tag):
+            with tracer.span(tag):
+                with tracer.span(f"{tag}-child"):
+                    pass
+            seen[tag] = tracer.take()
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for tag, roots in seen.items():
+            (root,) = roots
+            assert root.name == tag
+            assert [c.name for c in root.children] == [f"{tag}-child"]
+
+
+class TestNullTracer:
+    def test_span_is_the_shared_noop_singleton(self):
+        span = NULL_TRACER.span("anything", k=1)
+        assert span is NULL_SPAN
+        with span as s:
+            assert s.set(epsilon=1.0) is s
+        assert span.to_dict() == {}
+        assert span.find("anything") is None
+        assert list(span.walk()) == []
+
+    def test_disabled_surface(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is True
+        assert NULL_TRACER.current() is None
+        assert NULL_TRACER.take() == []
+
+    def test_null_span_records_nothing(self):
+        with NULL_TRACER.span("a"):
+            with NULL_TRACER.span("b"):
+                pass
+        assert NULL_SPAN.attributes == {}
+        assert NULL_SPAN.children == []
+
+
+class TestSpanStandalone:
+    def test_span_repr_mentions_name(self):
+        tracer = Tracer()
+        span = Span("thing", tracer, {})
+        assert "thing" in repr(span)
