@@ -39,7 +39,7 @@ from repro.analysis.bounds import calibration_factor, predicted_range_query_mse
 from repro.analysis.error import random_range_queries, true_range_answers
 from repro.core.queries import CumulativeHistogramQuery, HistogramQuery
 
-SIZE = 1024
+SIZE = 1024  # the synthetic families' grid; real families use their own domain
 N_TUPLES = 20_000
 N_QUERIES = 2_000
 TRIALS = 24
@@ -64,11 +64,38 @@ def _uniform_database() -> Database:
     return Database.from_indices(Domain.integers("v", SIZE), values)
 
 
-#: dataset family name -> database builder; each family gets its own
-#: COST_MODEL_FITS entry
+def _adult_database() -> Database:
+    from repro.datasets import adult_capital_loss_dataset
+
+    return adult_capital_loss_dataset(rng=SEED)
+
+
+def _twitter_database() -> Database:
+    from repro.datasets import twitter_latitude_dataset
+
+    return twitter_latitude_dataset(rng=SEED)
+
+
+def _skin_database() -> Database:
+    from repro.datasets import skin_dataset, skin_domain
+
+    # the R-channel projection of the B x G x R grid: the 1-D ordered
+    # workload the paper's skin experiments range over
+    db3d = skin_dataset(rng=SEED)
+    r = np.asarray(db3d.indices) % skin_domain().shape[-1]
+    return Database.from_indices(Domain.integers("R", 256), r.astype(np.int64))
+
+
+#: dataset family name -> (database builder, distance thresholds to fit
+#: over); each family gets its own COST_MODEL_FITS entry.  Thresholds are
+#: in the domain's own attribute units — the twitter latitude domain is km
+#: with 5 km cells, so its thetas are km multiples of the cell size.
 FAMILIES = {
-    "synthetic-grid": _spiky_database,
-    "uniform": _uniform_database,
+    "synthetic-grid": (_spiky_database, THETAS),
+    "uniform": (_uniform_database, THETAS),
+    "adult": (_adult_database, THETAS),
+    "twitter": (_twitter_database, (5, 10, 20, 80, 320)),
+    "skin": (_skin_database, (1, 2, 4, 16, 64)),
 }
 
 
@@ -97,17 +124,19 @@ def _theta_exponent(by_theta: dict[int, list[float]]) -> float | None:
 
 
 def fit_family(family: str, trials: int = TRIALS) -> None:
-    db = FAMILIES[family]()
+    builder, thetas = FAMILIES[family]
+    db = builder()
     domain = db.domain
+    size = domain.size
     rng = np.random.default_rng(SEED)
-    los, his = random_range_queries(SIZE, N_QUERIES, rng)
+    los, his = random_range_queries(size, N_QUERIES, rng)
     truth = true_range_answers(db.cumulative_histogram(), los, his)
 
     ratios: dict[tuple[str, bool], list[float]] = {}
     per_theta: dict[str, dict[int, list[float]]] = {}
     config = 0
     for consistent in (False, True):
-        for theta in THETAS + (None,):
+        for theta in tuple(thetas) + (None,):
             policy = (
                 Policy.differential_privacy(domain)
                 if theta is None
@@ -141,7 +170,7 @@ def fit_family(family: str, trials: int = TRIALS) -> None:
                         )
                         raw = predicted_range_query_mse(
                             strategy,
-                            SIZE,
+                            size,
                             eps,
                             sensitivity=sens,
                             theta=index_gap,
@@ -176,7 +205,7 @@ def fit_family(family: str, trials: int = TRIALS) -> None:
     print("    },")
     print(
         f'    "provenance": "benchmarks/calibrate_cost_model.py --family {family}: '
-        f'|T|={SIZE}, thetas {THETAS[0]}..{THETAS[-1]}, eps {EPSILONS}, '
+        f'|T|={size}, thetas {thetas[0]}..{thetas[-1]}, eps {EPSILONS}, '
         f'{trials} trials",'
     )
     print("}")

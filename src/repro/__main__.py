@@ -24,6 +24,14 @@ Subcommands:
     fronted by the batching/coalescing async tier) and prints throughput,
     latency quantiles and the per-tenant ledger totals.
 
+``stream-demo [--ticks N] [--horizon H] [--total E] [--degrade MODE]``
+    Continual releases over a synthetic append-only feed: per tick the
+    service ingests a batch (``"append"``/``"tick"`` ops), a hierarchical
+    interval counter folds it in for an amortized ``total/levels`` charge,
+    and plan requests are served from the held synopsis — free when the
+    workload's ``max_staleness`` tolerates its age.  Past the horizon the
+    budget degrades (or refuses, with ``--degrade strict``).
+
 ``plan [--explain] [--budget E] [--degrade MODE]``
     Compile a cost-driven plan for a mixed demo workload (ranges, counts,
     a linear batch) under a distance-threshold policy and print its
@@ -316,6 +324,97 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream_demo(args: argparse.Namespace) -> int:
+    from .api import BlowfishService
+    from .core.policy import Policy
+    from .stream import synthetic_feed
+
+    service = BlowfishService()
+    stream, batches = synthetic_feed(
+        domain_size=64, ticks=args.ticks, per_tick=200, rng=args.seed
+    )
+    service.register_stream("feed", stream)
+    policy_spec = Policy.line(stream.domain).to_spec()
+    budget_spec = {
+        "kind": "stream_budget",
+        "total": args.total,
+        "horizon": args.horizon,
+        "degradation": args.degrade,
+    }
+
+    def plan_request(queries, seed):
+        return {
+            "op": "plan",
+            "policy": policy_spec,
+            "epsilon": args.epsilon,
+            "dataset": {"name": "feed"},
+            "queries": queries,
+            "session": "stream-client",
+            "plan_budget": budget_spec,
+            "seed": seed,
+        }
+
+    fresh_queries = [
+        {"kind": "range", "lo": 0, "hi": 31},
+        {"kind": "range", "lo": 10, "hi": 50},
+    ]
+    stale_ok = {
+        "kind": "workload",
+        "groups": [
+            {
+                "family": "range",
+                "los": [0, 10],
+                "his": [31, 50],
+                "max_staleness": 3,
+            }
+        ],
+    }
+    print(
+        f"continual releases over {args.ticks} ticks: total epsilon "
+        f"{args.total:g} amortized across horizon {args.horizon} "
+        f"({args.degrade} past it)\n"
+    )
+    for t, batch in enumerate(batches):
+        resp = service.handle(
+            {"op": "append", "stream": "feed", "indices": batch.tolist()}
+        )
+        assert resp["ok"], resp
+        resp = service.handle({"op": "tick", "stream": "feed"})
+        assert resp["ok"], resp
+        tick, n = resp["tick"], resp["n"]
+        # every third tick the client tolerates 3 ticks of staleness: the
+        # held synopsis answers free, nothing is folded, nothing is spent
+        tolerant = t > 0 and t % 3 == 0
+        queries = stale_ok if tolerant else fresh_queries
+        resp = service.handle(plan_request(queries, seed=args.seed + t))
+        if not resp["ok"]:
+            print(
+                f"tick {tick}: n={n} -> refused: {resp['error']['message']}"
+                " (strict budgets stop at the horizon)"
+            )
+            continue
+        meta = resp["meta"]
+        strategies = sorted(
+            {s["strategy"] for s in resp["plan"]["steps"] if s["family"] != "linear"}
+        )
+        note = " (staleness<=3 tolerated)" if tolerant else ""
+        sm = meta["stream"]
+        print(
+            f"tick {tick}: n={n} | {'/'.join(strategies)} "
+            f"spent={meta['epsilon_spent']:g} total={meta['session_total']:g} "
+            f"plan_cache={meta['plan_cache']} nodes={sm['node_releases']}"
+            f"{' EXHAUSTED' if sm['exhausted'] else ''}{note}"
+        )
+    d = service.handle({"op": "describe", "policy": policy_spec, "epsilon": args.epsilon})
+    print(f"\nstream state: {json.dumps(d['meta']['streams']['feed'])}")
+    cache = d["meta"]["plan_cache"]
+    print(
+        f"plan cache: {cache['size']} plans held ({cache['hits']} hits), "
+        f"{cache['payload_bytes_saved']} payload bytes saved by payload-free caching"
+    )
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -435,6 +534,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo_p.set_defaults(func=_cmd_serve_demo)
 
+    stream_p = sub.add_parser(
+        "stream-demo", help="continual releases over a synthetic feed"
+    )
+    stream_p.add_argument("--ticks", type=int, default=10, help="feed length")
+    stream_p.add_argument(
+        "--horizon", type=int, default=8, help="funded ticks the total amortizes over"
+    )
+    stream_p.add_argument(
+        "--total", type=float, default=8.0, help="total epsilon across the horizon"
+    )
+    stream_p.add_argument("--epsilon", type=float, default=1.0)
+    stream_p.add_argument("--seed", type=int, default=0)
+    stream_p.add_argument(
+        "--degrade", choices=("strict", "drop_optional", "reuse_stale"),
+        default="reuse_stale",
+        help="what happens to ticks past the horizon (default: serve stale)",
+    )
+    stream_p.set_defaults(func=_cmd_stream_demo)
+
     plan_p = sub.add_parser("plan", help="compile (and run) a cost-driven workload plan")
     plan_p.add_argument(
         "--request", help="JSON request file (or -); defaults to a demo workload"
@@ -470,7 +588,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # historical form: `python -m repro [outdir]` means `run [outdir]`
-    if not argv or (argv[0] not in {"run", "answer", "serve-demo", "plan", "-h", "--help"}):
+    if not argv or (
+        argv[0]
+        not in {"run", "answer", "serve-demo", "stream-demo", "plan", "-h", "--help"}
+    ):
         argv.insert(0, "run")
     args = build_parser().parse_args(argv)
     return args.func(args)

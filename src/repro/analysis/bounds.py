@@ -54,6 +54,10 @@ __all__ = [
     "set_active_calibration",
     "register_calibration",
     "calibration",
+    "StreamContext",
+    "stream_context",
+    "active_stream_context",
+    "stream_plan_token",
 ]
 
 
@@ -180,6 +184,76 @@ COST_MODEL_FITS: dict[str, dict] = {
             "|T|=1024 uniform tuples, thetas 1..256, eps (0.25, 1.0), 8 trials"
         ),
     },
+    "adult": {
+        # the Adult capital-loss attribute (domain 4357, ~95% zeros): the
+        # extreme sparsity makes constrained inference dramatically more
+        # effective — the ordered mechanism's isotonic pass collapses the
+        # near-constant cumulative histogram, hence the tiny with-inference
+        # constant and steep theta decay.
+        "constants": {
+            ("ordered", False): 1.01,
+            ("ordered", True): 0.04,
+            ("hierarchical", False): 1.29,
+            ("hierarchical", True): 0.48,
+            ("ordered-hierarchical", False): 1.17,
+            ("ordered-hierarchical", True): 0.40,
+            ("laplace-histogram", False): 1.0,
+            ("laplace-histogram", True): 1.0,
+            ("constrained-histogram", False): 1.0,
+            ("constrained-histogram", True): 1.0,
+        },
+        "theta_exponents": {"ordered": 0.59, "ordered-hierarchical": 0.14},
+        "provenance": (
+            "benchmarks/calibrate_cost_model.py --family adult: "
+            "|T|=4357, thetas 1..256, eps (0.25, 1.0), 4 trials"
+        ),
+    },
+    "twitter": {
+        # the tweet latitude projection (400 ordered km values, 5 km
+        # cells): mass concentrates in a few metro bands, so inference
+        # helps the tree mechanisms moderately and the ordered mechanism's
+        # theta decay is shallow (thetas are km, multiples of the cell).
+        "constants": {
+            ("ordered", False): 1.01,
+            ("ordered", True): 0.92,
+            ("hierarchical", False): 1.29,
+            ("hierarchical", True): 0.54,
+            ("ordered-hierarchical", False): 1.28,
+            ("ordered-hierarchical", True): 0.66,
+            ("laplace-histogram", False): 1.0,
+            ("laplace-histogram", True): 1.0,
+            ("constrained-histogram", False): 1.0,
+            ("constrained-histogram", True): 1.0,
+        },
+        "theta_exponents": {"ordered": 0.09, "ordered-hierarchical": 0.23},
+        "provenance": (
+            "benchmarks/calibrate_cost_model.py --family twitter: "
+            "|T|=400, thetas 5..320 km, eps (0.25, 1.0), 6 trials"
+        ),
+    },
+    "skin": {
+        # the skin-segmentation R channel (domain 256, smooth multimodal
+        # mixture): small domain, dense histogram — trees overshoot their
+        # formulas less than on the big grids, and inference gains are
+        # mid-range.
+        "constants": {
+            ("ordered", False): 1.04,
+            ("ordered", True): 0.96,
+            ("hierarchical", False): 0.63,
+            ("hierarchical", True): 0.24,
+            ("ordered-hierarchical", False): 1.18,
+            ("ordered-hierarchical", True): 0.62,
+            ("laplace-histogram", False): 1.0,
+            ("laplace-histogram", True): 1.0,
+            ("constrained-histogram", False): 1.0,
+            ("constrained-histogram", True): 1.0,
+        },
+        "theta_exponents": {"ordered-hierarchical": 0.28},
+        "provenance": (
+            "benchmarks/calibrate_cost_model.py --family skin: "
+            "|T|=256 (R projection), thetas 1..64, eps (0.25, 1.0), 6 trials"
+        ),
+    },
 }
 
 _active_fit = "synthetic-grid"
@@ -267,6 +341,86 @@ def register_calibration(
         "provenance": provenance,
     }
 
+# -- streaming plan context --------------------------------------------------------
+
+
+class StreamContext:
+    """The stream parameters a continual-release cost model needs.
+
+    ``horizon`` is the budget's amortization horizon in ticks, ``tick`` the
+    current (0-based) tick being planned, ``window`` the sliding-window
+    width (``None`` for cumulative streams).  Derived quantities follow the
+    binary counter: :meth:`levels` dyadic levels over the horizon, and
+    :meth:`parts` maintained nodes at this tick (``popcount(tick + 1)``) —
+    a query sums that many node synopses, so its variance scales with it.
+    """
+
+    __slots__ = ("horizon", "tick", "window")
+
+    def __init__(self, horizon: int, tick: int, window: int | None = None):
+        self.horizon = int(horizon)
+        self.tick = int(tick)
+        self.window = None if window is None else int(window)
+        if self.horizon < 1:
+            raise ValueError("horizon must be at least one tick")
+
+    def levels(self) -> int:
+        return math.floor(math.log2(self.horizon)) + 1
+
+    def parts(self) -> int:
+        return max(1, bin(self.tick + 1).count("1"))
+
+    def token(self) -> tuple:
+        """Plan-cache identity: everything the stream scores depend on.
+
+        Scores read the tick only through :meth:`parts`, so ticks with
+        equal popcount share compiled plans.
+        """
+        return ("stream", self.horizon, self.window, self.parts())
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamContext(horizon={self.horizon}, tick={self.tick}, "
+            f"window={self.window})"
+        )
+
+
+#: Scoped stream context.  A contextvar for the same reason as the
+#: calibration override: one process plans streaming and one-shot requests
+#: concurrently, and the continual-release candidates must be visible (and
+#: scoreable) only to the former.
+_stream_ctx: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_stream_context", default=None
+)
+
+
+@contextmanager
+def stream_context(horizon: int, tick: int, window: int | None = None):
+    """Scoped stream parameters for planning one tick's requests.
+
+    While active, the registry's continual-release candidates
+    (``hierarchical-interval``, ``sliding-window``) match and their cost
+    models score; outside it they neither match nor score, so one-shot
+    planning is untouched.
+    """
+    token = _stream_ctx.set(StreamContext(horizon, tick, window))
+    try:
+        yield
+    finally:
+        _stream_ctx.reset(token)
+
+
+def active_stream_context() -> StreamContext | None:
+    """The scoped :func:`stream_context`, or ``None`` outside one."""
+    return _stream_ctx.get()
+
+
+def stream_plan_token() -> tuple | None:
+    """Plan-cache key component of the active stream context (None outside)."""
+    ctx = _stream_ctx.get()
+    return None if ctx is None else ctx.token()
+
+
 #: How far a measured MSE may exceed the model's prediction-implied choice
 #: before the planner is considered *wrong* (the contract the
 #: planner-optimality tests enforce): the planner's pick must never be
@@ -314,6 +468,8 @@ def predicted_range_query_mse(
     """
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
+    if strategy in ("hierarchical-interval", "sliding-window"):
+        return _predicted_stream_range_mse(strategy, epsilon, sensitivity, consistent)
     if strategy == "ordered":
         raw = ordered_range_error_bound(epsilon, sensitivity)
         # the ordered mechanism's theta proxy is its sensitivity: S = theta
@@ -332,6 +488,43 @@ def predicted_range_query_mse(
     else:
         raise KeyError(f"no cost model for range strategy {strategy!r}")
     return raw * calibration_factor(strategy, consistent, theta=theta)
+
+
+def _predicted_stream_range_mse(
+    strategy: str, epsilon: float, sensitivity: float, consistent: bool
+) -> float:
+    """Expected per-range-query squared error of the continual candidates,
+    *relative to the tick's fair epsilon share* ``epsilon``.
+
+    The planner scores every candidate at one reference epsilon, so the
+    stream models express their amortization advantage in the same
+    currency.  At equal total budget over ``horizon`` ticks, a per-tick
+    re-release (the ``sliding-window`` shape, and the naive baseline) runs
+    each tick at the reference share — ordered-mechanism error ``c/eps^2``.
+    The binary counter instead releases one dyadic node per tick at
+    ``levels/horizon`` ticks' worth of budget (same-level nodes cover
+    disjoint arrivals, so a level composes in parallel and only levels
+    compose sequentially), and a query at tick ``t`` sums
+    ``popcount(t+1)`` maintained nodes:
+
+        parts * c / (eps * horizon / levels)^2
+      = parts * (levels/horizon)^2 * c / eps^2.
+
+    For any horizon >= 2 that factor is well under 1 — the amortized-MSE
+    win the stream benchmark measures.  Raises ``KeyError`` outside a
+    :func:`stream_context` so one-shot planning skips the candidates.
+    """
+    ctx = _stream_ctx.get()
+    if ctx is None:
+        raise KeyError(
+            f"range strategy {strategy!r} is only scoreable inside a stream_context"
+        )
+    base = ordered_range_error_bound(epsilon, sensitivity) * calibration_factor(
+        "ordered", consistent, theta=max(sensitivity, 1.0)
+    )
+    if strategy == "sliding-window":
+        return base
+    return ctx.parts() * (ctx.levels() / ctx.horizon) ** 2 * base
 
 
 def _oh_split(

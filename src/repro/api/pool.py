@@ -78,6 +78,7 @@ class PlanCache:
         self._lru = StripedLRU(maxsize, stripes=stripes, max_bytes=max_bytes)
         self._oversize_lock = Lock()
         self.oversize = 0
+        self.payload_bytes_saved = 0
 
     @property
     def stripes(self) -> int:
@@ -93,10 +94,26 @@ class PlanCache:
     def store(self, key: tuple, plan):
         """Insert ``plan`` under ``key``; returns the plan actually cached.
 
+        Plans that can shed their workload payloads
+        (:meth:`repro.plan.Plan.payload_free`) are cached in the light form
+        — the heavy arrays stay with the compiling caller, and cache hits
+        rebind the requester's live workload (``Plan.bind``).  The byte cap
+        then meters the structure actually retained, and
+        :attr:`payload_bytes_saved` accumulates what lightening avoided
+        pinning.
+
         Racing compilers for one key produce interchangeable plans (the key
         captures every input), so the first insert wins and later callers
         adopt the incumbent — mirroring :meth:`EnginePool.get`.
         """
+        lighten = getattr(plan, "payload_free", None)
+        if callable(lighten):
+            full_bytes = int(plan.nbytes())
+            plan = lighten()
+            saved = full_bytes - int(plan.nbytes())
+            if saved > 0:
+                with self._oversize_lock:
+                    self.payload_bytes_saved += saved
         sizer = getattr(plan, "nbytes", None)
         nbytes = int(sizer()) if callable(sizer) else 0
         if nbytes > self._lru.stripe_max_bytes:
@@ -114,6 +131,7 @@ class PlanCache:
         out = self._lru.stats()
         with self._oversize_lock:
             out["oversize"] = self.oversize
+            out["payload_bytes_saved"] = self.payload_bytes_saved
         return out
 
     def clear(self) -> None:

@@ -11,7 +11,8 @@ spent, and cache hit/miss for the engine and each release.
 Request shape (``op: "answer"``)::
 
     {
-      "op": "answer",                  # default; also "plan", "explain", "describe"
+      "op": "answer",                  # default; also "plan", "explain", "describe",
+                                       # and "append"/"tick" for registered streams
       "version": 1,                    # optional spec-schema pin
       "policy": { ...Policy.to_spec()... },
       "epsilon": 0.5,
@@ -152,6 +153,7 @@ class BlowfishService:
         self.max_policies = max_policies
         self.ledger_store = ledger_store
         self._datasets: dict[str, Database] = {}
+        self._streams: dict = {}
         # striped LRU maps: a request locks only the stripe its key hashes
         # to, and only for lookup/insert/evict — parsing, planning and
         # answering all happen outside any service-level lock
@@ -182,7 +184,36 @@ class BlowfishService:
                 f"unknown calibration family {calibration!r} (known: {known})"
             )
         with self._datasets_lock:
+            if name in self._streams:
+                raise ValueError(f"{name!r} is already a registered stream")
             self._datasets[name] = db
+            if calibration is not None:
+                self._dataset_fits[name] = calibration
+            else:
+                self._dataset_fits.pop(name, None)
+
+    def register_stream(self, name: str, stream, *, calibration: str | None = None) -> None:
+        """Make an append-only :class:`~repro.stream.StreamDataset`
+        addressable as ``{"dataset": {"name": name}}``.
+
+        Stream names share the dataset namespace (a request cannot tell —
+        and should not care — whether a name is pinned or streaming); a
+        stream resolves to its latest sealed snapshot, and sessions opened
+        against it track release staleness per tick.  ``calibration`` works
+        exactly as in :meth:`register_dataset`.  The ``"append"`` and
+        ``"tick"`` ops mutate registered streams by name.
+        """
+        if calibration is None:
+            calibration = default_calibration_for(name)
+        elif calibration not in COST_MODEL_FITS:
+            known = ", ".join(sorted(COST_MODEL_FITS))
+            raise ValueError(
+                f"unknown calibration family {calibration!r} (known: {known})"
+            )
+        with self._datasets_lock:
+            if name in self._datasets:
+                raise ValueError(f"{name!r} is already a registered (pinned) dataset")
+            self._streams[name] = stream
             if calibration is not None:
                 self._dataset_fits[name] = calibration
             else:
@@ -192,6 +223,10 @@ class BlowfishService:
         with self._datasets_lock:
             return tuple(self._datasets)
 
+    def streams(self) -> tuple[str, ...]:
+        with self._datasets_lock:
+            return tuple(self._streams)
+
     def dataset_calibration(self, name: str) -> str | None:
         """The fit family ``name``'s plans are scored under, or None."""
         with self._datasets_lock:
@@ -199,7 +234,7 @@ class BlowfishService:
 
     def _calibration_ctx(self, dataset_key):
         """Scoped fit override for a request on a registered dataset."""
-        if dataset_key is not None and dataset_key[0] == "name":
+        if dataset_key is not None and dataset_key[0] in ("name", "stream"):
             fit = self.dataset_calibration(dataset_key[1])
             if fit is not None:
                 return calibration(fit)
@@ -275,8 +310,13 @@ class BlowfishService:
             return self._explain(request)
         if op == "describe":
             return self._describe(request)
+        if op == "append":
+            return self._append(request)
+        if op == "tick":
+            return self._tick(request)
         raise SpecError(
-            "request.op", f"unknown op {op!r} (known: answer, plan, explain, describe)"
+            "request.op",
+            f"unknown op {op!r} (known: answer, plan, explain, describe, append, tick)",
         )
 
     # -- shared request plumbing ----------------------------------------------------
@@ -313,12 +353,32 @@ class BlowfishService:
         return self._policies.adopt(digest, policy, count=False)[0]
 
     def _dataset_for(self, request: dict, policy: Policy):
+        """Resolve the request's data source.
+
+        Returns ``(source, dataset_key)`` where ``source`` is a
+        :class:`Database` for pinned/inline datasets or a
+        :class:`~repro.stream.StreamDataset` for registered streams (key
+        ``("stream", name)`` — stable across ticks, so one session follows
+        the stream instead of being re-keyed every advance).
+        """
         ds = spec_get(request, "dataset", dict, "request")
         name = spec_get(ds, "name", str, "request.dataset", required=False)
         if name is not None:
             with self._datasets_lock:
                 db = self._datasets.get(name)
-                registered = sorted(self._datasets) if db is None else ()
+                stream = self._streams.get(name)
+                registered = (
+                    sorted(self._datasets) + sorted(self._streams)
+                    if db is None and stream is None
+                    else ()
+                )
+            if stream is not None:
+                if stream.domain != policy.domain:
+                    raise SpecError(
+                        "request.dataset.name",
+                        f"stream {name!r} is over a different domain than the policy",
+                    )
+                return stream, ("stream", name)
             if db is None:
                 known = ", ".join(registered) or "none registered"
                 raise SpecError("request.dataset.name", f"unknown dataset {name!r} ({known})")
@@ -339,17 +399,23 @@ class BlowfishService:
         return db, ("inline", hashlib.sha256(arr.tobytes()).hexdigest()[:16])
 
     @staticmethod
-    def _session_key(session_id: str, engine, dataset_key, options) -> tuple:
+    def _session_key(session_id: str, engine, dataset_key, options, stream_budget=None) -> tuple:
         # the key mirrors the engine pool's (fingerprint, epsilon, options)
         # plus the dataset: a request differing in any of them must not be
-        # served from another engine's cached releases
-        return (
+        # served from another engine's cached releases.  A stream budget is
+        # part of a streaming session's identity too — the continual
+        # mechanisms it parameterizes (horizon, window, degradation) live
+        # on the session, so a different amortization must not reuse them.
+        key = (
             session_id,
             engine.fingerprint,
             float(engine.epsilon),
             _options_key(options),
             dataset_key,
         )
+        if stream_budget is not None:
+            key += (stream_budget.cache_token(),)
+        return key
 
     @staticmethod
     def _ledger_key(session_key: tuple) -> str:
@@ -364,8 +430,16 @@ class BlowfishService:
         """
         return hashlib.sha256(repr(session_key).encode()).hexdigest()[:24]
 
-    def _session_for(self, request: dict, engine, db: Database, dataset_key, options) -> tuple:
+    def _session_for(
+        self, request: dict, engine, source, dataset_key, options, stream_budget=None
+    ) -> tuple:
         """Resolve (or create, exactly once) the request's session.
+
+        ``source`` is the :meth:`_dataset_for` result: a pinned
+        :class:`Database`, or a stream — in which case the session is built
+        over the stream's sealed snapshot and attached to the stream (with
+        ``stream_budget``'s continual-release state when one was supplied),
+        so it follows every subsequent tick.
 
         Returns ``(session, session_id, budget_note)``; ``budget_note`` is
         None unless the request carried a budget that an already-open
@@ -374,25 +448,37 @@ class BlowfishService:
         """
         session_id = spec_get(request, "session", str, "request", required=False)
         budget = spec_get(request, "budget", (int, float), "request", required=False)
-        if session_id is None:
-            # ephemeral: ledger and releases live for this request only
-            return Session(engine, db, budget=budget), None, None
-        key = self._session_key(session_id, engine, dataset_key, options)
+        stream = None
+        db = source
+        if dataset_key is not None and dataset_key[0] == "stream":
+            stream = source
+            db = stream.snapshot()
 
-        def build() -> Session:
-            # runs under the key's stripe lock (construction is cheap — no
-            # data is touched) so racing openers of a brand-new key can
-            # never build two ledgers and drop one mid-spend
-            return Session(
+        def build_raw() -> Session:
+            session = Session(
                 engine,
                 db,
                 budget=budget,
                 client_id=session_id,
-                ledger=self.ledger_store,
-                ledger_key=self._ledger_key(key) if self.ledger_store is not None else None,
+                ledger=self.ledger_store if session_id is not None else None,
+                ledger_key=(
+                    self._ledger_key(key)
+                    if session_id is not None and self.ledger_store is not None
+                    else None
+                ),
             )
+            if stream is not None:
+                session.attach_stream(stream, stream_budget)
+            return session
 
-        session, created = self._sessions.get_or_create(key, build)
+        if session_id is None:
+            # ephemeral: ledger and releases live for this request only
+            return build_raw(), None, None
+        key = self._session_key(session_id, engine, dataset_key, options, stream_budget)
+        # build_raw runs under the key's stripe lock (construction is cheap
+        # — no data is touched) so racing openers of a brand-new key can
+        # never build two ledgers and drop one mid-spend
+        session, created = self._sessions.get_or_create(key, build_raw)
         budget_note = None
         if not created and budget is not None and budget != session.budget:
             # the ledger persists; a different budget on a later request is
@@ -450,9 +536,10 @@ class BlowfishService:
         The response carries the executed plan's per-step report.
         """
         engine, engine_cache, options = self._engine_for(request)
+        plan_budget = self._parse_plan_budget(request)
         db, dataset_key = self._dataset_for(request, engine.policy)
         session, session_id, budget_note = self._session_for(
-            request, engine, db, dataset_key, options
+            request, engine, db, dataset_key, options, self._stream_budget(plan_budget)
         )
         self._annotate_request_span(engine, session_id, engine_cache)
         rng = ensure_rng(spec_get(request, "seed", int, "request", required=False))
@@ -466,7 +553,7 @@ class BlowfishService:
             plan, plan_cache, answers, call_meta = session.plan_execute_with_meta(
                 workload,
                 optimize=self._plan_mode(request) == "auto",
-                budget=self._parse_plan_budget(request),
+                budget=plan_budget,
                 rng=rng,
             )
         meta = {
@@ -517,6 +604,7 @@ class BlowfishService:
         workload = self._parse_workload(request, engine.policy.domain)
         optimize = self._plan_mode(request) == "auto"
         budget = self._parse_plan_budget(request)
+        stream_budget = self._stream_budget(budget)
         session = None
         dataset_key = None
         session_id = spec_get(request, "session", str, "request", required=False)
@@ -526,8 +614,12 @@ class BlowfishService:
             # peek: a read-only preview must neither create the session nor
             # refresh its LRU slot
             session = self._sessions.peek(
-                self._session_key(session_id, engine, dataset_key, options)
+                self._session_key(session_id, engine, dataset_key, options, stream_budget)
             )
+        if session is None and stream_budget is not None:
+            # no streaming session to preview against: report the tick's
+            # amortized share (what one tick of op "plan" would budget)
+            budget = stream_budget.tick_budget()
         self._annotate_request_span(engine, session_id, engine_cache)
         with self._calibration_ctx(dataset_key):
             if session is not None:
@@ -572,12 +664,77 @@ class BlowfishService:
 
         Shape: ``{"total": 1.0}`` or ``{"uniform": 0.25}``, plus optional
         ``"floors": {group: eps}`` and ``"degradation": "strict" |
-        "drop_optional" | "reuse_stale"``.
+        "drop_optional" | "reuse_stale"``.  ``{"kind": "stream_budget",
+        "total": ..., "horizon": ...}`` parses to a
+        :class:`~repro.stream.StreamBudget` for continual-release sessions.
         """
         spec = spec_get(request, "plan_budget", dict, "request", required=False)
         if spec is None:
             return None
         return PlanBudget.from_spec(spec, "request.plan_budget")
+
+    @staticmethod
+    def _stream_budget(plan_budget):
+        """The parsed plan budget, iff it is a stream (amortizing) one."""
+        from ..stream.budget import StreamBudget
+
+        return plan_budget if isinstance(plan_budget, StreamBudget) else None
+
+    # -- stream mutation ops ----------------------------------------------------------
+    def _stream_named(self, request: dict):
+        name = spec_get(request, "stream", str, "request")
+        with self._datasets_lock:
+            stream = self._streams.get(name)
+            known = sorted(self._streams) if stream is None else ()
+        if stream is None:
+            registered = ", ".join(known) or "none registered"
+            raise SpecError("request.stream", f"unknown stream {name!r} ({registered})")
+        return name, stream
+
+    def _append(self, request: dict) -> dict:
+        """``op: "append"`` — buffer arrivals into a registered stream.
+
+        Appended tuples stay invisible to queries until a ``"tick"``
+        seals them; nothing here touches any budget.
+        """
+        name, stream = self._stream_named(request)
+        indices = spec_get(request, "indices", list, "request")
+        arr = _int_array(indices, "request.indices")
+        try:
+            appended = stream.append(arr)
+        except ValueError as exc:
+            raise SpecError("request.indices", str(exc)) from None
+        obs.metrics().counter("stream_appends_total", stream=name).inc(appended)
+        return {
+            "ok": True,
+            "op": "append",
+            "stream": name,
+            "appended": appended,
+            "pending": stream.pending,
+            "tick": stream.tick,
+        }
+
+    def _tick(self, request: dict) -> dict:
+        """``op: "tick"`` — seal the pending arrivals as the next tick.
+
+        Time moves for every session attached to the stream: their next
+        request re-syncs to the new snapshot and every held release ages
+        by one tick.
+        """
+        name, stream = self._stream_named(request)
+        with obs.tracer().span("service.tick", stream=name) as span:
+            tick = stream.advance()
+            span.set(tick=tick, n=stream.n)
+        obs.metrics().counter("stream_ticks_total", stream=name).inc()
+        obs.metrics().gauge("stream_tick", stream=name).set(tick)
+        return {
+            "ok": True,
+            "op": "tick",
+            "stream": name,
+            "tick": tick,
+            "n": stream.n,
+            "fingerprint": stream.fingerprint(),
+        }
 
     def _describe(self, request: dict) -> dict:
         from ..analysis.bounds import active_calibration
@@ -595,12 +752,27 @@ class BlowfishService:
             # which measured calibration the planner's scores come from
             "cost_model": active_calibration(),
             "dataset_calibrations": dict(self._dataset_fits),
+            "streams": self._stream_section(),
             # full observability snapshot: registry instruments + this
             # service's cache/ledger series (JSON-ready; also renderable
             # via repro.obs.render_prometheus)
             "metrics": self.metrics_snapshot(),
         }
         return {"ok": True, "op": "describe", "meta": meta}
+
+    def _stream_section(self) -> dict:
+        """Registered streams' current state (``"describe"``)."""
+        with self._datasets_lock:
+            streams = dict(self._streams)
+        return {
+            name: {
+                "tick": s.tick,
+                "n": s.n,
+                "pending": s.pending,
+                "fingerprint": s.fingerprint(),
+            }
+            for name, s in sorted(streams.items())
+        }
 
     # -- observability ---------------------------------------------------------------
     def metrics_snapshot(self) -> dict:

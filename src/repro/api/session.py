@@ -31,6 +31,19 @@ __all__ = ["Session"]
 QUERY_FAMILY = {"range": "range", "count": "histogram", "linear": "linear"}
 
 
+def _staleness_floor(workload) -> int:
+    """The tightest freshness bound any group in ``workload`` demands.
+
+    An undeclared bound means "current tick" (0) on streams, so one strict
+    group pins the whole workload to fresh data.
+    """
+    bounds = [
+        g.max_staleness if g.max_staleness is not None else 0
+        for g in workload.groups
+    ]
+    return min(bounds, default=0)
+
+
 class Session:
     """One client's query-answering session against a (possibly pooled) engine.
 
@@ -96,31 +109,111 @@ class Session:
             self.accountant = PrivacyAccountant(engine.policy, budget)
         #: family -> released synopsis; engine.answer() adds to it in place.
         self.releases: dict = {}
+        #: release key -> tick it was released at (streaming sessions only;
+        #: drives the per-group staleness bounds the planner enforces)
+        self.release_ticks: dict[str, int] = {}
+        #: attached StreamDataset, or None for the classic pinned-db session
+        self.stream = None
+        #: StreamState when the stream came with a StreamBudget
+        self.stream_state = None
+        self._db_tick: int = -1
         # re-entrant: the metered wrappers lock, then call the locked
         # answer/plan primitives on the same thread
         self._lock = RLock()
+
+    # -- streaming -----------------------------------------------------------------
+    def attach_stream(self, stream, budget=None) -> "Session":
+        """Bind this session to an append-only :class:`~repro.stream.StreamDataset`.
+
+        The session's database becomes the stream's sealed snapshot and is
+        re-synced (under the session lock, spend-free) at the top of every
+        answer/plan entry point, so queries always see the latest sealed
+        tick.  Held releases are *not* invalidated by new ticks — their age
+        is tracked in :attr:`release_ticks` and the planner decides, per
+        query group's ``max_staleness``, whether a held release may still
+        serve for free.
+
+        With ``budget`` (a :class:`~repro.stream.StreamBudget`) the session
+        gets a :class:`~repro.stream.StreamState`: continual-release
+        mechanisms amortizing the budget's total over its horizon, which
+        plan compilation scores against the one-shot strategies.
+        """
+        from ..stream.serving import StreamState
+
+        if stream.domain != self.engine.policy.domain:
+            raise ValueError("stream is over a different domain than the policy")
+        with self._lock:
+            self.stream = stream
+            self.db = stream.snapshot()
+            self._db_tick = stream.tick
+            self.release_ticks = {}
+            self.stream_state = (
+                None if budget is None else StreamState(self.engine, stream, budget)
+            )
+        return self
+
+    def _sync_stream(self) -> None:
+        """Refresh the pinned db to the stream's latest sealed tick.
+
+        Spend-free by design: syncing only swaps the snapshot and the tick
+        counter.  What to do about now-stale releases is a *planning*
+        decision (freshness bounds, re-release, degradation), never a
+        side effect of observing time pass.
+        """
+        if self.stream is not None and self.stream.tick != self._db_tick:
+            self.db = self.stream.snapshot()
+            self._db_tick = self.stream.tick
+
+    def _staleness(self) -> dict[str, int] | None:
+        """Age in ticks of every held release (``None`` off-stream)."""
+        if self.stream is None:
+            return None
+        return {
+            key: self._db_tick - self.release_ticks.get(key, self._db_tick)
+            for key in self.releases
+        }
+
+    def _record_births(self, cached_before) -> None:
+        """Stamp the current tick on releases this call produced.
+
+        An unstamped key is also (re)stamped — a release evicted and
+        re-released within one call must restart its age at 0, not inherit
+        the evicted stamp's absence.
+        """
+        if self.stream is None:
+            return
+        for key in self.releases:
+            if key not in cached_before or key not in self.release_ticks:
+                self.release_ticks[key] = self._db_tick
 
     # -- answering -----------------------------------------------------------------
     def answer(self, queries: Sequence[Query], *, rng=None) -> np.ndarray:
         """Answer a mixed batch, reusing this session's releases (in order)."""
         with self._lock:
-            return self.engine.answer(
+            self._sync_stream()
+            cached_before = set(self.releases)
+            answers = self.engine.answer(
                 queries,
                 self.db,
                 rng=rng,
                 releases=self.releases,
                 accountant=self.accountant,
             )
+            self._record_births(cached_before)
+            return answers
 
     def answer_ranges(self, los, his, *, rng=None) -> np.ndarray:
         """Vectorized range answers from index arrays (the bulk hot path)."""
         with self._lock:
+            self._sync_stream()
             rel = self.releases.get("range")
             if rel is None:
                 rel = self.engine.release(
                     self.db, "range", rng=ensure_rng(rng), accountant=self.accountant
                 )
                 self.releases["range"] = rel
+                if self.stream is not None:
+                    self.release_ticks["range"] = self._db_tick
         return rel.ranges(np.asarray(los, np.int64), np.asarray(his, np.int64))
 
     def answer_with_meta(
@@ -162,19 +255,60 @@ class Session:
 
     def plan_with_meta(self, workload, *, optimize: bool = True, budget=None):
         """:meth:`plan`, plus the plan-cache outcome (``"hit"``/``"miss"``/
-        ``"uncached"``) for this compile."""
+        ``"uncached"``) for this compile.
+
+        On a streaming session the compile first syncs to the latest sealed
+        tick and hands the planner each held release's age, so per-group
+        freshness bounds decide free reuse.  A
+        :class:`~repro.stream.StreamBudget` plans the *tick's* amortized
+        share inside a scoped stream context (which is what lets the
+        continual-release strategies compete); past the horizon a strict
+        budget raises here, spend-free, and the degrade modes compile
+        against a zero remaining budget so the planner's degradation
+        machinery (drop / stale reuse) takes over.
+        """
+        from ..stream.budget import StreamBudget
+
         with self._lock, obs.tracer().span("session.plan") as span:
-            remaining = None
-            if budget is not None and self.accountant.budget is not None:
-                remaining = self.accountant.remaining()
-                span.set(remaining_budget=remaining)
-            plan, plan_cache = self.engine.plan_with_meta(
-                workload,
-                optimize=optimize,
-                existing=self.releases,
-                budget=budget,
-                remaining=remaining,
-            )
+            self._sync_stream()
+            staleness = self._staleness()
+            stream_ctx = None
+            if isinstance(budget, StreamBudget):
+                if self.stream_state is None:
+                    raise ValueError(
+                        "a StreamBudget needs a session with an attached stream "
+                        "and stream budget (Session.attach_stream)"
+                    )
+                ss = self.stream_state
+                ss.check_horizon()  # strict refuses past-horizon ticks here
+                remaining = 0.0 if ss.past_horizon() else None
+                budget = budget.tick_budget()
+                stream_ctx = ss.plan_context()
+                span.set(stream_tick=self._db_tick)
+            else:
+                remaining = None
+                if budget is not None and self.accountant.budget is not None:
+                    remaining = self.accountant.remaining()
+                    span.set(remaining_budget=remaining)
+            if stream_ctx is not None:
+                with stream_ctx:
+                    plan, plan_cache = self.engine.plan_with_meta(
+                        workload,
+                        optimize=optimize,
+                        existing=self.releases,
+                        budget=budget,
+                        remaining=remaining,
+                        staleness=staleness,
+                    )
+            else:
+                plan, plan_cache = self.engine.plan_with_meta(
+                    workload,
+                    optimize=optimize,
+                    existing=self.releases,
+                    budget=budget,
+                    remaining=remaining,
+                    staleness=staleness,
+                )
             span.set(plan_cache=plan_cache)
             return plan, plan_cache
 
@@ -195,11 +329,71 @@ class Session:
         with self._lock, obs.tracer().span(
             "session.plan_execute", client=self.client_id
         ):
+            if self.stream is None:
+                plan, plan_cache = self.plan_with_meta(
+                    workload, optimize=optimize, budget=budget
+                )
+                answers, meta = self.execute_plan(plan, rng=rng)
+                return plan, plan_cache, answers, meta
+            rng = ensure_rng(rng)
+            self._sync_stream()
+            spent_before = self.accountant.sequential_total()
+            ss = self.stream_state
+            if ss is not None:
+                # a previously chosen counter is continual: fold every newly
+                # sealed tick in (amortized spends) before planning sees it
+                # — unless every group tolerates the synopsis's current age
+                ss.advance_if_sticky(
+                    self, rng, tolerance=_staleness_floor(workload)
+                )
             plan, plan_cache = self.plan_with_meta(
                 workload, optimize=optimize, budget=budget
             )
+            cached_before = set(self.releases)
+            self._stream_fixup(plan, rng)
             answers, meta = self.execute_plan(plan, rng=rng)
-        return plan, plan_cache, answers, meta
+            self._record_births(cached_before)
+            # the amortized stream spends happen beside the executor's own
+            # ledger; the honest per-call figure is the accountant delta
+            meta["epsilon_spent"] = (
+                self.accountant.sequential_total() - spent_before
+            )
+            meta["session_total"] = self.accountant.sequential_total()
+            if ss is not None:
+                meta["stream"] = ss.describe()
+            ages = self._staleness() or {}
+            for key, age in ages.items():
+                obs.metrics().gauge("stream_release_age", key=key).set(age)
+            return plan, plan_cache, answers, meta
+
+    def _stream_fixup(self, plan, rng) -> None:
+        """Reconcile a tick's compiled plan with the stream serving state.
+
+        For every step that charges fresh epsilon: a stream-managed key
+        (the interval counter / window releaser) is brought current through
+        the amortized mechanisms — its spend is ``per_node``/``per_tick``
+        through the session accountant, never the plan's one-shot
+        allocation, and the executor then serves it as a held release.  A
+        *non-managed* key the session still holds from an older tick is
+        evicted, so the executor re-releases it fresh from the synced
+        snapshot instead of silently serving stale data the plan decided to
+        pay to replace.
+        """
+        ss = self.stream_state
+        for step in plan.steps:
+            if step.family == "linear" or step.degradation is not None:
+                continue
+            if step.epsilon <= 0:
+                continue  # free reuse: the planner accepted the held age
+            key = step.release
+            if ss is not None and ss.managed(key):
+                ss.ensure_fresh(key, self, rng)
+            elif (
+                key in self.releases
+                and self._db_tick - self.release_ticks.get(key, self._db_tick) > 0
+            ):
+                del self.releases[key]
+                self.release_ticks.pop(key, None)
 
     def execute_plan(self, plan, *, rng=None) -> tuple[np.ndarray, dict]:
         """Run a compiled plan against this session's data, ledger and cache.

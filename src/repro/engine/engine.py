@@ -412,6 +412,7 @@ class PolicyEngine:
         existing=(),
         budget=None,
         remaining: float | None = None,
+        staleness=None,
     ):
         """Compile a :class:`repro.plan.Plan` for ``workload``.
 
@@ -433,11 +434,17 @@ class PolicyEngine:
         plan would not fit.  Without a budget every fresh release charges
         the engine's full epsilon, exactly as before.
 
+        ``staleness`` maps the caller's release keys to their age in ticks
+        (continual-release sessions); groups reuse a held key for free only
+        within their ``max_staleness`` bound, and ages are part of the
+        plan-cache identity.
+
         With a :attr:`plan_cache` attached (pooled engines), the compiled
         plan is memoized under everything it depends on — policy
         fingerprint, epsilon, options, the workload's structural digest,
-        the caller's existing-release state and the budget directive — so
-        a repeated workload skips candidate scoring entirely.
+        the caller's existing-release state (with staleness ages) and the
+        budget directive — so a repeated workload skips candidate scoring
+        entirely.
         """
         return self.plan_with_meta(
             workload,
@@ -445,6 +452,7 @@ class PolicyEngine:
             existing=existing,
             budget=budget,
             remaining=remaining,
+            staleness=staleness,
         )[0]
 
     def plan_with_meta(
@@ -455,10 +463,11 @@ class PolicyEngine:
         existing=(),
         budget=None,
         remaining: float | None = None,
+        staleness=None,
     ):
         """:meth:`plan`, plus ``"hit"``/``"miss"``/``"uncached"`` for the
         plan-cache outcome of this call (what the service reports)."""
-        from ..analysis.bounds import active_calibration_family
+        from ..analysis.bounds import active_calibration_family, stream_plan_token
         from ..plan import Planner, Workload
         from ..plan.planner import existing_token
 
@@ -472,6 +481,7 @@ class PolicyEngine:
                 existing=existing,
                 budget=budget,
                 remaining=remaining,
+                staleness=staleness,
             )
             obs.metrics().counter("plan_requests_total", outcome="uncached").inc()
             return plan, "uncached"
@@ -494,7 +504,12 @@ class PolicyEngine:
             active_calibration_family(),
             workload.cache_token(),
             bool(optimize),
-            existing_token(existing),
+            # release ages fold into the existing token, so stale-reuse and
+            # fresh compiles of one workload can never collide
+            existing_token(existing, staleness),
+            # the stream candidates' scores read the active stream context
+            # (None outside one, so one-shot keys are unchanged)
+            stream_plan_token(),
             # unbudgeted plans share one entry regardless of ledger state,
             # exactly as before
             None if budget is None else (budget.cache_token(), remaining_token),
@@ -502,7 +517,9 @@ class PolicyEngine:
         plan = cache.lookup(key)
         if plan is not None:
             obs.metrics().counter("plan_requests_total", outcome="hit").inc()
-            return plan, "hit"
+            # cached plans are stored payload-free; rebind the caller's live
+            # workload (token-checked) so downstream execution is unchanged
+            return plan.bind(workload), "hit"
         # compiled outside any lock: plans are deterministic in the key, so
         # racing compilers produce interchangeable values (first stored wins)
         plan = Planner(self).plan(
@@ -511,15 +528,35 @@ class PolicyEngine:
             existing=existing,
             budget=budget,
             remaining=remaining,
+            staleness=staleness,
         )
         obs.metrics().counter("plan_requests_total", outcome="miss").inc()
-        return cache.store(key, plan), "miss"
+        # the cache keeps only the payload-free form (structure + tokens) —
+        # the compiling caller executes its own full plan either way
+        cache.store(key, plan)
+        return plan, "miss"
 
-    def execute(self, plan, db: Database | None = None, *, rng=None, releases=None, accountant=None):
+    def execute(
+        self,
+        plan,
+        db: Database | None = None,
+        *,
+        rng=None,
+        releases=None,
+        accountant=None,
+        workload=None,
+    ):
         """Run a compiled plan; see :class:`repro.plan.Executor`."""
         from ..plan import Executor
 
-        return Executor(self).run(plan, db, rng=rng, releases=releases, accountant=accountant)
+        return Executor(self).run(
+            plan,
+            db,
+            rng=rng,
+            releases=releases,
+            accountant=accountant,
+            workload=workload,
+        )
 
     def answer(
         self,

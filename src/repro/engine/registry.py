@@ -240,6 +240,32 @@ def constrained_histogram(policy, epsilon, *, sensitivity=None, **_):
     return ConstrainedHistogramMechanism(policy, epsilon, sensitivity=sensitivity)
 
 
+def _streaming(policy) -> bool:
+    """Continual-release candidates match only while a tick is being
+    planned (a :func:`repro.analysis.bounds.stream_context` is active), so
+    one-shot dispatch and fingerprinted plan caches never see them."""
+    from ..analysis.bounds import active_stream_context
+
+    return active_stream_context() is not None
+
+
+def stream_interval(policy, epsilon, *, consistent=True, **_):
+    """One dyadic node of the hierarchical interval counter.
+
+    The counter itself (which intervals to release when, amortized
+    charging) lives in :mod:`repro.stream.mechanisms`; each node is an
+    ordered release of that interval's arrivals, which is also the right
+    one-shot fallback when the engine is asked to release this strategy
+    directly against a snapshot.
+    """
+    return OrderedMechanism(policy, epsilon, consistent=consistent)
+
+
+def stream_window(policy, epsilon, *, consistent=True, **_):
+    """One sliding-window re-release (ordered over the window's arrivals)."""
+    return OrderedMechanism(policy, epsilon, consistent=consistent)
+
+
 def default_registry() -> MechanismRegistry:
     """The paper's dispatch table (fresh instance, safe to extend)."""
     reg = MechanismRegistry()
@@ -265,4 +291,9 @@ def default_registry() -> MechanismRegistry:
     # the OH hybrid under G^{d,theta} once theta is small enough that
     # 4 theta^2 undercuts the Eqn (14) tree error.
     reg.register("range", DistanceThresholdGraph, ordered, name="ordered")
+    # continual-release candidates: trailing (never the fixed dispatch) and
+    # gated on an active stream context, so the planner cost-scores them
+    # against the one-shot strategies only when a tick is being planned
+    reg.register("range", None, stream_interval, when=_streaming, name="hierarchical-interval")
+    reg.register("range", None, stream_window, when=_streaming, name="sliding-window")
     return reg

@@ -185,6 +185,12 @@ class PlanBudget:
 
     @classmethod
     def from_spec(cls, spec: dict, path: str = "plan_budget") -> "PlanBudget":
+        if cls is PlanBudget and spec.get("kind") == "stream_budget":
+            # dispatch to the streaming subclass without a load-time import
+            # cycle (repro.stream imports repro.plan)
+            from ..stream.budget import StreamBudget
+
+            return StreamBudget.from_spec(spec, path)
         if "kind" in spec:
             check_kind(spec, "plan_budget", path)
         check_version(spec, path, required=False)

@@ -35,19 +35,29 @@ __all__ = ["Executor", "PlanResult"]
 class PlanResult:
     """Answers plus the execution ledger of one plan run."""
 
-    __slots__ = ("plan", "by_group", "epsilon_spent", "release_cache")
+    __slots__ = ("plan", "by_group", "epsilon_spent", "release_cache", "workload")
 
-    def __init__(self, plan: Plan, by_group: dict, epsilon_spent: float, release_cache: dict):
+    def __init__(
+        self,
+        plan: Plan,
+        by_group: dict,
+        epsilon_spent: float,
+        release_cache: dict,
+        workload=None,
+    ):
         self.plan = plan
         self.by_group = by_group
         self.epsilon_spent = float(epsilon_spent)
         #: release key -> "hit" (reused) or "miss" (released fresh this run)
         self.release_cache = release_cache
+        #: the workload the run actually served — the caller's live one for
+        #: payload-free cached plans, else the plan's own
+        self.workload = workload if workload is not None else plan.workload
 
     @property
     def answers(self) -> np.ndarray:
         """Flat answers in the workload's order."""
-        return self.plan.workload.assemble(self.by_group)
+        return self.workload.assemble(self.by_group)
 
     def __repr__(self) -> str:
         return (
@@ -70,6 +80,7 @@ class Executor:
         rng=None,
         releases: dict | None = None,
         accountant=None,
+        workload=None,
     ) -> PlanResult:
         """Answer every group of ``plan``'s workload in plan order.
 
@@ -78,8 +89,26 @@ class Executor:
         required when a release is actually missing.  Steps run in plan
         order and draw from one ``rng`` stream, so a fixed seed makes the
         whole run bitwise-deterministic.
+
+        ``workload`` supplies the live query payload when ``plan`` came out
+        of a cache payload-free (:meth:`Plan.payload_free`); its
+        ``cache_token()`` must match the token the plan was compiled over.
+        Passing it for a full plan is allowed under the same token check —
+        the arrays are then read from the caller's copy.
         """
         engine = self.engine
+        if workload is not None:
+            if workload.cache_token() != plan.workload_token():
+                raise ValueError(
+                    "workload does not match the plan's workload token; "
+                    "a cached plan may only serve the workload it was compiled for"
+                )
+        elif plan.is_payload_free:
+            raise ValueError(
+                "plan is payload-free (cached form); pass the live workload "
+                "via Executor.run(..., workload=...)"
+            )
+        wl = workload if workload is not None else plan.workload
         if plan.policy_fingerprint != engine.fingerprint:
             raise ValueError(
                 "plan was compiled for a different policy "
@@ -120,7 +149,7 @@ class Executor:
         reg = obs.metrics()
         with tracer.span("executor.run", steps=len(plan.steps), mode=plan.mode) as run_span:
             for step in plan.steps:
-                group = plan.workload.group(step.group)
+                group = wl.group(step.group)
                 with tracer.span(
                     "executor.step",
                     group=group.name,
@@ -203,7 +232,7 @@ class Executor:
                             hist_cells[step.release] = shared
                         by_group[group.name] = shared.counts(group.masks)
             run_span.set(epsilon_spent=spent)
-        return PlanResult(plan, by_group, spent, cache)
+        return PlanResult(plan, by_group, spent, cache, workload=wl)
 
     @staticmethod
     def _require_db(db, step):

@@ -158,8 +158,10 @@ class Plan:
         self.cost_model = cost_model
         #: canonical per-family mechanism options the plan was scored under;
         #: the executor refuses engines configured differently (options
-        #: change the released structures the cost model reasoned about)
+        #: change the released structures the plan was scored on)
         self.options = canonical_options(options)
+        self._workload_token: str | None = None
+        self._fingerprint: str | None = None
         known = {g.name for g in workload.groups}
         covered: set[str] = set()
         for step in self.steps:
@@ -198,6 +200,86 @@ class Plan:
             if step.degradation is not None:
                 out.setdefault(step.degradation, []).append(step.group)
         return out
+
+    def workload_token(self) -> str:
+        """The workload's structural cache token (memoized).
+
+        The payload handoff key: a payload-free cached plan is only run
+        against a live workload whose token matches this one.
+        """
+        if self._workload_token is None:
+            self._workload_token = self.workload.cache_token()
+        return self._workload_token
+
+    @property
+    def is_payload_free(self) -> bool:
+        """True when the workload is a structure-only skeleton (cached form)."""
+        from .workload import WorkloadSkeleton
+
+        return isinstance(self.workload, WorkloadSkeleton)
+
+    def payload_free(self) -> "Plan":
+        """A cache-ready copy that drops the retained query payloads.
+
+        The copy swaps the workload for a
+        :class:`~repro.plan.workload.WorkloadSkeleton` — structure and
+        cache token only — so its :meth:`nbytes` shrinks to the per-step
+        constant and far more plans fit under the
+        :class:`repro.api.PlanCache` byte cap.  The plan fingerprint is
+        memoized before the payload goes away, so service responses for
+        cached plans stay identical to freshly compiled ones.  Executing
+        the copy requires the caller's live workload
+        (``Executor.run(..., workload=...)``).
+        """
+        from .workload import WorkloadSkeleton
+
+        if self.is_payload_free:
+            return self
+        fingerprint = self.fingerprint()
+        token = self.workload_token()
+        light = Plan(
+            self.policy_fingerprint,
+            self.epsilon,
+            WorkloadSkeleton(self.workload),
+            self.steps,
+            mode=self.mode,
+            options=self.options,
+            budget=self.budget,
+            cost_model=self.cost_model,
+        )
+        light._fingerprint = fingerprint
+        light._workload_token = token
+        return light
+
+    def bind(self, workload: Workload) -> "Plan":
+        """The inverse handoff of :meth:`payload_free`: a full plan over the
+        caller's live workload.
+
+        Plan-cache hits return payload-free plans; binding the requesting
+        workload (whose token necessarily matches — it is part of the cache
+        key) restores a plan indistinguishable from a fresh compile, so no
+        downstream caller has to know the cache dropped the payloads.
+        Full plans bind too (token-checked), which lets callers bind
+        unconditionally on any cache outcome.
+        """
+        token = self.workload_token()
+        if workload.cache_token() != token:
+            raise ValueError("workload does not match the plan's cache token")
+        if not self.is_payload_free and workload is self.workload:
+            return self
+        bound = Plan(
+            self.policy_fingerprint,
+            self.epsilon,
+            workload,
+            self.steps,
+            mode=self.mode,
+            options=self.options,
+            budget=self.budget,
+            cost_model=self.cost_model,
+        )
+        bound._fingerprint = self._fingerprint
+        bound._workload_token = token
+        return bound
 
     def step_for(self, group: str) -> PlanStep:
         for step in self.steps:
@@ -363,8 +445,14 @@ class Plan:
             raise SpecError(f"{path}.steps", str(exc)) from None
 
     def fingerprint(self) -> str:
-        """Stable digest of the canonical plan spec (round-trip invariant)."""
-        return spec_digest(self.to_spec())
+        """Stable digest of the canonical plan spec (round-trip invariant).
+
+        Memoized — in particular *before* :meth:`payload_free` drops the
+        workload arrays the spec digest is computed over.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = spec_digest(self.to_spec())
+        return self._fingerprint
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{s.group}->{s.strategy}" for s in self.steps)

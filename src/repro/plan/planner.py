@@ -54,7 +54,7 @@ from .workload import Workload
 __all__ = ["Planner", "existing_token"]
 
 
-def existing_token(existing) -> tuple:
+def existing_token(existing, staleness=None) -> tuple:
     """Hashable identity of an ``existing`` argument for plan-cache keys.
 
     Mirrors exactly what :meth:`Planner.plan` reads from ``existing``: which
@@ -62,8 +62,12 @@ def existing_token(existing) -> tuple:
     key -> release mapping (the two are planned differently for linear
     groups), and — for a held :class:`~repro.engine.ReleasedLinear` — the
     digest of the rows it covers, since row-level reuse changes the
-    predicted charge.  Two calls with equal tokens compile equal plans.
+    predicted charge.  ``staleness`` (release key -> age in ticks) is part
+    of the identity too: a plan that reuses an aged release and a plan that
+    refreshes it must never share a cache entry.  Two calls with equal
+    tokens compile equal plans.
     """
+    ages = _nonzero_ages(staleness)
     if not existing:
         # an empty mapping and an empty key set plan identically (nothing
         # to reuse either way), so they share one cache entry
@@ -74,8 +78,20 @@ def existing_token(existing) -> tuple:
             rel = existing[key]
             digest = getattr(rel, "rows_digest", None)
             items.append((str(key), digest() if callable(digest) else None))
-        return ("held", tuple(items))
-    return ("keys", tuple(sorted(str(k) for k in existing)))
+        base = ("held", tuple(items))
+    else:
+        base = ("keys", tuple(sorted(str(k) for k in existing)))
+    if ages:
+        return base + ("ages", tuple(sorted(ages.items())))
+    return base
+
+
+def _nonzero_ages(staleness) -> dict[str, int]:
+    """Normalize a release-age mapping: drop age-0 entries (fresh releases
+    plan identically whether or not an age was supplied for them)."""
+    if not staleness:
+        return {}
+    return {str(k): int(v) for k, v in staleness.items() if int(v) > 0}
 
 #: Spending fresh budget must buy at least this factor of predicted RMSE
 #: improvement over a free alternative (a cached or plan-shared release).
@@ -99,6 +115,7 @@ class Planner:
         existing=(),
         budget: PlanBudget | None = None,
         remaining: float | None = None,
+        staleness=None,
     ) -> Plan:
         """Compile a plan for ``workload``.
 
@@ -108,6 +125,12 @@ class Planner:
         instead of assuming a cached linear release makes the batch free.
         Steps served from existing releases are charged 0 and reuse
         candidates may target them.
+
+        ``staleness`` maps each existing release key to its age in stream
+        ticks (missing keys are age 0).  An aged key may only serve a group
+        whose ``max_staleness`` covers it; groups served from an aged
+        release carry ``degradation="stale"`` so callers can see which
+        answers are freshness-bounded reuse.
 
         ``budget`` switches planning to budget-first: fresh releases are
         charged an adaptive split of ``budget.total`` (error-minimizing,
@@ -122,16 +145,17 @@ class Planner:
             raise ValueError("workload is over a different domain than the policy")
         from ..analysis.bounds import active_calibration_family
 
+        ages = _nonzero_ages(staleness)
         with obs.tracer().span(
             "planner.compile",
             mode="auto" if optimize else "fixed",
             groups=len(workload.groups),
             cost_model=active_calibration_family(),
         ):
-            steps = self._compile(workload, optimize, existing)
+            steps = self._compile(workload, optimize, existing, ages)
             if budget is not None:
                 steps = self._apply_budget(
-                    workload, steps, optimize, existing, budget, remaining
+                    workload, steps, optimize, existing, budget, remaining, ages
                 )
         return Plan(
             engine.fingerprint,
@@ -144,10 +168,13 @@ class Planner:
             cost_model=active_calibration_family(),
         )
 
-    def _compile(self, workload: Workload, optimize: bool, existing) -> list[PlanStep]:
+    def _compile(
+        self, workload: Workload, optimize: bool, existing, ages: dict | None = None
+    ) -> list[PlanStep]:
         """Choose a release and strategy per group (the pre-budget planner)."""
         held = existing if isinstance(existing, dict) else None
         existing_keys = set(existing)
+        ages = ages or {}
         #: release key -> strategy, for keys available to reuse
         available: dict[str, str] = {k: self._strategy_of_key(k) for k in existing_keys}
         tracer = obs.tracer()
@@ -161,9 +188,13 @@ class Planner:
                 with tracer.span(
                     "planner.group", group=group.name, family="range"
                 ) as span:
-                    step = self._plan_range(group, optimize, available)
+                    step = self._plan_range(group, optimize, available, ages)
                     span.set(strategy=step.strategy, release=step.release)
                 by_name[group.name] = step
+                if step.degradation is None:
+                    # a freshly planned (or fresh-reused) release is age 0
+                    # for every later group; an aged serving stays aged
+                    ages = {k: v for k, v in ages.items() if k != step.release}
                 available.setdefault(step.release, step.strategy)
         planned_rows: set[bytes] = set()
         for group in workload.groups:
@@ -172,10 +203,10 @@ class Planner:
                     "planner.group", group=group.name, family=group.family
                 ) as span:
                     if group.family == "count":
-                        step = self._plan_count(group, optimize, available)
+                        step = self._plan_count(group, optimize, available, ages)
                     else:
                         step = self._plan_linear(
-                            group, optimize, available, held, existing_keys, planned_rows
+                            group, optimize, available, held, existing_keys, planned_rows, ages
                         )
                     span.set(strategy=step.strategy, release=step.release)
             else:
@@ -185,7 +216,27 @@ class Planner:
         return [by_name[group.name] for group in workload.groups]
 
     # -- per-family planning -------------------------------------------------------
-    def _plan_range(self, group, optimize: bool, available: dict) -> PlanStep:
+    @staticmethod
+    def _fresh_enough(key: str, group, ages: dict, *, degraded: bool = False) -> bool:
+        """Whether the held release behind ``key`` may serve ``group``:
+        its age must be within the group's freshness bound.
+
+        An undeclared bound means 0 (only current-tick releases serve for
+        free), except under ``reuse_stale`` degradation where it preserves
+        the legacy all-or-nothing semantics: any held release beats a
+        dropped answer.  A *declared* bound is a hard cap even then.
+        """
+        if not ages:
+            return True
+        if group.max_staleness is None:
+            if degraded:
+                return True
+            bound = 0
+        else:
+            bound = group.max_staleness
+        return ages.get(key, 0) <= bound
+
+    def _plan_range(self, group, optimize: bool, available: dict, ages: dict) -> PlanStep:
         engine = self.engine
         default = engine.strategy("range")  # may raise LookupError, as before
         names = engine.registry.candidates("range", engine.policy) if optimize else (default,)
@@ -193,7 +244,8 @@ class Planner:
         for name in names:
             rmse, sens = self._score_range(name)
             key = "range" if name == default else f"range:{name}"
-            eps = 0.0 if key in available else engine.epsilon
+            reusable = key in available and self._fresh_enough(key, group, ages)
+            eps = 0.0 if reusable else engine.epsilon
             scored.append((rmse, eps, name, sens))
         rmse, eps, chosen, sens = _choose(scored, default)
         key = "range" if chosen == default else f"range:{chosen}"
@@ -208,24 +260,29 @@ class Planner:
             sensitivity=sens,
             predicted_rmse=rmse,
             scores=tuple((n, r) for r, _, n, _ in scored if r is not None),
+            # served for free from a release that is genuinely aged: the
+            # caller accepted that staleness via the group's bound
+            degradation="stale" if eps == 0.0 and ages.get(key, 0) > 0 else None,
         )
 
-    def _plan_count(self, group, optimize: bool, available: dict) -> PlanStep:
+    def _plan_count(self, group, optimize: bool, available: dict, ages: dict) -> PlanStep:
         engine = self.engine
         default = engine.strategy("histogram")
         if not optimize:
             # the answer() hot path: no data-dependent statistics (the mask
             # stats are O(q * |T|)), just the dispatch the registry fixes
             key = "histogram"
+            reusable = key in available and self._fresh_enough(key, group, ages)
             return PlanStep(
                 group=group.name,
                 family="count",
                 release=key,
                 release_family="histogram",
                 strategy=default,
-                epsilon=0.0 if key in available else engine.epsilon,
+                epsilon=0.0 if reusable else engine.epsilon,
                 n_queries=len(group),
                 sensitivity=self._histogram_sensitivity(),
+                degradation="stale" if reusable and ages.get(key, 0) > 0 else None,
             )
         names = engine.registry.candidates("histogram", engine.policy)
         scored: list[tuple[float | None, float, str, float | None]] = []
@@ -234,7 +291,8 @@ class Planner:
             rmse, sens = self._score_count(name, group)
             key = "histogram" if name == default else f"histogram:{name}"
             release_of[name] = (key, "histogram", name)
-            eps = 0.0 if key in available else engine.epsilon
+            reusable = key in available and self._fresh_enough(key, group, ages)
+            eps = 0.0 if reusable else engine.epsilon
             scored.append((rmse, eps, name, sens))
         # reuse candidates: answer the counts from a range release the
         # plan (or session) already pays for — prefix noise telescopes,
@@ -247,6 +305,8 @@ class Planner:
             if key != "range" and not key.startswith("range:"):
                 continue
             if strategy == "hierarchical" and not consistent:
+                continue
+            if not self._fresh_enough(key, group, ages):
                 continue
             rmse, sens = self._score_range(strategy)
             if rmse is None:
@@ -268,6 +328,7 @@ class Planner:
             sensitivity=sens,
             predicted_rmse=rmse,
             scores=tuple((n, r) for r, _, n, _ in scored if r is not None),
+            degradation="stale" if eps == 0.0 and ages.get(key, 0) > 0 else None,
         )
 
     def _plan_linear(
@@ -278,8 +339,15 @@ class Planner:
         held: dict | None,
         existing_keys: set,
         planned_rows: set,
+        ages: dict | None = None,
     ) -> PlanStep:
         engine = self.engine
+        ages = ages or {}
+        if ages and not self._fresh_enough("linear", group, ages):
+            # the held linear release is too old for this group: plan as if
+            # the session held nothing (rows must be re-released fresh)
+            held = {k: v for k, v in held.items() if k != "linear"} if held else held
+            existing_keys = existing_keys - {"linear"}
         if not optimize:
             # hot path: no O(q * n) weight statistics or row digests; the
             # executor charges actuals either way.  Without row awareness,
@@ -403,6 +471,7 @@ class Planner:
         existing,
         budget: PlanBudget,
         remaining: float | None,
+        ages: dict | None = None,
     ) -> list[PlanStep]:
         """Charge the compiled steps under ``budget``, degrading if needed.
 
@@ -413,6 +482,7 @@ class Planner:
         ``degradation="stale"``.
         """
         existing_keys = set(existing)
+        ages = ages or {}
         dropped: list[str] = []
         units = self._charge_units(steps)
         needed = self._needed(budget, units)
@@ -429,10 +499,12 @@ class Planner:
                 # recompile so reuse decisions are consistent with the
                 # reduced workload (a count group must not ride a range
                 # release that a dropped group would have paid for)
-                steps = self._compile(Workload(workload.domain, kept), optimize, existing)
+                steps = self._compile(
+                    Workload(workload.domain, kept), optimize, existing, ages
+                )
                 units = self._charge_units(steps)
         if over and budget.degradation == "reuse_stale":
-            steps = self._reuse_stale(workload, steps, units, existing_keys)
+            steps = self._reuse_stale(workload, steps, units, existing_keys, ages)
             units = self._charge_units(steps)
         if budget.uniform is not None:
             needed = self._needed(budget, units)
@@ -716,6 +788,7 @@ class Planner:
         steps: list[PlanStep],
         units: list[dict],
         existing_keys: set,
+        ages: dict | None = None,
     ) -> list[PlanStep]:
         """Repin fresh releases onto the session's already-paid keys.
 
@@ -724,8 +797,11 @@ class Planner:
         for free — accepting the stale release's (possibly worse) error —
         so the remaining budget concentrates on units with no alternative.
         Linear units never repin: a stale linear release can only answer
-        rows it already holds, and those are free anyway.
+        rows it already holds, and those are free anyway.  Aged releases
+        (streaming sessions) only qualify for a unit when every group the
+        unit serves accepts the age via its freshness bound.
         """
+        ages = ages or {}
         range_keys = [k for k in existing_keys if k == "range" or k.startswith("range:")]
         hist_keys = [
             k for k in existing_keys if k == "histogram" or k.startswith("histogram:")
@@ -754,8 +830,20 @@ class Planner:
             if charge.family == "linear":
                 continue
             serves_counts = any(steps[i].family == "count" for i in unit["steps"])
+            unit_groups = [workload.group(steps[i].group) for i in unit["steps"]]
+
+            def unit_accepts(key: str) -> bool:
+                return all(
+                    self._fresh_enough(key, g, ages, degraded=True)
+                    for g in unit_groups
+                )
+
             if charge.release_family == "range":
-                usable = prefix_keys if serves_counts else range_keys
+                usable = [
+                    k
+                    for k in (prefix_keys if serves_counts else range_keys)
+                    if unit_accepts(k)
+                ]
                 key = best_key(
                     [(k, self._score_range(self._strategy_of_key(k))[0]) for k in usable]
                 )
@@ -768,8 +856,11 @@ class Planner:
                 candidates = [
                     (k, self._score_count(self._strategy_of_key(k), group)[0])
                     for k in hist_keys
+                    if unit_accepts(k)
                 ]
                 for k in prefix_keys:
+                    if not unit_accepts(k):
+                        continue
                     rmse, _ = self._score_range(self._strategy_of_key(k))
                     candidates.append((k, None if rmse is None else rmse * runs))
                 key = best_key(candidates)

@@ -38,7 +38,13 @@ from ..core.specbase import (
     spec_get,
 )
 
-__all__ = ["QueryGroup", "Workload", "FAMILY_ORDER", "validate_range_arrays"]
+__all__ = [
+    "QueryGroup",
+    "Workload",
+    "WorkloadSkeleton",
+    "FAMILY_ORDER",
+    "validate_range_arrays",
+]
 
 
 def validate_range_arrays(los: np.ndarray, his: np.ndarray, domain: Domain, path: str) -> None:
@@ -74,16 +80,35 @@ class QueryGroup:
     constrained budget with degradation mode ``drop_optional`` the planner
     sheds optional groups (their answers come back NaN) instead of failing
     the whole workload.
+
+    ``max_staleness`` is the group's freshness bound in stream ticks: the
+    planner may serve the group from an existing release that is at most
+    this many ticks old.  ``None`` (the default) means only current-tick
+    releases qualify — on a static dataset every release has age 0, so the
+    bound is inert outside streaming sessions.
     """
 
-    __slots__ = ("name", "family", "los", "his", "masks", "weights", "optional")
+    __slots__ = ("name", "family", "los", "his", "masks", "weights", "optional", "max_staleness")
 
-    def __init__(self, name: str, family: str, *, optional: bool = False, **payload):
+    def __init__(
+        self,
+        name: str,
+        family: str,
+        *,
+        optional: bool = False,
+        max_staleness: int | None = None,
+        **payload,
+    ):
         if family not in FAMILY_ORDER:
             raise ValueError(f"unknown query family {family!r} (known: {FAMILY_ORDER})")
         self.name = str(name)
         self.family = family
         self.optional = bool(optional)
+        if max_staleness is not None:
+            max_staleness = int(max_staleness)
+            if max_staleness < 0:
+                raise ValueError("max_staleness must be a non-negative tick count")
+        self.max_staleness = max_staleness
         self.los = self.his = self.masks = self.weights = None
         if family == "range":
             self.los = np.asarray(payload.pop("los"), dtype=np.int64)
@@ -103,16 +128,42 @@ class QueryGroup:
 
     # -- constructors --------------------------------------------------------------
     @classmethod
-    def ranges(cls, los, his, name: str = "range", *, optional: bool = False) -> "QueryGroup":
-        return cls(name, "range", los=los, his=his, optional=optional)
+    def ranges(
+        cls,
+        los,
+        his,
+        name: str = "range",
+        *,
+        optional: bool = False,
+        max_staleness: int | None = None,
+    ) -> "QueryGroup":
+        return cls(
+            name, "range", los=los, his=his, optional=optional, max_staleness=max_staleness
+        )
 
     @classmethod
-    def counts(cls, masks, name: str = "count", *, optional: bool = False) -> "QueryGroup":
-        return cls(name, "count", masks=masks, optional=optional)
+    def counts(
+        cls,
+        masks,
+        name: str = "count",
+        *,
+        optional: bool = False,
+        max_staleness: int | None = None,
+    ) -> "QueryGroup":
+        return cls(name, "count", masks=masks, optional=optional, max_staleness=max_staleness)
 
     @classmethod
-    def linear(cls, weights, name: str = "linear", *, optional: bool = False) -> "QueryGroup":
-        return cls(name, "linear", weights=weights, optional=optional)
+    def linear(
+        cls,
+        weights,
+        name: str = "linear",
+        *,
+        optional: bool = False,
+        max_staleness: int | None = None,
+    ) -> "QueryGroup":
+        return cls(
+            name, "linear", weights=weights, optional=optional, max_staleness=max_staleness
+        )
 
     def __len__(self) -> int:
         if self.family == "range":
@@ -166,6 +217,10 @@ class QueryGroup:
             # only emitted when set: required groups keep their pre-budget
             # spec form (and therefore their workload fingerprints)
             spec["optional"] = True
+        if self.max_staleness is not None:
+            # same emitted-only-when-set rule: non-streaming specs keep
+            # their existing fingerprints
+            spec["max_staleness"] = self.max_staleness
         if self.family == "range":
             spec["los"] = self.los.tolist()
             spec["his"] = self.his.tolist()
@@ -182,6 +237,9 @@ class QueryGroup:
         optional = bool(
             spec_get(spec, "optional", bool, path, required=False, default=False)
         )
+        max_staleness = spec_get(spec, "max_staleness", int, path, required=False)
+        if max_staleness is not None and max_staleness < 0:
+            raise SpecError(f"{path}.max_staleness", "must be a non-negative tick count")
         if family == "range":
             los = _int_array(spec_get(spec, "los", list, path), f"{path}.los")
             his = _int_array(spec_get(spec, "his", list, path), f"{path}.his")
@@ -212,6 +270,7 @@ class QueryGroup:
         else:
             raise SpecError(f"{path}.family", f"unknown query family {family!r}")
         group.optional = optional
+        group.max_staleness = max_staleness
         group._validate(domain, path)
         return group
 
@@ -225,7 +284,10 @@ class QueryGroup:
 
     def __repr__(self) -> str:
         opt = ", optional" if self.optional else ""
-        return f"QueryGroup({self.name!r}, family={self.family!r}, n={len(self)}{opt})"
+        stale = (
+            f", max_staleness={self.max_staleness}" if self.max_staleness is not None else ""
+        )
+        return f"QueryGroup({self.name!r}, family={self.family!r}, n={len(self)}{opt}{stale})"
 
 
 class Workload:
@@ -438,6 +500,10 @@ class Workload:
             h.update(g.name.encode("utf-8"))
             h.update(g.family.encode("ascii"))
             h.update(b"\x01" if g.optional else b"\x00")
+            if g.max_staleness is not None:
+                # appended only when set, so non-streaming workloads keep
+                # their pre-existing tokens
+                h.update(b"\x02s" + repr(g.max_staleness).encode("ascii"))
             for arr in (g.los, g.his, g.weights):
                 if arr is not None:
                     # shape prefix: equal flattened bytes under different
@@ -459,3 +525,85 @@ class Workload:
     def __repr__(self) -> str:
         inner = ", ".join(f"{g.name}:{len(g)}" for g in self.groups)
         return f"Workload({inner or 'empty'})"
+
+
+class _GroupSkeleton:
+    """Structure-only stand-in for a :class:`QueryGroup` (no payload arrays)."""
+
+    __slots__ = ("name", "family", "optional", "max_staleness", "_n")
+
+    def __init__(self, group: QueryGroup):
+        self.name = group.name
+        self.family = group.family
+        self.optional = group.optional
+        self.max_staleness = group.max_staleness
+        self._n = len(group)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def nbytes(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return f"_GroupSkeleton({self.name!r}, family={self.family!r}, n={self._n})"
+
+
+class WorkloadSkeleton:
+    """Payload-free stand-in for a :class:`Workload` inside cached plans.
+
+    Carries exactly what a cached :class:`~repro.plan.Plan` needs to stay
+    valid and identifiable — the domain, per-group structure (name, family,
+    query count, optionality, freshness bound) and the memoized
+    :meth:`cache_token` — while dropping the packed query arrays that
+    dominate a plan's cache footprint.  Executing such a plan requires the
+    caller to supply the live workload (the executor keys the handoff off
+    the cache token), so payload access here is a contract violation and
+    raises.
+    """
+
+    __slots__ = ("domain", "groups", "_token", "_n_flat")
+
+    def __init__(self, workload: Workload):
+        self.domain = workload.domain
+        self.groups = tuple(_GroupSkeleton(g) for g in workload.groups)
+        self._token = workload.cache_token()
+        self._n_flat = workload._n_flat
+
+    def group(self, name: str):
+        for g in self.groups:
+            if g.name == name:
+                return g
+        raise KeyError(f"no group named {name!r} in this workload")
+
+    def __len__(self) -> int:
+        return sum(len(g) for g in self.groups)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def cache_token(self) -> str:
+        return self._token
+
+    def nbytes(self) -> int:
+        """The whole point: a skeleton retains no payload bytes."""
+        return 0
+
+    def _no_payload(self, what: str):
+        raise TypeError(
+            f"cannot {what} a payload-free workload skeleton; "
+            "run the plan with the live workload (Executor.run(..., workload=...))"
+        )
+
+    def assemble(self, by_group):
+        self._no_payload("assemble answers from")
+
+    def to_spec(self):
+        self._no_payload("serialize")
+
+    def fingerprint(self):
+        self._no_payload("fingerprint")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{g.name}:{len(g)}" for g in self.groups)
+        return f"WorkloadSkeleton({inner or 'empty'})"

@@ -1,0 +1,212 @@
+"""Budget amortization for continual releases: :class:`StreamBudget`.
+
+A one-shot :class:`~repro.plan.PlanBudget` answers "how much may *this
+plan* spend".  A continual release needs the prior question answered too:
+how much of the stream's **total** epsilon may any one tick consume, given
+an expected ``horizon`` of ticks?  :class:`StreamBudget` extends
+``PlanBudget`` with that amortization and with the accounting rule the
+hierarchical-interval counter releases under:
+
+* **naive / sliding-window re-releases** recompose sequentially across
+  ticks (every tick's release sees overlapping data), so each tick may
+  spend at most ``total / horizon`` — :meth:`per_tick`;
+* **hierarchical (binary) interval counters** release one dyadic node per
+  tick.  Nodes on one level cover *disjoint* tick intervals, so a level
+  costs only its maximum node epsilon (parallel composition, Theorems
+  4.2/4.3 of the paper applied to the arrival partition), and levels
+  compose sequentially.  With ``levels = floor(log2(horizon)) + 1`` dyadic
+  levels, charging every node ``total / levels`` — :meth:`per_node` —
+  keeps the stream's true cumulative cost at or under ``total`` for the
+  whole horizon while spending ``levels / horizon`` *more* per release
+  than the naive split, which is exactly the accuracy win the benchmark
+  pins.
+
+The repo's ledgers compose sequentially, so a raw
+:meth:`~repro.core.composition.PrivacyAccountant.sequential_total` of the
+per-node spends *overstates* the stream's true cost.
+:meth:`ledger_total` recovers the honest number from a ledger's entries by
+reading the ``stream:<family>:L<level>:<lo>-<hi>`` labels the mechanisms
+stamp: per level the maximum, across levels (and all non-stream spends)
+the sum.
+
+``degradation`` carries the one-shot semantics over: ``"strict"`` raises
+:class:`~repro.core.composition.BudgetExceededError` the moment a tick
+past the horizon would need fresh budget — *before* any spend — while the
+degrade modes stop releasing and serve what the session already paid for.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..core.specbase import SPEC_VERSION, SpecError, check_version, spec_get
+from ..plan.budget import PlanBudget
+
+__all__ = ["StreamBudget", "node_label", "parse_node_label", "amortized_ledger_total"]
+
+#: Label pattern every stream node spend carries:
+#: ``stream:<family>:L<level>:<lo>-<hi>`` (ticks inclusive).
+_NODE_LABEL = re.compile(r"^stream:(?P<family>[^:]+):L(?P<level>\d+):(?P<lo>\d+)-(?P<hi>\d+)$")
+
+
+def node_label(family: str, level: int, lo_tick: int, hi_tick: int) -> str:
+    """The ledger label of one interval node's release."""
+    return f"stream:{family}:L{level}:{lo_tick}-{hi_tick}"
+
+
+def parse_node_label(label: str) -> tuple[str, int, int, int] | None:
+    """``(family, level, lo_tick, hi_tick)`` for a stream node label, else None."""
+    m = _NODE_LABEL.match(label or "")
+    if m is None:
+        return None
+    return m.group("family"), int(m.group("level")), int(m.group("lo")), int(m.group("hi"))
+
+
+def amortized_ledger_total(entries) -> float:
+    """The stream-aware epsilon total of a ledger's entries.
+
+    Node spends at one dyadic level cover disjoint arrival intervals, so a
+    level contributes its *maximum* node epsilon (parallel composition);
+    levels — and every spend that is not a stream node — add sequentially.
+    Levels are counted per ``(family, level)``: two families streaming over
+    the same tuples see the data twice and must compose sequentially.
+    """
+    per_level: dict[tuple[str, int], float] = {}
+    other = 0.0
+    for entry in entries:
+        parsed = parse_node_label(getattr(entry, "label", ""))
+        if parsed is None:
+            other += entry.epsilon
+        else:
+            key = (parsed[0], parsed[1])
+            per_level[key] = max(per_level.get(key, 0.0), entry.epsilon)
+    return other + sum(per_level.values())
+
+
+class StreamBudget(PlanBudget):
+    """A total epsilon amortized over an expected stream horizon.
+
+    Parameters
+    ----------
+    total:
+        Total epsilon for the whole stream (a ``uniform`` charge has no
+        meaning under amortization, so unlike ``PlanBudget`` it is not
+        accepted).
+    horizon:
+        Expected number of ticks the total must last.  Releasing past the
+        horizon needs fresh budget and triggers ``degradation``.
+    window:
+        Optional sliding-window width in ticks: queries are considered to
+        be about the last ``window`` ticks, and the sliding-window
+        mechanism re-releases exactly that suffix.  ``None`` means
+        cumulative (windows of everything so far).
+    floors / degradation:
+        As in :class:`~repro.plan.PlanBudget`; applied to each tick's
+        derived :meth:`tick_budget`.
+    """
+
+    __slots__ = ("horizon", "window")
+
+    def __init__(
+        self,
+        total: float,
+        *,
+        horizon: int,
+        window: int | None = None,
+        floors: dict[str, float] | None = None,
+        degradation: str = "strict",
+    ):
+        super().__init__(total, floors=floors, degradation=degradation)
+        horizon = int(horizon)
+        if horizon < 1:
+            raise ValueError(f"horizon must be at least one tick, got {horizon}")
+        if window is not None:
+            window = int(window)
+            if window < 1:
+                raise ValueError(f"window must be at least one tick, got {window}")
+        self.horizon = horizon
+        self.window = window
+
+    # -- amortization ---------------------------------------------------------------
+    def levels(self) -> int:
+        """Dyadic levels a binary counter needs over the horizon."""
+        return math.floor(math.log2(self.horizon)) + 1
+
+    def per_node(self) -> float:
+        """Epsilon each hierarchical-interval node release is calibrated at.
+
+        One level's nodes are disjoint (parallel composition ⇒ the level
+        costs one node), levels compose sequentially, so ``total / levels``
+        keeps the cumulative cost within ``total`` across the horizon.
+        """
+        return self.total / self.levels()
+
+    def per_tick(self) -> float:
+        """Epsilon one tick may spend under sequential re-release."""
+        return self.total / self.horizon
+
+    def tick_budget(self) -> PlanBudget:
+        """The plain one-shot budget governing a single tick's plan."""
+        return PlanBudget(
+            self.per_tick(), floors=dict(self.floors), degradation=self.degradation
+        )
+
+    def ledger_total(self, entries) -> float:
+        """Stream-aware total of a ledger's entries (see module docstring)."""
+        return amortized_ledger_total(entries)
+
+    # -- identity -------------------------------------------------------------------
+    def cache_token(self) -> tuple:
+        return super().cache_token() + ("stream", self.horizon, self.window)
+
+    # -- specs ----------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        spec: dict = {
+            "kind": "stream_budget",
+            "version": SPEC_VERSION,
+            "total": self.total,
+            "horizon": self.horizon,
+        }
+        if self.window is not None:
+            spec["window"] = self.window
+        if self.floors:
+            spec["floors"] = {k: self.floors[k] for k in sorted(self.floors)}
+        spec["degradation"] = self.degradation
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: dict, path: str = "stream_budget") -> "StreamBudget":
+        if spec.get("kind") != "stream_budget":
+            raise SpecError(f"{path}.kind", "expected 'stream_budget'")
+        check_version(spec, path, required=False)
+        total = spec_get(spec, "total", (int, float), path)
+        horizon = spec_get(spec, "horizon", int, path)
+        window = spec_get(spec, "window", int, path, required=False)
+        raw_floors = spec_get(spec, "floors", dict, path, required=False, default={})
+        floors = {}
+        for name, value in raw_floors.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SpecError(f"{path}.floors.{name}", "expected a number")
+            floors[str(name)] = float(value)
+        degradation = spec_get(
+            spec, "degradation", str, path, required=False, default="strict"
+        )
+        try:
+            return cls(
+                total,
+                horizon=horizon,
+                window=window,
+                floors=floors,
+                degradation=degradation,
+            )
+        except ValueError as exc:
+            raise SpecError(path, str(exc)) from None
+
+    def __repr__(self) -> str:
+        window = f", window={self.window}" if self.window is not None else ""
+        floors = f", floors={self.floors}" if self.floors else ""
+        return (
+            f"StreamBudget(total={self.total:g}, horizon={self.horizon}{window}"
+            f"{floors}, degradation={self.degradation!r})"
+        )

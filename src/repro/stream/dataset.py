@@ -1,0 +1,241 @@
+"""Append-only, tick-versioned datasets for continual release.
+
+A :class:`StreamDataset` wraps the immutable :class:`~repro.core.Database`
+in the one mutation pattern the Blowfish serving stack needs for its
+append-heavy datasets (the twitter check-in feed): tuples *arrive* via
+:meth:`append` into a pending buffer, and :meth:`advance` seals the buffer
+as one **tick** — the unit of time every other streaming concept (budget
+amortization horizons, release staleness, interval mechanisms) is counted
+in.  Sealed data never changes, so per-tick snapshots stay immutable
+``Database`` objects and every cache key derived from a tick fingerprint
+stays valid forever.
+
+Row ids are global positions in arrival order (append-only means they are
+stable), which is what lets per-node interval releases carry honest
+disjoint id scopes into the budget ledger
+(:meth:`~repro.core.composition.PrivacyAccountant.spend` ``ids=``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import numpy as np
+
+from ..core.database import Database
+from ..core.domain import Domain
+from ..core.rng import ensure_rng
+
+__all__ = ["StreamDataset", "twitter_replay", "synthetic_feed"]
+
+
+class StreamDataset:
+    """An append-only, tick-versioned view over one domain's tuples.
+
+    * :meth:`append` buffers arrivals (validated against the domain);
+    * :meth:`advance` seals the buffer as the next tick;
+    * :meth:`snapshot` is the immutable ``Database`` of everything sealed;
+    * :meth:`interval` is the ``Database`` of the arrivals inside a tick
+      range — what a hierarchical-interval node releases;
+    * :meth:`fingerprint` is a chained per-tick digest, so any cache keyed
+      on it can never confuse two states of the stream.
+
+    Construction data (if any) is sealed immediately as tick 0; an empty
+    stream starts at tick ``-1`` (nothing sealed) and reaches tick 0 at the
+    first :meth:`advance`.  All methods are safe under concurrent service
+    threads (one internal lock; snapshots are cached per tick).
+    """
+
+    def __init__(self, domain: Domain, indices=None, *, name: str | None = None):
+        self.domain = domain
+        self.name = None if name is None else str(name)
+        self._lock = threading.RLock()
+        self._batches: list[np.ndarray] = []
+        self._offsets: list[int] = [0]  # row-id offset per sealed tick
+        self._pending: list[np.ndarray] = []
+        self._fingerprints: list[str] = []
+        self._snapshots: dict[int, Database] = {}
+        if indices is not None:
+            self.append(indices)
+            self.advance()
+
+    @classmethod
+    def from_database(cls, db: Database, *, name: str | None = None) -> "StreamDataset":
+        """Seed a stream with an existing database's tuples as tick 0."""
+        return cls(db.domain, np.asarray(db.indices), name=name)
+
+    # -- state ---------------------------------------------------------------------
+    @property
+    def tick(self) -> int:
+        """Index of the last sealed tick (``-1`` when nothing is sealed)."""
+        return len(self._batches) - 1
+
+    @property
+    def n(self) -> int:
+        """Total sealed tuples (pending arrivals excluded)."""
+        return self._offsets[-1]
+
+    @property
+    def pending(self) -> int:
+        """Arrivals buffered but not yet sealed into a tick."""
+        return sum(int(b.size) for b in self._pending)
+
+    # -- mutation ------------------------------------------------------------------
+    def _validated(self, indices) -> np.ndarray:
+        arr = np.asarray(indices, dtype=np.int64).ravel()
+        if arr.size and (arr.min() < 0 or arr.max() >= self.domain.size):
+            raise ValueError(
+                f"stream arrivals out of range for domain of size {self.domain.size}"
+            )
+        return arr
+
+    def append(self, indices) -> int:
+        """Buffer arrivals (domain indices) into the pending tick.
+
+        Returns the number of tuples appended.  Nothing is visible to
+        queries until :meth:`advance` seals the tick.
+        """
+        arr = self._validated(indices)
+        with self._lock:
+            if arr.size:
+                self._pending.append(arr)
+            return int(arr.size)
+
+    def advance(self) -> int:
+        """Seal the pending buffer as the next tick; returns the new tick.
+
+        An empty pending buffer seals an empty tick — time moves even when
+        no data arrived, which is what keeps staleness ages honest for
+        periodic tick drivers.
+        """
+        with self._lock:
+            batch = (
+                np.concatenate(self._pending)
+                if self._pending
+                else np.empty(0, dtype=np.int64)
+            )
+            self._pending = []
+            self._batches.append(batch)
+            self._offsets.append(self._offsets[-1] + int(batch.size))
+            prev = self._fingerprints[-1] if self._fingerprints else ""
+            h = hashlib.sha256()
+            h.update(prev.encode("ascii"))
+            h.update(self.domain.fingerprint().encode("ascii"))
+            h.update(batch.tobytes())
+            self._fingerprints.append(h.hexdigest()[:16])
+            return self.tick
+
+    # -- views ---------------------------------------------------------------------
+    def snapshot(self, tick: int | None = None) -> Database:
+        """The immutable database of everything sealed up to ``tick``.
+
+        Cached per tick (sealed data never changes).  A stream with nothing
+        sealed snapshots to an empty database.
+        """
+        with self._lock:
+            t = self.tick if tick is None else int(tick)
+            if t > self.tick:
+                raise ValueError(f"tick {t} has not been sealed (at tick {self.tick})")
+            db = self._snapshots.get(t)
+            if db is None:
+                parts = self._batches[: t + 1]
+                indices = (
+                    np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+                )
+                db = Database(self.domain, indices)
+                self._snapshots[t] = db
+            return db
+
+    def interval(self, lo_tick: int, hi_tick: int) -> Database:
+        """The database of arrivals sealed in ticks ``[lo_tick, hi_tick]``.
+
+        This is the data a hierarchical-interval node covers — disjoint
+        across same-level nodes, which is what buys parallel composition.
+        """
+        with self._lock:
+            if not 0 <= lo_tick <= hi_tick <= self.tick:
+                raise ValueError(
+                    f"invalid tick interval [{lo_tick}, {hi_tick}] at tick {self.tick}"
+                )
+            parts = self._batches[lo_tick : hi_tick + 1]
+            indices = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            return Database(self.domain, indices)
+
+    def ids_in(self, lo_tick: int, hi_tick: int) -> range:
+        """Global row ids of the arrivals in ticks ``[lo_tick, hi_tick]``.
+
+        Contiguous by construction (arrival order), so two disjoint tick
+        intervals always carry disjoint id scopes into the ledger.
+        """
+        with self._lock:
+            if not 0 <= lo_tick <= hi_tick <= self.tick:
+                raise ValueError(
+                    f"invalid tick interval [{lo_tick}, {hi_tick}] at tick {self.tick}"
+                )
+            return range(self._offsets[lo_tick], self._offsets[hi_tick + 1])
+
+    def fingerprint(self, tick: int | None = None) -> str:
+        """Chained digest of the stream state as of ``tick``.
+
+        Distinct for every (domain, arrival history) prefix, so plan caches
+        and release maps keyed on it can never serve one tick's synopsis
+        for another's data.  The unsealed state fingerprints as ``"empty"``.
+        """
+        with self._lock:
+            t = self.tick if tick is None else int(tick)
+            if t < 0:
+                return "empty"
+            if t > self.tick:
+                raise ValueError(f"tick {t} has not been sealed (at tick {self.tick})")
+            return self._fingerprints[t]
+
+    def __repr__(self) -> str:
+        name = f"{self.name!r}, " if self.name else ""
+        return (
+            f"StreamDataset({name}tick={self.tick}, n={self.n}, "
+            f"pending={self.pending})"
+        )
+
+
+def twitter_replay(
+    ticks: int = 32, n: int | None = None, rng: int | np.random.Generator | None = 0
+) -> tuple[StreamDataset, list[np.ndarray]]:
+    """The reference replay driver: the twitter latitude dataset as a feed.
+
+    Splits the synthetic check-in stream (arrival order randomized by the
+    seeded ``rng``, as check-ins arrive interleaved across the map) into
+    ``ticks`` near-equal arrival batches.  Returns an *empty* stream over
+    the latitude domain plus the batches; replaying is
+    ``stream.append(batch); stream.advance()`` per tick, which makes the
+    replay schedule the caller's to control (benchmarks replay all ticks,
+    demos replay interactively).
+    """
+    from ..datasets import TWITTER_N, twitter_latitude_dataset
+
+    if ticks <= 0:
+        raise ValueError("ticks must be positive")
+    n = TWITTER_N if n is None else int(n)
+    db = twitter_latitude_dataset(n=n, rng=0)
+    order = ensure_rng(rng).permutation(n)
+    indices = np.asarray(db.indices)[order]
+    batches = [np.ascontiguousarray(part) for part in np.array_split(indices, ticks)]
+    return StreamDataset(db.domain, name="twitter-replay"), batches
+
+
+def synthetic_feed(
+    domain_size: int = 64,
+    ticks: int = 16,
+    per_tick: int = 200,
+    rng: int | np.random.Generator | None = 0,
+) -> tuple[StreamDataset, list[np.ndarray]]:
+    """A small seeded feed over ``Domain.integers`` for tests and demos."""
+    if ticks <= 0 or per_tick < 0:
+        raise ValueError("ticks must be positive and per_tick non-negative")
+    gen = ensure_rng(rng)
+    domain = Domain.integers("value", domain_size)
+    batches = [
+        gen.integers(0, domain_size, size=per_tick, dtype=np.int64)
+        for _ in range(ticks)
+    ]
+    return StreamDataset(domain, name="synthetic-feed"), batches

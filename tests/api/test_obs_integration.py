@@ -201,7 +201,10 @@ class TestPerDatasetCalibration:
     def test_auto_select_from_the_dataset_name(self, service):
         service, _domain = service
         assert default_calibration_for("uniform-ages") == "uniform"
-        assert default_calibration_for("adult") is None
+        assert default_calibration_for("adult-census") == "adult"
+        assert default_calibration_for("twitter-replay") == "twitter"
+        assert default_calibration_for("skin-pixels") == "skin"
+        assert default_calibration_for("payroll") is None
         assert service.dataset_calibration("uniform-ages") == "uniform"
         assert service.dataset_calibration("data") is None
 

@@ -1,0 +1,231 @@
+"""Continual mechanisms: binary-counter decomposition, ledger scopes,
+sliding-window re-releases."""
+
+import numpy as np
+import pytest
+
+from repro import Domain, Policy, PolicyEngine
+from repro.core.composition import BudgetExceededError, PrivacyAccountant
+from repro.stream import (
+    HierarchicalIntervalCounter,
+    SlidingWindowReleaser,
+    StreamBudget,
+    StreamDataset,
+    amortized_ledger_total,
+    parse_node_label,
+)
+
+SIZE = 32
+DOMAIN = Domain.integers("v", SIZE)
+
+
+def _engine(epsilon=1.0):
+    return PolicyEngine(Policy.line(DOMAIN), epsilon)
+
+
+def _stream(ticks, per_tick=50, rng=0):
+    gen = np.random.default_rng(rng)
+    s = StreamDataset(DOMAIN)
+    for _ in range(ticks):
+        s.append(gen.integers(0, SIZE, per_tick))
+        s.advance()
+    return s
+
+
+def _advance_all(counter, stream, accountant=None, rng=0):
+    return counter.advance(stream, rng=np.random.default_rng(rng), accountant=accountant)
+
+
+def test_counter_releases_one_node_per_tick_with_binary_decomposition():
+    engine = _engine()
+    budget = StreamBudget(8.0, horizon=16)
+    counter = HierarchicalIntervalCounter(engine, budget)
+    stream = StreamDataset(DOMAIN)
+    gen = np.random.default_rng(0)
+    for t in range(12):
+        stream.append(gen.integers(0, SIZE, 20))
+        stream.advance()
+        fresh = _advance_all(counter, stream)
+        assert fresh == 1
+        # maintained nodes mirror the binary decomposition of t+1 arrivals
+        assert len(counter.nodes) == bin(t + 1).count("1")
+        spans = sorted((node.lo, node.hi) for node in counter.nodes.values())
+        # contiguous, disjoint, covering [0, t]
+        assert spans[0][0] == 0 and spans[-1][1] == t
+        for (lo1, hi1), (lo2, _) in zip(spans, spans[1:]):
+            assert lo2 == hi1 + 1
+    assert counter.node_releases == 12
+
+
+def test_counter_answers_track_true_cumulative_counts():
+    engine = _engine(epsilon=4.0)
+    budget = StreamBudget(400.0, horizon=8)  # huge budget: noise ~ 0.02 per node
+    counter = HierarchicalIntervalCounter(engine, budget)
+    stream = _stream(8, per_tick=100)
+    _advance_all(counter, stream)
+    answerer = counter.answerer()
+    db = stream.snapshot()
+    los = np.array([0, 4, 0])
+    his = np.array([SIZE - 1, 20, 7])
+    truth = np.array(
+        [
+            np.count_nonzero((np.asarray(db.indices) >= lo) & (np.asarray(db.indices) <= hi))
+            for lo, hi in zip(los, his)
+        ],
+        dtype=float,
+    )
+    got = answerer.ranges(los, his)
+    np.testing.assert_allclose(got, truth, atol=5.0)
+    # histogram view sums to roughly the cumulative count
+    assert answerer.histogram().sum() == pytest.approx(db.n, abs=10.0)
+    # counts() = masks @ histogram
+    masks = np.zeros((1, SIZE), dtype=bool)
+    masks[0, :8] = True
+    np.testing.assert_allclose(answerer.counts(masks)[0], got[2], atol=1e-9)
+
+
+def test_counter_charges_exactly_one_scoped_ledger_entry_per_node():
+    engine = _engine()
+    budget = StreamBudget(6.0, horizon=8)
+    counter = HierarchicalIntervalCounter(engine, budget)
+    acct = PrivacyAccountant(engine.policy)
+    stream = _stream(7)
+    _advance_all(counter, stream, accountant=acct)
+    entries = acct.store.entries(acct.key)
+    assert len(entries) == 7  # one spend per tick's node release
+    per_node = budget.per_node()
+    by_level: dict[int, list] = {}
+    for e in entries:
+        parsed = parse_node_label(e.label)
+        assert parsed is not None
+        family, level, lo, hi = parsed
+        assert family == "range"
+        assert e.epsilon == pytest.approx(per_node)
+        # the id scope is the node's tick interval
+        assert e.ids == frozenset(range(lo, hi + 1))
+        by_level.setdefault(level, []).append((lo, hi))
+    # same-level nodes cover disjoint tick intervals (parallel composition)
+    for spans in by_level.values():
+        seen: set[int] = set()
+        for lo, hi in spans:
+            ticks = set(range(lo, hi + 1))
+            assert seen.isdisjoint(ticks)
+            seen |= ticks
+    # the honest amortized total: one per-node charge per level
+    assert amortized_ledger_total(entries) == pytest.approx(
+        per_node * len(by_level)
+    )
+    assert amortized_ledger_total(entries) <= budget.total + 1e-9
+
+
+def test_counter_is_idempotent_when_caught_up():
+    engine = _engine()
+    counter = HierarchicalIntervalCounter(engine, StreamBudget(4.0, horizon=8))
+    stream = _stream(3)
+    assert _advance_all(counter, stream) == 3
+    assert _advance_all(counter, stream) == 0
+    assert counter.node_releases == 3
+
+
+def test_counter_strict_raises_past_horizon_before_spending():
+    engine = _engine()
+    counter = HierarchicalIntervalCounter(engine, StreamBudget(4.0, horizon=4))
+    acct = PrivacyAccountant(engine.policy)
+    stream = _stream(6)
+    with pytest.raises(BudgetExceededError):
+        _advance_all(counter, stream, accountant=acct)
+    # the funded ticks were released, the refused one spent nothing
+    assert counter.released_through == 4
+    assert len(acct.store.entries(acct.key)) == 4
+
+
+def test_counter_degrade_marks_exhausted_and_keeps_serving():
+    engine = _engine()
+    counter = HierarchicalIntervalCounter(
+        engine, StreamBudget(4.0, horizon=4, degradation="drop_optional")
+    )
+    stream = _stream(6)
+    fresh = _advance_all(counter, stream)
+    assert fresh == 4
+    assert counter.exhausted
+    answerer = counter.answerer()
+    assert answerer.ranges([0], [SIZE - 1]).shape == (1,)
+
+
+def test_counter_releases_are_deterministic_in_the_seed():
+    def run():
+        engine = _engine()
+        counter = HierarchicalIntervalCounter(engine, StreamBudget(4.0, horizon=8))
+        stream = _stream(6)
+        counter.advance(stream, rng=np.random.default_rng(42))
+        return counter.answerer().ranges(np.arange(8), np.arange(8) + 10)
+
+    np.testing.assert_array_equal(run(), run())
+
+
+def test_window_refresh_is_idempotent_per_tick_and_windowed():
+    engine = _engine()
+    budget = StreamBudget(8.0, horizon=8, window=2)
+    rel = SlidingWindowReleaser(engine, budget)
+    acct = PrivacyAccountant(engine.policy)
+    stream = _stream(1)
+    first = rel.refresh(stream, rng=np.random.default_rng(0), accountant=acct)
+    again = rel.refresh(stream, rng=np.random.default_rng(1), accountant=acct)
+    assert again is first  # held: no second spend at one tick
+    assert len(acct.store.entries(acct.key)) == 1
+    entry = acct.store.entries(acct.key)[0]
+    assert entry.label == "stream:range:window:0-0@0"
+    assert entry.epsilon == pytest.approx(budget.per_tick())
+    assert entry.ids is None  # overlapping windows: sequential composition
+    stream.append([1, 2]); stream.advance()
+    stream.append([3]); stream.advance()
+    rel.refresh(stream, rng=np.random.default_rng(2), accountant=acct)
+    assert rel.current_tick == 2
+    # window=2 at tick 2 covers ticks [1, 2]
+    assert acct.store.entries(acct.key)[-1].label == "stream:range:window:1-2@2"
+
+
+def test_window_refresh_requires_a_sealed_tick():
+    engine = _engine()
+    rel = SlidingWindowReleaser(engine, StreamBudget(2.0, horizon=4))
+    with pytest.raises(ValueError):
+        rel.refresh(StreamDataset(DOMAIN))
+
+
+def test_window_strict_raises_past_horizon_degrade_serves_stale():
+    engine = _engine()
+    strict = SlidingWindowReleaser(engine, StreamBudget(2.0, horizon=2))
+    stream = _stream(2)
+    strict.refresh(stream, rng=np.random.default_rng(0))
+    stream.append([4]); stream.advance()
+    # that refresh consumed one of two funded refreshes; force exhaustion
+    strict.refresh(stream, rng=np.random.default_rng(0))
+    stream.append([5]); stream.advance()
+    with pytest.raises(BudgetExceededError):
+        strict.refresh(stream, rng=np.random.default_rng(0))
+
+    lax = SlidingWindowReleaser(
+        engine, StreamBudget(2.0, horizon=1, degradation="reuse_stale")
+    )
+    s2 = _stream(1)
+    first = lax.refresh(s2, rng=np.random.default_rng(0))
+    s2.append([7]); s2.advance()
+    stale = lax.refresh(s2, rng=np.random.default_rng(1))
+    assert stale is first
+    assert lax.exhausted
+
+
+def test_window_newest_within_age_bound():
+    engine = _engine()
+    rel = SlidingWindowReleaser(engine, StreamBudget(8.0, horizon=8))
+    stream = _stream(1)
+    r0 = rel.refresh(stream, rng=np.random.default_rng(0))
+    stream.append([1]); stream.advance()
+    r1 = rel.refresh(stream, rng=np.random.default_rng(1))
+    release, age = rel.newest_within(tick=3, max_age=2)
+    assert release is r1 and age == 2
+    release, age = rel.newest_within(tick=3, max_age=1)
+    assert release is None and age is None
+    release, age = rel.newest_within(tick=1, max_age=0)
+    assert release is r1 and age == 0
+    assert r0 is not r1

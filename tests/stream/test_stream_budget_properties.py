@@ -1,0 +1,171 @@
+"""Property tests: stream-budget amortization invariants (hypothesis-driven).
+
+The amortization contract, over arbitrary horizons, windows and totals:
+
+* the per-tick split recomposes to exactly the total over the horizon,
+  and the per-node charge never exceeds any tick's worth ``levels`` times;
+* a full horizon of hierarchical-interval node releases keeps the honest
+  (per-level parallel, across-level sequential) ledger total at or under
+  the budget's total — the amortization's whole point;
+* window re-releases always cover the trailing ``window`` ticks, clipped
+  at tick 0, and never exceed ``horizon`` funded refreshes;
+* ``strict`` budgets raise :class:`BudgetExceededError` for the first
+  past-horizon release *before* anything lands on the ledger;
+* specs survive ``to_spec`` -> JSON -> ``from_spec`` with cache identity
+  intact, and :meth:`cache_token` separates amortizations that must never
+  share plans or sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Domain, Policy, PolicyEngine
+from repro.core.composition import BudgetExceededError, PrivacyAccountant
+from repro.plan import PlanBudget
+from repro.stream import (
+    HierarchicalIntervalCounter,
+    SlidingWindowReleaser,
+    StreamBudget,
+    StreamDataset,
+    amortized_ledger_total,
+)
+
+SIZE = 64
+DOMAIN = Domain.integers("v", SIZE)
+ENGINE = PolicyEngine(Policy.line(DOMAIN), 1.0)
+
+
+@st.composite
+def _budgets(draw):
+    total = draw(
+        st.floats(min_value=0.1, max_value=16.0, allow_nan=False, allow_infinity=False)
+    )
+    horizon = draw(st.integers(min_value=1, max_value=32))
+    window = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=8)))
+    degradation = draw(st.sampled_from(("strict", "drop_optional", "reuse_stale")))
+    return StreamBudget(total, horizon=horizon, window=window, degradation=degradation)
+
+
+def _sealed_stream(ticks: int, rng: int = 0) -> StreamDataset:
+    gen = np.random.default_rng(rng)
+    s = StreamDataset(DOMAIN)
+    for _ in range(ticks):
+        s.append(gen.integers(0, SIZE, 5))
+        s.advance()
+    return s
+
+
+@settings(max_examples=40, deadline=None)
+@given(budget=_budgets())
+def test_amortization_arithmetic(budget):
+    assert budget.levels() == math.floor(math.log2(budget.horizon)) + 1
+    assert budget.per_tick() * budget.horizon == pytest.approx(budget.total)
+    assert budget.per_node() * budget.levels() == pytest.approx(budget.total)
+    # the hierarchical counter's per-release epsilon advantage over naive
+    assert budget.per_node() >= budget.per_tick() - 1e-12
+    tick = budget.tick_budget()
+    assert type(tick) is PlanBudget
+    assert tick.total == pytest.approx(budget.per_tick())
+    assert tick.degradation == budget.degradation
+
+
+@settings(max_examples=15, deadline=None)
+@given(budget=_budgets())
+def test_full_horizon_of_node_releases_stays_within_total(budget):
+    counter = HierarchicalIntervalCounter(ENGINE, budget)
+    acct = PrivacyAccountant(ENGINE.policy)
+    stream = _sealed_stream(budget.horizon)
+    fresh = counter.advance(stream, rng=np.random.default_rng(0), accountant=acct)
+    assert fresh == budget.horizon  # exactly one node release per tick
+    entries = acct.store.entries(acct.key)
+    assert len(entries) == budget.horizon
+    honest = amortized_ledger_total(entries)
+    assert honest <= budget.total + 1e-9
+    assert budget.ledger_total(entries) == honest
+    # cumulative spend is per-node times the levels actually touched
+    touched = len({e.label.split(":")[2] for e in entries})
+    assert honest == pytest.approx(budget.per_node() * touched)
+
+
+@settings(max_examples=15, deadline=None)
+@given(budget=_budgets(), extra=st.integers(min_value=1, max_value=4))
+def test_strict_raises_before_spend_past_horizon(budget, extra):
+    counter = HierarchicalIntervalCounter(ENGINE, budget)
+    acct = PrivacyAccountant(ENGINE.policy)
+    stream = _sealed_stream(budget.horizon + extra)
+    if budget.degradation == "strict":
+        with pytest.raises(BudgetExceededError):
+            counter.advance(stream, rng=np.random.default_rng(0), accountant=acct)
+    else:
+        counter.advance(stream, rng=np.random.default_rng(0), accountant=acct)
+        assert counter.exhausted
+    # either way: only the horizon's worth of spends ever landed
+    assert len(acct.store.entries(acct.key)) == budget.horizon
+    assert amortized_ledger_total(acct.store.entries(acct.key)) <= budget.total + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(budget=_budgets())
+def test_window_releases_cover_the_trailing_window(budget):
+    rel = SlidingWindowReleaser(ENGINE, budget)
+    acct = PrivacyAccountant(ENGINE.policy)
+    stream = StreamDataset(DOMAIN)
+    gen = np.random.default_rng(1)
+    ticks = min(budget.horizon, 6)
+    for t in range(ticks):
+        stream.append(gen.integers(0, SIZE, 3))
+        stream.advance()
+        rel.refresh(stream, rng=gen, accountant=acct)
+        lo = 0 if budget.window is None else max(0, t - budget.window + 1)
+        expected = f"stream:range:window:{lo}-{t}@{t}"
+        assert acct.store.entries(acct.key)[-1].label == expected
+    assert rel.refreshes == ticks <= budget.horizon
+    # sequential labels, sequential cost: window spends never parallelize
+    assert amortized_ledger_total(acct.store.entries(acct.key)) == pytest.approx(
+        budget.per_tick() * ticks
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(budget=_budgets())
+def test_spec_round_trip_preserves_identity(budget):
+    back = StreamBudget.from_spec(json.loads(json.dumps(budget.to_spec())))
+    assert back.total == pytest.approx(budget.total)
+    assert back.horizon == budget.horizon
+    assert back.window == budget.window
+    assert back.degradation == budget.degradation
+    assert back.cache_token() == budget.cache_token()
+    # dispatched through the base-class parser too (the service path)
+    dispatched = PlanBudget.from_spec(budget.to_spec())
+    assert isinstance(dispatched, StreamBudget)
+    assert dispatched.cache_token() == budget.cache_token()
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_budgets(), b=_budgets())
+def test_cache_tokens_separate_distinct_amortizations(a, b):
+    same = (
+        a.total == b.total
+        and a.horizon == b.horizon
+        and a.window == b.window
+        and a.degradation == b.degradation
+        and a.floors == b.floors
+    )
+    assert (a.cache_token() == b.cache_token()) == same
+    # and a stream token never collides with the one-shot budget's
+    assert a.cache_token() != PlanBudget(a.total, degradation=a.degradation).cache_token()
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        StreamBudget(1.0, horizon=0)
+    with pytest.raises(ValueError):
+        StreamBudget(1.0, horizon=4, window=0)
+    with pytest.raises(ValueError):
+        StreamBudget(-1.0, horizon=4)
