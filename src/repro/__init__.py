@@ -120,6 +120,7 @@ from .engine import (
     default_registry,
 )
 from .plan import Executor, Plan, PlanBudget, Planner, Workload
+from .check import CheckReport, Diagnostic, PolicyChecker, SpecChecker, check_specs
 from .api import (
     BlowfishService,
     EnginePool,
@@ -164,6 +165,11 @@ __all__ = [
     "Plan",
     "PlanBudget",
     "Executor",
+    "SpecChecker",
+    "PolicyChecker",
+    "CheckReport",
+    "Diagnostic",
+    "check_specs",
     "BlowfishService",
     "EnginePool",
     "Session",

@@ -13,6 +13,14 @@ Subcommands:
     request must carry an inline dataset (``{"dataset": {"indices": ...}}``)
     since a one-shot CLI process has no registered datasets.
 
+``check FILE [FILE ...]``
+    Statically analyze spec files (``kind``-tagged policy / plan_budget /
+    stream_budget / workload specs, or full request dicts) without serving
+    them: no engine is built, no edges enumerated, no budget spent.  Prints
+    one report per file (``--json`` for machine-readable output).  Exit 0
+    when every file is clean, 1 when any file has error-severity findings,
+    2 when a file cannot be read or parsed as JSON.
+
 ``serve-demo``
     Spin up an in-process :class:`BlowfishService` around a synthetic
     dataset, print a worked set of requests/responses (policy spec, range
@@ -76,6 +84,42 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     response = BlowfishService().handle(request)
     print(json.dumps(response, indent=args.indent))
     return 0 if response.get("ok") else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import SpecChecker
+
+    checker = SpecChecker()
+    streaming = {"stream": True, "plan": False, "auto": None}[args.session]
+    worst = 0
+    reports = []
+    for name in args.specs:
+        try:
+            if name == "-":
+                raw = sys.stdin.read()
+            else:
+                with open(name, encoding="utf-8") as fh:
+                    raw = fh.read()
+            spec = json.loads(raw)
+        except (OSError, json.JSONDecodeError) as exc:
+            if args.json:
+                reports.append({"file": name, "ok": False, "unreadable": str(exc)})
+            else:
+                print(f"{name}: unreadable: {exc}")
+            worst = max(worst, 2)
+            continue
+        report = checker.check_spec(spec, streaming=streaming)
+        if args.json:
+            reports.append({"file": name, **report.to_dict()})
+        else:
+            print(f"{name}: {report.summary()}")
+            for diag in report:
+                print(f"  {diag.render()}")
+        if not report.ok:
+            worst = max(worst, 1)
+    if args.json:
+        print(json.dumps(reports if len(args.specs) > 1 else reports[0], indent=2))
+    return worst
 
 
 def _demo_service(seed: int, ledger_path: str | None = None):
@@ -235,6 +279,9 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     print(f"demo dataset: {db.n} individuals over {domain.size} salary buckets\n")
 
     policy_spec = Policy.line(domain).to_spec()
+    from .check import check_specs
+
+    print(f"static check of the demo policy: {check_specs(policy_spec).summary()}\n")
     requests = [
         (
             "strategy lookup (no data touched, nothing spent)",
@@ -369,6 +416,13 @@ def _cmd_stream_demo(args: argparse.Namespace) -> int:
             }
         ],
     }
+    from .check import SpecChecker
+
+    check = SpecChecker().check_request(
+        {"policy": policy_spec, "plan_budget": budget_spec, "epsilon": args.epsilon},
+        streaming=True,
+    )
+    print(f"static check of policy + stream budget: {check.summary()}")
     print(
         f"continual releases over {args.ticks} ticks: total epsilon "
         f"{args.total:g} amortized across horizon {args.horizon} "
@@ -511,6 +565,23 @@ def build_parser() -> argparse.ArgumentParser:
     ans_p.add_argument("--indent", type=int, default=2, help="response JSON indent")
     ans_p.set_defaults(func=_cmd_answer)
 
+    chk_p = sub.add_parser(
+        "check", help="statically analyze spec files without serving them"
+    )
+    chk_p.add_argument(
+        "specs", nargs="+", metavar="FILE",
+        help="spec JSON files (kind-tagged or request-shaped); - reads stdin",
+    )
+    chk_p.add_argument(
+        "--json", action="store_true", help="print machine-readable reports"
+    )
+    chk_p.add_argument(
+        "--session", choices=("auto", "plan", "stream"), default="auto",
+        help="session kind assumed by session-sensitive lints such as "
+        "max_staleness (default: auto — advisory only)",
+    )
+    chk_p.set_defaults(func=_cmd_check)
+
     demo_p = sub.add_parser("serve-demo", help="worked BlowfishService demo")
     demo_p.add_argument("--epsilon", type=float, default=0.5)
     demo_p.add_argument("--seed", type=int, default=0)
@@ -590,7 +661,7 @@ def main(argv: list[str] | None = None) -> int:
     # historical form: `python -m repro [outdir]` means `run [outdir]`
     if not argv or (
         argv[0]
-        not in {"run", "answer", "serve-demo", "stream-demo", "plan", "-h", "--help"}
+        not in {"run", "answer", "check", "serve-demo", "stream-demo", "plan", "-h", "--help"}
     ):
         argv.insert(0, "run")
     args = build_parser().parse_args(argv)

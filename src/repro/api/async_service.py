@@ -52,7 +52,7 @@ from .service import BlowfishService
 __all__ = ["AsyncBlowfishService", "serve_many"]
 
 #: Ops that never draw noise — always coalescable, seed or not.
-_NOISELESS_OPS = frozenset({"describe", "explain"})
+_NOISELESS_OPS = frozenset({"describe", "explain", "check"})
 
 
 class AsyncBlowfishService:

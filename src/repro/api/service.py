@@ -84,8 +84,10 @@ import numpy as np
 
 from .. import obs
 from ..analysis.bounds import COST_MODEL_FITS, calibration
+from ..check import SpecChecker
 from ..core.composition import BudgetExceededError
 from ..core.database import Database
+from ..core.graphs import EdgeScanRefused
 from ..core.policy import Policy
 from ..core.queries import Query, _int_array
 from ..core.rng import ensure_rng
@@ -138,6 +140,13 @@ class BlowfishService:
         derived from the session identity; ephemeral (sessionless) requests
         keep private single-request ledgers.  When None (the default),
         sessions keep private in-process ledgers exactly as before.
+    strict_check:
+        Opt-in static admission (:mod:`repro.check`): policies and plan
+        budgets with error-severity diagnostics are refused when first
+        parsed — before any engine is built or budget spent — with the
+        diagnostic code and full field path in the error.  Off by default:
+        the analyzer is always available non-destructively via the
+        ``"check"`` op.
     """
 
     def __init__(
@@ -147,11 +156,17 @@ class BlowfishService:
         max_sessions: int = 1024,
         max_policies: int = 128,
         ledger_store=None,
+        strict_check: bool = False,
     ):
         self.pool = pool if pool is not None else EnginePool()
         self.max_sessions = max_sessions
         self.max_policies = max_policies
         self.ledger_store = ledger_store
+        # opt-in static admission: error-severity repro.check findings on a
+        # policy or plan budget are refused at parse time, before any
+        # engine is built or budget touched
+        self.strict_check = bool(strict_check)
+        self._checker = SpecChecker()
         self._datasets: dict[str, Database] = {}
         self._streams: dict = {}
         # striped LRU maps: a request locks only the stripe its key hashes
@@ -284,6 +299,11 @@ class BlowfishService:
                 except (ValueError, TypeError, LookupError, OverflowError) as exc:
                     outcome = "invalid_request"
                     response = _error(None, str(exc))
+                    if isinstance(exc, EdgeScanRefused):
+                        # share the static analyzer's vocabulary: the code
+                        # is the diagnostic repro.check predicts this
+                        # refusal under, plus the bound that tripped
+                        response["error"].update(exc.details())
                 span.set(outcome=outcome)
         finally:
             if token is not None:
@@ -314,9 +334,12 @@ class BlowfishService:
             return self._append(request)
         if op == "tick":
             return self._tick(request)
+        if op == "check":
+            return self._check(request)
         raise SpecError(
             "request.op",
-            f"unknown op {op!r} (known: answer, plan, explain, describe, append, tick)",
+            f"unknown op {op!r} (known: answer, plan, explain, describe, "
+            "append, tick, check)",
         )
 
     # -- shared request plumbing ----------------------------------------------------
@@ -350,7 +373,21 @@ class BlowfishService:
         # racing parsers of one digest yield interchangeable policies and
         # the stripe's double-checked insert keeps the incumbent
         policy = Policy.from_spec(spec, "request.policy")
+        if self.strict_check:
+            # once per digest: memoized policies were already admitted
+            self._refuse_on_errors(
+                self._checker.check_objects(
+                    policy=policy, paths={"policy": "request.policy"}
+                )
+            )
         return self._policies.adopt(digest, policy, count=False)[0]
+
+    @staticmethod
+    def _refuse_on_errors(report) -> None:
+        """Strict admission: surface the first error-severity diagnostic as
+        a SpecError carrying its code and full field path."""
+        for diag in report.errors:
+            raise SpecError(diag.path, f"[{diag.code}] {diag.message}")
 
     def _dataset_for(self, request: dict, policy: Policy):
         """Resolve the request's data source.
@@ -658,8 +695,7 @@ class BlowfishService:
             raise SpecError("request.mode", f"expected 'auto' or 'fixed', got {mode!r}")
         return mode
 
-    @staticmethod
-    def _parse_plan_budget(request: dict) -> PlanBudget | None:
+    def _parse_plan_budget(self, request: dict) -> PlanBudget | None:
         """The optional ``"plan_budget"`` request field, parsed.
 
         Shape: ``{"total": 1.0}`` or ``{"uniform": 0.25}``, plus optional
@@ -667,11 +703,20 @@ class BlowfishService:
         "drop_optional" | "reuse_stale"``.  ``{"kind": "stream_budget",
         "total": ..., "horizon": ...}`` parses to a
         :class:`~repro.stream.StreamBudget` for continual-release sessions.
+        Under ``strict_check``, budgets with error-severity diagnostics
+        (infeasible floors, horizon overflow) are refused here.
         """
         spec = spec_get(request, "plan_budget", dict, "request", required=False)
         if spec is None:
             return None
-        return PlanBudget.from_spec(spec, "request.plan_budget")
+        budget = PlanBudget.from_spec(spec, "request.plan_budget")
+        if self.strict_check:
+            self._refuse_on_errors(
+                self._checker.check_objects(
+                    budget=budget, paths={"budget": "request.plan_budget"}
+                )
+            )
+        return budget
 
     @staticmethod
     def _stream_budget(plan_budget):
@@ -735,6 +780,32 @@ class BlowfishService:
             "n": stream.n,
             "fingerprint": stream.fingerprint(),
         }
+
+    def _check(self, request: dict) -> dict:
+        """``op: "check"`` — static analysis over the request's specs.
+
+        Validates the ``policy`` / ``queries`` (or ``workload``) /
+        ``plan_budget`` / ``epsilon`` / ``budget`` sections through
+        :class:`repro.check.SpecChecker` without building an engine,
+        opening a session or spending budget.  Always returns ``ok: true``
+        (the *check* succeeded); ``report.ok`` says whether the specs
+        would survive serving.  Parse failures of any section come back as
+        ``SPEC001`` diagnostics rather than request errors, so one call
+        reports every problem at once.
+        """
+        streaming = None
+        ds = request.get("dataset")
+        if isinstance(ds, dict) and isinstance(ds.get("name"), str):
+            with self._datasets_lock:
+                if ds["name"] in self._streams:
+                    streaming = True
+                elif ds["name"] in self._datasets:
+                    streaming = False
+        elif isinstance(ds, dict) and ds.get("indices") is not None:
+            streaming = False
+        with obs.tracer().span("service.check"):
+            report = self._checker.check_request(request, streaming=streaming)
+        return {"ok": True, "op": "check", "report": report.to_dict()}
 
     def _describe(self, request: dict) -> dict:
         from ..analysis.bounds import active_calibration

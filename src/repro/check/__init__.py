@@ -1,0 +1,38 @@
+"""Static analysis over policy/workload/plan/budget specs (``repro.check``).
+
+The serving tier validates specs *syntactically* (``from_spec`` raises
+:class:`~repro.core.specbase.SpecError` on malformed fields) but a
+well-formed spec can still be a bad idea: a secret graph whose sensitivity
+analysis will refuse its edge scan, a stream budget whose floors overflow
+the horizon, a workload whose staleness bounds are inert.  This package
+answers those questions **before** a spec reaches a serving thread, from
+analytic structure alone — no edge enumeration, no engine construction, no
+budget spend.
+
+* :class:`SpecChecker` (alias :class:`PolicyChecker`) — the analyzer;
+* :class:`Diagnostic` / :class:`CheckReport` — structured, JSON-renderable
+  findings, with codes shared with runtime refusals
+  (:class:`~repro.core.graphs.EdgeScanRefused` carries the code the
+  checker predicts it under);
+* :func:`check_specs` — one-shot convenience over a raw spec dict.
+
+Wired into the service as the ``"check"`` op (and opt-in strict admission,
+``BlowfishService(strict_check=True)``) and into the CLI as
+``python -m repro check <spec.json>``.
+"""
+
+from .checker import PolicyChecker, SpecChecker, check_specs
+from .diagnostics import CODES, SEVERITIES, CheckReport, Diagnostic
+from .rules import CheckContext, run_rules
+
+__all__ = [
+    "SpecChecker",
+    "PolicyChecker",
+    "check_specs",
+    "CheckReport",
+    "Diagnostic",
+    "CheckContext",
+    "run_rules",
+    "CODES",
+    "SEVERITIES",
+]

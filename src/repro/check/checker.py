@@ -1,0 +1,284 @@
+"""The :class:`SpecChecker`: parse specs defensively, then run every rule.
+
+The checker is the one place that turns *raw dicts* into a
+:class:`~repro.check.rules.CheckContext`: each section (policy, workload,
+budget, epsilon) is parsed through its normal ``from_spec`` path with
+:class:`~repro.core.specbase.SpecError` s captured as ``SPEC001``
+diagnostics — a check **never raises** on client input, it reports.
+Sections that fail to parse are simply absent from the context, so rules
+over the surviving sections still run (a bad budget does not hide a bad
+policy).
+
+Entry points:
+
+* :meth:`SpecChecker.check_request` — a full service-shaped request dict
+  (``policy`` / ``queries`` / ``workload`` / ``plan_budget`` / ``epsilon``
+  / ``budget``), the shape the ``"check"`` op and strict admission use;
+* :meth:`SpecChecker.check_spec` — one ``kind``-tagged spec on its own
+  (``policy`` / ``plan_budget`` / ``stream_budget`` / ``workload``), the
+  shape the ``python -m repro check`` CLI feeds;
+* :meth:`SpecChecker.check_objects` — already-parsed objects, for callers
+  inside the library (strict policy admission re-checks the parsed policy
+  without re-serializing it).
+
+Every run emits a ``check.run`` span and ``check_runs_total`` /
+``check_diagnostics_total`` metrics through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from .. import obs
+from ..core.policy import Policy
+from ..core.specbase import SpecError
+from .diagnostics import CheckReport, Diagnostic
+from .rules import CheckContext, run_rules
+
+__all__ = ["SpecChecker", "PolicyChecker", "check_specs"]
+
+#: Spec kinds the standalone entry point knows how to route.
+_STANDALONE_KINDS = ("policy", "plan_budget", "stream_budget", "workload")
+
+
+class SpecChecker:
+    """Static analyzer over policy/workload/plan/budget specs.
+
+    Parameters
+    ----------
+    registry:
+        Mechanism registry to resolve strategies against; defaults to the
+        process registry (:func:`repro.engine.registry.default_registry`).
+    """
+
+    def __init__(self, *, registry=None):
+        self.registry = registry
+
+    # -- entry points ---------------------------------------------------------------
+    def check_request(
+        self, request: dict, *, streaming: bool | None = None, prefix: str = "request"
+    ) -> CheckReport:
+        """Analyze a service-shaped request dict without serving it."""
+        diags: list[Diagnostic] = []
+        paths = {
+            "policy": f"{prefix}.policy",
+            "workload": f"{prefix}.workload",
+            "budget": f"{prefix}.plan_budget",
+            "epsilon": f"{prefix}.epsilon",
+            "session_budget": f"{prefix}.budget",
+        }
+        if not isinstance(request, dict):
+            diags.append(
+                Diagnostic(
+                    "error",
+                    "SPEC001",
+                    f"expected a mapping, got {type(request).__name__}",
+                    prefix,
+                )
+            )
+            return self._finish(diags)
+
+        policy = workload = budget = None
+        epsilon = session_budget = None
+
+        policy_spec = request.get("policy")
+        if policy_spec is not None:
+            policy = self._parse(
+                diags, lambda: Policy.from_spec(policy_spec, paths["policy"])
+            )
+
+        budget_spec = request.get("plan_budget")
+        if budget_spec is not None:
+            from ..plan.budget import PlanBudget
+
+            budget = self._parse(
+                diags, lambda: PlanBudget.from_spec(budget_spec, paths["budget"])
+            )
+
+        if policy is not None:
+            from ..plan.workload import Workload
+
+            queries = request.get("queries")
+            workload_spec = request.get("workload")
+            if workload_spec is not None:
+                workload = self._parse(
+                    diags,
+                    lambda: Workload.from_spec(
+                        workload_spec, policy.domain, paths["workload"]
+                    ),
+                )
+            elif queries is not None:
+                paths["workload"] = f"{prefix}.queries"
+                workload = self._parse(
+                    diags,
+                    lambda: Workload.from_specs(
+                        queries, policy.domain, paths["workload"]
+                    ),
+                )
+
+        for key, attr in (("epsilon", "epsilon"), ("budget", "session_budget")):
+            value = request.get(key)
+            if value is not None and not isinstance(value, bool) and isinstance(
+                value, (int, float)
+            ):
+                if attr == "epsilon":
+                    epsilon = value
+                else:
+                    session_budget = float(value)
+            elif value is not None:
+                diags.append(
+                    Diagnostic(
+                        "error",
+                        "SPEC001",
+                        f"expected a number, got {type(value).__name__}",
+                        f"{prefix}.{key}",
+                    )
+                )
+
+        ctx = CheckContext(
+            policy=policy,
+            workload=workload,
+            budget=budget,
+            epsilon=epsilon,
+            session_budget=session_budget,
+            streaming=streaming,
+            registry=self.registry,
+            paths=paths,
+        )
+        diags.extend(run_rules(ctx))
+        return self._finish(diags)
+
+    def check_spec(self, spec: dict, *, streaming: bool | None = None) -> CheckReport:
+        """Analyze one spec dict, routing on its ``kind`` tag.
+
+        Dicts without a known ``kind`` are treated as request-shaped.  A
+        standalone ``workload`` spec may carry an extra ``"domain"`` key
+        (not part of its canonical form) so its groups can be validated
+        without a policy.
+        """
+        if not isinstance(spec, dict):
+            return self._finish(
+                [
+                    Diagnostic(
+                        "error",
+                        "SPEC001",
+                        f"expected a mapping, got {type(spec).__name__}",
+                        "spec",
+                    )
+                ]
+            )
+        kind = spec.get("kind")
+        if kind == "policy":
+            return self._check_section(spec, "policy")
+        if kind in ("plan_budget", "stream_budget"):
+            return self._check_section(spec, "plan_budget")
+        if kind == "workload":
+            return self._check_workload_spec(spec, streaming=streaming)
+        if isinstance(kind, str):
+            return self._finish(
+                [
+                    Diagnostic(
+                        "error",
+                        "SPEC002",
+                        f"kind {kind!r} cannot be checked standalone "
+                        f"(known: {', '.join(_STANDALONE_KINDS)}, or a "
+                        "request-shaped dict)",
+                        "spec.kind",
+                    )
+                ]
+            )
+        return self.check_request(spec, streaming=streaming, prefix="request")
+
+    def check_objects(self, **fields) -> CheckReport:
+        """Run the rules over already-parsed objects (no spec parsing)."""
+        paths = fields.pop("paths", None)
+        ctx = CheckContext(registry=self.registry, paths=paths, **fields)
+        return self._finish(run_rules(ctx))
+
+    # -- plumbing -------------------------------------------------------------------
+    def _check_section(self, spec: dict, key: str) -> CheckReport:
+        # reuse the request path with the spec embedded under its own key,
+        # but anchor paths at the spec root (no "request." prefix)
+        diags: list[Diagnostic] = []
+        if key == "policy":
+            obj = self._parse(diags, lambda: Policy.from_spec(spec, "policy"))
+            ctx = CheckContext(policy=obj, registry=self.registry)
+        else:
+            from ..plan.budget import PlanBudget
+
+            obj = self._parse(diags, lambda: PlanBudget.from_spec(spec, "plan_budget"))
+            ctx = CheckContext(budget=obj, registry=self.registry)
+        diags.extend(run_rules(ctx))
+        return self._finish(diags)
+
+    def _check_workload_spec(self, spec: dict, *, streaming) -> CheckReport:
+        from ..core.domain import Domain
+        from ..plan.workload import Workload
+
+        diags: list[Diagnostic] = []
+        domain_spec = spec.get("domain")
+        if domain_spec is None:
+            return self._finish(
+                [
+                    Diagnostic(
+                        "error",
+                        "SPEC002",
+                        "a standalone workload spec needs a \"domain\" key to "
+                        "validate against (or embed it in a request next to a "
+                        "policy)",
+                        "workload.domain",
+                    )
+                ]
+            )
+        domain = self._parse(
+            diags, lambda: Domain.from_spec(domain_spec, "workload.domain")
+        )
+        workload = None
+        if domain is not None:
+            body = {k: v for k, v in spec.items() if k != "domain"}
+            workload = self._parse(
+                diags, lambda: Workload.from_spec(body, domain, "workload")
+            )
+        ctx = CheckContext(
+            workload=workload, streaming=streaming, registry=self.registry
+        )
+        diags.extend(run_rules(ctx))
+        return self._finish(diags)
+
+    @staticmethod
+    def _parse(diags: list, thunk):
+        """Run one ``from_spec`` thunk, converting failures to SPEC001."""
+        try:
+            return thunk()
+        except SpecError as exc:
+            diags.append(Diagnostic("error", "SPEC001", str(exc), exc.field or "spec"))
+        except (ValueError, TypeError, OverflowError) as exc:
+            diags.append(Diagnostic("error", "SPEC001", str(exc), "spec"))
+        return None
+
+    @staticmethod
+    def _finish(diags: list) -> CheckReport:
+        report = CheckReport(diags)
+        with obs.tracer().span(
+            "check.run",
+            errors=report.count("error"),
+            warnings=report.count("warning"),
+            ok=report.ok,
+        ):
+            pass
+        reg = obs.metrics()
+        reg.counter(
+            "check_runs_total", outcome="ok" if report.ok else "findings"
+        ).inc()
+        for severity in ("error", "warning", "info"):
+            n = report.count(severity)
+            if n:
+                reg.counter("check_diagnostics_total", severity=severity).inc(n)
+        return report
+
+
+#: The policy-focused name the ISSUE and docs use; one engine serves both.
+PolicyChecker = SpecChecker
+
+
+def check_specs(spec: dict, *, streaming: bool | None = None) -> CheckReport:
+    """One-shot convenience: ``SpecChecker().check_spec(spec)``."""
+    return SpecChecker().check_spec(spec, streaming=streaming)

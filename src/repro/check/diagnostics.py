@@ -1,0 +1,143 @@
+"""Diagnostic results for the static spec analyzer.
+
+A :class:`Diagnostic` is one finding: a severity, a stable machine-readable
+code (table in :data:`CODES`), a human message and the dotted spec path it
+anchors to — the same path vocabulary :class:`~repro.core.specbase.SpecError`
+uses, so a client can surface parse errors and analyzer findings through one
+code path.  A :class:`CheckReport` is an immutable bundle of diagnostics
+with JSON (:meth:`CheckReport.to_dict`) and text renderings.
+
+Codes are namespaced by area (``SPEC`` parse, ``POL`` policy, ``BUD``/
+``STR`` budgets, ``WRK`` workloads, ``REQ`` request plumbing) and shared
+with runtime errors where a rule predicts one: an :class:`EdgeScanRefused`
+raised at serving time carries the same code the checker would have flagged
+the spec with (:data:`~repro.core.graphs.CODE_EDGE_SCAN` et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.graphs import CODE_EDGE_SCAN, CODE_PAIR_BUDGET, CODE_SEARCH_CAP
+
+__all__ = ["SEVERITIES", "CODES", "Diagnostic", "CheckReport"]
+
+#: Recognised severities, most severe first.  ``error`` means serving this
+#: spec would fail (or silently protect nothing); ``warning`` means it would
+#: behave worse than the author probably intends; ``info`` is advisory.
+SEVERITIES = ("error", "warning", "info")
+
+#: Every diagnostic code the analyzer can emit, with a one-line meaning.
+#: The table drives the README code reference and the uniqueness test.
+CODES: dict[str, str] = {
+    "SPEC001": "spec failed to parse (the wrapped SpecError names the field)",
+    "SPEC002": "spec kind cannot be checked standalone",
+    CODE_EDGE_SCAN: "mask-crossing sensitivity analysis would refuse an edge scan",
+    CODE_PAIR_BUDGET: "critical-pair extraction would exceed the edge-scan limit",
+    CODE_SEARCH_CAP: "policy-graph search would exceed its step cap",
+    "POL210": "policy graph has no discriminative pair: nothing is protected",
+    "POL211": "constraint can never bind (crit(q) is empty under this graph)",
+    "POL212": "duplicate constraints in the policy",
+    "POL213": "constraint is unsatisfiable (negative count)",
+    "POL214": "a registered mechanism family has no strategy for this policy",
+    "POL215": "ordered-domain sensitivity is not analytically computable",
+    "BUD301": "plan-budget floors sum to more than the total",
+    "BUD302": "degradation mode is a dead end for this workload",
+    "BUD303": "plan budget exceeds the session budget",
+    "STR311": "stream floors overflow the horizon's per-tick share",
+    "STR312": "stream window is wider than the horizon",
+    "STR313": "stream total overflows the session budget before the horizon",
+    "WRK401": "workload has no queries (empty workload or empty group)",
+    "WRK402": "two workload groups carry identical queries",
+    "WRK403": "max_staleness has no effect outside a streaming session",
+    "REQ101": "epsilon must be a positive finite number",
+    "REQ102": "budget floors name groups the workload does not contain",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, anchored to a dotted spec path."""
+
+    severity: str
+    code: str
+    message: str
+    path: str
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r} (known: {SEVERITIES})")
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+        }
+
+    def render(self) -> str:
+        return f"{self.severity} {self.code} at {self.path}: {self.message}"
+
+
+class CheckReport:
+    """An immutable set of diagnostics over one spec (or request)."""
+
+    __slots__ = ("diagnostics",)
+
+    def __init__(self, diagnostics):
+        # stable severity-major order so reports render worst-first and two
+        # runs over the same spec compare equal
+        rank = {s: i for i, s in enumerate(SEVERITIES)}
+        self.diagnostics = tuple(
+            sorted(diagnostics, key=lambda d: (rank[d.severity], d.code, d.path))
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding is present."""
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def merged(self, other: "CheckReport") -> "CheckReport":
+        return CheckReport(self.diagnostics + other.diagnostics)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "errors": self.count("error"),
+            "warnings": self.count("warning"),
+            "infos": self.count("info"),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def summary(self) -> str:
+        """A one-line human summary (the demo commands print this)."""
+        status = "ok" if self.ok else "FAIL"
+        counts = (
+            f"{self.count('error')} error(s), {self.count('warning')} warning(s)"
+        )
+        codes = ", ".join(dict.fromkeys(d.code for d in self.diagnostics))
+        return f"{status} — {counts}" + (f" [{codes}]" if codes else "")
+
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"CheckReport({self.summary()})"

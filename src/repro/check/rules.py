@@ -1,0 +1,471 @@
+"""The static-analysis rules the :class:`~repro.check.SpecChecker` runs.
+
+Every rule is a generator taking a :class:`CheckContext` (the parsed
+objects of one request: policy, workload, budget, epsilon, session budget,
+stream-ness) and yielding :class:`~repro.check.Diagnostic` s.  Rules only
+read analytic structure — graph family bounds, domain sizes, budget
+arithmetic — and never enumerate edges, build an engine, draw noise or
+touch a ledger, so a check over a pathological spec costs microseconds
+where serving it would hang or refuse deep inside a request thread.
+
+Rules self-guard: a rule that needs a policy returns immediately when the
+context has none, so one registry serves standalone policy checks and full
+request checks alike.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.composition import BUDGET_SLACK
+from ..core.graphs import (
+    CODE_EDGE_SCAN,
+    CODE_PAIR_BUDGET,
+    EDGE_SCAN_LIMIT,
+    DiscriminativeGraph,
+    DistanceThresholdGraph,
+    FullDomainGraph,
+)
+from ..core.specbase import spec_digest
+from .diagnostics import Diagnostic
+
+__all__ = ["CheckContext", "rule", "run_rules", "RULES"]
+
+#: Above this size the generic ``has_any_edge`` scan (up to 4096 rows, each
+#: a full neighbor iteration) is no longer obviously cheap, so connectivity
+#: rules skip graphs without an analytic override rather than risk an
+#: O(|T|^2)-ish probe inside a "static" check.
+_CONNECTIVITY_SCAN_LIMIT = 65_536
+
+
+class CheckContext:
+    """Everything one check run knows.
+
+    Fields are ``None`` when the corresponding spec section was absent (or
+    failed to parse — parse failures become ``SPEC001`` diagnostics before
+    rules run).  ``streaming`` is tri-state: ``True`` (the request targets
+    a registered stream), ``False`` (known pinned/inline dataset) or
+    ``None`` (unknown, e.g. a standalone CLI check).
+    """
+
+    __slots__ = (
+        "policy",
+        "workload",
+        "budget",
+        "epsilon",
+        "session_budget",
+        "streaming",
+        "registry",
+        "_paths",
+    )
+
+    def __init__(
+        self,
+        *,
+        policy=None,
+        workload=None,
+        budget=None,
+        epsilon=None,
+        session_budget=None,
+        streaming=None,
+        registry=None,
+        paths: dict | None = None,
+    ):
+        self.policy = policy
+        self.workload = workload
+        self.budget = budget
+        self.epsilon = epsilon
+        self.session_budget = session_budget
+        self.streaming = streaming
+        self.registry = registry
+        self._paths = {
+            "policy": "policy",
+            "workload": "workload",
+            "budget": "plan_budget",
+            "epsilon": "epsilon",
+            "session_budget": "budget",
+            **(paths or {}),
+        }
+
+    def path(self, section: str) -> str:
+        return self._paths.get(section, section)
+
+    def _stream_budget(self):
+        from ..stream.budget import StreamBudget
+
+        return self.budget if isinstance(self.budget, StreamBudget) else None
+
+
+RULES: list = []
+
+
+def rule(fn):
+    """Register a rule generator; order of registration is report order
+    before the severity sort."""
+    RULES.append(fn)
+    return fn
+
+
+def run_rules(ctx: CheckContext) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for fn in RULES:
+        out.extend(fn(ctx))
+    return out
+
+
+# -- policy rules -------------------------------------------------------------------
+
+
+@rule
+def edge_scan_refusal(ctx):
+    """POL201: predict ``EdgeScanRefused`` from family + domain size alone."""
+    if ctx.policy is None:
+        return
+    refusal = ctx.policy.graph.scan_refusal()
+    if refusal is None:
+        return
+    # Unconstrained policies survive: sensitivity calculators catch the
+    # refusal and substitute a conservative bound (more noise than needed).
+    # Constrained policies hit it on paths that cannot recover.
+    severity = "error" if ctx.policy.constraints else "warning"
+    consequence = (
+        "constrained sensitivity analysis will refuse at serving time"
+        if ctx.policy.constraints
+        else "sensitivity falls back to a conservative bound (extra noise)"
+    )
+    yield Diagnostic(
+        severity,
+        CODE_EDGE_SCAN,
+        f"{refusal} — {consequence} "
+        f"(bound {refusal.bound:.3g} > limit {refusal.limit:.3g})",
+        f"{ctx.path('policy')}.graph",
+    )
+
+
+@rule
+def pair_budget_refusal(ctx):
+    """POL202: critical-pair extraction (``crit(q)`` materialization) would
+    trip the edge-scan limit for some constraint support."""
+    if ctx.policy is None or not ctx.policy.constraints:
+        return
+    graph = ctx.policy.graph
+    n = graph.domain.size
+    # mirror of composition._check_pair_budget: full-domain graphs pay
+    # ins*outs (worst case n^2/4), everything else its edge upper bound
+    bound = n * n / 4.0 if isinstance(graph, FullDomainGraph) else graph.edges_upper_bound()
+    if bound > EDGE_SCAN_LIMIT:
+        yield Diagnostic(
+            "warning",
+            CODE_PAIR_BUDGET,
+            f"critical-pair extraction may materialize up to {bound:.3g} pairs "
+            f"(limit {EDGE_SCAN_LIMIT}); analyses that need crit(q) itself "
+            "(critical_edges, policy-graph bounds) will refuse",
+            f"{ctx.path('policy')}.constraints",
+        )
+
+
+def _has_any_edge_cheaply(graph: DiscriminativeGraph) -> bool | None:
+    """``has_any_edge()`` when it is provably cheap, else ``None``.
+
+    Families with analytic overrides answer at any size; the generic scan
+    (and the distance-threshold fallback onto it) is only trusted under
+    :data:`_CONNECTIVITY_SCAN_LIMIT`.
+    """
+    generic = type(graph).has_any_edge is DiscriminativeGraph.has_any_edge
+    falls_back = (
+        isinstance(graph, DistanceThresholdGraph)
+        and graph._spacings is None
+        and not graph.domain.is_ordered
+    )
+    if (generic or falls_back) and graph.domain.size > _CONNECTIVITY_SCAN_LIMIT:
+        return None
+    try:
+        return graph.has_any_edge()
+    except (ValueError, TypeError):
+        return None
+
+
+@rule
+def no_discriminative_pairs(ctx):
+    """POL210: a policy whose graph has no edge protects nothing — every
+    sensitivity is zero and releases are noiseless."""
+    if ctx.policy is None:
+        return
+    has_edge = _has_any_edge_cheaply(ctx.policy.graph)
+    if has_edge is False:
+        yield Diagnostic(
+            "warning",
+            "POL210",
+            f"{type(ctx.policy.graph).__name__} has no discriminative pair: "
+            "every query's sensitivity is 0 and answers are released exactly",
+            f"{ctx.path('policy')}.graph",
+        )
+
+
+@rule
+def constraint_sanity(ctx):
+    """POL211/POL212/POL213: never-binding, duplicate and unsatisfiable
+    constraints."""
+    if ctx.policy is None or not ctx.policy.constraints:
+        return
+    base = f"{ctx.path('policy')}.constraints"
+    seen: dict = {}
+    for i, c in enumerate(ctx.policy.constraints):
+        where = f"{base}[{i}]"
+        if c.value < 0:
+            yield Diagnostic(
+                "error",
+                "POL213",
+                f"count constraint {c.query.name} = {c.value} is unsatisfiable: "
+                "no database lies in I_Q",
+                f"{where}.value",
+            )
+        mask = c.query.mask
+        key = (mask.tobytes(), c.value)
+        if key in seen:
+            yield Diagnostic(
+                "warning",
+                "POL212",
+                f"duplicate of constraints[{seen[key]}] (same support and value)",
+                where,
+            )
+        else:
+            seen[key] = i
+        if not mask.any() or mask.all():
+            span = "empty" if not mask.any() else "the whole domain"
+            yield Diagnostic(
+                "warning",
+                "POL211",
+                f"constraint support is {span}: crit(q) is empty, so the "
+                "constraint never binds a discriminative pair",
+                where,
+            )
+            continue
+        try:
+            crossed = ctx.policy.graph.crosses_mask(mask)
+        except ValueError:
+            continue  # scan refused; POL201/POL202 already cover it
+        if not crossed:
+            yield Diagnostic(
+                "warning",
+                "POL211",
+                "no graph edge crosses the constraint's support boundary: "
+                "crit(q) is empty, so the constraint never binds",
+                where,
+            )
+
+
+@rule
+def mechanism_family_support(ctx):
+    """POL214/POL215: per registered mechanism family, can a strategy be
+    resolved and is its sensitivity analytically finite?"""
+    if ctx.policy is None:
+        return
+    registry = ctx.registry
+    if registry is None:
+        from ..engine.registry import default_registry
+
+        registry = default_registry()
+    where = ctx.path("policy")
+    for family in registry.families():
+        try:
+            registry.rule_name(family, ctx.policy)
+        except LookupError as exc:
+            yield Diagnostic("warning", "POL214", str(exc), where)
+    if ctx.policy.domain.is_ordered:
+        try:
+            ctx.policy.graph.max_edge_index_gap()
+        except (NotImplementedError, TypeError) as exc:
+            yield Diagnostic(
+                "warning",
+                "POL215",
+                f"cumulative-histogram sensitivity is not computable: {exc}",
+                f"{where}.graph",
+            )
+
+
+# -- budget rules -------------------------------------------------------------------
+
+
+@rule
+def plan_budget_floors(ctx):
+    """BUD301: floors that sum past the total make every allocation
+    infeasible (strict mode refuses, degrade modes shed everything)."""
+    if ctx.budget is None or ctx._stream_budget() is not None:
+        return
+    b = ctx.budget
+    if b.total is None or not b.floors:
+        return
+    floor_sum = sum(b.floors.values())
+    if floor_sum > b.total + BUDGET_SLACK:
+        yield Diagnostic(
+            "error",
+            "BUD301",
+            f"floors sum to {floor_sum:g} > total {b.total:g}: no allocation "
+            "can satisfy them",
+            f"{ctx.path('budget')}.floors",
+        )
+
+
+@rule
+def degradation_dead_ends(ctx):
+    """BUD302/REQ102: degradation modes that cannot do what they promise for
+    this workload, and floors naming unknown groups."""
+    if ctx.budget is None or ctx.workload is None:
+        return
+    b = ctx.budget
+    names = {g.name for g in ctx.workload.groups}
+    unknown = sorted(set(b.floors) - names)
+    if unknown:
+        yield Diagnostic(
+            "error",
+            "REQ102",
+            f"floors name groups not in the workload: {', '.join(unknown)}",
+            f"{ctx.path('budget')}.floors",
+        )
+    if b.degradation == "drop_optional":
+        optional = [g.name for g in ctx.workload.groups if g.optional]
+        if not optional:
+            yield Diagnostic(
+                "warning",
+                "BUD302",
+                "degradation 'drop_optional' with no optional group: there is "
+                "nothing to shed, so it behaves exactly like 'strict'",
+                f"{ctx.path('budget')}.degradation",
+            )
+        elif len(optional) == len(ctx.workload.groups):
+            yield Diagnostic(
+                "info",
+                "BUD302",
+                "every group is optional: under pressure 'drop_optional' may "
+                "shed the entire workload (all answers NaN)",
+                f"{ctx.path('budget')}.degradation",
+            )
+
+
+@rule
+def budget_vs_session(ctx):
+    """BUD303: a plan budget the session budget can never cover."""
+    if ctx.budget is None or ctx.session_budget is None or ctx._stream_budget():
+        return
+    b = ctx.budget
+    if b.total is not None and b.total > ctx.session_budget + BUDGET_SLACK:
+        yield Diagnostic(
+            "warning",
+            "BUD303",
+            f"plan total {b.total:g} exceeds the session budget "
+            f"{ctx.session_budget:g}: every request degrades (or refuses "
+            "under 'strict') from the first release",
+            f"{ctx.path('budget')}.total",
+        )
+    if b.uniform is not None and b.uniform > ctx.session_budget + BUDGET_SLACK:
+        yield Diagnostic(
+            "warning",
+            "BUD303",
+            f"uniform charge {b.uniform:g} exceeds the session budget "
+            f"{ctx.session_budget:g}: not a single release fits",
+            f"{ctx.path('budget')}.uniform",
+        )
+
+
+@rule
+def stream_budget_feasibility(ctx):
+    """STR311/STR312/STR313: horizon-overflow checks for stream budgets."""
+    sb = ctx._stream_budget()
+    if sb is None:
+        return
+    where = ctx.path("budget")
+    if sb.floors:
+        floor_sum = sum(sb.floors.values())
+        per_tick = sb.per_tick()
+        if floor_sum > per_tick + BUDGET_SLACK:
+            funded = int(sb.total // floor_sum)
+            yield Diagnostic(
+                "error",
+                "STR311",
+                f"floors sum to {floor_sum:g} > per-tick share {per_tick:g} "
+                f"(total {sb.total:g} / horizon {sb.horizon}): the budget "
+                f"funds only {funded} of {sb.horizon} ticks before "
+                "overflowing its horizon",
+                f"{where}.floors",
+            )
+    if sb.window is not None and sb.window > sb.horizon:
+        yield Diagnostic(
+            "warning",
+            "STR312",
+            f"window {sb.window} is wider than the horizon {sb.horizon}: no "
+            "full window is ever funded",
+            f"{where}.window",
+        )
+    if ctx.session_budget is not None and sb.total > ctx.session_budget + BUDGET_SLACK:
+        funded = int(ctx.session_budget // sb.per_tick())
+        yield Diagnostic(
+            "warning",
+            "STR313",
+            f"stream total {sb.total:g} exceeds the session budget "
+            f"{ctx.session_budget:g}: only ~{funded} of {sb.horizon} ticks "
+            "are funded before the ledger refuses",
+            f"{where}.total",
+        )
+
+
+# -- workload rules -----------------------------------------------------------------
+
+
+@rule
+def workload_shape(ctx):
+    """WRK401/WRK402/WRK403: empty or duplicate groups, inert staleness."""
+    if ctx.workload is None:
+        return
+    where = ctx.path("workload")
+    groups = ctx.workload.groups
+    if not groups:
+        yield Diagnostic("error", "WRK401", "workload has no groups", where)
+        return
+    seen: dict[str, str] = {}
+    for i, g in enumerate(groups):
+        gwhere = f"{where}.groups[{i}]"
+        if len(g) == 0:
+            yield Diagnostic(
+                "warning", "WRK401", f"group {g.name!r} has no queries", gwhere
+            )
+        payload = {k: v for k, v in g.to_spec().items() if k != "name"}
+        digest = spec_digest(payload)
+        if digest in seen:
+            yield Diagnostic(
+                "warning",
+                "WRK402",
+                f"group {g.name!r} duplicates group {seen[digest]!r} "
+                "(identical family and payload)",
+                gwhere,
+            )
+        else:
+            seen[digest] = g.name
+        if g.max_staleness is not None and ctx.streaming is not True:
+            severity = "warning" if ctx.streaming is False else "info"
+            yield Diagnostic(
+                severity,
+                "WRK403",
+                f"group {g.name!r} sets max_staleness={g.max_staleness} but "
+                "the session is not streaming: every release has age 0, so "
+                "the bound is inert",
+                f"{gwhere}.max_staleness",
+            )
+
+
+# -- request rules ------------------------------------------------------------------
+
+
+@rule
+def epsilon_sanity(ctx):
+    """REQ101: epsilon must be positive and finite before any calibration."""
+    if ctx.epsilon is None:
+        return
+    eps = float(ctx.epsilon)
+    if not math.isfinite(eps) or eps <= 0:
+        yield Diagnostic(
+            "error",
+            "REQ101",
+            f"epsilon must be a positive finite number, got {ctx.epsilon!r}",
+            ctx.path("epsilon"),
+        )

@@ -16,7 +16,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..core.graphs import EDGE_SCAN_LIMIT, DiscriminativeGraph, FullDomainGraph
+from ..core.graphs import (
+    EDGE_SCAN_LIMIT,
+    DiscriminativeGraph,
+    EdgeScanRefused,
+    FullDomainGraph,
+)
 from ..core.queries import CountQuery
 
 __all__ = [
@@ -71,7 +76,14 @@ def sparsity_violations(
     size = graph.domain.size
     if isinstance(graph, FullDomainGraph):
         if size * size > MAX_EDGE_SCAN:
-            raise ValueError("domain too large for a full-domain sparsity scan")
+            raise EdgeScanRefused(
+                "domain too large for a full-domain sparsity scan",
+                family=type(graph).__name__,
+                domain_size=size,
+                bound=float(size) * size,
+                limit=float(MAX_EDGE_SCAN),
+                fingerprint=graph.fingerprint(),
+            )
         lifts = _full_domain_lift_counts(masks)
         bad = np.argwhere((lifts > 1))
         for x, y in bad:
@@ -85,16 +97,28 @@ def sparsity_violations(
         # up-front refusal: dense implicit graphs (large partition cliques,
         # grid distance-threshold graphs) would spend O(|T|^2) producing the
         # edge stream before the scan counter could trip
-        raise ValueError(
+        raise EdgeScanRefused(
             f"{type(graph).__name__} over {size} values may have up to "
             f"{graph.edges_upper_bound():.3g} edges; too many for a sparsity "
-            f"scan (limit {MAX_EDGE_SCAN})"
+            f"scan (limit {MAX_EDGE_SCAN})",
+            family=type(graph).__name__,
+            domain_size=size,
+            bound=graph.edges_upper_bound(),
+            limit=float(MAX_EDGE_SCAN),
+            fingerprint=graph.fingerprint(),
         )
     scanned = 0
     for x, y in graph.edges():
         scanned += 1
         if scanned > MAX_EDGE_SCAN:
-            raise ValueError("too many edges for a sparsity scan")
+            raise EdgeScanRefused(
+                "too many edges for a sparsity scan",
+                family=type(graph).__name__,
+                domain_size=size,
+                bound=float(scanned),
+                limit=float(MAX_EDGE_SCAN),
+                fingerprint=graph.fingerprint(),
+            )
         n_lift = int(np.count_nonzero(~masks[:, x] & masks[:, y]))
         n_lower = int(np.count_nonzero(masks[:, x] & ~masks[:, y]))
         if n_lift > 1 or n_lower > 1:

@@ -27,7 +27,12 @@ from collections.abc import Sequence
 import networkx as nx
 import numpy as np
 
-from ..core.graphs import DiscriminativeGraph, EdgeScanRefused, FullDomainGraph
+from ..core.graphs import (
+    CODE_SEARCH_CAP,
+    DiscriminativeGraph,
+    EdgeScanRefused,
+    FullDomainGraph,
+)
 from ..core.queries import CountQuery
 from .count import MAX_EDGE_SCAN, is_sparse, support_matrix
 
@@ -214,7 +219,10 @@ def _longest_cycle(g: nx.DiGraph) -> int:
             # surface as a refusal at serving boundaries, not a crash
             raise EdgeScanRefused(
                 "policy graph too large for exact cycle search; use the "
-                "analytic results in repro.constraints.applications"
+                "analytic results in repro.constraints.applications",
+                code=CODE_SEARCH_CAP,
+                bound=float(steps),
+                limit=float(MAX_SEARCH_STEPS),
             )
         for nxt in g.successors(current):
             if nxt == start:
@@ -242,7 +250,10 @@ def _longest_path(g: nx.DiGraph, source, target) -> int:
         if steps > MAX_SEARCH_STEPS:
             raise EdgeScanRefused(
                 "policy graph too large for exact path search; use the "
-                "analytic results in repro.constraints.applications"
+                "analytic results in repro.constraints.applications",
+                code=CODE_SEARCH_CAP,
+                bound=float(steps),
+                limit=float(MAX_SEARCH_STEPS),
             )
         for nxt in g.successors(current):
             if nxt == target:

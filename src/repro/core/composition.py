@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .graphs import (
+    CODE_PAIR_BUDGET,
     EDGE_SCAN_LIMIT,
     DiscriminativeGraph,
     EdgeScanRefused,
@@ -72,12 +73,18 @@ class BudgetExceededError(RuntimeError):
         )
 
 
-def _check_pair_budget(n_pairs: float) -> None:
+def _check_pair_budget(n_pairs: float, graph: DiscriminativeGraph | None = None) -> None:
     if n_pairs > EDGE_SCAN_LIMIT:
         raise EdgeScanRefused(
             f"critical-edge extraction would materialize ~{n_pairs:.3g} pairs "
             f"(limit {EDGE_SCAN_LIMIT}); use constraint_is_critical() for a "
-            "yes/no answer on dense graphs"
+            "yes/no answer on dense graphs",
+            code=CODE_PAIR_BUDGET,
+            family=None if graph is None else type(graph).__name__,
+            domain_size=None if graph is None else graph.domain.size,
+            bound=float(n_pairs),
+            limit=EDGE_SCAN_LIMIT,
+            fingerprint=None if graph is None else graph.fingerprint(),
         )
 
 
@@ -96,7 +103,7 @@ def critical_edges(query: CountQuery, graph: DiscriminativeGraph) -> frozenset:
     if isinstance(graph, FullDomainGraph):
         ins = np.flatnonzero(mask)
         outs = np.flatnonzero(~mask)
-        _check_pair_budget(float(ins.size) * outs.size)
+        _check_pair_budget(float(ins.size) * outs.size, graph)
         return frozenset(
             (int(min(i, j)), int(max(i, j))) for i in ins for j in outs
         )
@@ -108,12 +115,12 @@ def critical_edges(query: CountQuery, graph: DiscriminativeGraph) -> frozenset:
             ins = members[mask[members]]
             outs = members[~mask[members]]
             total += float(ins.size) * outs.size
-            _check_pair_budget(total)
+            _check_pair_budget(total, graph)
             out.update(
                 (int(min(i, j)), int(max(i, j))) for i in ins for j in outs
             )
         return frozenset(out)
-    _check_pair_budget(graph.edges_upper_bound())
+    _check_pair_budget(graph.edges_upper_bound(), graph)
     return frozenset((i, j) for i, j in graph.edges() if mask[i] != mask[j])
 
 

@@ -44,6 +44,9 @@ __all__ = [
     "ExplicitGraph",
     "EDGE_SCAN_LIMIT",
     "EdgeScanRefused",
+    "CODE_EDGE_SCAN",
+    "CODE_PAIR_BUDGET",
+    "CODE_SEARCH_CAP",
 ]
 
 _INF = float("inf")
@@ -60,7 +63,53 @@ class EdgeScanRefused(ValueError):
     Distinct from plain :class:`ValueError` so that callers substituting a
     conservative answer (sensitivity calculators, composition checks) do not
     accidentally swallow genuine validation errors such as a mask shape
-    mismatch."""
+    mismatch.
+
+    Instances carry structured context so that runtime refusals and the
+    static analyzer (:mod:`repro.check`) speak one vocabulary: ``code`` is
+    the shared diagnostic code (:data:`CODE_EDGE_SCAN` for mask-crossing
+    scans, :data:`CODE_PAIR_BUDGET` for critical-pair extraction,
+    :data:`CODE_SEARCH_CAP` for policy-graph searches), ``family`` and
+    ``domain_size`` name the offending graph, ``bound`` is the analytic
+    quantity that tripped and ``limit`` the cap it exceeded.
+    ``fingerprint`` identifies the graph/policy when the raise site had one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "POL201",
+        family: str | None = None,
+        domain_size: int | None = None,
+        bound: float | None = None,
+        limit: float | None = None,
+        fingerprint: str | None = None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.family = family
+        self.domain_size = domain_size
+        self.bound = bound
+        self.limit = limit
+        self.fingerprint = fingerprint
+
+    def details(self) -> dict:
+        """The non-None structured fields, for error payloads and reports."""
+        out: dict = {"code": self.code}
+        for key in ("family", "domain_size", "bound", "limit", "fingerprint"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+#: Diagnostic codes shared between runtime :class:`EdgeScanRefused` raises
+#: and the :mod:`repro.check` rules that predict them statically.  Defined
+#: here (not in ``repro.check``) because the core may not import upward.
+CODE_EDGE_SCAN = "POL201"
+CODE_PAIR_BUDGET = "POL202"
+CODE_SEARCH_CAP = "POL203"
 
 
 def _memoized(method):
@@ -200,18 +249,53 @@ class DiscriminativeGraph(ABC):
         mask = self._as_mask(mask)
         if not mask.any() or mask.all():
             return False
-        if self.edges_upper_bound() > EDGE_SCAN_LIMIT:
-            raise EdgeScanRefused(
+        # guard directly (not through the overridable scan_refusal hook):
+        # subclasses that override scan_refusal -> None do so because their
+        # own crosses_mask is analytic, but anything reaching THIS fallback
+        # is doing a real edge scan and must honour the limits
+        refusal = self._generic_scan_refusal()
+        if refusal is not None:
+            raise refusal
+        return any(mask[i] != mask[j] for i, j in self.edges())
+
+    def scan_refusal(self) -> EdgeScanRefused | None:
+        """The refusal an exact edge scan here would raise, or ``None``.
+
+        Mirrors the guards in the generic :meth:`crosses_mask` fallback
+        without touching a single edge, so the static analyzer
+        (:mod:`repro.check`) can predict :class:`EdgeScanRefused` from the
+        graph family and domain size alone.  Families with closed-form
+        crossing rules override this to return ``None`` exactly when their
+        analytic path applies.
+        """
+        return self._generic_scan_refusal()
+
+    def _generic_scan_refusal(self) -> EdgeScanRefused | None:
+        bound = self.edges_upper_bound()
+        if bound > EDGE_SCAN_LIMIT:
+            return EdgeScanRefused(
                 f"{type(self).__name__} over {self.domain.size} values has no "
                 "analytic mask-crossing rule and too many potential edges "
-                f"(> {EDGE_SCAN_LIMIT}) for an exact scan"
+                f"(> {EDGE_SCAN_LIMIT}) for an exact scan",
+                code=CODE_EDGE_SCAN,
+                family=type(self).__name__,
+                domain_size=self.domain.size,
+                bound=bound,
+                limit=EDGE_SCAN_LIMIT,
+                fingerprint=self.fingerprint(),
             )
         if self.domain.size > self.domain.MAX_ENUMERABLE:
-            raise EdgeScanRefused(
+            return EdgeScanRefused(
                 f"domain of size {self.domain.size} is too large for a "
-                "mask-crossing edge scan"
+                "mask-crossing edge scan",
+                code=CODE_EDGE_SCAN,
+                family=type(self).__name__,
+                domain_size=self.domain.size,
+                bound=float(self.domain.size),
+                limit=float(self.domain.MAX_ENUMERABLE),
+                fingerprint=self.fingerprint(),
             )
-        return any(mask[i] != mask[j] for i, j in self.edges())
+        return None
 
     def _as_mask(self, mask: np.ndarray) -> np.ndarray:
         mask = np.asarray(mask, dtype=bool)
@@ -310,6 +394,9 @@ class FullDomainGraph(DiscriminativeGraph):
         mask = self._as_mask(mask)
         return bool(mask.any() and not mask.all())
 
+    def scan_refusal(self) -> EdgeScanRefused | None:
+        return None  # crosses_mask is closed-form at any size
+
     def max_edge_l1(self) -> float:
         return self.domain.diameter()
 
@@ -357,6 +444,9 @@ class AttributeGraph(DiscriminativeGraph):
         # non-constant mask has an edge across its boundary
         mask = self._as_mask(mask)
         return bool(mask.any() and not mask.all())
+
+    def scan_refusal(self) -> EdgeScanRefused | None:
+        return None  # crosses_mask is closed-form at any size
 
     def max_edge_l1(self) -> float:
         # an edge changes one attribute arbitrarily: max_A |A| (Lemma 6.1)
@@ -420,6 +510,9 @@ class PartitionGraph(DiscriminativeGraph):
         n_true = np.bincount(labels[mask], minlength=nb)
         n_all = np.bincount(labels, minlength=nb)
         return bool(np.any((n_true > 0) & (n_true < n_all)))
+
+    def scan_refusal(self) -> EdgeScanRefused | None:
+        return None  # per-block bincount works at any size
 
     @_memoized
     def max_edge_l1(self) -> float:
@@ -576,6 +669,13 @@ class DistanceThresholdGraph(DiscriminativeGraph):
             return bool(np.any(transitions & (np.diff(vals) <= self.theta)))
         return super().crosses_mask(mask)
 
+    def scan_refusal(self) -> EdgeScanRefused | None:
+        # analytic only on 1-D ordered domains (transition scan above);
+        # multi-attribute domains fall back to the generic edge scan
+        if self.domain.is_ordered:
+            return None
+        return super().scan_refusal()
+
     def max_edge_l1(self) -> float:
         # every edge satisfies d <= theta by definition; theta itself is the
         # calibration constant the paper uses (Lemma 6.1: sensitivity 2*theta)
@@ -649,6 +749,9 @@ class LineGraph(DistanceThresholdGraph):
         mask = self._as_mask(mask)
         return bool(mask.any() and not mask.all())
 
+    def scan_refusal(self) -> EdgeScanRefused | None:
+        return None  # crosses_mask is closed-form at any size
+
     def max_edge_l1(self) -> float:
         attr = self.domain.attributes[0]
         if not attr.is_numeric or len(attr) < 2:
@@ -691,6 +794,9 @@ class EdgelessGraph(DiscriminativeGraph):
     def crosses_mask(self, mask: np.ndarray) -> bool:
         self._as_mask(mask)
         return False
+
+    def scan_refusal(self) -> EdgeScanRefused | None:
+        return None  # no edges, nothing to scan
 
     def max_edge_l1(self) -> float:
         return 0.0
@@ -764,6 +870,9 @@ class ExplicitGraph(DiscriminativeGraph):
     def crosses_mask(self, mask: np.ndarray) -> bool:
         mask = self._as_mask(mask)
         return any(mask[u] != mask[v] for u, v in self._g.edges())
+
+    def scan_refusal(self) -> EdgeScanRefused | None:
+        return None  # the edge list is materialized; scanning it is linear
 
     def graph_distance(self, i: int, j: int) -> float:
         if i == j:

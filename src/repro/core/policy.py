@@ -20,7 +20,14 @@ from .graphs import (
     PartitionGraph,
 )
 from .queries import Constraint, ConstraintSet, Partition
-from .specbase import SPEC_VERSION, check_kind, check_version, spec_get
+from .specbase import (
+    SPEC_VERSION,
+    SpecError,
+    check_kind,
+    check_version,
+    nested_spec_error,
+    spec_get,
+)
 
 __all__ = ["Policy"]
 
@@ -148,13 +155,22 @@ class Policy:
         raw = spec_get(spec, "constraints", list, path, required=False)
         constraints = None
         if raw:
-            constraints = ConstraintSet(
-                [
-                    Constraint.from_spec(c, graph.domain, f"{path}.constraints[{i}]")
-                    for i, c in enumerate(raw)
-                ]
-            )
-        return cls(graph.domain, graph, constraints)
+            parsed = [
+                Constraint.from_spec(c, graph.domain, f"{path}.constraints[{i}]")
+                for i, c in enumerate(raw)
+            ]
+            try:
+                constraints = ConstraintSet(parsed)
+            except ValueError as exc:
+                if isinstance(exc, SpecError):
+                    raise
+                raise nested_spec_error(f"{path}.constraints", exc) from None
+        try:
+            return cls(graph.domain, graph, constraints)
+        except ValueError as exc:
+            if isinstance(exc, SpecError):
+                raise
+            raise nested_spec_error(path, exc) from None
 
     def __repr__(self) -> str:
         q = "I_n" if self.unconstrained else f"{len(self.constraints)} constraints"

@@ -30,6 +30,8 @@ __all__ = [
     "check_version",
     "json_scalar",
     "spec_digest",
+    "mark_field",
+    "nested_spec_error",
 ]
 
 #: Current spec schema revision.  Bump when a spec's shape changes
@@ -111,6 +113,31 @@ def json_scalar(value: Any, path: str) -> Any:
     if isinstance(value, (float, np.floating)):
         return float(value)
     raise SpecError(path, f"value {value!r} is not JSON-serializable")
+
+
+def mark_field(exc: Exception, field: str) -> Exception:
+    """Tag a constructor error with the parameter it concerns.
+
+    Constructors raise plain ``ValueError`` s so they stay usable outside
+    the spec layer; tagging lets a ``from_spec`` wrapper that catches the
+    error re-raise it with the *full* dotted path down to the offending
+    leaf (via :func:`nested_spec_error`) instead of collapsing every
+    constructor failure to the spec's outermost field.
+    """
+    exc.spec_field = field
+    return exc
+
+
+def nested_spec_error(path: str, exc: Exception) -> SpecError:
+    """A :class:`SpecError` at ``path`` wrapping a constructor failure.
+
+    When ``exc`` was tagged with :func:`mark_field`, the tagged field is
+    joined onto ``path`` so the error names the precise leaf
+    (``"request.plan_budget.floors.range"`` rather than
+    ``"request.plan_budget"``).
+    """
+    field = getattr(exc, "spec_field", None)
+    return SpecError(_join(path, field) if field else path, str(exc))
 
 
 def spec_digest(spec: dict) -> str:

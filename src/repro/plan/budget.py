@@ -39,6 +39,8 @@ from ..core.specbase import (
     SpecError,
     check_kind,
     check_version,
+    mark_field,
+    nested_spec_error,
     spec_get,
 )
 
@@ -91,7 +93,10 @@ class PlanBudget:
             raise ValueError("exactly one of total= or uniform= is required")
         for name, value in (("total", total), ("uniform", uniform)):
             if value is not None and (not math.isfinite(value) or value <= 0):
-                raise ValueError(f"{name} must be a positive finite number, got {value}")
+                raise mark_field(
+                    ValueError(f"{name} must be a positive finite number, got {value}"),
+                    name,
+                )
         self.total = None if total is None else float(total)
         self.uniform = None if uniform is None else float(uniform)
         self.floors = {str(k): float(v) for k, v in (floors or {}).items()}
@@ -99,13 +104,22 @@ class PlanBudget:
             # a flat per-release charge leaves nothing to allocate, so a
             # floor could only be silently ignored or silently exceeded —
             # refuse instead of guessing
-            raise ValueError("floors require a total= budget (uniform charges are flat)")
+            raise mark_field(
+                ValueError("floors require a total= budget (uniform charges are flat)"),
+                "floors",
+            )
         for name, value in self.floors.items():
             if not math.isfinite(value) or value <= 0:
-                raise ValueError(f"floor for group {name!r} must be positive, got {value}")
+                raise mark_field(
+                    ValueError(f"floor for group {name!r} must be positive, got {value}"),
+                    f"floors.{name}",
+                )
         if degradation not in DEGRADATION_MODES:
-            raise ValueError(
-                f"unknown degradation mode {degradation!r} (known: {DEGRADATION_MODES})"
+            raise mark_field(
+                ValueError(
+                    f"unknown degradation mode {degradation!r} (known: {DEGRADATION_MODES})"
+                ),
+                "degradation",
             )
         self.degradation = degradation
 
@@ -208,7 +222,7 @@ class PlanBudget:
         try:
             return cls(total, uniform=uniform, floors=floors, degradation=degradation)
         except ValueError as exc:
-            raise SpecError(path, str(exc)) from None
+            raise nested_spec_error(path, exc) from None
 
     def __repr__(self) -> str:
         amount = (

@@ -244,7 +244,7 @@ class QueryGroup:
             los = _int_array(spec_get(spec, "los", list, path), f"{path}.los")
             his = _int_array(spec_get(spec, "his", list, path), f"{path}.his")
             if los.size != his.size:
-                raise SpecError(path, "los and his must have equal length")
+                raise SpecError(f"{path}.his", "must have the same length as los")
             group = cls.ranges(los, his, name=name)
         elif family == "count":
             supports = spec_get(spec, "supports", list, path)

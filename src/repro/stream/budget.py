@@ -40,7 +40,14 @@ from __future__ import annotations
 import math
 import re
 
-from ..core.specbase import SPEC_VERSION, SpecError, check_version, spec_get
+from ..core.specbase import (
+    SPEC_VERSION,
+    SpecError,
+    check_version,
+    mark_field,
+    nested_spec_error,
+    spec_get,
+)
 from ..plan.budget import PlanBudget
 
 __all__ = ["StreamBudget", "node_label", "parse_node_label", "amortized_ledger_total"]
@@ -120,11 +127,15 @@ class StreamBudget(PlanBudget):
         super().__init__(total, floors=floors, degradation=degradation)
         horizon = int(horizon)
         if horizon < 1:
-            raise ValueError(f"horizon must be at least one tick, got {horizon}")
+            raise mark_field(
+                ValueError(f"horizon must be at least one tick, got {horizon}"), "horizon"
+            )
         if window is not None:
             window = int(window)
             if window < 1:
-                raise ValueError(f"window must be at least one tick, got {window}")
+                raise mark_field(
+                    ValueError(f"window must be at least one tick, got {window}"), "window"
+                )
         self.horizon = horizon
         self.window = window
 
@@ -201,7 +212,7 @@ class StreamBudget(PlanBudget):
                 degradation=degradation,
             )
         except ValueError as exc:
-            raise SpecError(path, str(exc)) from None
+            raise nested_spec_error(path, exc) from None
 
     def __repr__(self) -> str:
         window = f", window={self.window}" if self.window is not None else ""

@@ -1,0 +1,135 @@
+"""SpecChecker routing + the never-raise property.
+
+The checker's contract with clients: *any* JSON value fed to
+``check_spec`` produces a report — malformed input becomes ``SPEC001`` /
+``SPEC002`` diagnostics, never an exception — and any spec ``from_spec``
+accepts is checkable (hypothesis-driven round-trips below).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.check import SpecChecker, check_specs
+from repro.core.domain import Domain
+from repro.core.policy import Policy
+
+
+def test_non_dict_is_a_spec001():
+    report = check_specs([1, 2, 3])
+    assert not report.ok
+    assert report.errors[0].code == "SPEC001"
+
+
+def test_unknown_kind_is_a_spec002():
+    report = check_specs({"kind": "mystery"})
+    assert not report.ok
+    assert report.errors[0].code == "SPEC002"
+    assert report.errors[0].path == "spec.kind"
+
+
+def test_malformed_policy_reports_the_offending_field():
+    report = check_specs(
+        {"kind": "policy", "version": 1, "graph": {"kind": "graph/nope", "version": 1}}
+    )
+    assert not report.ok
+    diag = report.errors[0]
+    assert diag.code == "SPEC001"
+    assert diag.path.startswith("policy.graph")
+
+
+def test_standalone_workload_needs_a_domain():
+    report = check_specs({"kind": "workload", "groups": []})
+    assert report.errors[0].code == "SPEC002"
+    assert report.errors[0].path == "workload.domain"
+
+
+def test_standalone_workload_with_domain_is_checked():
+    report = check_specs(
+        {
+            "kind": "workload",
+            "domain": Domain.integers("v", 16).to_spec(),
+            "groups": [{"family": "range", "los": [0], "his": [5]}],
+        }
+    )
+    assert report.ok, report.render_text()
+
+
+def test_bad_section_does_not_hide_other_findings():
+    # the plan budget fails to parse AND epsilon is bad: both are reported
+    report = SpecChecker().check_request(
+        {
+            "policy": Policy.line(Domain.integers("v", 8)).to_spec(),
+            "plan_budget": {"kind": "plan_budget", "total": -1.0},
+            "epsilon": 0.0,
+        }
+    )
+    codes = {d.code for d in report}
+    assert {"SPEC001", "REQ101"} <= codes
+
+
+# -- never-raise properties ---------------------------------------------------------
+
+_json = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**6), max_value=10**6)
+    | st.floats(allow_nan=True, allow_infinity=True)
+    | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=8), children, max_size=3),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_json)
+def test_check_never_raises_on_arbitrary_json(value):
+    report = SpecChecker().check_spec(value)
+    json.dumps(report.to_dict())  # and the report itself always serializes
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.integers(min_value=2, max_value=256),
+    family=st.sampled_from(["line", "full", "distance"]),
+    theta=st.floats(min_value=0.5, max_value=8.0),
+    epsilon=st.floats(min_value=1e-3, max_value=10.0),
+)
+def test_check_never_raises_on_accepted_policy_specs(size, family, theta, epsilon):
+    """Any policy ``from_spec`` would accept is checkable without raising."""
+    domain = Domain.integers("v", size)
+    if family == "line":
+        policy = Policy.line(domain)
+    elif family == "full":
+        policy = Policy.full_domain(domain)
+    else:
+        policy = Policy.distance_threshold(domain, theta)
+    spec = policy.to_spec()
+    # round-trip through JSON exactly as the CLI would read it
+    spec = json.loads(json.dumps(spec))
+    assert Policy.from_spec(spec, "policy") is not None
+    report = SpecChecker().check_request({"policy": spec, "epsilon": epsilon})
+    assert report.ok, report.render_text()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    total=st.floats(min_value=1e-3, max_value=100.0),
+    horizon=st.integers(min_value=1, max_value=1024),
+    degradation=st.sampled_from(["strict", "drop_optional", "reuse_stale"]),
+)
+def test_check_never_raises_on_accepted_stream_budgets(total, horizon, degradation):
+    from repro.stream.budget import StreamBudget
+
+    spec = {
+        "kind": "stream_budget",
+        "total": total,
+        "horizon": horizon,
+        "degradation": degradation,
+    }
+    assert StreamBudget.from_spec(dict(spec)) is not None
+    report = check_specs(spec)
+    assert report.ok, report.render_text()

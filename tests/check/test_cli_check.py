@@ -1,0 +1,112 @@
+"""``python -m repro check`` CLI behavior: exit codes, output shapes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.domain import Attribute, Domain
+from repro.core.graphs import DistanceThresholdGraph
+from repro.core.policy import Policy
+
+
+@pytest.fixture
+def clean_policy(tmp_path):
+    path = tmp_path / "policy.json"
+    path.write_text(json.dumps(Policy.line(Domain.integers("v", 32)).to_spec()))
+    return str(path)
+
+
+@pytest.fixture
+def refused_policy(tmp_path):
+    """A constrained policy whose sensitivity analysis hits EdgeScanRefused."""
+    domain = Domain([Attribute("a", range(4096)), Attribute("b", range(4096))])
+    spec = Policy(domain, DistanceThresholdGraph(domain, 1.5)).to_spec()
+    spec["constraints"] = [
+        {"query": {"kind": "count", "name": "low", "support": [0, 1]}, "value": 3}
+    ]
+    path = tmp_path / "refused.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+@pytest.fixture
+def overflowing_stream_budget(tmp_path):
+    path = tmp_path / "stream.json"
+    path.write_text(
+        json.dumps(
+            {"kind": "stream_budget", "total": 1.0, "horizon": 64, "floors": {"g": 0.5}}
+        )
+    )
+    return str(path)
+
+
+def test_clean_specs_exit_zero(clean_policy, capsys):
+    assert main(["check", clean_policy]) == 0
+    out = capsys.readouterr().out
+    assert "ok — 0 error(s)" in out
+
+
+def test_edge_scan_bound_policy_is_flagged(refused_policy, capsys):
+    assert main(["check", refused_policy]) == 1
+    out = capsys.readouterr().out
+    assert "POL201" in out and "policy.graph" in out
+
+
+def test_horizon_overflow_is_flagged(overflowing_stream_budget, capsys):
+    assert main(["check", overflowing_stream_budget]) == 1
+    out = capsys.readouterr().out
+    assert "STR311" in out and "plan_budget.floors" in out
+
+
+def test_multiple_files_report_worst_exit(clean_policy, refused_policy, capsys):
+    assert main(["check", clean_policy, refused_policy]) == 1
+    out = capsys.readouterr().out
+    assert clean_policy in out and refused_policy in out
+
+
+def test_json_output_is_parseable(refused_policy, overflowing_stream_budget, capsys):
+    assert main(["check", "--json", refused_policy, overflowing_stream_budget]) == 1
+    reports = json.loads(capsys.readouterr().out)
+    assert len(reports) == 2
+    by_file = {r["file"]: r for r in reports}
+    codes = {d["code"] for d in by_file[refused_policy]["diagnostics"]}
+    assert "POL201" in codes
+    codes = {d["code"] for d in by_file[overflowing_stream_budget]["diagnostics"]}
+    assert "STR311" in codes
+
+
+def test_unreadable_file_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["check", str(bad)]) == 2
+    assert "unreadable" in capsys.readouterr().out
+
+
+def test_session_flag_drives_staleness_lint(tmp_path, capsys):
+    spec = {
+        "kind": "workload",
+        "domain": Domain.integers("v", 16).to_spec(),
+        "groups": [{"family": "range", "los": [0], "his": [5], "max_staleness": 2}],
+    }
+    path = tmp_path / "workload.json"
+    path.write_text(json.dumps(spec))
+    assert main(["check", "--session", "stream", str(path)]) == 0
+    assert "WRK403" not in capsys.readouterr().out
+    assert main(["check", "--session", "plan", str(path)]) == 0  # warning only
+    assert "WRK403" in capsys.readouterr().out
+
+
+def test_examples_fixtures_stay_clean(capsys):
+    import glob
+    import os
+
+    fixtures = sorted(
+        glob.glob(
+            os.path.join(os.path.dirname(__file__), "..", "..", "examples", "specs", "*.json")
+        )
+    )
+    assert fixtures, "examples/specs fixtures are missing"
+    assert main(["check", *fixtures]) == 0

@@ -1,0 +1,74 @@
+"""Diagnostic / CheckReport data-model tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import CODES, SEVERITIES, CheckReport, Diagnostic
+
+
+def test_unknown_severity_and_code_are_rejected():
+    with pytest.raises(ValueError, match="severity"):
+        Diagnostic("fatal", "REQ101", "m", "p")
+    with pytest.raises(ValueError, match="code"):
+        Diagnostic("error", "XYZ999", "m", "p")
+
+
+def test_report_sorts_severity_major_and_counts():
+    report = CheckReport(
+        [
+            Diagnostic("info", "BUD302", "i", "a"),
+            Diagnostic("error", "REQ101", "e", "b"),
+            Diagnostic("warning", "POL210", "w", "c"),
+        ]
+    )
+    assert [d.severity for d in report] == ["error", "warning", "info"]
+    assert not report.ok
+    assert (report.count("error"), report.count("warning"), report.count("info")) == (
+        1,
+        1,
+        1,
+    )
+    assert report.errors[0].code == "REQ101"
+    assert len(report) == 3
+
+
+def test_empty_report_is_ok():
+    report = CheckReport([])
+    assert report.ok
+    assert report.summary().startswith("ok")
+    assert report.to_dict() == {
+        "ok": True,
+        "errors": 0,
+        "warnings": 0,
+        "infos": 0,
+        "diagnostics": [],
+    }
+
+
+def test_to_dict_is_json_serializable_and_faithful():
+    diag = Diagnostic("warning", "POL201", "too big", "policy.graph")
+    report = CheckReport([diag])
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["ok"] is True  # warnings do not fail a check
+    assert payload["diagnostics"] == [diag.to_dict()]
+    assert "POL201" in report.summary()
+    assert diag.render() == "warning POL201 at policy.graph: too big"
+
+
+def test_merged_reports_combine():
+    a = CheckReport([Diagnostic("warning", "POL210", "w", "p")])
+    b = CheckReport([Diagnostic("error", "REQ101", "e", "q")])
+    merged = a.merged(b)
+    assert len(merged) == 2 and not merged.ok
+
+
+def test_code_table_covers_all_namespaces():
+    # every code is namespaced and described; severities are closed
+    assert SEVERITIES == ("error", "warning", "info")
+    for code, meaning in CODES.items():
+        assert code[:3] in {"SPE", "POL", "BUD", "STR", "WRK", "REQ"}, code
+        assert code[3:].isdigit() or code[4:].isdigit()
+        assert meaning

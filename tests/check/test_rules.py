@@ -1,0 +1,370 @@
+"""Table-driven rule tests: one deliberately-bad spec per diagnostic code.
+
+Every case feeds the checker a spec (or request) engineered to trip exactly
+one rule and asserts the expected code lands at the expected path with the
+expected severity — the contract clients build error UIs against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import SpecChecker
+from repro.core.domain import Attribute, Domain
+from repro.core.graphs import DistanceThresholdGraph, LineGraph
+from repro.core.policy import Policy
+
+DOM8 = Domain.integers("v", 8).to_spec()
+
+
+def _policy(graph: dict, constraints: list | None = None) -> dict:
+    spec = {"kind": "policy", "version": 1, "graph": graph}
+    if constraints is not None:
+        spec["constraints"] = constraints
+    return spec
+
+
+def _line(domain: dict = DOM8) -> dict:
+    return {"kind": "graph/line", "version": 1, "domain": domain}
+
+
+def _count(support, value, name="c") -> dict:
+    return {"query": {"kind": "count", "name": name, "support": support}, "value": value}
+
+
+def _huge_distance_policy(constraints=None) -> dict:
+    """A 4096x4096-value distance-threshold policy: the product domain is
+    unordered and too large to scan, so sensitivity hits EdgeScanRefused."""
+    domain = Domain([Attribute("a", range(4096)), Attribute("b", range(4096))])
+    spec = Policy(domain, DistanceThresholdGraph(domain, 1.5)).to_spec()
+    if constraints is not None:
+        spec["constraints"] = constraints
+    return spec
+
+
+CASES = [
+    # (label, spec, streaming, severity, code, path)
+    (
+        "edge-scan-unconstrained-warns",
+        _huge_distance_policy(),
+        None,
+        "warning",
+        "POL201",
+        "policy.graph",
+    ),
+    (
+        "edge-scan-constrained-errors",
+        _huge_distance_policy(constraints=[_count([0, 1, 2], 3)]),
+        None,
+        "error",
+        "POL201",
+        "policy.graph",
+    ),
+    (
+        "pair-budget",
+        _policy(
+            {
+                "kind": "graph/full",
+                "version": 1,
+                "domain": Domain.integers("v", 5000).to_spec(),
+            },
+            constraints=[_count([0, 1, 2], 3)],
+        ),
+        None,
+        "warning",
+        "POL202",
+        "policy.constraints",
+    ),
+    (
+        "edgeless-protects-nothing",
+        _policy({"kind": "graph/edgeless", "version": 1, "domain": DOM8}),
+        None,
+        "warning",
+        "POL210",
+        "policy.graph",
+    ),
+    (
+        "full-support-never-binds",
+        _policy(_line(), constraints=[_count(list(range(8)), 3)]),
+        None,
+        "warning",
+        "POL211",
+        "policy.constraints[0]",
+    ),
+    (
+        "duplicate-constraints",
+        _policy(
+            _line(),
+            constraints=[_count([0, 1, 2], 3, "a"), _count([0, 1, 2], 3, "b")],
+        ),
+        None,
+        "warning",
+        "POL212",
+        "policy.constraints[1]",
+    ),
+    (
+        "negative-count-unsatisfiable",
+        _policy(_line(), constraints=[_count([0, 1, 2], -1)]),
+        None,
+        "error",
+        "POL213",
+        "policy.constraints[0].value",
+    ),
+    (
+        "plan-floors-overflow-total",
+        {
+            "kind": "plan_budget",
+            "version": 1,
+            "total": 1.0,
+            "floors": {"a": 0.75, "b": 0.75},
+        },
+        None,
+        "error",
+        "BUD301",
+        "plan_budget.floors",
+    ),
+    (
+        "stream-floors-overflow-horizon",
+        {"kind": "stream_budget", "total": 1.0, "horizon": 64, "floors": {"g": 0.5}},
+        None,
+        "error",
+        "STR311",
+        "plan_budget.floors",
+    ),
+    (
+        "stream-window-wider-than-horizon",
+        {"kind": "stream_budget", "total": 8.0, "horizon": 8, "window": 16},
+        None,
+        "warning",
+        "STR312",
+        "plan_budget.window",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "spec,streaming,severity,code,path",
+    [case[1:] for case in CASES],
+    ids=[case[0] for case in CASES],
+)
+def test_bad_spec_is_flagged(spec, streaming, severity, code, path):
+    report = SpecChecker().check_spec(spec, streaming=streaming)
+    found = [d for d in report if d.code == code]
+    assert found, f"expected {code}, got {[d.code for d in report]}"
+    assert found[0].severity == severity
+    assert found[0].path == path
+
+
+REQUEST_CASES = [
+    (
+        "epsilon-not-positive",
+        {"policy": _policy(_line()), "epsilon": -0.5},
+        None,
+        "error",
+        "REQ101",
+        "request.epsilon",
+    ),
+    (
+        "floors-name-unknown-groups",
+        {
+            "policy": _policy(_line()),
+            "workload": {
+                "kind": "workload",
+                "groups": [{"family": "range", "los": [0], "his": [5], "name": "g"}],
+            },
+            "plan_budget": {"kind": "plan_budget", "total": 1.0, "floors": {"nope": 0.1}},
+        },
+        None,
+        "error",
+        "REQ102",
+        "request.plan_budget.floors",
+    ),
+    (
+        "drop-optional-with-nothing-optional",
+        {
+            "policy": _policy(_line()),
+            "workload": {
+                "kind": "workload",
+                "groups": [{"family": "range", "los": [0], "his": [5], "name": "g"}],
+            },
+            "plan_budget": {
+                "kind": "plan_budget",
+                "total": 1.0,
+                "degradation": "drop_optional",
+            },
+        },
+        None,
+        "warning",
+        "BUD302",
+        "request.plan_budget.degradation",
+    ),
+    (
+        "plan-total-over-session-budget",
+        {
+            "policy": _policy(_line()),
+            "plan_budget": {"kind": "plan_budget", "total": 4.0},
+            "budget": 1.0,
+        },
+        None,
+        "warning",
+        "BUD303",
+        "request.plan_budget.total",
+    ),
+    (
+        "stream-total-over-session-budget",
+        {
+            "policy": _policy(_line()),
+            "plan_budget": {"kind": "stream_budget", "total": 8.0, "horizon": 8},
+            "budget": 2.0,
+        },
+        True,
+        "warning",
+        "STR313",
+        "request.plan_budget.total",
+    ),
+    (
+        "empty-workload",
+        {"policy": _policy(_line()), "workload": {"kind": "workload", "groups": []}},
+        None,
+        "error",
+        "WRK401",
+        "request.workload",
+    ),
+    (
+        "empty-group",
+        {
+            "policy": _policy(_line()),
+            "workload": {
+                "kind": "workload",
+                "groups": [{"family": "range", "los": [], "his": []}],
+            },
+        },
+        None,
+        "warning",
+        "WRK401",
+        "request.workload.groups[0]",
+    ),
+    (
+        "duplicate-groups",
+        {
+            "policy": _policy(_line()),
+            "workload": {
+                "kind": "workload",
+                "groups": [
+                    {"family": "range", "los": [0], "his": [5], "name": "a"},
+                    {"family": "range", "los": [0], "his": [5], "name": "b"},
+                ],
+            },
+        },
+        None,
+        "warning",
+        "WRK402",
+        "request.workload.groups[1]",
+    ),
+    (
+        "staleness-on-pinned-dataset",
+        {
+            "policy": _policy(_line()),
+            "workload": {
+                "kind": "workload",
+                "groups": [
+                    {"family": "range", "los": [0], "his": [5], "max_staleness": 3}
+                ],
+            },
+        },
+        False,
+        "warning",
+        "WRK403",
+        "request.workload.groups[0].max_staleness",
+    ),
+    (
+        "staleness-unknown-session-is-advisory",
+        {
+            "policy": _policy(_line()),
+            "workload": {
+                "kind": "workload",
+                "groups": [
+                    {"family": "range", "los": [0], "his": [5], "max_staleness": 3}
+                ],
+            },
+        },
+        None,
+        "info",
+        "WRK403",
+        "request.workload.groups[0].max_staleness",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "request_spec,streaming,severity,code,path",
+    [case[1:] for case in REQUEST_CASES],
+    ids=[case[0] for case in REQUEST_CASES],
+)
+def test_bad_request_is_flagged(request_spec, streaming, severity, code, path):
+    report = SpecChecker().check_request(request_spec, streaming=streaming)
+    found = [d for d in report if d.code == code]
+    assert found, f"expected {code}, got {[d.code for d in report]}"
+    assert found[0].severity == severity
+    assert found[0].path == path
+
+
+def test_clean_specs_are_clean():
+    domain = Domain.integers("v", 64)
+    for policy in (Policy.line(domain), Policy.distance_threshold(domain, 2.0)):
+        report = SpecChecker().check_spec(policy.to_spec())
+        assert report.ok and len(report) == 0, report.render_text()
+
+
+def test_staleness_on_stream_session_is_silent():
+    case = dict(REQUEST_CASES[-1][1])
+    report = SpecChecker().check_request(case, streaming=True)
+    assert not [d for d in report if d.code == "WRK403"]
+
+
+def test_pol214_reports_unresolvable_family():
+    class Registry:
+        def families(self):
+            return ("histogram",)
+
+        def rule_name(self, family, policy):
+            raise LookupError(f"no {family} strategy for this policy")
+
+    domain = Domain.integers("v", 8)
+    report = SpecChecker(registry=Registry()).check_objects(policy=Policy.line(domain))
+    found = [d for d in report if d.code == "POL214"]
+    assert found and found[0].severity == "warning"
+    assert found[0].path == "policy"
+
+
+def test_pol215_reports_unanalyzable_ordered_sensitivity():
+    class OpaqueGraph(LineGraph):
+        def max_edge_index_gap(self):
+            raise NotImplementedError("no analytic gap")
+
+    domain = Domain.integers("v", 8)
+    policy = Policy(domain, OpaqueGraph(domain))
+    report = SpecChecker().check_objects(policy=policy)
+    found = [d for d in report if d.code == "POL215"]
+    assert found and found[0].severity == "warning"
+    assert found[0].path == "policy.graph"
+
+
+def test_all_optional_workload_is_an_info():
+    request = {
+        "policy": _policy(_line()),
+        "workload": {
+            "kind": "workload",
+            "groups": [
+                {"family": "range", "los": [0], "his": [5], "optional": True}
+            ],
+        },
+        "plan_budget": {
+            "kind": "plan_budget",
+            "total": 1.0,
+            "degradation": "drop_optional",
+        },
+    }
+    report = SpecChecker().check_request(request)
+    found = [d for d in report if d.code == "BUD302"]
+    assert found and found[0].severity == "info"

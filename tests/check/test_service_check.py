@@ -1,0 +1,120 @@
+"""The service's ``"check"`` op and opt-in strict admission."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import BlowfishService
+from repro.core.database import Database
+from repro.core.domain import Attribute, Domain
+from repro.core.graphs import DistanceThresholdGraph
+from repro.core.policy import Policy
+
+
+def _huge_constrained_policy_spec() -> dict:
+    domain = Domain([Attribute("a", range(4096)), Attribute("b", range(4096))])
+    spec = Policy(domain, DistanceThresholdGraph(domain, 1.5)).to_spec()
+    spec["constraints"] = [
+        {"query": {"kind": "count", "name": "low", "support": [0, 1, 2]}, "value": 3}
+    ]
+    return spec
+
+
+def test_check_op_reports_without_serving():
+    service = BlowfishService()
+    response = service.handle(
+        {
+            "op": "check",
+            "policy": _huge_constrained_policy_spec(),
+            "epsilon": -1.0,
+        }
+    )
+    assert response["ok"] is True  # the *check* succeeded
+    report = response["report"]
+    assert report["ok"] is False
+    codes = {d["code"] for d in report["diagnostics"]}
+    assert {"POL201", "REQ101"} <= codes
+    # nothing was admitted: no engine, no session, no spend
+    assert service.pool.stats()["size"] == 0
+
+
+def test_check_op_resolves_streaming_from_the_dataset_registry():
+    from repro.stream import synthetic_feed
+
+    service = BlowfishService()
+    stream, _batches = synthetic_feed(domain_size=16, ticks=2, per_tick=10, rng=0)
+    service.register_stream("feed", stream)
+    policy = Policy.line(Domain.integers("v", 16)).to_spec()
+    workload = {
+        "kind": "workload",
+        "groups": [{"family": "range", "los": [0], "his": [5], "max_staleness": 2}],
+    }
+    # against the registered stream: max_staleness is meaningful -> no WRK403
+    response = service.handle(
+        {"op": "check", "policy": policy, "workload": workload,
+         "dataset": {"name": "feed"}}
+    )
+    codes = {d["code"] for d in response["report"]["diagnostics"]}
+    assert "WRK403" not in codes
+    # against an inline (pinned) dataset the same workload draws the warning
+    response = service.handle(
+        {"op": "check", "policy": policy, "workload": workload,
+         "dataset": {"indices": [0, 1, 2]}}
+    )
+    codes = {d["code"] for d in response["report"]["diagnostics"]}
+    assert "WRK403" in codes
+
+
+def test_strict_check_refuses_bad_policies_at_admission():
+    domain = Domain.integers("v", 8)
+    db = Database.from_indices(domain, np.zeros(50, dtype=int))
+    request = {
+        "policy": _huge_constrained_policy_spec(),
+        "epsilon": 0.5,
+        "dataset": {"indices": [0] * 10,
+                    "domain": domain.to_spec()},
+        "queries": [{"kind": "range", "lo": 0, "hi": 3}],
+    }
+    strict = BlowfishService(strict_check=True)
+    response = strict.handle(dict(request))
+    assert response["ok"] is False
+    assert "POL201" in response["error"]["message"]
+    assert response["error"]["field"].endswith("policy.graph")
+
+
+def test_lenient_service_still_serves_warned_specs():
+    # unconstrained line policy is clean; strict and lenient behave the same
+    domain = Domain.integers("v", 8)
+    request = {
+        "policy": Policy.line(domain).to_spec(),
+        "epsilon": 0.5,
+        "dataset": {"indices": [0, 1, 2, 3], "domain": domain.to_spec()},
+        "queries": [{"kind": "range", "lo": 0, "hi": 3}],
+        "seed": 7,
+    }
+    for service in (BlowfishService(), BlowfishService(strict_check=True)):
+        response = service.handle(dict(request))
+        assert response["ok"] is True, response
+
+
+def test_strict_check_refuses_infeasible_plan_budgets():
+    domain = Domain.integers("v", 8)
+    request = {
+        "op": "plan",
+        "policy": Policy.line(domain).to_spec(),
+        "epsilon": 0.5,
+        "dataset": {"indices": [0, 1, 2, 3], "domain": domain.to_spec()},
+        "queries": [{"kind": "range", "lo": 0, "hi": 3}],
+        "plan_budget": {"kind": "plan_budget", "total": 1.0,
+                        "floors": {"a": 0.8, "b": 0.8}},
+        "seed": 7,
+    }
+    response = BlowfishService(strict_check=True).handle(dict(request))
+    assert response["ok"] is False
+    assert "BUD301" in response["error"]["message"]
+
+
+def test_unknown_op_message_names_check():
+    response = BlowfishService().handle({"op": "frobnicate"})
+    assert response["ok"] is False
+    assert "check" in response["error"]["message"]

@@ -1,0 +1,165 @@
+"""Full field paths on nested from_spec errors, and enriched refusals.
+
+Constructor ``ValueError`` s that surface through ``from_spec`` must carry
+the *full* dotted path to the offending field (``request.plan_budget.
+floors.g``, not ``request.plan_budget``), and ``EdgeScanRefused`` carries
+machine-readable details sharing the checker's code space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import Attribute, Domain
+from repro.core.graphs import (
+    CODE_EDGE_SCAN,
+    CODE_PAIR_BUDGET,
+    EdgeScanRefused,
+    DistanceThresholdGraph,
+)
+from repro.core.specbase import SpecError, mark_field, nested_spec_error
+from repro.plan.budget import PlanBudget
+from repro.stream.budget import StreamBudget
+
+
+def _spec_error(fn) -> SpecError:
+    with pytest.raises(SpecError) as excinfo:
+        fn()
+    return excinfo.value
+
+
+def test_plan_budget_floor_errors_name_the_floor():
+    err = _spec_error(
+        lambda: PlanBudget.from_spec(
+            {"kind": "plan_budget", "total": 1.0, "floors": {"g": -0.5}},
+            "request.plan_budget",
+        )
+    )
+    assert err.field == "request.plan_budget.floors.g"
+
+
+def test_plan_budget_total_errors_name_total():
+    err = _spec_error(
+        lambda: PlanBudget.from_spec({"kind": "plan_budget", "total": -1.0}, "pb")
+    )
+    assert err.field == "pb.total"
+
+
+def test_plan_budget_uniform_floors_conflict_names_floors():
+    err = _spec_error(
+        lambda: PlanBudget.from_spec(
+            {"kind": "plan_budget", "uniform": 0.5, "floors": {"g": 0.1}}, "pb"
+        )
+    )
+    assert err.field == "pb.floors"
+
+
+def test_stream_budget_horizon_errors_name_horizon():
+    err = _spec_error(
+        lambda: StreamBudget.from_spec(
+            {"kind": "stream_budget", "total": 1.0, "horizon": 0}, "sb"
+        )
+    )
+    assert err.field == "sb.horizon"
+
+
+def test_stream_budget_window_errors_name_window():
+    err = _spec_error(
+        lambda: StreamBudget.from_spec(
+            {"kind": "stream_budget", "total": 1.0, "horizon": 4, "window": 0}, "sb"
+        )
+    )
+    assert err.field == "sb.window"
+
+
+def test_mark_field_threads_through_nested_spec_error():
+    exc = mark_field(ValueError("nope"), "inner.leaf")
+    err = nested_spec_error("outer", exc)
+    assert isinstance(err, SpecError)
+    assert err.field == "outer.inner.leaf"
+    # unmarked exceptions anchor at the wrapping path
+    assert nested_spec_error("outer", ValueError("x")).field == "outer"
+
+
+def test_workload_length_mismatch_names_his():
+    from repro.plan.workload import Workload
+
+    domain = Domain.integers("v", 8)
+    err = _spec_error(
+        lambda: Workload.from_spec(
+            {"kind": "workload", "groups": [{"family": "range", "los": [0, 1], "his": [2]}]},
+            domain,
+            "w",
+        )
+    )
+    assert err.field.endswith(".his")
+
+
+# -- enriched refusals ----------------------------------------------------------------
+
+
+def test_edge_scan_refusal_carries_structured_details():
+    domain = Domain([Attribute("a", range(4096)), Attribute("b", range(4096))])
+    graph = DistanceThresholdGraph(domain, 1.5)
+    refusal = graph.scan_refusal()
+    assert isinstance(refusal, EdgeScanRefused)
+    details = refusal.details()
+    assert details["code"] == CODE_EDGE_SCAN
+    assert details["family"] == "DistanceThresholdGraph"
+    assert details["domain_size"] == domain.size
+    assert details["bound"] > details["limit"]
+    assert details["fingerprint"] == graph.fingerprint()
+
+
+def test_scan_refusal_is_none_for_analytic_families():
+    domain = Domain.integers("v", 1 << 20)
+    from repro.core.graphs import FullDomainGraph, LineGraph
+
+    assert LineGraph(domain).scan_refusal() is None
+    assert FullDomainGraph(domain).scan_refusal() is None
+    # ordered distance-threshold graphs stay analytic at any size
+    assert DistanceThresholdGraph(domain, 2.0).scan_refusal() is None
+
+
+def test_pair_budget_refusal_shares_the_code_space():
+    from repro.core.composition import _check_pair_budget
+
+    domain = Domain.integers("v", 64)
+    graph = DistanceThresholdGraph(domain, 2.0)
+    with pytest.raises(EdgeScanRefused) as excinfo:
+        _check_pair_budget(1e12, graph)
+    details = excinfo.value.details()
+    assert details["code"] == CODE_PAIR_BUDGET
+    assert details["family"] == "DistanceThresholdGraph"
+    assert details["fingerprint"] == graph.fingerprint()
+
+
+def test_service_surfaces_refusal_details(tmp_path):
+    """An EdgeScanRefused raised while serving lands in the error payload."""
+    from repro.api import BlowfishService
+
+    domain = Domain([Attribute("a", range(4096)), Attribute("b", range(4096))])
+    from repro.core.policy import Policy
+
+    spec = Policy(domain, DistanceThresholdGraph(domain, 1.5)).to_spec()
+    spec["constraints"] = [
+        {"query": {"kind": "count", "name": "low", "support": [0, 1]}, "value": 3}
+    ]
+    response = BlowfishService().handle(
+        {
+            "policy": spec,
+            "epsilon": 0.5,
+            "dataset": {"indices": [0, 1], "domain": domain.to_spec()},
+            "queries": [{"kind": "count", "support": [0, 1]}],
+        }
+    )
+    assert response["ok"] is False
+    details = response["error"]
+    assert details["code"] == CODE_EDGE_SCAN
+    assert details["family"] == "DistanceThresholdGraph"
+    assert details["bound"] > details["limit"]
+    # the serving-time refusal carries the exact code the checker predicts
+    from repro.check import check_specs
+
+    predicted = [d for d in check_specs(spec) if d.code == CODE_EDGE_SCAN]
+    assert predicted and predicted[0].severity == "error"
