@@ -32,6 +32,16 @@ Subcommands:
     fronted by the batching/coalescing async tier) and prints throughput,
     latency quantiles and the per-tenant ledger totals.
 
+``serve [--host H] [--port P] [--workers N] [--max-inflight M]``
+    Long-lived HTTP serving of the registered ``"demo"`` dataset:
+    ``POST /v1/handle`` takes the service request JSON verbatim,
+    ``GET /healthz`` reports readiness and ``GET /metrics`` exposes the
+    Prometheus text format.  ``--workers N`` (N > 1) serves from N
+    processes behind one port with budget truth in a shared SQLite
+    ledger and ``/metrics`` merged across all workers.  SIGTERM/SIGINT
+    drain gracefully: in-flight requests finish (up to
+    ``--drain-deadline`` seconds), new ones answer 503.
+
 ``stream-demo [--ticks N] [--horizon H] [--total E] [--degrade MODE]``
     Continual releases over a synthetic append-only feed: per tick the
     service ingests a batch (``"append"``/``"tick"`` ops), a hierarchical
@@ -371,6 +381,80 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import functools
+    import os
+    import signal
+    import tempfile
+
+    server_options = dict(
+        max_inflight=args.max_inflight,
+        max_body=args.max_body,
+        drain_deadline=args.drain_deadline,
+    )
+    if args.workers <= 1:
+        from .net import run_server
+
+        service, _domain, db = _demo_service(args.seed)
+
+        def ready(host: str, port: int) -> None:
+            print(
+                f"serving dataset 'demo' ({db.n} individuals) on "
+                f"http://{host}:{port}",
+                flush=True,
+            )
+            print(
+                "routes: POST /v1/handle, GET /healthz, GET /metrics "
+                "(SIGTERM/SIGINT drain gracefully)",
+                flush=True,
+            )
+
+        run_server(
+            service, host=args.host, port=args.port, ready=ready, **server_options
+        )
+        return 0
+
+    from .net import MultiprocHTTPServer
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        ledger_path = os.path.join(tmp, "ledger.sqlite")
+        server = MultiprocHTTPServer(
+            functools.partial(_demo_worker_service, ledger_path, args.seed),
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            **server_options,
+        )
+        host, port = server.start()
+        print(
+            f"serving dataset 'demo' on http://{host}:{port} across "
+            f"{args.workers} worker processes (shared ledger at {ledger_path})",
+            flush=True,
+        )
+        print(
+            "routes: POST /v1/handle, GET /healthz, GET /metrics "
+            "(merged across workers; SIGTERM/SIGINT drain gracefully)",
+            flush=True,
+        )
+
+        def _forward_term(signum, frame):
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _forward_term)
+        try:
+            server.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            # repeat signals must not interrupt the drain itself (process
+            # supervisors and `timeout` often signal the whole group)
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            signal.signal(signal.SIGINT, signal.SIG_IGN)
+            codes = server.stop()
+        bad = [c for c in codes if c not in (0, None)]
+        return 1 if bad else 0
+
+
 def _cmd_stream_demo(args: argparse.Namespace) -> int:
     from .api import BlowfishService
     from .core.policy import Policy
@@ -605,6 +689,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo_p.set_defaults(func=_cmd_serve_demo)
 
+    serve_p = sub.add_parser(
+        "serve", help="serve the demo dataset over HTTP (long-lived)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8787, help="bind port (0 picks a free one)"
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=1,
+        help="serving processes behind the one port (budget truth in a "
+        "shared SQLite ledger when > 1)",
+    )
+    serve_p.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="per-worker admission bound; above it requests answer 429 "
+        "with Retry-After instead of queueing",
+    )
+    serve_p.add_argument(
+        "--max-body", type=int, default=1 << 20,
+        help="largest accepted request body in bytes (413 above it)",
+    )
+    serve_p.add_argument(
+        "--drain-deadline", type=float, default=5.0,
+        help="seconds a graceful shutdown waits for in-flight requests",
+    )
+    serve_p.add_argument("--seed", type=int, default=0, help="demo dataset seed")
+    serve_p.set_defaults(func=_cmd_serve)
+
     stream_p = sub.add_parser(
         "stream-demo", help="continual releases over a synthetic feed"
     )
@@ -661,7 +773,7 @@ def main(argv: list[str] | None = None) -> int:
     # historical form: `python -m repro [outdir]` means `run [outdir]`
     if not argv or (
         argv[0]
-        not in {"run", "answer", "check", "serve-demo", "stream-demo", "plan", "-h", "--help"}
+        not in {"run", "answer", "check", "serve", "serve-demo", "stream-demo", "plan", "-h", "--help"}
     ):
         argv.insert(0, "run")
     args = build_parser().parse_args(argv)

@@ -50,7 +50,7 @@ engine/plan caches synchronize internally — see the README's "Thread
 safety" section for the full guarantees.
 """
 
-from .async_service import AsyncBlowfishService, serve_many
+from .async_service import AsyncBlowfishService, ServiceDraining, serve_many
 from .ledger import (
     InMemoryLedgerStore,
     LedgerStore,
@@ -75,6 +75,7 @@ __all__ = [
     "LockStripes",
     "PlanCache",
     "SQLiteLedgerStore",
+    "ServiceDraining",
     "Session",
     "ShardedRunResult",
     "ShardedServiceRunner",

@@ -49,10 +49,27 @@ from contextlib import suppress
 from .. import obs
 from .service import BlowfishService
 
-__all__ = ["AsyncBlowfishService", "serve_many"]
+__all__ = ["AsyncBlowfishService", "ServiceDraining", "serve_many"]
 
 #: Ops that never draw noise — always coalescable, seed or not.
 _NOISELESS_OPS = frozenset({"describe", "explain", "check"})
+
+#: Request fields that do not change the response the service computes —
+#: excluded from the coalescing digest so that two otherwise-identical
+#: requests differing only in caller-side correlation metadata still share
+#: one execution.  A coalesced waiter consequently sees the *executing*
+#: request's ``meta.request_id``; the HTTP front end rewrites it per
+#: connection (copy-on-write) before anything reaches a client.
+_IDENTITY_FREE_FIELDS = frozenset({"request_id"})
+
+
+class ServiceDraining(RuntimeError):
+    """Submission refused: the tier is draining and accepts no new work.
+
+    Raised by :meth:`AsyncBlowfishService.handle` once :meth:`drain` (or
+    :meth:`aclose`) has begun.  Work accepted before the drain started is
+    unaffected — its awaiting callers still get their responses.
+    """
 
 
 class AsyncBlowfishService:
@@ -98,6 +115,8 @@ class AsyncBlowfishService:
         self._dispatcher: asyncio.Task | None = None
         self._batch_tasks: set[asyncio.Task] = set()
         self._inflight: dict[str, asyncio.Future] = {}
+        self._pending: set[asyncio.Future] = set()
+        self._draining = False
         self._stats = {"received": 0, "coalesced": 0, "executed": 0, "batches": 0}
 
     # -- coalescing identity ---------------------------------------------------------
@@ -118,7 +137,16 @@ class AsyncBlowfishService:
 
     @staticmethod
     def _digest(request: dict) -> str | None:
-        """Canonical identity of a request dict, or None if not canonicalizable."""
+        """Canonical identity of a request dict, or None if not canonicalizable.
+
+        Correlation-only fields (:data:`_IDENTITY_FREE_FIELDS`) are dropped
+        first: a request id names *who asked*, not *what was asked*, and
+        must not defeat coalescing of otherwise-equal requests.
+        """
+        if any(field in request for field in _IDENTITY_FREE_FIELDS):
+            request = {
+                k: v for k, v in request.items() if k not in _IDENTITY_FREE_FIELDS
+            }
         try:
             payload = json.dumps(
                 request, sort_keys=True, separators=(",", ":"), allow_nan=False
@@ -129,7 +157,15 @@ class AsyncBlowfishService:
 
     # -- the async boundary ----------------------------------------------------------
     async def handle(self, request: dict) -> dict:
-        """Serve one request; equal in-flight requests execute once."""
+        """Serve one request; equal in-flight requests execute once.
+
+        Raises :class:`ServiceDraining` once :meth:`drain`/:meth:`aclose`
+        has begun — a draining tier accepts no new work (not even joins of
+        still-in-flight executions: the joiner is a *new* submission).
+        """
+        if self._draining:
+            obs.metrics().counter("async_requests_total", outcome="rejected").inc()
+            raise ServiceDraining("service tier is draining; no new requests accepted")
         self._stats["received"] += 1
         obs.metrics().counter("async_requests_total", outcome="received").inc()
         digest = self._digest(request) if self._coalescable(request) else None
@@ -143,6 +179,8 @@ class AsyncBlowfishService:
         future: asyncio.Future = loop.create_future()
         if digest is not None:
             self._inflight[digest] = future
+        self._pending.add(future)
+        future.add_done_callback(self._pending.discard)
         if self._queue is None:
             self._queue = asyncio.Queue()
         self._queue.put_nowait((request, future, digest))
@@ -218,15 +256,44 @@ class AsyncBlowfishService:
         """
         return dict(self._stats)
 
-    async def aclose(self) -> None:
-        """Stop the dispatcher, finish running batches, release the pool."""
+    @property
+    def draining(self) -> bool:
+        """Whether the tier has stopped accepting new submissions."""
+        return self._draining
+
+    async def drain(self) -> None:
+        """Reject new submissions and flush everything already accepted.
+
+        After ``drain()`` returns, every request accepted before the drain
+        began has its response (or exception) set — queued requests are
+        still batched and executed, nothing is dropped — and further
+        :meth:`handle` calls raise :class:`ServiceDraining`.  The worker
+        pool stays alive; :meth:`aclose` remains the terminal step.  This
+        is the seam a long-lived front end's graceful shutdown hangs off:
+        stop intake first, then wait here for in-flight truth to settle.
+
+        Idempotent and safe to call concurrently with in-flight requests.
+        """
+        self._draining = True
+        # flush: every accepted request resolves, even ones still queued
+        # (the dispatcher keeps batching until the queue is empty)
+        while True:
+            pending = [f for f in self._pending if not f.done()]
+            if not pending:
+                break
+            await asyncio.wait(pending)
         if self._dispatcher is not None:
+            # idle now — the queue is empty and nothing new can arrive
             self._dispatcher.cancel()
             with suppress(asyncio.CancelledError):
                 await self._dispatcher
             self._dispatcher = None
         if self._batch_tasks:
             await asyncio.gather(*tuple(self._batch_tasks), return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Drain (flush accepted work, reject new), then release the pool."""
+        await self.drain()
         self._executor.shutdown(wait=True)
 
     async def __aenter__(self) -> "AsyncBlowfishService":

@@ -24,6 +24,9 @@ Request shape (``op: "answer"``)::
       "budget": 2.0,                   # optional, applied when the session opens
       "seed": 0,                       # optional: reproducible noise
       "options": {"range": {"fanout": 16}},   # optional mechanism options
+      "request_id": "req-1",           # optional correlation id: echoed as
+                                       # meta.request_id and stamped on the
+                                       # root request span
     }
 
 ``op: "plan"`` answers the same shapes through the cost-driven planner
@@ -311,6 +314,12 @@ class BlowfishService:
         reg = obs.metrics()
         reg.counter("requests_total", op=op, outcome=outcome).inc()
         reg.histogram("request_seconds", op=op).observe(perf_counter() - start)
+        if is_dict and request.get("request_id") is not None:
+            # correlation id round-trip: the network tier's traces/metrics
+            # join this response (and its span tree, stamped above) by id.
+            # Error responses carry it too — a refused request is still a
+            # request somebody is trying to trace.
+            response.setdefault("meta", {})["request_id"] = str(request["request_id"])
         if req_tracer is not None:
             roots = req_tracer.take()
             if roots:

@@ -1,0 +1,36 @@
+"""``repro.net``: the long-lived HTTP serving front end.
+
+A stdlib-only (``asyncio`` + ``http.client``) HTTP/1.1 JSON boundary over
+the :class:`~repro.api.AsyncBlowfishService` tier:
+
+* :class:`BlowfishHTTPServer` — ``POST /v1/handle`` taking the exact
+  request JSON :class:`~repro.api.BlowfishService` already speaks,
+  ``GET /healthz``, ``GET /metrics`` (Prometheus text exposition from
+  :mod:`repro.obs`), keep-alive with read/write timeouts, counted
+  ``max_inflight`` admission (429 + ``Retry-After``), body-size limits and
+  graceful drain on SIGTERM/:meth:`~BlowfishHTTPServer.close`;
+* :class:`BlowfishClient` — a blocking keep-alive client with the matching
+  retry discipline (429 honours ``Retry-After``; connection resets get a
+  bounded jittered reconnect);
+* :class:`MultiprocHTTPServer` — ``--workers N`` serving behind one port
+  (``SO_REUSEPORT`` or an inherited pre-bound socket), budget truth shared
+  through a common :class:`~repro.api.SQLiteLedgerStore` and every
+  worker's ``/metrics`` answering with the *merged* whole-tier snapshot.
+
+Layering: this package talks only to :mod:`repro.api` and :mod:`repro.obs`
+— never to the algebra layers directly (enforced by ``tools/privacy_lint``
+rule PL004).
+"""
+
+from .client import BlowfishClient, BlowfishHTTPError
+from .multiproc import MultiprocHTTPServer
+from .server import BlowfishHTTPServer, run_server, status_for_response
+
+__all__ = [
+    "BlowfishClient",
+    "BlowfishHTTPError",
+    "BlowfishHTTPServer",
+    "MultiprocHTTPServer",
+    "run_server",
+    "status_for_response",
+]

@@ -1,0 +1,219 @@
+"""``BlowfishClient``: a small blocking HTTP client for the serving tier.
+
+Stdlib-only (``http.client``), keep-alive, with the retry discipline the
+server's backpressure contract implies:
+
+* **429** — the request was *not* queued or executed; honouring
+  ``Retry-After`` (plus decorrelating jitter so a thundering herd does not
+  re-converge) and retrying is always safe.
+* **connection reset / remote disconnect** — the deployment story for this
+  tier is deterministic traffic (seeded requests, sessions): re-sending is
+  either coalesced in flight, answered free from the session's release
+  cache, or recomputes the identical response, so a bounded reconnect-and-
+  retry is safe there too.  Callers sending *unseeded* answering requests
+  should set ``retries=0`` and own the ambiguity.
+
+Every request carries an ``X-Request-Id`` header (caller-supplied or
+generated), echoed by the server and stamped into ``meta.request_id`` — one
+id to grep across client logs, server spans and metrics exemplars.
+
+Jitter is derived from ``os.urandom`` rather than any seeded generator:
+retry scheduling is operational noise, not part of the privacy-relevant
+randomness that must flow through the ``repro.core.rng`` seam.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+import uuid
+
+__all__ = ["BlowfishClient", "BlowfishHTTPError"]
+
+
+class BlowfishHTTPError(RuntimeError):
+    """A transport-level failure the retry budget could not absorb, or a
+    response body that is not the service JSON shape."""
+
+    def __init__(self, message: str, *, status: int | None = None, body: bytes = b""):
+        super().__init__(message)
+        self.status = status
+        self.body = body
+
+
+def _jitter() -> float:
+    """Uniform-ish [0, 1) from OS entropy (see module docstring)."""
+    return int.from_bytes(os.urandom(2), "big") / 65536.0
+
+
+class BlowfishClient:
+    """Blocking JSON client for a :class:`~repro.net.BlowfishHTTPServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The server address.
+    timeout:
+        Socket timeout, seconds, for connect/read/write.
+    retries:
+        Attempts *beyond* the first on 429 and connection failures.
+    backoff:
+        Base sleep, seconds, for the exponential reconnect backoff; 429
+        waits use the server's ``Retry-After`` instead (clamped to
+        ``max_wait``), both decorrelated with jitter.
+    max_wait:
+        Upper bound, seconds, on any single retry sleep.
+
+    Not thread-safe: one client per thread (each owns one keep-alive
+    connection), which is also the honest way to load-test keep-alive.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        retries: int = 5,
+        backoff: float = 0.05,
+        max_wait: float = 5.0,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_wait = float(max_wait)
+        self._conn: http.client.HTTPConnection | None = None
+        self.last_status: int | None = None
+        self.last_request_id: str | None = None
+        self.stats = {"requests": 0, "retries_429": 0, "reconnects": 0}
+
+    # -- transport -------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _reset(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def close(self) -> None:
+        self._reset()
+
+    def __enter__(self) -> "BlowfishClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: bytes | None, headers: dict
+    ) -> tuple[int, dict, bytes]:
+        """One round-trip with retry/backoff; returns (status, headers, body)."""
+        attempt = 0
+        while True:
+            self.stats["requests"] += 1
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+            except (ConnectionError, http.client.HTTPException, OSError, TimeoutError) as exc:
+                # covers resets, remote disconnects mid-keep-alive, refused
+                # reconnects during a worker restart
+                self._reset()
+                if attempt >= self.retries:
+                    raise BlowfishHTTPError(
+                        f"{method} {path} failed after {attempt + 1} attempts: {exc}"
+                    ) from exc
+                self.stats["reconnects"] += 1
+                time.sleep(
+                    min(self.max_wait, self.backoff * (2**attempt)) * (0.5 + _jitter())
+                )
+                attempt += 1
+                continue
+            resp_headers = {k.lower(): v for k, v in response.getheaders()}
+            if resp_headers.get("connection", "").lower() == "close":
+                self._reset()
+            if response.status == 429 and attempt < self.retries:
+                # not queued server-side: safe to retry unconditionally
+                self.stats["retries_429"] += 1
+                try:
+                    wait = float(resp_headers.get("retry-after", self.backoff))
+                except ValueError:
+                    wait = self.backoff
+                time.sleep(min(self.max_wait, wait) * (0.5 + _jitter()))
+                attempt += 1
+                continue
+            return response.status, resp_headers, payload
+
+    # -- the API ---------------------------------------------------------------------
+    def handle(self, request: dict, *, request_id: str | None = None) -> dict:
+        """Send one service request dict; returns the service response dict.
+
+        Service-level refusals (400/409/422) come back as their response
+        dicts — exactly what an in-process ``service.handle`` returns, plus
+        ``meta.request_id`` — with the HTTP status readable from
+        :attr:`last_status`.  Non-JSON payloads raise
+        :class:`BlowfishHTTPError`.
+        """
+        rid = request_id if request_id is not None else uuid.uuid4().hex
+        body = json.dumps(request).encode()
+        status, _headers, payload = self._request(
+            "POST",
+            "/v1/handle",
+            body,
+            {
+                "Content-Type": "application/json",
+                "Content-Length": str(len(body)),
+                "X-Request-Id": rid,
+            },
+        )
+        self.last_status = status
+        self.last_request_id = rid
+        try:
+            response = json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BlowfishHTTPError(
+                f"non-JSON response (status {status})", status=status, body=payload
+            ) from exc
+        if not isinstance(response, dict):
+            raise BlowfishHTTPError(
+                f"non-object response (status {status})", status=status, body=payload
+            )
+        return response
+
+    def healthz(self) -> dict:
+        """``GET /healthz`` as a dict; :attr:`last_status` holds the code."""
+        status, _headers, payload = self._request("GET", "/healthz", None, {})
+        self.last_status = status
+        try:
+            return json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BlowfishHTTPError(
+                f"non-JSON healthz (status {status})", status=status, body=payload
+            ) from exc
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the Prometheus text exposition, verbatim."""
+        status, _headers, payload = self._request("GET", "/metrics", None, {})
+        self.last_status = status
+        if status != 200:
+            raise BlowfishHTTPError(
+                f"/metrics answered {status}", status=status, body=payload
+            )
+        return payload.decode()
+
+    def __repr__(self) -> str:
+        return f"BlowfishClient({self.host}:{self.port}, retries={self.retries})"

@@ -1,0 +1,14 @@
+"""Fixtures for the HTTP serving tests (helpers live in ``harness.py``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import ServerHarness, make_service
+
+
+@pytest.fixture
+def harness():
+    """A running server over the deterministic demo service."""
+    with ServerHarness(make_service()) as h:
+        yield h

@@ -217,6 +217,38 @@ def test_api_may_import_anything_repro(tmp_path):
     assert privacy_lint.lint_paths([path]) == []
 
 
+def test_net_importing_algebra_is_caught(tmp_path):
+    # the HTTP front end may never reach around the service boundary
+    path = _write(
+        tmp_path,
+        "repro/net/rogue_import.py",
+        "from repro.engine import PolicyEngine\n",
+    )
+    findings = privacy_lint.lint_paths([path])
+    assert _codes(findings) == ["PL004"]
+    assert "BlowfishService.handle" in findings[0].message
+
+
+def test_net_relative_core_import_is_caught(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/net/rogue_relative.py",
+        "from ..core.policy import Policy\n",
+    )
+    assert _codes(privacy_lint.lint_paths([path])) == ["PL004"]
+
+
+def test_net_may_import_api_and_obs(tmp_path):
+    path = _write(
+        tmp_path,
+        "repro/net/fine_import.py",
+        "from ..api import BlowfishService\n"
+        "from .. import obs\n"
+        "from .server import run_server\n",
+    )
+    assert privacy_lint.lint_paths([path]) == []
+
+
 def test_obs_purity_is_enforced(tmp_path):
     path = _write(
         tmp_path,

@@ -34,7 +34,11 @@ Rules
     The algebra layers (``core``/``engine``/``plan``/``stream``/
     ``mechanisms``/``constraints``/``analysis``/``datasets``/``check``)
     must not import the serving tier (``repro.api``), and ``repro.core``
-    may only import ``repro.core`` / ``repro.obs``.
+    may only import ``repro.core`` / ``repro.obs``.  The HTTP front end
+    (``repro.net``) sits strictly *above* the service boundary: it may
+    import ``repro.net`` / ``repro.api`` / ``repro.obs`` but never an
+    algebra layer directly — everything it serves flows through
+    ``BlowfishService.handle``.
 
 ``PL005`` obs purity
     ``repro.obs`` is the stdlib-only base of the stack: importing any
@@ -101,6 +105,10 @@ API_FORBIDDEN_LAYERS = frozenset(
         "check",
     }
 )
+
+#: Targets (under repro/) the HTTP front end may import: itself, the JSON
+#: service boundary and observability — never an algebra layer directly.
+NET_ALLOWED_TARGETS = frozenset({"net", "api", "obs"})
 
 #: Stdlib-ish prefixes repro.obs may import (everything else is a finding).
 _OBS_ALLOWED_THIRD_PARTY: frozenset = frozenset()
@@ -364,6 +372,21 @@ def _check_layering(tree: ast.AST, path: str, findings: list[Finding]) -> None:
     if not parts:
         return
     layer = parts[0] if len(parts) > 1 else None  # None for repro/x.py top-levels
+    if layer == "net":
+        for target, lineno in _imported_repro_modules(tree, parts):
+            if target not in NET_ALLOWED_TARGETS:
+                findings.append(
+                    Finding(
+                        "PL004",
+                        path,
+                        lineno,
+                        f"repro.net imports repro.{target} — the HTTP front "
+                        "end may only import repro.net / repro.api / "
+                        "repro.obs; everything it serves flows through "
+                        "BlowfishService.handle",
+                    )
+                )
+        return
     if layer is None or layer not in API_FORBIDDEN_LAYERS:
         return
     for target, lineno in _imported_repro_modules(tree, parts):
