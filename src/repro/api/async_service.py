@@ -281,7 +281,13 @@ class AsyncBlowfishService:
             pending = [f for f in self._pending if not f.done()]
             if not pending:
                 break
-            await asyncio.wait(pending)
+            done, _ = await asyncio.wait(pending)
+            for future in done:
+                # a waiter whose connection was aborted mid-await never
+                # consumes its future; mark any stored exception retrieved
+                # so shutdown does not log "exception was never retrieved"
+                if not future.cancelled():
+                    future.exception()
         if self._dispatcher is not None:
             # idle now — the queue is empty and nothing new can arrive
             self._dispatcher.cancel()

@@ -71,6 +71,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 import signal
 import uuid
 from contextlib import suppress
@@ -486,6 +487,17 @@ class BlowfishHTTPServer:
 
     async def _handle_request(self, headers, reader, writer, keep_alive: bool) -> bool:
         """``POST /v1/handle``: body limits, admission, dispatch, mapping."""
+        if "transfer-encoding" in headers:
+            # chunked bodies are not supported; accepting the header while
+            # framing by Content-Length would desync the connection (request
+            # smuggling behind a TE-parsing proxy), so refuse and close
+            return await self._respond(
+                writer,
+                400,
+                _error_body("bad_request", "Transfer-Encoding not supported"),
+                route="handle",
+                keep_alive=False,
+            )
         raw_length = headers.get("content-length")
         if raw_length is None:
             return await self._respond(
@@ -692,27 +704,59 @@ def _parse_head(head: bytes) -> tuple[str, str, dict, bool]:
         name, sep, value = line.partition(":")
         if not sep or not name.strip():
             raise ValueError(f"malformed header line {line!r}")
-        headers[name.strip().lower()] = value.strip()
+        key = name.strip().lower()
+        if key == "content-length" and key in headers:
+            # duplicate Content-Length is a classic smuggling vector (a
+            # last-wins dict would silently pick one framing); refuse it
+            raise ValueError("duplicate Content-Length header")
+        headers[key] = value.strip()
     # strip any query string: routing is by path only
     path = target.split("?", 1)[0]
     return method, path, headers, version == "HTTP/1.1"
 
 
 def _wants_keep_alive(headers: dict, http11: bool) -> bool:
-    connection = headers.get("connection", "").lower()
+    # Connection is a comma-separated token list; compare whole tokens, not
+    # substrings ("close-notify" must not read as "close")
+    tokens = {
+        token.strip().lower()
+        for token in headers.get("connection", "").split(",")
+    }
     if http11:
-        return "close" not in connection
-    return "keep-alive" in connection
+        return "close" not in tokens
+    return "keep-alive" in tokens
+
+
+#: Anything outside printable ASCII is stripped from client-supplied
+#: request ids: the id is echoed verbatim in the ``x-request-id`` response
+#: header, so CR/LF (header injection / response splitting) and
+#: unencodable code points (lone surrogates are valid JSON) must never
+#: survive to ``encode()`` time.
+_RID_UNSAFE = re.compile(r"[^\x20-\x7e]")
+
+
+def _sanitize_request_id(rid: str) -> str | None:
+    rid = _RID_UNSAFE.sub("", rid)[:128].strip()
+    return rid or None
 
 
 def _request_id(headers: dict, request: dict) -> str:
-    """Header wins, then the body's own id, then a server-generated one."""
+    """Header wins, then the body's own id, then a server-generated one.
+
+    Client-supplied ids are sanitized to printable ASCII (≤128 chars);
+    an id that is empty after sanitization falls through to the next
+    source rather than producing an empty header.
+    """
     rid = headers.get("x-request-id")
     if rid:
-        return rid[:128]
+        clean = _sanitize_request_id(rid)
+        if clean:
+            return clean
     body_rid = request.get("request_id")
     if body_rid is not None:
-        return str(body_rid)[:128]
+        clean = _sanitize_request_id(str(body_rid))
+        if clean:
+            return clean
     return uuid.uuid4().hex
 
 

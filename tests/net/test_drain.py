@@ -10,6 +10,7 @@ turns service error kinds into wire statuses.
 from __future__ import annotations
 
 import asyncio
+import gc
 
 import pytest
 
@@ -86,6 +87,35 @@ def test_drain_is_idempotent_and_aclose_still_works():
         await tier.aclose()
 
     asyncio.run(main())
+
+
+def test_drain_retrieves_abandoned_waiter_exceptions():
+    """A waiter whose connection was aborted mid-flight never consumes its
+    future; ``drain()`` must mark any exception on it retrieved so shutdown
+    does not log "exception was never retrieved"."""
+    problems: list[str] = []
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        loop.set_exception_handler(
+            lambda _loop, ctx: problems.append(ctx.get("message", ""))
+        )
+        tier = AsyncBlowfishService(make_service())
+        # a pending submission exactly as handle() registers one, whose
+        # waiter has gone away and whose execution fails mid-drain
+        fut = loop.create_future()
+        tier._pending.add(fut)
+        fut.add_done_callback(tier._pending.discard)
+        loop.call_later(0.02, fut.set_exception, RuntimeError("batch blew up"))
+        await tier.drain()
+        assert fut.done()
+        del fut
+        gc.collect()
+        await asyncio.sleep(0)
+        await tier.aclose()
+
+    asyncio.run(main())
+    assert not [m for m in problems if "never retrieved" in m], problems
 
 
 def test_request_id_does_not_defeat_coalescing():

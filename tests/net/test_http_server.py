@@ -121,6 +121,147 @@ def test_coalesced_duplicates_get_their_own_request_ids():
         assert out["rid-b"]["meta"]["request_id"] == "rid-b"
 
 
+# -- request-id hardening ---------------------------------------------------------------
+
+
+def test_body_request_id_cannot_inject_response_headers(harness):
+    """CR/LF in a body-supplied ``request_id`` must never split the
+    response head into extra headers (the header path is parsed per line,
+    but the JSON body accepts any string)."""
+    conn = http.client.HTTPConnection(harness.host, harness.port, timeout=10)
+    try:
+        evil = "x\r\nset-cookie: evil=1"
+        request = dict(seeded_request(3), request_id=evil)
+        body = json.dumps(request).encode()
+        conn.request("POST", "/v1/handle", body=body,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        payload = json.loads(resp.read())
+        assert resp.status == 200
+        assert resp.headers.get("set-cookie") is None  # nothing injected
+        echoed = resp.headers["x-request-id"]
+        assert "\r" not in echoed and "\n" not in echoed
+        assert echoed == "xset-cookie: evil=1"  # control chars stripped
+        assert payload["meta"]["request_id"] == echoed
+    finally:
+        conn.close()
+
+
+def test_lone_surrogate_request_id_does_not_kill_connection(harness):
+    """Lone surrogates are valid JSON; they must be stripped rather than
+    blow up ``encode()`` and tear the connection down mid-response."""
+    conn = http.client.HTTPConnection(harness.host, harness.port, timeout=10)
+    try:
+        request = dict(seeded_request(4), request_id="\ud800ok\udfff")
+        body = json.dumps(request).encode("ascii")
+        conn.request("POST", "/v1/handle", body=body,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        payload = json.loads(resp.read())
+        assert resp.status == 200
+        assert resp.headers["x-request-id"] == "ok"
+        assert payload["meta"]["request_id"] == "ok"
+        # the keep-alive connection survived and still serves
+        conn.request("POST", "/v1/handle",
+                     body=json.dumps(seeded_request(5)).encode(),
+                     headers={"Content-Type": "application/json"})
+        assert conn.getresponse().status == 200
+    finally:
+        conn.close()
+
+
+def test_unsalvageable_request_id_falls_back_to_generated(harness):
+    """An id that is empty after sanitization yields a server id, not an
+    empty header."""
+    conn = http.client.HTTPConnection(harness.host, harness.port, timeout=10)
+    try:
+        request = dict(seeded_request(6), request_id="\r\n\t")
+        conn.request("POST", "/v1/handle", body=json.dumps(request).encode(),
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        resp.read()
+        assert resp.status == 200
+        assert resp.headers["x-request-id"]  # non-empty, generated
+    finally:
+        conn.close()
+
+
+# -- wire-protocol hardening ------------------------------------------------------------
+
+
+def _raw_roundtrip(host: str, port: int, data: bytes) -> tuple[int, dict, bytes]:
+    """Send raw bytes, read exactly one response: ``(status, headers, body)``."""
+    with socket.create_connection((host, port), timeout=10) as s:
+        s.sendall(data)
+        s.settimeout(10)
+        buf = b""
+        while b"\r\n\r\n" not in buf:
+            chunk = s.recv(4096)
+            if not chunk:
+                break
+            buf += chunk
+        head, _, body = buf.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        want = int(headers.get("content-length", 0))
+        while len(body) < want:
+            chunk = s.recv(4096)
+            if not chunk:
+                break
+            body += chunk
+        return status, headers, body[:want]
+
+
+def test_transfer_encoding_is_rejected(harness):
+    """Chunked framing is unsupported: trusting Content-Length while a TE
+    header rides along would desync the connection (request smuggling), so
+    the request bounces as 400 and the connection closes."""
+    status, headers, body = _raw_roundtrip(
+        harness.host, harness.port,
+        b"POST /v1/handle HTTP/1.1\r\nHost: x\r\n"
+        b"Transfer-Encoding: chunked\r\nContent-Length: 2\r\n\r\n"
+        b"2\r\n{}\r\n0\r\n\r\n",
+    )
+    assert status == 400
+    assert headers["connection"] == "close"
+    assert json.loads(body)["error"]["kind"] == "bad_request"
+
+
+def test_duplicate_content_length_is_rejected(harness):
+    """Two Content-Length headers is a smuggling vector — 400, not
+    last-wins."""
+    status, headers, body = _raw_roundtrip(
+        harness.host, harness.port,
+        b"POST /v1/handle HTTP/1.1\r\nHost: x\r\n"
+        b"Content-Length: 2\r\nContent-Length: 12\r\n\r\n{}",
+    )
+    assert status == 400
+    assert headers["connection"] == "close"
+    assert json.loads(body)["error"]["kind"] == "bad_request"
+
+
+def test_connection_header_matches_tokens_not_substrings(harness):
+    # an unknown token merely *containing* "close" must not disable
+    # HTTP/1.1 keep-alive...
+    status, headers, _body = _raw_roundtrip(
+        harness.host, harness.port,
+        b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close-notify\r\n\r\n",
+    )
+    assert status == 200
+    assert headers["connection"] == "keep-alive"
+    # ...while a real "close" token anywhere in the list does
+    status, headers, _body = _raw_roundtrip(
+        harness.host, harness.port,
+        b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: foo, close\r\n\r\n",
+    )
+    assert status == 200
+    assert headers["connection"] == "close"
+
+
 # -- error mapping ----------------------------------------------------------------------
 
 
